@@ -1,0 +1,66 @@
+"""Figure 10: FPGA resource utilization (LUT / FF / BRAM, % of the Alveo
+U50) for eHDL, hXDP and SDNet on the five applications.
+
+Paper result: eHDL designs use 6.5%-13.3% of the FPGA (Corundum included),
+roughly comparable to the fixed hXDP processor and significantly below the
+SDNet designs, whose generic parser/table engines cost 2-4x more.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.apps import EVALUATION_APPS
+from repro.baselines import P4_PORTS, SdnetCompiler, SdnetUnsupportedError
+from repro.baselines.hxdp import HXDP_RESOURCES
+from repro.core.resources import estimate_resources
+
+
+@pytest.fixture(scope="module")
+def figure10(pipelines):
+    sdnet = SdnetCompiler()
+    rows = {}
+    for name in EVALUATION_APPS:
+        ehdl = estimate_resources(pipelines[name])
+        try:
+            sd = sdnet.compile(P4_PORTS[name]()).resources()
+        except SdnetUnsupportedError:
+            sd = None
+        rows[name] = {"ehdl": ehdl, "hxdp": HXDP_RESOURCES, "sdnet": sd}
+
+    def fmt(est, attr):
+        return "n/a" if est is None else f"{getattr(est, attr):.2f}"
+
+    for attr, label in (("lut_pct", "a: LUTs"), ("ff_pct", "b: Flip-Flops"),
+                        ("bram_pct", "c: BRAM")):
+        print_table(
+            f"Figure 10{label} (% of Alveo U50)",
+            ["app", "eHDL", "hXDP", "SDNet"],
+            [[name, fmt(r["ehdl"], attr), fmt(r["hxdp"], attr),
+              fmt(r["sdnet"], attr)] for name, r in rows.items()],
+        )
+    return rows
+
+
+def _check(rows):
+    for name, row in rows.items():
+        ehdl = row["ehdl"]
+        # the paper's 6.5%-13.3% overall-utilisation band
+        assert 5.0 <= ehdl.max_pct <= 15.0, f"{name}: {ehdl.summary()}"
+        # hXDP footprint is program-independent
+        assert row["hxdp"] is HXDP_RESOURCES
+        if row["sdnet"] is not None:
+            assert row["sdnet"].luts > 1.3 * ehdl.luts, name
+            assert row["sdnet"].ffs > ehdl.ffs, name
+    assert rows["dnat"]["sdnet"] is None
+    # eHDL tailoring: resources vary by program (unlike hXDP)
+    luts = [r["ehdl"].luts for r in rows.values()]
+    assert max(luts) > 1.2 * min(luts)
+
+
+class TestFigure10:
+    def test_shape(self, figure10):
+        _check(figure10)
+
+    def test_bench_resource_estimation(self, benchmark, figure10, pipelines):
+        _check(figure10)
+        benchmark(lambda: estimate_resources(pipelines["dnat"]))

@@ -1,0 +1,116 @@
+"""Figure 9a: forwarding throughput (Mpps, log scale) of eHDL vs SDNet vs
+hXDP vs Bluefield2 (1 and 4 cores) on the five applications.
+
+Paper result: every eHDL pipeline forwards the full 148 Mpps line rate;
+SDNet matches it on the four programs it can express (not DNAT); hXDP
+manages 0.9-5.4 Mpps; Bf2 is comparable to hXDP per core, scaling
+linearly. eHDL ends up 10-100x above the processor-based approaches.
+"""
+
+import pytest
+
+from conftest import LINE_RATE_MPPS, print_table, setup_app_maps
+from repro.apps import EVALUATION_APPS
+from repro.baselines import (
+    P4_PORTS,
+    SdnetCompiler,
+    SdnetUnsupportedError,
+    compile_for_hxdp,
+    model_bluefield,
+)
+from repro.ebpf.maps import MapSet
+from repro.hwsim import NicSystem
+
+
+def _ehdl_throughput(name, pipelines, traffic):
+    gen, frames = traffic
+    pipeline = pipelines[name]
+    maps = MapSet(pipeline.program.maps)
+    setup_app_maps(name, maps, gen.flows)
+    nic = NicSystem(pipeline, maps=maps, keep_records=False)
+    report = nic.run_at_line_rate(frames)
+    return min(report.throughput_mpps, LINE_RATE_MPPS), report
+
+
+def _check(figure9a):
+    """Shape assertions shared by the plain and --benchmark-only runs."""
+    for name, row in figure9a.items():
+        assert row["ehdl"] >= 0.95 * LINE_RATE_MPPS, name
+        assert row["report"].packets_dropped_queue == 0, name
+        assert 0.5 <= row["hxdp"] <= 8, name
+        assert 10 <= row["ehdl"] / row["hxdp"] <= 300, name
+        assert 10 <= row["ehdl"] / row["bf2_1c"] <= 300, name
+    assert figure9a["dnat"]["sdnet"] == "n/a"
+
+
+@pytest.fixture(scope="module")
+def figure9a(pipelines, traffic):
+    gen, frames = traffic
+    sample = frames[:8]
+    rows = {}
+    sdnet = SdnetCompiler()
+    for name, mod in EVALUATION_APPS.items():
+        ehdl_mpps, report = _ehdl_throughput(name, pipelines, traffic)
+        try:
+            sdnet_mpps = sdnet.compile(P4_PORTS[name]()).throughput_mpps
+            sdnet_cell = f"{min(sdnet_mpps, LINE_RATE_MPPS):.1f}"
+        except SdnetUnsupportedError:
+            sdnet_cell = "n/a"
+        hxdp = compile_for_hxdp(mod.build())
+        bf1 = model_bluefield(mod.build(), sample, cores=1)
+        bf4 = model_bluefield(mod.build(), sample, cores=4)
+        rows[name] = {
+            "ehdl": ehdl_mpps,
+            "sdnet": sdnet_cell,
+            "hxdp": hxdp.throughput_mpps,
+            "bf2_1c": bf1.throughput_mpps,
+            "bf2_4c": bf4.throughput_mpps,
+            "report": report,
+        }
+    print_table(
+        "Figure 9a: throughput (Mpps) @ 64B, 2k flows",
+        ["app", "eHDL", "SDNet", "hXDP", "Bf2 1c", "Bf2 4c"],
+        [
+            [name, f"{r['ehdl']:.1f}", r["sdnet"], f"{r['hxdp']:.2f}",
+             f"{r['bf2_1c']:.2f}", f"{r['bf2_4c']:.2f}"]
+            for name, r in rows.items()
+        ],
+    )
+    return rows
+
+
+class TestFigure9a:
+    def test_ehdl_sustains_line_rate(self, figure9a):
+        for name, row in figure9a.items():
+            assert row["ehdl"] >= 0.95 * LINE_RATE_MPPS, (
+                f"{name}: {row['ehdl']:.1f} Mpps below line rate"
+            )
+
+    def test_no_packet_loss(self, figure9a):
+        for name, row in figure9a.items():
+            assert row["report"].packets_dropped_queue == 0, name
+
+    def test_sdnet_line_rate_except_dnat(self, figure9a):
+        assert figure9a["dnat"]["sdnet"] == "n/a"
+        for name in ("firewall", "router", "tunnel", "suricata"):
+            assert float(figure9a[name]["sdnet"]) >= 140
+
+    def test_hxdp_band(self, figure9a):
+        for name, row in figure9a.items():
+            assert 0.5 <= row["hxdp"] <= 8, name
+
+    def test_bf2_scaling(self, figure9a):
+        for name, row in figure9a.items():
+            assert row["bf2_4c"] == pytest.approx(4 * row["bf2_1c"], rel=1e-6)
+        assert any(row["bf2_4c"] > 10 for row in figure9a.values())
+
+    def test_10_to_100x_speedup(self, figure9a):
+        for name, row in figure9a.items():
+            assert 10 <= row["ehdl"] / row["hxdp"] <= 300, name
+            assert 10 <= row["ehdl"] / row["bf2_1c"] <= 300, name
+
+    def test_bench_ehdl_simulation(self, benchmark, figure9a, pipelines, traffic):
+        _check(figure9a)
+        gen, frames = traffic
+        benchmark(lambda: _ehdl_throughput("router", pipelines,
+                                           (gen, frames[:800])))

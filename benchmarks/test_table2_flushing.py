@@ -1,0 +1,101 @@
+"""Table 2 + §5.3: leaky-bucket flushing under realistic traces.
+
+Paper result: replaying CAIDA/MAWI traces at 100 Gbps through the Leaky
+Bucket — whose read-modify-write of per-flow (time, level) state cannot
+use atomics — loses **zero packets** while flushing at most a few hundred
+thousand times per second. The §5.3 worst case (every packet in a single
+flow) degrades the achievable rate from ~29 Mpps offered to ~12 Mpps.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.apps import leaky_bucket
+from repro.core import compile_program
+from repro.ebpf.maps import MapSet
+from repro.hwsim import NicSystem
+from repro.net.traces import caida_like, mawi_like
+
+N_PACKETS = 12_000  # scaled-down replay window (the rates are per-second)
+
+
+def _replay(trace):
+    prog = leaky_bucket.build()
+    pipeline = compile_program(prog)
+    nic = NicSystem(pipeline, maps=MapSet(prog.maps), keep_records=False)
+    report = nic.replay_trace(trace)
+    return pipeline, report
+
+
+@pytest.fixture(scope="module")
+def table2():
+    rows = {}
+    for trace in (caida_like(N_PACKETS), mawi_like(N_PACKETS)):
+        pipeline, report = _replay(trace)
+        stats = trace.stats()
+        rows[trace.name] = {
+            "lost": report.packets_dropped_queue,
+            "flushes_per_sec": report.flushes_per_second(),
+            "trace_mean_size": stats.mean_size,
+            "trace_flows": stats.flows,
+            "report": report,
+        }
+    # §5.3 single-flow degradation: measure the *maximum achieved
+    # throughput* (saturating injection) when every packet hits the same
+    # map entry, versus the 29 Mpps a 100 Gbps replay of the trace offers.
+    from repro.net.packet import udp_packet
+
+    prog = leaky_bucket.build()
+    pipeline = compile_program(prog)
+    nic = NicSystem(pipeline, maps=MapSet(prog.maps), keep_records=False)
+    frame = udp_packet(src_ip="10.0.0.1", sport=1000, size=64)
+    degraded = nic.run_at_line_rate([frame] * 3000)
+    offered_mpps = 100_000 / (8 * (411 + 24))  # 100 Gbps of 411 B frames
+    rows["single-flow"] = {
+        "lost": degraded.packets_dropped_queue,
+        "flushes_per_sec": degraded.flushes_per_second(),
+        "achieved_mpps": degraded.throughput_mpps,
+        "offered_mpps": offered_mpps,
+        "report": degraded,
+    }
+    print_table(
+        "Table 2: leaky bucket under trace replay @ 100 Gbps",
+        ["trace", "lost packets", "flushes/sec"],
+        [[name, r["lost"], f"{r['flushes_per_sec']:,.0f}"]
+         for name, r in rows.items() if name != "single-flow"],
+    )
+    single_row = rows["single-flow"]
+    print(f"§5.3 single-flow worst case: trace offers {single_row['offered_mpps']:.1f}"
+          f" Mpps -> max achieved {single_row['achieved_mpps']:.1f} Mpps"
+          f" ({single_row['flushes_per_sec']:,.0f} flushes/sec)")
+    return rows
+
+
+def _check(rows):
+    for name in ("caida-like", "mawi-like"):
+        row = rows[name]
+        assert row["lost"] == 0, f"{name} lost packets"
+        # "in any case below 350k" flushes per second
+        assert row["flushes_per_sec"] < 600_000, name
+    single = rows["single-flow"]
+    # paper: max achieved degrades from the 29 Mpps the trace offers to
+    # ~12 Mpps under continuous flushing
+    assert single["achieved_mpps"] < 0.75 * single["offered_mpps"]
+    assert 8 <= single["achieved_mpps"] <= 22
+    # realistic traces flush far less than the pathological case
+    assert (rows["caida-like"]["flushes_per_sec"]
+            < single["flushes_per_sec"])
+
+
+class TestTable2:
+    def test_shape(self, table2):
+        _check(table2)
+
+    def test_mean_sizes_match_paper(self, table2):
+        assert abs(table2["caida-like"]["trace_mean_size"] - 411) < 45
+        assert abs(table2["mawi-like"]["trace_mean_size"] - 573) < 55
+
+    def test_bench_trace_replay(self, benchmark, table2):
+        _check(table2)
+        small = caida_like(1500)
+        benchmark(lambda: _replay(small))

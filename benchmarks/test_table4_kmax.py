@@ -1,0 +1,53 @@
+"""Table 4: maximum flushable-stage count K_max sustaining 148 Mpps, per
+hazard-window length L, under 50k Zipfian flows (Appendix A.1, Eq. 3).
+
+Paper rows: L=2 -> P_f 1%, K_max 61; L=3 -> 3%, 21; L=4 -> 6%, 11;
+L=5 -> 10%, 7.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.analysis import k_max, pipeline_throughput, table4, zipf_flush_probability
+
+
+@pytest.fixture(scope="module")
+def table4_rows():
+    rows = table4(L_values=(2, 3, 4, 5), n_flows=50_000)
+    print_table(
+        "Table 4: K_max sustaining 148 Mpps (50k Zipfian flows)",
+        ["L", "P_f^Z", "K_max"],
+        [[r["L"], f"{100 * r['p_flush']:.1f}%", f"{r['k_max']:.0f}"]
+         for r in rows],
+    )
+    return rows
+
+
+def _check(rows):
+    by_L = {r["L"]: r for r in rows}
+    # probabilities near the paper's 1/3/6/10%
+    assert 0.005 <= by_L[2]["p_flush"] <= 0.03
+    assert 0.02 <= by_L[3]["p_flush"] <= 0.06
+    assert 0.04 <= by_L[4]["p_flush"] <= 0.10
+    assert 0.07 <= by_L[5]["p_flush"] <= 0.15
+    # K_max near the paper's 61/21/11/7 and strictly decreasing
+    assert 30 <= by_L[2]["k_max"] <= 80
+    assert 12 <= by_L[3]["k_max"] <= 30
+    assert 7 <= by_L[4]["k_max"] <= 16
+    assert 4 <= by_L[5]["k_max"] <= 11
+    ks = [r["k_max"] for r in rows]
+    assert ks == sorted(ks, reverse=True)
+
+
+class TestTable4:
+    def test_shape(self, table4_rows):
+        _check(table4_rows)
+
+    def test_kmax_consistent_with_eq2(self, table4_rows):
+        for row in table4_rows:
+            tp = pipeline_throughput(row["k_max"], row["p_flush"])
+            assert tp == pytest.approx(148.8, rel=0.01)
+
+    def test_bench_model(self, benchmark, table4_rows):
+        _check(table4_rows)
+        benchmark(lambda: table4(L_values=(2, 3, 4, 5), n_flows=50_000))

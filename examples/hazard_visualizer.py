@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Watching the hazard machinery work, cycle by cycle.
+
+Compiles a deliberately hazard-prone program (a non-atomic counter:
+lookup → load → add → store on one map slot), attaches the occupancy
+tracer, and renders the pipeline timeline around the first flush — the
+live version of the paper's Figure 7. Then shows the atomic-block variant
+sailing through at line rate, and finishes by exporting the traffic as a
+pcap that tcpdump/Wireshark can open.
+
+Run:  python examples/hazard_visualizer.py
+"""
+
+import tempfile
+
+from repro.ebpf.asm import assemble_program
+from repro.ebpf.isa import MapSpec
+from repro.ebpf.maps import MapSet
+from repro.core import compile_program, hazard_summary
+from repro.hwsim import OccupancyTracer, PipelineSimulator, render_occupancy
+from repro.net.packet import udp_packet
+from repro.net.pcap import write_pcap
+
+RMW = """
+    r2 = 0
+    *(u32 *)(r10 - 4) = r2
+    r1 = map[m]
+    r2 = r10
+    r2 += -4
+    call 1
+    if r0 == 0 goto out
+    r2 = *(u64 *)(r0 + 0)
+    r2 += 1
+    *(u64 *)(r0 + 0) = r2
+out:
+    r0 = 2
+    exit
+"""
+
+ATOMIC = RMW.replace(
+    "    r2 = *(u64 *)(r0 + 0)\n    r2 += 1\n    *(u64 *)(r0 + 0) = r2",
+    "    r2 = 1\n    lock *(u64 *)(r0 + 0) += r2",
+)
+
+MAPS = {"m": MapSpec("m", "array", 4, 8, 1)}
+N = 30
+
+
+def run(source: str, label: str):
+    prog = assemble_program(source, maps=MAPS, name=label)
+    pipeline = compile_program(prog)
+    maps = MapSet(prog.maps)
+    sim = PipelineSimulator(pipeline, maps=maps)
+    tracer = OccupancyTracer()
+    sim.observer = tracer
+    frames = [udp_packet(size=64)] * N
+    report = sim.run_packets(frames)
+    counter = int.from_bytes(maps.by_name("m").lookup(bytes(4)), "little")
+    return pipeline, tracer, report, counter
+
+
+def main() -> None:
+    print("=== non-atomic counter (lookup -> load -> add -> store) ===")
+    pipeline, tracer, report, counter = run(RMW, "rmw_counter")
+    print(hazard_summary(pipeline))
+    print(f"{N} packets -> counter = {counter} (exact despite the hazards)")
+    print(f"throughput: {report.throughput_mpps:.1f} Mpps, "
+          f"{report.flush_events} flushes, "
+          f"{report.squashed_packets} packets squashed\n")
+
+    flush_cycles = tracer.flush_cycles()
+    if flush_cycles:
+        first = flush_cycles[0]
+        print(f"pipeline timeline around the first flush (cycle {first}):")
+        print(render_occupancy(tracer, first_cycle=max(0, first - 3),
+                               last_cycle=first + 4, max_stages=16))
+    print()
+
+    print("=== the same counter through the atomic block (§4.1.2) ===")
+    pipeline, tracer, report, counter = run(ATOMIC, "atomic_counter")
+    print(hazard_summary(pipeline))
+    print(f"{N} packets -> counter = {counter}")
+    print(f"throughput: {report.throughput_mpps:.1f} Mpps, "
+          f"{report.flush_events} flushes\n")
+
+    with tempfile.NamedTemporaryFile(suffix=".pcap", delete=False) as fh:
+        count = write_pcap(fh.name, ((i * 1000.0, udp_packet(size=64))
+                                     for i in range(N)))
+        print(f"exported the {count}-packet workload to {fh.name} "
+              "(openable in Wireshark)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""eHDL reproduction: turning eBPF/XDP programs into hardware designs.
+
+Top-level convenience namespace; see subpackages for the full API:
+
+* :mod:`repro.ebpf` — eBPF ISA, assembler, VM, verifier, maps
+* :mod:`repro.net` — packets, flows, synthetic traces
+* :mod:`repro.core` — the eHDL compiler (analysis, scheduling, VHDL)
+* :mod:`repro.hwsim` — cycle-level simulator of generated pipelines
+* :mod:`repro.baselines` — hXDP / Bluefield2 / SDNet comparison models
+* :mod:`repro.analysis` — analytical flush & energy models
+* :mod:`repro.apps` — the paper's five evaluation applications
+"""
+
+from .runtime import HostMap, XdpOffload
+
+__all__ = ["HostMap", "XdpOffload"]
+__version__ = "1.0.0"

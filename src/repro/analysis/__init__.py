@@ -1,0 +1,25 @@
+"""Analytical models: flushing (Appendix A.1) and energy (§5.2)."""
+
+from .energy import PowerReport, bluefield_power, fpga_power
+from .flush_model import (
+    FlushAnalysis,
+    analyze_pipeline,
+    k_max,
+    pipeline_throughput,
+    table4,
+    uniform_flush_probability,
+    zipf_flush_probability,
+)
+
+__all__ = [
+    "FlushAnalysis",
+    "PowerReport",
+    "analyze_pipeline",
+    "bluefield_power",
+    "fpga_power",
+    "k_max",
+    "pipeline_throughput",
+    "table4",
+    "uniform_flush_probability",
+    "zipf_flush_probability",
+]

@@ -1,0 +1,52 @@
+"""Wall-power and energy-per-packet model (§5.2).
+
+The paper measures whole-machine power during throughput tests with the
+host CPU idle: "80-85W when the system under test hosts the Xilinx Alveo
+U50, with little variation when the FPGA is flashed with eHDL, hXDP or
+SDNet hardware designs. The same machine consumes 100-105W when hosting
+the Bf2."
+
+The model: a host baseline plus a per-device adder, with a small
+load-dependent term (FPGA dynamic power scales mildly with toggling
+logic; the Bf2's Arm cores add per-core active power). Pairing wall power
+with the throughput results gives the energy-per-packet comparison the
+paper alludes to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+HOST_IDLE_W = 72.0
+
+# Device adders (idle) and load-dependent terms.
+U50_BASE_W = 9.5
+U50_DYNAMIC_W_PER_MLUT = 6.0  # per million active LUTs at line rate
+BF2_BASE_W = 21.0
+BF2_PER_ACTIVE_CORE_W = 1.2
+
+
+@dataclass
+class PowerReport:
+    device: str
+    watts: float
+    throughput_mpps: float
+
+    @property
+    def nj_per_packet(self) -> float:
+        """Whole-system energy per forwarded packet (nanojoules)."""
+        if self.throughput_mpps <= 0:
+            return float("inf")
+        return self.watts * 1000.0 / self.throughput_mpps
+
+
+def fpga_power(active_luts: int, throughput_mpps: float) -> PowerReport:
+    """Host + Alveo U50 running an eHDL/hXDP/SDNet design."""
+    watts = HOST_IDLE_W + U50_BASE_W + U50_DYNAMIC_W_PER_MLUT * active_luts / 1e6
+    return PowerReport("alveo-u50", watts, throughput_mpps)
+
+
+def bluefield_power(active_cores: int, throughput_mpps: float) -> PowerReport:
+    """Host + Bluefield2 DPU with ``active_cores`` Arm cores busy."""
+    watts = HOST_IDLE_W + BF2_BASE_W + BF2_PER_ACTIVE_CORE_W * (4 + active_cores)
+    return PowerReport("bluefield2", watts, throughput_mpps)

@@ -1,0 +1,41 @@
+"""Evaluation applications.
+
+The paper's five workloads (Table 1) — Simple Firewall, Router, Tunnel,
+DNAT and the Suricata early filter — plus the toy counter running example
+(Listing 1/2, Figure 8), the Leaky Bucket flush-stress application of
+§5.3 (Table 2), and a stateless ICMP echo responder (no maps at all — a
+contrast case for the hazard and resource machinery). Each module provides ``build()`` returning the eBPF
+:class:`~repro.ebpf.isa.Program` plus host-side map helpers (key builders,
+state installers, counter readers).
+"""
+
+from . import (
+    dnat,
+    firewall,
+    icmp_echo,
+    leaky_bucket,
+    router,
+    suricata,
+    toy_counter,
+    tunnel,
+)
+
+EVALUATION_APPS = {
+    "firewall": firewall,
+    "router": router,
+    "tunnel": tunnel,
+    "dnat": dnat,
+    "suricata": suricata,
+}
+
+__all__ = [
+    "EVALUATION_APPS",
+    "dnat",
+    "icmp_echo",
+    "firewall",
+    "leaky_bucket",
+    "router",
+    "suricata",
+    "toy_counter",
+    "tunnel",
+]

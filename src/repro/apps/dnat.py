@@ -1,0 +1,296 @@
+"""DNAT (Table 1): dynamic source network address translation.
+
+The application SDNet P4 *cannot* express (§5): on the first packet of a
+UDP flow the data plane itself allocates a fresh source port (an atomic
+fetch-add on a port counter), installs the binding in the NAT table — a
+data-plane map *write* — plus the reverse binding, and rewrites the
+packet. Every later packet of the flow hits the binding and is rewritten
+without writes.
+
+The miss path's ``bpf_map_lookup_elem`` → ``bpf_map_update_elem`` pair on
+the same map is the long RAW hazard window that gives DNAT its large L in
+Table 3; it only opens on the *first* packet of a flow ("the impact of the
+flushing on this case only happens when a new flow arrives", Appendix A.1).
+
+Maps:
+
+* ``nat``: hash, key 16 B = src(4) dst(4) sport(2) dport(2) pad(4) in wire
+  bytes, value 8 B = new_src_ip(4, wire bytes) new_port(2, host int) pad;
+* ``rnat``: hash, the reverse binding (translated 5-tuple → original),
+  written by the data plane for the return-path program;
+* ``ports``: array[1] u64 — the port allocation counter.
+
+Rewrites keep the IPv4 header checksum correct incrementally (RFC 1624)
+and clear the UDP checksum (legal for IPv4 UDP).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..ebpf.asm import assemble_program
+from ..ebpf.isa import MapSpec, Program
+from ..ebpf.maps import MapSet
+from ..net.packet import FiveTuple
+
+NAT_MAP = MapSpec("nat", "hash", key_size=16, value_size=8, max_entries=4096)
+RNAT_MAP = MapSpec("rnat", "hash", key_size=16, value_size=8, max_entries=4096)
+PORTS_MAP = MapSpec("ports", "array", key_size=4, value_size=8, max_entries=1)
+
+# The NAT's public address, 100.64.0.1, as the little-endian value of its
+# wire bytes (64 64 00 01 -> LE 0x01004064).
+NAT_IP = 0x0100_4064
+PORT_BASE = 1024
+PORT_MASK = 0x3FFF  # 16k dynamic ports
+
+_SOURCE = f"""
+    r7 = *(u32 *)(r1 + 4)
+    r6 = *(u32 *)(r1 + 0)
+    r2 = r6
+    r2 += 42
+    if r2 > r7 goto pass
+    r2 = *(u16 *)(r6 + 12)
+    if r2 != 8 goto pass             ; IPv4 only
+    r2 = *(u8 *)(r6 + 23)
+    if r2 != 17 goto pass            ; UDP only
+    ; forward key
+    r2 = *(u32 *)(r6 + 26)
+    *(u32 *)(r10 - 16) = r2
+    r3 = *(u32 *)(r6 + 30)
+    *(u32 *)(r10 - 12) = r3
+    r4 = *(u16 *)(r6 + 34)
+    *(u16 *)(r10 - 8) = r4
+    r5 = *(u16 *)(r6 + 36)
+    *(u16 *)(r10 - 6) = r5
+    r2 = 0
+    *(u32 *)(r10 - 4) = r2
+    r1 = map[nat]
+    r2 = r10
+    r2 += -16
+    call 1
+    if r0 == 0 goto new_flow
+    ; --- existing binding: fetch translation ---
+    r8 = *(u32 *)(r0 + 0)            ; new source ip (wire-byte value)
+    r9 = *(u16 *)(r0 + 4)            ; new source port (host integer)
+    goto rewrite
+new_flow:
+    ; --- allocate a port from the shared counter ---
+    r2 = 0
+    *(u32 *)(r10 - 24) = r2
+    r1 = map[ports]
+    r2 = r10
+    r2 += -24
+    call 1
+    if r0 == 0 goto aborted
+    r9 = 1
+    lock fetch *(u64 *)(r0 + 0) += r9
+    r9 &= {PORT_MASK}
+    r9 += {PORT_BASE}
+    r8 = {NAT_IP} ll
+    ; --- install the forward binding: key is still at r10-16 ---
+    *(u32 *)(r10 - 32) = r8
+    *(u16 *)(r10 - 28) = r9
+    r2 = 0
+    *(u16 *)(r10 - 26) = r2
+    r1 = map[nat]
+    r2 = r10
+    r2 += -16
+    r3 = r10
+    r3 += -32
+    r4 = 0
+    call 2                           ; bpf_map_update_elem(nat, key, value)
+    ; --- install the reverse binding: (dst, new_src, dport, new_port) ---
+    r2 = *(u32 *)(r6 + 30)
+    *(u32 *)(r10 - 48) = r2
+    *(u32 *)(r10 - 44) = r8
+    r4 = *(u16 *)(r6 + 36)
+    *(u16 *)(r10 - 40) = r4
+    r5 = r9
+    r5 = be16 r5
+    *(u16 *)(r10 - 38) = r5
+    r2 = 0
+    *(u32 *)(r10 - 36) = r2
+    r3 = *(u32 *)(r6 + 26)
+    *(u32 *)(r10 - 56) = r3
+    r3 = *(u16 *)(r6 + 34)
+    *(u16 *)(r10 - 52) = r3
+    r2 = 0
+    *(u16 *)(r10 - 50) = r2
+    r1 = map[rnat]
+    r2 = r10
+    r2 += -48
+    r3 = r10
+    r3 += -56
+    r4 = 0
+    call 2                           ; bpf_map_update_elem(rnat, rkey, orig)
+rewrite:
+    ; incremental IPv4 checksum over the source-address change (RFC 1624)
+    r2 = *(u16 *)(r6 + 26)
+    r2 = be16 r2
+    r3 = *(u16 *)(r6 + 28)
+    r3 = be16 r3
+    r4 = *(u16 *)(r6 + 24)
+    r4 = be16 r4
+    r4 ^= 65535                      ; ~HC
+    r2 ^= 65535                      ; ~m (old source words)
+    r3 ^= 65535
+    r4 += r2
+    r4 += r3
+    r2 = r8
+    r2 &= 65535
+    r2 = be16 r2                     ; m' high word of the new source
+    r4 += r2
+    r2 = r8
+    r2 >>= 16
+    r2 = be16 r2                     ; m' low word
+    r4 += r2
+    r2 = r4
+    r2 >>= 16
+    r4 &= 65535
+    r4 += r2
+    r2 = r4
+    r2 >>= 16
+    r4 &= 65535
+    r4 += r2
+    r4 ^= 65535                      ; HC'
+    r4 = be16 r4
+    *(u16 *)(r6 + 24) = r4
+    ; rewrite source address and port, clear the UDP checksum
+    *(u32 *)(r6 + 26) = r8
+    r2 = r9
+    r2 = be16 r2
+    *(u16 *)(r6 + 34) = r2
+    *(u16 *)(r6 + 40) = 0
+    r0 = 3
+    exit
+aborted:
+    r0 = 0
+    exit
+pass:
+    r0 = 2
+    exit
+"""
+
+
+_REVERSE_SOURCE = """
+    r7 = *(u32 *)(r1 + 4)
+    r6 = *(u32 *)(r1 + 0)
+    r2 = r6
+    r2 += 42
+    if r2 > r7 goto pass
+    r2 = *(u16 *)(r6 + 12)
+    if r2 != 8 goto pass             ; IPv4 only
+    r2 = *(u8 *)(r6 + 23)
+    if r2 != 17 goto pass            ; UDP only
+    ; reverse key: (remote src, NAT dst, remote sport, translated dport)
+    ; — exactly the layout the forward program installed in rnat
+    r2 = *(u32 *)(r6 + 26)
+    *(u32 *)(r10 - 16) = r2
+    r3 = *(u32 *)(r6 + 30)
+    *(u32 *)(r10 - 12) = r3
+    r4 = *(u16 *)(r6 + 34)
+    *(u16 *)(r10 - 8) = r4
+    r5 = *(u16 *)(r6 + 36)
+    *(u16 *)(r10 - 6) = r5
+    r2 = 0
+    *(u32 *)(r10 - 4) = r2
+    r1 = map[rnat]
+    r2 = r10
+    r2 += -16
+    call 1
+    if r0 == 0 goto pass             ; no binding: not ours, up the stack
+    r8 = *(u32 *)(r0 + 0)            ; original inside address (wire bytes)
+    r9 = *(u16 *)(r0 + 4)            ; original inside port (wire bytes)
+    ; incremental IPv4 checksum over the destination-address change
+    r2 = *(u16 *)(r6 + 30)
+    r2 = be16 r2
+    r3 = *(u16 *)(r6 + 32)
+    r3 = be16 r3
+    r4 = *(u16 *)(r6 + 24)
+    r4 = be16 r4
+    r4 ^= 65535
+    r2 ^= 65535
+    r3 ^= 65535
+    r4 += r2
+    r4 += r3
+    r2 = r8
+    r2 &= 65535
+    r2 = be16 r2
+    r4 += r2
+    r2 = r8
+    r2 >>= 16
+    r2 = be16 r2
+    r4 += r2
+    r2 = r4
+    r2 >>= 16
+    r4 &= 65535
+    r4 += r2
+    r2 = r4
+    r2 >>= 16
+    r4 &= 65535
+    r4 += r2
+    r4 ^= 65535
+    r4 = be16 r4
+    *(u16 *)(r6 + 24) = r4
+    ; rewrite destination address and port back to the inside host
+    *(u32 *)(r6 + 30) = r8
+    *(u16 *)(r6 + 36) = r9
+    *(u16 *)(r6 + 40) = 0            ; clear the UDP checksum
+    r0 = 3
+    exit
+pass:
+    r0 = 2
+    exit
+"""
+
+
+def build() -> Program:
+    """Assemble the dynamic NAT program (outbound direction)."""
+    return assemble_program(
+        _SOURCE,
+        maps={"nat": NAT_MAP, "rnat": RNAT_MAP, "ports": PORTS_MAP},
+        name="dnat",
+    )
+
+
+def build_reverse() -> Program:
+    """Assemble the return-path program.
+
+    Declares the same maps in the same order as :func:`build`, so the two
+    programs can share one :class:`~repro.ebpf.maps.MapSet` — the pinned-
+    maps deployment where the forward pipeline installs bindings and the
+    reverse pipeline consumes them.
+    """
+    return assemble_program(
+        _REVERSE_SOURCE,
+        maps={"nat": NAT_MAP, "rnat": RNAT_MAP, "ports": PORTS_MAP},
+        name="dnat_reverse",
+    )
+
+
+def nat_key(flow: FiveTuple) -> bytes:
+    """Host-side forward-binding key (wire-byte layout)."""
+    return (
+        flow.src_ip.to_bytes(4, "big")
+        + flow.dst_ip.to_bytes(4, "big")
+        + flow.sport.to_bytes(2, "big")
+        + flow.dport.to_bytes(2, "big")
+        + bytes(4)
+    )
+
+
+def binding_for(maps: MapSet, flow: FiveTuple) -> Optional[Tuple[int, int]]:
+    """Host-side: the (new_src_ip, new_port) binding of a flow, if any.
+
+    The returned IP is a host-order integer.
+    """
+    value = maps.by_name("nat").lookup(nat_key(flow))
+    if value is None:
+        return None
+    new_ip = int.from_bytes(value[0:4], "big")  # stored as wire bytes
+    new_port = int.from_bytes(value[4:6], "little")
+    return new_ip, new_port
+
+
+def bindings_count(maps: MapSet) -> int:
+    return maps.by_name("nat").entry_count()

@@ -1,0 +1,133 @@
+"""Simple Firewall (Table 1): bidirectional connectivity check for UDP flows.
+
+Per-flow state lives in a hash map keyed by the 5-tuple. A packet is
+forwarded if its flow — in either direction — has an entry; the entry's
+packet counter is bumped with an atomic add (per-flow counters, but using
+the atomic block so the data plane never takes the flush path: Table 3
+lists the firewall as N/A for flushing). Flow entries are installed from
+the host (the control plane decides connectivity), which is the
+"host writes, data plane reads" interaction pattern of §6.
+
+Packet layout assumed: Ethernet/IPv4/UDP without VLANs. Non-UDP traffic
+is passed to the kernel (``XDP_PASS``); UDP without state is dropped.
+
+Map ``flows``: key 16 B = src_ip(4) dst_ip(4) sport(2) dport(2) pad(4),
+value 8 B packet counter. Addresses/ports are in wire order as loaded
+little-endian from the packet (the host helpers build keys identically).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from ..ebpf.asm import assemble_program
+from ..ebpf.isa import MapSpec, Program
+from ..ebpf.maps import MapSet
+from ..net.packet import FiveTuple
+
+FLOWS_MAP = MapSpec("flows", "hash", key_size=16, value_size=8, max_entries=8192)
+
+# Offsets within an Ethernet/IPv4/UDP frame.
+OFF_ETHERTYPE = 12
+OFF_PROTO = 23
+OFF_SRC_IP = 26
+OFF_DST_IP = 30
+OFF_SPORT = 34
+OFF_DPORT = 36
+
+ETH_P_IP_LE = 0x0008  # 0x0800 read little-endian
+IPPROTO_UDP = 17
+
+_SOURCE = f"""
+    ; r6 <- data, r7 <- data_end (callee-saved copies survive helper calls)
+    r7 = *(u32 *)(r1 + 4)
+    r6 = *(u32 *)(r1 + 0)
+    ; bounds: need Ethernet + IPv4 + UDP header (42 bytes)
+    r2 = r6
+    r2 += 42
+    if r2 > r7 goto pass
+    ; IPv4?
+    r2 = *(u16 *)(r6 + {OFF_ETHERTYPE})
+    if r2 != {ETH_P_IP_LE} goto pass
+    ; UDP?
+    r2 = *(u8 *)(r6 + {OFF_PROTO})
+    if r2 != {IPPROTO_UDP} goto pass
+    ; build forward key on the stack: src dst sport dport pad
+    r2 = *(u32 *)(r6 + {OFF_SRC_IP})
+    *(u32 *)(r10 - 16) = r2
+    r3 = *(u32 *)(r6 + {OFF_DST_IP})
+    *(u32 *)(r10 - 12) = r3
+    r4 = *(u16 *)(r6 + {OFF_SPORT})
+    *(u16 *)(r10 - 8) = r4
+    r5 = *(u16 *)(r6 + {OFF_DPORT})
+    *(u16 *)(r10 - 6) = r5
+    r8 = 0
+    *(u32 *)(r10 - 4) = r8
+    ; forward lookup
+    r1 = map[flows]
+    r2 = r10
+    r2 += -16
+    call 1
+    if r0 != 0 goto allow
+    ; build reverse key: dst src dport sport
+    r2 = *(u32 *)(r6 + {OFF_DST_IP})
+    *(u32 *)(r10 - 16) = r2
+    r3 = *(u32 *)(r6 + {OFF_SRC_IP})
+    *(u32 *)(r10 - 12) = r3
+    r4 = *(u16 *)(r6 + {OFF_DPORT})
+    *(u16 *)(r10 - 8) = r4
+    r5 = *(u16 *)(r6 + {OFF_SPORT})
+    *(u16 *)(r10 - 6) = r5
+    ; reverse lookup
+    r1 = map[flows]
+    r2 = r10
+    r2 += -16
+    call 1
+    if r0 != 0 goto allow
+    ; unknown UDP flow: drop
+    r0 = 1
+    exit
+allow:
+    ; bump the per-flow packet counter atomically and transmit
+    r1 = 1
+    lock *(u64 *)(r0 + 0) += r1
+    r0 = 3
+    exit
+pass:
+    r0 = 2
+    exit
+"""
+
+
+def build() -> Program:
+    """Assemble the simple firewall program."""
+    return assemble_program(_SOURCE, maps={"flows": FLOWS_MAP}, name="firewall")
+
+
+def flow_key(flow: FiveTuple) -> bytes:
+    """Host-side key builder matching the program's in-pipeline layout.
+
+    The program stores IPs/ports exactly as loaded little-endian from wire
+    order, i.e. the raw wire bytes.
+    """
+    return (
+        flow.src_ip.to_bytes(4, "big")
+        + flow.dst_ip.to_bytes(4, "big")
+        + flow.sport.to_bytes(2, "big")
+        + flow.dport.to_bytes(2, "big")
+        + bytes(4)
+    )
+
+
+def allow_flow(maps: MapSet, flow: FiveTuple) -> None:
+    """Host-side: install connectivity state for ``flow`` (one direction)."""
+    maps.by_name("flows").update(flow_key(flow), bytes(8))
+
+
+def flow_counter(maps: MapSet, flow: FiveTuple) -> Optional[int]:
+    """Host-side: read a flow's packet counter."""
+    value = maps.by_name("flows").lookup(flow_key(flow))
+    if value is None:
+        return None
+    return int.from_bytes(value, "little")

@@ -1,0 +1,118 @@
+"""ICMP echo responder — the classic stateless XDP example.
+
+Answers pings entirely in the data plane: swap the Ethernet addresses,
+swap the IPv4 addresses, turn Echo Request (type 8) into Echo Reply
+(type 0), patch the ICMP checksum incrementally (clearing the type byte
+changes one 16-bit word by exactly 0x0800), and bounce the frame with
+``XDP_TX``.
+
+Included beyond the paper's five applications as a pure packet-rewriting
+workload: no maps at all, so the generated pipeline has no eHDLmap
+blocks, no hazards, and a wide store burst — a useful contrast case for
+the resource model and the scheduler.
+
+Frame layout: Ethernet(14) + IPv4(20) + ICMP(8...). ICMP type at offset
+34, code 35, checksum 36-37.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..ebpf.asm import assemble_program
+from ..ebpf.isa import Program
+from ..net.packet import ETH_HLEN, Ethernet, IPv4, checksum16, ipv4
+
+ICMP_ECHO_REQUEST = 8
+ICMP_ECHO_REPLY = 0
+IPPROTO_ICMP = 1
+
+_SOURCE = """
+    r7 = *(u32 *)(r1 + 4)
+    r6 = *(u32 *)(r1 + 0)
+    r2 = r6
+    r2 += 42
+    if r2 > r7 goto pass
+    r2 = *(u16 *)(r6 + 12)
+    if r2 != 8 goto pass             ; IPv4 only
+    r2 = *(u8 *)(r6 + 23)
+    if r2 != 1 goto pass             ; ICMP only
+    r2 = *(u8 *)(r6 + 34)
+    if r2 != 8 goto pass             ; Echo Request only
+    ; swap Ethernet addresses
+    r2 = *(u32 *)(r6 + 0)
+    r3 = *(u16 *)(r6 + 4)
+    r4 = *(u32 *)(r6 + 6)
+    r5 = *(u16 *)(r6 + 10)
+    *(u32 *)(r6 + 0) = r4
+    *(u16 *)(r6 + 4) = r5
+    *(u32 *)(r6 + 6) = r2
+    *(u16 *)(r6 + 10) = r3
+    ; swap IPv4 addresses (the header checksum is order-independent)
+    r2 = *(u32 *)(r6 + 26)
+    r3 = *(u32 *)(r6 + 30)
+    *(u32 *)(r6 + 26) = r3
+    *(u32 *)(r6 + 30) = r2
+    ; Echo Request -> Echo Reply
+    *(u8 *)(r6 + 34) = 0
+    ; incremental ICMP checksum: the 16-bit word at offset 34 dropped by
+    ; 0x0800, so the one's-complement checksum rises by 0x0800 (RFC 1624)
+    r3 = *(u16 *)(r6 + 36)
+    r3 = be16 r3
+    r3 += 2048
+    r4 = r3
+    r4 >>= 16
+    r3 &= 65535
+    r3 += r4
+    r4 = r3
+    r4 >>= 16
+    r3 &= 65535
+    r3 += r4
+    r3 = be16 r3
+    *(u16 *)(r6 + 36) = r3
+    r0 = 3
+    exit
+pass:
+    r0 = 2
+    exit
+"""
+
+
+def build() -> Program:
+    """Assemble the echo responder."""
+    return assemble_program(_SOURCE, name="icmp_echo")
+
+
+def echo_request(
+    src_ip: str = "10.0.0.1",
+    dst_ip: str = "10.0.0.2",
+    ident: int = 0x1234,
+    seq: int = 1,
+    payload: bytes = b"ping!" * 4,
+) -> bytes:
+    """Build an Ethernet/IPv4/ICMP Echo Request frame with valid checksums."""
+    icmp_body = struct.pack(">BBHHH", ICMP_ECHO_REQUEST, 0, 0, ident, seq) + payload
+    csum = checksum16(icmp_body)
+    icmp = icmp_body[:2] + struct.pack(">H", csum) + icmp_body[4:]
+    ip = IPv4(src=ipv4(src_ip), dst=ipv4(dst_ip), proto=IPPROTO_ICMP).pack(len(icmp))
+    frame = Ethernet().pack() + ip + icmp
+    if len(frame) < 60:
+        frame += bytes(60 - len(frame))
+    return frame
+
+
+def is_valid_reply(frame: bytes, request: bytes) -> bool:
+    """Check a frame is the correct Echo Reply for ``request``."""
+    if frame[34] != ICMP_ECHO_REPLY:
+        return False
+    # addresses swapped
+    if frame[26:30] != request[30:34] or frame[30:34] != request[26:30]:
+        return False
+    if frame[0:6] != request[6:12] or frame[6:12] != request[0:6]:
+        return False
+    # ICMP checksum over the rewritten message must validate; only sum the
+    # true ICMP length (the frame may carry Ethernet padding)
+    total_len = int.from_bytes(request[16:18], "big")
+    icmp_len = total_len - 20
+    icmp = frame[34 : 34 + icmp_len]
+    return checksum16(icmp) == 0

@@ -1,0 +1,235 @@
+"""Suricata (Table 1): the XDP early-filter Suricata generates [41].
+
+Suricata uses XDP to drop (bypass) traffic of flows it has already judged
+as early as possible, before the kernel sees it. The filter parses up to
+L4, checks the flow against an ACL hash map written by the host (the
+Suricata engine), keeps aggregated per-protocol statistics in global
+counters, and passes everything unfiltered up the stack where the IDS
+process reads it via ``AF_XDP`` (§6).
+
+Maps:
+
+* ``acl``: hash, key 16 B = src(4) dst(4) sport(2) dport(2) proto(1)
+  pad(3), value 8 B: byte 0 = verdict (1 = drop/bypass), bytes 4..7
+  reserved (counters are global, below);
+* ``stats``: array[4] of u64 — total / tcp / udp / dropped counters,
+  updated with the atomic block (``use_atomic=False`` switches to the
+  RAW read-modify-write variant for the Table 3 analysis).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ebpf.asm import assemble_program
+from ..ebpf.isa import MapSpec, Program
+from ..ebpf.maps import MapSet
+from ..net.packet import FiveTuple
+
+ACL_MAP = MapSpec("acl", "hash", key_size=16, value_size=8, max_entries=8192)
+STATS_MAP = MapSpec("stats", "array", key_size=4, value_size=8, max_entries=4)
+
+STAT_TOTAL = 0
+STAT_TCP = 1
+STAT_UDP = 2
+STAT_DROPPED = 3
+
+VERDICT_DROP = 1
+
+_HEAD = """
+    r7 = *(u32 *)(r1 + 4)
+    r6 = *(u32 *)(r1 + 0)
+    r2 = r6
+    r2 += 38
+    if r2 > r7 goto pass
+    r2 = *(u16 *)(r6 + 12)
+    if r2 != 8 goto pass             ; IPv4 only (v6 handled by a twin filter)
+    ; protocol classification for the stats counters
+    r9 = 0                           ; stats key: STAT_TOTAL by default
+    r8 = *(u8 *)(r6 + 23)
+    if r8 == 6 goto tcp
+    if r8 == 17 goto udp
+    goto count_total
+tcp:
+    r9 = 1
+    goto build_key
+udp:
+    r9 = 2
+build_key:
+    ; flows with L4 ports: check the ACL
+    r2 = *(u32 *)(r6 + 26)
+    *(u32 *)(r10 - 16) = r2
+    r3 = *(u32 *)(r6 + 30)
+    *(u32 *)(r10 - 12) = r3
+    r4 = *(u16 *)(r6 + 34)
+    *(u16 *)(r10 - 8) = r4
+    r5 = *(u16 *)(r6 + 36)
+    *(u16 *)(r10 - 6) = r5
+    *(u8 *)(r10 - 4) = r8
+    r2 = 0
+    *(u8 *)(r10 - 3) = r2
+    *(u16 *)(r10 - 2) = r2
+    r1 = map[acl]
+    r2 = r10
+    r2 += -16
+    call 1
+    if r0 == 0 goto count_proto
+    r2 = *(u8 *)(r0 + 0)
+    if r2 != 1 goto count_proto
+    ; bypass verdict: count and drop
+    r9 = 3
+"""
+
+_COUNTERS_ATOMIC = """
+count_proto:
+count_total:
+    *(u32 *)(r10 - 24) = r9
+    r1 = map[stats]
+    r2 = r10
+    r2 += -24
+    call 1
+    if r0 == 0 goto verdict
+    r2 = 1
+    lock *(u64 *)(r0 + 0) += r2
+"""
+
+_COUNTERS_RMW = """
+count_proto:
+count_total:
+    *(u32 *)(r10 - 24) = r9
+    r1 = map[stats]
+    r2 = r10
+    r2 += -24
+    call 1
+    if r0 == 0 goto verdict
+    r2 = *(u64 *)(r0 + 0)
+    r2 += 1
+    *(u64 *)(r0 + 0) = r2
+"""
+
+_TAIL = """
+verdict:
+    if r9 == 3 goto drop
+pass:
+    r0 = 2
+    exit
+drop:
+    r0 = 1
+    exit
+"""
+
+
+def build(use_atomic: bool = True) -> Program:
+    """Assemble the Suricata early filter."""
+    source = _HEAD + (_COUNTERS_ATOMIC if use_atomic else _COUNTERS_RMW) + _TAIL
+    return assemble_program(
+        source,
+        maps={"acl": ACL_MAP, "stats": STATS_MAP},
+        name="suricata" if use_atomic else "suricata_rmw",
+    )
+
+
+ACL6_MAP = MapSpec("acl6", "hash", key_size=40, value_size=8, max_entries=8192)
+
+_HEAD_V6 = """
+    r7 = *(u32 *)(r1 + 4)
+    r6 = *(u32 *)(r1 + 0)
+    r2 = r6
+    r2 += 58
+    if r2 > r7 goto pass
+    r2 = *(u16 *)(r6 + 12)
+    if r2 != 56710 goto pass         ; IPv6 only (0x86DD little-endian)
+    r9 = 0
+    r8 = *(u8 *)(r6 + 20)            ; next header
+    if r8 == 6 goto tcp
+    if r8 == 17 goto udp
+    goto count_total
+tcp:
+    r9 = 1
+    goto build_key
+udp:
+    r9 = 2
+build_key:
+    ; 40-byte key: src(16) dst(16) sport(2) dport(2) proto(1) pad(3)
+    r2 = *(u64 *)(r6 + 22)
+    *(u64 *)(r10 - 40) = r2
+    r3 = *(u64 *)(r6 + 30)
+    *(u64 *)(r10 - 32) = r3
+    r4 = *(u64 *)(r6 + 38)
+    *(u64 *)(r10 - 24) = r4
+    r5 = *(u64 *)(r6 + 46)
+    *(u64 *)(r10 - 16) = r5
+    r2 = *(u16 *)(r6 + 54)
+    *(u16 *)(r10 - 8) = r2
+    r3 = *(u16 *)(r6 + 56)
+    *(u16 *)(r10 - 6) = r3
+    *(u8 *)(r10 - 4) = r8
+    r2 = 0
+    *(u8 *)(r10 - 3) = r2
+    *(u16 *)(r10 - 2) = r2
+    r1 = map[acl6]
+    r2 = r10
+    r2 += -40
+    call 1
+    if r0 == 0 goto count_proto
+    r2 = *(u8 *)(r0 + 0)
+    if r2 != 1 goto count_proto
+    r9 = 3
+"""
+
+
+def build_v6(use_atomic: bool = True) -> Program:
+    """Assemble the IPv6 twin of the early filter (the module the engine
+    loads alongside :func:`build` for dual-stack deployments)."""
+    source = _HEAD_V6 + (_COUNTERS_ATOMIC if use_atomic else _COUNTERS_RMW) + _TAIL
+    return assemble_program(
+        source,
+        maps={"acl6": ACL6_MAP, "stats": STATS_MAP},
+        name="suricata_v6" if use_atomic else "suricata_v6_rmw",
+    )
+
+
+def acl6_key(src: bytes, dst: bytes, sport: int, dport: int, proto: int) -> bytes:
+    """Host-side IPv6 ACL key (raw 16-byte addresses, wire-order ports)."""
+    if len(src) != 16 or len(dst) != 16:
+        raise ValueError("IPv6 addresses must be 16 bytes")
+    return (
+        src + dst
+        + sport.to_bytes(2, "big") + dport.to_bytes(2, "big")
+        + bytes([proto]) + bytes(3)
+    )
+
+
+def add_bypass_v6(maps: MapSet, src: bytes, dst: bytes, sport: int,
+                  dport: int, proto: int = 17) -> None:
+    """Host-side: bypass an IPv6 flow."""
+    maps.by_name("acl6").update(
+        acl6_key(src, dst, sport, dport, proto),
+        bytes([VERDICT_DROP]) + bytes(7),
+    )
+
+
+def acl_key(flow: FiveTuple) -> bytes:
+    """Host-side ACL key in the program's wire-byte layout."""
+    return (
+        flow.src_ip.to_bytes(4, "big")
+        + flow.dst_ip.to_bytes(4, "big")
+        + flow.sport.to_bytes(2, "big")
+        + flow.dport.to_bytes(2, "big")
+        + bytes([flow.proto])
+        + bytes(3)
+    )
+
+
+def add_bypass(maps: MapSet, flow: FiveTuple) -> None:
+    """Host-side (Suricata engine): bypass further packets of this flow."""
+    maps.by_name("acl").update(acl_key(flow), bytes([VERDICT_DROP]) + bytes(7))
+
+
+def stats(maps: MapSet) -> dict:
+    stats_map = maps.by_name("stats")
+    names = ["total", "tcp", "udp", "dropped"]
+    return {
+        name: int.from_bytes(stats_map.lookup(i.to_bytes(4, "little")), "little")
+        for i, name in enumerate(names)
+    }

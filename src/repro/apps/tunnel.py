@@ -1,0 +1,196 @@
+"""Tunnel (Table 1): the Linux ``xdp_tx_iptunnel`` workload.
+
+Parses up to L4, and for destinations with a configured tunnel endpoint
+encapsulates the packet IPv4-in-IPv4 (``bpf_xdp_adjust_head`` to grow the
+frame, then a freshly-built outer Ethernet + IPv4 header including the
+one's-complement header checksum computed in the data plane) and
+transmits it back out (``XDP_TX``). A global statistics counter is kept,
+atomically by default ("Both applications use global state to keep
+aggregated traffic statistics", §5).
+
+The burst of independent header stores after encapsulation is what gives
+the Tunnel its max ILP of 15 in Table 5 — eHDL grows that stage to
+whatever width the dependencies allow.
+
+Maps:
+
+* ``tunnels``: hash, key 4 B = inner dst ip (wire bytes), value 20 B =
+  outer_src(4) outer_dst(4) dst_mac(6) src_mac(6);
+* ``stats``: array[1] of u64.
+"""
+
+from __future__ import annotations
+
+from ..ebpf.asm import assemble_program
+from ..ebpf.isa import MapSpec, Program
+from ..ebpf.maps import MapSet
+
+TUNNELS_MAP = MapSpec("tunnels", "hash", key_size=4, value_size=20, max_entries=1024)
+STATS_MAP = MapSpec("stats", "array", key_size=4, value_size=8, max_entries=1)
+
+ENCAP_BYTES = 20
+
+_HEAD = """
+    r9 = r1                          ; keep the ctx for after adjust_head
+    r7 = *(u32 *)(r1 + 4)
+    r6 = *(u32 *)(r1 + 0)
+    r2 = r6
+    r2 += 34
+    if r2 > r7 goto pass
+    r2 = *(u16 *)(r6 + 12)
+    if r2 != 8 goto pass             ; not IPv4
+    ; tunnel endpoint lookup by inner destination address
+    r2 = *(u32 *)(r6 + 30)
+    *(u32 *)(r10 - 4) = r2
+    r1 = map[tunnels]
+    r2 = r10
+    r2 += -4
+    call 1
+    if r0 == 0 goto pass
+    r8 = r0
+    ; remember the inner total length (big-endian value)
+    r2 = *(u16 *)(r6 + 16)
+    r2 = be16 r2
+    r2 += 20                         ; outer header adds 20 bytes
+    *(u16 *)(r10 - 8) = r2           ; stash new total length
+    ; grow the frame by 20 bytes
+    r1 = r9
+    r2 = -20
+    call 44                          ; bpf_xdp_adjust_head(ctx, -20)
+    if r0 != 0 goto aborted
+    ; reload packet pointers (the old ones are invalidated)
+    r7 = *(u32 *)(r9 + 4)
+    r6 = *(u32 *)(r9 + 0)
+    r2 = r6
+    r2 += 54
+    if r2 > r7 goto aborted
+    ; --- outer Ethernet + IPv4 headers ---
+    ; Constant fields are stored with immediates and the copied fields use
+    ; rotating registers, so the stores are mutually independent — this is
+    ; the wide burst that gives the Tunnel its max ILP (Table 5).
+    *(u16 *)(r6 + 12) = 8            ; ethertype IPv4 (LE store of wire 08 00)
+    *(u8 *)(r6 + 14) = 69            ; 0x45 version/ihl
+    *(u8 *)(r6 + 15) = 0             ; tos
+    *(u16 *)(r6 + 18) = 0            ; identification
+    *(u16 *)(r6 + 20) = 0            ; flags/fragment
+    *(u8 *)(r6 + 22) = 64            ; ttl
+    *(u8 *)(r6 + 23) = 4             ; protocol IPIP
+    r1 = *(u32 *)(r8 + 8)            ; dst mac [0:4]
+    r2 = *(u16 *)(r8 + 12)           ; dst mac [4:6]
+    r4 = *(u32 *)(r8 + 14)           ; src mac [0:4]
+    r5 = *(u16 *)(r8 + 18)           ; src mac [4:6]
+    r9 = *(u32 *)(r8 + 0)            ; outer source address
+    r0 = *(u32 *)(r8 + 4)            ; outer destination address
+    *(u32 *)(r6 + 0) = r1
+    *(u16 *)(r6 + 4) = r2
+    *(u32 *)(r6 + 6) = r4
+    *(u16 *)(r6 + 10) = r5
+    *(u32 *)(r6 + 26) = r9
+    *(u32 *)(r6 + 30) = r0
+    r3 = *(u16 *)(r10 - 8)           ; new total length (BE value)
+    r2 = r3
+    r2 = be16 r2
+    *(u16 *)(r6 + 16) = r2
+    ; --- outer header checksum (one's complement of the 16-bit sum) ---
+    r4 = 17664                       ; 0x4500 version/ihl/tos word
+    r4 += r3                         ; + total length
+    r4 += 16388                      ; 0x4004 ttl/protocol word
+    r2 = *(u16 *)(r8 + 0)
+    r2 = be16 r2
+    r4 += r2
+    r2 = *(u16 *)(r8 + 2)
+    r2 = be16 r2
+    r4 += r2
+    r2 = *(u16 *)(r8 + 4)
+    r2 = be16 r2
+    r4 += r2
+    r2 = *(u16 *)(r8 + 6)
+    r2 = be16 r2
+    r4 += r2
+    r2 = r4
+    r2 >>= 16
+    r4 &= 65535
+    r4 += r2
+    r2 = r4
+    r2 >>= 16
+    r4 &= 65535
+    r4 += r2
+    r4 ^= 65535
+    r4 = be16 r4
+    *(u16 *)(r6 + 24) = r4
+"""
+
+_STATS_ATOMIC = """
+    r2 = 0
+    *(u32 *)(r10 - 16) = r2
+    r1 = map[stats]
+    r2 = r10
+    r2 += -16
+    call 1
+    if r0 == 0 goto send
+    r2 = 1
+    lock *(u64 *)(r0 + 0) += r2
+"""
+
+_STATS_RMW = """
+    r2 = 0
+    *(u32 *)(r10 - 16) = r2
+    r1 = map[stats]
+    r2 = r10
+    r2 += -16
+    call 1
+    if r0 == 0 goto send
+    r2 = *(u64 *)(r0 + 0)
+    r2 += 1
+    *(u64 *)(r0 + 0) = r2
+"""
+
+_TAIL = """
+send:
+    r0 = 3
+    exit
+aborted:
+    r0 = 0
+    exit
+pass:
+    r0 = 2
+    exit
+"""
+
+
+def build(use_atomic: bool = True) -> Program:
+    """Assemble the tunnel; ``use_atomic=False`` is the Table 3 variant."""
+    source = _HEAD + (_STATS_ATOMIC if use_atomic else _STATS_RMW) + _TAIL
+    return assemble_program(
+        source,
+        maps={"tunnels": TUNNELS_MAP, "stats": STATS_MAP},
+        name="tunnel" if use_atomic else "tunnel_rmw",
+    )
+
+
+def tunnel_key(inner_dst_ip: int) -> bytes:
+    """Key = the destination address's wire bytes (little-endian load)."""
+    return inner_dst_ip.to_bytes(4, "big")
+
+
+def add_tunnel(
+    maps: MapSet,
+    inner_dst_ip: int,
+    outer_src_ip: int,
+    outer_dst_ip: int,
+    dst_mac: bytes,
+    src_mac: bytes,
+) -> None:
+    """Host-side: configure encapsulation for an inner destination."""
+    value = (
+        outer_src_ip.to_bytes(4, "big")
+        + outer_dst_ip.to_bytes(4, "big")
+        + dst_mac
+        + src_mac
+    )
+    maps.by_name("tunnels").update(tunnel_key(inner_dst_ip), value)
+
+
+def encapsulated_count(maps: MapSet) -> int:
+    value = maps.by_name("stats").lookup(bytes(4))
+    return int.from_bytes(value, "little")

@@ -1,0 +1,23 @@
+"""Comparison systems: hXDP, NVIDIA Bluefield2, Xilinx SDNet (P4/PISA)."""
+
+from .bluefield import BluefieldReport, model_bluefield
+from .hxdp import HxdpReport, compile_for_hxdp
+from .sdnet import (
+    P4Program,
+    P4_PORTS,
+    SdnetCompiler,
+    SdnetPipeline,
+    SdnetUnsupportedError,
+)
+
+__all__ = [
+    "BluefieldReport",
+    "HxdpReport",
+    "P4Program",
+    "P4_PORTS",
+    "SdnetCompiler",
+    "SdnetPipeline",
+    "SdnetUnsupportedError",
+    "compile_for_hxdp",
+    "model_bluefield",
+]

@@ -1,0 +1,219 @@
+"""Command-line interface: the eHDL toolchain as a tool.
+
+Mirrors the workflow in §5.5 — "eHDL starts from the eBPF bytecode …
+and generates the firmware ready to be loaded":
+
+.. code-block:: sh
+
+    python -m repro compile  prog.ebpf -o prog.vhd   # bytecode -> VHDL
+    python -m repro stats    prog.ebpf               # pipeline report
+    python -m repro disasm   prog.bin                # raw bytecode -> text
+    python -m repro simulate prog.ebpf --packets 2000 --flows 100
+
+Input files are either verifier-syntax text (with ``.map`` directives for
+the program's maps) or raw binary bytecode (8-byte slots, as the kernel
+would receive it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Optional
+
+from .analysis import analyze_pipeline
+from .core import CompileOptions, compile_program, hazard_summary
+from .core.resources import estimate_resources
+from .core.vhdl import emit_vhdl
+from .ebpf.asm import assemble_program
+from .ebpf.disasm import disassemble
+from .ebpf.isa import Program
+from .ebpf.maps import MapSet
+from .hwsim import NicSystem
+from .net.flows import TrafficGenerator, TrafficSpec
+
+
+def load_program(path: str) -> Program:
+    """Load a program from verifier-syntax text or raw binary bytecode."""
+    data = pathlib.Path(path).read_bytes()
+    name = pathlib.Path(path).stem
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError:
+        return Program.from_bytes(data, name=name)
+    if any(ch in text for ch in ("=", "exit", "goto")):
+        return assemble_program(text, name=name)
+    return Program.from_bytes(data, name=name)
+
+
+def _options_from_args(args: argparse.Namespace) -> CompileOptions:
+    return CompileOptions(
+        frame_size=args.frame_size,
+        enable_ilp=not args.no_ilp,
+        enable_fusion=not args.no_fusion,
+        enable_pruning=not args.no_pruning,
+        elide_bounds_checks=not args.keep_bounds_checks,
+    )
+
+
+def _add_compile_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("program", help="program file (.ebpf text or raw bytecode)")
+    parser.add_argument("--frame-size", type=int, default=64,
+                        help="packet frame size in bytes (default 64)")
+    parser.add_argument("--no-ilp", action="store_true",
+                        help="disable instruction-level parallelism")
+    parser.add_argument("--no-fusion", action="store_true",
+                        help="disable instruction fusion")
+    parser.add_argument("--no-pruning", action="store_true",
+                        help="disable state pruning (the §5.4 ablation)")
+    parser.add_argument("--keep-bounds-checks", action="store_true",
+                        help="do not elide verifier bounds checks")
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    program = load_program(args.program)
+    pipeline = compile_program(program, _options_from_args(args))
+    vhdl = emit_vhdl(pipeline)
+    if args.output:
+        pathlib.Path(args.output).write_text(vhdl)
+        print(f"wrote {len(vhdl.splitlines())} lines of VHDL to {args.output}")
+    else:
+        print(vhdl)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    program = load_program(args.program)
+    pipeline = compile_program(program, _options_from_args(args))
+    print(pipeline.summary())
+    print()
+    print(f"instructions: {len(program.instructions)} in, "
+          f"{pipeline.n_instructions} scheduled "
+          f"({pipeline.elided_bounds_checks} bounds checks elided, "
+          f"{pipeline.dce_removed} dead removed, "
+          f"{pipeline.loops_unrolled} loops unrolled)")
+    print(f"ILP: max {pipeline.max_ilp}, avg {pipeline.avg_ilp:.2f}")
+    print(f"max per-stage state: {pipeline.max_state_bytes} B")
+    print(hazard_summary(pipeline))
+    print(f"resources (Alveo U50, incl. Corundum): "
+          f"{estimate_resources(pipeline).summary()}")
+    analysis = analyze_pipeline(pipeline)
+    print(f"flush analysis @50k Zipfian flows: {analysis.row()}")
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    program = load_program(args.program)
+    print(disassemble(program.instructions))
+    return 0
+
+
+def cmd_model(args: argparse.Namespace) -> int:
+    program = load_program(args.program)
+    pipeline = compile_program(program, _options_from_args(args))
+    print(f"pipeline: {pipeline.n_stages} stages")
+    print(hazard_summary(pipeline))
+    print()
+    print(f"{'flows':>10s}  {'P_f (zipf)':>10s}  {'T_p (Mpps)':>10s}")
+    for n_flows in (1_000, 10_000, 50_000, 100_000, 1_000_000):
+        analysis = analyze_pipeline(pipeline, n_flows=n_flows)
+        if not analysis.applicable:
+            print(f"{n_flows:>10,d}  {'n/a':>10s}  {'250 (no hazard)':>10s}")
+            continue
+        print(f"{n_flows:>10,d}  {analysis.p_flush:>10.4f}  "
+              f"{analysis.throughput_mpps:>10.1f}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .hwsim import OccupancyTracer, PipelineSimulator, render_occupancy
+    from .hwsim.sim import SimOptions
+
+    program = load_program(args.program)
+    pipeline = compile_program(program, _options_from_args(args))
+    maps = MapSet(program.maps)
+    sim = PipelineSimulator(pipeline, maps=maps, options=SimOptions())
+    tracer = OccupancyTracer(max_cycles=args.cycles)
+    sim.observer = tracer
+    gen = TrafficGenerator(TrafficSpec(n_flows=args.flows,
+                                       packet_size=args.packet_size))
+    sim.run_packets(list(gen.packets(args.packets)))
+    print(render_occupancy(tracer, last_cycle=args.cycles,
+                           max_stages=args.stages))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    program = load_program(args.program)
+    pipeline = compile_program(program, _options_from_args(args))
+    maps = MapSet(program.maps)
+    nic = NicSystem(pipeline, maps=maps)
+    gen = TrafficGenerator(TrafficSpec(
+        n_flows=args.flows, packet_size=args.packet_size, seed=args.seed,
+        distribution=args.distribution,
+    ))
+    frames = list(gen.packets(args.packets))
+    if args.rate_mpps:
+        report = nic.run_at_rate(frames, args.rate_mpps)
+    else:
+        report = nic.run_at_line_rate(frames)
+    print(report.summary())
+    print(f"forwarding latency: {nic.forwarding_latency_ns(report):.0f} ns")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="eHDL (reproduction): eBPF/XDP-to-hardware compiler",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="generate VHDL")
+    _add_compile_flags(p_compile)
+    p_compile.add_argument("-o", "--output", help="output .vhd path")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_stats = sub.add_parser("stats", help="pipeline/resource report")
+    _add_compile_flags(p_stats)
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_disasm = sub.add_parser("disasm", help="disassemble bytecode")
+    p_disasm.add_argument("program")
+    p_disasm.set_defaults(func=cmd_disasm)
+
+    p_sim = sub.add_parser("simulate", help="run traffic through the pipeline")
+    _add_compile_flags(p_sim)
+    p_sim.add_argument("--packets", type=int, default=2000)
+    p_sim.add_argument("--flows", type=int, default=100)
+    p_sim.add_argument("--packet-size", type=int, default=64)
+    p_sim.add_argument("--seed", type=int, default=1)
+    p_sim.add_argument("--distribution", choices=["uniform", "zipf"],
+                       default="uniform")
+    p_sim.add_argument("--rate-mpps", type=float, default=None,
+                       help="offered rate (default: line rate)")
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_model = sub.add_parser("model", help="analytical flush model (A.1)")
+    _add_compile_flags(p_model)
+    p_model.set_defaults(func=cmd_model)
+
+    p_trace = sub.add_parser("trace", help="render the pipeline timeline")
+    _add_compile_flags(p_trace)
+    p_trace.add_argument("--packets", type=int, default=20)
+    p_trace.add_argument("--flows", type=int, default=4)
+    p_trace.add_argument("--packet-size", type=int, default=64)
+    p_trace.add_argument("--cycles", type=int, default=40)
+    p_trace.add_argument("--stages", type=int, default=24)
+    p_trace.set_defaults(func=cmd_trace)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

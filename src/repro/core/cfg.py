@@ -1,0 +1,174 @@
+"""Control-flow graph construction.
+
+First step of eHDL's program analysis (§3.1): split the instruction stream
+into basic blocks, record taken/fall-through edges, and compute the
+topological (reverse-post) order that the pipeline layout follows. eBPF
+programs are DAGs after bounded-loop unrolling (§3.5: "all backward jumps
+are replaced with forward jumps"), so a cycle here is a compile error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..ebpf.isa import Instruction, Program
+
+
+class CfgError(ValueError):
+    """Raised on malformed control flow (cycles, bad targets)."""
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence.
+
+    ``start``/``end`` are instruction indices into the program
+    (``end`` exclusive). ``succs`` lists (block_id, edge_kind) pairs where
+    edge_kind is ``"taken"``, ``"fall"`` or ``"jump"`` (unconditional).
+    """
+
+    block_id: int
+    start: int
+    end: int
+    succs: List[Tuple[int, str]] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def indices(self) -> range:
+        return range(self.start, self.end)
+
+    @property
+    def terminator_index(self) -> int:
+        return self.end - 1
+
+
+@dataclass
+class Cfg:
+    """The control-flow graph of one program."""
+
+    program: Program
+    blocks: List[BasicBlock]
+    block_of_insn: List[int]  # instruction index -> block id
+    topo_order: List[int]  # block ids in topological order
+
+    def block(self, block_id: int) -> BasicBlock:
+        return self.blocks[block_id]
+
+    def block_for(self, insn_index: int) -> BasicBlock:
+        return self.blocks[self.block_of_insn[insn_index]]
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def blocks_in_topo_order(self) -> Iterator[BasicBlock]:
+        for block_id in self.topo_order:
+            yield self.blocks[block_id]
+
+    def edge_kind(self, src_id: int, dst_id: int) -> str:
+        for succ, kind in self.blocks[src_id].succs:
+            if succ == dst_id:
+                return kind
+        raise CfgError(f"no edge {src_id} -> {dst_id}")
+
+
+def build_cfg(program: Program) -> Cfg:
+    """Build the CFG; raises :class:`CfgError` on cycles or bad targets."""
+    n = len(program.instructions)
+    leaders: Set[int] = {0}
+    targets: Dict[int, int] = {}  # jump insn index -> target insn index
+
+    for index, insn in enumerate(program.instructions):
+        if insn.is_jump:
+            target = program.jump_target_index(index)
+            if not 0 <= target < n:
+                raise CfgError(f"insn {index}: jump target {target} out of range")
+            targets[index] = target
+            leaders.add(target)
+            if index + 1 < n:
+                leaders.add(index + 1)
+        elif insn.is_exit and index + 1 < n:
+            leaders.add(index + 1)
+
+    ordered_leaders = sorted(leaders)
+    blocks: List[BasicBlock] = []
+    block_of_insn = [0] * n
+    for block_id, start in enumerate(ordered_leaders):
+        end = ordered_leaders[block_id + 1] if block_id + 1 < len(ordered_leaders) else n
+        blocks.append(BasicBlock(block_id, start, end))
+        for i in range(start, end):
+            block_of_insn[i] = block_id
+
+    id_of_leader = {b.start: b.block_id for b in blocks}
+    for b in blocks:
+        last = program.instructions[b.terminator_index]
+        if last.is_exit:
+            continue
+        if last.is_uncond_jump:
+            b.succs.append((id_of_leader[targets[b.terminator_index]], "jump"))
+        elif last.is_cond_jump:
+            b.succs.append((id_of_leader[targets[b.terminator_index]], "taken"))
+            if b.end < n:
+                b.succs.append((id_of_leader[b.end], "fall"))
+            else:
+                raise CfgError(
+                    f"block {b.block_id}: conditional branch falls off the end"
+                )
+        else:
+            if b.end < n:
+                b.succs.append((id_of_leader[b.end], "fall"))
+            else:
+                raise CfgError(f"block {b.block_id}: control falls off the end")
+        for succ, _kind in b.succs:
+            blocks[succ].preds.append(b.block_id)
+
+    topo = _topological_order(blocks)
+    return Cfg(program, blocks, block_of_insn, topo)
+
+
+def _topological_order(blocks: List[BasicBlock]) -> List[int]:
+    """Kahn's algorithm; raises on cycles. Ties are broken by block id so
+    the order matches source order for structured programs."""
+    indegree = {b.block_id: 0 for b in blocks}
+    for b in blocks:
+        for succ, _ in b.succs:
+            indegree[succ] += 1
+    # Unreachable blocks (indegree 0, not entry) are still emitted, after
+    # reachable ones, so downstream passes can drop them explicitly.
+    ready = sorted(bid for bid, deg in indegree.items() if deg == 0)
+    order: List[int] = []
+    while ready:
+        bid = ready.pop(0)
+        order.append(bid)
+        for succ, _ in blocks[bid].succs:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                # insert keeping ready sorted (small graphs; O(n) fine)
+                lo = 0
+                while lo < len(ready) and ready[lo] < succ:
+                    lo += 1
+                ready.insert(lo, succ)
+    if len(order) != len(blocks):
+        cyclic = sorted(set(indegree) - set(order))
+        raise CfgError(
+            f"control-flow cycle involving blocks {cyclic}; "
+            "run bounded-loop unrolling first"
+        )
+    return order
+
+
+def reachable_blocks(cfg: Cfg) -> Set[int]:
+    """Blocks reachable from the entry."""
+    seen: Set[int] = set()
+    stack = [0]
+    while stack:
+        bid = stack.pop()
+        if bid in seen:
+            continue
+        seen.add(bid)
+        for succ, _ in cfg.blocks[bid].succs:
+            stack.append(succ)
+    return seen

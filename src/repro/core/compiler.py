@@ -1,0 +1,198 @@
+"""The eHDL compiler: eBPF bytecode in, hardware pipeline out.
+
+Orchestrates every pass in the order the paper describes (§3, §4):
+
+1. verify the input program (kernel-verifier-style checks),
+2. bytecode transforms: bounds-check elision + dead-code elimination,
+3. program analysis: CFG, memory-region labeling, data-dependency graph,
+4. parallelization with instruction fusion (the schedule),
+5. stage assembly with helper-latency stages,
+6. packet framing (NOP insertion, bypass planning),
+7. map hazard planning (WAR buffers, flush blocks, atomics),
+8. state pruning (per-stage live registers/stack).
+
+The result — a :class:`~repro.core.pipeline.Pipeline` — can be simulated
+(:mod:`repro.hwsim`), rendered to VHDL (:mod:`repro.core.vhdl`) or costed
+(:mod:`repro.core.resources`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Set
+
+from ..ebpf.isa import Program
+from ..ebpf.verifier import RegKind, verify
+from .cfg import build_cfg
+from .ddg import build_ddg
+from .framing import (
+    DEFAULT_DYNAMIC_ACCESS_DEPTH,
+    DEFAULT_FRAME_SIZE,
+    apply_framing,
+)
+from .hazards import plan_hazards
+from .labeling import ProgramLabels, Region, label_program
+from .pipeline import PipeOp, Pipeline, Stage, assemble_stages
+from .pruning import apply_pruning
+from .loops import unroll_loops
+from .scheduler import SchedulerOptions, schedule_program
+from .transform import dead_code_elimination, elide_bounds_checks
+
+
+@dataclass
+class CompileOptions:
+    """Compiler knobs; defaults match the paper's evaluated configuration.
+
+    The ablation benchmarks flip individual flags: ``enable_pruning=False``
+    reproduces §5.4, ``enable_ilp=False`` measures the schedule-depth win,
+    ``frame_size`` sweeps the framing trade-off.
+    """
+
+    frame_size: int = DEFAULT_FRAME_SIZE
+    dynamic_access_depth: int = DEFAULT_DYNAMIC_ACCESS_DEPTH
+    enable_ilp: bool = True
+    enable_fusion: bool = True
+    max_fuse_chain: int = 2
+    enable_pruning: bool = True
+    elide_bounds_checks: bool = True
+    dead_code_elimination: bool = True
+    elide_ctx_loads: bool = True
+    unroll_loops: bool = True
+    max_row_width: Optional[int] = None
+    clock_mhz: float = 250.0  # pipeline clock (matches the 100 Gbps shell)
+    flush_reload_overhead: int = 4  # cycles to refill after a flush (A.1)
+
+
+class CompileError(ValueError):
+    """Raised when a program cannot be compiled to a pipeline."""
+
+
+def compile_program(
+    program: Program, options: Optional[CompileOptions] = None
+) -> Pipeline:
+    """Compile an eBPF/XDP program into a hardware pipeline."""
+    options = options or CompileOptions()
+    original = program
+
+    # 0. Bounded loops are unrolled so the pipeline is strictly forward
+    # feeding (§2.2, §3.5); unbounded loops raise LoopError here.
+    unrolled = 0
+    if options.unroll_loops:
+        program, loop_report = unroll_loops(program)
+        unrolled = loop_report.loops_unrolled
+
+    # 1. The input must be a valid (DAG-shaped) eBPF program.
+    verify(program)
+
+    # 2. Bytecode transforms.
+    elided = 0
+    dce_removed = 0
+    entry_checks = ()
+    if options.elide_bounds_checks:
+        program, report = elide_bounds_checks(program)
+        elided = len(report.elided_branches)
+        entry_checks = tuple(
+            (check.min_len, check.action) for check in report.entry_checks
+        )
+    if options.dead_code_elimination:
+        program, dce_removed = dead_code_elimination(program)
+
+    # 3. Analysis.
+    vres = verify(program)
+    labels = label_program(program, vres)
+    cfg = build_cfg(program)
+    ddg = build_ddg(cfg, labels)
+
+    # Ctx loads in the entry block become "entry ops": the hardware wires
+    # packet pointers/metadata directly into the first stage, so they cost
+    # no stage (Figure 8 omits Listing 2's instructions 0-1).
+    entry_op_indices: Set[int] = set()
+    if options.elide_ctx_loads:
+        entry_block = cfg.entry
+        for i in entry_block.indices():
+            label = labels.label_for(i)
+            insn = program.instructions[i]
+            if insn.is_mem_load and label is not None and label.region is Region.CTX:
+                entry_op_indices.add(i)
+
+    # 4. Parallel schedule.
+    sched_options = SchedulerOptions(
+        enable_ilp=options.enable_ilp,
+        enable_fusion=options.enable_fusion,
+        max_fuse_chain=options.max_fuse_chain,
+        max_row_width=options.max_row_width,
+    )
+    schedule = schedule_program(cfg, ddg, labels, sched_options, entry_op_indices)
+
+    # 5. Stage assembly.
+    stages = assemble_stages(program, cfg, labels, schedule)
+
+    # 6. Packet framing.
+    apply_framing(stages, options.frame_size, options.dynamic_access_depth)
+
+    # 7. Map hazard machinery.
+    map_hazards = plan_hazards(stages)
+
+    entry_ops = [
+        PipeOp(
+            insn_index=i,
+            insn=program.instructions[i],
+            block_id=cfg.entry.block_id,
+            label=labels.label_for(i),
+            call=labels.call_for(i),
+        )
+        for i in sorted(entry_op_indices)
+    ]
+
+    # 8. State pruning.
+    apply_pruning(
+        stages,
+        enabled=options.enable_pruning,
+        program=program,
+        labels=labels,
+        entry_ops=entry_ops,
+    )
+
+    return Pipeline(
+        program=program,
+        original_program=original,
+        cfg=cfg,
+        labels=labels,
+        ddg=ddg,
+        schedule=schedule,
+        stages=stages,
+        entry_ops=entry_ops,
+        map_hazards=map_hazards,
+        frame_size=options.frame_size,
+        name=program.name,
+        elided_bounds_checks=elided,
+        dce_removed=dce_removed,
+        entry_checks=entry_checks,
+        loops_unrolled=unrolled,
+    )
+
+
+class EhdlCompiler:
+    """Object-style facade over :func:`compile_program`, carrying options.
+
+    Mirrors the command-line tool's role in the paper: "eHDL starts from
+    the eBPF bytecode … and generates the firmware ready to be loaded"
+    (§5.5). ``compile``/``to_vhdl``/``estimate_resources`` correspond to
+    the pipeline-generation, HDL-emission and synthesis-report steps.
+    """
+
+    def __init__(self, options: Optional[CompileOptions] = None) -> None:
+        self.options = options or CompileOptions()
+
+    def compile(self, program: Program) -> Pipeline:
+        return compile_program(program, self.options)
+
+    def to_vhdl(self, program: Program) -> str:
+        from .vhdl import emit_vhdl
+
+        return emit_vhdl(self.compile(program))
+
+    def estimate_resources(self, program: Program, include_shell: bool = True):
+        from .resources import estimate_resources
+
+        return estimate_resources(self.compile(program), include_shell=include_shell)

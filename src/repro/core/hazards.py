@@ -1,0 +1,114 @@
+"""Map consistency planning (§4.1).
+
+Maps are the only state shared between in-flight packets, so they are the
+only source of hazards in the pipeline. This pass scans the assembled
+stages for map accesses and instantiates, per map:
+
+* **WAR protection** (Figure 6): when a write stage precedes a read stage,
+  writes are delayed in a buffer sized to the write→read distance so an
+  older packet's late read still sees pre-write data;
+* **Flush Evaluation Blocks** (Figure 7): when a read stage precedes a
+  write stage (the lookup-then-update pattern), a RAW hazard window of
+  ``L`` stages exists; one flush block is instantiated *per write
+  instruction* (§4.1.3), each squashing ``K`` stages on a hit;
+* **Atomic blocks**: ``lock`` instructions on map memory execute
+  read-modify-write in place at the map port and need no hazard handling
+  — the global-state strategy of §4.1.2.
+
+The resulting :class:`MapHazardPlan` objects drive both the simulator's
+hazard machinery and the analytical model of Appendix A.1 (each flush
+block contributes its (K, L) pair to Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .labeling import Region
+from .pipeline import FlushBlock, MapHazardPlan, Pipeline, Stage, StageKind
+
+
+def plan_hazards(stages: List[Stage]) -> Dict[int, MapHazardPlan]:
+    """Build per-map hazard plans from the staged map accesses."""
+    plans: Dict[int, MapHazardPlan] = {}
+
+    def plan_for(fd: int) -> MapHazardPlan:
+        if fd not in plans:
+            plans[fd] = MapHazardPlan(map_fd=fd)
+        return plans[fd]
+
+    for stage in stages:
+        for op in stage.ops:
+            fd = None
+            is_read = False
+            is_write = False
+            is_atomic = False
+            if op.call is not None and op.call.map_fd is not None:
+                fd = op.call.map_fd
+                is_read = op.call.is_map_read
+                is_write = op.call.is_map_write
+            elif op.label is not None and op.label.region is Region.MAP_VALUE:
+                fd = op.label.map_fd
+                if op.label.is_atomic:
+                    is_atomic = True
+                elif op.label.is_write:
+                    is_write = True
+                else:
+                    is_read = True
+            if fd is None:
+                continue
+            plan = plan_for(fd)
+            if is_atomic:
+                plan.atomic_stages.append(stage.number)
+            if is_read:
+                plan.read_stages.append(stage.number)
+            if is_write:
+                plan.write_stages.append(stage.number)
+
+    for plan in plans.values():
+        plan.read_stages.sort()
+        plan.write_stages.sort()
+        plan.atomic_stages.sort()
+        # WAR buffers: writes landing before the last read stage must be
+        # delayed until that read is finalised (§4.1.1). The buffer is
+        # "long enough to enable the last pipeline stage that requests a
+        # read to actually perform a read on the previous value".
+        if plan.read_stages and plan.write_stages:
+            last_read = plan.read_stages[-1]
+            early_writes = [w for w in plan.write_stages if w < last_read]
+            if early_writes:
+                plan.war_buffer_depth = last_read - min(early_writes)
+        # Flush blocks: one per map-write instruction downstream of a read
+        # (§4.1.3: "a Flush Evaluation Block for every single map write").
+        for w in plan.write_stages:
+            earlier_reads = [r for r in plan.read_stages if r < w]
+            if earlier_reads:
+                plan.flush_blocks.append(
+                    FlushBlock(plan.map_fd, read_stage=min(earlier_reads),
+                               write_stage=w)
+                )
+        # Memory channels: distinct stages touching the map need parallel
+        # ports; "in all the examined use cases at most two memory channels
+        # to the same map were needed" (§4.1).
+        touching = sorted(
+            set(plan.read_stages) | set(plan.write_stages) | set(plan.atomic_stages)
+        )
+        plan.channels = max(1, min(len(touching), 2))
+    return plans
+
+
+def hazard_summary(pipeline: Pipeline) -> str:
+    """One line per map: the (K, L) pairs Table 3 reports."""
+    lines = []
+    for fd, plan in sorted(pipeline.map_hazards.items()):
+        spec = pipeline.program.maps.get(fd)
+        name = spec.name if spec else f"fd{fd}"
+        parts = [f"map {name}: reads@{plan.read_stages} writes@{plan.write_stages}"]
+        if plan.uses_atomic:
+            parts.append(f"atomic@{plan.atomic_stages}")
+        if plan.war_buffer_depth:
+            parts.append(f"WAR buffer depth {plan.war_buffer_depth}")
+        for fb in plan.flush_blocks:
+            parts.append(f"flush block L={fb.L} K={fb.K()}")
+        lines.append("  ".join(parts))
+    return "\n".join(lines) if lines else "no maps"

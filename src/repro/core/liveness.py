@@ -1,0 +1,129 @@
+"""CFG-level liveness analyses shared by pruning and dead-code elimination.
+
+Pruning cannot reason per-stage alone: a write inside a *predicated* block
+(disabled for some packets) must not kill a value other control paths
+still need. These analyses run classic backward dataflow over the
+program's real control flow, producing per-instruction live-in sets that
+the stage-level passes then project onto pipeline boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ebpf import isa
+from ..ebpf.helpers import helper_spec
+from ..ebpf.isa import Instruction, Program
+from ..ebpf.xdp import AddressSpace
+from .labeling import ProgramLabels, Region
+
+STACK_SIZE = AddressSpace.STACK_SIZE
+
+
+def successors(program: Program) -> List[List[int]]:
+    """Instruction-level successor lists."""
+    n = len(program.instructions)
+    succs: List[List[int]] = [[] for _ in range(n)]
+    for index, insn in enumerate(program.instructions):
+        if insn.is_exit:
+            continue
+        if insn.is_uncond_jump:
+            succs[index].append(program.jump_target_index(index))
+        elif insn.is_cond_jump:
+            succs[index].append(program.jump_target_index(index))
+            if index + 1 < n:
+                succs[index].append(index + 1)
+        elif index + 1 < n:
+            succs[index].append(index + 1)
+    return succs
+
+
+def regs_read(insn: Instruction) -> Tuple[int, ...]:
+    """Register read set with helper calls refined to their arity."""
+    if insn.is_call:
+        return tuple(range(isa.R1, isa.R1 + helper_spec(insn.imm).nargs))
+    return insn.regs_read()
+
+
+def reg_liveness(program: Program) -> Tuple[List[Set[int]], List[Set[int]]]:
+    """Per-instruction (live_in, live_out) register sets."""
+    n = len(program.instructions)
+    succs = successors(program)
+    live_in: List[Set[int]] = [set() for _ in range(n)]
+    live_out: List[Set[int]] = [set() for _ in range(n)]
+    changed = True
+    while changed:
+        changed = False
+        for index in range(n - 1, -1, -1):
+            insn = program.instructions[index]
+            out: Set[int] = set()
+            for s in succs[index]:
+                out |= live_in[s]
+            gen = set(regs_read(insn))
+            kill = set(insn.regs_written())
+            new_in = gen | (out - kill)
+            if out != live_out[index] or new_in != live_in[index]:
+                live_out[index] = out
+                live_in[index] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def _stack_effects(
+    index: int, insn: Instruction, labels: ProgramLabels
+) -> Tuple[Set[int], Set[int]]:
+    """(gen bytes, kill bytes) of one instruction on the stack.
+
+    Offsets are negative, relative to R10. Unknown-offset accesses read
+    everything and kill nothing (conservative).
+    """
+    gen: Set[int] = set()
+    kill: Set[int] = set()
+    label = labels.label_for(index)
+    if label is not None and label.region is Region.STACK:
+        if label.offset is None:
+            gen |= set(range(-STACK_SIZE, 0))
+        else:
+            byte_range = set(range(label.offset, label.offset + label.size))
+            if label.is_atomic:
+                gen |= byte_range
+                kill |= byte_range
+            elif label.is_write:
+                kill |= byte_range
+            else:
+                gen |= byte_range
+    call = labels.call_for(index)
+    if call is not None:
+        spec = helper_spec(call.helper_id)
+        if spec.reads_stack:
+            if call.key_stack_offset is not None and call.key_size:
+                gen |= set(
+                    range(call.key_stack_offset,
+                          call.key_stack_offset + call.key_size)
+                )
+            else:
+                gen |= set(range(-STACK_SIZE, 0))
+    return gen, kill
+
+
+def stack_liveness(program: Program, labels: ProgramLabels) -> List[Set[int]]:
+    """Per-instruction live-in stack *bytes* (negative offsets from R10)."""
+    n = len(program.instructions)
+    succs = successors(program)
+    live_in: List[Set[int]] = [set() for _ in range(n)]
+    effects = [
+        _stack_effects(i, program.instructions[i], labels) for i in range(n)
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for index in range(n - 1, -1, -1):
+            out: Set[int] = set()
+            for s in succs[index]:
+                out |= live_in[s]
+            gen, kill = effects[index]
+            new_in = gen | (out - kill)
+            if new_in != live_in[index]:
+                live_in[index] = new_in
+                changed = True
+    return live_in

@@ -1,0 +1,247 @@
+"""Bounded-loop unrolling.
+
+eBPF programs are time-bounded: "the number of loops is given at compile
+time. In this way backward branches are only allowed in bounded loops so
+that they can be unrolled in a hardware pipeline" (§2.2); after this pass
+"all backward jumps are replaced with forward jumps, in order to ensure
+that the entire program can be described as a strictly forward-feeding
+pipeline" (§3.5).
+
+The pass recognises the canonical counted do-while shape clang emits for
+``#pragma unroll``-able loops:
+
+* a conditional backward branch (the latch) whose target (the header)
+  precedes it,
+* a contiguous body ``[header .. latch]``,
+* a single induction register updated exactly once per iteration by a
+  constant ``+=``/``-=`` and compared against a constant at the latch,
+* an induction start value from a dominating constant move.
+
+The trip count is computed by evaluating the recurrence; the body is then
+replicated trip-count times with the latch branches removed and any jumps
+leaving the body re-offset. Loops whose bound cannot be established are
+rejected — exactly the programs the kernel verifier would refuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..ebpf import isa
+from ..ebpf.isa import MASK64, Instruction, Program, to_signed32
+from ..ebpf.vm import Vm
+
+MAX_TRIP_COUNT = 4096  # safety bound; real bounded loops are far smaller
+MAX_LOOPS = 64
+
+
+class LoopError(ValueError):
+    """Raised when a backward branch is not a recognisable bounded loop."""
+
+
+@dataclass
+class UnrollReport:
+    """What the pass did."""
+
+    loops_unrolled: int = 0
+    total_trip_count: int = 0
+
+
+@dataclass
+class _Loop:
+    header: int  # instruction index of the first body instruction
+    latch: int  # instruction index of the backward conditional branch
+    induction_reg: int
+    step: int  # signed per-iteration delta
+    init_value: int
+    trip_count: int
+
+    @property
+    def body(self) -> range:
+        return range(self.header, self.latch + 1)
+
+
+def find_backward_branch(program: Program) -> Optional[int]:
+    """Index of the first backward jump, or None."""
+    for index, insn in enumerate(program.instructions):
+        if insn.is_jump and program.jump_target_index(index) <= index:
+            return index
+    return None
+
+
+def _analyze_loop(program: Program, latch: int) -> _Loop:
+    insns = program.instructions
+    branch = insns[latch]
+    if not branch.is_cond_jump:
+        raise LoopError(
+            f"insn {latch}: unconditional backward jump is an unbounded loop"
+        )
+    if branch.uses_reg_src:
+        raise LoopError(
+            f"insn {latch}: loop condition must compare against a constant"
+        )
+    header = program.jump_target_index(latch)
+    reg = branch.dst
+    # no other branches may enter or leave-and-reenter weirdly; we require
+    # jumps inside the body to stay inside or go strictly forward past it
+    for i in range(header, latch):
+        insn = insns[i]
+        if insn.is_exit:
+            continue
+        if insn.is_jump:
+            target = program.jump_target_index(i)
+            if target < header:
+                raise LoopError(f"insn {i}: nested backward jump inside loop body")
+    # exactly one constant-step update of the induction register
+    step: Optional[int] = None
+    for i in range(header, latch):
+        insn = insns[i]
+        if reg in insn.regs_written():
+            if (
+                insn.is_alu
+                and insn.is_alu64
+                and not insn.uses_reg_src
+                and insn.op in (isa.BPF_ADD, isa.BPF_SUB)
+                and step is None
+            ):
+                delta = to_signed32(insn.imm)
+                step = delta if insn.op == isa.BPF_ADD else -delta
+            else:
+                raise LoopError(
+                    f"insn {i}: induction register r{reg} updated "
+                    "in an unsupported way"
+                )
+    if step is None or step == 0:
+        raise LoopError(f"loop at {header}: no constant induction step for r{reg}")
+    # Initial value: the last constant definition on the fall-through path
+    # into the header. Conditional branches in between are fine as long as
+    # no jump elsewhere targets the def-to-header range (which could enter
+    # with a different value).
+    init_value: Optional[int] = None
+    def_index: Optional[int] = None
+    for i in range(header - 1, -1, -1):
+        insn = insns[i]
+        if insn.is_uncond_jump or insn.is_exit or insn.is_call:
+            break
+        if reg in insn.regs_written():
+            if insn.is_alu and insn.op == isa.BPF_MOV and not insn.uses_reg_src:
+                init_value = to_signed32(insn.imm) & MASK64
+                def_index = i
+            break
+    if init_value is not None and def_index is not None:
+        for j, other in enumerate(insns):
+            if other.is_jump and j != latch:
+                target = program.jump_target_index(j)
+                if def_index < target <= header:
+                    init_value = None  # another path enters the preheader
+                    break
+    if init_value is None:
+        raise LoopError(
+            f"loop at {header}: cannot determine r{reg}'s initial value"
+        )
+    # evaluate the recurrence: the body runs, then the latch re-tests
+    value = init_value
+    trips = 0
+    rhs = to_signed32(branch.imm) & MASK64
+    while True:
+        trips += 1
+        if trips > MAX_TRIP_COUNT:
+            raise LoopError(
+                f"loop at {header}: trip count exceeds {MAX_TRIP_COUNT} "
+                "(unbounded?)"
+            )
+        value = (value + step) & MASK64
+        if not Vm._compare(branch.op, value, rhs, True):
+            break
+    return _Loop(header, latch, reg, step, init_value, trips)
+
+
+def _reoffset(insn: Instruction, new_off: int) -> Instruction:
+    return Instruction(insn.opcode, insn.dst, insn.src, new_off, insn.imm, insn.imm64)
+
+
+def _unroll_one(program: Program, loop: _Loop) -> Program:
+    """Replicate the loop body trip-count times, dropping the latch."""
+    insns = program.instructions
+    slot_of = [program.slot_of_index(i) for i in range(len(insns))]
+    total_slots = program.slot_count
+    body = list(loop.body)
+    body_slots = sum(insns[i].slots for i in body)
+    latch_slots = insns[loop.latch].slots
+    copy_slots = body_slots - latch_slots  # latch removed in every copy
+
+    header_slot = slot_of[loop.header]
+    after_latch_slot = slot_of[loop.latch] + latch_slots
+
+    out: List[Instruction] = []
+    out_slot = 0
+
+    def emit(insn: Instruction) -> None:
+        nonlocal out_slot
+        out.append(insn)
+        out_slot += insn.slots
+
+    # prefix (jumps in the prefix that target at/after the loop need their
+    # offsets stretched by the extra copies)
+    extra_slots = copy_slots * (loop.trip_count - 1) - latch_slots
+    for i in range(loop.header):
+        insn = insns[i]
+        if insn.is_jump:
+            target_slot = slot_of[i] + insn.slots + insn.off
+            if target_slot >= after_latch_slot:
+                insn = _reoffset(insn, insn.off + extra_slots)
+            elif target_slot > header_slot:
+                raise LoopError("jump into the middle of a loop body")
+        emit(insn)
+
+    # body copies
+    for copy in range(loop.trip_count):
+        copy_base = out_slot
+        for i in body:
+            insn = insns[i]
+            if i == loop.latch:
+                continue  # back edge removed: fall into the next copy
+            if insn.is_jump:
+                target_slot = slot_of[i] + insn.slots + insn.off
+                if target_slot >= after_latch_slot:
+                    # Branch out of the loop: in the unrolled layout the
+                    # suffix starts after ALL copies, so retarget from this
+                    # copy's position to the suffix-relative destination.
+                    here = copy_base + (slot_of[i] - header_slot)
+                    new_target = (
+                        header_slot
+                        + copy_slots * loop.trip_count
+                        + (target_slot - after_latch_slot)
+                    )
+                    insn = _reoffset(insn, new_target - here - insn.slots)
+                elif target_slot < header_slot:
+                    raise LoopError("unexpected backward jump in body")
+                # else: stays inside the body; relative offset is preserved
+            emit(insn)
+
+    # suffix
+    for i in range(loop.latch + 1, len(insns)):
+        insn = insns[i]
+        if insn.is_jump:
+            target_slot = slot_of[i] + insn.slots + insn.off
+            if header_slot <= target_slot < after_latch_slot:
+                raise LoopError("jump from after the loop back into its body")
+        emit(insn)
+
+    return program.with_instructions(out)
+
+
+def unroll_loops(program: Program) -> Tuple[Program, UnrollReport]:
+    """Unroll every bounded loop; raises :class:`LoopError` on anything
+    that cannot be bounded statically."""
+    report = UnrollReport()
+    for _ in range(MAX_LOOPS):
+        latch = find_backward_branch(program)
+        if latch is None:
+            return program, report
+        loop = _analyze_loop(program, latch)
+        program = _unroll_one(program, loop)
+        report.loops_unrolled += 1
+        report.total_trip_count += loop.trip_count
+    raise LoopError(f"more than {MAX_LOOPS} loops; giving up")

@@ -1,0 +1,239 @@
+"""Pipeline intermediate representation.
+
+The compiler's output: a sequence of :class:`Stage` objects, each holding
+the (possibly fused) instructions that execute in one clock cycle, plus
+the per-stage carried state (after pruning), the packet-framing plan and
+the per-map hazard machinery. This IR is consumed by three backends:
+
+* :mod:`repro.hwsim` — cycle-level simulation,
+* :mod:`repro.core.vhdl` — VHDL text generation,
+* :mod:`repro.core.resources` — LUT/FF/BRAM estimation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..ebpf import isa
+from ..ebpf.helpers import helper_spec
+from ..ebpf.isa import Instruction, Program
+from ..ebpf.xdp import AddressSpace
+from .cfg import Cfg
+from .ddg import Ddg
+from .labeling import CallInfo, MemLabel, ProgramLabels, Region
+from .scheduler import Schedule, ScheduleRow
+
+
+class StageKind(enum.Enum):
+    OPS = "ops"  # executes instructions
+    HELPER_LATENCY = "helper_latency"  # pipelined helper block internals
+    NOP_FRAMING = "nop_framing"  # synthetic stage waiting for a packet frame
+
+
+@dataclass
+class PipeOp:
+    """One instruction placed in a stage."""
+
+    insn_index: int
+    insn: Instruction
+    block_id: int
+    fused: bool = False
+    label: Optional[MemLabel] = None
+    call: Optional[CallInfo] = None
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.insn.is_terminator or self.insn.is_exit
+
+
+@dataclass
+class Stage:
+    """One pipeline stage (one clock cycle of latency)."""
+
+    number: int  # 1-based position, like Figure 8
+    kind: StageKind
+    block_id: int = -1
+    ops: List[PipeOp] = field(default_factory=list)
+    note: str = ""
+    # State carried INTO this stage, filled by the pruning pass. Stack
+    # liveness is byte ranges (offset, size) with negative offsets
+    # relative to R10.
+    live_in_regs: FrozenSet[int] = frozenset()
+    live_in_stack: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def width(self) -> int:
+        return len(self.ops)
+
+    def state_bytes(self, frame_size: int) -> int:
+        """Per-stage state memory: one packet frame + live registers +
+        live stack bytes (the paper's 88 B example for the toy pipeline)."""
+        stack_bytes = sum(size for _, size in self.live_in_stack)
+        return frame_size + 8 * len(self.live_in_regs) + stack_bytes
+
+
+@dataclass
+class FlushBlock:
+    """A Flush Evaluation Block (§4.1.2, Figure 7) guarding one RAW pair.
+
+    ``read_stage``/``write_stage`` are 1-based stage numbers; ``L`` is the
+    distance between them (the hazard window of Appendix A.1) and ``K``
+    the number of stages squashed on a flush (pipeline start → read stage,
+    plus the 4-cycle reload overhead the appendix charges)."""
+
+    map_fd: int
+    read_stage: int
+    write_stage: int
+
+    @property
+    def L(self) -> int:
+        return self.write_stage - self.read_stage
+
+    def K(self, reload_overhead: int = 4) -> int:
+        return self.read_stage + reload_overhead
+
+
+@dataclass
+class MapHazardPlan:
+    """All consistency machinery for one map (§4.1)."""
+
+    map_fd: int
+    read_stages: List[int] = field(default_factory=list)
+    write_stages: List[int] = field(default_factory=list)
+    atomic_stages: List[int] = field(default_factory=list)
+    flush_blocks: List[FlushBlock] = field(default_factory=list)
+    war_buffer_depth: int = 0  # write-delay registers (Figure 6)
+    channels: int = 1  # parallel read/write channels into the memory
+
+    @property
+    def uses_atomic(self) -> bool:
+        return bool(self.atomic_stages)
+
+    @property
+    def needs_flush(self) -> bool:
+        return bool(self.flush_blocks)
+
+
+@dataclass
+class Pipeline:
+    """A compiled hardware pipeline."""
+
+    program: Program  # transformed program the stages execute
+    original_program: Program  # what the user supplied
+    cfg: Cfg
+    labels: ProgramLabels
+    ddg: Ddg
+    schedule: Schedule
+    stages: List[Stage]
+    entry_ops: List[PipeOp]  # elided ctx loads, executed at injection
+    map_hazards: Dict[int, MapHazardPlan]
+    frame_size: int
+    name: str = "pipeline"
+    elided_bounds_checks: int = 0
+    dce_removed: int = 0
+    # Elided entry-side bounds checks, realised as input-length comparators
+    # at the packet input: (min_len, oob action code) pairs in program order.
+    entry_checks: Tuple = ()
+    loops_unrolled: int = 0
+
+    # -- structural properties -------------------------------------------------
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def n_instructions(self) -> int:
+        return sum(s.width for s in self.stages)
+
+    @property
+    def max_ilp(self) -> int:
+        return max((s.width for s in self.stages if s.kind is StageKind.OPS), default=0)
+
+    @property
+    def avg_ilp(self) -> float:
+        op_stages = [s for s in self.stages if s.kind is StageKind.OPS and s.ops]
+        if not op_stages:
+            return 0.0
+        return sum(s.width for s in op_stages) / len(op_stages)
+
+    @property
+    def max_state_bytes(self) -> int:
+        return max((s.state_bytes(self.frame_size) for s in self.stages), default=0)
+
+    def stage_of_insn(self, insn_index: int) -> int:
+        """1-based stage number holding an instruction."""
+        for stage in self.stages:
+            for op in stage.ops:
+                if op.insn_index == insn_index:
+                    return stage.number
+        raise KeyError(f"instruction {insn_index} not in pipeline")
+
+    def ops_stages(self) -> List[Stage]:
+        return [s for s in self.stages if s.kind is StageKind.OPS]
+
+    def summary(self) -> str:
+        """Human-readable pipeline dump (one line per stage, Figure-8 style)."""
+        from ..ebpf.disasm import format_instruction
+
+        lines = [f"pipeline {self.name!r}: {self.n_stages} stages, "
+                 f"frame={self.frame_size}B, maps={sorted(self.map_hazards)}"]
+        for stage in self.stages:
+            regs = ",".join(f"r{r}" for r in sorted(stage.live_in_regs))
+            stack = ",".join(f"[{o}:{s}]" for o, s in stage.live_in_stack)
+            body = " | ".join(format_instruction(op.insn) for op in stage.ops)
+            if stage.kind is not StageKind.OPS:
+                body = f"({stage.kind.value}{': ' + stage.note if stage.note else ''})"
+            lines.append(
+                f"  stage {stage.number:3d} [{regs or '-'}{' ' + stack if stack else ''}]"
+                f" {body}"
+            )
+        return "\n".join(lines)
+
+
+def assemble_stages(
+    program: Program,
+    cfg: Cfg,
+    labels: ProgramLabels,
+    schedule: Schedule,
+) -> List[Stage]:
+    """Turn schedule rows into stages, inserting helper-latency stages."""
+    stages: List[Stage] = []
+    for pos, row in enumerate(schedule.rows):
+        ops = [
+            PipeOp(
+                insn_index=i,
+                insn=program.instructions[i],
+                block_id=row.block_id,
+                fused=i in row.fused,
+                label=labels.label_for(i),
+                call=labels.call_for(i),
+            )
+            for i in row.ops
+        ]
+        stages.append(
+            Stage(number=0, kind=StageKind.OPS, block_id=row.block_id, ops=ops)
+        )
+        extra = schedule.extra_latency.get(pos, 0)
+        for k in range(extra):
+            note = ""
+            for op in ops:
+                if op.insn.is_call:
+                    note = helper_spec(op.insn.imm).name
+            stages.append(
+                Stage(
+                    number=0,
+                    kind=StageKind.HELPER_LATENCY,
+                    block_id=row.block_id,
+                    note=note,
+                )
+            )
+    _renumber(stages)
+    return stages
+
+
+def _renumber(stages: List[Stage]) -> None:
+    for pos, stage in enumerate(stages):
+        stage.number = pos + 1

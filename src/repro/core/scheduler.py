@@ -1,0 +1,269 @@
+"""Instruction parallelization (§3.3) and fusion (§3.2).
+
+Turns the labeled, dependency-analysed program into a *schedule*: an
+ordered list of rows, one row per future pipeline stage, where
+
+* a row only contains instructions from a single basic block ("two
+  instructions can be executed in parallel if they belong to the same
+  control block"),
+* instructions in one row are mutually independent, **except** for short
+  dependent chains admitted by instruction fusion (three-operand ALU
+  fusion, load+ALU fusion) — the chain executes combinationally within
+  the stage,
+* helper calls, map accesses and atomics occupy rows of their own (their
+  hardware blocks have their own timing),
+* blocks are laid out in CFG topological order, so the pipeline is
+  strictly forward-feeding (§3.5).
+
+Because eHDL generates hardware per-program, a row can be arbitrarily wide
+— "the degree of parallelism can grow and shrink in each pipeline's
+stage" — which is where Table 5's max-ILP numbers come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ebpf import isa
+from ..ebpf.helpers import helper_spec
+from ..ebpf.isa import Instruction, Program
+from .cfg import Cfg, reachable_blocks
+from .ddg import Ddg
+from .labeling import ProgramLabels
+
+
+@dataclass
+class ScheduleRow:
+    """One pipeline stage's worth of instructions (indices into the
+    program, kept in program order). ``fused`` marks instructions that are
+    dependent continuations fused into the same hardware primitive as an
+    earlier op in the row."""
+
+    block_id: int
+    ops: List[int] = field(default_factory=list)
+    fused: Set[int] = field(default_factory=set)
+
+    @property
+    def width(self) -> int:
+        return len(self.ops)
+
+
+@dataclass
+class Schedule:
+    """The complete parallel schedule of a program."""
+
+    program: Program
+    rows: List[ScheduleRow]
+    # Extra pipeline latency (in stages) charged after given rows, e.g.
+    # pipelined helper blocks: row position -> extra stages.
+    extra_latency: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.rows) + sum(self.extra_latency.values())
+
+    @property
+    def n_instructions(self) -> int:
+        return sum(len(r.ops) for r in self.rows)
+
+    @property
+    def max_ilp(self) -> int:
+        return max((r.width for r in self.rows), default=0)
+
+    @property
+    def avg_ilp(self) -> float:
+        if not self.rows:
+            return 0.0
+        return self.n_instructions / len(self.rows)
+
+    def row_of(self, insn_index: int) -> int:
+        for pos, row in enumerate(self.rows):
+            if insn_index in row.ops:
+                return pos
+        raise KeyError(f"instruction {insn_index} not scheduled")
+
+
+# Instruction categories that must not share a row with anything else:
+# their hardware blocks own the stage.
+
+def _is_solo(insn: Instruction) -> bool:
+    return insn.is_call or insn.is_atomic
+
+
+def _is_fusible(insn: Instruction) -> bool:
+    """Ops that may be fused as a dependent continuation within a row:
+    simple ALU/mov operations (the three-operand fusion of §3.2) — their
+    combinational depth is small enough to chain in one clock cycle."""
+    return insn.is_alu and insn.op != isa.BPF_END
+
+
+@dataclass
+class SchedulerOptions:
+    enable_ilp: bool = True
+    enable_fusion: bool = True
+    max_fuse_chain: int = 2  # ops per combinational chain (footnote 1: keep Fmax)
+    max_row_width: Optional[int] = None  # None = unbounded (eHDL); 2 = hXDP-like
+
+
+def schedule_program(
+    cfg: Cfg,
+    ddg: Ddg,
+    labels: ProgramLabels,
+    options: Optional[SchedulerOptions] = None,
+    excluded: Optional[Set[int]] = None,
+) -> Schedule:
+    """List-schedule each reachable basic block and concatenate in topo order.
+
+    ``excluded`` instructions (e.g. ctx loads realised at packet injection)
+    are not scheduled; dependencies on them count as already satisfied.
+    """
+    options = options or SchedulerOptions()
+    excluded = excluded or set()
+    program = cfg.program
+    reachable = reachable_blocks(cfg)
+    rows: List[ScheduleRow] = []
+    extra_latency: Dict[int, int] = {}
+
+    for block in cfg.blocks_in_topo_order():
+        if block.block_id not in reachable:
+            continue
+        indices = [i for i in block.indices() if i not in excluded]
+        block_rows = _schedule_block(program, ddg, block.block_id,
+                                     indices, options)
+        for row in block_rows:
+            rows.append(row)
+            latency = _row_extra_latency(program, row)
+            if latency:
+                extra_latency[len(rows) - 1] = latency
+    return Schedule(program, rows, extra_latency)
+
+
+def _row_extra_latency(program: Program, row: ScheduleRow) -> int:
+    """Pipelined helper blocks occupy extra stages after their row."""
+    latency = 0
+    for index in row.ops:
+        insn = program.instructions[index]
+        if insn.is_call:
+            latency = max(latency, helper_spec(insn.imm).hw_stages - 1)
+    return latency
+
+
+def _schedule_block(
+    program: Program,
+    ddg: Ddg,
+    block_id: int,
+    indices: List[int],
+    options: SchedulerOptions,
+) -> List[ScheduleRow]:
+    """Greedy list scheduling of one block.
+
+    Maintains the invariant that ops are assigned to rows in program
+    order; a row accepts an op if all of its in-block dependencies are in
+    earlier rows, or (with fusion) form a short chain within the row.
+    """
+    if not indices:
+        return []
+    in_block = set(indices)
+    placed_row: Dict[int, int] = {}  # insn index -> row position
+    chain_len: Dict[int, int] = {}  # insn index -> fused chain length in its row
+    rows: List[ScheduleRow] = []
+
+    from .ddg import RAW, WAR
+
+    # The block terminator (branch/exit) is placed last: its side effect —
+    # choosing successors or latching the verdict — must not precede any
+    # of the block's other (program-order earlier) operations.
+    terminator: Optional[int] = None
+    if program.instructions[indices[-1]].is_terminator:
+        terminator = indices[-1]
+        indices = indices[:-1]
+
+    for index in indices:  # program order guarantees deps seen first
+        insn = program.instructions[index]
+        deps = {d: k for d, k in ddg.predecessors(index).items() if d in in_block}
+        min_row = 0
+        for d, kind in deps.items():
+            d_row = placed_row[d]
+            # WAR may share the predecessor's row (reads latch the previous
+            # stage's values); RAW/WAW must come strictly later.
+            min_row = max(min_row, d_row if kind == WAR else d_row + 1)
+        hard_deps = [d for d, k in deps.items() if k != WAR]
+        if options.enable_fusion and hard_deps and _is_fusible(insn):
+            # Can this op chain combinationally onto its latest RAW
+            # dependency's row (three-operand fusion)?
+            last_dep = max(hard_deps, key=lambda d: placed_row[d])
+            d_row = placed_row[last_dep]
+            others_ok = all(
+                placed_row[d] < d_row for d in hard_deps if d != last_dep
+            ) and all(
+                placed_row[d] <= d_row for d, k in deps.items() if k == WAR
+            )
+            dep_insn = program.instructions[last_dep]
+            if (
+                others_ok
+                and deps[last_dep] == RAW
+                and _is_fusible(dep_insn)
+                and chain_len[last_dep] < options.max_fuse_chain
+                and (
+                    options.max_row_width is None
+                    or rows[d_row].width < options.max_row_width
+                )
+            ):
+                rows[d_row].ops.append(index)
+                rows[d_row].fused.add(index)
+                placed_row[index] = d_row
+                chain_len[index] = chain_len[last_dep] + 1
+                continue
+        if not options.enable_ilp:
+            min_row = len(rows)
+        target: Optional[int] = None
+        if _is_solo(insn):
+            target = None  # always a fresh row
+        else:
+            for pos in range(min_row, len(rows)):
+                row = rows[pos]
+                if any(_is_solo(program.instructions[i]) for i in row.ops):
+                    continue
+                if (
+                    options.max_row_width is not None
+                    and row.width >= options.max_row_width
+                ):
+                    continue
+                target = pos
+                break
+        if target is None:
+            rows.append(ScheduleRow(block_id))
+            target = len(rows) - 1
+        rows[target].ops.append(index)
+        placed_row[index] = target
+        chain_len[index] = 1
+
+    if terminator is not None:
+        deps = {d: k for d, k in ddg.predecessors(terminator).items() if d in in_block}
+        min_row = 0
+        for d, kind in deps.items():
+            d_row = placed_row[d]
+            min_row = max(min_row, d_row if kind == WAR else d_row + 1)
+        last = len(rows) - 1
+        if (
+            rows
+            and options.enable_ilp
+            and min_row <= last
+            and not any(_is_solo(program.instructions[i]) for i in rows[last].ops)
+            and (
+                options.max_row_width is None
+                or rows[last].width < options.max_row_width
+            )
+        ):
+            rows[last].ops.append(terminator)
+        else:
+            rows.append(ScheduleRow(block_id, ops=[terminator]))
+
+    for row in rows:
+        row.ops.sort()  # program order within the row (simulator relies on it)
+    return rows

@@ -1,0 +1,53 @@
+"""eBPF substrate: ISA, assembler, maps, helpers, virtual machine, verifier.
+
+This package is a self-contained software model of the Linux eBPF/XDP
+execution environment — the input side of eHDL. The public surface:
+
+* :mod:`repro.ebpf.isa` — instruction model and binary encoding
+* :mod:`repro.ebpf.asm` / :mod:`repro.ebpf.disasm` — text syntax
+* :mod:`repro.ebpf.builder` — programmatic program construction
+* :mod:`repro.ebpf.maps` — array/hash/LRU maps with host interface
+* :mod:`repro.ebpf.helpers` — helper-function registry
+* :mod:`repro.ebpf.vm` — reference interpreter (differential-test oracle)
+* :mod:`repro.ebpf.verifier` — static verification + region type analysis
+* :mod:`repro.ebpf.xdp` — XDP context/actions/address space
+"""
+
+from .asm import AsmError, assemble, assemble_program
+from .builder import BuildError, ProgramBuilder
+from .disasm import disassemble, format_instruction
+from .isa import ISAError, Instruction, MapSpec, Program, decode, encode
+from .maps import Map, MapError, MapSet, create_map
+from .verifier import VerifierError, VerifierResult, verify
+from .vm import Vm, VmError, run_program
+from .xdp import AddressSpace, XdpAction, XdpContext, XdpResult
+
+__all__ = [
+    "AddressSpace",
+    "AsmError",
+    "BuildError",
+    "ISAError",
+    "Instruction",
+    "Map",
+    "MapError",
+    "MapSet",
+    "MapSpec",
+    "Program",
+    "ProgramBuilder",
+    "Vm",
+    "VmError",
+    "VerifierError",
+    "VerifierResult",
+    "XdpAction",
+    "XdpContext",
+    "XdpResult",
+    "assemble",
+    "assemble_program",
+    "create_map",
+    "decode",
+    "disassemble",
+    "encode",
+    "format_instruction",
+    "run_program",
+    "verify",
+]

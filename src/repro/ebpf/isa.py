@@ -1,0 +1,690 @@
+"""eBPF instruction-set architecture model.
+
+This module defines the eBPF instruction encoding exactly as used by the
+Linux kernel: each instruction occupies 8 bytes laid out as
+
+    +--------+----+----+--------+------------+
+    | opcode |dst |src | offset | immediate  |
+    |  8 bit |4bit|4bit| 16 bit |   32 bit   |
+    +--------+----+----+--------+------------+
+
+with the exception of ``BPF_LD | BPF_IMM | BPF_DW`` (64-bit immediate load),
+which occupies two consecutive 8-byte slots.
+
+The classes here are shared by the assembler, the disassembler, the virtual
+machine, the verifier and the eHDL compiler: an instruction is a small
+immutable value object (`Instruction`) carrying the decoded fields plus
+convenience predicates (``is_load``, ``is_jump`` ...), and programs are
+sequences of instructions wrapped by :class:`Program`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+# ---------------------------------------------------------------------------
+# Instruction classes (low 3 bits of the opcode)
+# ---------------------------------------------------------------------------
+
+BPF_LD = 0x00
+BPF_LDX = 0x01
+BPF_ST = 0x02
+BPF_STX = 0x03
+BPF_ALU = 0x04
+BPF_JMP = 0x05
+BPF_JMP32 = 0x06
+BPF_ALU64 = 0x07
+
+CLASS_NAMES = {
+    BPF_LD: "ld",
+    BPF_LDX: "ldx",
+    BPF_ST: "st",
+    BPF_STX: "stx",
+    BPF_ALU: "alu",
+    BPF_JMP: "jmp",
+    BPF_JMP32: "jmp32",
+    BPF_ALU64: "alu64",
+}
+
+# ---------------------------------------------------------------------------
+# Size field for load/store (bits 3-4)
+# ---------------------------------------------------------------------------
+
+BPF_W = 0x00   # 4 bytes
+BPF_H = 0x08   # 2 bytes
+BPF_B = 0x10   # 1 byte
+BPF_DW = 0x18  # 8 bytes
+
+SIZE_BYTES = {BPF_W: 4, BPF_H: 2, BPF_B: 1, BPF_DW: 8}
+BYTES_TO_SIZE = {v: k for k, v in SIZE_BYTES.items()}
+SIZE_NAMES = {BPF_W: "u32", BPF_H: "u16", BPF_B: "u8", BPF_DW: "u64"}
+
+# ---------------------------------------------------------------------------
+# Mode field for load/store (bits 5-7)
+# ---------------------------------------------------------------------------
+
+BPF_IMM = 0x00
+BPF_ABS = 0x20
+BPF_IND = 0x40
+BPF_MEM = 0x60
+BPF_ATOMIC = 0xC0  # a.k.a. BPF_XADD in older kernels
+
+# ---------------------------------------------------------------------------
+# ALU / JMP operation field (bits 4-7)
+# ---------------------------------------------------------------------------
+
+BPF_ADD = 0x00
+BPF_SUB = 0x10
+BPF_MUL = 0x20
+BPF_DIV = 0x30
+BPF_OR = 0x40
+BPF_AND = 0x50
+BPF_LSH = 0x60
+BPF_RSH = 0x70
+BPF_NEG = 0x80
+BPF_MOD = 0x90
+BPF_XOR = 0xA0
+BPF_MOV = 0xB0
+BPF_ARSH = 0xC0
+BPF_END = 0xD0
+
+ALU_OP_NAMES = {
+    BPF_ADD: "add",
+    BPF_SUB: "sub",
+    BPF_MUL: "mul",
+    BPF_DIV: "div",
+    BPF_OR: "or",
+    BPF_AND: "and",
+    BPF_LSH: "lsh",
+    BPF_RSH: "rsh",
+    BPF_NEG: "neg",
+    BPF_MOD: "mod",
+    BPF_XOR: "xor",
+    BPF_MOV: "mov",
+    BPF_ARSH: "arsh",
+    BPF_END: "end",
+}
+
+ALU_SYMBOLS = {
+    BPF_ADD: "+=",
+    BPF_SUB: "-=",
+    BPF_MUL: "*=",
+    BPF_DIV: "/=",
+    BPF_OR: "|=",
+    BPF_AND: "&=",
+    BPF_LSH: "<<=",
+    BPF_RSH: ">>=",
+    BPF_MOD: "%=",
+    BPF_XOR: "^=",
+    BPF_MOV: "=",
+    BPF_ARSH: "s>>=",
+}
+
+BPF_JA = 0x00
+BPF_JEQ = 0x10
+BPF_JGT = 0x20
+BPF_JGE = 0x30
+BPF_JSET = 0x40
+BPF_JNE = 0x50
+BPF_JSGT = 0x60
+BPF_JSGE = 0x70
+BPF_CALL = 0x80
+BPF_EXIT = 0x90
+BPF_JLT = 0xA0
+BPF_JLE = 0xB0
+BPF_JSLT = 0xC0
+BPF_JSLE = 0xD0
+
+JMP_OP_NAMES = {
+    BPF_JA: "ja",
+    BPF_JEQ: "jeq",
+    BPF_JGT: "jgt",
+    BPF_JGE: "jge",
+    BPF_JSET: "jset",
+    BPF_JNE: "jne",
+    BPF_JSGT: "jsgt",
+    BPF_JSGE: "jsge",
+    BPF_CALL: "call",
+    BPF_EXIT: "exit",
+    BPF_JLT: "jlt",
+    BPF_JLE: "jle",
+    BPF_JSLT: "jslt",
+    BPF_JSLE: "jsle",
+}
+
+JMP_SYMBOLS = {
+    BPF_JEQ: "==",
+    BPF_JGT: ">",
+    BPF_JGE: ">=",
+    BPF_JSET: "&",
+    BPF_JNE: "!=",
+    BPF_JSGT: "s>",
+    BPF_JSGE: "s>=",
+    BPF_JLT: "<",
+    BPF_JLE: "<=",
+    BPF_JSLT: "s<",
+    BPF_JSLE: "s<=",
+}
+SYMBOL_TO_JMP = {v: k for k, v in JMP_SYMBOLS.items()}
+
+# Source operand selector (bit 3) for ALU/JMP instructions.
+BPF_K = 0x00  # immediate
+BPF_X = 0x08  # register
+
+# Atomic immediates (subset relevant to XDP programs).
+BPF_FETCH = 0x01
+ATOMIC_ADD = BPF_ADD
+ATOMIC_OR = BPF_OR
+ATOMIC_AND = BPF_AND
+ATOMIC_XOR = BPF_XOR
+ATOMIC_XCHG = 0xE0 | BPF_FETCH
+ATOMIC_CMPXCHG = 0xF0 | BPF_FETCH
+
+ATOMIC_OP_NAMES = {
+    ATOMIC_ADD: "add",
+    ATOMIC_ADD | BPF_FETCH: "fetch_add",
+    ATOMIC_OR: "or",
+    ATOMIC_AND: "and",
+    ATOMIC_XOR: "xor",
+    ATOMIC_XCHG: "xchg",
+    ATOMIC_CMPXCHG: "cmpxchg",
+}
+
+# Pseudo source-register values for LD_IMM64 (map references).
+BPF_PSEUDO_MAP_FD = 1
+BPF_PSEUDO_MAP_VALUE = 2
+
+# Registers.
+R0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10 = range(11)
+NUM_REGS = 11
+STACK_SIZE = 512  # bytes; R10 points at the *end* of the stack frame
+
+MASK64 = (1 << 64) - 1
+MASK32 = (1 << 32) - 1
+
+
+class ISAError(ValueError):
+    """Raised on malformed instructions or encodings."""
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low ``bits`` bits of ``value`` as a signed integer."""
+    mask = (1 << bits) - 1
+    value &= mask
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def to_signed64(value: int) -> int:
+    return sign_extend(value, 64)
+
+
+def to_signed32(value: int) -> int:
+    return sign_extend(value, 32)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single decoded eBPF instruction.
+
+    ``imm`` holds the *signed* 32-bit immediate except for LD_IMM64
+    instructions where ``imm64`` carries the full 64-bit constant (and
+    ``imm`` its low half).
+    """
+
+    opcode: int
+    dst: int = 0
+    src: int = 0
+    off: int = 0
+    imm: int = 0
+    imm64: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.opcode <= 0xFF:
+            raise ISAError(f"opcode out of range: {self.opcode:#x}")
+        if not 0 <= self.dst <= 10:
+            raise ISAError(f"dst register out of range: {self.dst}")
+        if not 0 <= self.src <= 10 and self.src not in (
+            BPF_PSEUDO_MAP_FD,
+            BPF_PSEUDO_MAP_VALUE,
+        ):
+            raise ISAError(f"src register out of range: {self.src}")
+        if not -(1 << 15) <= self.off < (1 << 15):
+            raise ISAError(f"offset out of range: {self.off}")
+        if not -(1 << 31) <= self.imm < (1 << 32):
+            raise ISAError(f"immediate out of range: {self.imm}")
+
+    # -- field accessors ---------------------------------------------------
+
+    @property
+    def opclass(self) -> int:
+        return self.opcode & 0x07
+
+    @property
+    def op(self) -> int:
+        """Operation field for ALU/JMP classes (bits 4-7)."""
+        return self.opcode & 0xF0
+
+    @property
+    def size(self) -> int:
+        """Size field for load/store classes."""
+        return self.opcode & 0x18
+
+    @property
+    def size_bytes(self) -> int:
+        return SIZE_BYTES[self.size]
+
+    @property
+    def mode(self) -> int:
+        """Mode field for load/store classes."""
+        return self.opcode & 0xE0
+
+    @property
+    def uses_reg_src(self) -> bool:
+        return bool(self.opcode & BPF_X)
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_alu(self) -> bool:
+        return self.opclass in (BPF_ALU, BPF_ALU64)
+
+    @property
+    def is_alu64(self) -> bool:
+        return self.opclass == BPF_ALU64
+
+    @property
+    def is_jump_class(self) -> bool:
+        return self.opclass in (BPF_JMP, BPF_JMP32)
+
+    @property
+    def is_jump(self) -> bool:
+        """True for branch instructions (not call/exit)."""
+        return self.is_jump_class and self.op not in (BPF_CALL, BPF_EXIT)
+
+    @property
+    def is_cond_jump(self) -> bool:
+        return self.is_jump and self.op != BPF_JA
+
+    @property
+    def is_uncond_jump(self) -> bool:
+        return self.is_jump_class and self.op == BPF_JA
+
+    @property
+    def is_call(self) -> bool:
+        return self.is_jump_class and self.op == BPF_CALL
+
+    @property
+    def is_exit(self) -> bool:
+        return self.is_jump_class and self.op == BPF_EXIT
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass in (BPF_LD, BPF_LDX)
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass in (BPF_ST, BPF_STX)
+
+    @property
+    def is_mem_load(self) -> bool:
+        return self.opclass == BPF_LDX and self.mode == BPF_MEM
+
+    @property
+    def is_mem_store(self) -> bool:
+        return self.is_store and self.mode == BPF_MEM
+
+    @property
+    def is_atomic(self) -> bool:
+        return self.opclass == BPF_STX and self.mode == BPF_ATOMIC
+
+    @property
+    def is_ld_imm64(self) -> bool:
+        return self.opcode == (BPF_LD | BPF_IMM | BPF_DW)
+
+    @property
+    def is_map_ref(self) -> bool:
+        return self.is_ld_imm64 and self.src in (
+            BPF_PSEUDO_MAP_FD,
+            BPF_PSEUDO_MAP_VALUE,
+        )
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.is_jump or self.is_exit
+
+    @property
+    def slots(self) -> int:
+        """Number of 8-byte encoding slots this instruction occupies."""
+        return 2 if self.is_ld_imm64 else 1
+
+    # -- register read/write sets -------------------------------------------
+
+    def regs_read(self) -> Tuple[int, ...]:
+        """Registers whose value this instruction consumes."""
+        if self.is_ld_imm64:
+            return ()
+        if self.is_alu:
+            if self.op == BPF_MOV:
+                return (self.src,) if self.uses_reg_src else ()
+            if self.op == BPF_NEG:
+                return (self.dst,)
+            if self.op == BPF_END:
+                return (self.dst,)
+            if self.uses_reg_src:
+                return (self.dst, self.src)
+            return (self.dst,)
+        if self.is_mem_load:
+            return (self.src,)
+        if self.opclass == BPF_STX:
+            return (self.dst, self.src)
+        if self.opclass == BPF_ST:
+            return (self.dst,)
+        if self.is_cond_jump:
+            if self.uses_reg_src:
+                return (self.dst, self.src)
+            return (self.dst,)
+        if self.is_call:
+            # Helper calls consume R1-R5 conservatively; the VM and
+            # compiler refine this per-helper.
+            return (R1, R2, R3, R4, R5)
+        if self.is_exit:
+            return (R0,)
+        return ()
+
+    def regs_written(self) -> Tuple[int, ...]:
+        """Registers this instruction defines."""
+        if self.is_ld_imm64:
+            return (self.dst,)
+        if self.is_alu:
+            return (self.dst,)
+        if self.is_mem_load:
+            return (self.dst,)
+        if self.is_atomic and (self.imm & BPF_FETCH):
+            return (self.src,) if (self.imm & 0xF0) != 0xF0 else (R0,)
+        if self.is_call:
+            return (R0, R1, R2, R3, R4, R5)  # caller-saved clobbers
+        return ()
+
+    # -- encoding ------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Encode to the Linux 8-byte (or 16-byte) wire format."""
+        regs = (self.src << 4) | self.dst
+        low = struct.pack(
+            "<BBhi", self.opcode, regs, self.off, to_signed32(self.imm)
+        )
+        if not self.is_ld_imm64:
+            return low
+        imm64 = self.imm64 if self.imm64 is not None else self.imm
+        hi = (imm64 >> 32) & MASK32
+        lo = imm64 & MASK32
+        low = struct.pack("<BBhi", self.opcode, regs, self.off, to_signed32(lo))
+        high = struct.pack("<BBhi", 0, 0, 0, to_signed32(hi))
+        return low + high
+
+    # -- pretty-printing -----------------------------------------------------
+
+    def __str__(self) -> str:  # pragma: no cover - exercised via disasm tests
+        from .disasm import format_instruction
+
+        return format_instruction(self)
+
+
+def decode(data: bytes) -> List[Instruction]:
+    """Decode raw bytes into a list of instructions.
+
+    Raises :class:`ISAError` if the byte length is not a multiple of 8 or a
+    LD_IMM64 second slot is malformed.
+    """
+    if len(data) % 8 != 0:
+        raise ISAError(f"bytecode length {len(data)} is not a multiple of 8")
+    out: List[Instruction] = []
+    i = 0
+    n = len(data)
+    while i < n:
+        opcode, regs, off, imm = struct.unpack_from("<BBhi", data, i)
+        dst = regs & 0x0F
+        src = (regs >> 4) & 0x0F
+        i += 8
+        if opcode == (BPF_LD | BPF_IMM | BPF_DW):
+            if i >= n:
+                raise ISAError("truncated ld_imm64 instruction")
+            op2, regs2, off2, imm_hi = struct.unpack_from("<BBhi", data, i)
+            if op2 != 0 or regs2 != 0 or off2 != 0:
+                raise ISAError("malformed ld_imm64 second slot")
+            i += 8
+            imm64 = ((imm_hi & MASK32) << 32) | (imm & MASK32)
+            out.append(
+                Instruction(opcode, dst, src, off, imm, imm64=imm64)
+            )
+        else:
+            out.append(Instruction(opcode, dst, src, off, imm))
+    return out
+
+
+def encode(instructions: Iterable[Instruction]) -> bytes:
+    """Encode a sequence of instructions to the wire format."""
+    return b"".join(insn.encode() for insn in instructions)
+
+
+# ---------------------------------------------------------------------------
+# Program container
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MapSpec:
+    """Static definition of an eBPF map referenced by a program.
+
+    Mirrors the fields a loader would read from the ELF maps section: the
+    map type plus key/value geometry. ``flags`` carries kernel map flags
+    (unused by the reproduction but kept for fidelity).
+    """
+
+    name: str
+    map_type: str  # "array" | "hash" | "lru_hash" | "percpu_array"
+    key_size: int
+    value_size: int
+    max_entries: int
+    flags: int = 0
+
+    def __post_init__(self) -> None:
+        if self.key_size <= 0 or self.value_size <= 0:
+            raise ISAError("map key/value size must be positive")
+        if self.max_entries <= 0:
+            raise ISAError("map max_entries must be positive")
+        if self.map_type not in ("array", "hash", "lru_hash", "percpu_array"):
+            raise ISAError(f"unknown map type {self.map_type!r}")
+
+
+@dataclass
+class Program:
+    """An eBPF program: instructions plus the maps it references.
+
+    ``maps`` assigns each map a file-descriptor number; LD_IMM64
+    instructions with ``src == BPF_PSEUDO_MAP_FD`` reference maps through
+    those numbers (stored in the low imm half).
+    """
+
+    instructions: List[Instruction]
+    maps: Dict[int, MapSpec] = field(default_factory=dict)
+    name: str = "prog"
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise ISAError("program must contain at least one instruction")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, idx: int) -> Instruction:
+        return self.instructions[idx]
+
+    @property
+    def slot_count(self) -> int:
+        """Total 8-byte encoding slots (LD_IMM64 counts twice)."""
+        return sum(insn.slots for insn in self.instructions)
+
+    def encode(self) -> bytes:
+        return encode(self.instructions)
+
+    @classmethod
+    def from_bytes(
+        cls,
+        data: bytes,
+        maps: Optional[Dict[int, MapSpec]] = None,
+        name: str = "prog",
+    ) -> "Program":
+        return cls(decode(data), maps=dict(maps or {}), name=name)
+
+    def map_for_fd(self, fd: int) -> MapSpec:
+        try:
+            return self.maps[fd]
+        except KeyError:
+            raise ISAError(f"program references unknown map fd {fd}")
+
+    def referenced_map_fds(self) -> List[int]:
+        """Map fds referenced by LD_IMM64 pseudo-map instructions, in order."""
+        fds: List[int] = []
+        for insn in self.instructions:
+            if insn.is_map_ref:
+                fd = insn.imm64 & MASK32 if insn.imm64 is not None else insn.imm
+                if fd not in fds:
+                    fds.append(fd)
+        return fds
+
+    # Offsets in eBPF jumps are expressed in *slots*, not instruction
+    # indices, because LD_IMM64 takes two slots. These helpers convert.
+
+    def slot_of_index(self, index: int) -> int:
+        return sum(insn.slots for insn in self.instructions[:index])
+
+    def index_of_slot(self, slot: int) -> int:
+        cur = 0
+        for i, insn in enumerate(self.instructions):
+            if cur == slot:
+                return i
+            cur += insn.slots
+        if cur == slot:
+            return len(self.instructions)
+        raise ISAError(f"slot {slot} is inside a multi-slot instruction")
+
+    def jump_target_index(self, index: int) -> int:
+        """Instruction index targeted by the jump at ``index``."""
+        insn = self.instructions[index]
+        if not insn.is_jump:
+            raise ISAError(f"instruction {index} is not a jump")
+        target_slot = self.slot_of_index(index) + insn.slots + insn.off
+        return self.index_of_slot(target_slot)
+
+    def with_instructions(self, instructions: Sequence[Instruction]) -> "Program":
+        return replace(self, instructions=list(instructions))
+
+
+# ---------------------------------------------------------------------------
+# Instruction construction helpers (used by the builder and tests)
+# ---------------------------------------------------------------------------
+
+
+def alu64_reg(op: int, dst: int, src: int) -> Instruction:
+    return Instruction(BPF_ALU64 | BPF_X | op, dst=dst, src=src)
+
+
+def alu64_imm(op: int, dst: int, imm: int) -> Instruction:
+    return Instruction(BPF_ALU64 | BPF_K | op, dst=dst, imm=imm)
+
+
+def alu32_reg(op: int, dst: int, src: int) -> Instruction:
+    return Instruction(BPF_ALU | BPF_X | op, dst=dst, src=src)
+
+
+def alu32_imm(op: int, dst: int, imm: int) -> Instruction:
+    return Instruction(BPF_ALU | BPF_K | op, dst=dst, imm=imm)
+
+
+def mov64_reg(dst: int, src: int) -> Instruction:
+    return alu64_reg(BPF_MOV, dst, src)
+
+
+def mov64_imm(dst: int, imm: int) -> Instruction:
+    return alu64_imm(BPF_MOV, dst, imm)
+
+
+def load(size: int, dst: int, src: int, off: int) -> Instruction:
+    return Instruction(BPF_LDX | BPF_MEM | size, dst=dst, src=src, off=off)
+
+
+def store_reg(size: int, dst: int, src: int, off: int) -> Instruction:
+    return Instruction(BPF_STX | BPF_MEM | size, dst=dst, src=src, off=off)
+
+
+def store_imm(size: int, dst: int, off: int, imm: int) -> Instruction:
+    return Instruction(BPF_ST | BPF_MEM | size, dst=dst, off=off, imm=imm)
+
+
+def atomic_op(size: int, dst: int, src: int, off: int, op: int) -> Instruction:
+    if size not in (BPF_W, BPF_DW):
+        raise ISAError("atomic operations require word or dword size")
+    return Instruction(BPF_STX | BPF_ATOMIC | size, dst=dst, src=src, off=off, imm=op)
+
+
+def jump(off: int) -> Instruction:
+    return Instruction(BPF_JMP | BPF_JA, off=off)
+
+
+def jump_reg(op: int, dst: int, src: int, off: int) -> Instruction:
+    return Instruction(BPF_JMP | BPF_X | op, dst=dst, src=src, off=off)
+
+
+def jump_imm(op: int, dst: int, imm: int, off: int) -> Instruction:
+    return Instruction(BPF_JMP | BPF_K | op, dst=dst, imm=imm, off=off)
+
+
+def jump32_reg(op: int, dst: int, src: int, off: int) -> Instruction:
+    return Instruction(BPF_JMP32 | BPF_X | op, dst=dst, src=src, off=off)
+
+
+def jump32_imm(op: int, dst: int, imm: int, off: int) -> Instruction:
+    return Instruction(BPF_JMP32 | BPF_K | op, dst=dst, imm=imm, off=off)
+
+
+def call(helper_id: int) -> Instruction:
+    return Instruction(BPF_JMP | BPF_CALL, imm=helper_id)
+
+
+def exit_() -> Instruction:
+    return Instruction(BPF_JMP | BPF_EXIT)
+
+
+def ld_imm64(dst: int, imm64: int) -> Instruction:
+    return Instruction(
+        BPF_LD | BPF_IMM | BPF_DW,
+        dst=dst,
+        imm=to_signed32(imm64 & MASK32),
+        imm64=imm64 & MASK64,
+    )
+
+
+def ld_map_fd(dst: int, fd: int) -> Instruction:
+    return Instruction(
+        BPF_LD | BPF_IMM | BPF_DW,
+        dst=dst,
+        src=BPF_PSEUDO_MAP_FD,
+        imm=fd,
+        imm64=fd,
+    )
+
+
+def endian(dst: int, bits: int, to_big: bool) -> Instruction:
+    """Byte-swap instruction (``BPF_END``): le16/le32/le64 or be16/be32/be64."""
+    if bits not in (16, 32, 64):
+        raise ISAError("endian width must be 16, 32 or 64")
+    src_flag = BPF_X if to_big else BPF_K  # BPF_TO_BE / BPF_TO_LE
+    return Instruction(BPF_ALU | BPF_END | src_flag, dst=dst, imm=bits)

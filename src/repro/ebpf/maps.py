@@ -1,0 +1,336 @@
+"""eBPF map implementations.
+
+Maps are the only memory that persists across eBPF program executions
+(Section 2.2 of the paper). This module implements the map types the
+evaluation applications need — array, hash, LRU hash and per-CPU array —
+with both the *data-plane* interface used by helper calls inside the VM
+(pointer-based lookup into backing storage) and the *host* interface used
+from userspace tooling (``lookup``/``update``/``delete`` by key bytes),
+mirroring how a real eBPF map is shared between an XDP program and
+``bpftool``/libbpf on the host.
+
+Backing storage is a flat ``bytearray`` per map so that value *pointers*
+(as returned by ``bpf_map_lookup_elem``) are well-defined stable addresses
+— the property the eHDL hazard analysis relies on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .isa import ISAError, MapSpec
+
+# Update flags (matching Linux).
+BPF_ANY = 0
+BPF_NOEXIST = 1
+BPF_EXIST = 2
+
+
+class MapError(ValueError):
+    """Raised on invalid map operations (bad key size, full map, ...)."""
+
+
+class Map:
+    """Base class: fixed-size keys and values, flat backing storage.
+
+    Subclasses implement :meth:`_slot_for_key` (data-plane lookup) and
+    :meth:`_insert` (placement policy). Every entry occupies a fixed slot
+    index; ``value_addr(slot)`` converts a slot to a stable offset within
+    the map's storage, which the VM maps into its address space.
+    """
+
+    def __init__(self, spec: MapSpec) -> None:
+        self.spec = spec
+        self.storage = bytearray(spec.max_entries * spec.value_size)
+        self._occupied: List[bool] = [False] * spec.max_entries
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def key_size(self) -> int:
+        return self.spec.key_size
+
+    @property
+    def value_size(self) -> int:
+        return self.spec.value_size
+
+    @property
+    def max_entries(self) -> int:
+        return self.spec.max_entries
+
+    def value_addr(self, slot: int) -> int:
+        """Byte offset of a slot's value within this map's storage."""
+        if not 0 <= slot < self.max_entries:
+            raise MapError(f"slot {slot} out of range for {self.name}")
+        return slot * self.value_size
+
+    def slot_of_addr(self, offset: int) -> int:
+        """Inverse of :meth:`value_addr` for any address within the value."""
+        if not 0 <= offset < len(self.storage):
+            raise MapError(f"offset {offset} outside map {self.name}")
+        return offset // self.value_size
+
+    def _check_key(self, key: bytes) -> bytes:
+        if len(key) != self.key_size:
+            raise MapError(
+                f"{self.name}: key size {len(key)} != {self.key_size}"
+            )
+        return bytes(key)
+
+    def _check_value(self, value: bytes) -> bytes:
+        if len(value) != self.value_size:
+            raise MapError(
+                f"{self.name}: value size {len(value)} != {self.value_size}"
+            )
+        return bytes(value)
+
+    def _read_slot(self, slot: int) -> bytes:
+        base = self.value_addr(slot)
+        return bytes(self.storage[base : base + self.value_size])
+
+    def _write_slot(self, slot: int, value: bytes) -> None:
+        base = self.value_addr(slot)
+        self.storage[base : base + self.value_size] = value
+
+    # -- data-plane interface -------------------------------------------------
+
+    def lookup_slot(self, key: bytes) -> Optional[int]:
+        """Data-plane lookup: return the slot index holding ``key`` or None."""
+        raise NotImplementedError
+
+    def update(self, key: bytes, value: bytes, flags: int = BPF_ANY) -> int:
+        """Insert or overwrite; returns the slot written.
+
+        Honors ``BPF_NOEXIST``/``BPF_EXIST`` semantics like the kernel.
+        """
+        raise NotImplementedError
+
+    def delete(self, key: bytes) -> bool:
+        raise NotImplementedError
+
+    # -- host interface ---------------------------------------------------------
+
+    def lookup(self, key: bytes) -> Optional[bytes]:
+        """Host-side lookup returning a *copy* of the value bytes."""
+        slot = self.lookup_slot(self._check_key(key))
+        if slot is None:
+            return None
+        return self._read_slot(slot)
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Iterate (key, value) pairs, host-side."""
+        raise NotImplementedError
+
+    def entry_count(self) -> int:
+        return sum(1 for occupied in self._occupied if occupied)
+
+    def clear(self) -> None:
+        self.storage[:] = bytes(len(self.storage))
+        self._occupied = [False] * self.max_entries
+
+    def snapshot(self) -> bytes:
+        """Full copy of the backing storage (used by differential tests)."""
+        return bytes(self.storage)
+
+
+class ArrayMap(Map):
+    """``BPF_MAP_TYPE_ARRAY``: key is a u32 index; all slots always exist.
+
+    Like the kernel, lookups of in-range indices always succeed (values are
+    zero-initialised) and deletes are rejected.
+    """
+
+    def __init__(self, spec: MapSpec) -> None:
+        if spec.key_size != 4:
+            raise MapError("array map key size must be 4")
+        super().__init__(spec)
+        self._occupied = [True] * spec.max_entries
+
+    def _index(self, key: bytes) -> Optional[int]:
+        index = int.from_bytes(self._check_key(key), "little")
+        if index >= self.max_entries:
+            return None
+        return index
+
+    def lookup_slot(self, key: bytes) -> Optional[int]:
+        return self._index(key)
+
+    def update(self, key: bytes, value: bytes, flags: int = BPF_ANY) -> int:
+        index = self._index(key)
+        if index is None:
+            raise MapError(f"{self.name}: index out of bounds")
+        if flags == BPF_NOEXIST:
+            raise MapError(f"{self.name}: array entries always exist")
+        self._write_slot(index, self._check_value(value))
+        return index
+
+    def delete(self, key: bytes) -> bool:
+        raise MapError(f"{self.name}: cannot delete from array map")
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        for index in range(self.max_entries):
+            yield index.to_bytes(4, "little"), self._read_slot(index)
+
+
+class HashMap(Map):
+    """``BPF_MAP_TYPE_HASH``: open-addressed over the fixed slot table.
+
+    Keys are stored alongside a slot directory so that slot indices (and
+    hence value addresses) stay stable until deletion, matching kernel
+    behaviour where a looked-up value pointer stays valid.
+    """
+
+    def __init__(self, spec: MapSpec) -> None:
+        super().__init__(spec)
+        self._slot_by_key: Dict[bytes, int] = {}
+        self._key_by_slot: Dict[int, bytes] = {}
+        self._free: List[int] = list(range(spec.max_entries - 1, -1, -1))
+
+    def lookup_slot(self, key: bytes) -> Optional[int]:
+        return self._slot_by_key.get(self._check_key(key))
+
+    def update(self, key: bytes, value: bytes, flags: int = BPF_ANY) -> int:
+        key = self._check_key(key)
+        value = self._check_value(value)
+        slot = self._slot_by_key.get(key)
+        if slot is not None:
+            if flags == BPF_NOEXIST:
+                raise MapError(f"{self.name}: key already exists")
+            self._write_slot(slot, value)
+            return slot
+        if flags == BPF_EXIST:
+            raise MapError(f"{self.name}: key does not exist")
+        if not self._free:
+            raise MapError(f"{self.name}: map is full")
+        slot = self._free.pop()
+        self._slot_by_key[key] = slot
+        self._key_by_slot[slot] = key
+        self._occupied[slot] = True
+        self._write_slot(slot, value)
+        return slot
+
+    def delete(self, key: bytes) -> bool:
+        key = self._check_key(key)
+        slot = self._slot_by_key.pop(key, None)
+        if slot is None:
+            return False
+        del self._key_by_slot[slot]
+        self._occupied[slot] = False
+        self._write_slot(slot, bytes(self.value_size))
+        self._free.append(slot)
+        return True
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        for key, slot in list(self._slot_by_key.items()):
+            yield key, self._read_slot(slot)
+
+    def clear(self) -> None:
+        super().clear()
+        self._slot_by_key.clear()
+        self._key_by_slot.clear()
+        self._free = list(range(self.max_entries - 1, -1, -1))
+
+
+class LruHashMap(HashMap):
+    """``BPF_MAP_TYPE_LRU_HASH``: a hash map that evicts the least recently
+    used entry instead of failing when full."""
+
+    def __init__(self, spec: MapSpec) -> None:
+        super().__init__(spec)
+        self._lru: "OrderedDict[bytes, None]" = OrderedDict()
+
+    def lookup_slot(self, key: bytes) -> Optional[int]:
+        slot = super().lookup_slot(key)
+        if slot is not None:
+            self._lru.move_to_end(self._key_by_slot[slot])
+        return slot
+
+    def update(self, key: bytes, value: bytes, flags: int = BPF_ANY) -> int:
+        key = self._check_key(key)
+        if key not in self._slot_by_key and not self._free:
+            oldest = next(iter(self._lru))
+            self.delete(oldest)
+        slot = super().update(key, value, flags)
+        self._lru[key] = None
+        self._lru.move_to_end(key)
+        return slot
+
+    def delete(self, key: bytes) -> bool:
+        deleted = super().delete(self._check_key(key))
+        if deleted:
+            self._lru.pop(bytes(key), None)
+        return deleted
+
+    def clear(self) -> None:
+        super().clear()
+        self._lru.clear()
+
+
+class PercpuArrayMap(ArrayMap):
+    """``BPF_MAP_TYPE_PERCPU_ARRAY`` collapsed to a single CPU.
+
+    The hardware pipeline has a single map block, so per-CPU replication
+    degenerates to a plain array; the host interface still sums over
+    "cpus" (of which there is one) the way ``bpftool`` presents it.
+    """
+
+
+_MAP_CLASSES = {
+    "array": ArrayMap,
+    "hash": HashMap,
+    "lru_hash": LruHashMap,
+    "percpu_array": PercpuArrayMap,
+}
+
+
+def create_map(spec: MapSpec) -> Map:
+    """Instantiate the right map class for a :class:`MapSpec`."""
+    try:
+        cls = _MAP_CLASSES[spec.map_type]
+    except KeyError:
+        raise MapError(f"unknown map type {spec.map_type!r}")
+    return cls(spec)
+
+
+class MapSet:
+    """All maps of a loaded program, indexed by fd — the 'map side' of a
+    loaded program shared by the VM, the pipeline simulator and host tools."""
+
+    def __init__(self, specs: Dict[int, MapSpec]) -> None:
+        self.maps: Dict[int, Map] = {fd: create_map(spec) for fd, spec in specs.items()}
+
+    def __getitem__(self, fd: int) -> Map:
+        try:
+            return self.maps[fd]
+        except KeyError:
+            raise MapError(f"no map with fd {fd}")
+
+    def __contains__(self, fd: int) -> bool:
+        return fd in self.maps
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.maps)
+
+    def by_name(self, name: str) -> Map:
+        for m in self.maps.values():
+            if m.name == name:
+                return m
+        raise MapError(f"no map named {name!r}")
+
+    def fd_of(self, name: str) -> int:
+        for fd, m in self.maps.items():
+            if m.name == name:
+                return fd
+        raise MapError(f"no map named {name!r}")
+
+    def snapshot(self) -> Dict[int, bytes]:
+        return {fd: m.snapshot() for fd, m in self.maps.items()}
+
+    def clear(self) -> None:
+        for m in self.maps.values():
+            m.clear()

@@ -1,0 +1,384 @@
+"""Reference eBPF virtual machine.
+
+A direct interpreter for the eBPF ISA with Linux-kernel semantics:
+64-bit registers, 32-bit ALU subclass with zero-extension, signed and
+unsigned comparisons, masked shifts, div-by-zero-yields-zero, atomic
+read-modify-write on map memory, helper calls and the XDP context.
+
+The VM is the *specification* against which every eHDL-generated hardware
+pipeline is differentially tested: for the same packet and map state, the
+pipeline simulator must produce the same XDP action, packet bytes and map
+contents as :meth:`Vm.run`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from . import isa
+from .helpers import (
+    HelperError,
+    helper_impl,
+    helper_spec,
+    is_map_ptr,
+    map_ptr,
+)
+from .isa import MASK32, MASK64, Instruction, Program, to_signed32, to_signed64
+from .maps import MapSet
+from .xdp import AddressSpace, XdpAction, XdpContext, XdpResult
+
+MAX_INSTRUCTIONS = 1_000_000  # kernel's executed-instruction bound
+
+
+class VmError(RuntimeError):
+    """Raised on faults the kernel verifier/runtime would reject: bad
+    memory accesses, unknown opcodes, running off the program end."""
+
+
+class Vm:
+    """An eBPF execution environment bound to one program and its maps.
+
+    Maps persist across :meth:`run` calls (they model NIC/kernel memory);
+    registers, stack and packet state are per-run.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        maps: Optional[MapSet] = None,
+        time_ns: int = 0,
+        prandom_seed: int = 0x5EED,
+    ) -> None:
+        self.program = program
+        self.maps = maps if maps is not None else MapSet(program.maps)
+        self.time_ns = time_ns
+        self.trace_events: List[Tuple[int, ...]] = []
+        self._prandom_state = prandom_seed & MASK32 or 1
+        # Slot-indexed view of the program: slot -> instruction index, with
+        # the second slot of LD_IMM64 mapped to None. Branch offsets are in
+        # slots, so execution advances through this table.
+        self._slot_table: List[Optional[int]] = []
+        for index, insn in enumerate(program.instructions):
+            self._slot_table.append(index)
+            if insn.slots == 2:
+                self._slot_table.append(None)
+        # Per-run state, initialised by run().
+        self.regs: List[int] = [0] * isa.NUM_REGS
+        self.stack = bytearray(AddressSpace.STACK_SIZE)
+        self.ctx: XdpContext = XdpContext(bytearray())
+
+    # -- deterministic randomness ------------------------------------------
+
+    def next_prandom(self) -> int:
+        self._prandom_state = (self._prandom_state * 1103515245 + 12345) & MASK32
+        return self._prandom_state
+
+    # -- memory -------------------------------------------------------------
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        """Read ``size`` bytes from the VM address space with bounds checks."""
+        if size < 0:
+            raise VmError(f"negative read size {size}")
+        if AddressSpace.is_stack(addr):
+            off = addr - AddressSpace.STACK_BASE
+            if off + size > AddressSpace.STACK_SIZE:
+                raise VmError(f"stack read out of bounds: {addr:#x}+{size}")
+            return bytes(self.stack[off : off + size])
+        if AddressSpace.is_packet(addr):
+            off = addr - self.ctx.data
+            if off < 0 or off + size > len(self.ctx.packet):
+                raise VmError(f"packet read out of bounds: {addr:#x}+{size}")
+            return bytes(self.ctx.packet[off : off + size])
+        if AddressSpace.is_ctx(addr):
+            off = addr - AddressSpace.CTX_BASE
+            data = self.ctx.ctx_bytes()
+            if off + size > len(data):
+                raise VmError(f"ctx read out of bounds: {addr:#x}+{size}")
+            return data[off : off + size]
+        if AddressSpace.is_map_value(addr):
+            fd = AddressSpace.map_fd_of(addr)
+            off = AddressSpace.map_offset_of(addr)
+            storage = self.maps[fd].storage
+            if off + size > len(storage):
+                raise VmError(f"map value read out of bounds: {addr:#x}+{size}")
+            return bytes(storage[off : off + size])
+        raise VmError(f"read from unmapped address {addr:#x}")
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        size = len(data)
+        if AddressSpace.is_stack(addr):
+            off = addr - AddressSpace.STACK_BASE
+            if off + size > AddressSpace.STACK_SIZE:
+                raise VmError(f"stack write out of bounds: {addr:#x}+{size}")
+            self.stack[off : off + size] = data
+            return
+        if AddressSpace.is_packet(addr):
+            off = addr - self.ctx.data
+            if off < 0 or off + size > len(self.ctx.packet):
+                raise VmError(f"packet write out of bounds: {addr:#x}+{size}")
+            self.ctx.packet[off : off + size] = data
+            return
+        if AddressSpace.is_map_value(addr):
+            fd = AddressSpace.map_fd_of(addr)
+            off = AddressSpace.map_offset_of(addr)
+            storage = self.maps[fd].storage
+            if off + size > len(storage):
+                raise VmError(f"map value write out of bounds: {addr:#x}+{size}")
+            storage[off : off + size] = data
+            return
+        if AddressSpace.is_ctx(addr):
+            raise VmError("xdp_md context is read-only")
+        raise VmError(f"write to unmapped address {addr:#x}")
+
+    def _load(self, addr: int, size_bytes: int) -> int:
+        return int.from_bytes(self.read_bytes(addr, size_bytes), "little")
+
+    def _store(self, addr: int, size_bytes: int, value: int) -> None:
+        self.write_bytes(addr, (value & ((1 << (8 * size_bytes)) - 1)).to_bytes(size_bytes, "little"))
+
+    # -- ALU ------------------------------------------------------------------
+
+    @staticmethod
+    def _alu(op: int, dst: int, src: int, is64: bool) -> int:
+        mask = MASK64 if is64 else MASK32
+        bits = 64 if is64 else 32
+        shift_mask = 63 if is64 else 31
+        if op == isa.BPF_ADD:
+            result = dst + src
+        elif op == isa.BPF_SUB:
+            result = dst - src
+        elif op == isa.BPF_MUL:
+            result = dst * src
+        elif op == isa.BPF_DIV:
+            result = (dst & mask) // (src & mask) if (src & mask) else 0
+        elif op == isa.BPF_MOD:
+            result = (dst & mask) % (src & mask) if (src & mask) else dst
+        elif op == isa.BPF_OR:
+            result = dst | src
+        elif op == isa.BPF_AND:
+            result = dst & src
+        elif op == isa.BPF_XOR:
+            result = dst ^ src
+        elif op == isa.BPF_LSH:
+            result = dst << (src & shift_mask)
+        elif op == isa.BPF_RSH:
+            result = (dst & mask) >> (src & shift_mask)
+        elif op == isa.BPF_ARSH:
+            signed = isa.sign_extend(dst, bits)
+            result = signed >> (src & shift_mask)
+        elif op == isa.BPF_MOV:
+            result = src
+        elif op == isa.BPF_NEG:
+            result = -dst
+        else:
+            raise VmError(f"unknown ALU op {op:#x}")
+        return result & mask
+
+    @staticmethod
+    def _swap(value: int, bits: int, to_big: bool) -> int:
+        width = bits // 8
+        value &= (1 << bits) - 1
+        if to_big:
+            return int.from_bytes(value.to_bytes(width, "little"), "big")
+        # to_le on a little-endian machine just truncates
+        return value
+
+    @staticmethod
+    def _compare(op: int, lhs: int, rhs: int, is64: bool) -> bool:
+        bits = 64 if is64 else 32
+        mask = MASK64 if is64 else MASK32
+        lhs &= mask
+        rhs &= mask
+        slhs = isa.sign_extend(lhs, bits)
+        srhs = isa.sign_extend(rhs, bits)
+        if op == isa.BPF_JEQ:
+            return lhs == rhs
+        if op == isa.BPF_JNE:
+            return lhs != rhs
+        if op == isa.BPF_JGT:
+            return lhs > rhs
+        if op == isa.BPF_JGE:
+            return lhs >= rhs
+        if op == isa.BPF_JLT:
+            return lhs < rhs
+        if op == isa.BPF_JLE:
+            return lhs <= rhs
+        if op == isa.BPF_JSET:
+            return bool(lhs & rhs)
+        if op == isa.BPF_JSGT:
+            return slhs > srhs
+        if op == isa.BPF_JSGE:
+            return slhs >= srhs
+        if op == isa.BPF_JSLT:
+            return slhs < srhs
+        if op == isa.BPF_JSLE:
+            return slhs <= srhs
+        raise VmError(f"unknown jump op {op:#x}")
+
+    # -- atomics ---------------------------------------------------------------
+
+    def _atomic(self, insn: Instruction, addr: int) -> None:
+        size = insn.size_bytes
+        mask = (1 << (8 * size)) - 1
+        src_val = self.regs[insn.src] & mask
+        old = self._load(addr, size)
+        op = insn.imm & ~isa.BPF_FETCH
+        fetch = bool(insn.imm & isa.BPF_FETCH)
+        if insn.imm == isa.ATOMIC_XCHG:
+            self._store(addr, size, src_val)
+            self.regs[insn.src] = old
+            return
+        if insn.imm == isa.ATOMIC_CMPXCHG:
+            expected = self.regs[isa.R0] & mask
+            if old == expected:
+                self._store(addr, size, src_val)
+            self.regs[isa.R0] = old
+            return
+        if op == isa.ATOMIC_ADD:
+            new = (old + src_val) & mask
+        elif op == isa.ATOMIC_OR:
+            new = old | src_val
+        elif op == isa.ATOMIC_AND:
+            new = old & src_val
+        elif op == isa.ATOMIC_XOR:
+            new = old ^ src_val
+        else:
+            raise VmError(f"unknown atomic op {insn.imm:#x}")
+        self._store(addr, size, new)
+        if fetch:
+            self.regs[insn.src] = old
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(
+        self,
+        packet: bytes,
+        ingress_ifindex: int = 1,
+        rx_queue_index: int = 0,
+    ) -> XdpResult:
+        """Execute the program over one packet and return the verdict."""
+        self.ctx = XdpContext(
+            bytearray(packet),
+            ingress_ifindex=ingress_ifindex,
+            rx_queue_index=rx_queue_index,
+        )
+        self.regs = [0] * isa.NUM_REGS
+        self.regs[isa.R1] = AddressSpace.CTX_BASE
+        self.regs[isa.R10] = AddressSpace.stack_top()
+        self.stack = bytearray(AddressSpace.STACK_SIZE)
+
+        slot = 0
+        executed = 0
+        table = self._slot_table
+        instructions = self.program.instructions
+
+        while True:
+            if executed >= MAX_INSTRUCTIONS:
+                raise VmError("instruction limit exceeded (unbounded loop?)")
+            if not 0 <= slot < len(table):
+                raise VmError(f"program counter out of range: slot {slot}")
+            index = table[slot]
+            if index is None:
+                raise VmError(f"jump into the middle of ld_imm64 at slot {slot}")
+            insn = instructions[index]
+            executed += 1
+            next_slot = slot + insn.slots
+            cls = insn.opclass
+
+            if cls in (isa.BPF_ALU64, isa.BPF_ALU):
+                is64 = cls == isa.BPF_ALU64
+                if insn.op == isa.BPF_END:
+                    self.regs[insn.dst] = self._swap(
+                        self.regs[insn.dst], insn.imm, to_big=insn.uses_reg_src
+                    )
+                else:
+                    if insn.op == isa.BPF_NEG:
+                        operand = 0  # unused
+                    elif insn.uses_reg_src:
+                        operand = self.regs[insn.src]
+                    else:
+                        operand = to_signed32(insn.imm) & (MASK64 if is64 else MASK32)
+                    self.regs[insn.dst] = self._alu(
+                        insn.op, self.regs[insn.dst], operand, is64
+                    )
+            elif cls == isa.BPF_LDX:
+                if insn.mode != isa.BPF_MEM:
+                    raise VmError(f"unsupported LDX mode {insn.mode:#x}")
+                addr = (self.regs[insn.src] + insn.off) & MASK64
+                self.regs[insn.dst] = self._load(addr, insn.size_bytes)
+            elif cls == isa.BPF_LD:
+                if insn.is_ld_imm64:
+                    if insn.src == isa.BPF_PSEUDO_MAP_FD:
+                        fd = (insn.imm64 or insn.imm) & MASK32
+                        if fd not in self.maps:
+                            raise VmError(f"unknown map fd {fd}")
+                        self.regs[insn.dst] = map_ptr(fd)
+                    else:
+                        self.regs[insn.dst] = (
+                            insn.imm64 if insn.imm64 is not None else insn.imm
+                        ) & MASK64
+                else:
+                    raise VmError(f"unsupported LD mode {insn.mode:#x}")
+            elif cls in (isa.BPF_ST, isa.BPF_STX):
+                addr = (self.regs[insn.dst] + insn.off) & MASK64
+                if insn.is_atomic:
+                    self._atomic(insn, addr)
+                elif cls == isa.BPF_STX:
+                    self._store(addr, insn.size_bytes, self.regs[insn.src])
+                else:
+                    self._store(
+                        addr, insn.size_bytes, to_signed32(insn.imm) & MASK64
+                    )
+            elif cls in (isa.BPF_JMP, isa.BPF_JMP32):
+                if insn.is_exit:
+                    action_code = self.regs[isa.R0] & MASK32
+                    try:
+                        action = XdpAction(action_code)
+                    except ValueError:
+                        action = XdpAction.ABORTED
+                    return XdpResult(
+                        action=action,
+                        packet=bytes(self.ctx.packet),
+                        redirect_ifindex=self.ctx.redirect_ifindex,
+                        instructions_executed=executed,
+                    )
+                if insn.is_call:
+                    self._call(insn.imm)
+                elif insn.op == isa.BPF_JA:
+                    next_slot = slot + insn.slots + insn.off
+                else:
+                    is64 = cls == isa.BPF_JMP
+                    lhs = self.regs[insn.dst]
+                    rhs = (
+                        self.regs[insn.src]
+                        if insn.uses_reg_src
+                        else to_signed32(insn.imm) & (MASK64 if is64 else MASK32)
+                    )
+                    if self._compare(insn.op, lhs, rhs, is64):
+                        next_slot = slot + insn.slots + insn.off
+            else:
+                raise VmError(f"unknown instruction class {cls:#x}")
+
+            slot = next_slot
+
+    def _call(self, helper_id: int) -> None:
+        spec = helper_spec(helper_id)
+        impl = helper_impl(helper_id)
+        args = [self.regs[r] for r in (isa.R1, isa.R2, isa.R3, isa.R4, isa.R5)]
+        result = impl(self, *args)
+        self.regs[isa.R0] = result & MASK64
+        # R1-R5 are caller-saved and unreadable after a call; scrub them so
+        # programs relying on stale values fail loudly (like the verifier
+        # would reject them).
+        for reg in (isa.R1, isa.R2, isa.R3, isa.R4, isa.R5):
+            self.regs[reg] = 0
+
+
+def run_program(
+    program: Program,
+    packet: bytes,
+    maps: Optional[MapSet] = None,
+    **kwargs,
+) -> XdpResult:
+    """One-shot convenience wrapper: build a VM and run a single packet."""
+    return Vm(program, maps=maps, **kwargs).run(packet)

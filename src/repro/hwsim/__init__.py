@@ -1,0 +1,27 @@
+"""Cycle-level simulation of eHDL-generated pipelines + NIC shell model."""
+
+from .diff import DiffResult, Mismatch, run_differential
+from .multi import MultiProgramNic, SlotResult, ethertype_classifier
+from .shell import NicSystem, ShellConfig
+from .sim import PipelineSimulator, SimError, SimOptions
+from .stats import PacketRecord, SimReport
+from .trace import CycleSnapshot, OccupancyTracer, render_occupancy
+
+__all__ = [
+    "DiffResult",
+    "Mismatch",
+    "MultiProgramNic",
+    "NicSystem",
+    "PacketRecord",
+    "PipelineSimulator",
+    "ShellConfig",
+    "SimError",
+    "SimOptions",
+    "SimReport",
+    "SlotResult",
+    "ethertype_classifier",
+    "CycleSnapshot",
+    "OccupancyTracer",
+    "render_occupancy",
+    "run_differential",
+]

@@ -1,0 +1,127 @@
+"""Multi-program NIC deployments.
+
+§2.4 notes that "in real deployments, it is also possible that multiple
+XDP programs are loaded at the same time (e.g., to handle different types
+of protocols/traffic)" — which is why per-stage state minimisation
+matters: the pipelines share one FPGA.
+
+:class:`MultiProgramNic` models that deployment: several eHDL pipelines
+behind one Corundum shell, with a classifier (a small hardware dispatch
+stage, e.g. by ethertype or port) steering each arriving frame to one
+pipeline. Pipelines are independent hardware (own maps, own stages), so
+aggregate resources are the sum of the pipelines plus a single shell, and
+each pipeline sustains its own line rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.pipeline import Pipeline
+from ..core.resources import (
+    CORUNDUM_SHELL,
+    DeviceSpec,
+    ALVEO_U50,
+    ResourceEstimate,
+    estimate_resources,
+)
+from ..ebpf.maps import MapSet
+from .shell import ShellConfig
+from .sim import PipelineSimulator, SimOptions
+from .stats import SimReport
+
+# a small steering stage in front of the pipelines
+_DISPATCH_LUTS = 650
+_DISPATCH_FFS = 900
+
+Classifier = Callable[[bytes], int]
+
+
+def ethertype_classifier(mapping: Dict[int, int], default: int = 0) -> Classifier:
+    """Steer by the Ethernet type field (wire big-endian)."""
+
+    def classify(frame: bytes) -> int:
+        if len(frame) < 14:
+            return default
+        ethertype = int.from_bytes(frame[12:14], "big")
+        return mapping.get(ethertype, default)
+
+    return classify
+
+
+@dataclass
+class SlotResult:
+    """Per-pipeline outcome of a multi-program run."""
+
+    name: str
+    packets: int
+    report: Optional[SimReport]
+
+
+class MultiProgramNic:
+    """Several compiled pipelines behind one NIC shell."""
+
+    def __init__(
+        self,
+        pipelines: Sequence[Pipeline],
+        classifier: Classifier,
+        maps: Optional[Sequence[MapSet]] = None,
+        shell: Optional[ShellConfig] = None,
+    ) -> None:
+        if not pipelines:
+            raise ValueError("need at least one pipeline")
+        self.pipelines = list(pipelines)
+        self.classifier = classifier
+        self.shell = shell or ShellConfig()
+        if maps is None:
+            maps = [MapSet(p.program.maps) for p in self.pipelines]
+        if len(maps) != len(self.pipelines):
+            raise ValueError("one MapSet per pipeline required")
+        self.maps = list(maps)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run_at_line_rate(self, frames: Sequence[bytes]) -> List[SlotResult]:
+        """Steer frames to their pipelines and run each at line rate.
+
+        The pipelines are physically parallel, so each receives its own
+        back-to-back stream (the shell's dispatch stage adds no stalls).
+        """
+        buckets: List[List[bytes]] = [[] for _ in self.pipelines]
+        for frame in frames:
+            index = self.classifier(frame)
+            if not 0 <= index < len(self.pipelines):
+                raise ValueError(f"classifier returned bad pipeline index {index}")
+            buckets[index].append(frame)
+        results: List[SlotResult] = []
+        for pipeline, map_set, bucket in zip(self.pipelines, self.maps, buckets):
+            if not bucket:
+                results.append(SlotResult(pipeline.name, 0, None))
+                continue
+            sim = PipelineSimulator(
+                pipeline, maps=map_set,
+                options=SimOptions(clock_mhz=self.shell.clock_mhz,
+                                   keep_records=False),
+            )
+            report = sim.run_packets(bucket)
+            results.append(SlotResult(pipeline.name, len(bucket), report))
+        return results
+
+    def aggregate_throughput_mpps(self, results: Sequence[SlotResult]) -> float:
+        return sum(r.report.throughput_mpps for r in results if r.report)
+
+    # -- resources -----------------------------------------------------------------
+
+    def resources(self, device: DeviceSpec = ALVEO_U50) -> ResourceEstimate:
+        """Sum of all pipelines + one shared shell + the dispatch stage."""
+        total = ResourceEstimate(_DISPATCH_LUTS, _DISPATCH_FFS, 0, device)
+        for pipeline in self.pipelines:
+            total = total + estimate_resources(
+                pipeline, include_shell=False, device=device
+            )
+        return total + CORUNDUM_SHELL
+
+    def fits(self, device: DeviceSpec = ALVEO_U50) -> bool:
+        est = self.resources(device)
+        return est.max_pct <= 100.0

@@ -1,0 +1,1025 @@
+"""Cycle-level simulator for eHDL-generated pipelines.
+
+Simulates the compiled :class:`~repro.core.pipeline.Pipeline` one clock
+cycle at a time, with one packet per stage (the paper's "as many parallel
+program executions (and packets) as the number of stages"), including all
+of the consistency machinery of §4.1:
+
+* **predication** — every packet traverses every stage; ops execute only
+  when their basic block is enabled for that packet (§3.5);
+* **WAR write buffers** — stores to map values at stages before the map's
+  last read stage are held per-packet and committed when the packet passes
+  that read stage; in-pipeline reads see older packets' pending writes via
+  forwarding (the delay-register chain of Figure 6);
+* **Flush Evaluation Blocks** — commits of map updates/stores compare
+  against the recorded reads of younger in-flight packets and squash them
+  on a match (Figure 7), restarting them from the input queue or, with
+  multiple maps, from the elastic buffer after their last committed side
+  effect (Appendix A.2);
+* **atomic blocks** — ``lock`` instructions execute read-modify-write in
+  place at the map port, in packet order, with no hazard machinery.
+
+The simulator is differentially tested against :class:`repro.ebpf.vm.Vm`:
+same packets in, same actions/bytes/map state out — that equivalence is
+the correctness claim for the whole compiler.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..ebpf import isa
+from ..ebpf.helpers import MAP_PTR_BASE, helper_impl, helper_spec, map_ptr
+from ..ebpf.isa import MASK32, MASK64, Instruction, to_signed32
+from ..ebpf.maps import BPF_ANY, MapError, MapSet
+from ..ebpf.vm import Vm
+from ..ebpf.xdp import AddressSpace, XdpAction, XdpContext
+from ..core.cfg import BasicBlock
+from ..core.labeling import Region
+from ..core.pipeline import PipeOp, Pipeline, Stage, StageKind
+from .stats import PacketRecord, SimReport
+
+
+@dataclass
+class SimOptions:
+    """Simulation knobs."""
+
+    clock_mhz: float = 250.0
+    input_queue_capacity: int = 4096
+    reload_overhead: int = 4  # cycles lost after a flush (Appendix A.1)
+    max_cycles: int = 50_000_000
+    keep_records: bool = True
+
+
+class SimError(RuntimeError):
+    """Raised on simulator-internal inconsistencies."""
+
+
+@dataclass
+class _Snapshot:
+    stage: int  # packet state as of *after* executing this stage
+    regs: List[int]
+    stack: bytes
+    packet: bytes
+    head_adjust: int
+    tail_adjust: int
+    redirect_ifindex: Optional[int]
+    enabled: Set[int]
+    done: bool
+    action: Optional[XdpAction]
+    addr_reads: Dict[int, List[Tuple[bytes, Optional[int]]]]
+    value_reads: Dict[int, Set[int]]
+    pending_writes: List[Tuple[int, int, bytes, int]]
+
+
+class _InFlight:
+    """One packet's execution state inside the pipeline."""
+
+    __slots__ = (
+        "pid", "ctx", "regs", "stack", "enabled", "done", "action",
+        "position", "arrival_cycle", "inject_cycle", "restarts",
+        "addr_reads", "value_reads", "pending_writes", "snapshots",
+        "original_frame",
+    )
+
+    def __init__(self, pid: int, frame: bytes, arrival_cycle: int) -> None:
+        self.pid = pid
+        self.original_frame = frame
+        self.arrival_cycle = arrival_cycle
+        self.inject_cycle = -1
+        self.restarts = 0
+        self.reset()
+
+    def reset(self) -> None:
+        self.ctx = XdpContext(bytearray(self.original_frame))
+        self.regs = [0] * isa.NUM_REGS
+        self.regs[isa.R1] = AddressSpace.CTX_BASE
+        self.regs[isa.R10] = AddressSpace.stack_top()
+        self.stack = bytearray(AddressSpace.STACK_SIZE)
+        self.enabled: Set[int] = set()
+        self.done = False
+        self.action: Optional[XdpAction] = None
+        self.position = 0
+        # map-consistency tracking
+        self.addr_reads: Dict[int, List[Tuple[bytes, Optional[int]]]] = {}
+        self.value_reads: Dict[int, Set[int]] = {}
+        self.pending_writes: List[Tuple[int, int, bytes, int]] = []
+        self.snapshots: List[_Snapshot] = []
+
+    # -- snapshot / restore (elastic buffers, Appendix A.2) -------------------
+
+    def take_snapshot(self, stage: int) -> None:
+        self.snapshots.append(_Snapshot(
+            stage=stage,
+            regs=list(self.regs),
+            stack=bytes(self.stack),
+            packet=bytes(self.ctx.packet),
+            head_adjust=self.ctx.head_adjust,
+            tail_adjust=self.ctx.tail_adjust,
+            redirect_ifindex=self.ctx.redirect_ifindex,
+            enabled=set(self.enabled),
+            done=self.done,
+            action=self.action,
+            addr_reads={fd: list(v) for fd, v in self.addr_reads.items()},
+            value_reads={fd: set(v) for fd, v in self.value_reads.items()},
+            pending_writes=list(self.pending_writes),
+        ))
+
+    def restore_snapshot(self, snap: "_Snapshot") -> int:
+        """Restore to a side-effect snapshot; returns its stage. Later
+        snapshots are discarded (they are in the squashed future)."""
+        self.snapshots = [sn for sn in self.snapshots if sn.stage <= snap.stage]
+        self.regs = list(snap.regs)
+        self.stack = bytearray(snap.stack)
+        self.ctx = XdpContext(bytearray(snap.packet))
+        self.ctx.head_adjust = snap.head_adjust
+        self.ctx.tail_adjust = snap.tail_adjust
+        self.ctx.redirect_ifindex = snap.redirect_ifindex
+        self.enabled = set(snap.enabled)
+        self.done = snap.done
+        self.action = snap.action
+        self.addr_reads = {fd: list(v) for fd, v in snap.addr_reads.items()}
+        self.value_reads = {fd: set(v) for fd, v in snap.value_reads.items()}
+        self.pending_writes = list(snap.pending_writes)
+        return snap.stage
+
+
+class PipelineSimulator:
+    """Executes packets through a compiled pipeline, cycle by cycle."""
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        maps: Optional[MapSet] = None,
+        options: Optional[SimOptions] = None,
+        time_ns: int = 0,
+    ) -> None:
+        self.pipeline = pipeline
+        self.maps = maps if maps is not None else MapSet(pipeline.program.maps)
+        self.options = options or SimOptions()
+        self.time_ns = time_ns
+        # Host-side map operations applied at cycle boundaries while the
+        # data plane runs (§6: the userspace eBPF map interface stays live;
+        # host accesses use the map block's dedicated host port). Each
+        # entry is (cycle, callable(maps)).
+        self.host_ops: List[Tuple[int, Callable[[MapSet], None]]] = []
+        # Optional per-cycle observer: called as
+        # observer(cycle, slots, barrier_queues, input_queue, report)
+        # after each cycle's advance phase (see hwsim.trace).
+        self.observer: Optional[Callable] = None
+        self.trace_events: List[Tuple[int, ...]] = []
+        self._prandom_state = 0x5EED
+        self._current: Optional[_InFlight] = None  # packet being executed
+
+        program = pipeline.program
+        self._blocks: List[BasicBlock] = pipeline.cfg.blocks
+        self._block_of_insn = pipeline.cfg.block_of_insn
+        n = len(program.instructions)
+        self._terminator_block: Dict[int, BasicBlock] = {
+            b.terminator_index: b for b in self._blocks
+        }
+        # Per-map hazard configuration.
+        self._max_read_stage: Dict[int, int] = {}
+        self._has_flush: Dict[int, bool] = {}
+        for fd, plan in pipeline.map_hazards.items():
+            self._max_read_stage[fd] = max(plan.read_stages, default=0)
+            self._has_flush[fd] = plan.needs_flush
+        self._any_flush = any(self._has_flush.values())
+        # Pending (WAR-buffered) writes commit only once the packet can no
+        # longer be flushed — past the deepest flush-capable write stage —
+        # so a squashed packet never has to unwind a committed store. (In
+        # hardware: the write-delay chain extends to the last Flush
+        # Evaluation Block.)
+        self._last_flush_stage = max(
+            (max(plan.write_stages) for plan in pipeline.map_hazards.values()
+             if plan.needs_flush and plan.write_stages),
+            default=0,
+        )
+
+    def schedule_host_op(self, cycle: int, op: "Callable[[MapSet], None]") -> None:
+        """Apply ``op(maps)`` at the start of ``cycle`` during :meth:`run`."""
+        self.host_ops.append((cycle, op))
+        self.host_ops.sort(key=lambda pair: pair[0])
+
+    # -- deterministic randomness (helper interface parity with Vm) -----------
+
+    def next_prandom(self) -> int:
+        self._prandom_state = (self._prandom_state * 1103515245 + 12345) & MASK32
+        return self._prandom_state
+
+    # -- public API --------------------------------------------------------------
+
+    def run(
+        self,
+        arrivals: Iterable[Tuple[int, bytes]],
+        drain: bool = True,
+    ) -> SimReport:
+        """Simulate a stream of (arrival_cycle, frame) pairs.
+
+        Arrival cycles must be non-decreasing. With ``drain`` the
+        simulation continues until every packet has exited.
+        """
+        options = self.options
+        report = SimReport(
+            clock_mhz=options.clock_mhz,
+            n_stages=self.pipeline.n_stages,
+            keep_records=options.keep_records,
+        )
+        stages = self.pipeline.stages
+        n_stages = len(stages)
+        slots: List[Optional[_InFlight]] = [None] * (n_stages + 1)  # 1-based
+        self._slots = slots  # forwarding registry for _map_read_bytes
+        input_queue: Deque[_InFlight] = deque()
+        barrier_queues: Dict[int, Deque[_InFlight]] = {}
+        arrival_iter = iter(arrivals)
+        pending_arrival: Optional[Tuple[int, bytes]] = next(arrival_iter, None)
+        next_pid = 0
+        cycle = 0
+        reload_stall = 0
+        time_base_ns = self.time_ns
+        cycle_ns = 1000.0 / options.clock_mhz
+
+        host_ops = list(self.host_ops)
+        while True:
+            # 0. host-side map accesses land through the dedicated host port
+            while host_ops and host_ops[0][0] <= cycle:
+                _cycle, op = host_ops.pop(0)
+                op(self.maps)
+
+            # 1. accept arrivals whose time has come
+            while pending_arrival is not None and pending_arrival[0] <= cycle:
+                if len(input_queue) >= options.input_queue_capacity:
+                    report.packets_dropped_queue += 1
+                else:
+                    pkt = _InFlight(next_pid, pending_arrival[1], cycle)
+                    next_pid += 1
+                    input_queue.append(pkt)
+                    report.packets_in += 1
+                pending_arrival = next(arrival_iter, None)
+
+            if (
+                pending_arrival is None
+                and not input_queue
+                and not any(s is not None for s in slots)
+                and not any(barrier_queues.values())
+            ):
+                break
+            if cycle >= options.max_cycles:
+                raise SimError(f"simulation exceeded {options.max_cycles} cycles")
+
+            # 2. advance phase. Barrier queues stall everything at or below
+            # their stage so restarted (older) packets keep their order.
+            stall_below = -1
+            for stage_no, queue in barrier_queues.items():
+                if queue:
+                    stall_below = max(stall_below, stage_no)
+            if stall_below >= 0:
+                report.stall_cycles += 1
+
+            # deepest first: exit, then shift
+            out = slots[n_stages]
+            if out is not None:
+                self._finalize(out)
+                report.record(
+                    PacketRecord(
+                        pid=out.pid,
+                        action=out.action if out.action is not None else XdpAction.PASS,
+                        data=bytes(out.ctx.packet),
+                        arrival_cycle=out.arrival_cycle,
+                        inject_cycle=out.inject_cycle,
+                        exit_cycle=cycle,
+                        restarts=out.restarts,
+                    )
+                )
+                slots[n_stages] = None
+            for pos in range(n_stages - 1, 0, -1):
+                pkt = slots[pos]
+                if pkt is None:
+                    continue
+                if pos <= stall_below:
+                    continue  # held by a draining elastic buffer
+                slots[pos] = None
+                slots[pos + 1] = pkt
+                pkt.position = pos + 1
+                flushed = self._execute_stage(pkt, stages[pos], slots, barrier_queues,
+                                              input_queue, report)
+                if flushed:
+                    reload_stall = max(reload_stall, options.reload_overhead)
+
+            # 3. release one packet from the deepest non-empty barrier queue
+            released = False
+            if reload_stall > 0:
+                reload_stall -= 1
+            elif stall_below >= 0:
+                queue = barrier_queues[stall_below]
+                if queue and slots[stall_below + 1] is None:
+                    pkt = queue.popleft()
+                    slots[stall_below + 1] = pkt
+                    pkt.position = stall_below + 1
+                    flushed = self._execute_stage(
+                        pkt, stages[stall_below], slots, barrier_queues,
+                        input_queue, report,
+                    )
+                    if flushed:
+                        reload_stall = max(reload_stall, options.reload_overhead)
+                    released = True
+
+            # 4. inject from the input queue into stage 1
+            if (
+                not released
+                and reload_stall == 0
+                and stall_below < 1
+                and input_queue
+                and slots[1] is None
+            ):
+                pkt = input_queue.popleft()
+                pkt.reset()
+                if pkt.inject_cycle < 0:
+                    pkt.inject_cycle = cycle
+                pkt.position = 1
+                pkt.enabled = {self.pipeline.cfg.entry.block_id}
+                # The hardware's input-length comparators stand in for the
+                # elided entry-side bounds checks.
+                for min_len, action in self.pipeline.entry_checks:
+                    if len(pkt.ctx.packet) < min_len:
+                        pkt.done = True
+                        try:
+                            pkt.action = XdpAction(action & MASK32)
+                        except ValueError:
+                            pkt.action = XdpAction.ABORTED
+                        break
+                if not pkt.done:
+                    self._run_entry_ops(pkt)
+                slots[1] = pkt
+                flushed = self._execute_stage(
+                    pkt, stages[0], slots, barrier_queues, input_queue, report
+                )
+                if flushed:
+                    reload_stall = max(reload_stall, options.reload_overhead)
+
+            if self.observer is not None:
+                self.observer(cycle, slots, barrier_queues, input_queue, report)
+
+            cycle += 1
+            # Wall-clock time advances with the pipeline clock so that
+            # time-dependent helpers (bpf_ktime_get_ns) behave like
+            # hardware timestamping.
+            self.time_ns = time_base_ns + int(cycle * cycle_ns)
+            if not drain and pending_arrival is None and not input_queue:
+                break
+
+        report.cycles = cycle
+        return report
+
+    def run_packets(self, frames: Sequence[bytes], gap: int = 1) -> SimReport:
+        """Convenience: inject frames ``gap`` cycles apart (1 = line rate)."""
+        return self.run((i * gap, f) for i, f in enumerate(frames))
+
+    # -- per-stage execution ---------------------------------------------------
+
+    def _run_entry_ops(self, pkt: _InFlight) -> None:
+        self._current = pkt
+        try:
+            for op in self.pipeline.entry_ops:
+                self._execute_op(pkt, op)
+        finally:
+            self._current = None
+
+    def _execute_stage(
+        self,
+        pkt: _InFlight,
+        stage: Stage,
+        slots: List[Optional[_InFlight]],
+        barrier_queues: Dict[int, Deque[_InFlight]],
+        input_queue: Deque[_InFlight],
+        report: SimReport,
+    ) -> bool:
+        """Execute one stage for one packet; returns True if a flush fired."""
+        # Commit WAR-buffered writes on *entry* to the commit stage: all
+        # older packets are already past it, and committing before this
+        # stage's own reads keeps the commit snapshot free of them — so a
+        # later flush resumes by re-executing this stage's (possibly
+        # stale) reads instead of replaying the committed write.
+        self._commit_pending(pkt, stage.number)
+        if stage.kind is not StageKind.OPS:
+            return False
+        flushed = False
+        self._current = pkt
+        try:
+            for op in stage.ops:
+                if pkt.done:
+                    break
+                if op.block_id not in pkt.enabled:
+                    # Disabled op: still the terminator of a block we never
+                    # entered — nothing to do.
+                    continue
+                side_effect = self._execute_op(pkt, op)
+                if side_effect:
+                    # Every map side effect is an A.2 restart point. For a
+                    # WAR-buffered store the snapshot carries the *pending*
+                    # write: a restart resumes with it still queued, so it
+                    # commits exactly once (and re-committing the same
+                    # bytes after an already-performed commit is idempotent
+                    # — packet order guarantees no younger write can have
+                    # intervened on that slot).
+                    pkt.take_snapshot(stage.number)
+                    if self._flush_check(pkt, side_effect, slots, barrier_queues,
+                                         input_queue, report):
+                        flushed = True
+        finally:
+            self._current = None
+        return flushed
+
+    def _commit_pending(self, pkt: _InFlight, stage_number: int) -> None:
+        """Commit WAR-buffered writes whose protection window has passed."""
+        if not pkt.pending_writes:
+            return
+        remaining = []
+        committed = False
+        for fd, offset, data, made_at in pkt.pending_writes:
+            threshold = max(self._max_read_stage.get(fd, 0),
+                            self._last_flush_stage)
+            if stage_number >= threshold:
+                storage = self.maps[fd].storage
+                storage[offset : offset + len(data)] = data
+                committed = True
+            else:
+                remaining.append((fd, offset, data, made_at))
+        pkt.pending_writes = remaining
+        # No snapshot here: the commit is covered by the pending-creation
+        # snapshot (re-commit is idempotent), and a commit-time snapshot
+        # would capture reads made between the write and the commit stage,
+        # poisoning the restart point.
+
+    # -- flush machinery --------------------------------------------------------
+
+    def _flush_check(
+        self,
+        writer: _InFlight,
+        side_effect: Tuple,
+        slots: List[Optional[_InFlight]],
+        barrier_queues: Dict[int, Deque[_InFlight]],
+        input_queue: Deque[_InFlight],
+        report: SimReport,
+    ) -> bool:
+        """After ``writer`` committed a map side effect, squash younger
+        in-flight packets whose recorded reads it invalidates."""
+        kind, fd = side_effect[0], side_effect[1]
+        if kind == "atomic":
+            return False
+        if not self._has_flush.get(fd, False):
+            return False
+        # Younger packets behind the writer live either in pipeline slots
+        # or in elastic-buffer queues (restored after an earlier flush);
+        # BOTH can hold stale reads and must be checked.
+        behind: List[_InFlight] = []
+        for pos in range(1, writer.position):
+            other = slots[pos]
+            if other is not None and other.pid > writer.pid:
+                behind.append(other)
+        queued: List[_InFlight] = []
+        for queue in barrier_queues.values():
+            for other in queue:
+                if other.pid > writer.pid:
+                    queued.append(other)
+        victims = [
+            other for other in behind + queued
+            if self._read_invalidated(other, side_effect)
+        ]
+        if not victims:
+            return False
+        # The paper flushes the whole pipeline prefix, not just matching
+        # packets: every packet younger than the oldest victim restarts.
+        oldest_victim_pid = min(v.pid for v in victims)
+        squashed: List[_InFlight] = []
+        for pos in range(writer.position - 1, 0, -1):
+            other = slots[pos]
+            if other is not None and other.pid >= oldest_victim_pid:
+                slots[pos] = None
+                squashed.append(other)
+        for queue in barrier_queues.values():
+            keep = [p for p in queue if p.pid < oldest_victim_pid]
+            for p in queue:
+                if p.pid >= oldest_victim_pid:
+                    squashed.append(p)
+            queue.clear()
+            queue.extend(keep)
+        report.flush_events += 1
+        report.squashed_packets += len(squashed)
+        # Restart each squashed packet from its elastic buffer (if it has
+        # committed side effects) or from the input queue, under two rules:
+        #
+        # 1. A snapshot is only usable when the invalidated read happened
+        #    *after* it — if the stale read is baked into the snapshot,
+        #    the packet restarts further back (ultimately from scratch,
+        #    re-executing side effects: the Appendix A.2 anomaly, which
+        #    the paper's hardware exhibits identically).
+        # 2. Restart depths are NON-INCREASING in age order: a younger
+        #    packet never resumes ahead of an older one, or it could
+        #    overtake it and break the packet-order invariant the whole
+        #    hazard scheme rests on.
+        requeue_front: List[_InFlight] = []
+        depth_limit: Optional[int] = None  # stage of the previous (older) restart
+        for pkt in sorted(squashed, key=lambda p: p.pid):
+            pkt.restarts += 1
+            chosen: Optional[_Snapshot] = None
+            for snap in reversed(pkt.snapshots):
+                if depth_limit is not None and snap.stage > depth_limit:
+                    continue
+                if self._reads_match(snap.addr_reads, snap.value_reads,
+                                     side_effect):
+                    continue  # poisoned: stale read baked in
+                chosen = snap
+                break
+            if chosen is not None:
+                restart_stage = pkt.restore_snapshot(chosen)
+                depth_limit = restart_stage
+                queue = barrier_queues.setdefault(restart_stage, deque())
+                queue.append(pkt)
+            else:
+                pkt.reset()
+                depth_limit = 0
+                requeue_front.append(pkt)
+        for pkt in reversed(requeue_front):
+            input_queue.appendleft(pkt)
+        return True
+
+    def _read_invalidated(self, pkt: _InFlight, side_effect: Tuple) -> bool:
+        return self._reads_match(pkt.addr_reads, pkt.value_reads, side_effect)
+
+    @staticmethod
+    def _reads_match(
+        addr_reads: Dict[int, List[Tuple[bytes, Optional[int]]]],
+        value_reads: Dict[int, Set[int]],
+        side_effect: Tuple,
+    ) -> bool:
+        kind, fd = side_effect[0], side_effect[1]
+        if kind == "update" or kind == "delete":
+            key, slot = side_effect[2], side_effect[3]
+            for read_key, read_slot in addr_reads.get(fd, ()):  # lookup results
+                if read_key == key or (slot is not None and read_slot == slot):
+                    return True
+            if slot is not None and slot in value_reads.get(fd, set()):
+                return True
+            return False
+        if kind in ("store", "store_pending"):
+            # A value store never changes the key->slot mapping, so it can
+            # only invalidate packets that read the VALUE; a packet that
+            # merely resolved an address (lookup) reads the fresh value
+            # whenever it eventually loads.
+            slot = side_effect[2]
+            return slot in value_reads.get(fd, set())
+        return False
+
+    # -- op execution -------------------------------------------------------------
+
+    def _execute_op(self, pkt: _InFlight, op: PipeOp) -> Optional[Tuple]:
+        """Execute one instruction on a packet's state.
+
+        Returns a side-effect descriptor tuple when the op committed a map
+        write that must be flush-checked, else None.
+        """
+        insn = op.insn
+        cls = insn.opclass
+        regs = pkt.regs
+        side_effect: Optional[Tuple] = None
+
+        if cls in (isa.BPF_ALU64, isa.BPF_ALU):
+            is64 = cls == isa.BPF_ALU64
+            if insn.op == isa.BPF_END:
+                regs[insn.dst] = Vm._swap(
+                    regs[insn.dst], insn.imm, to_big=insn.uses_reg_src
+                )
+            else:
+                if insn.op == isa.BPF_NEG:
+                    operand = 0
+                elif insn.uses_reg_src:
+                    operand = regs[insn.src]
+                else:
+                    operand = to_signed32(insn.imm) & (MASK64 if is64 else MASK32)
+                regs[insn.dst] = Vm._alu(insn.op, regs[insn.dst], operand, is64)
+        elif cls == isa.BPF_LDX:
+            addr = (regs[insn.src] + insn.off) & MASK64
+            value = self._mem_load(pkt, addr, insn.size_bytes)
+            if value is None:
+                return None  # packet dropped on out-of-bounds access
+            regs[insn.dst] = value
+        elif cls == isa.BPF_LD:
+            if insn.src == isa.BPF_PSEUDO_MAP_FD:
+                fd = (insn.imm64 or insn.imm) & MASK32
+                regs[insn.dst] = map_ptr(fd)
+            else:
+                regs[insn.dst] = (
+                    insn.imm64 if insn.imm64 is not None else insn.imm
+                ) & MASK64
+        elif cls in (isa.BPF_ST, isa.BPF_STX):
+            addr = (regs[insn.dst] + insn.off) & MASK64
+            if insn.is_atomic:
+                side_effect = self._atomic(pkt, insn, addr)
+            else:
+                if cls == isa.BPF_STX:
+                    value = regs[insn.src]
+                else:
+                    value = to_signed32(insn.imm) & MASK64
+                side_effect = self._mem_store(
+                    pkt, addr, insn.size_bytes, value, op
+                )
+        elif cls in (isa.BPF_JMP, isa.BPF_JMP32):
+            if insn.is_exit:
+                self._finish(pkt)
+            elif insn.is_call:
+                side_effect = self._call(pkt, insn.imm)
+            elif insn.is_cond_jump or insn.is_uncond_jump:
+                pass  # handled by the terminator logic below
+        else:
+            raise SimError(f"unknown instruction class {cls:#x}")
+
+        # Terminator handling: enable successor blocks.
+        block = self._terminator_block.get(op.insn_index)
+        if block is not None and not pkt.done:
+            self._apply_terminator(pkt, block, insn)
+        return side_effect
+
+    def _apply_terminator(
+        self, pkt: _InFlight, block: BasicBlock, insn: Instruction
+    ) -> None:
+        if insn.is_exit:
+            return
+        if insn.is_cond_jump:
+            is64 = insn.opclass == isa.BPF_JMP
+            lhs = pkt.regs[insn.dst]
+            rhs = (
+                pkt.regs[insn.src]
+                if insn.uses_reg_src
+                else to_signed32(insn.imm) & (MASK64 if is64 else MASK32)
+            )
+            taken = Vm._compare(insn.op, lhs, rhs, is64)
+            for succ, kind in block.succs:
+                if (kind == "taken") == taken:
+                    pkt.enabled.add(succ)
+        else:
+            for succ, _kind in block.succs:
+                pkt.enabled.add(succ)
+
+    def _finish(self, pkt: _InFlight) -> None:
+        pkt.done = True
+        code = pkt.regs[isa.R0] & MASK32
+        try:
+            pkt.action = XdpAction(code)
+        except ValueError:
+            pkt.action = XdpAction.ABORTED
+
+    def _drop(self, pkt: _InFlight) -> None:
+        """Implicit hardware drop on out-of-bounds packet access (the
+        bounds checks elided by the compiler are enforced here)."""
+        pkt.done = True
+        pkt.action = XdpAction.DROP
+
+    def _finalize(self, pkt: _InFlight) -> None:
+        """Packet leaves the pipeline: flush remaining pending writes."""
+        for fd, offset, data, _made_at in pkt.pending_writes:
+            storage = self.maps[fd].storage
+            storage[offset : offset + len(data)] = data
+        pkt.pending_writes = []
+        if not pkt.done:
+            # Program never reached an exit on this path — treat as ABORTED
+            # like the kernel treats a fault.
+            pkt.action = XdpAction.ABORTED
+
+    # -- memory --------------------------------------------------------------------
+
+    def _mem_load(self, pkt: _InFlight, addr: int, size: int) -> Optional[int]:
+        if AddressSpace.is_stack(addr):
+            off = addr - AddressSpace.STACK_BASE
+            if off < 0 or off + size > AddressSpace.STACK_SIZE:
+                self._drop(pkt)
+                return None
+            return int.from_bytes(pkt.stack[off : off + size], "little")
+        if AddressSpace.is_packet(addr):
+            off = addr - pkt.ctx.data
+            if off < 0 or off + size > len(pkt.ctx.packet):
+                self._drop(pkt)
+                return None
+            return int.from_bytes(pkt.ctx.packet[off : off + size], "little")
+        if AddressSpace.is_ctx(addr):
+            off = addr - AddressSpace.CTX_BASE
+            data = pkt.ctx.ctx_bytes()
+            if off < 0 or off + size > len(data):
+                self._drop(pkt)
+                return None
+            return int.from_bytes(data[off : off + size], "little")
+        if AddressSpace.is_map_value(addr):
+            fd = AddressSpace.map_fd_of(addr)
+            offset = AddressSpace.map_offset_of(addr)
+            bpf_map = self.maps[fd]
+            if offset + size > len(bpf_map.storage):
+                self._drop(pkt)
+                return None
+            data = self._map_read_bytes(pkt, fd, offset, size)
+            slot = bpf_map.slot_of_addr(offset)
+            pkt.value_reads.setdefault(fd, set()).add(slot)
+            return int.from_bytes(data, "little")
+        self._drop(pkt)
+        return None
+
+    def _map_read_bytes(
+        self, pkt: _InFlight, fd: int, offset: int, size: int
+    ) -> bytes:
+        """Committed map bytes overlaid with pending writes from packets
+        older than (or equal to) the reader — the forwarding path of the
+        WAR buffer chain."""
+        storage = self.maps[fd].storage
+        data = bytearray(storage[offset : offset + size])
+        overlays: List[Tuple[int, int, int, bytes]] = []
+        for other in self._in_flight_packets():
+            if other.pid > pkt.pid:
+                continue
+            for seq, (w_fd, w_off, w_data, _made) in enumerate(other.pending_writes):
+                if w_fd != fd:
+                    continue
+                overlays.append((other.pid, seq, w_off, w_data))
+        overlays.sort()
+        for _pid, _seq, w_off, w_data in overlays:
+            lo = max(w_off, offset)
+            hi = min(w_off + len(w_data), offset + size)
+            if lo < hi:
+                data[lo - offset : hi - offset] = w_data[lo - w_off : hi - w_off]
+        return bytes(data)
+
+    def _in_flight_packets(self) -> Iterable[_InFlight]:
+        for pkt in self._slots:
+            if pkt is not None:
+                yield pkt
+
+    def _mem_store(
+        self,
+        pkt: _InFlight,
+        addr: int,
+        size: int,
+        value: int,
+        op: PipeOp,
+    ) -> Optional[Tuple]:
+        data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        if AddressSpace.is_stack(addr):
+            off = addr - AddressSpace.STACK_BASE
+            if off < 0 or off + size > AddressSpace.STACK_SIZE:
+                self._drop(pkt)
+                return None
+            pkt.stack[off : off + size] = data
+            return None
+        if AddressSpace.is_packet(addr):
+            off = addr - pkt.ctx.data
+            if off < 0 or off + size > len(pkt.ctx.packet):
+                self._drop(pkt)
+                return None
+            pkt.ctx.packet[off : off + size] = data
+            return None
+        if AddressSpace.is_map_value(addr):
+            fd = AddressSpace.map_fd_of(addr)
+            offset = AddressSpace.map_offset_of(addr)
+            bpf_map = self.maps[fd]
+            if offset + size > len(bpf_map.storage):
+                self._drop(pkt)
+                return None
+            threshold = max(self._max_read_stage.get(fd, 0),
+                            self._last_flush_stage)
+            if pkt.position < threshold:
+                # Buffer the write (Figure 6) while the packet is still
+                # inside (a) this map's WAR window — older late readers
+                # must not see it yet — or (b) ANY map's flush reach: a
+                # committed store cannot be unwound, so commits wait until
+                # no Flush Evaluation Block can squash this packet. The
+                # buffering does NOT defer the RAW check: younger packets
+                # that already read this slot hold stale data now, so the
+                # write flush-checks at creation like any other.
+                pkt.pending_writes.append((fd, offset, data, pkt.position))
+                return ("store_pending", fd, bpf_map.slot_of_addr(offset))
+            bpf_map.storage[offset : offset + size] = data
+            return ("store", fd, bpf_map.slot_of_addr(offset))
+        self._drop(pkt)
+        return None
+
+    def _atomic(self, pkt: _InFlight, insn: Instruction, addr: int) -> Optional[Tuple]:
+        size = insn.size_bytes
+        mask = (1 << (8 * size)) - 1
+        src_val = pkt.regs[insn.src] & mask
+
+        # Program order within the packet must hold: if this packet has its
+        # own WAR-buffered stores overlapping the slot, materialise them
+        # before the read-modify-write (otherwise their later commit would
+        # clobber the atomic's result).
+        if AddressSpace.is_map_value(addr) and pkt.pending_writes:
+            fd = AddressSpace.map_fd_of(addr)
+            offset = AddressSpace.map_offset_of(addr)
+            remaining = []
+            for w_fd, w_off, w_data, made_at in pkt.pending_writes:
+                overlaps = (
+                    w_fd == fd
+                    and w_off < offset + size
+                    and offset < w_off + len(w_data)
+                )
+                if overlaps:
+                    storage = self.maps[w_fd].storage
+                    storage[w_off : w_off + len(w_data)] = w_data
+                else:
+                    remaining.append((w_fd, w_off, w_data, made_at))
+            pkt.pending_writes = remaining
+
+        def load() -> Optional[int]:
+            return self._mem_load_no_record(pkt, addr, size)
+
+        old = load()
+        if old is None:
+            return None
+        if insn.imm == isa.ATOMIC_XCHG:
+            new = src_val
+            pkt.regs[insn.src] = old
+        elif insn.imm == isa.ATOMIC_CMPXCHG:
+            expected = pkt.regs[isa.R0] & mask
+            new = src_val if old == expected else old
+            pkt.regs[isa.R0] = old
+        else:
+            base_op = insn.imm & ~isa.BPF_FETCH
+            if base_op == isa.ATOMIC_ADD:
+                new = (old + src_val) & mask
+            elif base_op == isa.ATOMIC_OR:
+                new = old | src_val
+            elif base_op == isa.ATOMIC_AND:
+                new = old & src_val
+            elif base_op == isa.ATOMIC_XOR:
+                new = old ^ src_val
+            else:
+                raise SimError(f"unknown atomic op {insn.imm:#x}")
+            if insn.imm & isa.BPF_FETCH:
+                pkt.regs[insn.src] = old
+        self._mem_store_raw(pkt, addr, size, new)
+        if AddressSpace.is_map_value(addr):
+            # Atomics execute in-place at the map port with no flush check
+            # (the global-state path of §4.1.2), but they ARE committed
+            # side effects: the packet must snapshot so a later flush does
+            # not replay them (Appendix A.2).
+            return ("atomic", AddressSpace.map_fd_of(addr))
+        return None
+
+    def _mem_load_no_record(self, pkt: _InFlight, addr: int, size: int) -> Optional[int]:
+        if AddressSpace.is_map_value(addr):
+            fd = AddressSpace.map_fd_of(addr)
+            offset = AddressSpace.map_offset_of(addr)
+            storage = self.maps[fd].storage
+            if offset + size > len(storage):
+                self._drop(pkt)
+                return None
+            return int.from_bytes(storage[offset : offset + size], "little")
+        return self._mem_load(pkt, addr, size)
+
+    def _mem_store_raw(self, pkt: _InFlight, addr: int, size: int, value: int) -> None:
+        data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        if AddressSpace.is_map_value(addr):
+            fd = AddressSpace.map_fd_of(addr)
+            offset = AddressSpace.map_offset_of(addr)
+            self.maps[fd].storage[offset : offset + size] = data
+            return
+        if AddressSpace.is_stack(addr):
+            off = addr - AddressSpace.STACK_BASE
+            pkt.stack[off : off + size] = data
+            return
+        if AddressSpace.is_packet(addr):
+            off = addr - pkt.ctx.data
+            pkt.ctx.packet[off : off + size] = data
+            return
+        self._drop(pkt)
+
+    # -- helper calls ------------------------------------------------------------------
+
+    def _call(self, pkt: _InFlight, helper_id: int) -> Optional[Tuple]:
+        spec = helper_spec(helper_id)
+        side_effect: Optional[Tuple] = None
+        if spec.map_channel:
+            side_effect = self._map_channel_call(pkt, helper_id)
+        else:
+            # Reuse the VM's helper implementations via a per-packet
+            # execution context that quacks like a Vm.
+            ctx = _HelperContext(self, pkt)
+            impl = helper_impl(helper_id)
+            args = [pkt.regs[r] for r in (isa.R1, isa.R2, isa.R3, isa.R4, isa.R5)]
+            pkt.regs[isa.R0] = impl(ctx, *args) & MASK64
+        for reg in (isa.R1, isa.R2, isa.R3, isa.R4, isa.R5):
+            pkt.regs[reg] = 0
+        return side_effect
+
+    def _map_channel_call(self, pkt: _InFlight, helper_id: int) -> Optional[Tuple]:
+        """Native implementation of the eHDLmap block helpers (§4.1)."""
+        regs = pkt.regs
+        fd = regs[isa.R1] - MAP_PTR_BASE
+        if fd not in self.maps:
+            self._drop(pkt)
+            return None
+        bpf_map = self.maps[fd]
+        if helper_id == 1:  # lookup
+            key = self._read_plain(pkt, regs[isa.R2], bpf_map.key_size)
+            if key is None:
+                return None
+            slot = bpf_map.lookup_slot(key)
+            pkt.addr_reads.setdefault(fd, []).append((key, slot))
+            if slot is None:
+                regs[isa.R0] = 0
+            else:
+                regs[isa.R0] = AddressSpace.map_value_addr(
+                    fd, bpf_map.value_addr(slot)
+                )
+            return None
+        if helper_id == 2:  # update: immediate commit + flush check
+            key = self._read_plain(pkt, regs[isa.R2], bpf_map.key_size)
+            value = self._read_plain(pkt, regs[isa.R3], bpf_map.value_size)
+            if key is None or value is None:
+                return None
+            try:
+                slot = bpf_map.update(key, value, flags=regs[isa.R4] & 0x3)
+                regs[isa.R0] = 0
+            except MapError:
+                regs[isa.R0] = (1 << 64) - 1
+                return None
+            return ("update", fd, key, slot)
+        if helper_id == 3:  # delete
+            key = self._read_plain(pkt, regs[isa.R2], bpf_map.key_size)
+            if key is None:
+                return None
+            slot = bpf_map.lookup_slot(key)
+            deleted = bpf_map.delete(key) if slot is not None else False
+            regs[isa.R0] = 0 if deleted else (1 << 64) - 1
+            if deleted:
+                return ("delete", fd, key, slot)
+            return None
+        if helper_id == 51:  # redirect_map
+            key = (regs[isa.R2] & 0xFFFFFFFF).to_bytes(4, "little")
+            slot = bpf_map.lookup_slot(key) if bpf_map.key_size == 4 else None
+            pkt.addr_reads.setdefault(fd, []).append((key, slot))
+            if slot is None:
+                regs[isa.R0] = regs[isa.R3] & 0xFFFFFFFF
+            else:
+                value = bpf_map.lookup(key)
+                pkt.ctx.redirect_ifindex = int.from_bytes(value[:4], "little")
+                regs[isa.R0] = int(XdpAction.REDIRECT)
+            return None
+        raise SimError(f"unhandled map-channel helper {helper_id}")
+
+    def _read_plain(self, pkt: _InFlight, addr: int, size: int) -> Optional[bytes]:
+        """Read bytes from stack/packet for helper arguments."""
+        if AddressSpace.is_stack(addr):
+            off = addr - AddressSpace.STACK_BASE
+            if off < 0 or off + size > AddressSpace.STACK_SIZE:
+                self._drop(pkt)
+                return None
+            return bytes(pkt.stack[off : off + size])
+        if AddressSpace.is_packet(addr):
+            off = addr - pkt.ctx.data
+            if off < 0 or off + size > len(pkt.ctx.packet):
+                self._drop(pkt)
+                return None
+            return bytes(pkt.ctx.packet[off : off + size])
+        self._drop(pkt)
+        return None
+
+
+
+class _HelperContext:
+    """Duck-typed Vm facade for non-map helper implementations."""
+
+    def __init__(self, sim: PipelineSimulator, pkt: _InFlight) -> None:
+        self._sim = sim
+        self._pkt = pkt
+        self.maps = sim.maps
+        self.ctx = pkt.ctx
+        self.time_ns = sim.time_ns
+        self.trace_events = sim.trace_events
+
+    def next_prandom(self) -> int:
+        return self._sim.next_prandom()
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        pkt = self._pkt
+        if AddressSpace.is_stack(addr):
+            off = addr - AddressSpace.STACK_BASE
+            return bytes(pkt.stack[off : off + size])
+        if AddressSpace.is_packet(addr):
+            off = addr - pkt.ctx.data
+            return bytes(pkt.ctx.packet[off : off + size])
+        if AddressSpace.is_map_value(addr):
+            fd = AddressSpace.map_fd_of(addr)
+            offset = AddressSpace.map_offset_of(addr)
+            return bytes(self._sim.maps[fd].storage[offset : offset + size])
+        raise SimError(f"helper read from unmapped address {addr:#x}")
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        pkt = self._pkt
+        if AddressSpace.is_stack(addr):
+            off = addr - AddressSpace.STACK_BASE
+            pkt.stack[off : off + len(data)] = data
+            return
+        if AddressSpace.is_packet(addr):
+            off = addr - pkt.ctx.data
+            pkt.ctx.packet[off : off + len(data)] = data
+            return
+        raise SimError(f"helper write to unmapped address {addr:#x}")

@@ -1,0 +1,95 @@
+"""Simulation statistics and reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ebpf.xdp import XdpAction
+
+
+@dataclass
+class PacketRecord:
+    """Outcome of one packet through the simulated pipeline."""
+
+    pid: int
+    action: XdpAction
+    data: bytes
+    arrival_cycle: int
+    inject_cycle: int
+    exit_cycle: int
+    restarts: int = 0  # times this packet was squashed by a flush
+
+    @property
+    def pipeline_cycles(self) -> int:
+        return self.exit_cycle - self.inject_cycle
+
+    @property
+    def total_cycles(self) -> int:
+        return self.exit_cycle - self.arrival_cycle
+
+
+@dataclass
+class SimReport:
+    """Aggregate results of one simulation run."""
+
+    clock_mhz: float
+    n_stages: int
+    cycles: int = 0
+    packets_in: int = 0
+    packets_out: int = 0
+    packets_dropped_queue: int = 0  # input queue overflow (Table 2 "lost")
+    flush_events: int = 0
+    squashed_packets: int = 0
+    stall_cycles: int = 0
+    action_counts: Dict[XdpAction, int] = field(default_factory=dict)
+    records: List[PacketRecord] = field(default_factory=list)
+    keep_records: bool = True
+
+    # -- derived metrics -----------------------------------------------------
+
+    @property
+    def throughput_mpps(self) -> float:
+        """Sustained packet rate through the pipeline."""
+        if self.cycles == 0:
+            return 0.0
+        return self.packets_out * self.clock_mhz / self.cycles
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1000.0 / self.clock_mhz
+
+    def latency_ns(self, shell_overhead_ns: float = 0.0) -> float:
+        """Mean forwarding latency (pipeline traversal + queueing), plus a
+        constant shell/MAC overhead supplied by the NIC shell model."""
+        if not self.records:
+            return 0.0
+        mean_cycles = sum(r.total_cycles for r in self.records) / len(self.records)
+        return mean_cycles * self.cycle_ns + shell_overhead_ns
+
+    def flushes_per_second(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.flush_events * self.clock_mhz * 1e6 / self.cycles
+
+    def count_action(self, action: XdpAction) -> int:
+        return self.action_counts.get(action, 0)
+
+    def record(self, rec: PacketRecord) -> None:
+        self.packets_out += 1
+        self.action_counts[rec.action] = self.action_counts.get(rec.action, 0) + 1
+        if self.keep_records:
+            self.records.append(rec)
+
+    def summary(self) -> str:
+        lines = [
+            f"cycles={self.cycles} in={self.packets_in} out={self.packets_out} "
+            f"lost={self.packets_dropped_queue}",
+            f"throughput={self.throughput_mpps:.2f} Mpps "
+            f"(clock {self.clock_mhz:.0f} MHz, {self.n_stages} stages)",
+            f"flushes={self.flush_events} squashed={self.squashed_packets} "
+            f"stalls={self.stall_cycles}",
+        ]
+        for action, count in sorted(self.action_counts.items()):
+            lines.append(f"  {action.name}: {count}")
+        return "\n".join(lines)

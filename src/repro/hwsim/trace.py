@@ -1,0 +1,112 @@
+"""Pipeline occupancy tracing.
+
+An observer for :class:`~repro.hwsim.sim.PipelineSimulator` that records,
+per cycle, which packet occupies each stage — the pipeline diagrams of
+Figures 6/7 as data. Useful for debugging hazard behaviour and for
+teaching: :func:`render_occupancy` draws the classic pipeline timeline
+
+::
+
+    cycle   1  p0 .  .  .  .
+    cycle   2  p1 p0 .  .  .
+    cycle   3  p2 p1 p0 .  .
+
+with flush events marked, so you can watch packets being squashed and
+re-injected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class CycleSnapshot:
+    """Occupancy at the end of one cycle: stage -> packet id."""
+
+    cycle: int
+    occupancy: Tuple[Optional[int], ...]  # index 0 = stage 1
+    input_queue_depth: int
+    barrier_depths: Dict[int, int]
+    flushes_so_far: int
+
+
+@dataclass
+class OccupancyTracer:
+    """Attach via ``sim.observer = OccupancyTracer(...)`` before ``run``.
+
+    ``max_cycles`` bounds memory; tracing silently stops after it.
+    """
+
+    max_cycles: int = 10_000
+    snapshots: List[CycleSnapshot] = field(default_factory=list)
+
+    def __call__(self, cycle, slots, barrier_queues, input_queue, report):
+        if len(self.snapshots) >= self.max_cycles:
+            return
+        occupancy = tuple(
+            pkt.pid if pkt is not None else None for pkt in slots[1:]
+        )
+        self.snapshots.append(CycleSnapshot(
+            cycle=cycle,
+            occupancy=occupancy,
+            input_queue_depth=len(input_queue),
+            barrier_depths={s: len(q) for s, q in barrier_queues.items() if q},
+            flushes_so_far=report.flush_events,
+        ))
+
+    # -- queries -----------------------------------------------------------------
+
+    def stages_of(self, pid: int) -> List[Tuple[int, int]]:
+        """(cycle, stage) trajectory of one packet — restarts show up as
+        the stage number jumping backwards."""
+        out = []
+        for snap in self.snapshots:
+            for stage_index, occupant in enumerate(snap.occupancy):
+                if occupant == pid:
+                    out.append((snap.cycle, stage_index + 1))
+        return out
+
+    def max_in_flight(self) -> int:
+        return max(
+            (sum(1 for p in s.occupancy if p is not None) for s in self.snapshots),
+            default=0,
+        )
+
+    def flush_cycles(self) -> List[int]:
+        """Cycles at which a flush event landed."""
+        out = []
+        previous = 0
+        for snap in self.snapshots:
+            if snap.flushes_so_far > previous:
+                out.append(snap.cycle)
+                previous = snap.flushes_so_far
+        return out
+
+
+def render_occupancy(
+    tracer: OccupancyTracer,
+    first_cycle: int = 0,
+    last_cycle: Optional[int] = None,
+    max_stages: int = 32,
+) -> str:
+    """Text rendering of the pipeline timeline."""
+    lines: List[str] = []
+    flushes = set(tracer.flush_cycles())
+    for snap in tracer.snapshots:
+        if snap.cycle < first_cycle:
+            continue
+        if last_cycle is not None and snap.cycle > last_cycle:
+            break
+        cells = [
+            f"p{pid}" if pid is not None else ". "
+            for pid in snap.occupancy[:max_stages]
+        ]
+        marker = "  <-- FLUSH" if snap.cycle in flushes else ""
+        queue = f"  q={snap.input_queue_depth}" if snap.input_queue_depth else ""
+        lines.append(
+            f"cycle {snap.cycle:5d}  " + " ".join(f"{c:>3s}" for c in cells)
+            + queue + marker
+        )
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Flow-level traffic generation.
+
+The paper's end-to-end tests "vary the number of generated flows from 1 to
+over 100k" (§5, Testbed) and the analytical model in Appendix A.1 assumes
+either a **uniform** or a **Zipfian** distribution of packets over flows.
+This module provides exactly those generators, deterministic under a seed,
+producing frames via :mod:`repro.net.packet`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from .packet import FiveTuple, IPPROTO_TCP, IPPROTO_UDP, tcp_packet, udp_packet
+
+
+def make_flows(
+    count: int,
+    proto: int = IPPROTO_UDP,
+    base_src: int = 0x0A000000,  # 10.0.0.0/8
+    base_dst: int = 0xC0A80000,  # 192.168.0.0/16
+    dport: int = 53,
+) -> List[FiveTuple]:
+    """Deterministically enumerate ``count`` distinct 5-tuples.
+
+    Source addresses and ports are varied so that flows hash into distinct
+    map entries; destinations rotate over a /24 so router-style programs
+    exercise multiple routes.
+    """
+    flows = []
+    for i in range(count):
+        flows.append(
+            FiveTuple(
+                src_ip=base_src + 1 + (i % 0xFFFFFE),
+                dst_ip=base_dst + 1 + (i % 254),
+                proto=proto,
+                sport=1024 + (i % 60000),
+                dport=dport,
+            )
+        )
+    return flows
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> List[float]:
+    """Normalised Zipf frequencies f_i ∝ 1/i^exponent for i = 1..n.
+
+    With ``exponent == 1`` this is the distribution of Appendix A.1, where
+    P_i = 1/(i·ln(N)) (the paper approximates the harmonic sum with ln N).
+    """
+    if n <= 0:
+        raise ValueError("need at least one flow")
+    raw = [1.0 / (i ** exponent) for i in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+@dataclass
+class TrafficSpec:
+    """Configuration of a synthetic packet stream."""
+
+    n_flows: int = 10_000
+    distribution: str = "uniform"  # "uniform" | "zipf"
+    zipf_exponent: float = 1.0
+    packet_size: int = 64
+    proto: int = IPPROTO_UDP
+    seed: int = 1
+
+
+class TrafficGenerator:
+    """Deterministic stream of frames drawn from a flow population.
+
+    Mirrors the paper's DPDK generator: fixed-size packets (64 B for the
+    line-rate tests), ``n_flows`` concurrent flows, uniform or Zipfian
+    flow selection.
+    """
+
+    def __init__(self, spec: TrafficSpec) -> None:
+        self.spec = spec
+        self.flows = make_flows(spec.n_flows, proto=spec.proto)
+        self._rng = random.Random(spec.seed)
+        if spec.distribution == "uniform":
+            self._weights: Optional[List[float]] = None
+        elif spec.distribution == "zipf":
+            self._weights = zipf_weights(spec.n_flows, spec.zipf_exponent)
+        else:
+            raise ValueError(f"unknown distribution {spec.distribution!r}")
+        self._cache: dict = {}
+
+    def pick_flow(self) -> FiveTuple:
+        if self._weights is None:
+            return self.flows[self._rng.randrange(len(self.flows))]
+        return self._rng.choices(self.flows, weights=self._weights, k=1)[0]
+
+    def frame_for(self, flow: FiveTuple, size: Optional[int] = None) -> bytes:
+        size = size or self.spec.packet_size
+        key = (flow, size)
+        frame = self._cache.get(key)
+        if frame is None:
+            if flow.proto == IPPROTO_TCP:
+                frame = tcp_packet(
+                    src_ip=flow.src_ip, dst_ip=flow.dst_ip,
+                    sport=flow.sport, dport=flow.dport, size=size,
+                )
+            else:
+                frame = udp_packet(
+                    src_ip=flow.src_ip, dst_ip=flow.dst_ip,
+                    sport=flow.sport, dport=flow.dport, size=size,
+                )
+            self._cache[key] = frame
+        return frame
+
+    def packets(self, count: int) -> Iterator[bytes]:
+        """Yield ``count`` frames."""
+        for _ in range(count):
+            yield self.frame_for(self.pick_flow())
+
+    def flow_sequence(self, count: int) -> List[FiveTuple]:
+        """Just the flow choices (used by the analytical flush model)."""
+        return [self.pick_flow() for _ in range(count)]

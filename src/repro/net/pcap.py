@@ -1,0 +1,113 @@
+"""Minimal pcap (libpcap classic format) reader/writer.
+
+Lets traces move between this library and standard tooling (tcpdump,
+Wireshark, a DPDK generator): synthetic traces can be exported for use on
+a real testbed, and captures taken there can be replayed through the
+simulated NIC. Implements the classic 24-byte global header + 16-byte
+per-record format (microsecond resolution, LINKTYPE_ETHERNET), no
+dependencies.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import struct
+from typing import Iterable, Iterator, List, Tuple, Union
+
+MAGIC = 0xA1B2C3D4
+VERSION_MAJOR = 2
+VERSION_MINOR = 4
+LINKTYPE_ETHERNET = 1
+SNAPLEN = 65535
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+class PcapError(ValueError):
+    """Raised on malformed pcap data."""
+
+
+def write_pcap(
+    path: Union[str, pathlib.Path],
+    packets: Iterable[Tuple[float, bytes]],
+) -> int:
+    """Write (timestamp_ns, frame) pairs to a pcap file; returns the count."""
+    count = 0
+    with open(path, "wb") as fh:
+        fh.write(_GLOBAL_HEADER.pack(
+            MAGIC, VERSION_MAJOR, VERSION_MINOR, 0, 0, SNAPLEN,
+            LINKTYPE_ETHERNET,
+        ))
+        for timestamp_ns, frame in packets:
+            seconds = int(timestamp_ns // 1_000_000_000)
+            micros = int((timestamp_ns % 1_000_000_000) // 1000)
+            fh.write(_RECORD_HEADER.pack(seconds, micros, len(frame), len(frame)))
+            fh.write(frame)
+            count += 1
+    return count
+
+
+def read_pcap(path: Union[str, pathlib.Path]) -> Iterator[Tuple[float, bytes]]:
+    """Yield (timestamp_ns, frame) pairs from a pcap file.
+
+    Handles both byte orders; rejects non-Ethernet link types.
+    """
+    data = pathlib.Path(path).read_bytes()
+    if len(data) < _GLOBAL_HEADER.size:
+        raise PcapError("truncated pcap global header")
+    magic = struct.unpack_from("<I", data)[0]
+    if magic == MAGIC:
+        endian = "<"
+    elif magic == struct.unpack(">I", struct.pack("<I", MAGIC))[0]:
+        endian = ">"
+    else:
+        raise PcapError(f"bad pcap magic {magic:#x}")
+    header = struct.Struct(endian + "IHHiIII")
+    record = struct.Struct(endian + "IIII")
+    (_magic, _maj, _min, _tz, _sig, _snap, linktype) = header.unpack_from(data)
+    if linktype != LINKTYPE_ETHERNET:
+        raise PcapError(f"unsupported link type {linktype}")
+    offset = header.size
+    while offset < len(data):
+        if offset + record.size > len(data):
+            raise PcapError("truncated pcap record header")
+        seconds, micros, incl_len, _orig_len = record.unpack_from(data, offset)
+        offset += record.size
+        if offset + incl_len > len(data):
+            raise PcapError("truncated pcap record body")
+        frame = bytes(data[offset : offset + incl_len])
+        offset += incl_len
+        yield seconds * 1_000_000_000 + micros * 1000, frame
+
+
+def export_trace(trace, path: Union[str, pathlib.Path]) -> int:
+    """Export a :class:`repro.net.traces.SyntheticTrace` as pcap.
+
+    Frames are materialised from the trace's flows at their recorded
+    sizes, so the capture replays the same flow/size/timing sequence.
+    """
+    from .flows import TrafficGenerator, TrafficSpec
+
+    gen = TrafficGenerator(TrafficSpec(n_flows=1))
+
+    def frames():
+        for rec in trace:
+            yield rec.timestamp_ns, gen.frame_for(rec.flow, size=max(60, rec.size))
+
+    return write_pcap(path, frames())
+
+
+def import_arrivals(
+    path: Union[str, pathlib.Path], clock_mhz: float = 250.0
+) -> List[Tuple[int, bytes]]:
+    """Load a pcap as (arrival_cycle, frame) pairs for
+    :meth:`repro.hwsim.PipelineSimulator.run`, normalised to t=0."""
+    records = list(read_pcap(path))
+    if not records:
+        return []
+    t0 = records[0][0]
+    cycle_ns = 1000.0 / clock_mhz
+    return [
+        (int((t - t0) / cycle_ns), frame) for t, frame in records
+    ]

@@ -1,0 +1,154 @@
+"""Synthetic replacements for the CAIDA and MAWI traces.
+
+The paper's flushing experiment (Table 2) replays two real traces:
+
+* ``caida_20190117-134900`` — mean packet size 411 B, 184,305 5-tuple flows
+* ``mawi_202103221400`` — mean packet size 573 B, 163,697 5-tuple flows
+
+We cannot ship those captures, so this module generates traces matched to
+the published aggregate statistics: the same flow counts, the same mean
+packet size, a heavy-tailed (log-normal-ish, clipped) size distribution
+anchored at the common 64/1500 modes, and a heavy-tailed flow-size
+distribution (a small number of elephant flows carry most packets — the
+property that determines how often two packets of one flow are close
+enough in the pipeline to hazard).
+
+Each trace is a list of :class:`TraceRecord` (flow + size + timestamp);
+replaying at 100 Gbps computes inter-arrival gaps from the packet sizes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from .flows import make_flows, zipf_weights
+from .packet import FiveTuple
+
+WIRE_OVERHEAD = 24  # preamble(8) + FCS(4) + IFG(12) bytes per frame on the wire
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One packet of a trace."""
+
+    flow: FiveTuple
+    size: int  # frame bytes (without wire overhead)
+    timestamp_ns: float
+
+
+@dataclass
+class TraceStats:
+    packets: int
+    flows: int
+    mean_size: float
+    duration_ns: float
+
+    @property
+    def rate_gbps(self) -> float:
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.packets * self.mean_size * 8 / self.duration_ns
+
+
+class SyntheticTrace:
+    """A reproducible packet trace with controlled aggregate statistics."""
+
+    def __init__(
+        self,
+        name: str,
+        n_flows: int,
+        mean_size: float,
+        n_packets: int = 200_000,
+        seed: int = 7,
+        zipf_exponent: float = 1.1,
+        link_gbps: float = 100.0,
+    ) -> None:
+        self.name = name
+        self.n_flows = n_flows
+        self.target_mean_size = mean_size
+        self.link_gbps = link_gbps
+        rng = random.Random(seed)
+        self.flows = make_flows(n_flows)
+        # Real captures are dominated by singleton/mouse flows with a small
+        # population of elephants: every flow appears at least once, and
+        # the surplus packets are drawn Zipf-style over the population.
+        flow_choices: List = list(self.flows[: min(n_flows, n_packets)])
+        surplus = n_packets - len(flow_choices)
+        if surplus > 0 and n_flows > 0:
+            elephants = self.flows[: max(1, min(n_flows, 4096))]
+            weights = zipf_weights(len(elephants), zipf_exponent)
+            flow_choices += rng.choices(elephants, weights=weights, k=surplus)
+        rng.shuffle(flow_choices)
+        # Packet sizes: bimodal mix of small (ACK-ish) and large (MTU-ish)
+        # packets; the mix fraction is solved from the mode means so the
+        # trace mean matches the published value.
+        small_mean = (60 + 120 + 64) / 3.0
+        large_mean = (900 + 1500 + 1480) / 3.0
+        frac_small = (large_mean - mean_size) / (large_mean - small_mean)
+        frac_small = min(max(frac_small, 0.0), 1.0)
+        self.records: List[TraceRecord] = []
+        t_ns = 0.0
+        byte_time_ns = 8.0 / link_gbps  # ns per byte at link rate
+        for flow in flow_choices:
+            if rng.random() < frac_small:
+                size = int(rng.triangular(60, 120, 64))
+            else:
+                size = int(rng.triangular(900, 1500, 1480))
+            self.records.append(TraceRecord(flow, size, t_ns))
+            t_ns += (size + WIRE_OVERHEAD) * byte_time_ns
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def stats(self) -> TraceStats:
+        if not self.records:
+            return TraceStats(0, 0, 0.0, 0.0)
+        sizes = [r.size for r in self.records]
+        flows = {r.flow for r in self.records}
+        duration = self.records[-1].timestamp_ns - self.records[0].timestamp_ns
+        last = self.records[-1]
+        duration += (last.size + WIRE_OVERHEAD) * 8.0 / self.link_gbps
+        return TraceStats(
+            packets=len(self.records),
+            flows=len(flows),
+            mean_size=sum(sizes) / len(sizes),
+            duration_ns=duration,
+        )
+
+
+def caida_like(n_packets: int = 200_000, seed: int = 11) -> SyntheticTrace:
+    """Synthetic stand-in for caida_20190117-134900 (411 B mean, 184,305
+    flows). Flow count is scaled to the packet budget when the budget is
+    too small to express the full population."""
+    flows = min(184_305, max(1000, int(n_packets * 0.92)))
+    return SyntheticTrace("caida-like", flows, 411.0, n_packets, seed=seed)
+
+
+def mawi_like(n_packets: int = 200_000, seed: int = 13) -> SyntheticTrace:
+    """Synthetic stand-in for mawi_202103221400 (573 B mean, 163,697 flows)."""
+    flows = min(163_697, max(1000, int(n_packets * 0.82)))
+    return SyntheticTrace("mawi-like", flows, 573.0, n_packets, seed=seed)
+
+
+def single_flow_trace(
+    n_packets: int = 100_000, mean_size: float = 411.0, seed: int = 11
+) -> SyntheticTrace:
+    """The §5.3 worst case: the CAIDA-like packet stream (same sizes and
+    timing) but "like if all the packets were part of a single flow" —
+    every access hits the same map entry, so small-packet bursts land
+    inside the RAW window and flush continuously. The paper measured
+    29 Mpps offered degrading to 12 Mpps achieved."""
+    trace = SyntheticTrace("single-flow", 1, mean_size, 0, seed=seed)
+    flow = trace.flows[0]
+    # reuse the CAIDA-like size/timing stream, collapsed onto one flow
+    template = SyntheticTrace("tmpl", 1000, mean_size, n_packets, seed=seed)
+    trace.records = [
+        TraceRecord(flow, r.size, r.timestamp_ns) for r in template.records
+    ]
+    return trace

@@ -1,0 +1,203 @@
+"""High-level runtime facade: load a program, get a NIC.
+
+:class:`XdpOffload` bundles the whole workflow of §6 — "accelerating
+Suricata took us about 1h … eHDL could readily generate the hardware
+design … giving us an FPGA NIC-accelerated appliance. Here, it is worthy
+of notice that even the interface with the host system stays unchanged"
+— into one object:
+
+>>> from repro.runtime import XdpOffload
+>>> from repro.apps import toy_counter
+>>> nic = XdpOffload(toy_counter.build())
+>>> report = nic.process([toy_counter.packet_for_key(1)] * 100)
+>>> nic.map("stats").read_u64(1)
+100
+
+The host keeps talking to the loaded maps through the standard eBPF map
+interface (:class:`HostMap`), while packets flow through the simulated
+hardware pipeline at line rate.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+from .core.compiler import CompileOptions, compile_program
+from .core.pipeline import Pipeline
+from .core.resources import ResourceEstimate, estimate_resources
+from .ebpf.asm import assemble_program
+from .ebpf.isa import Program
+from .ebpf.maps import Map, MapSet
+from .hwsim.shell import NicSystem, ShellConfig
+from .hwsim.stats import SimReport
+
+ProgramLike = Union[Program, str, pathlib.Path]
+
+
+class HostMap:
+    """Userspace view of one loaded map (the ``bpftool map`` experience).
+
+    Keys and values may be raw ``bytes`` of the exact declared size, or
+    plain integers (encoded little-endian at the declared width, like the
+    common u32-key/u64-value counter maps).
+    """
+
+    def __init__(self, bpf_map: Map) -> None:
+        self._map = bpf_map
+
+    @property
+    def name(self) -> str:
+        return self._map.name
+
+    @property
+    def key_size(self) -> int:
+        return self._map.key_size
+
+    @property
+    def value_size(self) -> int:
+        return self._map.value_size
+
+    def _key(self, key: Union[int, bytes]) -> bytes:
+        if isinstance(key, int):
+            return key.to_bytes(self._map.key_size, "little")
+        return key
+
+    def _value(self, value: Union[int, bytes]) -> bytes:
+        if isinstance(value, int):
+            return value.to_bytes(self._map.value_size, "little")
+        return value
+
+    def lookup(self, key: Union[int, bytes]) -> Optional[bytes]:
+        return self._map.lookup(self._key(key))
+
+    def read_u64(self, key: Union[int, bytes]) -> int:
+        """Read a value as a little-endian integer (0 for missing keys)."""
+        value = self.lookup(key)
+        return int.from_bytes(value, "little") if value else 0
+
+    def update(self, key: Union[int, bytes], value: Union[int, bytes]) -> None:
+        self._map.update(self._key(key), self._value(value))
+
+    def delete(self, key: Union[int, bytes]) -> bool:
+        return self._map.delete(self._key(key))
+
+    def __getitem__(self, key: Union[int, bytes]) -> bytes:
+        value = self.lookup(key)
+        if value is None:
+            raise KeyError(key)
+        return value
+
+    def __setitem__(self, key: Union[int, bytes], value: Union[int, bytes]) -> None:
+        self.update(key, value)
+
+    def __contains__(self, key: Union[int, bytes]) -> bool:
+        return self.lookup(key) is not None
+
+    def items(self):
+        return self._map.items()
+
+    def __len__(self) -> int:
+        return self._map.entry_count()
+
+
+class XdpOffload:
+    """A program loaded onto the simulated eHDL NIC.
+
+    ``program`` may be a :class:`Program`, assembler source text (with
+    ``.map`` directives), or a path to an ``.ebpf`` file.
+    """
+
+    def __init__(
+        self,
+        program: ProgramLike,
+        options: Optional[CompileOptions] = None,
+        shell: Optional[ShellConfig] = None,
+    ) -> None:
+        self.program = self._resolve(program)
+        self.pipeline: Pipeline = compile_program(self.program, options)
+        self.maps = MapSet(self.program.maps)
+        self._nic = NicSystem(self.pipeline, maps=self.maps, shell=shell,
+                              keep_records=True)
+        self._last_report: Optional[SimReport] = None
+
+    @staticmethod
+    def _resolve(program: ProgramLike) -> Program:
+        if isinstance(program, Program):
+            return program
+        if isinstance(program, pathlib.Path):
+            from .cli import load_program
+
+            return load_program(str(program))
+        if isinstance(program, str) and "\n" not in program:
+            path = pathlib.Path(program)
+            if path.exists():
+                from .cli import load_program
+
+                return load_program(str(path))
+        return assemble_program(str(program))
+
+    # -- host map interface -----------------------------------------------------
+
+    def map(self, name: str) -> HostMap:
+        """The userspace handle for a loaded map."""
+        return HostMap(self.maps.by_name(name))
+
+    def map_names(self):
+        return [m.name for m in self.maps.maps.values()]
+
+    # -- traffic ------------------------------------------------------------------
+
+    def process(
+        self,
+        frames: Sequence[bytes],
+        rate_mpps: Optional[float] = None,
+    ) -> SimReport:
+        """Push frames through the NIC (line rate unless ``rate_mpps``)."""
+        if rate_mpps is None:
+            report = self._nic.run_at_line_rate(list(frames))
+        else:
+            report = self._nic.run_at_rate(list(frames), rate_mpps)
+        self._last_report = report
+        return report
+
+    def process_one(self, frame: bytes):
+        """Convenience: one frame in, its (action, bytes) out."""
+        report = self.process([frame])
+        record = report.records[0]
+        return record.action, record.data
+
+    # -- reports --------------------------------------------------------------------
+
+    def latency_ns(self, report: Optional[SimReport] = None) -> float:
+        report = report or self._last_report
+        if report is None:
+            raise RuntimeError("no traffic processed yet")
+        return self._nic.forwarding_latency_ns(report)
+
+    def resources(self, include_shell: bool = True) -> ResourceEstimate:
+        return estimate_resources(self.pipeline, include_shell=include_shell)
+
+    def vhdl(self) -> str:
+        from .core.vhdl import emit_vhdl
+
+        return emit_vhdl(self.pipeline)
+
+    def summary(self) -> str:
+        est = self.resources()
+        lines = [
+            f"program {self.program.name!r}: "
+            f"{len(self.program.instructions)} instructions, "
+            f"{len(self.program.maps)} map(s)",
+            f"pipeline: {self.pipeline.n_stages} stages, "
+            f"max ILP {self.pipeline.max_ilp}, "
+            f"max state {self.pipeline.max_state_bytes} B",
+            f"resources: {est.summary()}",
+        ]
+        if self._last_report is not None:
+            lines.append(
+                f"last run: {self._last_report.packets_out} packets, "
+                f"{self._last_report.throughput_mpps:.1f} Mpps, "
+                f"{self.latency_ns():.0f} ns latency"
+            )
+        return "\n".join(lines)

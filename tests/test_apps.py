@@ -1,0 +1,458 @@
+"""Behavioural tests of the evaluation applications (via the VM)."""
+
+import pytest
+
+from repro.apps import (
+    EVALUATION_APPS,
+    dnat,
+    firewall,
+    leaky_bucket,
+    router,
+    suricata,
+    toy_counter,
+    tunnel,
+)
+from repro.ebpf.maps import MapSet
+from repro.ebpf.vm import Vm
+from repro.ebpf.xdp import XdpAction
+from repro.net.packet import (
+    ETH_HLEN,
+    FiveTuple,
+    IPv4,
+    Udp,
+    checksum16,
+    ipv4,
+    ipv4_str,
+    mac,
+    parse_five_tuple,
+    tcp_packet,
+    udp_packet,
+)
+
+
+def vm_for(prog):
+    maps = MapSet(prog.maps)
+    return Vm(prog, maps=maps), maps
+
+
+class TestToyCounter:
+    def test_counts_by_ethertype(self):
+        prog = toy_counter.build()
+        vm, maps = vm_for(prog)
+        for key in (1, 1, 2, 3, 0, 0, 0):
+            res = vm.run(toy_counter.packet_for_key(key))
+            assert res.action == XdpAction.TX
+        stats = maps.by_name("stats")
+        counts = [
+            int.from_bytes(stats.lookup(i.to_bytes(4, "little")), "little")
+            for i in range(4)
+        ]
+        assert counts == [3, 2, 1, 1]
+
+    def test_short_packet_dropped(self):
+        prog = toy_counter.build()
+        vm, _ = vm_for(prog)
+        assert vm.run(bytes(10)).action == XdpAction.DROP
+
+    def test_expected_key_helper(self):
+        for key in range(4):
+            frame = toy_counter.packet_for_key(key)
+            assert toy_counter.expected_key(frame) == key
+
+
+class TestFirewall:
+    F = FiveTuple(ipv4("10.0.0.1"), ipv4("192.168.9.9"), 17, 5555, 53)
+
+    def _packet(self, ft, **kw):
+        return udp_packet(src_ip=ft.src_ip, dst_ip=ft.dst_ip,
+                          sport=ft.sport, dport=ft.dport, size=64, **kw)
+
+    def test_unknown_flow_dropped(self):
+        vm, _ = vm_for(firewall.build())
+        assert vm.run(self._packet(self.F)).action == XdpAction.DROP
+
+    def test_allowed_flow_forwarded(self):
+        vm, maps = vm_for(firewall.build())
+        firewall.allow_flow(maps, self.F)
+        assert vm.run(self._packet(self.F)).action == XdpAction.TX
+
+    def test_reverse_direction_allowed(self):
+        vm, maps = vm_for(firewall.build())
+        firewall.allow_flow(maps, self.F)
+        assert vm.run(self._packet(self.F.reversed())).action == XdpAction.TX
+
+    def test_counter_increments(self):
+        vm, maps = vm_for(firewall.build())
+        firewall.allow_flow(maps, self.F)
+        for _ in range(5):
+            vm.run(self._packet(self.F))
+        assert firewall.flow_counter(maps, self.F) == 5
+
+    def test_non_udp_passes(self):
+        vm, _ = vm_for(firewall.build())
+        assert vm.run(tcp_packet(size=64)).action == XdpAction.PASS
+
+    def test_non_ip_passes(self):
+        vm, _ = vm_for(firewall.build())
+        frame = bytearray(udp_packet(size=64))
+        frame[12:14] = b"\x86\xdd"
+        assert vm.run(bytes(frame)).action == XdpAction.PASS
+
+
+class TestRouter:
+    DST_MAC = mac("02:0a:0b:0c:0d:0e")
+    SRC_MAC = mac("02:01:02:03:04:05")
+
+    def _vm(self):
+        vm, maps = vm_for(router.build())
+        router.add_route(maps, ipv4("192.168.7.1"), self.DST_MAC, self.SRC_MAC, 5)
+        return vm, maps
+
+    def test_routed_packet(self):
+        vm, maps = self._vm()
+        res = vm.run(udp_packet(dst_ip="192.168.7.200", size=64, ttl=9))
+        assert res.action == XdpAction.REDIRECT
+        assert res.redirect_ifindex == 5
+        assert res.packet[0:6] == self.DST_MAC
+        assert res.packet[6:12] == self.SRC_MAC
+        hdr = res.packet[ETH_HLEN : ETH_HLEN + 20]
+        assert hdr[8] == 8  # ttl decremented
+        assert checksum16(hdr) == 0  # incremental checksum stays valid
+        assert router.routed_count(maps) == 1
+
+    def test_checksum_carry_wrap(self):
+        # a TTL whose checksum word wraps exercises the carry folding
+        vm, _ = self._vm()
+        for ttl in (1 + 1, 17, 64, 255):
+            res = vm.run(udp_packet(dst_ip="192.168.7.3", size=64, ttl=ttl))
+            hdr = res.packet[ETH_HLEN : ETH_HLEN + 20]
+            assert checksum16(hdr) == 0, f"ttl={ttl}"
+
+    def test_no_route_passes(self):
+        vm, _ = self._vm()
+        assert vm.run(udp_packet(dst_ip="8.8.8.8", size=64)).action == XdpAction.PASS
+
+    def test_ttl_expiry_passes_to_kernel(self):
+        vm, _ = self._vm()
+        res = vm.run(udp_packet(dst_ip="192.168.7.4", size=64, ttl=1))
+        assert res.action == XdpAction.PASS
+
+    def test_prefix_match_is_slash24(self):
+        vm, _ = self._vm()
+        assert vm.run(udp_packet(dst_ip="192.168.7.77", size=64)).action == XdpAction.REDIRECT
+        assert vm.run(udp_packet(dst_ip="192.168.8.1", size=64)).action == XdpAction.PASS
+
+
+class TestTunnel:
+    def _vm(self):
+        vm, maps = vm_for(tunnel.build())
+        tunnel.add_tunnel(maps, ipv4("10.5.0.9"), ipv4("100.0.0.1"),
+                          ipv4("100.0.0.2"), mac("02:ff:00:00:00:01"),
+                          mac("02:ff:00:00:00:02"))
+        return vm, maps
+
+    def test_encapsulation(self):
+        vm, maps = self._vm()
+        inner = udp_packet(dst_ip="10.5.0.9", size=90)
+        res = vm.run(inner)
+        assert res.action == XdpAction.TX
+        assert len(res.packet) == 90 + 20
+        outer = IPv4.parse(res.packet[ETH_HLEN:])
+        assert outer.proto == 4  # IPIP
+        assert ipv4_str(outer.src) == "100.0.0.1"
+        assert ipv4_str(outer.dst) == "100.0.0.2"
+        assert checksum16(res.packet[ETH_HLEN : ETH_HLEN + 20]) == 0
+        assert outer.total_length == (90 - ETH_HLEN) + 20
+        # inner packet preserved after the outer headers
+        assert res.packet[ETH_HLEN + 20 :] == inner[ETH_HLEN:]
+        assert tunnel.encapsulated_count(maps) == 1
+
+    def test_new_ethernet_header(self):
+        vm, _ = self._vm()
+        res = vm.run(udp_packet(dst_ip="10.5.0.9", size=64))
+        assert res.packet[0:6] == mac("02:ff:00:00:00:01")
+        assert res.packet[12:14] == b"\x08\x00"
+
+    def test_unconfigured_destination_passes(self):
+        vm, _ = self._vm()
+        assert vm.run(udp_packet(dst_ip="9.9.9.9", size=64)).action == XdpAction.PASS
+
+
+class TestDnat:
+    def _frames(self, n=3):
+        return [udp_packet(src_ip=f"172.16.0.{i+1}", dst_ip="8.8.4.4",
+                           sport=7000 + i, dport=53, size=64) for i in range(n)]
+
+    def test_first_packet_allocates_binding(self):
+        vm, maps = vm_for(dnat.build())
+        res = vm.run(self._frames(1)[0])
+        assert res.action == XdpAction.TX
+        ft = parse_five_tuple(res.packet)
+        assert ipv4_str(ft.src_ip) == "100.64.0.1"
+        assert ft.sport == 1024
+        assert dnat.bindings_count(maps) == 1
+
+    def test_binding_reused(self):
+        vm, maps = vm_for(dnat.build())
+        frame = self._frames(1)[0]
+        first = vm.run(frame)
+        second = vm.run(frame)
+        assert first.packet == second.packet
+        assert dnat.bindings_count(maps) == 1
+
+    def test_distinct_flows_get_distinct_ports(self):
+        vm, maps = vm_for(dnat.build())
+        ports = set()
+        for frame in self._frames(5):
+            res = vm.run(frame)
+            ports.add(parse_five_tuple(res.packet).sport)
+        assert len(ports) == 5
+
+    def test_checksum_valid_after_rewrite(self):
+        vm, _ = vm_for(dnat.build())
+        res = vm.run(self._frames(1)[0])
+        assert checksum16(res.packet[ETH_HLEN : ETH_HLEN + 20]) == 0
+        # UDP checksum cleared (legal for IPv4)
+        assert res.packet[40:42] == b"\x00\x00"
+
+    def test_reverse_binding_installed(self):
+        vm, maps = vm_for(dnat.build())
+        vm.run(self._frames(1)[0])
+        assert maps.by_name("rnat").entry_count() == 1
+
+    def test_host_binding_reader(self):
+        vm, maps = vm_for(dnat.build())
+        frame = self._frames(1)[0]
+        vm.run(frame)
+        ft = parse_five_tuple(frame)
+        binding = dnat.binding_for(maps, ft)
+        assert binding == (ipv4("100.64.0.1"), 1024)
+
+    def test_non_udp_passes(self):
+        vm, _ = vm_for(dnat.build())
+        assert vm.run(tcp_packet(size=64)).action == XdpAction.PASS
+
+
+class TestSuricata:
+    BAD = FiveTuple(ipv4("6.6.6.6"), ipv4("10.0.0.1"), 17, 31337, 53)
+
+    def _vm(self):
+        vm, maps = vm_for(suricata.build())
+        suricata.add_bypass(maps, self.BAD)
+        return vm, maps
+
+    def test_bypassed_flow_dropped(self):
+        vm, maps = self._vm()
+        frame = udp_packet(src_ip=self.BAD.src_ip, dst_ip=self.BAD.dst_ip,
+                           sport=self.BAD.sport, dport=self.BAD.dport, size=64)
+        assert vm.run(frame).action == XdpAction.DROP
+        assert suricata.stats(maps)["dropped"] == 1
+
+    def test_clean_traffic_passes_with_stats(self):
+        vm, maps = self._vm()
+        assert vm.run(udp_packet(size=64)).action == XdpAction.PASS
+        assert vm.run(tcp_packet(size=64)).action == XdpAction.PASS
+        stats = suricata.stats(maps)
+        assert stats["udp"] == 1 and stats["tcp"] == 1
+
+    def test_non_l4_counts_total(self):
+        vm, maps = self._vm()
+        frame = bytearray(udp_packet(size=64))
+        frame[23] = 1  # ICMP
+        # break the IP checksum deliberately? program does not validate it
+        assert vm.run(bytes(frame)).action == XdpAction.PASS
+        assert suricata.stats(maps)["total"] == 1
+
+
+class TestLeakyBucket:
+    def test_rate_limits_single_flow(self):
+        prog = leaky_bucket.build()
+        maps = MapSet(prog.maps)
+        vm = Vm(prog, maps=maps)
+        frame = udp_packet(src_ip="10.0.0.1", sport=1000, size=64)
+        results = []
+        for i in range(100):
+            vm.time_ns = i * 100  # 10 Mpps offered, far above the rate
+            results.append(vm.run(frame).action)
+        dropped = sum(1 for a in results if a == XdpAction.DROP)
+        assert dropped > 50  # heavily limited
+
+    def test_slow_flow_unlimited(self):
+        prog = leaky_bucket.build()
+        maps = MapSet(prog.maps)
+        vm = Vm(prog, maps=maps)
+        frame = udp_packet(src_ip="10.0.0.2", sport=1000, size=64)
+        results = []
+        for i in range(50):
+            vm.time_ns = i * 50_000  # 20 kpps: under the configured rate
+            results.append(vm.run(frame).action)
+        assert all(a == XdpAction.TX for a in results)
+
+    def test_buckets_created_per_flow(self):
+        prog = leaky_bucket.build()
+        maps = MapSet(prog.maps)
+        vm = Vm(prog, maps=maps)
+        for i in range(5):
+            vm.run(udp_packet(src_ip=f"10.0.1.{i+1}", sport=1000 + i, size=64))
+        assert leaky_bucket.bucket_count(maps) == 5
+
+
+class TestInventory:
+    def test_five_evaluation_apps(self):
+        assert set(EVALUATION_APPS) == {"firewall", "router", "tunnel",
+                                        "dnat", "suricata"}
+
+    def test_all_apps_compile(self):
+        from repro.core import compile_program
+
+        for mod in EVALUATION_APPS.values():
+            pipe = compile_program(mod.build())
+            assert pipe.n_stages > 5
+
+
+class TestDnatBidirectional:
+    """The forward + reverse NAT programs sharing pinned maps."""
+
+    OUT = udp_packet(src_ip="172.16.0.5", dst_ip="8.8.8.8",
+                     sport=5555, dport=53, size=64)
+
+    def test_round_trip(self):
+        from repro.core import compile_program
+        from repro.hwsim import PipelineSimulator
+
+        fwd = compile_program(dnat.build())
+        rev = compile_program(dnat.build_reverse())
+        maps = MapSet(dnat.build().maps)
+        out = PipelineSimulator(fwd, maps=maps).run_packets([self.OUT])
+        translated = parse_five_tuple(out.records[0].data)
+        reply = udp_packet(src_ip="8.8.8.8", dst_ip=translated.src_ip,
+                           sport=53, dport=translated.sport, size=64)
+        back_rep = PipelineSimulator(rev, maps=maps).run_packets([reply])
+        back = parse_five_tuple(back_rep.records[0].data)
+        assert back.dst_ip == ipv4("172.16.0.5")
+        assert back.dport == 5555
+        assert back_rep.records[0].action == XdpAction.TX
+        assert checksum16(back_rep.records[0].data[ETH_HLEN:ETH_HLEN + 20]) == 0
+
+    def test_unknown_reply_passes(self):
+        vm, _ = vm_for(dnat.build_reverse())
+        stray = udp_packet(src_ip="8.8.8.8", dst_ip="100.64.0.1",
+                           sport=53, dport=9999, size=64)
+        assert vm.run(stray).action == XdpAction.PASS
+
+    def test_reverse_matches_vm(self):
+        from repro.ebpf.vm import Vm
+        from repro.hwsim import run_differential
+
+        def setup(maps):
+            Vm(dnat.build(), maps=maps).run(self.OUT)
+
+        reply = udp_packet(src_ip="8.8.8.8", dst_ip="100.64.0.1",
+                           sport=53, dport=1024, size=64)
+        run_differential(dnat.build_reverse(), [reply] * 8,
+                         setup=setup).raise_on_mismatch()
+
+    def test_same_map_layout_for_sharing(self):
+        fwd, rev = dnat.build(), dnat.build_reverse()
+        assert {fd: (s.name, s.key_size, s.value_size)
+                for fd, s in fwd.maps.items()} == \
+               {fd: (s.name, s.key_size, s.value_size)
+                for fd, s in rev.maps.items()}
+
+
+class TestIcmpEcho:
+    def test_replies_to_ping(self):
+        from repro.apps import icmp_echo
+
+        vm, _ = vm_for(icmp_echo.build())
+        req = icmp_echo.echo_request(ident=7, seq=3, payload=b"x" * 16)
+        res = vm.run(req)
+        assert res.action == XdpAction.TX
+        assert icmp_echo.is_valid_reply(res.packet, req)
+
+    def test_ignores_echo_reply(self):
+        from repro.apps import icmp_echo
+
+        vm, _ = vm_for(icmp_echo.build())
+        req = bytearray(icmp_echo.echo_request())
+        req[34] = 0  # already a reply
+        assert vm.run(bytes(req)).action == XdpAction.PASS
+
+    def test_ignores_non_icmp(self):
+        from repro.apps import icmp_echo
+
+        vm, _ = vm_for(icmp_echo.build())
+        assert vm.run(udp_packet(size=64)).action == XdpAction.PASS
+
+    def test_no_maps_no_hazards(self):
+        from repro.apps import icmp_echo
+        from repro.core import compile_program
+
+        pipe = compile_program(icmp_echo.build())
+        assert not pipe.map_hazards
+
+    def test_pipeline_matches_vm(self):
+        from repro.apps import icmp_echo
+        from repro.hwsim import run_differential
+
+        frames = [icmp_echo.echo_request(seq=i) for i in range(6)]
+        frames.append(b"\x00" * 30)
+        run_differential(icmp_echo.build(), frames).raise_on_mismatch()
+
+
+class TestSuricataV6:
+    SRC6 = bytes(15) + b"\x09"
+    DST6 = bytes(15) + b"\x02"
+
+    def _vm(self):
+        vm, maps = vm_for(suricata.build_v6())
+        suricata.add_bypass_v6(maps, self.SRC6, self.DST6, 666, 53)
+        return vm, maps
+
+    def test_bypassed_v6_flow_dropped(self):
+        from repro.net.packet import udp6_packet
+
+        vm, maps = self._vm()
+        frame = udp6_packet(src_ip=self.SRC6, dst_ip=self.DST6,
+                            sport=666, dport=53, size=80)
+        assert vm.run(frame).action == XdpAction.DROP
+        assert suricata.stats(maps)["dropped"] == 1
+
+    def test_clean_v6_passes(self):
+        from repro.net.packet import udp6_packet
+
+        vm, maps = self._vm()
+        frame = udp6_packet(src_ip=self.SRC6, dst_ip=self.DST6,
+                            sport=777, dport=53, size=80)
+        assert vm.run(frame).action == XdpAction.PASS
+        assert suricata.stats(maps)["udp"] == 1
+
+    def test_ipv4_ignored_by_v6_filter(self):
+        vm, _ = self._vm()
+        assert vm.run(udp_packet(size=64)).action == XdpAction.PASS
+
+    def test_wide_key_layout(self):
+        key = suricata.acl6_key(self.SRC6, self.DST6, 1, 2, 17)
+        assert len(key) == 40
+
+    def test_bad_address_length_rejected(self):
+        with pytest.raises(ValueError):
+            suricata.acl6_key(b"\x00" * 4, self.DST6, 1, 2, 17)
+
+    def test_pipeline_matches_vm(self):
+        from repro.hwsim import run_differential
+        from repro.net.packet import udp6_packet
+
+        def setup(maps):
+            suricata.add_bypass_v6(maps, self.SRC6, self.DST6, 666, 53)
+
+        frames = [
+            udp6_packet(src_ip=self.SRC6, dst_ip=self.DST6, sport=666,
+                        dport=53, size=80),
+            udp6_packet(src_ip=self.SRC6, dst_ip=self.DST6, sport=70,
+                        dport=53, size=80),
+            udp_packet(size=64),
+            b"\x00" * 30,
+        ] * 5
+        run_differential(suricata.build_v6(), frames,
+                         setup=setup).raise_on_mismatch()

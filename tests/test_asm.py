@@ -1,0 +1,244 @@
+"""Assembler and disassembler tests: syntax coverage and round-trips."""
+
+import pytest
+
+from repro.ebpf import isa
+from repro.ebpf.asm import AsmError, assemble, assemble_program
+from repro.ebpf.disasm import disassemble, format_instruction
+from repro.ebpf.isa import MapSpec
+
+
+def one(source: str, **kwargs):
+    insns = assemble(source, **kwargs)
+    assert len(insns) == 1
+    return insns[0]
+
+
+class TestAluSyntax:
+    def test_mov_imm(self):
+        insn = one("r1 = 42")
+        assert insn.opcode == isa.BPF_ALU64 | isa.BPF_K | isa.BPF_MOV
+        assert insn.imm == 42
+
+    def test_mov_reg(self):
+        insn = one("r1 = r2")
+        assert insn.uses_reg_src and insn.src == 2
+
+    def test_mov32(self):
+        insn = one("w3 = 7")
+        assert insn.opclass == isa.BPF_ALU
+
+    def test_negative_imm(self):
+        assert one("r2 += -4").imm == -4
+
+    def test_hex_imm(self):
+        assert one("r2 &= 0xffff").imm == 0xFFFF
+
+    @pytest.mark.parametrize(
+        "text,op",
+        [
+            ("r1 += r2", isa.BPF_ADD),
+            ("r1 -= r2", isa.BPF_SUB),
+            ("r1 *= r2", isa.BPF_MUL),
+            ("r1 /= r2", isa.BPF_DIV),
+            ("r1 %= r2", isa.BPF_MOD),
+            ("r1 &= r2", isa.BPF_AND),
+            ("r1 |= r2", isa.BPF_OR),
+            ("r1 ^= r2", isa.BPF_XOR),
+            ("r1 <<= r2", isa.BPF_LSH),
+            ("r1 >>= r2", isa.BPF_RSH),
+            ("r1 s>>= r2", isa.BPF_ARSH),
+        ],
+    )
+    def test_all_alu_ops(self, text, op):
+        assert one(text).op == op
+
+    def test_neg(self):
+        insn = one("r3 = -r3")
+        assert insn.op == isa.BPF_NEG
+
+    def test_neg_wrong_register_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("r3 = -r4")
+
+    def test_byteswap(self):
+        insn = one("r2 = be16 r2")
+        assert insn.op == isa.BPF_END and insn.imm == 16 and insn.uses_reg_src
+        insn = one("r2 = le64 r2")
+        assert insn.imm == 64 and not insn.uses_reg_src
+
+
+class TestMemorySyntax:
+    def test_load(self):
+        insn = one("r2 = *(u8 *)(r1 + 12)")
+        assert insn.is_mem_load and insn.size_bytes == 1 and insn.off == 12
+
+    def test_load_negative_offset(self):
+        insn = one("r2 = *(u64 *)(r10 - 8)")
+        assert insn.off == -8 and insn.src == 10
+
+    def test_store_reg(self):
+        insn = one("*(u32 *)(r10 - 4) = r3")
+        assert insn.opclass == isa.BPF_STX and insn.src == 3
+
+    def test_store_imm(self):
+        insn = one("*(u16 *)(r6 + 12) = 8")
+        assert insn.opclass == isa.BPF_ST and insn.imm == 8
+
+    def test_atomic_add(self):
+        insn = one("lock *(u64 *)(r1 + 0) += r2")
+        assert insn.is_atomic and insn.imm == isa.ATOMIC_ADD
+
+    def test_atomic_fetch_add(self):
+        insn = one("lock fetch *(u64 *)(r0 + 0) += r9")
+        assert insn.imm == (isa.ATOMIC_ADD | isa.BPF_FETCH)
+
+    def test_atomic_xchg(self):
+        insn = one("lock *(u64 *)(r1 + 0) xchg r2")
+        assert insn.imm == isa.ATOMIC_XCHG
+
+    def test_ld_imm64(self):
+        insn = one("r1 = 81985529216486895 ll")
+        assert insn.is_ld_imm64 and insn.imm64 == 81985529216486895
+
+    def test_map_ref_needs_declared_map(self):
+        with pytest.raises(AsmError):
+            assemble("r1 = map[stats]")
+        insn = one("r1 = map[stats]", maps={"stats": 4})
+        assert insn.is_map_ref and insn.imm64 == 4
+
+
+class TestControlFlow:
+    def test_relative_offsets(self):
+        insns = assemble("if r1 == 5 goto +2\nr0 = 0\nr0 = 1\nexit")
+        assert insns[0].off == 2
+
+    def test_labels(self):
+        insns = assemble(
+            """
+            if r1 == 5 goto done
+            r0 = 0
+            exit
+        done:
+            r0 = 1
+            exit
+        """
+        )
+        assert insns[0].off == 2
+
+    def test_label_offsets_count_slots(self):
+        # ld_imm64 between branch and label occupies two slots
+        insns = assemble(
+            """
+            goto end
+            r1 = 7 ll
+        end:
+            exit
+        """
+        )
+        assert insns[0].off == 2
+
+    def test_backward_label(self):
+        insns = assemble(
+            """
+        top:
+            r1 += 1
+            goto top
+        """
+        )
+        assert insns[1].off == -2
+
+    def test_undefined_label(self):
+        with pytest.raises(AsmError):
+            assemble("goto nowhere")
+
+    def test_call_by_id_and_name(self):
+        assert one("call 1").imm == 1
+        assert one("call bpf_map_lookup_elem").imm == 1
+        assert one("call bpf_xdp_adjust_head").imm == 44
+
+    @pytest.mark.parametrize(
+        "sym,op",
+        [
+            ("==", isa.BPF_JEQ), ("!=", isa.BPF_JNE), (">", isa.BPF_JGT),
+            (">=", isa.BPF_JGE), ("<", isa.BPF_JLT), ("<=", isa.BPF_JLE),
+            ("s>", isa.BPF_JSGT), ("s<", isa.BPF_JSLT), ("&", isa.BPF_JSET),
+        ],
+    )
+    def test_comparison_ops(self, sym, op):
+        insns = assemble(f"if r1 {sym} 5 goto +1\nexit\nexit")
+        assert insns[0].op == op
+
+    def test_jmp32(self):
+        insns = assemble("if w1 == 5 goto +1\nexit\nexit")
+        assert insns[0].opclass == isa.BPF_JMP32
+
+    def test_reg_comparison(self):
+        insns = assemble("if r1 > r2 goto +1\nexit\nexit")
+        assert insns[0].uses_reg_src and insns[0].src == 2
+
+
+class TestCommentsAndErrors:
+    def test_comments_stripped(self):
+        insns = assemble("r1 = 1 ; a comment\nr2 = 2 # another\nr3 = 3 // third")
+        assert len(insns) == 3
+
+    def test_garbage_rejected_with_line_number(self):
+        with pytest.raises(AsmError, match="line 2"):
+            assemble("r1 = 1\nthis is not bpf")
+
+    def test_bad_register(self):
+        with pytest.raises(AsmError):
+            assemble("r11 = 5")
+
+
+class TestRoundTrip:
+    def test_disassemble_reassemble(self):
+        source = """
+            r2 = *(u32 *)(r1 + 4)
+            r1 = *(u32 *)(r1 + 0)
+            r3 = 0
+            *(u32 *)(r10 - 4) = r3
+            r2 = *(u8 *)(r1 + 12)
+            r1 <<= 8
+            r1 |= r2
+            if r1 == 34525 goto +2
+            r0 = 1
+            exit
+            r2 = r10
+            r2 += -4
+            r1 = 0 ll
+            call 1
+            lock *(u64 *)(r1 + 0) += r2
+            exit
+        """
+        insns = assemble(source)
+        text = disassemble(insns, numbered=False)
+        again = assemble(text)
+        assert again == insns
+
+    def test_numbered_disassembly_uses_slots(self):
+        insns = assemble("r1 = 7 ll\nexit")
+        text = disassemble(insns)
+        assert text.splitlines()[1].startswith("2:")
+
+    def test_format_every_instruction_in_apps(self):
+        from repro.apps import EVALUATION_APPS
+
+        for mod in EVALUATION_APPS.values():
+            for insn in mod.build().instructions:
+                assert format_instruction(insn)
+
+
+class TestAssembleProgram:
+    def test_allocates_fds_in_order(self):
+        prog = assemble_program(
+            "r1 = map[a]\nr1 = map[b]\nr0 = 0\nexit",
+            maps={
+                "a": MapSpec("a", "array", 4, 8, 1),
+                "b": MapSpec("b", "array", 4, 8, 1),
+            },
+        )
+        assert prog.referenced_map_fds() == [1, 2]
+        assert prog.maps[1].name == "a"
+        assert prog.maps[2].name == "b"

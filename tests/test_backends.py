@@ -1,0 +1,230 @@
+"""VHDL backend, resource model, and NIC shell tests."""
+
+import pytest
+
+from repro.apps import EVALUATION_APPS, router, toy_counter
+from repro.core import CompileOptions, compile_program
+from repro.core.resources import (
+    ALVEO_U50,
+    CORUNDUM_SHELL,
+    ResourceEstimate,
+    estimate_resources,
+)
+from repro.core.vhdl import emit_vhdl
+from repro.ebpf.maps import MapSet
+from repro.hwsim import NicSystem, ShellConfig
+from repro.net.packet import ipv4, mac, udp_packet
+
+
+class TestVhdl:
+    @pytest.fixture(scope="class")
+    def vhdl(self):
+        return emit_vhdl(compile_program(toy_counter.build()))
+
+    def test_one_entity_per_stage_plus_blocks(self, vhdl):
+        pipe = compile_program(toy_counter.build())
+        stage_entities = vhdl.count("_stage_")
+        assert vhdl.count("entity ") >= pipe.n_stages + len(pipe.map_hazards) + 1
+
+    def test_map_block_emitted(self, vhdl):
+        assert "ehdl_map_1" in vhdl
+        assert "host_req" in vhdl  # userspace map interface (§4.1)
+
+    def test_async_fifos_for_shell_decoupling(self, vhdl):
+        assert "async_fifo" in vhdl
+        assert "pipe_clk" in vhdl and "shell_clk" in vhdl
+
+    def test_state_port_width_matches_pruning(self, vhdl):
+        pipe = compile_program(toy_counter.build())
+        stage = pipe.stages[0]
+        bits = stage.state_bytes(pipe.frame_size) * 8
+        assert f"std_logic_vector({bits - 1} downto 0)" in vhdl
+
+    def test_atomic_port_present(self, vhdl):
+        assert "atomic_req" in vhdl
+
+    def test_flush_machinery_when_needed(self):
+        text = emit_vhdl(compile_program(router.build(use_atomic=False)))
+        assert "Flush Evaluation Block" in text
+        assert "flush_out" in text
+
+    def test_all_apps_render(self):
+        for mod in EVALUATION_APPS.values():
+            text = emit_vhdl(compile_program(mod.build()))
+            assert "architecture" in text and "end entity" in text
+
+    def test_deterministic(self):
+        a = emit_vhdl(compile_program(toy_counter.build()))
+        b = emit_vhdl(compile_program(toy_counter.build()))
+        assert a == b
+
+
+class TestResources:
+    def test_paper_utilisation_band(self):
+        # "the generated pipelines use only 6.5%-13.3% of the FPGA"
+        for name, mod in EVALUATION_APPS.items():
+            est = estimate_resources(compile_program(mod.build()))
+            assert 5.0 <= est.max_pct <= 15.0, f"{name}: {est.summary()}"
+
+    def test_shell_included_by_default(self):
+        pipe = compile_program(toy_counter.build())
+        with_shell = estimate_resources(pipe)
+        without = estimate_resources(pipe, include_shell=False)
+        assert with_shell.luts - without.luts == CORUNDUM_SHELL.luts
+
+    def test_pruning_ablation_direction(self):
+        # §5.4: unpruned needs +46% LUT / +66% FF / +123% BRAM
+        prog = toy_counter.build()
+        pruned = estimate_resources(
+            compile_program(prog), include_shell=False
+        )
+        unpruned = estimate_resources(
+            compile_program(prog, CompileOptions(enable_pruning=False)),
+            include_shell=False,
+        )
+        assert 1.15 < unpruned.luts / pruned.luts < 1.9
+        assert 1.25 < unpruned.ffs / pruned.ffs < 2.2
+        assert 1.4 < unpruned.bram36 / pruned.bram36 < 3.5
+
+    def test_bigger_program_more_logic(self):
+        small = estimate_resources(compile_program(toy_counter.build()),
+                                   include_shell=False)
+        big = estimate_resources(
+            compile_program(EVALUATION_APPS["tunnel"].build()),
+            include_shell=False,
+        )
+        assert big.luts > small.luts
+
+    def test_percentages_derive_from_device(self):
+        est = ResourceEstimate(luts=87_200, ffs=0, bram36=0, device=ALVEO_U50)
+        assert est.lut_pct == pytest.approx(10.0)
+
+    def test_addition(self):
+        a = ResourceEstimate(1, 2, 3)
+        b = ResourceEstimate(10, 20, 30)
+        total = a + b
+        assert (total.luts, total.ffs, total.bram36) == (11, 22, 33)
+
+    def test_summary_renders(self):
+        est = estimate_resources(compile_program(toy_counter.build()))
+        assert "LUT" in est.summary() and "BRAM36" in est.summary()
+
+
+class TestNicShell:
+    def _system(self):
+        prog = router.build()
+        pipe = compile_program(prog)
+        maps = MapSet(prog.maps)
+        router.add_route(maps, ipv4("192.168.1.1"), mac("02:00:00:00:01:01"),
+                         mac("02:00:00:00:01:02"), 3)
+        return NicSystem(pipe, maps=maps)
+
+    def test_line_rate_forwarding(self):
+        nic = self._system()
+        frames = [udp_packet(dst_ip="192.168.1.9", size=64)] * 2000
+        report = nic.run_at_line_rate(frames)
+        assert report.packets_out == 2000
+        assert report.packets_dropped_queue == 0
+        assert nic.achieved_mpps(report, 148.8) > 140
+
+    def test_microsecond_latency(self):
+        # Figure 9b: about 1 us end to end
+        nic = self._system()
+        report = nic.run_at_line_rate([udp_packet(dst_ip="192.168.1.9", size=64)] * 200)
+        latency = nic.forwarding_latency_ns(report)
+        assert 700 <= latency <= 1500
+
+    def test_rate_limited_injection(self):
+        nic = self._system()
+        frames = [udp_packet(dst_ip="192.168.1.9", size=64)] * 200
+        report = nic.run_at_rate(frames, offered_mpps=10.0)
+        assert report.throughput_mpps == pytest.approx(10.0, rel=0.1)
+
+    def test_trace_replay(self):
+        from repro.net.traces import caida_like
+
+        nic = self._system()
+        trace = caida_like(n_packets=1500)
+        report = nic.replay_trace(trace)
+        assert report.packets_out == 1500
+        assert report.packets_dropped_queue == 0
+
+    def test_shell_latency_constant(self):
+        cfg = ShellConfig()
+        assert cfg.shell_latency_ns == 2 * cfg.mac_fifo_latency_ns
+
+
+class TestReflash:
+    def test_reflash_swaps_program(self):
+        from repro.apps import icmp_echo, toy_counter
+        from repro.core import compile_program
+        from repro.hwsim import NicSystem
+
+        nic = NicSystem(compile_program(toy_counter.build()))
+        downtime = nic.reflash(compile_program(icmp_echo.build()))
+        assert downtime > 0
+        req = icmp_echo.echo_request()
+        report = nic.run_at_line_rate([req])
+        assert icmp_echo.is_valid_reply(report.records[0].data, req)
+
+    def test_reflash_can_keep_pinned_maps(self):
+        from repro.apps import dnat
+        from repro.core import compile_program
+        from repro.ebpf.maps import MapSet
+        from repro.hwsim import NicSystem
+        from repro.net.packet import parse_five_tuple, udp_packet
+
+        maps = MapSet(dnat.build().maps)
+        nic = NicSystem(compile_program(dnat.build()), maps=maps)
+        out = udp_packet(src_ip="172.16.0.9", dst_ip="8.8.8.8",
+                         sport=4444, dport=53, size=64)
+        translated = parse_five_tuple(
+            nic.run_at_line_rate([out]).records[0].data
+        )
+        # reflash to the reverse program, keeping the pinned maps
+        nic.reflash(compile_program(dnat.build_reverse()), maps=maps)
+        reply = udp_packet(src_ip="8.8.8.8", dst_ip=translated.src_ip,
+                           sport=53, dport=translated.sport, size=64)
+        back = parse_five_tuple(nic.run_at_line_rate([reply]).records[0].data)
+        assert back.dport == 4444
+
+
+class TestDeviceVariants:
+    def test_alveo_u280(self):
+        from repro.apps import firewall
+        from repro.core import compile_program
+        from repro.core.resources import DeviceSpec, estimate_resources
+
+        u280 = DeviceSpec("xilinx-alveo-u280", luts=1_304_000,
+                          ffs=2_607_000, bram36=2016)
+        est = estimate_resources(compile_program(firewall.build()),
+                                 device=u280)
+        # same absolute cost, lower relative utilisation on the bigger part
+        baseline = estimate_resources(compile_program(firewall.build()))
+        assert est.luts == baseline.luts
+        assert est.lut_pct < baseline.lut_pct
+
+
+class TestTinyPrograms:
+    def test_two_instruction_program(self):
+        from repro.core import compile_program
+        from repro.ebpf.asm import assemble_program
+        from repro.hwsim import run_differential
+
+        prog = assemble_program("r0 = 2\nexit")
+        pipe = compile_program(prog)
+        assert pipe.n_stages == 2  # mov, then the verdict latch
+        run_differential(prog, [bytes(64)] * 5).raise_on_mismatch()
+
+    def test_empty_frame_battery(self):
+        from repro.apps import toy_counter
+        from repro.hwsim import run_differential
+
+        run_differential(toy_counter.build(), [b""]).raise_on_mismatch()
+
+    def test_zero_frames(self):
+        from repro.apps import toy_counter
+        from repro.hwsim import run_differential
+
+        result = run_differential(toy_counter.build(), [])
+        assert result.ok and result.packets == 0

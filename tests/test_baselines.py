@@ -1,0 +1,165 @@
+"""Baseline model tests: hXDP, Bluefield2, SDNet."""
+
+import pytest
+
+from repro.apps import EVALUATION_APPS, dnat, firewall, router
+from repro.baselines import (
+    P4_PORTS,
+    SdnetCompiler,
+    SdnetUnsupportedError,
+    compile_for_hxdp,
+    model_bluefield,
+)
+from repro.baselines.sdnet import ActionKind, P4Action, p4_firewall, p4_router
+from repro.core import compile_program
+from repro.core.resources import estimate_resources
+from repro.ebpf.xdp import XdpAction
+from repro.net.packet import udp_packet
+
+
+class TestHxdp:
+    def test_throughput_in_paper_band(self):
+        # hXDP forwards 0.9-5.4 Mpps depending on the program (§5.1)
+        for name, mod in EVALUATION_APPS.items():
+            report = compile_for_hxdp(mod.build())
+            assert 0.5 < report.throughput_mpps < 8, name
+
+    def test_sequential_execution_penalty(self):
+        # eHDL pipelines beat hXDP by 10-100x in throughput
+        for name, mod in EVALUATION_APPS.items():
+            hxdp = compile_for_hxdp(mod.build())
+            ratio = 148.8 / hxdp.throughput_mpps
+            assert ratio > 10, name
+
+    def test_latency_same_ballpark_as_ehdl(self):
+        # "the latency of eHDL and hXDP is in fact comparable"
+        report = compile_for_hxdp(firewall.build())
+        assert 100 < report.latency_ns < 1500
+
+    def test_vliw_bundles_leq_instructions(self):
+        prog = router.build()
+        report = compile_for_hxdp(prog)
+        assert report.vliw_instructions <= len(prog.instructions)
+
+    def test_resources_program_independent(self):
+        from repro.baselines.hxdp import resources
+
+        assert resources(firewall.build()) == resources(router.build())
+
+    def test_more_instructions_lower_throughput(self):
+        small = compile_for_hxdp(firewall.build())
+        large = compile_for_hxdp(dnat.build())
+        assert large.throughput_mpps < small.throughput_mpps
+
+
+class TestBluefield:
+    SAMPLE = [udp_packet(size=64)] * 4
+
+    def test_single_core_comparable_to_hxdp(self):
+        for name, mod in EVALUATION_APPS.items():
+            bf = model_bluefield(mod.build(), self.SAMPLE, cores=1)
+            assert 0.5 < bf.throughput_mpps < 8, name
+
+    def test_linear_core_scaling(self):
+        prog = router.build()
+        one = model_bluefield(prog, self.SAMPLE, cores=1)
+        four = model_bluefield(prog, self.SAMPLE, cores=4)
+        assert abs(four.throughput_mpps - 4 * one.throughput_mpps) < 1e-6
+
+    def test_four_cores_over_10mpps(self):
+        # "growing linearly to over 10 Mpps when using multiple cores"
+        bf = model_bluefield(router.build(), self.SAMPLE, cores=4)
+        assert bf.throughput_mpps > 10
+
+    def test_latency_10x_fpga(self):
+        bf = model_bluefield(router.build(), self.SAMPLE, cores=1)
+        assert bf.latency_ns > 5_000  # ~10x the FPGA's ~1 us
+
+    def test_core_count_validated(self):
+        with pytest.raises(ValueError):
+            model_bluefield(router.build(), self.SAMPLE, cores=0)
+        with pytest.raises(ValueError):
+            model_bluefield(router.build(), self.SAMPLE, cores=99)
+
+
+class TestSdnet:
+    def test_four_apps_compile(self):
+        compiler = SdnetCompiler()
+        for name in ("firewall", "router", "tunnel", "suricata"):
+            pipe = compiler.compile(P4_PORTS[name]())
+            assert pipe.throughput_mpps > 140
+
+    def test_dnat_rejected(self):
+        # the §5 result: "we could not implement the DNAT in P4"
+        with pytest.raises(SdnetUnsupportedError):
+            SdnetCompiler().compile(P4_PORTS["dnat"]())
+
+    def test_unparsed_key_field_rejected(self):
+        prog = p4_router()
+        prog.tables[0].key_fields.append("vlan.id")
+        with pytest.raises(KeyError):
+            SdnetCompiler().compile(prog)
+
+    def test_resources_exceed_ehdl(self):
+        compiler = SdnetCompiler()
+        for name in ("firewall", "router", "tunnel", "suricata"):
+            sdnet_est = compiler.compile(P4_PORTS[name]()).resources()
+            ehdl_est = estimate_resources(
+                compile_program(EVALUATION_APPS[name].build())
+            )
+            assert sdnet_est.luts > 1.3 * ehdl_est.luts, name
+            assert sdnet_est.ffs > ehdl_est.ffs, name
+
+    def test_firewall_pipeline_behaviour(self):
+        prog = p4_firewall()
+        pipe = SdnetCompiler().compile(prog)
+        frame = udp_packet(src_ip="10.0.0.1", dst_ip="10.0.0.2",
+                           sport=1000, dport=53, size=64)
+        # unknown flow: default action DROP
+        action, _, _ = pipe.process(frame)
+        assert action == XdpAction.DROP
+        # install the flow from the "control plane"
+        key = frame[26:30] + frame[30:34] + frame[34:36] + frame[36:38]
+        prog.tables[0].add_entry(
+            key,
+            [P4Action(ActionKind.PASS),
+             P4Action(ActionKind.COUNT, {"counter": "flow_hits", "index": 0})],
+        )
+        action, _, _ = pipe.process(frame)
+        assert action == XdpAction.PASS
+        assert prog.counter("flow_hits").values[0] == 1
+
+    def test_router_pipeline_behaviour(self):
+        from repro.net.packet import ETH_HLEN, checksum16
+
+        prog = p4_router()
+        pipe = SdnetCompiler().compile(prog)
+        frame = udp_packet(dst_ip="10.0.0.2", size=64, ttl=10)
+        key = frame[30:34]
+        prog.tables[0].add_entry(
+            key,
+            [
+                P4Action(ActionKind.SET_FIELDS, {
+                    "eth.dst": b"\x02\x00\x00\x00\x0a\x0a",
+                    "eth.src": b"\x02\x00\x00\x00\x0b\x0b",
+                }),
+                P4Action(ActionKind.DEC_TTL),
+                P4Action(ActionKind.FORWARD, {"port": 4}),
+            ],
+        )
+        action, data, port = pipe.process(frame)
+        assert action == XdpAction.REDIRECT and port == 4
+        assert data[ETH_HLEN + 8] == 9
+        assert checksum16(data[ETH_HLEN : ETH_HLEN + 20]) == 0
+
+    def test_short_packet_dropped(self):
+        pipe = SdnetCompiler().compile(p4_firewall())
+        action, _, _ = pipe.process(bytes(10))
+        assert action == XdpAction.DROP
+
+    def test_table_capacity_enforced(self):
+        prog = p4_firewall()
+        prog.tables[0].size = 1
+        prog.tables[0].add_entry(bytes(12), [P4Action(ActionKind.PASS)])
+        with pytest.raises(ValueError):
+            prog.tables[0].add_entry(bytes(range(12)), [P4Action(ActionKind.PASS)])

@@ -1,0 +1,185 @@
+"""Program builder DSL tests."""
+
+import pytest
+
+from repro.ebpf import isa
+from repro.ebpf.builder import BuildError, ProgramBuilder
+from repro.ebpf.vm import run_program
+from repro.ebpf.xdp import XdpAction
+
+PKT = bytes(range(64))
+
+
+class TestEmission:
+    def test_simple_program(self):
+        b = ProgramBuilder("t")
+        b.mov_imm(0, 2).exit()
+        prog = b.build()
+        assert len(prog.instructions) == 2
+        assert run_program(prog, PKT).action == XdpAction.PASS
+
+    def test_alu_helpers(self):
+        b = ProgramBuilder()
+        b.mov_imm(0, 10)
+        b.alu_imm("-", 0, 8)
+        b.exit()
+        assert run_program(b.build(), PKT).action == XdpAction.PASS
+
+    def test_alu32(self):
+        b = ProgramBuilder()
+        b.mov_imm(0, -1)
+        b.alu_imm("+", 0, 3, width=32)
+        b.exit()
+        assert run_program(b.build(), PKT).action == XdpAction.PASS  # 2
+
+    def test_memory_ops(self):
+        b = ProgramBuilder()
+        b.mov_imm(2, 0x55)
+        b.store("u8", 10, 2, -1)
+        b.load("u8", 0, 10, -1)
+        b.alu_imm("-", 0, 0x53)
+        b.exit()
+        assert run_program(b.build(), PKT).action == XdpAction.PASS
+
+    def test_store_imm(self):
+        b = ProgramBuilder()
+        b.store_imm("u32", 10, -4, 2)
+        b.load("u32", 0, 10, -4)
+        b.exit()
+        assert run_program(b.build(), PKT).action == XdpAction.PASS
+
+    def test_neg_and_endian(self):
+        b = ProgramBuilder()
+        b.mov_imm(0, 0x0200)
+        b.endian(0, 16, to_big=True)
+        b.exit()
+        assert run_program(b.build(), PKT).action == XdpAction.PASS  # 0x0002
+
+    def test_ld_imm64(self):
+        b = ProgramBuilder()
+        b.ld_imm64(0, 0x1_0000_0002)
+        b.alu_imm("&", 0, 0xFF)
+        b.exit()
+        assert run_program(b.build(), PKT).action == XdpAction.PASS
+
+    def test_bad_size_rejected(self):
+        b = ProgramBuilder()
+        with pytest.raises(BuildError, match="unknown size"):
+            b.load("u128", 0, 1, 0)
+
+
+class TestLabels:
+    def test_forward_jump(self):
+        b = ProgramBuilder()
+        b.mov_imm(0, 1)
+        b.jmp("out")
+        b.mov_imm(0, 0)
+        b.label("out")
+        b.exit()
+        assert run_program(b.build(), PKT).action == XdpAction.DROP
+
+    def test_conditional_jump(self):
+        b = ProgramBuilder()
+        b.mov_imm(2, 7)
+        b.mov_imm(0, 1)
+        b.jmp_imm("==", 2, 7, "yes")
+        b.exit()
+        b.label("yes")
+        b.mov_imm(0, 2)
+        b.exit()
+        assert run_program(b.build(), PKT).action == XdpAction.PASS
+
+    def test_reg_comparison(self):
+        b = ProgramBuilder()
+        b.mov_imm(2, 3).mov_imm(3, 4).mov_imm(0, 1)
+        b.jmp_reg("<", 2, 3, "yes")
+        b.exit()
+        b.label("yes")
+        b.mov_imm(0, 2).exit()
+        assert run_program(b.build(), PKT).action == XdpAction.PASS
+
+    def test_label_at_end(self):
+        b = ProgramBuilder()
+        b.mov_imm(0, 2)
+        b.jmp("end")
+        b.label("end")
+        b.exit()
+        assert run_program(b.build(), PKT).action == XdpAction.PASS
+
+    def test_undefined_label(self):
+        b = ProgramBuilder()
+        b.mov_imm(0, 2)
+        b.jmp("nowhere")
+        b.exit()
+        with pytest.raises(BuildError, match="undefined label"):
+            b.build()
+
+    def test_duplicate_label(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(BuildError, match="duplicate label"):
+            b.label("x")
+
+    def test_offsets_count_slots(self):
+        b = ProgramBuilder()
+        b.jmp("end")
+        b.ld_imm64(1, 42)  # two slots to jump over
+        b.label("end")
+        b.mov_imm(0, 2)
+        b.exit()
+        prog = b.build()
+        assert prog.instructions[0].off == 2
+        assert run_program(prog, PKT).action == XdpAction.PASS
+
+
+class TestMaps:
+    def test_map_declaration_and_call(self):
+        b = ProgramBuilder()
+        b.add_map("m", "array", key_size=4, value_size=8, max_entries=2)
+        b.store_imm("u32", 10, -4, 0)
+        b.ld_map(1, "m")
+        b.mov(2, 10)
+        b.alu_imm("+", 2, -4)
+        b.call("bpf_map_lookup_elem")
+        b.jmp_imm("==", 0, 0, "out")
+        b.mov_imm(2, 1)
+        b.atomic_add("u64", 0, 2, 0)
+        b.label("out")
+        b.mov_imm(0, 2)
+        b.exit()
+        prog = b.build()
+        from repro.ebpf.maps import MapSet
+
+        maps = MapSet(prog.maps)
+        run_program(prog, PKT, maps=maps)
+        value = maps.by_name("m").lookup(bytes(4))
+        assert int.from_bytes(value, "little") == 1
+
+    def test_unknown_map(self):
+        b = ProgramBuilder()
+        with pytest.raises(BuildError, match="unknown map"):
+            b.ld_map(1, "ghost")
+
+    def test_duplicate_map(self):
+        b = ProgramBuilder()
+        b.add_map("m", "array", 4, 8, 1)
+        with pytest.raises(BuildError, match="duplicate map"):
+            b.add_map("m", "hash", 4, 8, 1)
+
+    def test_atomic_fetch(self):
+        b = ProgramBuilder()
+        b.add_map("m", "array", 4, 8, 1)
+        b.store_imm("u32", 10, -4, 0)
+        b.ld_map(1, "m")
+        b.mov(2, 10)
+        b.alu_imm("+", 2, -4)
+        b.call(1)
+        b.jmp_imm("==", 0, 0, "out")
+        b.mov_imm(2, 5)
+        b.atomic_add("u64", 0, 2, 0, fetch=True)
+        b.label("out")
+        b.mov_imm(0, 2)
+        b.exit()
+        prog = b.build()
+        fetch_insn = next(i for i in prog.instructions if i.is_atomic)
+        assert fetch_insn.imm & isa.BPF_FETCH

@@ -1,0 +1,110 @@
+"""CFG construction tests."""
+
+import pytest
+
+from repro.core.cfg import CfgError, build_cfg, reachable_blocks
+from repro.ebpf.asm import assemble_program
+
+
+def cfg_of(source: str):
+    return build_cfg(assemble_program(source))
+
+
+class TestBasicBlocks:
+    def test_straight_line_is_one_block(self):
+        cfg = cfg_of("r0 = 1\nr0 += 1\nexit")
+        assert len(cfg.blocks) == 1
+        assert len(cfg.blocks[0]) == 3
+
+    def test_branch_splits_blocks(self):
+        cfg = cfg_of(
+            """
+            r0 = 1
+            if r0 == 1 goto yes
+            r0 = 2
+            exit
+        yes:
+            r0 = 3
+            exit
+        """
+        )
+        assert len(cfg.blocks) == 3
+        entry = cfg.blocks[0]
+        assert {kind for _, kind in entry.succs} == {"taken", "fall"}
+
+    def test_jump_target_starts_block(self):
+        cfg = cfg_of("goto out\nout: r0 = 1\nexit")
+        assert len(cfg.blocks) == 2
+        assert cfg.blocks[0].succs == [(1, "jump")]
+
+    def test_block_of_insn(self):
+        cfg = cfg_of("r0 = 1\nif r0 == 1 goto +1\nr0 = 2\nexit")
+        assert cfg.block_of_insn[0] == 0
+        assert cfg.block_for(2).block_id == 1
+
+    def test_preds_recorded(self):
+        cfg = cfg_of(
+            """
+            if r1 == 0 goto a
+            r0 = 1
+            goto out
+        a:
+            r0 = 2
+        out:
+            exit
+        """
+        )
+        out_block = cfg.block_for(len(cfg.program.instructions) - 1)
+        assert len(out_block.preds) == 2
+
+
+class TestTopoOrder:
+    def test_diamond_order(self):
+        cfg = cfg_of(
+            """
+            if r1 == 0 goto a
+            r0 = 1
+            goto out
+        a:
+            r0 = 2
+        out:
+            exit
+        """
+        )
+        order = cfg.topo_order
+        # entry first, merge block last among reachable ones
+        assert order[0] == 0
+        merge = cfg.block_for(len(cfg.program.instructions) - 1).block_id
+        assert order.index(merge) > order.index(0)
+
+    def test_cycle_detected(self):
+        from repro.ebpf import isa
+        from repro.ebpf.isa import Program
+
+        prog = Program([
+            isa.mov64_imm(isa.R0, 0),
+            isa.jump_imm(isa.BPF_JEQ, isa.R0, 0, -1),  # self loop-ish backward
+            isa.exit_(),
+        ])
+        with pytest.raises(CfgError, match="cycle"):
+            build_cfg(prog)
+
+    def test_slot_aware_edges(self):
+        # jump over a two-slot ld_imm64
+        cfg = cfg_of("goto out\nr1 = 5 ll\nout: r0 = 1\nexit")
+        assert cfg.blocks[0].succs[0][0] == cfg.block_for(2).block_id
+
+
+class TestReachability:
+    def test_unreachable_block_found(self):
+        cfg = cfg_of("r0 = 1\ngoto out\nr0 = 2\nout: exit")
+        reachable = reachable_blocks(cfg)
+        dead = cfg.block_for(2).block_id
+        assert dead not in reachable
+
+    def test_edge_kind_lookup(self):
+        cfg = cfg_of("if r1 == 0 goto +1\nexit\nexit")
+        taken = cfg.blocks[0].succs[0][0]
+        assert cfg.edge_kind(0, taken) == "taken"
+        with pytest.raises(CfgError):
+            cfg.edge_kind(0, 99)

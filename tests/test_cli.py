@@ -1,0 +1,144 @@
+"""Command-line interface tests."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import load_program, main
+from repro.ebpf.asm import AsmError, assemble_program
+
+EXAMPLE = (
+    pathlib.Path(__file__).parent.parent
+    / "examples" / "programs" / "port_filter.ebpf"
+)
+
+SIMPLE = """
+.map counters array key=4 value=8 entries=1
+
+    r0 = 2
+    exit
+"""
+
+
+@pytest.fixture()
+def prog_file(tmp_path):
+    path = tmp_path / "simple.ebpf"
+    path.write_text(SIMPLE)
+    return str(path)
+
+
+class TestLoadProgram:
+    def test_text_with_map_directive(self, prog_file):
+        program = load_program(prog_file)
+        assert len(program.instructions) == 2
+        assert program.maps[1].name == "counters"
+
+    def test_binary_roundtrip(self, tmp_path):
+        program = assemble_program("r0 = 2\nexit")
+        path = tmp_path / "prog.bin"
+        path.write_bytes(program.encode())
+        again = load_program(str(path))
+        assert again.instructions == program.instructions
+
+    def test_example_file_loads(self):
+        program = load_program(str(EXAMPLE))
+        assert len(program.maps) == 1
+
+
+class TestMapDirectives:
+    def test_directive_and_maps_arg_conflict(self):
+        from repro.ebpf.isa import MapSpec
+
+        with pytest.raises(AsmError, match="not both"):
+            assemble_program(
+                SIMPLE, maps={"x": MapSpec("x", "array", 4, 8, 1)}
+            )
+
+    def test_bad_directive_rejected(self):
+        with pytest.raises(AsmError, match="directive"):
+            assemble_program(".map broken\nr0 = 2\nexit")
+
+    def test_duplicate_map_rejected(self):
+        source = (
+            ".map a array key=4 value=8 entries=1\n"
+            ".map a array key=4 value=8 entries=1\n"
+            "r0 = 2\nexit"
+        )
+        with pytest.raises(AsmError, match="duplicate"):
+            assemble_program(source)
+
+
+class TestCommands:
+    def test_stats(self, capsys, prog_file):
+        assert main(["stats", prog_file]) == 0
+        out = capsys.readouterr().out
+        assert "stage" in out and "resources" in out
+
+    def test_disasm(self, capsys, prog_file):
+        assert main(["disasm", prog_file]) == 0
+        assert "exit" in capsys.readouterr().out
+
+    def test_compile_to_file(self, capsys, tmp_path, prog_file):
+        out_path = tmp_path / "out.vhd"
+        assert main(["compile", prog_file, "-o", str(out_path)]) == 0
+        assert "entity" in out_path.read_text()
+
+    def test_compile_to_stdout(self, capsys, prog_file):
+        assert main(["compile", prog_file]) == 0
+        assert "architecture" in capsys.readouterr().out
+
+    def test_simulate(self, capsys, prog_file):
+        assert main(["simulate", prog_file, "--packets", "50",
+                     "--flows", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "latency" in out
+
+    def test_simulate_rate_limited(self, capsys, prog_file):
+        assert main(["simulate", prog_file, "--packets", "50",
+                     "--rate-mpps", "10"]) == 0
+        assert "throughput" in capsys.readouterr().out
+
+    def test_ablation_flags(self, capsys, prog_file):
+        assert main(["stats", prog_file, "--no-pruning", "--no-ilp",
+                     "--keep-bounds-checks"]) == 0
+
+    def test_example_program_end_to_end(self, capsys):
+        assert main(["simulate", str(EXAMPLE), "--packets", "100"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+
+class TestModelAndTrace:
+    def test_model_no_hazard(self, capsys, prog_file):
+        assert main(["model", prog_file]) == 0
+        assert "no hazard" in capsys.readouterr().out
+
+    def test_model_with_hazard(self, capsys, tmp_path):
+        path = tmp_path / "rmw.ebpf"
+        path.write_text(
+            """
+.map m array key=4 value=8 entries=1
+
+    r2 = 0
+    *(u32 *)(r10 - 4) = r2
+    r1 = map[m]
+    r2 = r10
+    r2 += -4
+    call 1
+    if r0 == 0 goto out
+    r2 = *(u64 *)(r0 + 0)
+    r2 += 1
+    *(u64 *)(r0 + 0) = r2
+out:
+    r0 = 2
+    exit
+"""
+        )
+        assert main(["model", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "flush block" in out and "P_f" in out
+
+    def test_trace(self, capsys, prog_file):
+        assert main(["trace", prog_file, "--packets", "5",
+                     "--cycles", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle" in out and "p0" in out

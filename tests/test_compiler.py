@@ -1,0 +1,233 @@
+"""End-to-end compiler tests: pipeline structure, framing, pruning, hazards."""
+
+import pytest
+
+from repro.apps import toy_counter
+from repro.core import (
+    CompileOptions,
+    StageKind,
+    compile_program,
+)
+from repro.core.framing import apply_framing, stage_packet_depth
+from repro.ebpf import isa
+from repro.ebpf.asm import assemble_program
+from repro.ebpf.isa import MapSpec
+
+MAPS = {"m": MapSpec("m", "array", 4, 8, 4)}
+
+
+class TestToyPipeline:
+    """Structure of the Figure 8 pipeline."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        return compile_program(toy_counter.build())
+
+    def test_stage_count_near_figure8(self, pipeline):
+        # Figure 8 shows 20 stages; our fusion choices land nearby.
+        assert 12 <= pipeline.n_stages <= 24
+
+    def test_bounds_check_elided(self, pipeline):
+        assert pipeline.elided_bounds_checks == 1
+
+    def test_ctx_loads_become_entry_ops(self, pipeline):
+        # the data pointer load is wired at entry; the data_end load became
+        # dead after bounds-check elision and was removed entirely
+        assert len(pipeline.entry_ops) == 1
+        scheduled = [
+            op.insn_index for s in pipeline.stages for op in s.ops
+        ]
+        for entry in pipeline.entry_ops:
+            assert entry.insn_index not in scheduled
+
+    def test_max_state_88_bytes(self, pipeline):
+        # the paper: "the largest of the stages only requires 88B of memory"
+        assert pipeline.max_state_bytes == 88
+
+    def test_stack_pruned_to_key(self, pipeline):
+        # stack carried anywhere is exactly the 4-byte lookup key
+        widths = {sum(s for _, s in st.live_in_stack) for st in pipeline.stages}
+        assert widths <= {0, 4}
+
+    def test_register_histogram_small(self, pipeline):
+        for stage in pipeline.stages:
+            assert len(stage.live_in_regs) <= 3
+
+    def test_atomic_block_planned(self, pipeline):
+        plan = pipeline.map_hazards[1]
+        assert plan.uses_atomic and not plan.needs_flush
+
+    def test_exit_is_last_stage(self, pipeline):
+        last_ops = pipeline.stages[-1].ops
+        assert any(op.insn.is_exit for op in last_ops)
+
+    def test_summary_renders(self, pipeline):
+        text = pipeline.summary()
+        assert "stage" in text and "call 1" in text
+
+
+class TestOptions:
+    def test_no_ilp_lengthens_pipeline(self):
+        prog = toy_counter.build()
+        wide = compile_program(prog)
+        narrow = compile_program(
+            prog, CompileOptions(enable_ilp=False, enable_fusion=False)
+        )
+        assert narrow.n_stages > wide.n_stages
+        assert narrow.max_ilp == 1
+
+    def test_no_pruning_carries_everything(self):
+        prog = toy_counter.build()
+        pruned = compile_program(prog)
+        unpruned = compile_program(prog, CompileOptions(enable_pruning=False))
+        assert unpruned.max_state_bytes > pruned.max_state_bytes
+        assert unpruned.max_state_bytes >= 512 + 64  # stack + frame
+
+    def test_keep_bounds_checks(self):
+        prog = toy_counter.build()
+        kept = compile_program(
+            prog, CompileOptions(elide_bounds_checks=False)
+        )
+        assert kept.elided_bounds_checks == 0
+        assert kept.n_instructions > compile_program(prog).n_instructions
+
+    def test_row_width_cap(self):
+        prog = toy_counter.build()
+        capped = compile_program(prog, CompileOptions(max_row_width=2))
+        assert capped.max_ilp <= 2
+
+    def test_invalid_program_rejected(self):
+        from repro.ebpf.verifier import VerifierError
+
+        bad = assemble_program("r0 = r5\nexit")
+        with pytest.raises(VerifierError):
+            compile_program(bad)
+
+
+class TestFraming:
+    def test_deep_access_inserts_nops(self):
+        source = """
+            r6 = *(u32 *)(r1 + 0)
+            r7 = *(u32 *)(r1 + 4)
+            r2 = r6
+            r2 += 200
+            if r2 > r7 goto out
+            r3 = *(u8 *)(r6 + 190)
+            *(u8 *)(r6 + 0) = r3
+        out:
+            r0 = 2
+            exit
+        """
+        prog = assemble_program(source)
+        pipe = compile_program(prog)
+        nops = [s for s in pipe.stages if s.kind is StageKind.NOP_FRAMING]
+        assert nops, "expected NOP stages to wait for frame 2"
+        # the deep access must sit at a stage >= frame_index + 1 = 3
+        deep_index = next(
+            i for i, insn in enumerate(pipe.program.instructions)
+            if insn.is_mem_load and insn.off == 190
+        )
+        assert pipe.stage_of_insn(deep_index) >= 3
+
+    def test_shallow_accesses_insert_no_nops(self):
+        pipe = compile_program(toy_counter.build())
+        assert not any(s.kind is StageKind.NOP_FRAMING for s in pipe.stages)
+
+    def test_smaller_frames_need_more_nops(self):
+        source = """
+            r6 = *(u32 *)(r1 + 0)
+            r7 = *(u32 *)(r1 + 4)
+            r2 = r6
+            r2 += 130
+            if r2 > r7 goto out
+            r3 = *(u8 *)(r6 + 120)
+        out:
+            r0 = 2
+            exit
+        """
+        prog = assemble_program(source)
+        with32 = compile_program(prog, CompileOptions(frame_size=32))
+        with64 = compile_program(prog, CompileOptions(frame_size=64))
+        nops32 = sum(1 for s in with32.stages if s.kind is StageKind.NOP_FRAMING)
+        nops64 = sum(1 for s in with64.stages if s.kind is StageKind.NOP_FRAMING)
+        assert nops32 >= nops64
+
+    def test_dynamic_access_assumes_worst_case(self):
+        source = """
+            r6 = *(u32 *)(r1 + 0)
+            r7 = *(u32 *)(r1 + 4)
+            r2 = *(u8 *)(r6 + 0)
+            r6 += r2
+            r3 = r6
+            r3 += 2
+            if r3 > r7 goto out
+            r4 = *(u8 *)(r6 + 0)
+            *(u8 *)(r6 + 1) = r4
+        out:
+            r0 = 2
+            exit
+        """
+        prog = assemble_program(source)
+        small = compile_program(prog, CompileOptions(dynamic_access_depth=64))
+        large = compile_program(prog, CompileOptions(dynamic_access_depth=512))
+        assert large.n_stages > small.n_stages
+
+
+class TestHazardPlanning:
+    def test_war_buffer_for_early_write(self):
+        # store to the map value, then a second lookup later
+        source = """
+            r2 = 0
+            *(u32 *)(r10 - 4) = r2
+            r1 = map[m]
+            r2 = r10
+            r2 += -4
+            call 1
+            if r0 == 0 goto out
+            r2 = 1
+            *(u64 *)(r0 + 0) = r2
+            r2 = 0
+            *(u32 *)(r10 - 8) = r2
+            r1 = map[m]
+            r2 = r10
+            r2 += -8
+            call 1
+            if r0 == 0 goto out
+            r3 = *(u64 *)(r0 + 0)
+        out:
+            r0 = 2
+            exit
+        """
+        pipe = compile_program(assemble_program(source, maps=MAPS))
+        plan = pipe.map_hazards[1]
+        assert plan.war_buffer_depth > 0
+        assert plan.needs_flush  # the load after the store is a RAW window
+
+    def test_flush_block_geometry(self):
+        source = """
+            r2 = 0
+            *(u32 *)(r10 - 4) = r2
+            r1 = map[m]
+            r2 = r10
+            r2 += -4
+            call 1
+            if r0 == 0 goto out
+            r2 = *(u64 *)(r0 + 0)
+            r2 += 1
+            *(u64 *)(r0 + 0) = r2
+        out:
+            r0 = 2
+            exit
+        """
+        pipe = compile_program(assemble_program(source, maps=MAPS))
+        plan = pipe.map_hazards[1]
+        assert plan.flush_blocks
+        fb = plan.flush_blocks[0]
+        assert fb.write_stage > fb.read_stage
+        assert fb.L == fb.write_stage - fb.read_stage
+        assert fb.K() == fb.read_stage + 4
+
+    def test_channel_cap_two(self):
+        pipe = compile_program(toy_counter.build())
+        for plan in pipe.map_hazards.values():
+            assert 1 <= plan.channels <= 2

@@ -1,0 +1,95 @@
+"""Disassembler edge cases: atomics, swaps, jmp32, numbering."""
+
+import pytest
+
+from repro.ebpf import isa
+from repro.ebpf.asm import assemble
+from repro.ebpf.disasm import disassemble, format_instruction
+
+
+def fmt(insn):
+    return format_instruction(insn)
+
+
+class TestAtomicRendering:
+    def test_plain_atomics(self):
+        assert fmt(isa.atomic_op(isa.BPF_DW, 1, 2, 0, isa.ATOMIC_ADD)) == \
+            "lock *(u64 *)(r1 + 0) += r2"
+        assert fmt(isa.atomic_op(isa.BPF_W, 1, 2, 4, isa.ATOMIC_OR)) == \
+            "lock *(u32 *)(r1 + 4) |= r2"
+        assert fmt(isa.atomic_op(isa.BPF_DW, 1, 2, 0, isa.ATOMIC_AND)) == \
+            "lock *(u64 *)(r1 + 0) &= r2"
+        assert fmt(isa.atomic_op(isa.BPF_DW, 1, 2, 0, isa.ATOMIC_XOR)) == \
+            "lock *(u64 *)(r1 + 0) ^= r2"
+
+    def test_fetch_atomics(self):
+        text = fmt(isa.atomic_op(isa.BPF_DW, 1, 2, 0,
+                                 isa.ATOMIC_ADD | isa.BPF_FETCH))
+        assert text == "lock fetch *(u64 *)(r1 + 0) += r2"
+
+    def test_xchg_and_cmpxchg(self):
+        assert fmt(isa.atomic_op(isa.BPF_DW, 1, 2, 0, isa.ATOMIC_XCHG)) == \
+            "lock *(u64 *)(r1 + 0) xchg r2"
+        assert fmt(isa.atomic_op(isa.BPF_DW, 1, 2, 0, isa.ATOMIC_CMPXCHG)) == \
+            "lock *(u64 *)(r1 + 0) cmpxchg r2"
+
+    def test_atomics_roundtrip(self):
+        for op in (isa.ATOMIC_ADD, isa.ATOMIC_OR, isa.ATOMIC_AND,
+                   isa.ATOMIC_XOR, isa.ATOMIC_ADD | isa.BPF_FETCH,
+                   isa.ATOMIC_XCHG):
+            insn = isa.atomic_op(isa.BPF_DW, 3, 4, -8, op)
+            assert assemble(fmt(insn)) == [insn]
+
+
+class TestSwapRendering:
+    @pytest.mark.parametrize("bits", [16, 32, 64])
+    @pytest.mark.parametrize("to_big", [True, False])
+    def test_roundtrip(self, bits, to_big):
+        insn = isa.endian(2, bits, to_big)
+        assert assemble(fmt(insn)) == [insn]
+
+    def test_text(self):
+        assert fmt(isa.endian(2, 16, True)) == "r2 = be16 r2"
+        assert fmt(isa.endian(5, 64, False)) == "r5 = le64 r5"
+
+
+class TestJmp32Rendering:
+    def test_word_registers(self):
+        insn = isa.jump32_imm(isa.BPF_JSGT, 3, -5, 2)
+        assert fmt(insn) == "if w3 s> -5 goto +2"
+
+    def test_reg_comparison(self):
+        insn = isa.jump32_reg(isa.BPF_JNE, 1, 2, -3)
+        assert fmt(insn) == "if w1 != w2 goto -3"
+
+
+class TestNegAndMoves:
+    def test_neg(self):
+        insn = isa.Instruction(isa.BPF_ALU64 | isa.BPF_K | isa.BPF_NEG, dst=4)
+        assert fmt(insn) == "r4 = -r4"
+
+    def test_neg32(self):
+        insn = isa.Instruction(isa.BPF_ALU | isa.BPF_K | isa.BPF_NEG, dst=4)
+        assert fmt(insn) == "w4 = -w4"
+
+    def test_map_ref(self):
+        assert fmt(isa.ld_map_fd(1, 5)) == "r1 = map[5]"
+
+    def test_ld_imm64(self):
+        assert fmt(isa.ld_imm64(1, 2 ** 40)) == f"r1 = {2 ** 40} ll"
+
+    def test_store_imm(self):
+        assert fmt(isa.store_imm(isa.BPF_H, 6, 12, 8)) == "*(u16 *)(r6 + 12) = 8"
+
+
+class TestNumbering:
+    def test_slot_numbers(self):
+        insns = [
+            isa.mov64_imm(0, 1),
+            isa.ld_imm64(1, 7),
+            isa.exit_(),
+        ]
+        lines = disassemble(insns).splitlines()
+        assert lines[0].startswith("0:")
+        assert lines[1].startswith("1:")
+        assert lines[2].startswith("3:")  # ld_imm64 took slots 1-2

@@ -1,0 +1,198 @@
+"""Memory-region labeling tests (§3.1)."""
+
+import pytest
+
+from repro.core.labeling import LabelError, Region, label_program
+from repro.ebpf.asm import assemble_program
+from repro.ebpf.isa import MapSpec
+
+MAPS = {"m": MapSpec("m", "array", 4, 8, 4)}
+
+
+def labels_of(source: str, maps=None):
+    return label_program(assemble_program(source, maps=maps))
+
+
+class TestRegionLabels:
+    def test_stack_store(self):
+        labels = labels_of("r2 = 0\n*(u32 *)(r10 - 4) = r2\nr0 = 2\nexit")
+        label = labels.label_for(1)
+        assert label.region is Region.STACK
+        assert label.offset == -4 and label.size == 4 and label.is_write
+
+    def test_stack_via_derived_pointer(self):
+        # §3.1: "eHDL then tracks all the downstream variables that contain
+        # values derived from R10"
+        labels = labels_of(
+            "r9 = r10\nr9 += -16\nr2 = *(u64 *)(r9 + 8)\nr0 = 2\nexit"
+        )
+        label = labels.label_for(2)
+        assert label.region is Region.STACK and label.offset == -8
+
+    def test_packet_load(self):
+        labels = labels_of(
+            "r6 = *(u32 *)(r1 + 0)\nr2 = *(u8 *)(r6 + 12)\nr0 = 2\nexit"
+        )
+        label = labels.label_for(1)
+        assert label.region is Region.PACKET
+        assert label.offset == 12 and not label.is_write
+
+    def test_packet_pointer_arithmetic_offset(self):
+        labels = labels_of(
+            "r6 = *(u32 *)(r1 + 0)\nr6 += 14\nr2 = *(u16 *)(r6 + 2)\nr0 = 2\nexit"
+        )
+        assert labels.label_for(2).offset == 16
+
+    def test_ctx_load(self):
+        labels = labels_of("r2 = *(u32 *)(r1 + 4)\nr0 = 2\nexit")
+        assert labels.label_for(0).region is Region.CTX
+
+    def test_map_value_access(self):
+        source = """
+            r2 = 0
+            *(u32 *)(r10 - 4) = r2
+            r1 = map[m]
+            r2 = r10
+            r2 += -4
+            call 1
+            if r0 == 0 goto out
+            r3 = *(u64 *)(r0 + 0)
+        out:
+            r0 = 2
+            exit
+        """
+        labels = labels_of(source, maps=MAPS)
+        label = labels.label_for(7)
+        assert label.region is Region.MAP_VALUE
+        assert label.map_fd == 1 and label.offset == 0
+
+    def test_atomic_label(self):
+        source = """
+            r2 = 0
+            *(u32 *)(r10 - 4) = r2
+            r1 = map[m]
+            r2 = r10
+            r2 += -4
+            call 1
+            if r0 == 0 goto out
+            r3 = 1
+            lock *(u64 *)(r0 + 0) += r3
+        out:
+            r0 = 2
+            exit
+        """
+        labels = labels_of(source, maps=MAPS)
+        label = labels.label_for(8)
+        assert label.is_atomic and label.region is Region.MAP_VALUE
+
+    def test_dynamic_offset_is_none(self):
+        source = """
+            r6 = *(u32 *)(r1 + 0)
+            r7 = *(u32 *)(r1 + 4)
+            r2 = *(u8 *)(r6 + 14)
+            r6 += r2
+            r3 = r6
+            r3 += 2
+            if r3 > r7 goto out
+            r4 = *(u8 *)(r6 + 0)
+        out:
+            r0 = 2
+            exit
+        """
+        labels = labels_of(source)
+        assert labels.label_for(7).offset is None
+        assert labels.label_for(7).region is Region.PACKET
+
+
+class TestCallInfo:
+    def test_lookup_call_info(self):
+        source = """
+            r2 = 0
+            *(u32 *)(r10 - 8) = r2
+            r1 = map[m]
+            r2 = r10
+            r2 += -8
+            call 1
+            r0 = 2
+            exit
+        """
+        labels = labels_of(source, maps=MAPS)
+        info = labels.call_for(5)
+        assert info.map_fd == 1
+        assert info.key_stack_offset == -8
+        assert info.key_size == 4
+        assert info.is_map_read and not info.is_map_write
+
+    def test_update_call_info(self):
+        source = """
+            r2 = 0
+            *(u32 *)(r10 - 4) = r2
+            r3 = 9
+            *(u64 *)(r10 - 16) = r3
+            r1 = map[m]
+            r2 = r10
+            r2 += -4
+            r3 = r10
+            r3 += -16
+            r4 = 0
+            call 2
+            r0 = 2
+            exit
+        """
+        labels = labels_of(source, maps=MAPS)
+        info = labels.call_for(10)
+        assert info.is_map_write and info.map_fd == 1
+
+    def test_non_map_helper(self):
+        labels = labels_of("r9 = r1\ncall 5\nr0 = 2\nexit")
+        info = labels.call_for(1)
+        assert info.map_fd is None and info.helper_id == 5
+
+    def test_map_fds_used(self):
+        source = """
+            r2 = 0
+            *(u32 *)(r10 - 4) = r2
+            r1 = map[m]
+            r2 = r10
+            r2 += -4
+            call 1
+            r0 = 2
+            exit
+        """
+        labels = labels_of(source, maps=MAPS)
+        assert labels.map_fds_used() == [1]
+
+
+class TestJoins:
+    def test_offset_join_conflicting_becomes_dynamic(self):
+        source = """
+            r6 = *(u32 *)(r1 + 0)
+            if r1 == 0 goto other
+            r6 += 4
+            goto use
+        other:
+            r6 += 8
+        use:
+            r2 = *(u8 *)(r6 + 0)
+            r0 = 2
+            exit
+        """
+        labels = labels_of(source)
+        use_index = 5
+        assert labels.label_for(use_index).offset is None
+
+    def test_offset_join_agreeing_kept(self):
+        source = """
+            r6 = *(u32 *)(r1 + 0)
+            if r1 == 0 goto other
+            r6 += 4
+            goto use
+        other:
+            r6 += 4
+        use:
+            r2 = *(u8 *)(r6 + 0)
+            r0 = 2
+            exit
+        """
+        labels = labels_of(source)
+        assert labels.label_for(5).offset == 4

@@ -1,0 +1,195 @@
+"""Bounded-loop unrolling tests (§2.2 / §3.5)."""
+
+import pytest
+
+from repro.core import compile_program
+from repro.core.loops import (
+    LoopError,
+    find_backward_branch,
+    unroll_loops,
+)
+from repro.ebpf.asm import assemble_program
+from repro.ebpf.vm import run_program
+from repro.ebpf.xdp import XdpAction
+from repro.hwsim import run_differential
+
+PKT = bytes(range(64))
+
+SUM_LOOP = """
+    r6 = *(u32 *)(r1 + 0)
+    r7 = *(u32 *)(r1 + 4)
+    r2 = r6
+    r2 += 8
+    if r2 > r7 goto drop
+    r9 = 0
+    r8 = 0
+loop:
+    r3 = r6
+    r3 += r8
+    r4 = *(u8 *)(r3 + 0)
+    r9 += r4
+    r8 += 1
+    if r8 != 8 goto loop
+    *(u64 *)(r6 + 0) = r9
+    r0 = 2
+    exit
+drop:
+    r0 = 1
+    exit
+"""
+
+
+class TestDetection:
+    def test_finds_backward_branch(self):
+        prog = assemble_program(SUM_LOOP)
+        assert find_backward_branch(prog) is not None
+
+    def test_straight_line_has_none(self):
+        prog = assemble_program("r0 = 2\nexit")
+        assert find_backward_branch(prog) is None
+
+
+class TestUnrolling:
+    def test_trip_count(self):
+        prog = assemble_program(SUM_LOOP)
+        unrolled, report = unroll_loops(prog)
+        assert report.loops_unrolled == 1
+        assert report.total_trip_count == 8
+        assert find_backward_branch(unrolled) is None
+
+    def test_semantics_preserved(self):
+        prog = assemble_program(SUM_LOOP)
+        unrolled, _ = unroll_loops(prog)
+        for pkt in (PKT, bytes(64), bytes([0xFF] * 64)):
+            assert run_program(unrolled, pkt).packet == run_program(prog, pkt).packet
+
+    def test_decrementing_loop(self):
+        source = """
+            r6 = *(u32 *)(r1 + 0)
+            r9 = 0
+            r8 = 5
+        loop:
+            r9 += r8
+            r8 -= 1
+            if r8 != 0 goto loop
+            *(u64 *)(r6 + 0) = r9
+            r0 = 2
+            exit
+        """
+        prog = assemble_program(source)
+        unrolled, report = unroll_loops(prog)
+        assert report.total_trip_count == 5
+        res = run_program(unrolled, PKT)
+        assert int.from_bytes(res.packet[:8], "little") == 15
+
+    def test_break_out_of_loop(self):
+        # a conditional exit from mid-body must be retargeted per copy
+        source = """
+            r6 = *(u32 *)(r1 + 0)
+            r9 = 0
+            r8 = 0
+        loop:
+            r4 = *(u8 *)(r6 + 0)
+            if r4 == 77 goto found
+            r9 += 1
+            r8 += 1
+            if r8 != 4 goto loop
+            r0 = 2
+            exit
+        found:
+            r0 = 1
+            exit
+        """
+        prog = assemble_program(source)
+        unrolled, _ = unroll_loops(prog)
+        assert run_program(unrolled, bytes([77]) + bytes(63)).action == XdpAction.DROP
+        assert run_program(unrolled, bytes(64)).action == XdpAction.PASS
+
+    def test_prefix_jump_over_loop_stretched(self):
+        source = """
+            r6 = *(u32 *)(r1 + 0)
+            r8 = 0
+            r9 = 0
+            if r9 == 0 goto after
+        loop:
+            r9 += 1
+            r8 += 1
+            if r8 != 3 goto loop
+        after:
+            r0 = 2
+            exit
+        """
+        prog = assemble_program(source)
+        unrolled, _ = unroll_loops(prog)
+        assert run_program(unrolled, PKT).action == XdpAction.PASS
+
+    def test_compiled_loop_matches_vm(self):
+        prog = assemble_program(SUM_LOOP)
+        run_differential(prog, [PKT, bytes(64), bytes(3)]).raise_on_mismatch()
+
+    def test_pipeline_reports_unroll(self):
+        pipe = compile_program(assemble_program(SUM_LOOP))
+        assert pipe.loops_unrolled == 1
+
+
+class TestRejections:
+    def test_unconditional_backward_jump(self):
+        source = """
+        top:
+            r0 = 0
+            goto top
+        """
+        with pytest.raises(LoopError, match="unbounded"):
+            unroll_loops(assemble_program(source))
+
+    def test_data_dependent_bound(self):
+        # the induction register is loaded from the packet: not static
+        source = """
+            r6 = *(u32 *)(r1 + 0)
+            r8 = *(u8 *)(r6 + 0)
+        loop:
+            r8 -= 1
+            if r8 != 0 goto loop
+            r0 = 2
+            exit
+        """
+        with pytest.raises(LoopError, match="initial value"):
+            unroll_loops(assemble_program(source))
+
+    def test_register_comparison_bound(self):
+        source = """
+            r8 = 0
+            r9 = 5
+        loop:
+            r8 += 1
+            if r8 != r9 goto loop
+            r0 = 2
+            exit
+        """
+        with pytest.raises(LoopError, match="constant"):
+            unroll_loops(assemble_program(source))
+
+    def test_non_constant_step(self):
+        source = """
+            r8 = 8
+            r9 = 2
+        loop:
+            r8 /= r9
+            if r8 != 1 goto loop
+            r0 = 2
+            exit
+        """
+        with pytest.raises(LoopError, match="unsupported"):
+            unroll_loops(assemble_program(source))
+
+    def test_never_terminating_recurrence(self):
+        source = """
+            r8 = 0
+        loop:
+            r8 += 2
+            if r8 != 5 goto loop
+            r0 = 2
+            exit
+        """
+        with pytest.raises(LoopError, match="trip count exceeds"):
+            unroll_loops(assemble_program(source))

@@ -1,0 +1,202 @@
+"""Map semantics: array/hash/LRU/per-CPU, update flags, host interface."""
+
+import pytest
+
+from repro.ebpf.isa import MapSpec
+from repro.ebpf.maps import (
+    BPF_ANY,
+    BPF_EXIST,
+    BPF_NOEXIST,
+    ArrayMap,
+    HashMap,
+    LruHashMap,
+    MapError,
+    MapSet,
+    PercpuArrayMap,
+    create_map,
+)
+
+
+def key4(i: int) -> bytes:
+    return i.to_bytes(4, "little")
+
+
+def val8(v: int) -> bytes:
+    return v.to_bytes(8, "little")
+
+
+class TestArrayMap:
+    def _map(self, entries=4):
+        return ArrayMap(MapSpec("a", "array", 4, 8, entries))
+
+    def test_all_slots_exist_zeroed(self):
+        m = self._map()
+        assert m.lookup(key4(0)) == bytes(8)
+        assert m.entry_count() == 4
+
+    def test_update_and_lookup(self):
+        m = self._map()
+        m.update(key4(2), val8(99))
+        assert m.lookup(key4(2)) == val8(99)
+
+    def test_out_of_range_lookup_misses(self):
+        m = self._map()
+        assert m.lookup(key4(4)) is None
+
+    def test_out_of_range_update_fails(self):
+        with pytest.raises(MapError):
+            self._map().update(key4(9), val8(1))
+
+    def test_delete_rejected(self):
+        with pytest.raises(MapError):
+            self._map().delete(key4(0))
+
+    def test_noexist_flag_rejected(self):
+        with pytest.raises(MapError):
+            self._map().update(key4(0), val8(1), flags=BPF_NOEXIST)
+
+    def test_key_size_enforced(self):
+        with pytest.raises(MapError):
+            self._map().lookup(b"\x00" * 3)
+
+    def test_value_size_enforced(self):
+        with pytest.raises(MapError):
+            self._map().update(key4(0), b"\x01" * 7)
+
+    def test_key_must_be_4_bytes(self):
+        with pytest.raises(MapError):
+            ArrayMap(MapSpec("a", "array", 8, 8, 4))
+
+    def test_items(self):
+        m = self._map()
+        m.update(key4(1), val8(5))
+        items = dict(m.items())
+        assert items[key4(1)] == val8(5)
+        assert len(items) == 4
+
+    def test_stable_value_addresses(self):
+        m = self._map()
+        assert m.value_addr(2) == 16
+        assert m.slot_of_addr(19) == 2
+
+
+class TestHashMap:
+    def _map(self, entries=3):
+        return HashMap(MapSpec("h", "hash", 8, 8, entries))
+
+    def test_miss_then_hit(self):
+        m = self._map()
+        k = b"flowkey1"
+        assert m.lookup(k) is None
+        m.update(k, val8(7))
+        assert m.lookup(k) == val8(7)
+
+    def test_overwrite(self):
+        m = self._map()
+        m.update(b"flowkey1", val8(1))
+        m.update(b"flowkey1", val8(2))
+        assert m.lookup(b"flowkey1") == val8(2)
+        assert m.entry_count() == 1
+
+    def test_full_map_rejects_insert(self):
+        m = self._map(entries=2)
+        m.update(b"k1111111", val8(1))
+        m.update(b"k2222222", val8(2))
+        with pytest.raises(MapError):
+            m.update(b"k3333333", val8(3))
+
+    def test_delete_frees_slot(self):
+        m = self._map(entries=1)
+        m.update(b"k1111111", val8(1))
+        assert m.delete(b"k1111111")
+        assert m.lookup(b"k1111111") is None
+        m.update(b"k2222222", val8(2))  # slot reusable
+
+    def test_delete_missing_returns_false(self):
+        assert not self._map().delete(b"missingk")
+
+    def test_noexist_flag(self):
+        m = self._map()
+        m.update(b"k1111111", val8(1), flags=BPF_NOEXIST)
+        with pytest.raises(MapError):
+            m.update(b"k1111111", val8(2), flags=BPF_NOEXIST)
+
+    def test_exist_flag(self):
+        m = self._map()
+        with pytest.raises(MapError):
+            m.update(b"k1111111", val8(1), flags=BPF_EXIST)
+
+    def test_slot_stable_across_updates(self):
+        m = self._map()
+        slot = m.update(b"k1111111", val8(1))
+        assert m.update(b"k1111111", val8(2)) == slot
+        assert m.lookup_slot(b"k1111111") == slot
+
+    def test_deleted_slot_zeroed(self):
+        m = self._map()
+        slot = m.update(b"k1111111", val8(0xFF))
+        m.delete(b"k1111111")
+        assert m.storage[slot * 8 : slot * 8 + 8] == bytes(8)
+
+    def test_clear(self):
+        m = self._map()
+        m.update(b"k1111111", val8(1))
+        m.clear()
+        assert m.entry_count() == 0
+        assert m.lookup(b"k1111111") is None
+
+
+class TestLruHashMap:
+    def _map(self, entries=2):
+        return LruHashMap(MapSpec("l", "lru_hash", 4, 8, entries))
+
+    def test_evicts_least_recently_used(self):
+        m = self._map()
+        m.update(key4(1), val8(1))
+        m.update(key4(2), val8(2))
+        m.lookup(key4(1))  # touch 1 -> 2 becomes LRU
+        m.update(key4(3), val8(3))
+        assert m.lookup(key4(2)) is None
+        assert m.lookup(key4(1)) == val8(1)
+        assert m.lookup(key4(3)) == val8(3)
+
+    def test_update_refreshes_recency(self):
+        m = self._map()
+        m.update(key4(1), val8(1))
+        m.update(key4(2), val8(2))
+        m.update(key4(1), val8(11))  # refresh 1
+        m.update(key4(3), val8(3))
+        assert m.lookup(key4(2)) is None
+        assert m.lookup(key4(1)) == val8(11)
+
+
+class TestPercpuArray:
+    def test_behaves_like_array(self):
+        m = PercpuArrayMap(MapSpec("p", "percpu_array", 4, 8, 2))
+        m.update(key4(1), val8(5))
+        assert m.lookup(key4(1)) == val8(5)
+
+
+class TestFactoryAndMapSet:
+    def test_create_map_dispatch(self):
+        assert isinstance(create_map(MapSpec("a", "array", 4, 8, 1)), ArrayMap)
+        assert isinstance(create_map(MapSpec("h", "hash", 4, 8, 1)), HashMap)
+        assert isinstance(create_map(MapSpec("l", "lru_hash", 4, 8, 1)), LruHashMap)
+
+    def test_mapset_by_name_and_fd(self):
+        ms = MapSet({1: MapSpec("a", "array", 4, 8, 1), 2: MapSpec("h", "hash", 4, 8, 1)})
+        assert ms.by_name("h").name == "h"
+        assert ms.fd_of("a") == 1
+        assert 2 in ms and 3 not in ms
+        with pytest.raises(MapError):
+            ms.by_name("zzz")
+        with pytest.raises(MapError):
+            ms[9]
+
+    def test_snapshot_and_clear(self):
+        ms = MapSet({1: MapSpec("a", "array", 4, 8, 2)})
+        ms[1].update(key4(0), val8(3))
+        snap = ms.snapshot()
+        assert snap[1][:8] == val8(3)
+        ms.clear()
+        assert ms.snapshot()[1] == bytes(16)

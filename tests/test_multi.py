@@ -1,0 +1,95 @@
+"""Multi-program NIC deployment tests (§2.4)."""
+
+import pytest
+
+from repro.apps import firewall, router, suricata
+from repro.core import compile_program
+from repro.core.resources import ALVEO_U50, estimate_resources
+from repro.ebpf.maps import MapSet
+from repro.hwsim.multi import MultiProgramNic, ethertype_classifier
+from repro.net.packet import ETH_P_IP, ipv4, mac, udp_packet
+
+
+@pytest.fixture()
+def nic():
+    fw_prog = firewall.build()
+    rt_prog = router.build()
+    fw_maps = MapSet(fw_prog.maps)
+    rt_maps = MapSet(rt_prog.maps)
+    router.add_route(rt_maps, ipv4("192.168.1.1"), mac("02:00:00:00:01:01"),
+                     mac("02:00:00:00:01:02"), 3)
+    return MultiProgramNic(
+        [compile_program(fw_prog), compile_program(rt_prog)],
+        # steer IPv4 to the router slot, everything else to the firewall
+        ethertype_classifier({ETH_P_IP: 1}, default=0),
+        maps=[fw_maps, rt_maps],
+    )
+
+
+class TestDispatch:
+    def test_frames_steered_by_ethertype(self, nic):
+        ip_frames = [udp_packet(dst_ip="192.168.1.9", size=64)] * 30
+        other = [b"\x00" * 12 + b"\x86\xdd" + bytes(50)] * 10
+        results = nic.run_at_line_rate(ip_frames + other)
+        assert results[0].packets == 10  # non-IP -> firewall slot
+        assert results[1].packets == 30  # IPv4 -> router slot
+
+    def test_each_pipeline_line_rate(self, nic):
+        frames = [udp_packet(dst_ip="192.168.1.9", size=64)] * 500
+        results = nic.run_at_line_rate(frames)
+        assert results[1].report.throughput_mpps > 200
+
+    def test_empty_slot_has_no_report(self, nic):
+        results = nic.run_at_line_rate([udp_packet(size=64)])
+        assert results[0].report is None
+        assert results[0].packets == 0
+
+    def test_aggregate_throughput(self, nic):
+        frames = [udp_packet(dst_ip="192.168.1.9", size=64)] * 200
+        frames += [b"\x00" * 12 + b"\x86\xdd" + bytes(50)] * 200
+        results = nic.run_at_line_rate(frames)
+        agg = nic.aggregate_throughput_mpps(results)
+        assert agg > 300  # two parallel pipelines exceed one link
+
+    def test_bad_classifier_rejected(self):
+        pipe = compile_program(firewall.build())
+        nic = MultiProgramNic([pipe], lambda f: 7)
+        with pytest.raises(ValueError, match="bad pipeline index"):
+            nic.run_at_line_rate([udp_packet(size=64)])
+
+    def test_short_frame_uses_default_slot(self, nic):
+        results = nic.run_at_line_rate([b"\x01\x02"])
+        assert results[0].packets == 1
+
+
+class TestResources:
+    def test_shell_counted_once(self, nic):
+        total = nic.resources()
+        separate = sum(
+            estimate_resources(p, include_shell=False).luts
+            for p in nic.pipelines
+        )
+        from repro.core.resources import CORUNDUM_SHELL
+
+        assert total.luts == pytest.approx(
+            separate + CORUNDUM_SHELL.luts + 650, abs=5
+        )
+
+    def test_three_programs_fit_the_u50(self):
+        pipelines = [
+            compile_program(firewall.build()),
+            compile_program(router.build()),
+            compile_program(suricata.build()),
+        ]
+        nic = MultiProgramNic(pipelines, lambda f: 0)
+        assert nic.fits(ALVEO_U50)
+        assert nic.resources().max_pct < 60
+
+    def test_needs_at_least_one_pipeline(self):
+        with pytest.raises(ValueError):
+            MultiProgramNic([], lambda f: 0)
+
+    def test_maps_arity_checked(self):
+        pipe = compile_program(firewall.build())
+        with pytest.raises(ValueError, match="per pipeline"):
+            MultiProgramNic([pipe], lambda f: 0, maps=[])

@@ -1,0 +1,202 @@
+"""Network substrate tests: headers, checksums, flows, traces."""
+
+import pytest
+
+from repro.net.packet import (
+    ETH_HLEN,
+    ETH_P_IP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    Ethernet,
+    FiveTuple,
+    IPv4,
+    IPv6,
+    PacketError,
+    Tcp,
+    Udp,
+    checksum16,
+    ipv4,
+    ipv4_str,
+    mac,
+    mac_str,
+    parse_five_tuple,
+    tcp_packet,
+    udp_packet,
+)
+from repro.net.flows import TrafficGenerator, TrafficSpec, make_flows, zipf_weights
+from repro.net.traces import caida_like, mawi_like, single_flow_trace
+
+
+class TestAddresses:
+    def test_ipv4_roundtrip(self):
+        assert ipv4_str(ipv4("192.168.1.200")) == "192.168.1.200"
+
+    def test_ipv4_value(self):
+        assert ipv4("10.0.0.1") == 0x0A000001
+
+    def test_ipv4_rejects_garbage(self):
+        with pytest.raises(PacketError):
+            ipv4("10.0.0")
+        with pytest.raises(PacketError):
+            ipv4("10.0.0.300")
+
+    def test_mac_roundtrip(self):
+        assert mac_str(mac("02:aa:bb:cc:dd:ee")) == "02:aa:bb:cc:dd:ee"
+
+    def test_mac_rejects_garbage(self):
+        with pytest.raises(PacketError):
+            mac("02:aa:bb")
+
+
+class TestChecksum:
+    def test_known_vector(self):
+        # classic RFC1071 example
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert checksum16(data) == 0x220D
+
+    def test_zero_data(self):
+        assert checksum16(bytes(4)) == 0xFFFF
+
+    def test_checksum_validates_to_zero(self):
+        header = IPv4(src=ipv4("10.0.0.1"), dst=ipv4("10.0.0.2")).pack(8)
+        assert checksum16(header) == 0
+
+    def test_odd_length_padded(self):
+        assert checksum16(b"\x01") == checksum16(b"\x01\x00")
+
+
+class TestHeaders:
+    def test_ethernet_roundtrip(self):
+        eth = Ethernet(mac("02:00:00:00:00:01"), mac("02:00:00:00:00:02"), ETH_P_IP)
+        assert Ethernet.parse(eth.pack()) == eth
+
+    def test_ipv4_roundtrip(self):
+        hdr = IPv4(src=ipv4("1.2.3.4"), dst=ipv4("5.6.7.8"), proto=IPPROTO_TCP, ttl=7)
+        parsed = IPv4.parse(hdr.pack(20))
+        assert (parsed.src, parsed.dst, parsed.proto, parsed.ttl) == (
+            hdr.src, hdr.dst, hdr.proto, hdr.ttl,
+        )
+        assert parsed.total_length == 40
+
+    def test_ipv6_roundtrip(self):
+        hdr = IPv6(next_header=IPPROTO_UDP, hop_limit=9)
+        parsed = IPv6.parse(hdr.pack(8))
+        assert parsed.next_header == IPPROTO_UDP and parsed.hop_limit == 9
+
+    def test_udp_parse(self):
+        udp = Udp(1234, 53)
+        parsed = Udp.parse(udp.pack(b"", 0, 0))
+        assert (parsed.sport, parsed.dport) == (1234, 53)
+
+    def test_tcp_parse(self):
+        tcp = Tcp(1234, 80, seq=77, flags=0x12)
+        parsed = Tcp.parse(tcp.pack(b"", 0, 0))
+        assert (parsed.sport, parsed.dport, parsed.seq, parsed.flags) == (
+            1234, 80, 77, 0x12,
+        )
+
+    def test_short_frames_rejected(self):
+        with pytest.raises(PacketError):
+            Ethernet.parse(b"\x00" * 10)
+        with pytest.raises(PacketError):
+            IPv4.parse(b"\x45" + b"\x00" * 10)
+
+
+class TestCompositeBuilders:
+    def test_udp_packet_structure(self):
+        frame = udp_packet(src_ip="10.0.0.1", dst_ip="10.0.0.2",
+                           sport=1000, dport=53, size=100)
+        assert len(frame) == 100
+        ft = parse_five_tuple(frame)
+        assert ft == FiveTuple(ipv4("10.0.0.1"), ipv4("10.0.0.2"),
+                               IPPROTO_UDP, 1000, 53)
+
+    def test_minimum_frame_padding(self):
+        assert len(udp_packet(size=1)) == 60
+        assert len(udp_packet()) == 60
+
+    def test_ip_checksum_valid(self):
+        frame = udp_packet(size=64)
+        assert checksum16(frame[ETH_HLEN : ETH_HLEN + 20]) == 0
+
+    def test_tcp_packet(self):
+        frame = tcp_packet(sport=5, dport=80, size=64)
+        ft = parse_five_tuple(frame)
+        assert ft.proto == IPPROTO_TCP and ft.sport == 5
+
+    def test_size_too_small_for_payload(self):
+        with pytest.raises(PacketError):
+            udp_packet(payload=b"x" * 100, size=64)
+
+    def test_parse_five_tuple_non_ip(self):
+        frame = bytearray(udp_packet(size=64))
+        frame[12:14] = b"\x86\xdd"
+        assert parse_five_tuple(bytes(frame)) is None
+
+
+class TestFiveTuple:
+    def test_reversed(self):
+        ft = FiveTuple(1, 2, 17, 30, 40)
+        assert ft.reversed() == FiveTuple(2, 1, 17, 40, 30)
+
+    def test_key_bytes_length(self):
+        assert len(FiveTuple(1, 2, 17, 3, 4).key_bytes()) == 13
+
+
+class TestFlows:
+    def test_make_flows_distinct(self):
+        flows = make_flows(1000)
+        assert len(set(flows)) == 1000
+
+    def test_zipf_weights_normalised(self):
+        weights = zipf_weights(100)
+        assert abs(sum(weights) - 1.0) < 1e-9
+        assert weights[0] > weights[50]
+
+    def test_zipf_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+    def test_uniform_generator_deterministic(self):
+        a = TrafficGenerator(TrafficSpec(n_flows=10, seed=3))
+        b = TrafficGenerator(TrafficSpec(n_flows=10, seed=3))
+        assert list(a.packets(20)) == list(b.packets(20))
+
+    def test_zipf_generator_skews(self):
+        gen = TrafficGenerator(
+            TrafficSpec(n_flows=100, distribution="zipf", seed=1)
+        )
+        seq = gen.flow_sequence(2000)
+        top = seq.count(gen.flows[0])
+        assert top > 2000 / 100 * 3  # far above the uniform share
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator(TrafficSpec(distribution="pareto"))
+
+    def test_frame_sizes(self):
+        gen = TrafficGenerator(TrafficSpec(n_flows=4, packet_size=64))
+        assert all(len(f) >= 60 for f in gen.packets(8))
+
+
+class TestTraces:
+    def test_caida_like_stats(self):
+        trace = caida_like(n_packets=20_000)
+        stats = trace.stats()
+        assert abs(stats.mean_size - 411) < 45
+        assert stats.flows > 5000
+
+    def test_mawi_like_stats(self):
+        trace = mawi_like(n_packets=20_000)
+        assert abs(trace.stats().mean_size - 573) < 55
+
+    def test_timestamps_monotonic_at_link_rate(self):
+        trace = caida_like(n_packets=1000)
+        times = [r.timestamp_ns for r in trace]
+        assert times == sorted(times)
+        assert trace.stats().rate_gbps > 80  # back-to-back at ~100 Gbps
+
+    def test_single_flow_trace(self):
+        trace = single_flow_trace(n_packets=100)
+        assert len({r.flow for r in trace}) == 1
+        assert len(trace) == 100

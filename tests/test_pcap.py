@@ -1,0 +1,96 @@
+"""pcap reader/writer tests."""
+
+import struct
+
+import pytest
+
+from repro.net.packet import udp_packet
+from repro.net.pcap import (
+    PcapError,
+    export_trace,
+    import_arrivals,
+    read_pcap,
+    write_pcap,
+)
+from repro.net.traces import caida_like
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        path = tmp_path / "t.pcap"
+        frames = [(i * 1000.0, udp_packet(sport=1000 + i, size=64))
+                  for i in range(10)]
+        assert write_pcap(path, frames) == 10
+        back = list(read_pcap(path))
+        assert len(back) == 10
+        for (t_in, f_in), (t_out, f_out) in zip(frames, back):
+            assert f_out == f_in
+            assert abs(t_out - t_in) < 1000  # microsecond resolution
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.pcap"
+        write_pcap(path, [])
+        assert list(read_pcap(path)) == []
+
+    def test_big_endian_read(self, tmp_path):
+        path = tmp_path / "be.pcap"
+        frame = b"\x01\x02\x03\x04"
+        with open(path, "wb") as fh:
+            fh.write(struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1))
+            fh.write(struct.pack(">IIII", 1, 500, len(frame), len(frame)))
+            fh.write(frame)
+        records = list(read_pcap(path))
+        assert records == [(1_000_500_000, frame)]
+
+
+class TestErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 24)
+        with pytest.raises(PcapError, match="magic"):
+            list(read_pcap(path))
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.pcap"
+        path.write_bytes(b"\xd4\xc3\xb2\xa1")
+        with pytest.raises(PcapError, match="truncated"):
+            list(read_pcap(path))
+
+    def test_truncated_record(self, tmp_path):
+        path = tmp_path / "trunc.pcap"
+        write_pcap(path, [(0.0, b"\x01" * 20)])
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        with pytest.raises(PcapError, match="truncated"):
+            list(read_pcap(path))
+
+    def test_wrong_linktype(self, tmp_path):
+        path = tmp_path / "lt.pcap"
+        with open(path, "wb") as fh:
+            fh.write(struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 101))
+        with pytest.raises(PcapError, match="link type"):
+            list(read_pcap(path))
+
+
+class TestTraceInterop:
+    def test_export_then_replay(self, tmp_path):
+        from repro.apps import icmp_echo
+        from repro.core import compile_program
+        from repro.hwsim import PipelineSimulator
+
+        trace = caida_like(n_packets=200)
+        path = tmp_path / "caida.pcap"
+        assert export_trace(trace, path) == 200
+        arrivals = import_arrivals(path)
+        assert len(arrivals) == 200
+        cycles = [c for c, _ in arrivals]
+        assert cycles == sorted(cycles) and cycles[0] == 0
+        # the arrivals drive the simulator directly
+        pipe = compile_program(icmp_echo.build())
+        report = PipelineSimulator(pipe).run(iter(arrivals))
+        assert report.packets_out == 200
+
+    def test_import_empty(self, tmp_path):
+        path = tmp_path / "none.pcap"
+        write_pcap(path, [])
+        assert import_arrivals(path) == []

@@ -1,0 +1,185 @@
+"""Additional property-based tests: LRU maps, traces, flows, transforms,
+loop unrolling, and the flush model."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    k_max,
+    pipeline_throughput,
+    uniform_flush_probability,
+    zipf_flush_probability,
+)
+from repro.core.loops import LoopError, unroll_loops
+from repro.core.transform import dead_code_elimination, delete_instructions
+from repro.ebpf.asm import assemble_program
+from repro.ebpf.builder import ProgramBuilder
+from repro.ebpf.isa import MapSpec
+from repro.ebpf.maps import LruHashMap, MapError
+from repro.ebpf.vm import run_program
+from repro.net.flows import TrafficGenerator, TrafficSpec, zipf_weights
+from repro.net.traces import SyntheticTrace
+
+PKT = bytes(range(64))
+
+keys = st.binary(min_size=4, max_size=4)
+values = st.binary(min_size=8, max_size=8)
+
+
+class TestLruModel:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["update", "lookup", "delete"]),
+                              keys, values), max_size=60),
+           st.integers(min_value=1, max_value=6))
+    def test_matches_ordered_dict_model(self, ops, capacity):
+        m = LruHashMap(MapSpec("l", "lru_hash", 4, 8, capacity))
+        from collections import OrderedDict
+
+        model: "OrderedDict[bytes, bytes]" = OrderedDict()
+        for op, key, value in ops:
+            if op == "update":
+                if key not in model and len(model) >= capacity:
+                    model.popitem(last=False)  # evict LRU
+                model[key] = value
+                model.move_to_end(key)
+                m.update(key, value)
+            elif op == "lookup":
+                expected = model.get(key)
+                if expected is not None:
+                    model.move_to_end(key)
+                assert m.lookup(key) == expected
+            else:
+                existed = key in model
+                model.pop(key, None)
+                assert m.delete(key) == existed
+        assert dict(m.items()) == dict(model)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(keys, min_size=1, max_size=30))
+    def test_never_exceeds_capacity(self, inserted):
+        m = LruHashMap(MapSpec("l", "lru_hash", 4, 8, 4))
+        for key in inserted:
+            m.update(key, bytes(8))
+        assert m.entry_count() <= 4
+
+
+class TestTrafficProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=500))
+    def test_zipf_weights_sorted_and_normalised(self, n):
+        weights = zipf_weights(n)
+        assert weights == sorted(weights, reverse=True)
+        assert abs(sum(weights) - 1.0) < 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=200),
+           st.integers(min_value=0, max_value=2 ** 31))
+    def test_generator_packets_parse(self, n_flows, seed):
+        from repro.net.packet import parse_five_tuple
+
+        gen = TrafficGenerator(TrafficSpec(n_flows=n_flows, seed=seed))
+        for frame in gen.packets(5):
+            assert parse_five_tuple(frame) is not None
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=100, max_value=2000),
+           st.integers(min_value=100, max_value=900))
+    def test_trace_mean_size_tracks_target(self, n_packets, mean):
+        trace = SyntheticTrace("t", 50, float(mean), n_packets, seed=3)
+        measured = trace.stats().mean_size
+        assert abs(measured - mean) < 0.2 * mean + 40
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=50, max_value=500))
+    def test_trace_timestamps_monotone(self, n_packets):
+        trace = SyntheticTrace("t", 10, 400.0, n_packets, seed=5)
+        times = [r.timestamp_ns for r in trace]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+
+class TestFlushModelProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=2, max_value=60),
+           st.integers(min_value=10, max_value=10 ** 6))
+    def test_probabilities_valid(self, L, n):
+        for p in (uniform_flush_probability(L, n), zipf_flush_probability(L, n, 4096)):
+            assert 0.0 <= p <= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=1e-4, max_value=0.9),
+           st.integers(min_value=1, max_value=500))
+    def test_throughput_bounds(self, p, K):
+        tp = pipeline_throughput(K, p)
+        assert 250.0 / max(K, 1) - 1e-6 <= tp <= 250.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=1e-3, max_value=0.9))
+    def test_kmax_throughput_inverse(self, p):
+        k = k_max(p, target_mpps=100.0)
+        assert pipeline_throughput(k, p) == pytest.approx(100.0, rel=1e-6)
+
+
+class TestTransformProperties:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=6))
+    def test_delete_dead_mov_preserves_behaviour(self, which):
+        b = ProgramBuilder()
+        for i in range(7):
+            b.mov_imm(2 + (i % 3), i)
+        b.mov_imm(0, 2)
+        b.exit()
+        prog = b.build()
+        new = delete_instructions(prog, [which])
+        assert run_program(new, PKT).action == run_program(prog, PKT).action
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.integers(min_value=-50, max_value=50),
+                    min_size=1, max_size=10))
+    def test_dce_preserves_result(self, constants):
+        b = ProgramBuilder()
+        total = 0
+        b.mov_imm(0, 0)
+        for i, c in enumerate(constants):
+            b.mov_imm(3, c)  # repeatedly overwritten: mostly dead
+            if i == len(constants) - 1:
+                b.alu("+", 0, 3)
+                total += c
+        b.alu_imm("&", 0, 3)
+        b.exit()
+        prog = b.build()
+        new, _removed = dead_code_elimination(prog)
+        assert run_program(new, PKT).action == run_program(prog, PKT).action
+
+
+class TestLoopProperties:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=1, max_value=40),
+           st.integers(min_value=1, max_value=5))
+    def test_counted_loop_sum(self, trips, step):
+        bound = trips * step
+        source = f"""
+            r6 = *(u32 *)(r1 + 0)
+            r9 = 0
+            r8 = 0
+        loop:
+            r9 += 1
+            r8 += {step}
+            if r8 != {bound} goto loop
+            *(u64 *)(r6 + 0) = r9
+            r0 = 2
+            exit
+        """
+        prog = assemble_program(source)
+        unrolled, report = unroll_loops(prog)
+        assert report.total_trip_count == trips
+        res = run_program(unrolled, PKT)
+        assert int.from_bytes(res.packet[:8], "little") == trips
+        # and matches the looping original executed by the VM
+        ref = run_program(prog, PKT)
+        assert res.packet == ref.packet

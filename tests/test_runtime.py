@@ -1,0 +1,125 @@
+"""High-level runtime facade tests."""
+
+import pathlib
+
+import pytest
+
+from repro.apps import firewall, toy_counter
+from repro.ebpf.xdp import XdpAction
+from repro.net.packet import FiveTuple, ipv4, udp_packet
+from repro.runtime import HostMap, XdpOffload
+
+SOURCE = """
+.map hits array key=4 value=8 entries=2
+
+    r2 = 0
+    *(u32 *)(r10 - 4) = r2
+    r1 = map[hits]
+    r2 = r10
+    r2 += -4
+    call 1
+    if r0 == 0 goto out
+    r2 = 1
+    lock *(u64 *)(r0 + 0) += r2
+out:
+    r0 = 2
+    exit
+"""
+
+
+class TestConstruction:
+    def test_from_program(self):
+        nic = XdpOffload(toy_counter.build())
+        assert nic.pipeline.n_stages > 10
+
+    def test_from_source_text(self):
+        nic = XdpOffload(SOURCE)
+        assert nic.map_names() == ["hits"]
+
+    def test_from_path(self, tmp_path):
+        path = tmp_path / "p.ebpf"
+        path.write_text(SOURCE)
+        nic = XdpOffload(path)
+        assert nic.map_names() == ["hits"]
+
+    def test_from_path_string(self, tmp_path):
+        path = tmp_path / "p.ebpf"
+        path.write_text(SOURCE)
+        nic = XdpOffload(str(path))
+        assert nic.map_names() == ["hits"]
+
+
+class TestHostMap:
+    def _nic(self):
+        return XdpOffload(SOURCE)
+
+    def test_counter_increments(self):
+        nic = self._nic()
+        nic.process([udp_packet(size=64)] * 25)
+        assert nic.map("hits").read_u64(0) == 25
+
+    def test_int_and_bytes_keys_equivalent(self):
+        nic = self._nic()
+        hits = nic.map("hits")
+        hits[1] = 7
+        assert hits[bytes([1, 0, 0, 0])] == (7).to_bytes(8, "little")
+        assert 1 in hits and 0 in hits  # array slots always exist
+
+    def test_missing_key_raises(self):
+        nic = self._nic()
+        with pytest.raises(KeyError):
+            nic.map("hits")[99]
+
+    def test_geometry_exposed(self):
+        hits = self._nic().map("hits")
+        assert hits.key_size == 4 and hits.value_size == 8
+        assert hits.name == "hits"
+        assert len(hits) == 2
+
+    def test_items(self):
+        nic = self._nic()
+        nic.map("hits")[0] = 5
+        values = {int.from_bytes(k, "little"): int.from_bytes(v, "little")
+                  for k, v in nic.map("hits").items()}
+        assert values[0] == 5
+
+
+class TestTraffic:
+    def test_process_one(self):
+        nic = XdpOffload(toy_counter.build())
+        action, data = nic.process_one(toy_counter.packet_for_key(2))
+        assert action == XdpAction.TX
+        assert len(data) >= 60
+
+    def test_rate_limited(self):
+        nic = XdpOffload(SOURCE)
+        report = nic.process([udp_packet(size=64)] * 100, rate_mpps=25.0)
+        assert report.throughput_mpps == pytest.approx(25.0, rel=0.15)
+
+    def test_latency_requires_traffic(self):
+        nic = XdpOffload(SOURCE)
+        with pytest.raises(RuntimeError):
+            nic.latency_ns()
+        nic.process([udp_packet(size=64)])
+        assert 500 < nic.latency_ns() < 2000
+
+    def test_firewall_workflow(self):
+        nic = XdpOffload(firewall.build())
+        flow = FiveTuple(ipv4("10.0.0.1"), ipv4("10.9.9.9"), 17, 1234, 53)
+        frame = udp_packet(src_ip=flow.src_ip, dst_ip=flow.dst_ip,
+                           sport=flow.sport, dport=flow.dport, size=64)
+        action, _ = nic.process_one(frame)
+        assert action == XdpAction.DROP
+        firewall.allow_flow(nic.maps, flow)
+        action, _ = nic.process_one(frame)
+        assert action == XdpAction.TX
+
+
+class TestReports:
+    def test_summary_and_backends(self):
+        nic = XdpOffload(SOURCE)
+        nic.process([udp_packet(size=64)] * 10)
+        text = nic.summary()
+        assert "pipeline" in text and "Mpps" in text
+        assert "entity" in nic.vhdl()
+        assert nic.resources().luts > 0

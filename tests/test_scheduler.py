@@ -1,0 +1,209 @@
+"""Scheduler tests: ILP, fusion, solo ops, terminators, lane caps (§3.2-3.3)."""
+
+import pytest
+
+from repro.core.cfg import build_cfg
+from repro.core.ddg import RAW, WAR, WAW, build_ddg, critical_path_length
+from repro.core.labeling import label_program
+from repro.core.scheduler import SchedulerOptions, schedule_program
+from repro.ebpf.asm import assemble_program
+from repro.ebpf.isa import MapSpec
+
+
+def schedule_src(source: str, maps=None, **opts):
+    prog = assemble_program(source, maps=maps)
+    labels = label_program(prog)
+    cfg = build_cfg(prog)
+    ddg = build_ddg(cfg, labels)
+    return schedule_program(cfg, ddg, labels, SchedulerOptions(**opts))
+
+
+class TestDdg:
+    def _ddg(self, source, maps=None):
+        prog = assemble_program(source, maps=maps)
+        labels = label_program(prog)
+        cfg = build_cfg(prog)
+        return build_ddg(cfg, labels)
+
+    def test_raw_dependency(self):
+        ddg = self._ddg("r1 = 1\nr2 = r1\nr0 = 2\nexit")
+        assert ddg.predecessors(1)[0] == RAW
+
+    def test_war_dependency(self):
+        ddg = self._ddg("r1 = 1\nr2 = r1\nr1 = 5\nr0 = 2\nexit")
+        assert ddg.predecessors(2)[1] == WAR
+
+    def test_waw_dependency(self):
+        ddg = self._ddg("r1 = 1\nr1 = 2\nr0 = 2\nexit")
+        assert ddg.predecessors(1)[0] == WAW
+
+    def test_independent_ops_have_no_edge(self):
+        ddg = self._ddg("r1 = 1\nr2 = 2\nr0 = 2\nexit")
+        assert 0 not in ddg.predecessors(1)
+
+    def test_disjoint_stack_slots_independent(self):
+        source = (
+            "r1 = 1\nr2 = 2\n*(u32 *)(r10 - 4) = r1\n*(u32 *)(r10 - 8) = r2\n"
+            "r0 = 2\nexit"
+        )
+        ddg = self._ddg(source)
+        assert 2 not in ddg.predecessors(3)
+
+    def test_overlapping_stack_slots_conflict(self):
+        source = (
+            "r1 = 1\n*(u32 *)(r10 - 4) = r1\nr2 = *(u16 *)(r10 - 2)\n"
+            "r0 = 2\nexit"
+        )
+        ddg = self._ddg(source)
+        assert ddg.predecessors(2).get(1) == RAW
+
+    def test_different_maps_independent(self):
+        maps = {
+            "a": MapSpec("a", "array", 4, 8, 1),
+            "b": MapSpec("b", "array", 4, 8, 1),
+        }
+        source = """
+            r2 = 0
+            *(u32 *)(r10 - 4) = r2
+            r1 = map[a]
+            r2 = r10
+            r2 += -4
+            call 1
+            r6 = r0
+            r2 = 0
+            *(u32 *)(r10 - 8) = r2
+            r1 = map[b]
+            r2 = r10
+            r2 += -8
+            call 1
+            r0 = 2
+            exit
+        """
+        ddg = self._ddg(source, maps=maps)
+        # the two lookups conflict through registers, not through memory —
+        # check no MAP_VALUE memory conflict exists between them
+        # (regs force an order anyway; memory-wise they are disjoint)
+        # indirectly: critical path is bounded by register reuse only.
+        assert critical_path_length(ddg, range(len(ddg.program.instructions))) > 0
+
+    def test_critical_path_chain(self):
+        ddg = self._ddg("r1 = 1\nr1 += 1\nr1 += 1\nr0 = 2\nexit")
+        assert critical_path_length(ddg, [0, 1, 2]) == 3
+
+
+class TestParallelism:
+    def test_independent_ops_share_row(self):
+        sched = schedule_src("r1 = 1\nr2 = 2\nr3 = 3\nr0 = 2\nexit")
+        assert sched.max_ilp >= 4
+
+    def test_ilp_disabled_serialises(self):
+        sched = schedule_src("r1 = 1\nr2 = 2\nr0 = 2\nexit",
+                             enable_ilp=False, enable_fusion=False)
+        assert sched.max_ilp == 1
+
+    def test_dependent_chain_spreads_rows(self):
+        sched = schedule_src("r1 = 1\nr2 = r1\nr3 = r2\nr0 = 2\nexit",
+                             enable_fusion=False)
+        assert sched.n_rows >= 3
+
+    def test_fusion_packs_dependent_alu(self):
+        fused = schedule_src("r2 = r10\nr2 += -4\nr0 = 2\nexit")
+        row = fused.rows[fused.row_of(0)]
+        assert 1 in row.ops and 1 in row.fused  # chained into the same stage
+        plain = schedule_src("r2 = r10\nr2 += -4\nr0 = 2\nexit",
+                             enable_fusion=False)
+        assert plain.row_of(1) > plain.row_of(0)
+
+    def test_fusion_chain_limit(self):
+        # 4-deep chain with limit 2: needs at least 2 rows
+        sched = schedule_src(
+            "r1 = 1\nr1 += 1\nr1 += 1\nr1 += 1\nr0 = 2\nexit", max_fuse_chain=2
+        )
+        chain_rows = [r for r in sched.rows if 0 in r.ops or 1 in r.ops
+                      or 2 in r.ops or 3 in r.ops]
+        assert len(chain_rows) >= 2
+
+    def test_war_shares_row(self):
+        # store reads r2 while a later op overwrites r2: may share a stage
+        sched = schedule_src(
+            "r2 = 1\n*(u32 *)(r10 - 4) = r2\nr2 = r10\nr0 = 2\nexit"
+        )
+        store_row = sched.row_of(1)
+        redef_row = sched.row_of(2)
+        assert redef_row <= store_row + 1  # not pushed artificially far
+
+    def test_lane_cap_respected(self):
+        sched = schedule_src(
+            "r1 = 1\nr2 = 2\nr3 = 3\nr4 = 4\nr0 = 2\nexit", max_row_width=2
+        )
+        assert all(row.width <= 2 for row in sched.rows)
+
+    def test_call_is_solo(self):
+        source = """
+            r9 = r1
+            r5 = 5
+            call 5
+            r0 = 2
+            exit
+        """
+        sched = schedule_src(source)
+        prog = assemble_program(source)
+        call_index = next(i for i, insn in enumerate(prog.instructions) if insn.is_call)
+        row = sched.rows[sched.row_of(call_index)]
+        assert row.ops == [call_index]
+
+    def test_helper_latency_counted(self):
+        source = """
+            r2 = 0
+            *(u32 *)(r10 - 4) = r2
+            r1 = map[m]
+            r2 = r10
+            r2 += -4
+            call 1
+            r0 = 2
+            exit
+        """
+        sched = schedule_src(source, maps={"m": MapSpec("m", "array", 4, 8, 1)})
+        assert sched.n_stages > sched.n_rows  # lookup block is pipelined
+
+
+class TestTerminatorPlacement:
+    def test_exit_in_final_row_of_block(self):
+        # r0 is ready immediately but exit must not precede the stores
+        source = """
+            r6 = *(u32 *)(r1 + 0)
+            r0 = 2
+            *(u8 *)(r6 + 0) = 1
+            *(u8 *)(r6 + 1) = 2
+            *(u8 *)(r6 + 2) = 3
+            exit
+        """
+        sched = schedule_src(source)
+        prog = assemble_program(source)
+        exit_index = len(prog.instructions) - 1
+        exit_row = sched.row_of(exit_index)
+        for i in range(exit_index):
+            if i == 0:
+                continue  # entry ctx load may be excluded elsewhere
+            assert sched.row_of(i) <= exit_row
+
+    def test_branch_in_final_row_of_its_block(self):
+        source = """
+            r2 = 1
+            r3 = 2
+            r4 = 3
+            if r2 == 1 goto out
+            r0 = 1
+            exit
+        out:
+            r0 = 2
+            exit
+        """
+        sched = schedule_src(source)
+        branch_row = sched.row_of(3)
+        assert all(sched.row_of(i) <= branch_row for i in (0, 1, 2))
+
+    def test_ilp_statistics(self):
+        sched = schedule_src("r1 = 1\nr2 = 2\nr0 = 2\nexit")
+        assert sched.avg_ilp >= 1.0
+        assert sched.n_instructions == 4

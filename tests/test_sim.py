@@ -1,0 +1,455 @@
+"""Pipeline simulator behaviors: predication, drops, hazards, queueing."""
+
+import pytest
+
+from repro.core import CompileOptions, compile_program
+from repro.ebpf.asm import assemble_program
+from repro.ebpf.isa import MapSpec
+from repro.ebpf.maps import MapSet
+from repro.ebpf.xdp import XdpAction
+from repro.hwsim import PipelineSimulator, SimError, SimOptions
+
+MAPS = {"m": MapSpec("m", "array", 4, 8, 4)}
+PKT = bytes(range(64))
+
+
+def simulate(source: str, frames, maps=None, gap=1, **simopts):
+    prog = assemble_program(source, maps=maps)
+    pipe = compile_program(prog)
+    map_rt = MapSet(prog.maps)
+    sim = PipelineSimulator(pipe, maps=map_rt, options=SimOptions(**simopts))
+    report = sim.run_packets(list(frames), gap=gap)
+    return report, map_rt
+
+
+class TestBasics:
+    def test_single_packet(self):
+        rep, _ = simulate("r0 = 2\nexit", [PKT])
+        assert rep.packets_out == 1
+        assert rep.records[0].action == XdpAction.PASS
+
+    def test_packet_order_preserved(self):
+        rep, _ = simulate("r0 = 2\nexit", [PKT] * 20)
+        pids = [r.pid for r in rep.records]
+        assert pids == sorted(pids)
+
+    def test_line_rate_throughput(self):
+        rep, _ = simulate("r0 = 2\nexit", [PKT] * 500)
+        assert rep.throughput_mpps > 200  # approaches 250 at scale
+
+    def test_latency_equals_depth(self):
+        rep, _ = simulate("r0 = 2\nr3 = 1\nr4 = 2\nexit", [PKT], gap=1)
+        rec = rep.records[0]
+        # traversal cycles ~ number of stages
+        assert rec.pipeline_cycles >= 1
+
+    def test_packet_rewrite_visible(self):
+        source = """
+            r6 = *(u32 *)(r1 + 0)
+            *(u8 *)(r6 + 3) = 0x7E
+            r0 = 3
+            exit
+        """
+        rep, _ = simulate(source, [PKT])
+        assert rep.records[0].data[3] == 0x7E
+
+    def test_gap_spacing_slows_rate(self):
+        fast, _ = simulate("r0 = 2\nexit", [PKT] * 50, gap=1)
+        slow, _ = simulate("r0 = 2\nexit", [PKT] * 50, gap=10)
+        assert slow.cycles > fast.cycles
+
+
+class TestPredication:
+    def test_disabled_block_ops_skipped(self):
+        source = """
+            r6 = *(u32 *)(r1 + 0)
+            r2 = *(u8 *)(r6 + 0)
+            if r2 == 1 goto mark
+            goto out
+        mark:
+            *(u8 *)(r6 + 1) = 0xAA
+        out:
+            r0 = 2
+            exit
+        """
+        taken = bytes([1]) + bytes(63)
+        not_taken = bytes([0]) + bytes(63)
+        rep, _ = simulate(source, [taken, not_taken])
+        by_pid = {r.pid: r for r in rep.records}
+        assert by_pid[0].data[1] == 0xAA
+        assert by_pid[1].data[1] == 0x00
+
+    def test_multiway_classification(self):
+        from repro.apps import toy_counter
+
+        prog = toy_counter.build()
+        pipe = compile_program(prog)
+        maps = MapSet(prog.maps)
+        sim = PipelineSimulator(pipe, maps=maps)
+        frames = [toy_counter.packet_for_key(k) for k in (0, 1, 2, 3) * 4]
+        sim.run_packets(frames)
+        stats = maps.by_name("stats")
+        counts = [
+            int.from_bytes(stats.lookup(i.to_bytes(4, "little")), "little")
+            for i in range(4)
+        ]
+        assert counts == [4, 4, 4, 4]
+
+
+class TestImplicitDrops:
+    SOURCE = """
+        r6 = *(u32 *)(r1 + 0)
+        r0 = *(u32 *)(r6 + 60)
+        r0 &= 0
+        r0 += 2
+        exit
+    """
+
+    def test_short_packet_dropped_on_oob_access(self):
+        rep, _ = simulate(self.SOURCE, [bytes(10)])
+        assert rep.records[0].action == XdpAction.DROP
+
+    def test_valid_packet_not_dropped(self):
+        rep, _ = simulate(self.SOURCE, [PKT])
+        assert rep.records[0].action == XdpAction.PASS
+
+
+class TestInputQueue:
+    def test_overflow_drops_packets(self):
+        # many-stage pipeline + tiny queue + burst arrivals
+        source = "\n".join([f"r{2 + (i % 3)} = {i}" for i in range(30)]) + "\nr0 = 2\nexit"
+        prog = assemble_program(source)
+        pipe = compile_program(prog, CompileOptions(enable_ilp=False,
+                                                    enable_fusion=False))
+        sim = PipelineSimulator(pipe, options=SimOptions(input_queue_capacity=2))
+        # all packets arrive at cycle 0
+        report = sim.run((0, PKT) for _ in range(50))
+        assert report.packets_dropped_queue > 0
+        assert report.packets_in + report.packets_dropped_queue == 50
+
+    def test_max_cycles_guard(self):
+        prog = assemble_program("r0 = 2\nexit")
+        pipe = compile_program(prog)
+        sim = PipelineSimulator(pipe, options=SimOptions(max_cycles=1))
+        with pytest.raises(SimError):
+            sim.run_packets([PKT] * 10)
+
+
+class TestHazards:
+    RMW = """
+        r2 = 0
+        *(u32 *)(r10 - 4) = r2
+        r1 = map[m]
+        r2 = r10
+        r2 += -4
+        call 1
+        if r0 == 0 goto out
+        r2 = *(u64 *)(r0 + 0)
+        r2 += 1
+        *(u64 *)(r0 + 0) = r2
+    out:
+        r0 = 2
+        exit
+    """
+
+    def test_flush_preserves_rmw_consistency(self):
+        # back-to-back packets all incrementing the same counter through a
+        # non-atomic read-modify-write: flushes must keep the total exact
+        rep, maps = simulate(self.RMW, [PKT] * 40, maps=MAPS)
+        assert rep.flush_events > 0
+        value = int.from_bytes(maps.by_name("m").lookup(bytes(4)), "little")
+        assert value == 40
+
+    def test_spaced_packets_no_flush(self):
+        rep, maps = simulate(self.RMW, [PKT] * 10, maps=MAPS, gap=40)
+        assert rep.flush_events == 0
+        value = int.from_bytes(maps.by_name("m").lookup(bytes(4)), "little")
+        assert value == 10
+
+    def test_flush_costs_cycles(self):
+        fast, _ = simulate("r0 = 2\nexit", [PKT] * 40)
+        hazard, _ = simulate(self.RMW, [PKT] * 40, maps=MAPS)
+        assert hazard.cycles > fast.cycles
+        assert hazard.squashed_packets > 0
+
+    def test_atomic_variant_never_flushes(self):
+        source = """
+            r2 = 0
+            *(u32 *)(r10 - 4) = r2
+            r1 = map[m]
+            r2 = r10
+            r2 += -4
+            call 1
+            if r0 == 0 goto out
+            r2 = 1
+            lock *(u64 *)(r0 + 0) += r2
+        out:
+            r0 = 2
+            exit
+        """
+        rep, maps = simulate(source, [PKT] * 40, maps=MAPS)
+        assert rep.flush_events == 0
+        value = int.from_bytes(maps.by_name("m").lookup(bytes(4)), "little")
+        assert value == 40
+
+    def test_restart_counter_recorded(self):
+        rep, _ = simulate(self.RMW, [PKT] * 10, maps=MAPS)
+        assert any(r.restarts > 0 for r in rep.records)
+
+
+class TestWarBuffer:
+    SOURCE = """
+        r2 = 0
+        *(u32 *)(r10 - 4) = r2
+        r1 = map[m]
+        r2 = r10
+        r2 += -4
+        call 1
+        if r0 == 0 goto out
+        r8 = r0
+        r2 = 7
+        *(u64 *)(r8 + 0) = r2
+        r2 = 0
+        *(u32 *)(r10 - 8) = r2
+        r1 = map[m]
+        r2 = r10
+        r2 += -8
+        call 1
+        if r0 == 0 goto out
+        r3 = *(u64 *)(r0 + 0)
+        r6 = *(u32 *)(r1 + 0)
+    out:
+        r0 = 2
+        exit
+    """
+
+    def test_own_write_forwarded_to_later_read(self):
+        # A packet's early store must be visible to its own later lookup
+        # even while the write sits in the WAR buffer.
+        source = """
+            r2 = 0
+            *(u32 *)(r10 - 4) = r2
+            r1 = map[m]
+            r2 = r10
+            r2 += -4
+            call 1
+            if r0 == 0 goto bad
+            r8 = r0
+            r2 = 7
+            *(u64 *)(r8 + 0) = r2
+            r2 = 0
+            *(u32 *)(r10 - 8) = r2
+            r1 = map[m]
+            r2 = r10
+            r2 += -8
+            call 1
+            if r0 == 0 goto bad
+            r3 = *(u64 *)(r0 + 0)
+            if r3 != 7 goto bad
+            r0 = 2
+            exit
+        bad:
+            r0 = 1
+            exit
+        """
+        rep, maps = simulate(source, [PKT] * 5, maps=MAPS)
+        assert all(r.action == XdpAction.PASS for r in rep.records)
+        value = int.from_bytes(maps.by_name("m").lookup(bytes(4)), "little")
+        assert value == 7
+
+
+class TestHostInteraction:
+    def test_host_write_mid_run_changes_verdicts(self):
+        """§6: the host keeps writing maps while the data plane forwards."""
+        from repro.apps import firewall
+        from repro.core import compile_program
+        from repro.net.packet import FiveTuple, ipv4, udp_packet
+
+        prog = firewall.build()
+        pipe = compile_program(prog)
+        maps = MapSet(prog.maps)
+        sim = PipelineSimulator(pipe, maps=maps)
+        flow = FiveTuple(ipv4("10.0.0.1"), ipv4("10.0.0.2"), 17, 1111, 53)
+        frame = udp_packet(src_ip=flow.src_ip, dst_ip=flow.dst_ip,
+                           sport=flow.sport, dport=flow.dport, size=64)
+        # install the flow from the host halfway through the stream
+        sim.schedule_host_op(
+            50, lambda m: firewall.allow_flow(m, flow)
+        )
+        report = sim.run((i * 2, frame) for i in range(60))
+        actions = [r.action.name for r in sorted(report.records,
+                                                 key=lambda r: r.pid)]
+        assert actions[0] == "DROP"
+        assert actions[-1] == "TX"
+        assert "TX" in actions and "DROP" in actions
+
+    def test_host_read_sees_live_counters(self):
+        from repro.apps import toy_counter
+        from repro.core import compile_program
+
+        prog = toy_counter.build()
+        pipe = compile_program(prog)
+        maps = MapSet(prog.maps)
+        sim = PipelineSimulator(pipe, maps=maps)
+        seen = []
+        sim.schedule_host_op(
+            100,
+            lambda m: seen.append(
+                int.from_bytes(m.by_name("stats").lookup((1).to_bytes(4, "little")),
+                               "little")
+            ),
+        )
+        frames = [toy_counter.packet_for_key(1)] * 150
+        sim.run_packets(frames)
+        assert seen and 0 < seen[0] < 150  # a mid-run snapshot
+
+
+class TestInterleavedRmwRegression:
+    """Regression for two hypothesis-found bugs: a WAR-buffered store must
+    still flush-check younger early readers, and restart snapshots must
+    carry (not replay) pending writes."""
+
+    def _program(self):
+        from repro.ebpf.builder import ProgramBuilder
+
+        b = ProgramBuilder("two_slot_rmw")
+        b.add_map("m0", "array", key_size=4, value_size=8, max_entries=2)
+        b.load("u32", 7, 1, 4)
+        b.load("u32", 6, 1, 0)
+        b.mov(2, 6)
+        b.alu_imm("+", 2, 32)
+        b.jmp_reg(">", 2, 7, "drop")
+        for i, key_off in enumerate((25, 0)):
+            b.load("u8", 2, 6, key_off)
+            b.alu_imm("&", 2, 1)
+            b.store("u32", 10, 2, -4)
+            b.ld_map(1, "m0")
+            b.mov(2, 10)
+            b.alu_imm("+", 2, -4)
+            b.call(1)
+            b.jmp_imm("==", 0, 0, f"s{i}")
+            b.load("u64", 3, 0, 0)
+            b.alu_imm("+", 3, 1)
+            b.store("u64", 0, 3, 0)
+            b.label(f"s{i}")
+        b.mov_imm(0, 3)
+        b.exit()
+        b.label("drop")
+        b.mov_imm(0, 1)
+        b.exit()
+        return b.build()
+
+    @pytest.mark.parametrize("gap", [1, 2, 3])
+    def test_two_rmws_on_shared_slots_stay_exact(self, gap):
+        import itertools
+
+        from repro.hwsim import run_differential
+
+        frames = []
+        for b0, b25 in itertools.product(range(2), repeat=2):
+            f = bytearray(64)
+            f[0], f[25] = b0, b25
+            frames.append(bytes(f))
+        run_differential(self._program(), frames * 4,
+                         gap=gap).raise_on_mismatch()
+
+    def test_single_rmw_after_lookup_only_read(self):
+        # the original finding: read stages on both sides of a write
+        from repro.hwsim import run_differential
+
+        from repro.ebpf.builder import ProgramBuilder
+
+        b = ProgramBuilder("rmw_then_read")
+        b.add_map("m0", "array", key_size=4, value_size=8, max_entries=1)
+        b.load("u32", 7, 1, 4)
+        b.load("u32", 6, 1, 0)
+        b.mov(2, 6)
+        b.alu_imm("+", 2, 4)
+        b.jmp_reg(">", 2, 7, "drop")
+        for i, kind in enumerate(("rmw", "read")):
+            b.store_imm("u32", 10, -4, 0)
+            b.ld_map(1, "m0")
+            b.mov(2, 10)
+            b.alu_imm("+", 2, -4)
+            b.call(1)
+            b.jmp_imm("==", 0, 0, f"s{i}")
+            if kind == "rmw":
+                b.load("u64", 3, 0, 0)
+                b.alu_imm("+", 3, 1)
+                b.store("u64", 0, 3, 0)
+            else:
+                b.load("u64", 8, 0, 0)
+            b.label(f"s{i}")
+        b.mov_imm(0, 3)
+        b.exit()
+        b.label("drop")
+        b.mov_imm(0, 1)
+        b.exit()
+        run_differential(b.build(), [bytes(64)] * 10).raise_on_mismatch()
+
+
+class TestQueuedPacketFlushRegression:
+    """Regression: packets parked in elastic-buffer queues after a flush
+    must still be visible to subsequent flush checks — a queued packet can
+    hold a stale read in its restored snapshot."""
+
+    def _program(self):
+        from repro.ebpf.builder import ProgramBuilder
+
+        b = ProgramBuilder("queued_flush")
+        b.add_map("m0", "array", key_size=4, value_size=8, max_entries=4)
+        b.load("u32", 7, 1, 4)
+        b.load("u32", 6, 1, 0)
+        b.mov(2, 6)
+        b.alu_imm("+", 2, 32)
+        b.jmp_reg(">", 2, 7, "drop")
+        for i, key_off in enumerate((27, 20)):
+            b.load("u8", 2, 6, key_off)
+            b.alu_imm("&", 2, 3)
+            b.store("u32", 10, 2, -4)
+            b.ld_map(1, "m0")
+            b.mov(2, 10)
+            b.alu_imm("+", 2, -4)
+            b.call(1)
+            b.jmp_imm("==", 0, 0, f"s{i}")
+            b.load("u64", 3, 0, 0)
+            b.alu_imm("+", 3, 1)
+            b.store("u64", 0, 3, 0)
+            b.label(f"s{i}")
+        b.mov_imm(0, 3)
+        b.exit()
+        b.label("drop")
+        b.mov_imm(0, 1)
+        b.exit()
+        return b.build()
+
+    def test_three_packet_interleaving(self):
+        from repro.hwsim import run_differential
+
+        def frame(b20, b27):
+            f = bytearray(64)
+            f[20], f[27] = b20, b27
+            return bytes(f)
+
+        # the exact interleaving that exposed the bug: p0 (0,0), p1 (1,2),
+        # p2 (0,1) — p2 gets flushed by p0, parks in a queue with a stale
+        # slot-1 read, and p1's slot-1 write must flush it again
+        frames = [frame(0, 0), frame(1, 2), frame(0, 1)]
+        run_differential(self._program(), frames).raise_on_mismatch()
+
+    def test_exhaustive_two_key_battery(self):
+        import itertools
+
+        from repro.hwsim import run_differential
+
+        def frame(b20, b27):
+            f = bytearray(64)
+            f[20], f[27] = b20, b27
+            return bytes(f)
+
+        prog = self._program()
+        for combo in itertools.product(
+            itertools.product(range(2), repeat=2), repeat=3
+        ):
+            frames = [frame(b20, b27) for b20, b27 in combo]
+            run_differential(prog, frames).raise_on_mismatch()

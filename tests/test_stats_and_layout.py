@@ -1,0 +1,120 @@
+"""Unit tests for SimReport metrics and the VHDL state layout."""
+
+import pytest
+
+from repro.apps import toy_counter
+from repro.core import compile_program
+from repro.core.pipeline import Stage, StageKind
+from repro.core.vhdl import StateLayout, _layout_for, emit_vhdl
+from repro.ebpf.xdp import XdpAction
+from repro.hwsim.stats import PacketRecord, SimReport
+
+
+class TestPacketRecord:
+    def test_cycle_accounting(self):
+        rec = PacketRecord(
+            pid=0, action=XdpAction.TX, data=b"", arrival_cycle=10,
+            inject_cycle=14, exit_cycle=40,
+        )
+        assert rec.pipeline_cycles == 26
+        assert rec.total_cycles == 30
+
+
+class TestSimReport:
+    def _report(self):
+        report = SimReport(clock_mhz=250.0, n_stages=20)
+        report.cycles = 1000
+        report.packets_in = 100
+        for i in range(100):
+            report.record(PacketRecord(
+                pid=i, action=XdpAction.TX if i % 2 else XdpAction.DROP,
+                data=b"", arrival_cycle=i, inject_cycle=i, exit_cycle=i + 20,
+            ))
+        return report
+
+    def test_throughput(self):
+        report = self._report()
+        assert report.throughput_mpps == pytest.approx(100 * 250 / 1000)
+
+    def test_cycle_ns(self):
+        assert SimReport(clock_mhz=250.0, n_stages=1).cycle_ns == 4.0
+
+    def test_latency_with_shell(self):
+        report = self._report()
+        assert report.latency_ns(shell_overhead_ns=800) == pytest.approx(
+            20 * 4.0 + 800
+        )
+
+    def test_action_counts(self):
+        report = self._report()
+        assert report.count_action(XdpAction.TX) == 50
+        assert report.count_action(XdpAction.DROP) == 50
+        assert report.count_action(XdpAction.PASS) == 0
+
+    def test_flush_rate(self):
+        report = self._report()
+        report.flush_events = 10
+        # 10 flushes in 1000 cycles at 250 MHz = 2.5M/s
+        assert report.flushes_per_second() == pytest.approx(2.5e6)
+
+    def test_records_can_be_disabled(self):
+        report = SimReport(clock_mhz=250.0, n_stages=1, keep_records=False)
+        report.record(PacketRecord(0, XdpAction.TX, b"", 0, 0, 1))
+        assert report.packets_out == 1
+        assert report.records == []
+
+    def test_empty_report_metrics(self):
+        report = SimReport(clock_mhz=250.0, n_stages=1)
+        assert report.throughput_mpps == 0.0
+        assert report.latency_ns() == 0.0
+        assert report.flushes_per_second() == 0.0
+
+    def test_summary_mentions_counts(self):
+        text = self._report().summary()
+        assert "out=100" in text and "DROP" in text
+
+
+class TestStateLayout:
+    def test_layout_positions(self):
+        stage = Stage(number=1, kind=StageKind.OPS)
+        stage.live_in_regs = frozenset({1, 3})
+        stage.live_in_stack = ((-8, 4),)
+        layout = _layout_for(stage, frame_size=64)
+        assert layout.frame_bits == 512
+        assert layout.regs[1] == 512
+        assert layout.regs[3] == 512 + 64
+        assert layout.stack[(-8, 4)] == 512 + 128
+        assert layout.total_bits == 512 + 128 + 32
+
+    def test_reg_slice_text(self):
+        stage = Stage(number=1, kind=StageKind.OPS)
+        stage.live_in_regs = frozenset({0})
+        layout = _layout_for(stage, frame_size=64)
+        assert layout.reg_slice(0) == "(575 downto 512)"
+
+    def test_final_link_has_verdict(self):
+        layout = _layout_for(None, frame_size=64)
+        assert layout.verdict_bit == 512
+        assert layout.total_bits == 512 + 32
+
+    def test_vhdl_ports_match_layouts(self):
+        pipeline = compile_program(toy_counter.build())
+        text = emit_vhdl(pipeline)
+        first = _layout_for(pipeline.stages[0], pipeline.frame_size)
+        assert (
+            f"state_in   : in  std_logic_vector({first.total_bits - 1} downto 0)"
+            in text
+        )
+        # the last stage's output is the final frame+verdict link
+        final = _layout_for(None, pipeline.frame_size)
+        assert (
+            f"state_out  : out std_logic_vector({final.total_bits - 1} downto 0)"
+            in text
+        )
+
+    def test_datapath_expressions_present(self):
+        text = emit_vhdl(compile_program(toy_counter.build()))
+        assert "shift_left" in text  # r1 <<= 8
+        assert " or " in text  # r1 |= r2
+        assert "frame_bus(" in text  # packet byte-select
+        assert "enable_out(" in text  # predication updates

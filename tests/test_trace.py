@@ -1,0 +1,91 @@
+"""Pipeline occupancy tracer tests."""
+
+import pytest
+
+from repro.apps import toy_counter
+from repro.core import compile_program
+from repro.ebpf.asm import assemble_program
+from repro.ebpf.isa import MapSpec
+from repro.ebpf.maps import MapSet
+from repro.hwsim import OccupancyTracer, PipelineSimulator, render_occupancy
+
+RMW = """
+    r2 = 0
+    *(u32 *)(r10 - 4) = r2
+    r1 = map[m]
+    r2 = r10
+    r2 += -4
+    call 1
+    if r0 == 0 goto out
+    r2 = *(u64 *)(r0 + 0)
+    r2 += 1
+    *(u64 *)(r0 + 0) = r2
+out:
+    r0 = 2
+    exit
+"""
+
+
+def traced_run(source_or_prog, frames, maps=None, gap=1):
+    prog = (source_or_prog if not isinstance(source_or_prog, str)
+            else assemble_program(source_or_prog, maps=maps))
+    pipe = compile_program(prog)
+    sim = PipelineSimulator(pipe, maps=MapSet(prog.maps))
+    tracer = OccupancyTracer()
+    sim.observer = tracer
+    report = sim.run_packets(frames, gap=gap)
+    return tracer, report, pipe
+
+
+class TestTracer:
+    def test_packet_advances_one_stage_per_cycle(self):
+        tracer, _, pipe = traced_run(toy_counter.build(),
+                                     [toy_counter.packet_for_key(1)])
+        path = tracer.stages_of(0)
+        stages = [s for _, s in path]
+        assert stages == list(range(1, pipe.n_stages + 1))
+
+    def test_pipeline_fills_at_line_rate(self):
+        frames = [toy_counter.packet_for_key(1)] * 60
+        tracer, _, pipe = traced_run(toy_counter.build(), frames)
+        assert tracer.max_in_flight() == pipe.n_stages
+
+    def test_gap_spacing_visible(self):
+        frames = [toy_counter.packet_for_key(1)] * 10
+        tracer, _, _ = traced_run(toy_counter.build(), frames, gap=3)
+        assert tracer.max_in_flight() < 10
+
+    def test_flush_shows_backward_jump(self):
+        maps = {"m": MapSpec("m", "array", 4, 8, 1)}
+        frames = [bytes(64)] * 12
+        tracer, report, _ = traced_run(RMW, frames, maps=maps)
+        assert report.flush_events > 0
+        assert tracer.flush_cycles()
+        # at least one packet's stage trajectory goes backwards (restart)
+        restarted = False
+        for pid in range(12):
+            stages = [s for _, s in tracer.stages_of(pid)]
+            if any(b < a for a, b in zip(stages, stages[1:])):
+                restarted = True
+        assert restarted
+
+    def test_render(self):
+        frames = [toy_counter.packet_for_key(1)] * 5
+        tracer, _, _ = traced_run(toy_counter.build(), frames)
+        art = render_occupancy(tracer, first_cycle=0, last_cycle=8)
+        assert "cycle" in art and "p0" in art
+
+    def test_render_marks_flushes(self):
+        maps = {"m": MapSpec("m", "array", 4, 8, 1)}
+        tracer, _, _ = traced_run(RMW, [bytes(64)] * 12, maps=maps)
+        assert "FLUSH" in render_occupancy(tracer)
+
+    def test_max_cycles_bound(self):
+        tracer = OccupancyTracer(max_cycles=3)
+        frames = [toy_counter.packet_for_key(1)] * 50
+        prog = toy_counter.build()
+        pipe = compile_program(prog)
+        sim = PipelineSimulator(pipe, maps=MapSet(prog.maps))
+        sim.observer = tracer
+        sim.run_packets(frames)
+        assert len(tracer.snapshots) == 3

@@ -1,0 +1,221 @@
+"""Bytecode transforms: rewriting, bounds-check elision, DCE."""
+
+import pytest
+
+from repro.core.transform import (
+    TransformError,
+    dead_code_elimination,
+    delete_instructions,
+    elide_bounds_checks,
+    find_bounds_checks,
+    rewrite_program,
+)
+from repro.ebpf import isa
+from repro.ebpf.asm import assemble_program
+from repro.ebpf.disasm import disassemble
+from repro.ebpf.vm import run_program
+from repro.ebpf.xdp import XdpAction
+
+PKT = bytes(range(64))
+
+
+class TestRewrite:
+    def test_delete_retargets_forward_jump(self):
+        prog = assemble_program(
+            """
+            r0 = 2
+            if r0 == 9 goto out
+            r3 = 7
+            r4 = 8
+        out:
+            exit
+            """
+        )
+        new = delete_instructions(prog, [2])  # delete r3 = 7
+        # jump must still reach exit
+        assert new.jump_target_index(1) == len(new.instructions) - 1
+        assert run_program(new, PKT).action == XdpAction.PASS
+
+    def test_delete_jump_target_moves_to_next(self):
+        prog = assemble_program(
+            """
+            r0 = 1
+            goto tgt
+        tgt:
+            r0 = 2
+            exit
+            """
+        )
+        new = delete_instructions(prog, [2])  # delete the r0 = 2 at target
+        assert new.jump_target_index(1) == 2  # retargeted to exit
+        assert run_program(new, PKT).action == XdpAction.DROP  # r0 stays 1
+
+    def test_delete_across_wide_instruction(self):
+        prog = assemble_program(
+            """
+            r0 = 2
+            goto out
+            r3 = 5 ll
+        out:
+            exit
+            """
+        )
+        new = delete_instructions(prog, [2])
+        assert run_program(new, PKT).action == XdpAction.PASS
+
+    def test_delete_everything_rejected(self):
+        prog = assemble_program("r0 = 1\nexit")
+        with pytest.raises(TransformError):
+            delete_instructions(prog, [0, 1])
+
+    def test_behaviour_preserved_under_random_nop_deletion(self):
+        # deleting dead mov leaves behaviour identical
+        prog = assemble_program(
+            """
+            r5 = 123
+            r0 = 2
+            if r0 != 2 goto bad
+            exit
+        bad:
+            r0 = 0
+            exit
+            """
+        )
+        new = delete_instructions(prog, [0])
+        assert run_program(new, PKT).action == run_program(prog, PKT).action
+
+
+class TestBoundsElision:
+    SOURCE = """
+        r2 = *(u32 *)(r1 + 4)
+        r6 = *(u32 *)(r1 + 0)
+        r3 = r6
+        r3 += 14
+        if r3 > r2 goto drop
+        r0 = *(u8 *)(r6 + 12)
+        r0 = 2
+        exit
+    drop:
+        r0 = 1
+        exit
+    """
+
+    def test_detection(self):
+        prog = assemble_program(self.SOURCE)
+        checks = find_bounds_checks(prog)
+        assert len(checks) == 1
+        index, taken_is_oob = checks[0]
+        assert index == 4 and taken_is_oob
+
+    def test_elision_removes_branch(self):
+        prog = assemble_program(self.SOURCE)
+        new, report = elide_bounds_checks(prog)
+        assert len(report.elided_branches) == 1
+        assert not find_bounds_checks(new)
+        assert len(new.instructions) == len(prog.instructions) - 1
+
+    def test_behaviour_for_valid_packets_unchanged(self):
+        prog = assemble_program(self.SOURCE)
+        new, _ = elide_bounds_checks(prog)
+        assert run_program(new, PKT).action == run_program(prog, PKT).action
+
+    def test_reversed_operands_detected(self):
+        source = """
+            r2 = *(u32 *)(r1 + 4)
+            r6 = *(u32 *)(r1 + 0)
+            r3 = r6
+            r3 += 14
+            if r2 < r3 goto drop
+            r0 = 2
+            exit
+        drop:
+            r0 = 1
+            exit
+        """
+        prog = assemble_program(source)
+        checks = find_bounds_checks(prog)
+        assert checks and checks[0][1]  # taken edge is OOB
+
+    def test_inbounds_taken_becomes_goto(self):
+        source = """
+            r2 = *(u32 *)(r1 + 4)
+            r6 = *(u32 *)(r1 + 0)
+            r3 = r6
+            r3 += 14
+            if r3 <= r2 goto ok
+            r0 = 1
+            exit
+        ok:
+            r0 = 2
+            exit
+        """
+        prog = assemble_program(source)
+        new, report = elide_bounds_checks(prog)
+        assert len(report.elided_branches) == 1
+        assert run_program(new, PKT).action == XdpAction.PASS
+
+    def test_non_bounds_branches_untouched(self):
+        source = "r0 = 2\nif r0 == 1 goto +1\nexit\nexit"
+        prog = assemble_program(source)
+        new, report = elide_bounds_checks(prog)
+        assert report.elided_branches == []
+        assert new.instructions == prog.instructions
+
+
+class TestDce:
+    def test_removes_dead_alu(self):
+        prog = assemble_program("r5 = 99\nr0 = 2\nexit")
+        new, removed = dead_code_elimination(prog)
+        assert removed == 1
+        assert len(new.instructions) == 2
+
+    def test_keeps_live_values(self):
+        prog = assemble_program("r0 = 2\nexit")
+        new, removed = dead_code_elimination(prog)
+        assert removed == 0
+
+    def test_cascading_deadness(self):
+        prog = assemble_program("r5 = 1\nr4 = r5\nr3 = r4\nr0 = 2\nexit")
+        new, removed = dead_code_elimination(prog)
+        assert removed == 3
+
+    def test_keeps_stores_and_calls(self):
+        source = """
+            r2 = 0
+            *(u32 *)(r10 - 4) = r2
+            r0 = 2
+            exit
+        """
+        prog = assemble_program(source)
+        new, removed = dead_code_elimination(prog)
+        assert removed == 0
+
+    def test_liveness_across_branches(self):
+        source = """
+            r5 = 7
+            if r1 == 0 goto use
+            r0 = 2
+            exit
+        use:
+            r0 = r5
+            r0 = 2
+            exit
+        """
+        prog = assemble_program(source)
+        new, removed = dead_code_elimination(prog)
+        # r0 = r5 is dead (overwritten before exit); once it is gone, the
+        # r5 = 7 definition cascades to dead too.
+        assert removed == 2
+        texts = disassemble(new.instructions, numbered=False).splitlines()
+        assert "r5 = 7" not in texts
+
+    def test_dead_load_removed(self):
+        source = """
+            r6 = *(u32 *)(r1 + 0)
+            r5 = *(u8 *)(r6 + 3)
+            r0 = 2
+            exit
+        """
+        prog = assemble_program(source)
+        new, removed = dead_code_elimination(prog)
+        assert removed == 2  # the load, then the now-dead pointer load
