@@ -23,7 +23,13 @@ import sys
 from typing import Optional
 
 from .analysis import analyze_pipeline
-from .core import CompileOptions, compile_program, hazard_summary
+from .core import (
+    CompileOptions,
+    compile_cached,
+    compile_program,
+    get_default_cache,
+    hazard_summary,
+)
 from .core.resources import estimate_resources
 from .core.vhdl import emit_vhdl
 from .ebpf.asm import assemble_program
@@ -69,11 +75,21 @@ def _add_compile_flags(parser: argparse.ArgumentParser) -> None:
                         help="disable state pruning (the §5.4 ablation)")
     parser.add_argument("--keep-bounds-checks", action="store_true",
                         help="do not elide verifier bounds checks")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent compile cache")
+
+
+def _compile(args: argparse.Namespace, program: Program):
+    """Compile through the persistent cache unless ``--no-cache``."""
+    options = _options_from_args(args)
+    if getattr(args, "no_cache", False):
+        return compile_program(program, options)
+    return compile_cached(program, options)
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
     program = load_program(args.program)
-    pipeline = compile_program(program, _options_from_args(args))
+    pipeline = _compile(args, program)
     vhdl = emit_vhdl(pipeline)
     if args.output:
         pathlib.Path(args.output).write_text(vhdl)
@@ -85,7 +101,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 def cmd_stats(args: argparse.Namespace) -> int:
     program = load_program(args.program)
-    pipeline = compile_program(program, _options_from_args(args))
+    pipeline = _compile(args, program)
     print(pipeline.summary())
     print()
     print(f"instructions: {len(program.instructions)} in, "
@@ -111,7 +127,7 @@ def cmd_disasm(args: argparse.Namespace) -> int:
 
 def cmd_model(args: argparse.Namespace) -> int:
     program = load_program(args.program)
-    pipeline = compile_program(program, _options_from_args(args))
+    pipeline = _compile(args, program)
     print(f"pipeline: {pipeline.n_stages} stages")
     print(hazard_summary(pipeline))
     print()
@@ -131,7 +147,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from .hwsim.sim import SimOptions
 
     program = load_program(args.program)
-    pipeline = compile_program(program, _options_from_args(args))
+    pipeline = _compile(args, program)
     maps = MapSet(program.maps)
     sim = PipelineSimulator(pipeline, maps=maps, options=SimOptions())
     tracer = OccupancyTracer(max_cycles=args.cycles)
@@ -146,7 +162,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     program = load_program(args.program)
-    pipeline = compile_program(program, _options_from_args(args))
+    pipeline = _compile(args, program)
     maps = MapSet(program.maps)
     nic = NicSystem(pipeline, maps=maps)
     gen = TrafficGenerator(TrafficSpec(
@@ -160,6 +176,91 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         report = nic.run_at_line_rate(frames)
     print(report.summary())
     print(f"forwarding latency: {nic.forwarding_latency_ns(report):.0f} ns")
+    return 0
+
+
+def _gen_frames(args: argparse.Namespace) -> list:
+    gen = TrafficGenerator(TrafficSpec(
+        n_flows=args.flows, packet_size=args.packet_size, seed=args.seed,
+        distribution=args.distribution,
+    ))
+    return list(gen.packets(args.packets))
+
+
+def _run_once(pipeline, program, frames, fast: bool):
+    """One timed simulator pass; returns (report, wall_seconds)."""
+    import time
+
+    from .hwsim import PipelineSimulator
+    from .hwsim.sim import SimOptions
+
+    maps = MapSet(program.maps)
+    sim = PipelineSimulator(
+        pipeline, maps=maps,
+        options=SimOptions(fast=fast, keep_records=False),
+    )
+    start = time.perf_counter()
+    report = sim.run_packets(frames)
+    elapsed = time.perf_counter() - start
+    return report, elapsed
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = load_program(args.program)
+    pipeline = _compile(args, program)
+    frames = _gen_frames(args)
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    report, elapsed = _run_once(pipeline, program, frames, args.fast)
+    if profiler is not None:
+        profiler.disable()
+    mode = "fast" if args.fast else "interpreted"
+    print(report.summary())
+    print(f"engine: {mode}, wall {elapsed * 1e3:.1f} ms, "
+          f"{len(frames) / elapsed:,.0f} packets/s")
+    if profiler is not None:
+        import pstats
+
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(20)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    program = load_program(args.program)
+    pipeline = _compile(args, program)
+    frames = _gen_frames(args)
+    fast_report, fast_dt = _run_once(pipeline, program, frames, True)
+    slow_report, slow_dt = _run_once(pipeline, program, frames, False)
+    if fast_report.cycles != slow_report.cycles or \
+            fast_report.action_counts != slow_report.action_counts:
+        print("ERROR: fast/interpreted engines diverged", file=sys.stderr)
+        return 1
+    print(f"{'engine':<12s}  {'wall ms':>9s}  {'packets/s':>12s}")
+    print(f"{'fast':<12s}  {fast_dt * 1e3:>9.1f}  "
+          f"{len(frames) / fast_dt:>12,.0f}")
+    print(f"{'interpreted':<12s}  {slow_dt * 1e3:>9.1f}  "
+          f"{len(frames) / slow_dt:>12,.0f}")
+    print(f"speedup: {slow_dt / fast_dt:.2f}x "
+          f"(parity OK: {fast_report.cycles} cycles, "
+          f"{sum(fast_report.action_counts.values())} packets)")
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache = get_default_cache()
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached pipelines from {cache.directory}")
+        return 0
+    stats = cache.stats()
+    print(f"cache dir: {cache.directory}")
+    for key, value in stats.items():
+        print(f"{key}: {value}")
     return 0
 
 
@@ -194,6 +295,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--rate-mpps", type=float, default=None,
                        help="offered rate (default: line rate)")
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_run = sub.add_parser(
+        "run", help="run traffic through the simulator (timed)"
+    )
+    _add_compile_flags(p_run)
+    p_run.add_argument("--packets", type=int, default=2000)
+    p_run.add_argument("--flows", type=int, default=100)
+    p_run.add_argument("--packet-size", type=int, default=64)
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--distribution", choices=["uniform", "zipf"],
+                       default="uniform")
+    p_run.add_argument("--fast", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="use the pre-compiled stage kernels (default on)")
+    p_run.add_argument("--profile", action="store_true",
+                       help="profile the run and print the top-20 functions")
+    p_run.set_defaults(func=cmd_run)
+
+    p_bench = sub.add_parser(
+        "bench", help="compare the fast and interpreted engines"
+    )
+    _add_compile_flags(p_bench)
+    p_bench.add_argument("--packets", type=int, default=2000)
+    p_bench.add_argument("--flows", type=int, default=100)
+    p_bench.add_argument("--packet-size", type=int, default=64)
+    p_bench.add_argument("--seed", type=int, default=1)
+    p_bench.add_argument("--distribution", choices=["uniform", "zipf"],
+                         default="uniform")
+    p_bench.set_defaults(func=cmd_bench)
+
+    p_cache = sub.add_parser("cache", help="inspect the compile cache")
+    p_cache.add_argument("--clear", action="store_true",
+                         help="delete all cached pipelines")
+    p_cache.set_defaults(func=cmd_cache)
 
     p_model = sub.add_parser("model", help="analytical flush model (A.1)")
     _add_compile_flags(p_model)

@@ -1,5 +1,6 @@
 """The eHDL compiler core: analysis passes, scheduler, pipeline IR, backends."""
 
+from .cache import CompileCache, cache_key, compile_cached, default_cache_dir, get_default_cache
 from .cfg import BasicBlock, Cfg, CfgError, build_cfg
 from .compiler import CompileError, CompileOptions, EhdlCompiler, compile_program
 from .ddg import Ddg, build_ddg, critical_path_length
@@ -31,6 +32,7 @@ __all__ = [
     "CallInfo",
     "Cfg",
     "CfgError",
+    "CompileCache",
     "CompileError",
     "CompileOptions",
     "Ddg",
@@ -58,8 +60,12 @@ __all__ = [
     "apply_pruning",
     "build_cfg",
     "build_ddg",
+    "cache_key",
+    "compile_cached",
     "compile_program",
     "critical_path_length",
+    "default_cache_dir",
+    "get_default_cache",
     "dead_code_elimination",
     "delete_instructions",
     "elide_bounds_checks",

@@ -1,0 +1,211 @@
+"""Persistent compile cache.
+
+Compiling a program runs the whole analysis stack — verifier, labeling,
+CFG/DDG construction, scheduling, hazard planning — which dominates
+start-up time for repeated experiment runs over the same applications
+(sweeps, benchmarks, CI). The resulting :class:`~repro.core.pipeline.Pipeline`
+is a pure function of the bytecode, the map definitions and the compile
+options, so it can be memoised on disk: the cache key is a SHA-256 over
+exactly those inputs plus a format version, and the value is the pickled
+pipeline (stage kernels are excluded from pickling and re-derived on
+first simulation, see ``Stage.__getstate__``).
+
+Layout: one ``<digest>.pipeline.pkl`` file per entry under
+``$EHDL_CACHE_DIR`` (default ``~/.cache/ehdl-repro``). Writes go through
+a temp file plus :func:`os.replace`, so a crashed run never leaves a
+torn pickle behind; a corrupt or unreadable entry is treated as a miss
+and deleted. A small in-process LRU fronts the disk so repeated
+compiles inside one process skip even the unpickling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..ebpf.isa import Program
+from .pipeline import Pipeline
+
+# Bump when the Pipeline IR or the compiler's observable output changes
+# in a way that makes old pickles stale.
+_CACHE_VERSION = 1
+
+CACHE_ENV = "EHDL_CACHE_DIR"
+_MEMORY_ENTRIES = 32
+
+
+def default_cache_dir() -> Path:
+    """``$EHDL_CACHE_DIR`` if set, else ``~/.cache/ehdl-repro``."""
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "ehdl-repro"
+
+
+def cache_key(program: Program, options=None) -> str:
+    """Content hash of everything the compiler's output depends on."""
+    from .compiler import CompileOptions  # local: avoid import cycle
+
+    options = options or CompileOptions()
+    hasher = hashlib.sha256()
+    hasher.update(f"ehdl-cache-v{_CACHE_VERSION}".encode())
+    hasher.update(program.name.encode())
+    hasher.update(program.encode())
+    for fd in sorted(program.maps):
+        spec = program.maps[fd]
+        hasher.update(
+            f"map:{fd}:{spec.name}:{spec.map_type}:{spec.key_size}:"
+            f"{spec.value_size}:{spec.max_entries}:{spec.flags}".encode()
+        )
+    for field in sorted(dataclasses.fields(options), key=lambda f: f.name):
+        hasher.update(f"opt:{field.name}={getattr(options, field.name)!r}".encode())
+    return hasher.hexdigest()
+
+
+class CompileCache:
+    """Disk + in-process LRU cache of compiled pipelines."""
+
+    def __init__(
+        self,
+        directory: Optional[Path] = None,
+        memory_entries: int = _MEMORY_ENTRIES,
+    ) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.memory_entries = memory_entries
+        self._memory: "OrderedDict[str, Pipeline]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pipeline.pkl"
+
+    def _remember(self, key: str, pipeline: Pipeline) -> None:
+        self._memory[key] = pipeline
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+
+    # -- cache protocol ----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Pipeline]:
+        """Look up a pipeline; counts a hit or a miss."""
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            return cached
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+            pipeline = pickle.loads(blob)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # torn/stale entry: drop it and recompile
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        if not isinstance(pipeline, Pipeline):
+            self.misses += 1
+            return None
+        self._remember(key, pipeline)
+        self.hits += 1
+        return pipeline
+
+    def put(self, key: str, pipeline: Pipeline) -> None:
+        """Store a pipeline (atomic rename, never a partial file)."""
+        self._remember(key, pipeline)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(pipeline, protocol=pickle.HIGHEST_PROTOCOL)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every on-disk entry; returns how many were removed."""
+        self._memory.clear()
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.pipeline.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        entries = 0
+        if self.directory.is_dir():
+            entries = sum(1 for _ in self.directory.glob("*.pipeline.pkl"))
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "disk_entries": entries,
+            "memory_entries": len(self._memory),
+        }
+
+
+_default_cache: Optional[CompileCache] = None
+
+
+def get_default_cache() -> CompileCache:
+    """Process-wide cache rooted at :func:`default_cache_dir`.
+
+    Re-created when ``$EHDL_CACHE_DIR`` changes, so tests pointing the
+    variable at a temp directory see a fresh cache.
+    """
+    global _default_cache
+    wanted = default_cache_dir()
+    if _default_cache is None or _default_cache.directory != wanted:
+        _default_cache = CompileCache(wanted)
+    return _default_cache
+
+
+def compile_cached(
+    program: Program,
+    options=None,
+    cache: Optional[CompileCache] = None,
+) -> Pipeline:
+    """:func:`~repro.core.compiler.compile_program` behind the cache.
+
+    On a hit the analysis passes do not run at all. The compiler is
+    looked up through its module at call time so test monkeypatching of
+    ``repro.core.compiler.compile_program`` is honoured.
+    """
+    from . import compiler
+
+    if cache is None:
+        cache = get_default_cache()
+    key = cache_key(program, options)
+    pipeline = cache.get(key)
+    if pipeline is not None:
+        return pipeline
+    pipeline = compiler.compile_program(program, options)
+    cache.put(key, pipeline)
+    return pipeline

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..ebpf import isa
 from ..ebpf.helpers import helper_spec
@@ -62,6 +62,19 @@ class Stage:
     # relative to R10.
     live_in_regs: FrozenSet[int] = frozenset()
     live_in_stack: Tuple[Tuple[int, int], ...] = ()
+    # Fast-path execution kernel compiled by repro.hwsim.kernels; a plain
+    # closure, so it is excluded from equality and never pickled (cached
+    # pipelines recompile kernels on load).
+    kernel: Optional[Any] = field(default=None, compare=False, repr=False)
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["kernel"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__dict__.setdefault("kernel", None)
 
     @property
     def width(self) -> int:

@@ -13,7 +13,8 @@ contents as :meth:`Vm.run`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import struct
+from typing import Callable, Dict, List, Optional, Tuple
 
 from . import isa
 from .helpers import (
@@ -28,6 +29,28 @@ from .maps import MapSet
 from .xdp import AddressSpace, XdpAction, XdpContext, XdpResult
 
 MAX_INSTRUCTIONS = 1_000_000  # kernel's executed-instruction bound
+
+# Hot-path constants for the jump-threaded dispatch handlers: region
+# bounds without classmethod calls, and single-call little-endian codecs
+# per access width (bounds are checked before use).
+_STACK_BASE = AddressSpace.STACK_BASE
+_STACK_SIZE = AddressSpace.STACK_SIZE
+_STACK_END = _STACK_BASE + _STACK_SIZE
+_PACKET_BASE = AddressSpace.PACKET_BASE
+_PACKET_DATA0 = AddressSpace.PACKET_BASE + AddressSpace.PACKET_HEADROOM
+
+_UNPACK = {
+    1: struct.Struct("<B").unpack_from,
+    2: struct.Struct("<H").unpack_from,
+    4: struct.Struct("<I").unpack_from,
+    8: struct.Struct("<Q").unpack_from,
+}
+_PACK = {
+    1: struct.Struct("<B").pack_into,
+    2: struct.Struct("<H").pack_into,
+    4: struct.Struct("<I").pack_into,
+    8: struct.Struct("<Q").pack_into,
+}
 
 
 class VmError(RuntimeError):
@@ -48,6 +71,7 @@ class Vm:
         maps: Optional[MapSet] = None,
         time_ns: int = 0,
         prandom_seed: int = 0x5EED,
+        fast: bool = True,
     ) -> None:
         self.program = program
         self.maps = maps if maps is not None else MapSet(program.maps)
@@ -62,6 +86,11 @@ class Vm:
             self._slot_table.append(index)
             if insn.slots == 2:
                 self._slot_table.append(None)
+        # Jump-threaded dispatch table (one bound closure per slot), built
+        # lazily on the first fast run. The interpreted loop remains as
+        # the bit-identical reference (fast=False).
+        self._fast = fast
+        self._dispatch: Optional[List[Optional[Callable]]] = None
         # Per-run state, initialised by run().
         self.regs: List[int] = [0] * isa.NUM_REGS
         self.stack = bytearray(AddressSpace.STACK_SIZE)
@@ -266,7 +295,234 @@ class Vm:
         self.regs[isa.R1] = AddressSpace.CTX_BASE
         self.regs[isa.R10] = AddressSpace.stack_top()
         self.stack = bytearray(AddressSpace.STACK_SIZE)
+        if self._fast:
+            return self._run_fast()
+        return self._run_interpreted()
 
+    def _run_fast(self) -> XdpResult:
+        """Jump-threaded driver: one pre-bound closure per program slot.
+
+        Each handler executes its instruction against the VM state and
+        returns the next slot (``None`` for exit). The driver keeps the
+        interpreted loop's executed counter, program-counter range check
+        and mid-``ld_imm64`` check — with identical error messages — so
+        the two paths fault identically too."""
+        dispatch = self._dispatch
+        if dispatch is None:
+            dispatch = self._dispatch = self._build_dispatch()
+        n = len(dispatch)
+        slot = 0
+        executed = 0
+        while True:
+            if executed >= MAX_INSTRUCTIONS:
+                raise VmError("instruction limit exceeded (unbounded loop?)")
+            if not 0 <= slot < n:
+                raise VmError(f"program counter out of range: slot {slot}")
+            handler = dispatch[slot]
+            if handler is None:
+                raise VmError(f"jump into the middle of ld_imm64 at slot {slot}")
+            executed += 1
+            slot = handler(self)
+            if slot is None:
+                action_code = self.regs[isa.R0] & MASK32
+                try:
+                    action = XdpAction(action_code)
+                except ValueError:
+                    action = XdpAction.ABORTED
+                return XdpResult(
+                    action=action,
+                    packet=bytes(self.ctx.packet),
+                    redirect_ifindex=self.ctx.redirect_ifindex,
+                    instructions_executed=executed,
+                )
+
+    def _build_dispatch(self) -> List[Optional[Callable]]:
+        from .opfns import make_alu_fn, make_cmp_fn
+
+        table: List[Optional[Callable]] = [None] * len(self._slot_table)
+        slot = 0
+        for insn in self.program.instructions:
+            table[slot] = self._compile_insn(insn, slot, make_alu_fn, make_cmp_fn)
+            slot += insn.slots
+        return table
+
+    def _compile_insn(
+        self, insn: Instruction, slot: int, make_alu_fn, make_cmp_fn
+    ) -> Callable:
+        """Bind one instruction into a ``handler(vm) -> next_slot | None``."""
+        next_slot = slot + insn.slots
+        cls = insn.opclass
+
+        if cls in (isa.BPF_ALU64, isa.BPF_ALU):
+            alu = make_alu_fn(insn)
+            if alu is not None:
+                def handler(vm):
+                    alu(vm.regs)
+                    return next_slot
+                return handler
+            is64 = cls == isa.BPF_ALU64
+            mask = MASK64 if is64 else MASK32
+
+            def handler(vm):  # unknown opcode: canonical _alu/_swap errors
+                regs = vm.regs
+                if insn.op == isa.BPF_END:
+                    regs[insn.dst] = vm._swap(
+                        regs[insn.dst], insn.imm, to_big=insn.uses_reg_src
+                    )
+                else:
+                    if insn.op == isa.BPF_NEG:
+                        operand = 0
+                    elif insn.uses_reg_src:
+                        operand = regs[insn.src]
+                    else:
+                        operand = to_signed32(insn.imm) & mask
+                    regs[insn.dst] = vm._alu(insn.op, regs[insn.dst], operand, is64)
+                return next_slot
+            return handler
+
+        if cls == isa.BPF_LDX:
+            if insn.mode != isa.BPF_MEM:
+                mode = insn.mode
+
+                def handler(vm):
+                    raise VmError(f"unsupported LDX mode {mode:#x}")
+                return handler
+            src = insn.src
+            dst = insn.dst
+            off = insn.off
+            size = insn.size_bytes
+            unpack = _UNPACK[size]
+
+            def handler(vm):
+                addr = (vm.regs[src] + off) & MASK64
+                if _STACK_BASE <= addr < _STACK_END:
+                    o = addr - _STACK_BASE
+                    if o + size <= _STACK_SIZE:
+                        vm.regs[dst] = unpack(vm.stack, o)[0]
+                        return next_slot
+                elif _PACKET_BASE <= addr < _STACK_BASE:
+                    ctx = vm.ctx
+                    o = addr - _PACKET_DATA0 - ctx.head_adjust
+                    if 0 <= o and o + size <= len(ctx.packet):
+                        vm.regs[dst] = unpack(ctx.packet, o)[0]
+                        return next_slot
+                # Other regions and all out-of-bounds accesses take the
+                # generic path for the canonical VmError messages.
+                vm.regs[dst] = vm._load(addr, size)
+                return next_slot
+            return handler
+
+        if cls == isa.BPF_LD:
+            if not insn.is_ld_imm64:
+                mode = insn.mode
+
+                def handler(vm):
+                    raise VmError(f"unsupported LD mode {mode:#x}")
+                return handler
+            dst = insn.dst
+            if insn.src == isa.BPF_PSEUDO_MAP_FD:
+                fd = (insn.imm64 or insn.imm) & MASK32
+
+                def handler(vm):
+                    if fd not in vm.maps:
+                        raise VmError(f"unknown map fd {fd}")
+                    vm.regs[dst] = map_ptr(fd)
+                    return next_slot
+                return handler
+            value = (insn.imm64 if insn.imm64 is not None else insn.imm) & MASK64
+
+            def handler(vm):
+                vm.regs[dst] = value
+                return next_slot
+            return handler
+
+        if cls in (isa.BPF_ST, isa.BPF_STX):
+            rdst = insn.dst
+            off = insn.off
+            size = insn.size_bytes
+            if insn.is_atomic:
+                def handler(vm):
+                    vm._atomic(insn, (vm.regs[rdst] + off) & MASK64)
+                    return next_slot
+                return handler
+            is_stx = cls == isa.BPF_STX
+            rsrc = insn.src
+            imm_val = to_signed32(insn.imm) & MASK64
+            smask = (1 << (8 * size)) - 1
+            pack = _PACK[size]
+
+            def handler(vm):
+                addr = (vm.regs[rdst] + off) & MASK64
+                value = vm.regs[rsrc] if is_stx else imm_val
+                if _STACK_BASE <= addr < _STACK_END:
+                    o = addr - _STACK_BASE
+                    if o + size <= _STACK_SIZE:
+                        pack(vm.stack, o, value & smask)
+                        return next_slot
+                elif _PACKET_BASE <= addr < _STACK_BASE:
+                    ctx = vm.ctx
+                    o = addr - _PACKET_DATA0 - ctx.head_adjust
+                    if 0 <= o and o + size <= len(ctx.packet):
+                        pack(ctx.packet, o, value & smask)
+                        return next_slot
+                vm._store(addr, size, value)
+                return next_slot
+            return handler
+
+        if cls in (isa.BPF_JMP, isa.BPF_JMP32):
+            if insn.is_exit:
+                def handler(vm):
+                    return None
+                return handler
+            if insn.is_call:
+                helper_id = insn.imm
+                try:
+                    helper_spec(helper_id)
+                    impl = helper_impl(helper_id)
+                except HelperError:
+                    def handler(vm):  # unknown helper: fail at execution
+                        vm._call(helper_id)
+                        return next_slot
+                    return handler
+
+                def handler(vm):
+                    regs = vm.regs
+                    regs[isa.R0] = impl(
+                        vm, regs[1], regs[2], regs[3], regs[4], regs[5]
+                    ) & MASK64
+                    regs[1] = regs[2] = regs[3] = regs[4] = regs[5] = 0
+                    return next_slot
+                return handler
+            target = slot + insn.slots + insn.off
+            if insn.op == isa.BPF_JA:
+                def handler(vm):
+                    return target
+                return handler
+            cmp = make_cmp_fn(insn)
+            if cmp is not None:
+                def handler(vm):
+                    return target if cmp(vm.regs) else next_slot
+                return handler
+            is64 = cls == isa.BPF_JMP
+            mask = MASK64 if is64 else MASK32
+
+            def handler(vm):  # unknown compare: canonical _compare error
+                regs = vm.regs
+                rhs = (
+                    regs[insn.src]
+                    if insn.uses_reg_src
+                    else to_signed32(insn.imm) & mask
+                )
+                if vm._compare(insn.op, regs[insn.dst], rhs, is64):
+                    return target
+                return next_slot
+            return handler
+
+        def handler(vm):
+            raise VmError(f"unknown instruction class {cls:#x}")
+        return handler
+
+    def _run_interpreted(self) -> XdpResult:
         slot = 0
         executed = 0
         table = self._slot_table

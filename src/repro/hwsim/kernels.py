@@ -1,0 +1,687 @@
+"""Pre-compiled stage kernels for the pipeline simulator's fast path.
+
+The interpreted simulator (:meth:`PipelineSimulator._execute_op`) decodes
+every :class:`~repro.core.pipeline.PipeOp` per packet per cycle: opclass
+dispatch, ``Instruction`` property chains, operand selection, region
+classification. This module performs all of that decoding ONCE, at
+simulator construction, by translating each stage's op list into a
+specialized Python closure (the stage *kernel*) stored on the
+:class:`~repro.core.pipeline.Stage`.
+
+Each op compiles to a ``(tag, fn, may_side_effect)`` triple. The tag
+tells the stage loop the cheapest calling convention the op supports,
+so pure register ops skip both the ``sim`` plumbing and a wrapper
+frame:
+
+* ``TAG_REGS`` — ``fn(pkt.regs)``: specialized ALU / LD-imm bodies.
+* ``TAG_PKT`` — ``fn(pkt)``: terminators (conditional/unconditional
+  successor enabling), exit, and register ops fused with a fall-through
+  terminator.
+* ``TAG_SIM`` — ``fn(sim, pkt) -> side-effect | None``: memory ops and
+  helper calls, which may drop the packet or touch maps.
+
+Pipelines whose hazard plans contain no Flush Evaluation Block are
+compiled with the snapshot/flush machinery omitted entirely: no flush
+can ever fire, so elastic-buffer snapshots would never be consumed
+(:meth:`PipelineSimulator._flush_check` is a no-op for every side
+effect such a pipeline can produce).
+
+The kernels replicate the interpreted semantics instruction for
+instruction — predication (done/enabled checks), snapshot-on-side-effect,
+flush checks, bounds-violation drops, terminator/successor enabling — so
+a fast-path run produces identical XDP actions, packet bytes, map state
+AND cycle counts. The differential tests exercise both paths.
+
+Kernels are plain closures and therefore unpicklable; ``Stage`` excludes
+its ``kernel`` field from pickling (see the compile cache), and
+:func:`install_stage_kernels` recompiles them on demand.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.cfg import BasicBlock
+from ..core.pipeline import PipeOp, Pipeline, Stage, StageKind
+from ..ebpf import isa
+from ..ebpf.helpers import HelperError, MAP_PTR_BASE, helper_impl, helper_spec, map_ptr
+from ..ebpf.isa import MASK32, MASK64, to_signed32
+from ..ebpf.opfns import make_alu_fn, make_branch_fn
+from ..ebpf.vm import Vm
+from ..ebpf.xdp import AddressSpace, XDP_MD_SIZE, XdpAction
+
+# Address-space bounds, bound locally so kernels avoid attribute lookups.
+_STACK_BASE = AddressSpace.STACK_BASE
+_STACK_SIZE = AddressSpace.STACK_SIZE
+_STACK_END = _STACK_BASE + _STACK_SIZE
+_PACKET_BASE = AddressSpace.PACKET_BASE
+_CTX_BASE = AddressSpace.CTX_BASE
+_CTX_END = _CTX_BASE + XDP_MD_SIZE
+_MAP_BASE = AddressSpace.MAP_BASE
+_MAP_WINDOW = AddressSpace.MAP_WINDOW
+# MAP_WINDOW is a power of two, so fd/offset decode is a shift + mask.
+assert _MAP_WINDOW & (_MAP_WINDOW - 1) == 0
+_MAP_SHIFT = _MAP_WINDOW.bit_length() - 1
+_MAP_OFF_MASK = _MAP_WINDOW - 1
+# XdpContext.data with head_adjust == 0; the property is a per-access
+# Python descriptor call, so kernels compute data inline instead.
+_PACKET_DATA0 = AddressSpace.PACKET_BASE + AddressSpace.PACKET_HEADROOM
+
+_ACTIONS = {int(a): a for a in XdpAction}
+_ABORTED = XdpAction.ABORTED
+_REDIRECT = int(XdpAction.REDIRECT)
+
+# Single-call little-endian codecs per access width: unpack_from/pack_into
+# skip the slice allocation of bytes[o:o+size] + int.from_bytes/to_bytes.
+# Bounds are checked before use (pack_into/unpack_from accept negative
+# offsets as end-relative, which the eBPF address math must never see).
+_UNPACK = {
+    1: struct.Struct("<B").unpack_from,
+    2: struct.Struct("<H").unpack_from,
+    4: struct.Struct("<I").unpack_from,
+    8: struct.Struct("<Q").unpack_from,
+}
+_PACK = {
+    1: struct.Struct("<B").pack_into,
+    2: struct.Struct("<H").pack_into,
+    4: struct.Struct("<I").pack_into,
+    8: struct.Struct("<Q").pack_into,
+}
+
+# Calling conventions (see module docstring).
+TAG_REGS = 0
+TAG_PKT = 1
+TAG_SIM = 2
+
+# (tag, fn, may_side_effect); None for ops with no observable behaviour.
+CompiledOp = Optional[Tuple[int, Callable, bool]]
+
+
+def _succ_update_fn(succs: Tuple[int, ...]) -> Callable:
+    """fn(pkt) enabling a fixed successor set (fall-through terminator)."""
+    if len(succs) == 1:
+        only = succs[0]
+
+        def fn(pkt):
+            pkt.enabled.add(only)
+    else:
+        def fn(pkt):
+            pkt.enabled.update(succs)
+    return fn
+
+
+def _compile_alu(op: PipeOp, block: Optional[BasicBlock]) -> CompiledOp:
+    insn = op.insn
+    alu = make_alu_fn(insn)
+    if alu is None:
+        # Unspecialized opcode: defer to the interpreted primitives, which
+        # raise the canonical errors for genuinely unknown ops.
+        is64 = insn.opclass == isa.BPF_ALU64
+        mask = MASK64 if is64 else MASK32
+
+        def alu(regs):
+            if insn.op == isa.BPF_END:
+                regs[insn.dst] = Vm._swap(
+                    regs[insn.dst], insn.imm, to_big=insn.uses_reg_src
+                )
+            else:
+                if insn.op == isa.BPF_NEG:
+                    operand = 0
+                elif insn.uses_reg_src:
+                    operand = regs[insn.src]
+                else:
+                    operand = to_signed32(insn.imm) & mask
+                regs[insn.dst] = Vm._alu(insn.op, regs[insn.dst], operand, is64)
+
+    if block is None:
+        return TAG_REGS, alu, False
+    # Fall-through terminator: ALU ops never set done, so the successor
+    # enabling needs no done re-check (the stage loop checked already).
+    enable = _succ_update_fn(tuple(s for s, _k in block.succs))
+
+    def fn(pkt):
+        alu(pkt.regs)
+        enable(pkt)
+    return TAG_PKT, fn, False
+
+
+def _compile_ldx(op: PipeOp) -> Callable:
+    insn = op.insn
+    src = insn.src
+    dst = insn.dst
+    off = insn.off
+    size = insn.size_bytes
+    ctx_fast = size == 4  # every xdp_md field is an aligned u32
+    unpack = _UNPACK[size]
+
+    def fn(sim, pkt):
+        addr = (pkt.regs[src] + off) & MASK64
+        if _PACKET_BASE <= addr < _STACK_BASE:
+            ctx = pkt.ctx
+            o = addr - _PACKET_DATA0 - ctx.head_adjust
+            packet = ctx.packet
+            if o < 0 or o + size > len(packet):
+                sim._drop(pkt)
+                return None
+            pkt.regs[dst] = unpack(packet, o)[0]
+            return None
+        if _STACK_BASE <= addr < _STACK_END:
+            o = addr - _STACK_BASE
+            if o + size > _STACK_SIZE:
+                sim._drop(pkt)
+                return None
+            pkt.regs[dst] = unpack(pkt.stack, o)[0]
+            return None
+        if addr >= _MAP_BASE:
+            span = addr - _MAP_BASE
+            fd = span >> _MAP_SHIFT
+            offset = span & _MAP_OFF_MASK
+            bpf_map = sim.maps[fd]
+            if offset + size > len(bpf_map.storage):
+                sim._drop(pkt)
+                return None
+            data = sim._map_read_bytes(pkt, fd, offset, size)
+            pkt.value_reads.setdefault(fd, set()).add(
+                bpf_map.slot_of_addr(offset)
+            )
+            pkt.regs[dst] = int.from_bytes(data, "little")
+            return None
+        if _CTX_BASE <= addr < _CTX_END:
+            o = addr - _CTX_BASE
+            if ctx_fast:
+                # Aligned u32 reads resolve directly from the context
+                # fields, skipping the struct.pack of ctx_bytes().
+                ctx = pkt.ctx
+                if o == 0:
+                    pkt.regs[dst] = _PACKET_DATA0 + ctx.head_adjust
+                    return None
+                if o == 4:
+                    pkt.regs[dst] = (
+                        _PACKET_DATA0 + ctx.head_adjust + len(ctx.packet)
+                    )
+                    return None
+                if o == 8:
+                    pkt.regs[dst] = 0
+                    return None
+                if o == 12:
+                    pkt.regs[dst] = ctx.ingress_ifindex
+                    return None
+                if o == 16:
+                    pkt.regs[dst] = ctx.rx_queue_index
+                    return None
+                if o == 20:
+                    pkt.regs[dst] = ctx.egress_ifindex
+                    return None
+            data = pkt.ctx.ctx_bytes()
+            if o + size > len(data):
+                sim._drop(pkt)
+                return None
+            pkt.regs[dst] = int.from_bytes(data[o:o + size], "little")
+            return None
+        sim._drop(pkt)
+        return None
+    return fn
+
+
+def _compile_ld(op: PipeOp, block: Optional[BasicBlock]) -> CompiledOp:
+    insn = op.insn
+    dst = insn.dst
+    if insn.src == isa.BPF_PSEUDO_MAP_FD:
+        value = map_ptr((insn.imm64 or insn.imm) & MASK32)
+    else:
+        value = (insn.imm64 if insn.imm64 is not None else insn.imm) & MASK64
+
+    def load(regs):
+        regs[dst] = value
+
+    if block is None:
+        return TAG_REGS, load, False
+    enable = _succ_update_fn(tuple(s for s, _k in block.succs))
+
+    def fn(pkt):
+        pkt.regs[dst] = value
+        enable(pkt)
+    return TAG_PKT, fn, False
+
+
+def _compile_atomic(op: PipeOp) -> Tuple[Callable, bool]:
+    insn = op.insn
+    rdst = insn.dst
+    rsrc = insn.src
+    off = insn.off
+    size = insn.size_bytes
+    smask = (1 << (8 * size)) - 1
+    base_op = insn.imm & ~isa.BPF_FETCH
+    fetch = bool(insn.imm & isa.BPF_FETCH)
+    simple = (
+        insn.imm not in (isa.ATOMIC_XCHG, isa.ATOMIC_CMPXCHG)
+        and base_op in (isa.ATOMIC_ADD, isa.ATOMIC_OR, isa.ATOMIC_AND,
+                        isa.ATOMIC_XOR)
+    )
+    if not simple:
+        def fn(sim, pkt):
+            return sim._atomic(pkt, insn, (pkt.regs[rdst] + off) & MASK64)
+        return fn, True
+
+    unpack = _UNPACK[size]
+    pack = _PACK[size]
+
+    def fn(sim, pkt):
+        addr = (pkt.regs[rdst] + off) & MASK64
+        if addr < _MAP_BASE or pkt.pending_writes:
+            # Stack/packet atomics and the rare own-pending-write overlap
+            # keep the interpreted path (which materialises the overlap).
+            return sim._atomic(pkt, insn, addr)
+        span = addr - _MAP_BASE
+        fd = span >> _MAP_SHIFT
+        offset = span & _MAP_OFF_MASK
+        storage = sim.maps[fd].storage
+        if offset + size > len(storage):
+            sim._drop(pkt)
+            return None
+        old = unpack(storage, offset)[0]
+        src_val = pkt.regs[rsrc] & smask
+        if base_op == isa.ATOMIC_ADD:
+            new = (old + src_val) & smask
+        elif base_op == isa.ATOMIC_OR:
+            new = old | src_val
+        elif base_op == isa.ATOMIC_AND:
+            new = old & src_val
+        else:
+            new = old ^ src_val
+        pack(storage, offset, new)
+        if fetch:
+            pkt.regs[rsrc] = old
+        return ("atomic", fd)
+    return fn, True
+
+
+def _compile_store(op: PipeOp) -> Tuple[Callable, bool]:
+    insn = op.insn
+    if insn.is_atomic:
+        return _compile_atomic(op)
+
+    rdst = insn.dst
+    off = insn.off
+    size = insn.size_bytes
+    smask = (1 << (8 * size)) - 1
+    is_stx = insn.opclass == isa.BPF_STX
+    rsrc = insn.src
+    imm_val = to_signed32(insn.imm) & MASK64
+
+    pack = _PACK[size]
+
+    def fn(sim, pkt):
+        addr = (pkt.regs[rdst] + off) & MASK64
+        value = pkt.regs[rsrc] if is_stx else imm_val
+        if _STACK_BASE <= addr < _STACK_END:
+            o = addr - _STACK_BASE
+            if o + size > _STACK_SIZE:
+                sim._drop(pkt)
+                return None
+            pack(pkt.stack, o, value & smask)
+            return None
+        if _PACKET_BASE <= addr < _STACK_BASE:
+            ctx = pkt.ctx
+            o = addr - _PACKET_DATA0 - ctx.head_adjust
+            if o < 0 or o + size > len(ctx.packet):
+                sim._drop(pkt)
+                return None
+            pack(ctx.packet, o, value & smask)
+            return None
+        # Map region (WAR buffering / flush bookkeeping) and unmapped
+        # addresses share the interpreted path.
+        return sim._mem_store(pkt, addr, size, value, op)
+    return fn, True
+
+
+def _compile_map_lookup() -> Callable:
+    """Specialized bpf_map_lookup_elem: inline fd decode, stack key read,
+    per-sim map-entry cache, R1-R5 scrub — one closure, no sub-calls on
+    the common path. Bit-identical to ``_map_channel_call`` + scrub."""
+
+    def fn(sim, pkt):
+        regs = pkt.regs
+        fd = regs[1] - MAP_PTR_BASE
+        entry = sim._map_entry.get(fd) or sim._map_entry_for(fd)
+        if entry is None:
+            sim._drop(pkt)
+        else:
+            bpf_map, key_size, _value_size, base = entry
+            addr = regs[2]
+            if (_STACK_BASE <= addr < _STACK_END
+                    and addr - _STACK_BASE + key_size <= _STACK_SIZE):
+                o = addr - _STACK_BASE
+                key = bytes(pkt.stack[o:o + key_size])
+            else:
+                key = sim._read_plain(pkt, addr, key_size)
+            if key is not None:
+                slot = bpf_map.lookup_slot(key)
+                reads = pkt.addr_reads.get(fd)
+                if reads is None:
+                    reads = pkt.addr_reads[fd] = []
+                reads.append((key, slot))
+                regs[0] = 0 if slot is None else base + bpf_map.value_addr(slot)
+        regs[1] = regs[2] = regs[3] = regs[4] = regs[5] = 0
+        return None
+    return fn
+
+
+def _compile_redirect_map() -> Callable:
+    """Specialized bpf_redirect_map (helper 51), mirroring
+    ``_map_channel_call`` + scrub without the dispatch chain."""
+
+    def fn(sim, pkt):
+        regs = pkt.regs
+        fd = regs[1] - MAP_PTR_BASE
+        entry = sim._map_entry.get(fd) or sim._map_entry_for(fd)
+        if entry is None:
+            sim._drop(pkt)
+        else:
+            bpf_map, key_size, _value_size, _base = entry
+            key = (regs[2] & 0xFFFFFFFF).to_bytes(4, "little")
+            slot = bpf_map.lookup_slot(key) if key_size == 4 else None
+            reads = pkt.addr_reads.get(fd)
+            if reads is None:
+                reads = pkt.addr_reads[fd] = []
+            reads.append((key, slot))
+            if slot is None:
+                regs[0] = regs[3] & 0xFFFFFFFF
+            else:
+                value = bpf_map.lookup(key)
+                pkt.ctx.redirect_ifindex = int.from_bytes(value[:4], "little")
+                regs[0] = _REDIRECT
+        regs[1] = regs[2] = regs[3] = regs[4] = regs[5] = 0
+        return None
+    return fn
+
+
+def _compile_call(insn) -> Tuple[Callable, bool]:
+    helper_id = insn.imm
+    try:
+        spec = helper_spec(helper_id)
+        impl = None if spec.map_channel else helper_impl(helper_id)
+    except HelperError:
+        # Unknown helper: fail at execution time, like the interpreter.
+        def fn(sim, pkt):
+            return sim._call(pkt, helper_id)
+        return fn, True
+    if spec.map_channel:
+        if helper_id == 1:
+            return _compile_map_lookup(), False
+        if helper_id == 51:
+            return _compile_redirect_map(), False
+
+        def fn(sim, pkt):
+            side_effect = sim._map_channel_call(pkt, helper_id)
+            regs = pkt.regs
+            regs[1] = regs[2] = regs[3] = regs[4] = regs[5] = 0
+            return side_effect
+        return fn, True
+
+    from .sim import _HelperContext
+
+    def fn(sim, pkt):
+        regs = pkt.regs
+        regs[0] = impl(
+            _HelperContext(sim, pkt),
+            regs[1], regs[2], regs[3], regs[4], regs[5],
+        ) & MASK64
+        regs[1] = regs[2] = regs[3] = regs[4] = regs[5] = 0
+        return None
+    return fn, False
+
+
+def _compile_jmp(op: PipeOp, block: Optional[BasicBlock]) -> CompiledOp:
+    insn = op.insn
+    if insn.is_exit:
+        def fn(pkt):
+            pkt.done = True
+            pkt.action = _ACTIONS.get(pkt.regs[0] & MASK32, _ABORTED)
+        return TAG_PKT, fn, False
+
+    if insn.is_call:
+        body, may_side_effect = _compile_call(insn)
+        if block is None:
+            return TAG_SIM, body, may_side_effect
+        # A call can terminate a block (fall-through into a jump target);
+        # helpers may drop the packet, so the done re-check stays.
+        enable = _succ_update_fn(tuple(s for s, _k in block.succs))
+
+        def fn(sim, pkt):
+            side_effect = body(sim, pkt)
+            if not pkt.done:
+                enable(pkt)
+            return side_effect
+        return TAG_SIM, fn, may_side_effect
+
+    if block is None:
+        # A jump with no block to terminate has no observable behaviour.
+        return None
+
+    if insn.is_cond_jump:
+        taken_succs = tuple(s for s, k in block.succs if k == "taken")
+        fall_succs = tuple(s for s, k in block.succs if k != "taken")
+        fn = make_branch_fn(insn, taken_succs, fall_succs)
+        if fn is None:
+            # Unknown compare opcode: defer to the interpreted primitive
+            # (which raises the canonical error).
+            is64 = insn.opclass == isa.BPF_JMP
+            mask = MASK64 if is64 else MASK32
+
+            def fn(pkt, _insn=insn, _is64=is64, _mask=mask):
+                regs = pkt.regs
+                rhs = (
+                    regs[_insn.src]
+                    if _insn.uses_reg_src
+                    else to_signed32(_insn.imm) & _mask
+                )
+                if Vm._compare(_insn.op, regs[_insn.dst], rhs, _is64):
+                    pkt.enabled.update(taken_succs)
+                else:
+                    pkt.enabled.update(fall_succs)
+        return TAG_PKT, fn, False
+
+    return TAG_PKT, _succ_update_fn(tuple(s for s, _k in block.succs)), False
+
+
+def compile_op(op: PipeOp, block: Optional[BasicBlock]) -> CompiledOp:
+    """Compile one PipeOp into a (tag, fn, may_side_effect) triple.
+
+    ``block`` is the basic block this op terminates, if any (mirrors
+    ``PipelineSimulator._terminator_block``). Returns ``None`` when the
+    op has no observable behaviour (an unconditional jump that is not a
+    block terminator)."""
+    insn = op.insn
+    cls = insn.opclass
+    if cls in (isa.BPF_ALU64, isa.BPF_ALU):
+        return _compile_alu(op, block)
+    if cls == isa.BPF_LDX:
+        body = _compile_ldx(op)
+        if block is None or insn.is_exit:
+            return TAG_SIM, body, False
+        enable = _succ_update_fn(tuple(s for s, _k in block.succs))
+
+        def fn(sim, pkt):
+            body(sim, pkt)
+            if not pkt.done:  # the load may have dropped the packet
+                enable(pkt)
+            return None
+        return TAG_SIM, fn, False
+    if cls == isa.BPF_LD:
+        return _compile_ld(op, block)
+    if cls in (isa.BPF_ST, isa.BPF_STX):
+        body, may_side_effect = _compile_store(op)
+        if block is None:
+            return TAG_SIM, body, may_side_effect
+        enable = _succ_update_fn(tuple(s for s, _k in block.succs))
+
+        def fn(sim, pkt):
+            side_effect = body(sim, pkt)
+            if not pkt.done:
+                enable(pkt)
+            return side_effect
+        return TAG_SIM, fn, may_side_effect
+    if cls in (isa.BPF_JMP, isa.BPF_JMP32):
+        return _compile_jmp(op, block)
+
+    def fn(pkt):  # unknown class: canonical simulator error
+        from .sim import SimError
+
+        raise SimError(f"unknown instruction class {cls:#x}")
+    return TAG_PKT, fn, False
+
+
+def compile_stage_kernel(
+    stage: Stage,
+    terminator_block: Dict[int, BasicBlock],
+    any_flush: bool,
+) -> Optional[Callable]:
+    """Compile a stage's op list into one kernel closure.
+
+    The kernel has the same contract as the body of
+    ``PipelineSimulator._execute_stage`` after pending-write commit:
+    ``kernel(sim, pkt, slots, barrier_queues, input_queue, report) -> bool``
+    (True when a flush fired). Returns ``None`` for stages with nothing
+    to execute (helper latency, framing NOPs, empty rows).
+
+    ``any_flush`` says whether ANY map hazard plan contains a Flush
+    Evaluation Block; when False, snapshots and flush checks are elided
+    (no flush can fire, so no snapshot is ever consumed).
+    """
+    if stage.kind is not StageKind.OPS or not stage.ops:
+        return None
+    number = stage.number
+    compiled = []
+    for op in stage.ops:
+        triple = compile_op(op, terminator_block.get(op.insn_index))
+        if triple is not None:
+            compiled.append((op.block_id,) + triple)
+    if not compiled:
+        return None
+
+    if len(compiled) == 1:
+        block_id, tag, fn, may_side_effect = compiled[0]
+        if tag == TAG_REGS:
+            def kernel(sim, pkt, slots, barrier_queues, input_queue, report):
+                if not pkt.done and block_id in pkt.enabled:
+                    fn(pkt.regs)
+                return False
+        elif tag == TAG_PKT:
+            def kernel(sim, pkt, slots, barrier_queues, input_queue, report):
+                if not pkt.done and block_id in pkt.enabled:
+                    fn(pkt)
+                return False
+        elif not (may_side_effect and any_flush):
+            def kernel(sim, pkt, slots, barrier_queues, input_queue, report):
+                if not pkt.done and block_id in pkt.enabled:
+                    fn(sim, pkt)
+                return False
+        else:
+            def kernel(sim, pkt, slots, barrier_queues, input_queue, report):
+                if pkt.done or block_id not in pkt.enabled:
+                    return False
+                side_effect = fn(sim, pkt)
+                if side_effect is None:
+                    return False
+                pkt.take_snapshot(number)
+                return sim._flush_check(
+                    pkt, side_effect, slots, barrier_queues, input_queue, report
+                )
+        return kernel
+
+    if not (any_flush and any(mse for _b, _t, _f, mse in compiled)):
+        pure_ops = [(b, t, f) for b, t, f, _m in compiled]
+
+        def kernel(sim, pkt, slots, barrier_queues, input_queue, report):
+            enabled = pkt.enabled
+            for block_id, tag, fn in pure_ops:
+                if pkt.done:
+                    break
+                if block_id in enabled:
+                    if tag == 0:
+                        fn(pkt.regs)
+                    elif tag == 1:
+                        fn(pkt)
+                    else:
+                        fn(sim, pkt)
+            return False
+        return kernel
+
+    ops = [(b, t, f) for b, t, f, _m in compiled]
+
+    def kernel(sim, pkt, slots, barrier_queues, input_queue, report):
+        flushed = False
+        enabled = pkt.enabled
+        for block_id, tag, fn in ops:
+            if pkt.done:
+                break
+            if block_id not in enabled:
+                continue
+            if tag == 0:
+                fn(pkt.regs)
+            elif tag == 1:
+                fn(pkt)
+            else:
+                side_effect = fn(sim, pkt)
+                if side_effect is not None:
+                    pkt.take_snapshot(number)
+                    if sim._flush_check(pkt, side_effect, slots, barrier_queues,
+                                        input_queue, report):
+                        flushed = True
+        return flushed
+    return kernel
+
+
+def compile_entry_kernel(pipeline: Pipeline) -> Optional[Callable]:
+    """Compile the entry ops (elided ctx loads) into one closure matching
+    ``PipelineSimulator._run_entry_ops`` (side effects are impossible for
+    ctx loads and are ignored, like the interpreted path ignores them)."""
+    if not pipeline.entry_ops:
+        return None
+    terminator_block = {
+        b.terminator_index: b for b in pipeline.cfg.blocks
+    }
+    fns = []
+    for op in pipeline.entry_ops:
+        triple = compile_op(op, terminator_block.get(op.insn_index))
+        if triple is not None:
+            fns.append(triple[:2])
+    if len(fns) == 1:
+        tag, only = fns[0]
+        if tag == TAG_REGS:
+            def entry_kernel(sim, pkt):
+                only(pkt.regs)
+        elif tag == TAG_PKT:
+            def entry_kernel(sim, pkt):
+                only(pkt)
+        else:
+            def entry_kernel(sim, pkt):
+                only(sim, pkt)
+    else:
+        def entry_kernel(sim, pkt):
+            for tag, fn in fns:
+                if tag == 0:
+                    fn(pkt.regs)
+                elif tag == 1:
+                    fn(pkt)
+                else:
+                    fn(sim, pkt)
+    return entry_kernel
+
+
+def install_stage_kernels(pipeline: Pipeline) -> None:
+    """Attach compiled kernels to a pipeline's stages (idempotent).
+
+    Called at ``PipelineSimulator`` construction with the fast path on,
+    and after unpickling a cached pipeline (kernels never persist)."""
+    terminator_block = {b.terminator_index: b for b in pipeline.cfg.blocks}
+    any_flush = any(
+        plan.needs_flush for plan in pipeline.map_hazards.values()
+    )
+    for stage in pipeline.stages:
+        if stage.kernel is None:
+            stage.kernel = compile_stage_kernel(
+                stage, terminator_block, any_flush
+            )

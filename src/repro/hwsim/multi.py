@@ -15,8 +15,10 @@ each pipeline sustains its own line rate.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from itertools import chain, islice
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.pipeline import Pipeline
 from ..core.resources import (
@@ -106,6 +108,67 @@ class MultiProgramNic:
             )
             report = sim.run_packets(bucket)
             results.append(SlotResult(pipeline.name, len(bucket), report))
+        return results
+
+    def run_stream(
+        self,
+        frames: Iterable[bytes],
+        batch_size: int = 256,
+    ) -> List[SlotResult]:
+        """Streaming :meth:`run_at_line_rate`: ``frames`` may be any
+        iterable (a generator, a :class:`~repro.net.packet.FrameBuffer`)
+        and is classified lazily, ``batch_size`` frames at a time.
+
+        Pipelines execute one after another, each draining its own
+        steering queue; pulling a batch tops up every queue, so frames
+        destined for pipelines that have not run yet are buffered until
+        their turn (the only frames ever materialised at once). Results
+        match ``run_at_line_rate(list(frames))``.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        n = len(self.pipelines)
+        source = iter(frames)
+        queues: List[deque] = [deque() for _ in range(n)]
+        counts = [0] * n
+
+        def pull_batch() -> bool:
+            got = False
+            for frame in islice(source, batch_size):
+                got = True
+                index = self.classifier(frame)
+                if not 0 <= index < n:
+                    raise ValueError(
+                        f"classifier returned bad pipeline index {index}"
+                    )
+                queues[index].append(frame)
+                counts[index] += 1
+            return got
+
+        def feed(index: int) -> Iterator[bytes]:
+            queue = queues[index]
+            while True:
+                while queue:
+                    yield queue.popleft()
+                if not pull_batch():
+                    return
+
+        results: List[SlotResult] = []
+        for index, (pipeline, map_set) in enumerate(zip(self.pipelines, self.maps)):
+            stream = feed(index)
+            first = next(stream, None)
+            if first is None:
+                results.append(SlotResult(pipeline.name, 0, None))
+                continue
+            sim = PipelineSimulator(
+                pipeline, maps=map_set,
+                options=SimOptions(clock_mhz=self.shell.clock_mhz,
+                                   keep_records=False),
+            )
+            report = sim.run_stream(
+                chain((first,), stream), batch_size=batch_size
+            )
+            results.append(SlotResult(pipeline.name, counts[index], report))
         return results
 
     def aggregate_throughput_mpps(self, results: Sequence[SlotResult]) -> float:

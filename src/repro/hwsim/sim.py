@@ -51,27 +51,55 @@ class SimOptions:
     reload_overhead: int = 4  # cycles lost after a flush (Appendix A.1)
     max_cycles: int = 50_000_000
     keep_records: bool = True
+    # Execute stages through pre-compiled kernels (repro.hwsim.kernels)
+    # instead of per-op interpretation. Bit-identical results either way;
+    # the interpreted path remains as the differential reference.
+    fast: bool = True
 
 
 class SimError(RuntimeError):
     """Raised on simulator-internal inconsistencies."""
 
 
-@dataclass
 class _Snapshot:
-    stage: int  # packet state as of *after* executing this stage
-    regs: List[int]
-    stack: bytes
-    packet: bytes
-    head_adjust: int
-    tail_adjust: int
-    redirect_ifindex: Optional[int]
-    enabled: Set[int]
-    done: bool
-    action: Optional[XdpAction]
-    addr_reads: Dict[int, List[Tuple[bytes, Optional[int]]]]
-    value_reads: Dict[int, Set[int]]
-    pending_writes: List[Tuple[int, int, bytes, int]]
+    """Elastic-buffer restart point (positional, slotted: it is built on
+    every map side effect, so construction cost is hot-path cost)."""
+
+    __slots__ = (
+        "stage", "regs", "stack", "packet", "head_adjust", "tail_adjust",
+        "redirect_ifindex", "enabled", "done", "action", "addr_reads",
+        "value_reads", "pending_writes",
+    )
+
+    def __init__(
+        self,
+        stage: int,  # packet state as of *after* executing this stage
+        regs: List[int],
+        stack: bytes,
+        packet: bytes,
+        head_adjust: int,
+        tail_adjust: int,
+        redirect_ifindex: Optional[int],
+        enabled: Set[int],
+        done: bool,
+        action: Optional[XdpAction],
+        addr_reads: Dict[int, List[Tuple[bytes, Optional[int]]]],
+        value_reads: Dict[int, Set[int]],
+        pending_writes: List[Tuple[int, int, bytes, int]],
+    ) -> None:
+        self.stage = stage
+        self.regs = regs
+        self.stack = stack
+        self.packet = packet
+        self.head_adjust = head_adjust
+        self.tail_adjust = tail_adjust
+        self.redirect_ifindex = redirect_ifindex
+        self.enabled = enabled
+        self.done = done
+        self.action = action
+        self.addr_reads = addr_reads
+        self.value_reads = value_reads
+        self.pending_writes = pending_writes
 
 
 class _InFlight:
@@ -111,20 +139,21 @@ class _InFlight:
     # -- snapshot / restore (elastic buffers, Appendix A.2) -------------------
 
     def take_snapshot(self, stage: int) -> None:
+        ctx = self.ctx
         self.snapshots.append(_Snapshot(
-            stage=stage,
-            regs=list(self.regs),
-            stack=bytes(self.stack),
-            packet=bytes(self.ctx.packet),
-            head_adjust=self.ctx.head_adjust,
-            tail_adjust=self.ctx.tail_adjust,
-            redirect_ifindex=self.ctx.redirect_ifindex,
-            enabled=set(self.enabled),
-            done=self.done,
-            action=self.action,
-            addr_reads={fd: list(v) for fd, v in self.addr_reads.items()},
-            value_reads={fd: set(v) for fd, v in self.value_reads.items()},
-            pending_writes=list(self.pending_writes),
+            stage,
+            list(self.regs),
+            bytes(self.stack),
+            bytes(ctx.packet),
+            ctx.head_adjust,
+            ctx.tail_adjust,
+            ctx.redirect_ifindex,
+            set(self.enabled),
+            self.done,
+            self.action,
+            {fd: list(v) for fd, v in self.addr_reads.items()},
+            {fd: set(v) for fd, v in self.value_reads.items()},
+            list(self.pending_writes),
         ))
 
     def restore_snapshot(self, snap: "_Snapshot") -> int:
@@ -197,6 +226,36 @@ class PipelineSimulator:
              if plan.needs_flush and plan.write_stages),
             default=0,
         )
+        # Per-fd (map, key_size, value_size, value_addr_base) tuples for
+        # the specialized helper-call kernels; per-simulator because the
+        # kernels are shared by every simulator over the same pipeline.
+        self._map_entry: Dict[int, Tuple] = {}
+        # Fast path: compile each stage's op list into a kernel closure
+        # once, here, instead of re-dispatching per packet per cycle.
+        self._fast = self.options.fast
+        self._entry_kernel = None
+        if self._fast:
+            from .kernels import compile_entry_kernel, install_stage_kernels
+
+            install_stage_kernels(pipeline)
+            self._entry_kernel = compile_entry_kernel(pipeline)
+
+    def _map_entry_for(self, fd: int) -> Optional[Tuple]:
+        """Resolve and cache a map's hot-path constants for the kernels.
+
+        Returns ``None`` for unknown fds (the caller drops the packet,
+        like ``_map_channel_call``)."""
+        if fd not in self.maps:
+            return None
+        bpf_map = self.maps[fd]
+        entry = (
+            bpf_map,
+            bpf_map.key_size,
+            bpf_map.value_size,
+            AddressSpace.MAP_BASE + fd * AddressSpace.MAP_WINDOW,
+        )
+        self._map_entry[fd] = entry
+        return entry
 
     def schedule_host_op(self, cycle: int, op: "Callable[[MapSet], None]") -> None:
         """Apply ``op(maps)`` at the start of ``cycle`` during :meth:`run`."""
@@ -242,6 +301,20 @@ class PipelineSimulator:
         cycle_ns = 1000.0 / options.clock_mhz
 
         host_ops = list(self.host_ops)
+        # Fast path: per-position kernel table (kernels[pos] executes
+        # stages[pos], i.e. stage number pos+1), dispatched inline below
+        # to skip the _execute_stage indirection on the hot shift loop.
+        fast = self._fast
+        kernels = [stage.kernel for stage in stages] if fast else []
+        # Loop-invariant lookups, hoisted off the per-cycle path.
+        entry_block_id = self.pipeline.cfg.entry.block_id
+        entry_checks = self.pipeline.entry_checks
+        capacity = options.input_queue_capacity
+        reload_overhead = options.reload_overhead
+        max_cycles = options.max_cycles
+        keep_records = options.keep_records
+        shift_range = range(n_stages - 1, 0, -1)
+        observer = self.observer
         while True:
             # 0. host-side map accesses land through the dedicated host port
             while host_ops and host_ops[0][0] <= cycle:
@@ -250,7 +323,7 @@ class PipelineSimulator:
 
             # 1. accept arrivals whose time has come
             while pending_arrival is not None and pending_arrival[0] <= cycle:
-                if len(input_queue) >= options.input_queue_capacity:
+                if len(input_queue) >= capacity:
                     report.packets_dropped_queue += 1
                 else:
                     pkt = _InFlight(next_pid, pending_arrival[1], cycle)
@@ -266,47 +339,87 @@ class PipelineSimulator:
                 and not any(barrier_queues.values())
             ):
                 break
-            if cycle >= options.max_cycles:
-                raise SimError(f"simulation exceeded {options.max_cycles} cycles")
+            if cycle >= max_cycles:
+                raise SimError(f"simulation exceeded {max_cycles} cycles")
 
             # 2. advance phase. Barrier queues stall everything at or below
             # their stage so restarted (older) packets keep their order.
             stall_below = -1
-            for stage_no, queue in barrier_queues.items():
-                if queue:
-                    stall_below = max(stall_below, stage_no)
-            if stall_below >= 0:
-                report.stall_cycles += 1
+            if barrier_queues:
+                for stage_no, queue in barrier_queues.items():
+                    if queue:
+                        stall_below = max(stall_below, stage_no)
+                if stall_below >= 0:
+                    report.stall_cycles += 1
 
             # deepest first: exit, then shift
             out = slots[n_stages]
             if out is not None:
                 self._finalize(out)
-                report.record(
-                    PacketRecord(
-                        pid=out.pid,
-                        action=out.action if out.action is not None else XdpAction.PASS,
-                        data=bytes(out.ctx.packet),
-                        arrival_cycle=out.arrival_cycle,
-                        inject_cycle=out.inject_cycle,
-                        exit_cycle=cycle,
-                        restarts=out.restarts,
+                if keep_records:
+                    report.record(
+                        PacketRecord(
+                            pid=out.pid,
+                            action=out.action if out.action is not None else XdpAction.PASS,
+                            data=bytes(out.ctx.packet),
+                            arrival_cycle=out.arrival_cycle,
+                            inject_cycle=out.inject_cycle,
+                            exit_cycle=cycle,
+                            restarts=out.restarts,
+                        )
                     )
-                )
+                else:
+                    # Record-free accounting: no PacketRecord allocation,
+                    # same aggregates (see SimReport.tally).
+                    report.tally(
+                        out.action if out.action is not None else XdpAction.PASS,
+                        out.arrival_cycle,
+                        out.inject_cycle,
+                        cycle,
+                        out.restarts,
+                    )
                 slots[n_stages] = None
-            for pos in range(n_stages - 1, 0, -1):
-                pkt = slots[pos]
-                if pkt is None:
-                    continue
-                if pos <= stall_below:
-                    continue  # held by a draining elastic buffer
-                slots[pos] = None
-                slots[pos + 1] = pkt
-                pkt.position = pos + 1
-                flushed = self._execute_stage(pkt, stages[pos], slots, barrier_queues,
-                                              input_queue, report)
-                if flushed:
-                    reload_stall = max(reload_stall, options.reload_overhead)
+            if fast and stall_below < 0:
+                # Hot shift loop: no barrier stalls in flight, kernels
+                # dispatched inline (the overwhelmingly common cycle).
+                for pos in shift_range:
+                    pkt = slots[pos]
+                    if pkt is None:
+                        continue
+                    npos = pos + 1
+                    slots[pos] = None
+                    slots[npos] = pkt
+                    pkt.position = npos
+                    if pkt.pending_writes:
+                        self._commit_pending(pkt, npos)
+                    kernel = kernels[pos]
+                    if kernel is not None and kernel(
+                        self, pkt, slots, barrier_queues, input_queue, report
+                    ):
+                        reload_stall = max(reload_stall, reload_overhead)
+            else:
+                for pos in shift_range:
+                    pkt = slots[pos]
+                    if pkt is None:
+                        continue
+                    if pos <= stall_below:
+                        continue  # held by a draining elastic buffer
+                    slots[pos] = None
+                    slots[pos + 1] = pkt
+                    pkt.position = pos + 1
+                    if fast:
+                        if pkt.pending_writes:
+                            self._commit_pending(pkt, pos + 1)
+                        kernel = kernels[pos]
+                        flushed = kernel is not None and kernel(
+                            self, pkt, slots, barrier_queues, input_queue, report
+                        )
+                    else:
+                        flushed = self._execute_stage(pkt, stages[pos], slots,
+                                                      barrier_queues, input_queue,
+                                                      report)
+                    if flushed:
+                        reload_stall = max(reload_stall, reload_overhead)
 
             # 3. release one packet from the deepest non-empty barrier queue
             released = False
@@ -323,7 +436,7 @@ class PipelineSimulator:
                         input_queue, report,
                     )
                     if flushed:
-                        reload_stall = max(reload_stall, options.reload_overhead)
+                        reload_stall = max(reload_stall, reload_overhead)
                     released = True
 
             # 4. inject from the input queue into stage 1
@@ -335,14 +448,16 @@ class PipelineSimulator:
                 and slots[1] is None
             ):
                 pkt = input_queue.popleft()
-                pkt.reset()
+                # Queued packets are always in reset state: fresh arrivals
+                # from _InFlight.__init__, flush-requeued ones from
+                # _flush_check — so no reset here.
                 if pkt.inject_cycle < 0:
                     pkt.inject_cycle = cycle
                 pkt.position = 1
-                pkt.enabled = {self.pipeline.cfg.entry.block_id}
+                pkt.enabled = {entry_block_id}
                 # The hardware's input-length comparators stand in for the
                 # elided entry-side bounds checks.
-                for min_len, action in self.pipeline.entry_checks:
+                for min_len, action in entry_checks:
                     if len(pkt.ctx.packet) < min_len:
                         pkt.done = True
                         try:
@@ -353,14 +468,21 @@ class PipelineSimulator:
                 if not pkt.done:
                     self._run_entry_ops(pkt)
                 slots[1] = pkt
-                flushed = self._execute_stage(
-                    pkt, stages[0], slots, barrier_queues, input_queue, report
-                )
+                if fast:
+                    # Fresh packets carry no pending writes; skip commit.
+                    kernel = kernels[0]
+                    flushed = kernel is not None and kernel(
+                        self, pkt, slots, barrier_queues, input_queue, report
+                    )
+                else:
+                    flushed = self._execute_stage(
+                        pkt, stages[0], slots, barrier_queues, input_queue, report
+                    )
                 if flushed:
-                    reload_stall = max(reload_stall, options.reload_overhead)
+                    reload_stall = max(reload_stall, reload_overhead)
 
-            if self.observer is not None:
-                self.observer(cycle, slots, barrier_queues, input_queue, report)
+            if observer is not None:
+                observer(cycle, slots, barrier_queues, input_queue, report)
 
             cycle += 1
             # Wall-clock time advances with the pipeline clock so that
@@ -377,9 +499,46 @@ class PipelineSimulator:
         """Convenience: inject frames ``gap`` cycles apart (1 = line rate)."""
         return self.run((i * gap, f) for i, f in enumerate(frames))
 
+    def run_stream(
+        self,
+        frames: Iterable[bytes],
+        gap: int = 1,
+        batch_size: int = 256,
+    ) -> SimReport:
+        """Stream frames through the pipeline in prefetched batches.
+
+        Unlike :meth:`run_packets`, ``frames`` may be any iterable — a
+        generator, a :class:`~repro.net.packet.FrameBuffer` of
+        memoryviews — and is consumed lazily ``batch_size`` frames at a
+        time, so arbitrarily long traces stream in bounded memory with
+        one Python-level batch refill per ``batch_size`` packets instead
+        of an iterator round-trip per packet. Cycle accounting is
+        identical to ``run_packets(frames, gap)``.
+        """
+        from itertools import islice
+
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+
+        def arrivals() -> Iterable[Tuple[int, bytes]]:
+            it = iter(frames)
+            cycle = 0
+            while True:
+                batch = list(islice(it, batch_size))
+                if not batch:
+                    return
+                for frame in batch:
+                    yield (cycle, frame)
+                    cycle += gap
+
+        return self.run(arrivals())
+
     # -- per-stage execution ---------------------------------------------------
 
     def _run_entry_ops(self, pkt: _InFlight) -> None:
+        if self._entry_kernel is not None:
+            self._entry_kernel(self, pkt)
+            return
         self._current = pkt
         try:
             for op in self.pipeline.entry_ops:
@@ -403,6 +562,11 @@ class PipelineSimulator:
         # later flush resumes by re-executing this stage's (possibly
         # stale) reads instead of replaying the committed write.
         self._commit_pending(pkt, stage.number)
+        if self._fast:
+            kernel = stage.kernel
+            if kernel is None:
+                return False
+            return kernel(self, pkt, slots, barrier_queues, input_queue, report)
         if stage.kind is not StageKind.OPS:
             return False
         flushed = False

@@ -45,6 +45,12 @@ class SimReport:
     action_counts: Dict[XdpAction, int] = field(default_factory=dict)
     records: List[PacketRecord] = field(default_factory=list)
     keep_records: bool = True
+    # Running aggregates, maintained whether or not per-packet records
+    # are kept, so latency/restart statistics stay exact in the
+    # record-free fast path.
+    sum_total_cycles: int = 0
+    sum_pipeline_cycles: int = 0
+    sum_restarts: int = 0
 
     # -- derived metrics -----------------------------------------------------
 
@@ -61,11 +67,20 @@ class SimReport:
 
     def latency_ns(self, shell_overhead_ns: float = 0.0) -> float:
         """Mean forwarding latency (pipeline traversal + queueing), plus a
-        constant shell/MAC overhead supplied by the NIC shell model."""
-        if not self.records:
+        constant shell/MAC overhead supplied by the NIC shell model.
+
+        Computed from the running cycle sums, so it is exact with
+        ``keep_records=False`` too."""
+        if self.packets_out == 0:
             return 0.0
-        mean_cycles = sum(r.total_cycles for r in self.records) / len(self.records)
+        mean_cycles = self.sum_total_cycles / self.packets_out
         return mean_cycles * self.cycle_ns + shell_overhead_ns
+
+    def avg_pipeline_cycles(self) -> float:
+        """Mean inject-to-exit cycles per packet (0.0 when no packets)."""
+        if self.packets_out == 0:
+            return 0.0
+        return self.sum_pipeline_cycles / self.packets_out
 
     def flushes_per_second(self) -> float:
         if self.cycles == 0:
@@ -75,9 +90,27 @@ class SimReport:
     def count_action(self, action: XdpAction) -> int:
         return self.action_counts.get(action, 0)
 
-    def record(self, rec: PacketRecord) -> None:
+    def tally(
+        self,
+        action: XdpAction,
+        arrival_cycle: int,
+        inject_cycle: int,
+        exit_cycle: int,
+        restarts: int = 0,
+    ) -> None:
+        """Account one packet exit without allocating a PacketRecord.
+
+        This is the record-free fast path; :meth:`record` routes through
+        it so both modes produce identical aggregates."""
         self.packets_out += 1
-        self.action_counts[rec.action] = self.action_counts.get(rec.action, 0) + 1
+        self.action_counts[action] = self.action_counts.get(action, 0) + 1
+        self.sum_total_cycles += exit_cycle - arrival_cycle
+        self.sum_pipeline_cycles += exit_cycle - inject_cycle
+        self.sum_restarts += restarts
+
+    def record(self, rec: PacketRecord) -> None:
+        self.tally(rec.action, rec.arrival_cycle, rec.inject_cycle,
+                   rec.exit_cycle, rec.restarts)
         if self.keep_records:
             self.records.append(rec)
 

@@ -1,0 +1,9 @@
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_compile_cache(tmp_path_factory, monkeypatch):
+    """Keep the persistent compile cache out of the user's home directory
+    and out of cross-test state: every test sees its own empty cache."""
+    cache_dir = tmp_path_factory.mktemp("ehdl-cache")
+    monkeypatch.setenv("EHDL_CACHE_DIR", str(cache_dir))

@@ -1,0 +1,162 @@
+"""Persistent compile cache: hits skip analysis, keys track inputs."""
+
+import pickle
+
+import pytest
+
+from repro.apps import firewall, toy_counter
+from repro.core import CompileOptions, compile_program
+from repro.core import compiler as compiler_mod
+from repro.core.cache import (
+    CompileCache,
+    cache_key,
+    compile_cached,
+    default_cache_dir,
+    get_default_cache,
+)
+from repro.ebpf.maps import MapSet
+from repro.hwsim import PipelineSimulator, SimOptions
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return CompileCache(tmp_path / "cache")
+
+
+class TestCacheKey:
+    def test_stable(self):
+        prog = toy_counter.build()
+        assert cache_key(prog) == cache_key(prog)
+
+    def test_tracks_program(self):
+        assert cache_key(toy_counter.build()) != cache_key(firewall.build())
+
+    def test_tracks_options(self):
+        prog = toy_counter.build()
+        assert cache_key(prog, CompileOptions()) != \
+               cache_key(prog, CompileOptions(enable_pruning=False))
+
+    def test_tracks_maps(self):
+        import dataclasses
+
+        prog_a = toy_counter.build()
+        prog_b = toy_counter.build()
+        # build() shares module-level MapSpec constants: swap in a copy
+        fd, spec = next(iter(prog_b.maps.items()))
+        prog_b.maps[fd] = dataclasses.replace(
+            spec, max_entries=spec.max_entries + 1
+        )
+        assert cache_key(prog_a) != cache_key(prog_b)
+
+
+class TestCompileCached:
+    def test_miss_then_disk_hit(self, cache):
+        prog = toy_counter.build()
+        compile_cached(prog, cache=cache)
+        assert cache.misses == 1 and cache.stores == 1
+        assert cache.stats()["disk_entries"] == 1
+
+        # a fresh cache object over the same directory (a "new process")
+        # must satisfy the compile from disk without running any pass
+        cold = CompileCache(cache.directory)
+        real = compiler_mod.compile_program
+
+        def boom(*args, **kwargs):
+            raise AssertionError("analysis passes ran despite a cache hit")
+
+        compiler_mod.compile_program = boom
+        try:
+            pipeline = compile_cached(prog, cache=cold)
+        finally:
+            compiler_mod.compile_program = real
+        assert cold.hits == 1 and cold.misses == 0
+        assert pipeline.n_stages > 0
+
+    def test_memory_hit_skips_unpickling(self, cache):
+        prog = toy_counter.build()
+        first = compile_cached(prog, cache=cache)
+        second = compile_cached(prog, cache=cache)
+        assert second is first  # same in-memory object, no disk round-trip
+        assert cache.hits == 1
+
+    def test_cached_pipeline_simulates_identically(self, cache):
+        prog = toy_counter.build()
+        frames = [toy_counter.packet_for_key(k % 4) for k in range(16)]
+
+        def run(pipeline):
+            maps = MapSet(prog.maps)
+            sim = PipelineSimulator(pipeline, maps=maps,
+                                    options=SimOptions(keep_records=False))
+            return sim.run_packets(frames), maps
+
+        ref_rep, ref_maps = run(compile_program(prog))
+        compile_cached(prog, cache=cache)
+        cold = CompileCache(cache.directory)
+        got_rep, got_maps = run(compile_cached(prog, cache=cold))
+        assert got_rep.cycles == ref_rep.cycles
+        assert got_rep.action_counts == ref_rep.action_counts
+        for fd in prog.maps:
+            assert bytes(got_maps[fd].storage) == bytes(ref_maps[fd].storage)
+
+    def test_corrupt_entry_recompiles(self, cache):
+        prog = toy_counter.build()
+        compile_cached(prog, cache=cache)
+        key = cache_key(prog)
+        path = cache.directory / f"{key}.pipeline.pkl"
+        path.write_bytes(b"not a pickle")
+        cold = CompileCache(cache.directory)
+        pipeline = compile_cached(prog, cache=cold)
+        assert pipeline.n_stages > 0
+        assert cold.misses == 1
+        assert not path.read_bytes() == b"not a pickle"  # rewritten
+
+    def test_wrong_type_entry_is_a_miss(self, cache):
+        prog = toy_counter.build()
+        key = cache_key(prog)
+        cache.directory.mkdir(parents=True)
+        (cache.directory / f"{key}.pipeline.pkl").write_bytes(
+            pickle.dumps({"not": "a pipeline"})
+        )
+        compile_cached(prog, cache=cache)
+        assert cache.misses == 1
+
+
+class TestLru:
+    def test_eviction_order(self, cache):
+        cache.memory_entries = 2
+        progs = [toy_counter.build(), firewall.build()]
+        pipes = [compile_cached(p, cache=cache) for p in progs]
+        # touch the first so the second is the LRU victim
+        assert compile_cached(progs[0], cache=cache) is pipes[0]
+        third = compile_cached(
+            progs[0], CompileOptions(enable_pruning=False), cache=cache
+        )
+        assert third is not pipes[0]
+        assert len(cache._memory) == 2
+        # firewall fell out of memory but still hits from disk
+        hits_before = cache.hits
+        again = compile_cached(progs[1], cache=cache)
+        assert cache.hits == hits_before + 1
+        assert again is not pipes[1]  # re-unpickled, not the same object
+
+
+class TestHousekeeping:
+    def test_clear(self, cache):
+        compile_cached(toy_counter.build(), cache=cache)
+        compile_cached(firewall.build(), cache=cache)
+        assert cache.clear() == 2
+        assert cache.stats()["disk_entries"] == 0
+        assert cache.stats()["memory_entries"] == 0
+
+    def test_default_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("EHDL_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+        assert get_default_cache().directory == tmp_path / "override"
+        monkeypatch.setenv("EHDL_CACHE_DIR", str(tmp_path / "other"))
+        assert get_default_cache().directory == tmp_path / "other"
+
+    def test_atomic_write_leaves_no_temp_files(self, cache):
+        compile_cached(toy_counter.build(), cache=cache)
+        stray = [p for p in cache.directory.iterdir()
+                 if not p.name.endswith(".pipeline.pkl")]
+        assert stray == []

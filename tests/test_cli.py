@@ -142,3 +142,59 @@ out:
                      "--cycles", "12"]) == 0
         out = capsys.readouterr().out
         assert "cycle" in out and "p0" in out
+
+
+class TestRunAndBench:
+    def test_run_fast_default(self, capsys, prog_file):
+        assert main(["run", prog_file, "--packets", "60", "--flows", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "engine: fast" in out and "packets/s" in out
+
+    def test_run_interpreted(self, capsys, prog_file):
+        assert main(["run", prog_file, "--packets", "40", "--no-fast"]) == 0
+        assert "engine: interpreted" in capsys.readouterr().out
+
+    def test_run_profile_prints_top_functions(self, capsys, prog_file):
+        assert main(["run", prog_file, "--packets", "30", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out and "ncalls" in out
+
+    def test_bench_reports_speedup_and_parity(self, capsys, prog_file):
+        assert main(["bench", prog_file, "--packets", "80",
+                     "--flows", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fast" in out and "interpreted" in out
+        assert "speedup" in out and "parity OK" in out
+
+
+class TestCacheCommand:
+    def test_compile_populates_cache(self, capsys, prog_file):
+        assert main(["compile", prog_file]) == 0
+        capsys.readouterr()
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "disk_entries: 1" in out
+
+    def test_no_cache_flag_bypasses(self, capsys, prog_file):
+        assert main(["compile", prog_file, "--no-cache"]) == 0
+        capsys.readouterr()
+        assert main(["cache"]) == 0
+        assert "disk_entries: 0" in capsys.readouterr().out
+
+    def test_cache_hit_skips_recompile(self, capsys, prog_file, monkeypatch):
+        assert main(["stats", prog_file]) == 0
+        capsys.readouterr()
+        from repro.core import compiler as compiler_mod
+
+        def boom(*args, **kwargs):
+            raise AssertionError("recompiled despite warm cache")
+
+        monkeypatch.setattr(compiler_mod, "compile_program", boom)
+        assert main(["stats", prog_file]) == 0
+        assert "stage" in capsys.readouterr().out
+
+    def test_cache_clear(self, capsys, prog_file):
+        assert main(["compile", prog_file]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out

@@ -1,0 +1,374 @@
+"""Fast-path execution engine: pre-compiled kernels ≡ the interpreted path.
+
+The simulator and the reference VM each grow a specialization layer
+(stage kernels / a jump-threaded dispatch table). These tests pin the
+central contract: with ``fast`` on or off, every observable — XDP
+actions, packet bytes, map state, and *cycle counts* — is identical.
+"""
+
+import pytest
+
+from repro.apps import dnat, firewall, router, suricata, toy_counter, tunnel
+from repro.core import compile_program
+from repro.ebpf.asm import assemble_program
+from repro.ebpf.isa import MapSpec
+from repro.ebpf.maps import MapSet
+from repro.ebpf.vm import Vm
+from repro.ebpf.xdp import XdpAction
+from repro.hwsim import PipelineSimulator, SimOptions
+from repro.hwsim.multi import MultiProgramNic
+from repro.net.packet import FiveTuple, ipv4, mac, udp_packet
+
+MAPS = {"m": MapSpec("m", "array", 4, 8, 4)}
+PKT = bytes(range(64))
+
+RMW = """
+    r2 = 0
+    *(u32 *)(r10 - 4) = r2
+    r1 = map[m]
+    r2 = r10
+    r2 += -4
+    call 1
+    if r0 == 0 goto out
+    r2 = *(u64 *)(r0 + 0)
+    r2 += 1
+    *(u64 *)(r0 + 0) = r2
+out:
+    r0 = 2
+    exit
+"""
+
+F1 = FiveTuple(ipv4("10.0.0.1"), ipv4("192.168.0.1"), 17, 1000, 53)
+
+
+def run_both(program, frames, setup=None, gap=1, keep_records=True):
+    """Run frames through the pipeline with fast on and off; assert every
+    observable matches and return the (fast, interpreted) reports."""
+    pipeline = compile_program(program)
+    reports = []
+    map_sets = []
+    for fast in (True, False):
+        maps = MapSet(program.maps)
+        if setup is not None:
+            setup(maps)
+        sim = PipelineSimulator(
+            pipeline, maps=maps,
+            options=SimOptions(fast=fast, keep_records=keep_records),
+        )
+        reports.append(sim.run_packets(list(frames), gap=gap))
+        map_sets.append(maps)
+
+    fast_rep, slow_rep = reports
+    assert fast_rep.cycles == slow_rep.cycles
+    assert fast_rep.action_counts == slow_rep.action_counts
+    assert fast_rep.flush_events == slow_rep.flush_events
+    assert fast_rep.squashed_packets == slow_rep.squashed_packets
+    assert fast_rep.stall_cycles == slow_rep.stall_cycles
+    assert fast_rep.sum_total_cycles == slow_rep.sum_total_cycles
+    assert fast_rep.sum_pipeline_cycles == slow_rep.sum_pipeline_cycles
+    assert fast_rep.sum_restarts == slow_rep.sum_restarts
+    if keep_records:
+        assert len(fast_rep.records) == len(slow_rep.records)
+        for a, b in zip(fast_rep.records, slow_rep.records):
+            assert (a.pid, a.action, a.data) == (b.pid, b.action, b.data)
+            assert a.exit_cycle == b.exit_cycle
+            assert a.restarts == b.restarts
+    for fd in program.maps:
+        assert bytes(map_sets[0][fd].storage) == bytes(map_sets[1][fd].storage)
+    return fast_rep, slow_rep
+
+
+class TestAppParity:
+    def test_toy_counter(self):
+        frames = [toy_counter.packet_for_key(k % 4) for k in range(24)]
+        frames.append(b"\x00" * 10)  # short packet -> implicit drop path
+        run_both(toy_counter.build(), frames)
+
+    def test_firewall(self):
+        frames = []
+        for ft in (F1, F1.reversed(), FiveTuple(1, 2, 17, 3, 4)):
+            frames.append(udp_packet(src_ip=ft.src_ip, dst_ip=ft.dst_ip,
+                                     sport=ft.sport, dport=ft.dport))
+        run_both(firewall.build(), frames * 10,
+                 setup=lambda m: firewall.allow_flow(m, F1))
+
+    @pytest.mark.parametrize("use_atomic", [True, False])
+    def test_router(self, use_atomic):
+        def setup(maps):
+            router.add_route(maps, ipv4("192.168.1.1"),
+                             mac("02:00:00:00:01:01"),
+                             mac("02:00:00:00:01:02"), 3)
+        frames = [
+            udp_packet(dst_ip="192.168.1.200", size=64),
+            udp_packet(dst_ip="8.8.8.8", size=64),
+            udp_packet(dst_ip="192.168.1.4", size=64, ttl=1),
+        ] * 10
+        run_both(router.build(use_atomic), frames, setup=setup)
+        if not use_atomic:
+            # back-to-back routed packets share the stats slot: the RAW
+            # hazard fires flushes, and parity must hold through them
+            storm = [udp_packet(dst_ip="192.168.1.200", size=64)] * 30
+            fast_rep, _ = run_both(router.build(False), storm, setup=setup)
+            assert fast_rep.flush_events > 0
+
+    def test_tunnel(self):
+        def setup(maps):
+            tunnel.add_tunnel(maps, ipv4("10.0.0.9"), ipv4("172.16.0.1"),
+                              ipv4("172.16.0.2"),
+                              mac("02:00:00:00:02:01"),
+                              mac("02:00:00:00:02:02"))
+        frames = [udp_packet(dst_ip="10.0.0.9", size=96),
+                  udp_packet(dst_ip="10.9.9.9", size=96)] * 8
+        run_both(tunnel.build(), frames, setup=setup)
+
+    def test_suricata(self):
+        frames = [udp_packet(src_ip=F1.src_ip, dst_ip=F1.dst_ip,
+                             sport=F1.sport, dport=F1.dport)] * 12
+        run_both(suricata.build(), frames,
+                 setup=lambda m: suricata.add_bypass(m, F1))
+
+    def test_dnat(self):
+        frames = [udp_packet(src_ip=f"10.1.0.{i}", dst_ip="10.0.0.80",
+                             sport=5000 + i, dport=80) for i in range(6)] * 3
+        run_both(dnat.build(), frames)
+
+
+class TestHazardParity:
+    def test_rmw_flush_storm(self):
+        prog = assemble_program(RMW, maps=MAPS)
+        fast_rep, _ = run_both(prog, [PKT] * 40)
+        assert fast_rep.flush_events > 0
+
+    def test_rmw_spaced_no_flush(self):
+        prog = assemble_program(RMW, maps=MAPS)
+        fast_rep, _ = run_both(prog, [PKT] * 10, gap=40)
+        assert fast_rep.flush_events == 0
+
+    def test_atomic_counter(self):
+        source = """
+            r2 = 0
+            *(u32 *)(r10 - 4) = r2
+            r1 = map[m]
+            r2 = r10
+            r2 += -4
+            call 1
+            if r0 == 0 goto out
+            r2 = 1
+            lock *(u64 *)(r0 + 0) += r2
+        out:
+            r0 = 2
+            exit
+        """
+        prog = assemble_program(source, maps=MAPS)
+        fast_rep, _ = run_both(prog, [PKT] * 40)
+        assert fast_rep.flush_events == 0
+
+    def test_keep_records_false_aggregates(self):
+        prog = assemble_program(RMW, maps=MAPS)
+        run_both(prog, [PKT] * 40, keep_records=False)
+
+
+class TestSnapshotRoundTrip:
+    """_InFlight snapshot/restore under the fast path, with pending WAR
+    writes in flight at snapshot time."""
+
+    def _packet(self, pid=0):
+        from repro.hwsim.sim import _InFlight
+        return _InFlight(pid, PKT, arrival_cycle=0)
+
+    def test_round_trip_restores_everything(self):
+        pkt = self._packet()
+        pkt.regs[3] = 0xDEAD
+        pkt.stack[0:4] = b"\x01\x02\x03\x04"
+        pkt.ctx.packet[5] = 0x7F
+        pkt.enabled = {2, 5}
+        pkt.pending_writes = [(1, 0, b"\x11" * 8, 4)]
+        pkt.value_reads = {1: {0}}
+        pkt.addr_reads = {1: [(bytes(4), 0)]}
+        pkt.take_snapshot(stage=4)
+
+        # mutate past the snapshot
+        pkt.regs[3] = 0
+        pkt.stack[0:4] = bytes(4)
+        pkt.ctx.packet[5] = 0
+        pkt.enabled = {9}
+        pkt.pending_writes.append((1, 8, b"\x22" * 8, 7))
+        pkt.value_reads[1].add(1)
+        pkt.take_snapshot(stage=9)
+
+        assert len(pkt.snapshots) == 2
+        stage = pkt.restore_snapshot(pkt.snapshots[0])
+        assert stage == 4
+        assert pkt.regs[3] == 0xDEAD
+        assert bytes(pkt.stack[0:4]) == b"\x01\x02\x03\x04"
+        assert pkt.ctx.packet[5] == 0x7F
+        assert pkt.enabled == {2, 5}
+        assert pkt.pending_writes == [(1, 0, b"\x11" * 8, 4)]
+        assert pkt.value_reads == {1: {0}}
+        # later snapshots are squashed
+        assert [s.stage for s in pkt.snapshots] == [4]
+
+    def test_snapshot_isolated_from_later_mutation(self):
+        pkt = self._packet()
+        pkt.pending_writes = [(1, 0, b"\x11" * 8, 4)]
+        pkt.take_snapshot(stage=2)
+        # in-place mutation after the snapshot must not leak into it
+        pkt.pending_writes.append((1, 8, b"\x33" * 8, 5))
+        pkt.regs[1] = 77
+        snap = pkt.snapshots[0]
+        assert snap.pending_writes == [(1, 0, b"\x11" * 8, 4)]
+        assert snap.regs[1] != 77 or pkt.regs[1] == snap.regs[1] == 77
+
+    def test_war_write_survives_flush_restart(self):
+        # end-to-end: a WAR-buffered store flushed mid-pipeline must
+        # replay exactly once under the fast path (counter stays exact)
+        prog = assemble_program(RMW, maps=MAPS)
+        pipeline = compile_program(prog)
+        maps = MapSet(prog.maps)
+        sim = PipelineSimulator(pipeline, maps=maps,
+                                options=SimOptions(fast=True))
+        rep = sim.run_packets([PKT] * 40)
+        assert rep.flush_events > 0
+        value = int.from_bytes(maps.by_name("m").lookup(bytes(4)), "little")
+        assert value == 40
+
+
+class TestVmFastPath:
+    def _run(self, program, frames, fast, setup=None):
+        maps = MapSet(program.maps)
+        if setup is not None:
+            setup(maps)
+        vm = Vm(program, maps=maps, fast=fast)
+        return [vm.run(f) for f in frames], maps
+
+    @pytest.mark.parametrize("app, setup", [
+        (toy_counter, None),
+        (firewall, lambda m: firewall.allow_flow(m, F1)),
+        (dnat, None),
+    ], ids=["toy_counter", "firewall", "dnat"])
+    def test_parity(self, app, setup):
+        program = app.build()
+        if app is toy_counter:
+            frames = [toy_counter.packet_for_key(k % 4) for k in range(12)]
+        else:
+            frames = [udp_packet(src_ip=F1.src_ip, dst_ip=F1.dst_ip,
+                                 sport=F1.sport, dport=F1.dport)] * 12
+        fast_res, fast_maps = self._run(program, frames, True, setup)
+        slow_res, slow_maps = self._run(program, frames, False, setup)
+        for a, b in zip(fast_res, slow_res):
+            assert a.action == b.action
+            assert a.packet == b.packet
+            assert a.redirect_ifindex == b.redirect_ifindex
+            assert a.instructions_executed == b.instructions_executed
+        for fd in program.maps:
+            assert bytes(fast_maps[fd].storage) == bytes(slow_maps[fd].storage)
+
+    def test_error_parity_unbounded_loop(self):
+        source = """
+        top:
+            r0 = 0
+            goto top
+        """
+        program = assemble_program(source)
+        from repro.ebpf.vm import VmError
+        for fast in (True, False):
+            vm = Vm(program, fast=fast)
+            with pytest.raises(VmError, match="instruction limit"):
+                vm.run(PKT)
+
+
+class TestRunStream:
+    def test_matches_run_packets(self):
+        program = firewall.build()
+        pipeline = compile_program(program)
+
+        def fresh_sim():
+            maps = MapSet(program.maps)
+            firewall.allow_flow(maps, F1)
+            return PipelineSimulator(pipeline, maps=maps,
+                                     options=SimOptions(keep_records=False))
+
+        frames = [udp_packet(src_ip=F1.src_ip, dst_ip=F1.dst_ip,
+                             sport=F1.sport, dport=F1.dport)] * 100
+        ref = fresh_sim().run_packets(frames)
+        got = fresh_sim().run_stream(iter(frames), batch_size=7)
+        assert got.cycles == ref.cycles
+        assert got.action_counts == ref.action_counts
+        assert got.sum_total_cycles == ref.sum_total_cycles
+
+    def test_multi_program_stream(self):
+        pipelines = [compile_program(firewall.build()),
+                     compile_program(router.build())]
+
+        def classify(frame):
+            return frame[35] % 2  # low byte of the UDP source port
+
+        def make_nic():
+            maps = [MapSet(p.program.maps) for p in pipelines]
+            firewall.allow_flow(maps[0], F1)
+            router.add_route(maps[1], ipv4("192.168.1.1"),
+                             mac("02:00:00:00:01:01"),
+                             mac("02:00:00:00:01:02"), 3)
+            return MultiProgramNic(pipelines, classify, maps=maps)
+
+        frames = [udp_packet(src_ip=F1.src_ip, dst_ip=F1.dst_ip,
+                             sport=1000 + i, dport=53) for i in range(60)]
+        ref = make_nic().run_at_line_rate(frames)
+        got = make_nic().run_stream(iter(frames), batch_size=8)
+        assert [(r.name, r.packets) for r in got] == \
+               [(r.name, r.packets) for r in ref]
+        for a, b in zip(got, ref):
+            assert (a.report is None) == (b.report is None)
+            if a.report is not None:
+                assert a.report.cycles == b.report.cycles
+                assert a.report.action_counts == b.report.action_counts
+
+    def test_bad_batch_size_rejected(self):
+        pipeline = compile_program(toy_counter.build())
+        sim = PipelineSimulator(pipeline)
+        with pytest.raises(ValueError):
+            sim.run_stream([PKT], batch_size=0)
+
+
+class TestFrameBuffer:
+    def test_views_round_trip(self):
+        from repro.net.packet import FrameBuffer
+        frames = [udp_packet(sport=i, dport=53) for i in range(5)]
+        buf = FrameBuffer(frames)
+        assert len(buf) == 5
+        assert buf.nbytes == sum(len(f) for f in frames)
+        for view, frame in zip(buf, frames):
+            assert isinstance(view, memoryview)
+            assert bytes(view) == frame
+        assert bytes(buf[3]) == frames[3]
+
+    def test_sealed_after_export(self):
+        from repro.net.packet import FrameBuffer, PacketError
+        buf = FrameBuffer([PKT])
+        list(buf)
+        with pytest.raises(PacketError, match="sealed"):
+            buf.append(PKT)
+
+    def test_rejects_empty_frame(self):
+        from repro.net.packet import FrameBuffer, PacketError
+        with pytest.raises(PacketError):
+            FrameBuffer([b""])
+
+    def test_feeds_simulator(self):
+        from repro.net.packet import FrameBuffer
+        program = toy_counter.build()
+        pipeline = compile_program(program)
+        frames = [toy_counter.packet_for_key(k % 4) for k in range(20)]
+        buf = FrameBuffer(frames)
+        maps = MapSet(program.maps)
+        sim = PipelineSimulator(pipeline, maps=maps,
+                                options=SimOptions(keep_records=False))
+        rep = sim.run_stream(buf, batch_size=6)
+        maps2 = MapSet(program.maps)
+        sim2 = PipelineSimulator(pipeline, maps=maps2,
+                                 options=SimOptions(keep_records=False))
+        ref = sim2.run_packets(frames)
+        assert rep.cycles == ref.cycles
+        assert rep.action_counts == ref.action_counts
+        for fd in program.maps:
+            assert bytes(maps[fd].storage) == bytes(maps2[fd].storage)
