@@ -187,18 +187,30 @@ def _gen_frames(args: argparse.Namespace) -> list:
     return list(gen.packets(args.packets))
 
 
-def _run_once(pipeline, program, frames, fast: bool):
-    """One timed simulator pass; returns (report, wall_seconds)."""
+def _run_once(pipeline, program, frames, fast: bool, workers: int = 1):
+    """One timed simulator pass; returns (report, wall_seconds).
+
+    With ``workers > 1`` the parallel engine shards the trace RSS-style
+    over that many replica processes and the merged report is returned.
+    """
     import time
 
-    from .hwsim import PipelineSimulator
+    from .hwsim import ParallelPipelineSimulator, PipelineSimulator
     from .hwsim.sim import SimOptions
 
     maps = MapSet(program.maps)
-    sim = PipelineSimulator(
-        pipeline, maps=maps,
-        options=SimOptions(fast=fast, keep_records=False),
-    )
+    options = SimOptions(fast=fast, keep_records=False, workers=workers)
+    if workers > 1:
+        psim = ParallelPipelineSimulator(pipeline, maps=maps, options=options)
+        start = time.perf_counter()
+        parallel_report = psim.run_stream(frames)
+        elapsed = time.perf_counter() - start
+        if parallel_report.conflicts:
+            print(f"WARNING: {len(parallel_report.conflicts)} map merge "
+                  "conflicts (program not flow-partitionable?)",
+                  file=sys.stderr)
+        return parallel_report.report, elapsed
+    sim = PipelineSimulator(pipeline, maps=maps, options=options)
     start = time.perf_counter()
     report = sim.run_packets(frames)
     elapsed = time.perf_counter() - start
@@ -215,10 +227,13 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         profiler = cProfile.Profile()
         profiler.enable()
-    report, elapsed = _run_once(pipeline, program, frames, args.fast)
+    report, elapsed = _run_once(pipeline, program, frames, args.fast,
+                                workers=args.workers)
     if profiler is not None:
         profiler.disable()
     mode = "fast" if args.fast else "interpreted"
+    if args.workers > 1:
+        mode += f", {args.workers} workers"
     print(report.summary())
     print(f"engine: {mode}, wall {elapsed * 1e3:.1f} ms, "
           f"{len(frames) / elapsed:,.0f} packets/s")
@@ -240,11 +255,22 @@ def cmd_bench(args: argparse.Namespace) -> int:
             fast_report.action_counts != slow_report.action_counts:
         print("ERROR: fast/interpreted engines diverged", file=sys.stderr)
         return 1
-    print(f"{'engine':<12s}  {'wall ms':>9s}  {'packets/s':>12s}")
-    print(f"{'fast':<12s}  {fast_dt * 1e3:>9.1f}  "
+    print(f"{'engine':<14s}  {'wall ms':>9s}  {'packets/s':>12s}")
+    print(f"{'fast':<14s}  {fast_dt * 1e3:>9.1f}  "
           f"{len(frames) / fast_dt:>12,.0f}")
-    print(f"{'interpreted':<12s}  {slow_dt * 1e3:>9.1f}  "
+    print(f"{'interpreted':<14s}  {slow_dt * 1e3:>9.1f}  "
           f"{len(frames) / slow_dt:>12,.0f}")
+    if args.workers > 1:
+        par_report, par_dt = _run_once(pipeline, program, frames, True,
+                                       workers=args.workers)
+        if par_report.action_counts != fast_report.action_counts:
+            print("ERROR: parallel engine action counts diverged",
+                  file=sys.stderr)
+            return 1
+        label = f"fast x{args.workers}"
+        print(f"{label:<14s}  {par_dt * 1e3:>9.1f}  "
+              f"{len(frames) / par_dt:>12,.0f}")
+        print(f"parallel scaling: {fast_dt / par_dt:.2f}x over 1 worker")
     print(f"speedup: {slow_dt / fast_dt:.2f}x "
           f"(parity OK: {fast_report.cycles} cycles, "
           f"{sum(fast_report.action_counts.values())} packets)")
@@ -309,6 +335,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--fast", action=argparse.BooleanOptionalAction,
                        default=True,
                        help="use the pre-compiled stage kernels (default on)")
+    p_run.add_argument("--workers", type=int, default=1,
+                       help="pipeline replicas: RSS-shard the trace across "
+                            "N worker processes (default 1)")
     p_run.add_argument("--profile", action="store_true",
                        help="profile the run and print the top-20 functions")
     p_run.set_defaults(func=cmd_run)
@@ -323,6 +352,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--seed", type=int, default=1)
     p_bench.add_argument("--distribution", choices=["uniform", "zipf"],
                          default="uniform")
+    p_bench.add_argument("--workers", type=int, default=1,
+                         help="also time the parallel engine with N "
+                              "replica processes")
     p_bench.set_defaults(func=cmd_bench)
 
     p_cache = sub.add_parser("cache", help="inspect the compile cache")

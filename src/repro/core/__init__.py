@@ -1,6 +1,13 @@
 """The eHDL compiler core: analysis passes, scheduler, pipeline IR, backends."""
 
-from .cache import CompileCache, cache_key, compile_cached, default_cache_dir, get_default_cache
+from .cache import (
+    CompileCache,
+    cache_key,
+    compile_cached,
+    default_cache_dir,
+    get_default_cache,
+    warm_cache,
+)
 from .cfg import BasicBlock, Cfg, CfgError, build_cfg
 from .compiler import CompileError, CompileOptions, EhdlCompiler, compile_program
 from .ddg import Ddg, build_ddg, critical_path_length
@@ -75,4 +82,5 @@ __all__ = [
     "rewrite_program",
     "schedule_program",
     "unroll_loops",
+    "warm_cache",
 ]

@@ -2,24 +2,39 @@
 
 from .diff import DiffResult, Mismatch, run_differential
 from .multi import MultiProgramNic, SlotResult, ethertype_classifier
+from .parallel import (
+    MergeConflict,
+    ParallelPipelineSimulator,
+    ParallelReport,
+    ParallelSimError,
+    default_merge_policies,
+    merge_map_shards,
+)
 from .shell import NicSystem, ShellConfig
 from .sim import PipelineSimulator, SimError, SimOptions
-from .stats import PacketRecord, SimReport
+from .stats import PacketRecord, SimReport, merge_reports
 from .trace import CycleSnapshot, OccupancyTracer, render_occupancy
 
 __all__ = [
     "DiffResult",
+    "MergeConflict",
     "Mismatch",
     "MultiProgramNic",
     "NicSystem",
     "PacketRecord",
+    "ParallelPipelineSimulator",
+    "ParallelReport",
+    "ParallelSimError",
     "PipelineSimulator",
     "ShellConfig",
     "SimError",
     "SimOptions",
     "SimReport",
     "SlotResult",
+    "default_merge_policies",
     "ethertype_classifier",
+    "merge_map_shards",
+    "merge_reports",
     "CycleSnapshot",
     "OccupancyTracer",
     "render_occupancy",

@@ -30,7 +30,7 @@ from ..core.resources import (
 )
 from ..ebpf.maps import MapSet
 from .shell import ShellConfig
-from .sim import PipelineSimulator, SimOptions
+from .sim import PipelineSimulator, SimError, SimOptions
 from .stats import SimReport
 
 # a small steering stage in front of the pipelines
@@ -81,6 +81,29 @@ class MultiProgramNic:
         if len(maps) != len(self.pipelines):
             raise ValueError("one MapSet per pipeline required")
         self.maps = list(maps)
+
+    @classmethod
+    def from_programs(
+        cls,
+        programs: Sequence,
+        classifier: Classifier,
+        maps: Optional[Sequence[MapSet]] = None,
+        shell: Optional[ShellConfig] = None,
+        compile_options=None,
+        workers: Optional[int] = None,
+    ) -> "MultiProgramNic":
+        """Build a NIC from raw programs, compiling them in parallel.
+
+        Compilation goes through :func:`repro.core.cache.warm_cache`: a
+        process pool fills the shared on-disk compile cache for every
+        program not already there, so multi-program start-up costs one
+        (parallel) compile sweep instead of a serial one per pipeline.
+        """
+        from ..core.cache import warm_cache
+
+        pipelines = warm_cache(programs, options=compile_options,
+                               workers=workers)
+        return cls(pipelines, classifier, maps=maps, shell=shell)
 
     # -- execution ---------------------------------------------------------------
 
@@ -165,9 +188,14 @@ class MultiProgramNic:
                 options=SimOptions(clock_mhz=self.shell.clock_mhz,
                                    keep_records=False),
             )
-            report = sim.run_stream(
-                chain((first,), stream), batch_size=batch_size
-            )
+            try:
+                report = sim.run_stream(
+                    chain((first,), stream), batch_size=batch_size
+                )
+            except SimError as exc:
+                raise SimError(
+                    f"pipeline {pipeline.name!r} (slot {index}): {exc}"
+                ) from exc
             results.append(SlotResult(pipeline.name, counts[index], report))
         return results
 

@@ -55,6 +55,11 @@ class SimOptions:
     # instead of per-op interpretation. Bit-identical results either way;
     # the interpreted path remains as the differential reference.
     fast: bool = True
+    # Pipeline replicas (simulated RX queues). 1 = the classic
+    # single-queue simulator; >1 is honoured by the parallel engine
+    # (repro.hwsim.parallel), which shards flows RSS-style across worker
+    # processes. PipelineSimulator itself always runs one replica.
+    workers: int = 1
 
 
 class SimError(RuntimeError):
@@ -520,6 +525,8 @@ class PipelineSimulator:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
 
+        progress = {"read": 0}
+
         def arrivals() -> Iterable[Tuple[int, bytes]]:
             it = iter(frames)
             cycle = 0
@@ -527,11 +534,23 @@ class PipelineSimulator:
                 batch = list(islice(it, batch_size))
                 if not batch:
                     return
+                progress["read"] += len(batch)
                 for frame in batch:
                     yield (cycle, frame)
                     cycle += gap
 
-        return self.run(arrivals())
+        try:
+            return self.run(arrivals())
+        except SimError as exc:
+            # Streaming sources are often generators the caller cannot
+            # rewind; anchor the failure to the trace position. The batch
+            # prefetch means the offending frame is at most batch_size
+            # behind the last one read.
+            read = progress["read"]
+            raise SimError(
+                f"{exc} (while streaming: {read} frames read, offending "
+                f"frame index < {read}, >= {max(0, read - batch_size)})"
+            ) from exc
 
     # -- per-stage execution ---------------------------------------------------
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..ebpf.xdp import XdpAction
 
@@ -114,6 +114,34 @@ class SimReport:
         if self.keep_records:
             self.records.append(rec)
 
+    def merge(self, other: "SimReport") -> None:
+        """Fold another replica's aggregates into this report, exactly.
+
+        Packet counts, action tallies, flush/squash/stall counters and
+        the latency/restart cycle sums are additive over the disjoint
+        packet populations; ``cycles`` is the max, because replicated
+        pipelines run concurrently (wall-clock = the slowest queue).
+        Per-packet records are NOT merged — worker-local pids would
+        collide; keep the per-worker reports for those.
+        """
+        if self.clock_mhz != other.clock_mhz:
+            raise ValueError(
+                f"cannot merge reports at different clocks: "
+                f"{self.clock_mhz} vs {other.clock_mhz} MHz"
+            )
+        self.cycles = max(self.cycles, other.cycles)
+        self.packets_in += other.packets_in
+        self.packets_out += other.packets_out
+        self.packets_dropped_queue += other.packets_dropped_queue
+        self.flush_events += other.flush_events
+        self.squashed_packets += other.squashed_packets
+        self.stall_cycles += other.stall_cycles
+        self.sum_total_cycles += other.sum_total_cycles
+        self.sum_pipeline_cycles += other.sum_pipeline_cycles
+        self.sum_restarts += other.sum_restarts
+        for action, count in other.action_counts.items():
+            self.action_counts[action] = self.action_counts.get(action, 0) + count
+
     def summary(self) -> str:
         lines = [
             f"cycles={self.cycles} in={self.packets_in} out={self.packets_out} "
@@ -126,3 +154,22 @@ class SimReport:
         for action, count in sorted(self.action_counts.items()):
             lines.append(f"  {action.name}: {count}")
         return "\n".join(lines)
+
+
+def merge_reports(reports: Sequence[SimReport]) -> SimReport:
+    """Merge per-worker reports of one parallel run into a fresh report.
+
+    The merge is exact for every aggregate (see :meth:`SimReport.merge`);
+    the merged report keeps no per-packet records.
+    """
+    if not reports:
+        raise ValueError("need at least one report to merge")
+    first = reports[0]
+    merged = SimReport(
+        clock_mhz=first.clock_mhz,
+        n_stages=first.n_stages,
+        keep_records=False,
+    )
+    for report in reports:
+        merged.merge(report)
+    return merged

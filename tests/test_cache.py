@@ -13,6 +13,7 @@ from repro.core.cache import (
     compile_cached,
     default_cache_dir,
     get_default_cache,
+    warm_cache,
 )
 from repro.ebpf.maps import MapSet
 from repro.hwsim import PipelineSimulator, SimOptions
@@ -138,6 +139,79 @@ class TestLru:
         again = compile_cached(progs[1], cache=cache)
         assert cache.hits == hits_before + 1
         assert again is not pipes[1]  # re-unpickled, not the same object
+
+
+class TestWarmCache:
+    def test_warms_every_program_to_disk_in_order(self, cache):
+        progs = [toy_counter.build(), firewall.build()]
+        pipelines = warm_cache(progs, cache=cache)
+        assert [p.name for p in pipelines] == [p.name for p in progs]
+        assert cache.stats()["disk_entries"] == 2
+
+    def test_warmed_cache_satisfies_a_fresh_process_without_compiling(
+        self, cache
+    ):
+        progs = [toy_counter.build(), firewall.build()]
+        warm_cache(progs, cache=cache)
+        # a fresh cache over the same directory (a "new process") must be
+        # fully warm: no analysis pass may run again
+        cold = CompileCache(cache.directory)
+        real = compiler_mod.compile_program
+
+        def boom(*args, **kwargs):
+            raise AssertionError("compile ran despite a warm cache")
+
+        compiler_mod.compile_program = boom
+        try:
+            pipelines = warm_cache(progs, cache=cold)
+        finally:
+            compiler_mod.compile_program = real
+        assert [p.name for p in pipelines] == [p.name for p in progs]
+        assert cold.stores == 0
+
+    def test_serial_path_with_one_worker(self, cache):
+        progs = [toy_counter.build(), firewall.build()]
+        pipelines = warm_cache(progs, cache=cache, workers=1)
+        assert len(pipelines) == 2
+        assert cache.stats()["disk_entries"] == 2
+
+    def test_pool_failure_names_the_program(self, cache, monkeypatch):
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("needs fork to inherit the monkeypatch")
+        real = compiler_mod.compile_program
+
+        def picky(program, options=None):
+            if program.name == "firewall":
+                raise RuntimeError("synthetic compile failure")
+            return real(program, options)
+
+        monkeypatch.setattr(compiler_mod, "compile_program", picky)
+        with pytest.raises(RuntimeError, match="firewall"):
+            warm_cache(
+                [toy_counter.build(), firewall.build()],
+                cache=cache, workers=2,
+            )
+
+    def test_warmed_pipeline_simulates_identically(self, cache):
+        prog = toy_counter.build()
+        frames = [toy_counter.packet_for_key(k % 4) for k in range(16)]
+
+        def run(pipeline):
+            maps = MapSet(prog.maps)
+            sim = PipelineSimulator(pipeline, maps=maps,
+                                    options=SimOptions(keep_records=False))
+            return sim.run_packets(frames), maps
+
+        ref_rep, ref_maps = run(compile_program(prog))
+        warm_cache([prog], cache=cache)
+        cold = CompileCache(cache.directory)
+        got_rep, got_maps = run(warm_cache([prog], cache=cold)[0])
+        assert got_rep.cycles == ref_rep.cycles
+        assert got_rep.action_counts == ref_rep.action_counts
+        for fd in prog.maps:
+            assert bytes(got_maps[fd].storage) == bytes(ref_maps[fd].storage)
 
 
 class TestHousekeeping:
