@@ -26,6 +26,7 @@ from repro.core import compile_program
 from repro.ebpf.maps import MapSet
 from repro.hwsim import ParallelPipelineSimulator, PipelineSimulator, SimOptions
 from repro.net.flows import TrafficGenerator, TrafficSpec
+from repro.rtl import RtlRunner
 
 RESULT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_sim_throughput.json"
 
@@ -35,6 +36,8 @@ MIN_SPEEDUP = 3.0
 PARALLEL_PACKETS = 20_000
 PARALLEL_WORKERS = 4
 MIN_PARALLEL_SCALING = 2.0
+
+RTL_PACKETS = 16
 
 
 def _host_cpus():
@@ -126,17 +129,50 @@ def _bench_parallel(name, program):
     }
 
 
+def _bench_rtl(name, program):
+    """RTL-simulation throughput in simulated clock cycles per second of
+    host time. The elaborated-netlist simulator is orders of magnitude
+    slower than hwsim by design; this row tracks that it stays fast
+    enough for the differential harness and CI ``verify`` runs."""
+    gen = TrafficGenerator(TrafficSpec(n_flows=16, packet_size=64, seed=7))
+    frames = list(gen.packets(RTL_PACKETS))
+    flows = list(gen.flows)
+    pipeline = compile_program(program)
+    best = None
+    for _ in range(2):
+        maps = MapSet(program.maps)
+        setup_app_maps(name, maps, flows)
+        runner = RtlRunner(pipeline, maps=maps)
+        start = time.perf_counter()
+        report = runner.run_packets(frames)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[1]:
+            best = (report, elapsed)
+    report, elapsed = best
+    return {
+        "app": name,
+        "engine": "rtl_sim",
+        "packets": RTL_PACKETS,
+        "n_stages": report.n_stages,
+        "sim_cycles": report.cycles,
+        "cycles_per_sec": round(report.cycles / elapsed),
+        "pps": round(len(frames) / elapsed, 1),
+    }
+
+
 def test_fast_path_throughput_regression():
     rows = [
         _bench_app("firewall", firewall.build()),
         _bench_app("router", router.build()),
     ]
     parallel_row = _bench_parallel("firewall", firewall.build())
+    rtl_row = _bench_rtl("firewall", firewall.build())
     RESULT_PATH.write_text(json.dumps({
         "benchmark": "sim_throughput",
         "packets_per_run": N_PACKETS,
         "results": rows,
         "parallel": parallel_row,
+        "rtl_sim": rtl_row,
     }, indent=2) + "\n")
     print_table(
         "simulator throughput (fast vs interpreted)",
@@ -151,6 +187,12 @@ def test_fast_path_throughput_regression():
         [[parallel_row["app"], f"{parallel_row['single_worker_pps']:,}",
           f"{parallel_row['parallel_pps']:,}",
           f"{parallel_row['scaling']:.2f}x"]],
+    )
+    print_table(
+        "rtl simulation (elaborated VHDL netlist)",
+        ["app", "stages", "sim cycles", "cycles/sec", "pps"],
+        [[rtl_row["app"], rtl_row["n_stages"], f"{rtl_row['sim_cycles']:,}",
+          f"{rtl_row['cycles_per_sec']:,}", f"{rtl_row['pps']:,}"]],
     )
     firewall_row = rows[0]
     assert firewall_row["speedup"] >= MIN_SPEEDUP, (

@@ -79,6 +79,16 @@ def _add_compile_flags(parser: argparse.ArgumentParser) -> None:
                         help="bypass the persistent compile cache")
 
 
+def _add_traffic_flags(parser: argparse.ArgumentParser, packets: int = 2000,
+                       flows: int = 100) -> None:
+    parser.add_argument("--packets", type=int, default=packets)
+    parser.add_argument("--flows", type=int, default=flows)
+    parser.add_argument("--packet-size", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--distribution", choices=["uniform", "zipf"],
+                        default="uniform")
+
+
 def _compile(args: argparse.Namespace, program: Program):
     """Compile through the persistent cache unless ``--no-cache``."""
     options = _options_from_args(args)
@@ -92,11 +102,57 @@ def cmd_compile(args: argparse.Namespace) -> int:
     pipeline = _compile(args, program)
     vhdl = emit_vhdl(pipeline)
     if args.output:
-        pathlib.Path(args.output).write_text(vhdl)
-        print(f"wrote {len(vhdl.splitlines())} lines of VHDL to {args.output}")
+        target = pathlib.Path(args.output)
+        if target.is_dir() or args.output.endswith(("/", "\\")):
+            target.mkdir(parents=True, exist_ok=True)
+            target = target / f"{program.name}.vhd"
+        target.write_text(vhdl)
+        print(f"wrote {len(vhdl.splitlines())} lines of VHDL to {target}")
     else:
         print(vhdl)
     return 0
+
+
+def cmd_rtl_sim(args: argparse.Namespace) -> int:
+    """Simulate the emitted VHDL itself (parse -> elaborate -> run)."""
+    from .rtl import RtlRunner
+
+    program = load_program(args.program)
+    pipeline = _compile(args, program)
+    runner = RtlRunner(pipeline, maps=MapSet(program.maps))
+    frames = _gen_frames(args)
+    report = runner.run_packets(frames)
+    print(report.summary())
+    cycles = sorted({rec.pipeline_cycles for rec in report.records})
+    print(f"rtl: {runner.n_stages}-stage pipeline, "
+          f"{runner.window_bytes}-byte window, "
+          f"per-packet cycles {cycles}")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Three-way differential: VM vs pipeline simulator vs emitted RTL.
+
+    Exits nonzero on any divergence in per-packet action, output bytes,
+    or final map state.
+    """
+    from .rtl import run_three_way
+
+    program = load_program(args.program)
+    pipeline = _compile(args, program)
+    frames = _gen_frames(args)
+    result = run_three_way(program, frames, pipeline=pipeline)
+    if result.ok:
+        rec = result.rtl_report.records
+        depth = rec[0].pipeline_cycles if rec else 0
+        print(f"OK: {result.packets} packets agree across vm/hwsim/rtl "
+              f"({pipeline.n_stages} stages, {depth} cycles/packet)")
+        return 0
+    print(f"FAIL: {len(result.mismatches)} mismatches over "
+          f"{result.packets} packets", file=sys.stderr)
+    for mismatch in result.mismatches[:20]:
+        print(f"  {mismatch}", file=sys.stderr)
+    return 1
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -356,6 +412,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also time the parallel engine with N "
                               "replica processes")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_rtl = sub.add_parser(
+        "rtl-sim", help="simulate the emitted VHDL design itself"
+    )
+    _add_compile_flags(p_rtl)
+    _add_traffic_flags(p_rtl, packets=64, flows=8)
+    p_rtl.set_defaults(func=cmd_rtl_sim)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="three-way differential: VM vs pipeline simulator vs RTL",
+    )
+    _add_compile_flags(p_verify)
+    _add_traffic_flags(p_verify, packets=64, flows=8)
+    p_verify.set_defaults(func=cmd_verify)
 
     p_cache = sub.add_parser("cache", help="inspect the compile cache")
     p_cache.add_argument("--clear", action="store_true",

@@ -34,7 +34,7 @@ from .pipeline import Pipeline
 
 # Bump when the Pipeline IR or the compiler's observable output changes
 # in a way that makes old pickles stale.
-_CACHE_VERSION = 1
+_CACHE_VERSION = 2
 
 CACHE_ENV = "EHDL_CACHE_DIR"
 _MEMORY_ENTRIES = 32

@@ -73,6 +73,10 @@ class CallInfo:
     key_size: int = 0
     is_map_read: bool = False
     is_map_write: bool = False
+    # bpf_map_update_elem also reads the *value* through R3; liveness and
+    # the VHDL backend need its stack location just like the key's.
+    value_stack_offset: Optional[int] = None
+    value_size: int = 0
 
 
 @dataclass
@@ -257,6 +261,15 @@ def label_program(
                 r2_type = abs_state.reg(isa.R2)
                 if r2_type.kind == RegKind.STACK and off_state is not None:
                     key_off = off_state[isa.R2]
+                value_off = None
+                value_size = 0
+                if spec.helper_id == 2:  # update reads the value via R3
+                    value_size = (
+                        program.map_for_fd(fd).value_size if fd in program.maps else 0
+                    )
+                    r3_type = abs_state.reg(isa.R3)
+                    if r3_type.kind == RegKind.STACK and off_state is not None:
+                        value_off = off_state[isa.R3]
                 calls[index] = CallInfo(
                     helper_id=spec.helper_id,
                     map_fd=fd,
@@ -264,6 +277,8 @@ def label_program(
                     key_size=key_size,
                     is_map_read=spec.helper_id in (1, 51),
                     is_map_write=spec.map_write,
+                    value_stack_offset=value_off,
+                    value_size=value_size,
                 )
             else:
                 calls[index] = CallInfo(helper_id=spec.helper_id)

@@ -101,6 +101,19 @@ def _stack_effects(
                     range(call.key_stack_offset,
                           call.key_stack_offset + call.key_size)
                 )
+                # bpf_map_update_elem also reads value_size bytes through
+                # R3. Without this, pruning drops the value bytes between
+                # the stack store and the call stage — invisible to hwsim
+                # (which keeps the whole stack per packet) but fatal in
+                # the emitted VHDL, whose state vector IS the pruned set.
+                if call.helper_id == 2:
+                    if call.value_stack_offset is not None and call.value_size:
+                        gen |= set(
+                            range(call.value_stack_offset,
+                                  call.value_stack_offset + call.value_size)
+                        )
+                    else:
+                        gen |= set(range(-STACK_SIZE, 0))
             else:
                 gen |= set(range(-STACK_SIZE, 0))
     return gen, kill

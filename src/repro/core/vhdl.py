@@ -1,40 +1,80 @@
-"""VHDL backend: render a compiled pipeline as RTL text.
+"""VHDL backend: render a compiled pipeline as executable RTL text.
 
 eHDL "takes as input unmodified eBPF bytecode and outputs HDL (VHDL)"
 ready for integration into an FPGA NIC shell (§3). This backend emits the
-same structure the paper describes:
+structure the paper describes:
 
 * one entity per pipeline stage, latching exactly the pruned live state
-  (packet frame + live registers + live stack bytes) plus the per-stage
-  enable (predication) signals — the *output* state layout is the next
-  stage's pruned input layout, so dead values are physically dropped;
-* a real datapath: each scheduled instruction becomes the corresponding
-  VHDL expression over named slices of the state vector (adders,
-  shifters, comparators, frame byte-selects);
-* one ``ehdl_map`` block per eBPF map with the planned number of
-  read/write channels, the WAR write-delay buffer, the Flush Evaluation
-  Blocks and the atomic RMW port;
+  (packet window + header + live registers + live stack bytes) plus the
+  per-block enable (predication) bits — the *output* state layout is the
+  next stage's pruned input layout, so dead values are physically dropped;
+* a growing packet window (§4.2): the state carried on link ``i`` holds
+  ``min(frame_size * (i + 1), WMAX)`` packet bytes; stages whose output
+  window is wider than their input window join the next frame from the
+  top-level frame bus;
+* one map block per eBPF map with the planned number of channels, the
+  WAR write-delay buffer, the Flush Evaluation Blocks and the atomic RMW
+  port (§4.4); helper calls instantiate ``ehdl_helper_N`` blocks;
 * a top-level that chains the stages and wraps the pipeline in the
   asynchronous FIFOs that decouple it from the NIC shell (§4.5).
 
-Without Vivado we cannot synthesize the output, but the text is
-structurally faithful: the test suite checks entity counts, state-port
-widths derived from the pruning results, per-op expressions, and
-hazard-block instantiation against the pipeline IR.
+Unlike a synthesis-only backend, the emitted text is *executable*: the
+:mod:`repro.rtl` subsystem parses, elaborates and simulates it clock by
+clock, and a three-way differential harness checks it against both
+:mod:`repro.hwsim` and :mod:`repro.ebpf.vm`. Map blocks, helper blocks,
+the async FIFOs and the ``ehdl_pkg`` functions are declared here and
+bound by name to behavioural simulation primitives (the same split a
+vendor flow uses for IP cores).
+
+State vector layout of link ``i`` (low bits first):
+
+====================  =======================================
+packet window         ``8 * W_i`` bits, byte ``k`` at ``8k``
+plen                  16 bits (current packet length)
+haj                   16 bits (signed head adjustment)
+done                  1 bit (verdict delivered)
+verdict               32 bits (raw R0 when done)
+live registers        64 bits each, ascending reg number
+live stack ranges     8 bits per byte, ascending offset
+====================  =======================================
+
+R10 never appears in a layout: it is the hardware constant
+``STACK_TOP``. Byte ``k`` of a range sits at bit ``8k``, so a
+little-endian multi-byte load is a plain slice.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..ebpf import isa
 from ..ebpf.disasm import format_instruction
 from ..ebpf.helpers import helper_spec
 from ..ebpf.isa import Instruction
-from ..ebpf.xdp import XdpAction
+from ..ebpf.xdp import AddressSpace
 from .labeling import Region
-from .pipeline import PipeOp, Pipeline, Stage, StageKind
+from .pipeline import PipeOp, Pipeline, Stage
+
+#: marker comment naming the top-level entity; the RTL loader greps it.
+TOP_MARKER = "-- top: "
+
+_PKT_DATA = AddressSpace.PACKET_BASE + AddressSpace.PACKET_HEADROOM
+_STACK_TOP = AddressSpace.STACK_BASE + AddressSpace.STACK_SIZE
+_DROP_CODE = 1  # XdpAction.DROP
+
+#: channel-op encoding (low nibble; high nibble = access size for 4/5)
+CH_OP_LOOKUP = 0x1
+CH_OP_UPDATE = 0x2
+CH_OP_DELETE = 0x3
+CH_OP_LOAD = 0x4
+CH_OP_STORE = 0x5
+CH_OP_REDIRECT = 0x6
+
+
+class VhdlEmitError(ValueError):
+    """The pipeline uses a construct the hardware backend cannot express
+    (e.g. a dynamically computed packet/stack offset)."""
 
 
 def _ident(name: str) -> str:
@@ -44,6 +84,79 @@ def _ident(name: str) -> str:
     return out
 
 
+class _Names:
+    """Design-unit name registry: collisions get a ``_uN`` suffix."""
+
+    def __init__(self) -> None:
+        self._taken: Set[str] = set()
+
+    def claim(self, base: str) -> str:
+        name, k = base, 1
+        while name in self._taken:
+            k += 1
+            name = f"{base}_u{k}"
+        self._taken.add(name)
+        return name
+
+
+# ---------------------------------------------------------------------------
+# Packet window planning (§4.2)
+# ---------------------------------------------------------------------------
+
+
+def _is_packet_helper(op: PipeOp) -> bool:
+    if op.call is None or op.call.map_fd is not None:
+        return False
+    spec = helper_spec(op.call.helper_id)
+    return spec.reads_packet or spec.writes_packet
+
+
+def max_window_bytes(pipeline: Pipeline) -> int:
+    """WMAX: the widest packet window any link carries.
+
+    Static accesses need their ``offset + size``; packet helpers operate
+    on the whole packet, so the window must be complete (== WMAX) by the
+    time they run — which caps WMAX at ``frame_size * stage_number`` of
+    the earliest packet helper. Bytes beyond WMAX ride in the shell-side
+    tail buffer and are re-joined by the helpers / at egress.
+    """
+    frame = pipeline.frame_size
+    static_need = frame
+    helper_cap: Optional[int] = None
+    for stage in pipeline.stages:
+        for op in stage.ops:
+            label = op.label
+            if (label is not None and label.region is Region.PACKET
+                    and label.offset is not None):
+                static_need = max(static_need, label.offset + label.size)
+            if _is_packet_helper(op):
+                cap = frame * stage.number
+                helper_cap = cap if helper_cap is None else min(helper_cap, cap)
+
+    def ceil_frame(n: int) -> int:
+        return frame * ((n + frame - 1) // frame)
+
+    wmax = ceil_frame(static_need)
+    if helper_cap is not None:
+        if wmax > helper_cap:
+            raise VhdlEmitError(
+                f"packet access at depth {static_need} behind a packet "
+                f"helper whose window is only {helper_cap} bytes"
+            )
+        from .framing import DEFAULT_DYNAMIC_ACCESS_DEPTH
+        wmax = max(wmax, min(ceil_frame(DEFAULT_DYNAMIC_ACCESS_DEPTH),
+                             helper_cap))
+    return wmax
+
+
+def link_windows(pipeline: Pipeline) -> List[int]:
+    """Window bytes on each link: entry link 0, then one per stage."""
+    frame = pipeline.frame_size
+    wmax = max_window_bytes(pipeline)
+    return [min(frame * (i + 1), wmax)
+            for i in range(pipeline.n_stages + 1)]
+
+
 # ---------------------------------------------------------------------------
 # State layout: where each live item sits inside a stage's state vector
 # ---------------------------------------------------------------------------
@@ -51,503 +164,1727 @@ def _ident(name: str) -> str:
 
 @dataclass
 class StateLayout:
-    """Bit positions of the frame, registers and stack slices carried
-    between two stages. Low bits hold the packet frame, then the live
-    registers in ascending order (64 bits each), then the live stack
-    ranges."""
+    """Bit positions inside one link's state vector (see module doc)."""
 
-    frame_bits: int
+    window_bytes: int
     regs: Dict[int, int]  # register -> low bit
     stack: Dict[Tuple[int, int], int]  # (offset, size) -> low bit
-    verdict_bit: Optional[int] = None  # final link only
+
+    @property
+    def window_bits(self) -> int:
+        return 8 * self.window_bytes
+
+    @property
+    def plen_low(self) -> int:
+        return self.window_bits
+
+    @property
+    def haj_low(self) -> int:
+        return self.window_bits + 16
+
+    @property
+    def done_bit(self) -> int:
+        return self.window_bits + 32
+
+    @property
+    def verdict_low(self) -> int:
+        return self.window_bits + 33
+
+    @property
+    def header_bits(self) -> int:
+        return 65  # plen + haj + done + verdict
 
     @property
     def total_bits(self) -> int:
-        bits = self.frame_bits + 64 * len(self.regs)
+        bits = self.window_bits + self.header_bits + 64 * len(self.regs)
         bits += sum(8 * size for (_o, size) in self.stack)
-        if self.verdict_bit is not None:
-            bits += 32
         return bits
 
     def reg_slice(self, reg: int) -> str:
         low = self.regs[reg]
         return f"({low + 63} downto {low})"
 
+    def window_slice(self, offset: int, size: int) -> str:
+        return f"({8 * (offset + size) - 1} downto {8 * offset})"
 
-def _layout_for(stage: Optional[Stage], frame_size: int) -> StateLayout:
-    """Input layout of ``stage``; final-link layout when stage is None."""
-    frame_bits = frame_size * 8
+    @property
+    def plen_slice(self) -> str:
+        return f"({self.plen_low + 15} downto {self.plen_low})"
+
+    @property
+    def haj_slice(self) -> str:
+        return f"({self.haj_low + 15} downto {self.haj_low})"
+
+    @property
+    def verdict_slice(self) -> str:
+        return f"({self.verdict_low + 31} downto {self.verdict_low})"
+
+    def stack_low_bit(self, offset: int, size: int) -> Optional[int]:
+        """Low bit of stack bytes [offset, offset+size) if fully carried."""
+        for (lo, length), base in self.stack.items():
+            if lo <= offset and offset + size <= lo + length:
+                return base + 8 * (offset - lo)
+        return None
+
+    def stack_slice(self, offset: int, size: int) -> Optional[str]:
+        low = self.stack_low_bit(offset, size)
+        if low is None:
+            return None
+        return f"({low + 8 * size - 1} downto {low})"
+
+
+def _layout_for(stage: Optional[Stage], window_bytes: int) -> StateLayout:
+    """Input layout of ``stage``; header-only layout when stage is None."""
     if stage is None:
-        return StateLayout(frame_bits, {}, {}, verdict_bit=frame_bits)
-    pos = frame_bits
-    regs: Dict[int, int] = {}
+        return StateLayout(window_bytes, {}, {})
+    layout = StateLayout(window_bytes, {}, {})
+    pos = layout.window_bits + layout.header_bits
     for reg in sorted(stage.live_in_regs):
-        regs[reg] = pos
+        if reg == isa.R10:
+            continue  # hardware constant, never carried
+        layout.regs[reg] = pos
         pos += 64
-    stack: Dict[Tuple[int, int], int] = {}
     for off, size in stage.live_in_stack:
-        stack[(off, size)] = pos
+        layout.stack[(off, size)] = pos
         pos += 8 * size
-    return StateLayout(frame_bits, regs, stack)
+    return layout
 
 
 # ---------------------------------------------------------------------------
-# Per-op datapath expressions
+# Datapath expressions (exact ebpf.vm semantics)
 # ---------------------------------------------------------------------------
-
-_ALU_EXPR = {
-    isa.BPF_ADD: "std_logic_vector(unsigned({a}) + unsigned({b}))",
-    isa.BPF_SUB: "std_logic_vector(unsigned({a}) - unsigned({b}))",
-    isa.BPF_MUL: "std_logic_vector(resize(unsigned({a}) * unsigned({b}), 64))",
-    isa.BPF_AND: "{a} and {b}",
-    isa.BPF_OR: "{a} or {b}",
-    isa.BPF_XOR: "{a} xor {b}",
-    isa.BPF_LSH: "std_logic_vector(shift_left(unsigned({a}), "
-                 "to_integer(unsigned({b}(5 downto 0)))))",
-    isa.BPF_RSH: "std_logic_vector(shift_right(unsigned({a}), "
-                 "to_integer(unsigned({b}(5 downto 0)))))",
-    isa.BPF_ARSH: "std_logic_vector(shift_right(signed({a}), "
-                  "to_integer(unsigned({b}(5 downto 0)))))",
-    isa.BPF_MOV: "{b}",
-}
-
-_CMP_EXPR = {
-    isa.BPF_JEQ: "{a} = {b}",
-    isa.BPF_JNE: "{a} /= {b}",
-    isa.BPF_JGT: "unsigned({a}) > unsigned({b})",
-    isa.BPF_JGE: "unsigned({a}) >= unsigned({b})",
-    isa.BPF_JLT: "unsigned({a}) < unsigned({b})",
-    isa.BPF_JLE: "unsigned({a}) <= unsigned({b})",
-    isa.BPF_JSGT: "signed({a}) > signed({b})",
-    isa.BPF_JSGE: "signed({a}) >= signed({b})",
-    isa.BPF_JSLT: "signed({a}) < signed({b})",
-    isa.BPF_JSLE: "signed({a}) <= signed({b})",
-    isa.BPF_JSET: "({a} and {b}) /= x\"0000000000000000\"",
-}
 
 
 def _imm64(value: int) -> str:
     return f'x"{value & isa.MASK64:016x}"'
 
 
-class _StageDatapath:
-    """Builds the RTL body of one stage."""
+def _hex(value: int, bits: int) -> str:
+    assert bits % 4 == 0
+    return f'x"{value & ((1 << bits) - 1):0{bits // 4}x}"'
+
+
+def _m32(a: str) -> str:
+    return f"resize(unsigned({a}), 32)"
+
+
+def _zext(expr_u: str) -> str:
+    """unsigned expr of any width -> 64-bit slv, zero-extended."""
+    return f"std_logic_vector(resize({expr_u}, 64))"
+
+
+def _alu_expr(op: int, a: str, b: str, is64: bool) -> str:
+    """64-bit slv expression for ``a <op> b`` with VM masking rules."""
+    if is64:
+        if op == isa.BPF_ADD:
+            return f"std_logic_vector(unsigned({a}) + unsigned({b}))"
+        if op == isa.BPF_SUB:
+            return f"std_logic_vector(unsigned({a}) - unsigned({b}))"
+        if op == isa.BPF_MUL:
+            return f"std_logic_vector(resize(unsigned({a}) * unsigned({b}), 64))"
+        if op == isa.BPF_DIV:
+            return f"ehdl_udiv({a}, {b})"
+        if op == isa.BPF_MOD:
+            return f"ehdl_urem({a}, {b})"
+        if op == isa.BPF_AND:
+            return f"({a}) and ({b})"
+        if op == isa.BPF_OR:
+            return f"({a}) or ({b})"
+        if op == isa.BPF_XOR:
+            return f"({a}) xor ({b})"
+        if op == isa.BPF_LSH:
+            return ("std_logic_vector(shift_left(unsigned(" + a + "), "
+                    f"to_integer(resize(unsigned({b}), 6))))")
+        if op == isa.BPF_RSH:
+            return ("std_logic_vector(shift_right(unsigned(" + a + "), "
+                    f"to_integer(resize(unsigned({b}), 6))))")
+        if op == isa.BPF_ARSH:
+            return ("std_logic_vector(shift_right(signed(" + a + "), "
+                    f"to_integer(resize(unsigned({b}), 6))))")
+        if op == isa.BPF_MOV:
+            return b
+        if op == isa.BPF_NEG:
+            return f"std_logic_vector(to_unsigned(0, 64) - unsigned({a}))"
+    else:
+        if op == isa.BPF_ADD:
+            return _zext(f"{_m32(a)} + {_m32(b)}")
+        if op == isa.BPF_SUB:
+            return _zext(f"{_m32(a)} - {_m32(b)}")
+        if op == isa.BPF_MUL:
+            return _zext(f"resize({_m32(a)} * {_m32(b)}, 32)")
+        if op == isa.BPF_DIV:
+            return _zext(
+                f"unsigned(ehdl_udiv(std_logic_vector({_m32(a)}), "
+                f"std_logic_vector({_m32(b)})))"
+            )
+        if op == isa.BPF_MOD:
+            return _zext(
+                f"unsigned(ehdl_urem(std_logic_vector({_m32(a)}), "
+                f"std_logic_vector({_m32(b)})))"
+            )
+        if op == isa.BPF_AND:
+            return _zext(f"{_m32(a)} and {_m32(b)}")
+        if op == isa.BPF_OR:
+            return _zext(f"{_m32(a)} or {_m32(b)}")
+        if op == isa.BPF_XOR:
+            return _zext(f"{_m32(a)} xor {_m32(b)}")
+        if op == isa.BPF_LSH:
+            return _zext(
+                f"shift_left({_m32(a)}, to_integer(resize(unsigned({b}), 5)))"
+            )
+        if op == isa.BPF_RSH:
+            return _zext(
+                f"shift_right({_m32(a)}, to_integer(resize(unsigned({b}), 5)))"
+            )
+        if op == isa.BPF_ARSH:
+            return _zext(
+                "unsigned(std_logic_vector(shift_right(signed("
+                f"std_logic_vector({_m32(a)})), "
+                f"to_integer(resize(unsigned({b}), 5)))))"
+            )
+        if op == isa.BPF_MOV:
+            return _zext(_m32(b))
+        if op == isa.BPF_NEG:
+            return _zext(f"to_unsigned(0, 32) - {_m32(a)}")
+    raise VhdlEmitError(f"unsupported ALU op {op:#x}")
+
+
+def _swap_expr(a: str, bits: int, to_big: bool) -> str:
+    if to_big:
+        if bits not in (16, 32, 64):
+            raise VhdlEmitError(f"bswap to {bits} bits")
+        return f"ehdl_bswap{bits}({a})"
+    return _zext(f"resize(unsigned({a}), {bits})")
+
+
+def _s32(a: str) -> str:
+    return f"signed(std_logic_vector({_m32(a)}))"
+
+
+def _cmp_expr(op: int, a: str, b: str, is64: bool) -> str:
+    """Boolean VHDL condition for a conditional jump."""
+    if is64:
+        ua, ub = f"unsigned({a})", f"unsigned({b})"
+        sa, sb = f"signed({a})", f"signed({b})"
+        zero = "to_unsigned(0, 64)"
+    else:
+        ua, ub = _m32(a), _m32(b)
+        sa, sb = _s32(a), _s32(b)
+        zero = "to_unsigned(0, 32)"
+    table = {
+        isa.BPF_JEQ: f"{ua} = {ub}",
+        isa.BPF_JNE: f"{ua} /= {ub}",
+        isa.BPF_JGT: f"{ua} > {ub}",
+        isa.BPF_JGE: f"{ua} >= {ub}",
+        isa.BPF_JLT: f"{ua} < {ub}",
+        isa.BPF_JLE: f"{ua} <= {ub}",
+        isa.BPF_JSGT: f"{sa} > {sb}",
+        isa.BPF_JSGE: f"{sa} >= {sb}",
+        isa.BPF_JSLT: f"{sa} < {sb}",
+        isa.BPF_JSLE: f"{sa} <= {sb}",
+        isa.BPF_JSET: f"({ua} and {ub}) /= {zero}",
+    }
+    if op not in table:
+        raise VhdlEmitError(f"unsupported jump op {op:#x}")
+    return table[op]
+
+
+# ---------------------------------------------------------------------------
+# Stage entities
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _MapPortUse:
+    """One map-channel operation wired out of a stage."""
+
+    port: str  # stage-side port prefix, e.g. "mp0"
+    fd: int
+    channel: int  # per-fd channel index within this stage
+
+
+@dataclass
+class _AtomicUse:
+    port: str
+    fd: int
+
+
+class _StageBuilder:
+    """Builds one stage entity: ports, concurrent drives, clocked body."""
 
     def __init__(self, pipeline: Pipeline, stage: Stage,
-                 layout_in: StateLayout, layout_out: StateLayout) -> None:
+                 layout_in: StateLayout, layout_out: StateLayout,
+                 enable_width: int, helper_names: Dict[int, str]) -> None:
         self.pipeline = pipeline
         self.stage = stage
         self.layout_in = layout_in
         self.layout_out = layout_out
-        self.body: List[str] = []
-        # Fused chains execute combinationally within the stage: once an op
-        # produces a register, later ops in the same stage consume its
-        # *expression*, not the stale latch value.
+        self.enable_width = enable_width
+        self.helper_names = helper_names
+        self.ports: List[str] = []
+        self.decls: List[str] = []
+        self.conc: List[str] = []
+        self.seq: List[str] = []
+        self.map_uses: List[_MapPortUse] = []
+        self.atomic_use: Optional[_AtomicUse] = None
+        self._drop_conds: List[str] = []
         self._reg_expr: Dict[int, str] = {}
+        self._mp_count = 0
+        self._helper_count = 0
+        self._fd_channels: Dict[int, int] = {}
+
+    # -- operand access ------------------------------------------------------
 
     def _src(self, reg: int) -> str:
         if reg == isa.R10:
-            return _imm64(0) + "  -- R10 is a hardware constant"
+            return _imm64(_STACK_TOP)
         if reg in self._reg_expr:
             return f"({self._reg_expr[reg]})"
         if reg in self.layout_in.regs:
             return f"state_in{self.layout_in.reg_slice(reg)}"
         return _imm64(0)
 
-    def _dst(self, reg: int) -> Optional[str]:
+    def _dst_slice(self, reg: int) -> Optional[str]:
         if reg in self.layout_out.regs:
             return f"state_out{self.layout_out.reg_slice(reg)}"
-        return None  # value is dead past this stage: no latch exists
+        return None
 
     def _operand(self, insn: Instruction) -> str:
         if insn.uses_reg_src:
             return self._src(insn.src)
         return _imm64(isa.to_signed32(insn.imm))
 
+    # -- guards and the in-stage drop chain ----------------------------------
+
+    def _guard(self, op: PipeOp) -> str:
+        parts = [
+            "valid_in = '1'",
+            f"enable_in({op.block_id}) = '1'",
+            f"state_in({self.layout_in.done_bit}) = '0'",
+        ]
+        parts += [f"not ({d})" for d in self._drop_conds]
+        return " and ".join(parts)
+
+    def _drop_stmts(self) -> List[str]:
+        return [
+            f"state_out({self.layout_out.done_bit}) <= '1';",
+            f"state_out{self.layout_out.verdict_slice} <= "
+            + _hex(_DROP_CODE, 32) + ";",
+        ]
+
+    def _pkt_bounds(self, offset: int, size: int) -> str:
+        return (f"unsigned(state_in{self.layout_in.plen_slice}) < "
+                f"to_unsigned({offset + size}, 16)")
+
+    def _succ_enables(self, op: PipeOp) -> List[str]:
+        block = self.pipeline.cfg.blocks[op.block_id]
+        if op.insn_index != block.terminator_index:
+            return []
+        if op.insn.is_cond_jump or op.insn.is_exit:
+            return []  # handled by their own emitters
+        return [f"enable_out({succ}) <= '1';" for succ, _kind in block.succs]
+
+    def _emit_guarded(self, op: PipeOp, effects: List[str],
+                      drop_cond: Optional[str] = None) -> None:
+        """Wrap effect statements in the enable/done/drop guard."""
+        effects = effects + self._succ_enables(op)
+        guard = self._guard(op)
+        pad = "        "
+        if drop_cond is None:
+            if not effects:
+                return
+            self.seq.append(f"{pad}if {guard} then")
+            self.seq += [f"{pad}  {s}" for s in effects]
+            self.seq.append(f"{pad}end if;")
+        else:
+            self.seq.append(f"{pad}if {guard} then")
+            self.seq.append(f"{pad}  if {drop_cond} then")
+            self.seq += [f"{pad}    {s}" for s in self._drop_stmts()]
+            self.seq.append(f"{pad}  else")
+            self.seq += [f"{pad}    {s}" for s in effects]
+            self.seq.append(f"{pad}  end if;")
+            self.seq.append(f"{pad}end if;")
+            self._drop_conds.append(drop_cond)
+
+    def _req_expr(self, op: PipeOp) -> str:
+        return f"'1' when {self._guard(op)} else '0'"
+
+    # -- per-fd port sizing --------------------------------------------------
+
+    def _key_bits(self, fd: int) -> int:
+        spec = self.pipeline.program.maps.get(fd)
+        return 8 * max(spec.key_size if spec else 1, 1)
+
+    def _wdata_bits(self, fd: int) -> int:
+        spec = self.pipeline.program.maps.get(fd)
+        return 8 * max(spec.value_size if spec else 8, 8)
+
+    def _new_map_port(self, fd: int) -> _MapPortUse:
+        port = f"mp{self._mp_count}"
+        self._mp_count += 1
+        channel = self._fd_channels.get(fd, 0)
+        self._fd_channels[fd] = channel + 1
+        use = _MapPortUse(port=port, fd=fd, channel=channel)
+        self.map_uses.append(use)
+        kb, wb = self._key_bits(fd), self._wdata_bits(fd)
+        self.ports += [
+            f"{port}_req   : out std_logic",
+            f"{port}_op    : out std_logic_vector(7 downto 0)",
+            f"{port}_addr  : out std_logic_vector(63 downto 0)",
+            f"{port}_key   : out std_logic_vector({kb - 1} downto 0)",
+            f"{port}_wdata : out std_logic_vector({wb - 1} downto 0)",
+            f"{port}_rdata : in  std_logic_vector(63 downto 0)",
+            f"{port}_oob   : in  std_logic",
+        ]
+        return use
+
+    # -- op emitters ---------------------------------------------------------
+
     def emit_op(self, op: PipeOp) -> None:
         insn = op.insn
-        guard = f"enable_in({op.block_id}) = '1'"
-        comment = f"-- b{op.block_id}: {format_instruction(insn)}"
-        self.body.append(f"        {comment}")
-        if insn.is_alu and insn.op in _ALU_EXPR:
-            expr = _ALU_EXPR[insn.op].format(
-                a=self._src(insn.dst), b=self._operand(insn)
-            )
-            self._reg_expr[insn.dst] = expr
-            dst = self._dst(insn.dst)
-            if dst is None:
-                self.body.append(
-                    "        --   (latch pruned: value consumed in-stage)"
-                )
-                return
-            self.body.append(f"        if {guard} then")
-            self.body.append(f"          {dst} <= {expr};")
-            self.body.append("        end if;")
-        elif insn.is_cond_jump and insn.op in _CMP_EXPR:
-            cond = _CMP_EXPR[insn.op].format(
-                a=self._src(insn.dst), b=self._operand(insn)
-            )
-            block = self.pipeline.cfg.blocks[op.block_id]
-            taken = fall = None
-            for succ, kind in block.succs:
-                if kind == "taken":
-                    taken = succ
-                elif kind == "fall":
-                    fall = succ
-            self.body.append(f"        if {guard} then")
-            if taken is not None:
-                self.body.append(
-                    f"          if {cond} then enable_out({taken}) <= '1';"
-                )
-                if fall is not None:
-                    self.body.append(
-                        f"          else enable_out({fall}) <= '1';"
-                    )
-                self.body.append("          end if;")
-            self.body.append("        end if;")
+        self.seq.append(f"        -- b{op.block_id}: {format_instruction(insn)}")
+        if insn.is_ld_imm64:
+            self._emit_ld_imm64(op)
+        elif insn.is_alu:
+            self._emit_alu(op)
+        elif insn.is_cond_jump:
+            self._emit_cond_jump(op)
         elif insn.is_uncond_jump:
-            block = self.pipeline.cfg.blocks[op.block_id]
-            for succ, _kind in block.succs:
-                self.body.append(
-                    f"        if {guard} then"
-                    f" enable_out({succ}) <= '1'; end if;"
-                )
+            self._emit_guarded(op, [
+                f"enable_out({succ}) <= '1';"
+                for succ, _k in self.pipeline.cfg.blocks[op.block_id].succs
+            ])
         elif insn.is_exit:
-            verdict = self.layout_out.verdict_bit
-            target = (
-                f"state_out({verdict + 31} downto {verdict})"
-                if verdict is not None else "verdict_reg"
-            )
-            self.body.append(f"        if {guard} then")
-            self.body.append(
-                f"          {target} <= {self._src(isa.R0)}(31 downto 0);"
-            )
-            self.body.append("        end if;")
-        elif insn.is_mem_load and op.label is not None:
-            self._emit_load(op, guard)
-        elif (insn.is_mem_store or insn.is_atomic) and op.label is not None:
-            self._emit_store(op, guard)
+            self._emit_guarded(op, [
+                f"state_out({self.layout_out.done_bit}) <= '1';",
+                f"state_out{self.layout_out.verdict_slice} <= "
+                f"std_logic_vector(resize(unsigned({self._src(isa.R0)}), 32));",
+            ])
+        elif insn.is_atomic:
+            self._emit_atomic(op)
+        elif insn.is_mem_load:
+            self._emit_load(op)
+        elif insn.is_mem_store:
+            self._emit_store(op)
         elif insn.is_call:
-            spec = helper_spec(insn.imm)
-            self.body.append(
-                f"        --   {spec.name} block: r1-r5 in, r0 out"
-                f" ({spec.hw_stages} internal stages)"
+            self._emit_call(op)
+        else:
+            raise VhdlEmitError(
+                f"insn {op.insn_index}: cannot emit {format_instruction(insn)}"
             )
-        else:
-            self.body.append("        --   (behavioural block)")
 
-    def _emit_load(self, op: PipeOp, guard: str) -> None:
+    def _emit_ld_imm64(self, op: PipeOp) -> None:
         insn = op.insn
-        label = op.label
-        dst = self._dst(insn.dst)
-        if dst is None:
-            self.body.append("        --   (result dead: pruned)")
-            return
-        width = 8 * insn.size_bytes
-        if label.region is Region.PACKET and label.offset is not None:
-            low = 8 * label.offset
-            src = f"frame_bus({low + width - 1} downto {low})"
-        elif label.region is Region.STACK and label.offset is not None:
-            src = self._stack_slice(self.layout_in, label.offset, insn.size_bytes,
-                                    input_side=True)
+        if insn.src in (isa.BPF_PSEUDO_MAP_FD, isa.BPF_PSEUDO_MAP_VALUE):
+            fd = ((insn.imm64 if insn.imm64 is not None else insn.imm)
+                  & isa.MASK32)
+            value = 0x3000_0000 + fd  # helpers.map_ptr
         else:
-            src = f"byte_select_mux  -- dynamic {label.region.value} address"
-        self.body.append(f"        if {guard} then")
-        if width < 64:
-            self.body.append(
-                f"          {dst} <= std_logic_vector(resize(unsigned({src}), 64));"
-            )
+            value = ((insn.imm64 if insn.imm64 is not None else insn.imm)
+                     & isa.MASK64)
+        self._reg_expr[insn.dst] = _imm64(value)
+        dst = self._dst_slice(insn.dst)
+        if dst is not None:
+            self._emit_guarded(op, [f"{dst} <= {_imm64(value)};"])
         else:
-            self.body.append(f"          {dst} <= {src};")
-        self.body.append("        end if;")
+            self._emit_guarded(op, [])
 
-    def _emit_store(self, op: PipeOp, guard: str) -> None:
+    def _emit_alu(self, op: PipeOp) -> None:
         insn = op.insn
+        if insn.op == isa.BPF_END:
+            expr = _swap_expr(self._src(insn.dst), insn.imm,
+                              to_big=insn.uses_reg_src)
+        else:
+            expr = _alu_expr(insn.op, self._src(insn.dst),
+                             self._operand(insn), insn.is_alu64)
+        self._reg_expr[insn.dst] = expr
+        dst = self._dst_slice(insn.dst)
+        effects = [f"{dst} <= {expr};"] if dst is not None else []
+        self._emit_guarded(op, effects)
+
+    def _emit_cond_jump(self, op: PipeOp) -> None:
+        insn = op.insn
+        cond = _cmp_expr(insn.op, self._src(insn.dst), self._operand(insn),
+                         insn.opclass == isa.BPF_JMP)
+        block = self.pipeline.cfg.blocks[op.block_id]
+        taken = fall = None
+        for succ, kind in block.succs:
+            if kind == "taken":
+                taken = succ
+            elif kind == "fall":
+                fall = succ
+        guard = self._guard(op)
+        pad = "        "
+        self.seq.append(f"{pad}if {guard} then")
+        if taken is not None and fall is not None:
+            self.seq.append(f"{pad}  if {cond} then")
+            self.seq.append(f"{pad}    enable_out({taken}) <= '1';")
+            self.seq.append(f"{pad}  else")
+            self.seq.append(f"{pad}    enable_out({fall}) <= '1';")
+            self.seq.append(f"{pad}  end if;")
+        elif taken is not None:
+            self.seq.append(f"{pad}  if {cond} then")
+            self.seq.append(f"{pad}    enable_out({taken}) <= '1';")
+            self.seq.append(f"{pad}  end if;")
+        elif fall is not None:
+            self.seq.append(f"{pad}  if not ({cond}) then")
+            self.seq.append(f"{pad}    enable_out({fall}) <= '1';")
+            self.seq.append(f"{pad}  end if;")
+        self.seq.append(f"{pad}end if;")
+
+    def _emit_load(self, op: PipeOp) -> None:
+        insn, label = op.insn, op.label
+        if label is None:
+            raise VhdlEmitError(f"insn {op.insn_index}: unlabeled load")
+        dst = self._dst_slice(insn.dst)
+        size = insn.size_bytes
+        if label.region is Region.PACKET:
+            if label.offset is None:
+                raise VhdlEmitError(
+                    f"insn {op.insn_index}: dynamic packet offset"
+                )
+            if 8 * (label.offset + size) > self.layout_in.window_bits:
+                raise VhdlEmitError(
+                    f"insn {op.insn_index}: packet byte "
+                    f"{label.offset + size} beyond the stage window"
+                )
+            src = f"state_in{self.layout_in.window_slice(label.offset, size)}"
+            effects = []
+            if dst is not None:
+                effects = [f"{dst} <= {_zext(f'unsigned({src})')};"]
+            self._emit_guarded(op, effects,
+                               drop_cond=self._pkt_bounds(label.offset, size))
+        elif label.region is Region.STACK:
+            if label.offset is None:
+                raise VhdlEmitError(
+                    f"insn {op.insn_index}: dynamic stack offset"
+                )
+            slc = self.layout_in.stack_slice(label.offset, size)
+            if slc is None:
+                raise VhdlEmitError(
+                    f"insn {op.insn_index}: stack [{label.offset}:{size}] "
+                    "not carried into this stage"
+                )
+            if dst is not None:
+                self._emit_guarded(op, [
+                    f"{dst} <= {_zext(f'unsigned(state_in{slc})')};"
+                ])
+            else:
+                self._emit_guarded(op, [])
+        elif label.region is Region.CTX:
+            if dst is not None:
+                self._emit_guarded(op, [f"{dst} <= {self._ctx_expr(op)};"])
+            else:
+                self._emit_guarded(op, [])
+        elif label.region is Region.MAP_VALUE:
+            use = self._new_map_port(op.call.map_fd if op.call else label.map_fd)
+            addr = (f"std_logic_vector(unsigned({self._src(insn.src)}) + "
+                    f"unsigned({_imm64(insn.off)}))")
+            self.conc += [
+                f"  {use.port}_req <= {self._req_expr(op)};",
+                f"  {use.port}_op <= {_hex((size << 4) | CH_OP_LOAD, 8)};",
+                f"  {use.port}_addr <= {addr};",
+                f"  {use.port}_key <= (others => '0');",
+                f"  {use.port}_wdata <= (others => '0');",
+            ]
+            effects = []
+            if dst is not None:
+                effects = [f"{dst} <= {use.port}_rdata;"]
+            self._emit_guarded(op, effects,
+                               drop_cond=f"{use.port}_oob = '1'")
+        else:
+            raise VhdlEmitError(f"insn {op.insn_index}: load from "
+                                f"{label.region.value}")
+
+    def _ctx_expr(self, op: PipeOp) -> str:
+        """xdp_md field loads become arithmetic over plen/haj (the context
+        is not stored anywhere: it is synthesized from the header)."""
         label = op.label
-        width = 8 * insn.size_bytes
+        off, size = label.offset, label.size
+        lin = self.layout_in
+        data32 = (f"unsigned(std_logic_vector(to_signed({_PKT_DATA}, 32) + "
+                  f"resize(signed(state_in{lin.haj_slice}), 32)))")
+        dend32 = (f"unsigned(std_logic_vector(to_signed({_PKT_DATA}, 32) + "
+                  f"resize(signed(state_in{lin.haj_slice}), 32) + "
+                  f"signed(std_logic_vector(resize("
+                  f"unsigned(state_in{lin.plen_slice}), 32)))))")
+        if size == 4:
+            if off == 0:
+                return _zext(data32)
+            if off == 4:
+                return _zext(dend32)
+            if off in (8, 16, 20):
+                return _imm64(0)
+            if off == 12:
+                return _imm64(1)
+        if size == 8 and off == 0:
+            return (f"std_logic_vector({dend32}) & "
+                    f"std_logic_vector({data32})")
+        raise VhdlEmitError(
+            f"insn {op.insn_index}: ctx load at offset {off} size {size}"
+        )
+
+    def _value_bits(self, op: PipeOp, width_bits: int) -> str:
+        """The stored value as a ``width_bits``-wide slv expression."""
+        insn = op.insn
         if insn.opclass == isa.BPF_ST:
-            value = _imm64(isa.to_signed32(insn.imm)) + f"({width - 1} downto 0)"
-        else:
-            value = self._src(insn.src) + f"({width - 1} downto 0)"
-        if label.is_atomic:
-            self.body.append(
-                f"        --   atomic RMW at the map port (no pipeline state)"
+            return _hex(isa.to_signed32(insn.imm), width_bits)
+        src = self._src(insn.src)
+        if width_bits == 64:
+            return src
+        return f"std_logic_vector(resize(unsigned({src}), {width_bits}))"
+
+    def _value_segment(self, op: PipeOp, byte_off: int, nbytes: int) -> str:
+        """Bytes [byte_off, byte_off+nbytes) of the stored value."""
+        insn = op.insn
+        if insn.opclass == isa.BPF_ST:
+            value = (isa.to_signed32(insn.imm) >> (8 * byte_off))
+            return _hex(value, 8 * nbytes)
+        src = self._src(insn.src)
+        if byte_off == 0:
+            return (f"std_logic_vector(resize(unsigned({src}), "
+                    f"{8 * nbytes}))")
+        return (f"std_logic_vector(resize(shift_right(unsigned({src}), "
+                f"{8 * byte_off}), {8 * nbytes}))")
+
+    def _emit_store(self, op: PipeOp) -> None:
+        insn, label = op.insn, op.label
+        if label is None:
+            raise VhdlEmitError(f"insn {op.insn_index}: unlabeled store")
+        size = insn.size_bytes
+        if label.region is Region.PACKET:
+            if label.offset is None:
+                raise VhdlEmitError(
+                    f"insn {op.insn_index}: dynamic packet offset"
+                )
+            if 8 * (label.offset + size) > self.layout_out.window_bits:
+                raise VhdlEmitError(
+                    f"insn {op.insn_index}: packet store beyond the window"
+                )
+            tgt = f"state_out{self.layout_out.window_slice(label.offset, size)}"
+            self._emit_guarded(
+                op, [f"{tgt} <= {self._value_bits(op, 8 * size)};"],
+                drop_cond=self._pkt_bounds(label.offset, size),
             )
-            return
-        if label.region is Region.PACKET and label.offset is not None:
-            low = 8 * label.offset
-            target = f"state_out({low + width - 1} downto {low})"
-        elif label.region is Region.STACK and label.offset is not None:
-            target = self._stack_slice(self.layout_out, label.offset,
-                                       insn.size_bytes, input_side=False)
+        elif label.region is Region.STACK:
+            if label.offset is None:
+                raise VhdlEmitError(
+                    f"insn {op.insn_index}: dynamic stack offset"
+                )
+            effects = []
+            for seg_off, seg_len, low in self._out_stack_segments(
+                    label.offset, size):
+                tgt = f"state_out({low + 8 * seg_len - 1} downto {low})"
+                effects.append(
+                    f"{tgt} <= "
+                    f"{self._value_segment(op, seg_off - label.offset, seg_len)};"
+                )
+            self._emit_guarded(op, effects)
+        elif label.region is Region.MAP_VALUE:
+            use = self._new_map_port(label.map_fd)
+            addr = (f"std_logic_vector(unsigned({self._src(insn.dst)}) + "
+                    f"unsigned({_imm64(insn.off)}))")
+            wb = self._wdata_bits(label.map_fd)
+            self.conc += [
+                f"  {use.port}_req <= {self._req_expr(op)};",
+                f"  {use.port}_op <= {_hex((size << 4) | CH_OP_STORE, 8)};",
+                f"  {use.port}_addr <= {addr};",
+                f"  {use.port}_key <= (others => '0');",
+                f"  {use.port}_wdata <= {self._value_bits(op, wb)};",
+            ]
+            self._emit_guarded(op, [], drop_cond=f"{use.port}_oob = '1'")
         else:
-            target = "store_mux  -- dynamic address"
-        self.body.append(f"        if {guard} then")
-        self.body.append(f"          {target} <= {value};")
-        self.body.append("        end if;")
+            raise VhdlEmitError(f"insn {op.insn_index}: store to "
+                                f"{label.region.value}")
 
-    def _stack_slice(self, layout: StateLayout, offset: int, size: int,
-                     input_side: bool) -> str:
-        vec = "state_in" if input_side else "state_out"
-        for (lo, length), base in layout.stack.items():
-            if lo <= offset and offset + size <= lo + length:
-                start = base + 8 * (offset - lo)
-                return f"{vec}({start + 8 * size - 1} downto {start})"
-        return f"stack_window  -- [{offset}:{size}] not carried here"
+    def _out_stack_segments(self, offset: int, size: int):
+        """Split [offset, offset+size) into live-out runs (off, len, low_bit);
+        bytes not carried out are dead and silently skipped."""
+        runs = []
+        cur = None
+        for b in range(offset, offset + size):
+            low = self.layout_out.stack_low_bit(b, 1)
+            if low is None:
+                cur = None
+                continue
+            if cur is not None and low == cur[2] + 8 * cur[1]:
+                cur[1] += 1
+            else:
+                cur = [b, 1, low]
+                runs.append(cur)
+        return [(o, ln, lo) for o, ln, lo in runs]
+
+    # -- atomics -------------------------------------------------------------
+
+    def _emit_atomic(self, op: PipeOp) -> None:
+        insn, label = op.insn, op.label
+        if label is None:
+            raise VhdlEmitError(f"insn {op.insn_index}: unlabeled atomic")
+        if label.region is Region.STACK:
+            self._emit_stack_atomic(op)
+            return
+        if label.region is not Region.MAP_VALUE:
+            raise VhdlEmitError(f"insn {op.insn_index}: atomic on "
+                                f"{label.region.value}")
+        if self.atomic_use is not None:
+            raise VhdlEmitError(
+                f"stage {self.stage.number}: more than one atomic op"
+            )
+        fd = label.map_fd
+        self.atomic_use = _AtomicUse(port="ap", fd=fd)
+        self.ports += [
+            "ap_req      : out std_logic",
+            "ap_op       : out std_logic_vector(7 downto 0)",
+            "ap_size     : out std_logic_vector(3 downto 0)",
+            "ap_addr     : out std_logic_vector(63 downto 0)",
+            "ap_wdata    : out std_logic_vector(63 downto 0)",
+            "ap_expected : out std_logic_vector(63 downto 0)",
+            "ap_old      : in  std_logic_vector(63 downto 0)",
+            "ap_oob      : in  std_logic",
+        ]
+        addr = (f"std_logic_vector(unsigned({self._src(insn.dst)}) + "
+                f"unsigned({_imm64(insn.off)}))")
+        expected = (self._src(isa.R0)
+                    if insn.imm == isa.ATOMIC_CMPXCHG else _imm64(0))
+        self.conc += [
+            f"  ap_req <= {self._req_expr(op)};",
+            f"  ap_op <= {_hex(insn.imm & 0xFF, 8)};",
+            f"  ap_size <= {_hex(insn.size_bytes, 4)};",
+            f"  ap_addr <= {addr};",
+            f"  ap_wdata <= {self._src(insn.src)};",
+            f"  ap_expected <= {expected};",
+        ]
+        effects = []
+        if insn.imm == isa.ATOMIC_CMPXCHG:
+            dst = self._dst_slice(isa.R0)
+            if dst is not None:
+                effects.append(f"{dst} <= ap_old;")
+        elif insn.imm & isa.BPF_FETCH:
+            dst = self._dst_slice(insn.src)
+            if dst is not None:
+                effects.append(f"{dst} <= ap_old;")
+        self._emit_guarded(op, effects, drop_cond="ap_oob = '1'")
+
+    def _emit_stack_atomic(self, op: PipeOp) -> None:
+        insn, label = op.insn, op.label
+        if label.offset is None:
+            raise VhdlEmitError(f"insn {op.insn_index}: dynamic stack atomic")
+        size = insn.size_bytes
+        bits = 8 * size
+        slc = self.layout_in.stack_slice(label.offset, size)
+        if slc is None:
+            raise VhdlEmitError(
+                f"insn {op.insn_index}: atomic stack bytes not carried"
+            )
+        old = f"unsigned(state_in{slc})"
+        srcv = f"resize(unsigned({self._src(insn.src)}), {bits})"
+        base_op = insn.imm & ~isa.BPF_FETCH
+        if insn.imm == isa.ATOMIC_XCHG:
+            new = f"std_logic_vector({srcv})"
+        elif insn.imm == isa.ATOMIC_CMPXCHG:
+            new = f"std_logic_vector({srcv})"
+        elif base_op == isa.ATOMIC_ADD:
+            new = f"std_logic_vector({old} + {srcv})"
+        elif base_op == isa.ATOMIC_OR:
+            new = f"std_logic_vector({old} or {srcv})"
+        elif base_op == isa.ATOMIC_AND:
+            new = f"std_logic_vector({old} and {srcv})"
+        elif base_op == isa.ATOMIC_XOR:
+            new = f"std_logic_vector({old} xor {srcv})"
+        else:
+            raise VhdlEmitError(
+                f"insn {op.insn_index}: atomic op {insn.imm:#x}"
+            )
+        effects = []
+        out_segs = self._out_stack_segments(label.offset, size)
+        if insn.imm == isa.ATOMIC_CMPXCHG:
+            dst = self._dst_slice(isa.R0)
+            guard = self._guard(op)
+            pad = "        "
+            self.seq.append(f"{pad}if {guard} then")
+            self.seq.append(
+                f"{pad}  if {old} = "
+                f"resize(unsigned({self._src(isa.R0)}), {bits}) then"
+            )
+            for seg_off, seg_len, low in out_segs:
+                if seg_off == label.offset and seg_len == size:
+                    self.seq.append(
+                        f"{pad}    state_out({low + bits - 1} downto {low})"
+                        f" <= {new};"
+                    )
+            self.seq.append(f"{pad}  end if;")
+            if dst is not None:
+                self.seq.append(f"{pad}  {dst} <= {_zext(old)};")
+            for stmt in self._succ_enables(op):
+                self.seq.append(f"{pad}  {stmt}")
+            self.seq.append(f"{pad}end if;")
+            return
+        for seg_off, seg_len, low in out_segs:
+            if seg_off == label.offset and seg_len == size:
+                effects.append(
+                    f"state_out({low + bits - 1} downto {low}) <= {new};"
+                )
+        if insn.imm & isa.BPF_FETCH or insn.imm == isa.ATOMIC_XCHG:
+            dst = self._dst_slice(insn.src)
+            if dst is not None:
+                effects.append(f"{dst} <= {_zext(old)};")
+        self._emit_guarded(op, effects)
+
+    # -- helper calls --------------------------------------------------------
+
+    def _emit_call(self, op: PipeOp) -> None:
+        call = op.call
+        if call is None:
+            raise VhdlEmitError(f"insn {op.insn_index}: unlabeled call")
+        if call.map_fd is not None:
+            self._emit_map_call(op)
+        else:
+            self._emit_helper_block(op)
+
+    def _clobber_callers(self, effects: List[str]) -> None:
+        for reg in (isa.R1, isa.R2, isa.R3, isa.R4, isa.R5):
+            dst = self._dst_slice(reg)
+            if dst is not None:
+                effects.append(f"{dst} <= (others => '0');")
+
+    def _emit_map_call(self, op: PipeOp) -> None:
+        call = op.call
+        spec = helper_spec(call.helper_id)
+        use = self._new_map_port(call.map_fd)
+        kb = self._key_bits(call.map_fd)
+        if call.helper_id == 51:  # redirect_map: the key IS r2's low bits
+            key = (f"std_logic_vector(resize(unsigned({self._src(isa.R2)}), "
+                   f"{kb}))")
+            addr = self._src(isa.R3)  # miss fallback action
+            ch_op = CH_OP_REDIRECT
+        else:
+            if call.key_stack_offset is None or not call.key_size:
+                raise VhdlEmitError(
+                    f"insn {op.insn_index}: {spec.name} key is not a "
+                    "static stack slice"
+                )
+            slc = self.layout_in.stack_slice(call.key_stack_offset,
+                                             call.key_size)
+            if slc is None:
+                raise VhdlEmitError(
+                    f"insn {op.insn_index}: map key bytes not carried"
+                )
+            key = f"state_in{slc}"
+            ch_op = {1: CH_OP_LOOKUP, 2: CH_OP_UPDATE,
+                     3: CH_OP_DELETE}[call.helper_id]
+            addr = self._src(isa.R4) if call.helper_id == 2 else _imm64(0)
+        wb = self._wdata_bits(call.map_fd)
+        wdata = "(others => '0')"
+        if call.helper_id == 2:
+            if call.value_stack_offset is None or not call.value_size:
+                raise VhdlEmitError(
+                    f"insn {op.insn_index}: update value is not a static "
+                    "stack slice"
+                )
+            vslc = self.layout_in.stack_slice(call.value_stack_offset,
+                                              call.value_size)
+            if vslc is None:
+                raise VhdlEmitError(
+                    f"insn {op.insn_index}: update value bytes not carried"
+                )
+            wdata = (f"std_logic_vector(resize(unsigned(state_in{vslc}), "
+                     f"{wb}))")
+        self.conc += [
+            f"  {use.port}_req <= {self._req_expr(op)};",
+            f"  {use.port}_op <= {_hex(ch_op, 8)};",
+            f"  {use.port}_addr <= {addr};",
+            f"  {use.port}_key <= {key};",
+            f"  {use.port}_wdata <= {wdata};",
+        ]
+        effects = []
+        dst = self._dst_slice(isa.R0)
+        if dst is not None:
+            effects.append(f"{dst} <= {use.port}_rdata;")
+        self._clobber_callers(effects)
+        self._emit_guarded(op, effects, drop_cond=f"{use.port}_oob = '1'")
+
+    def _emit_helper_block(self, op: PipeOp) -> None:
+        call = op.call
+        spec = helper_spec(call.helper_id)
+        entity = self.helper_names.get((self.stage.number, op.insn_index))
+        if entity is None:
+            raise VhdlEmitError(
+                f"insn {op.insn_index}: no helper entity for id "
+                f"{call.helper_id}"
+            )
+        h = f"h{self._helper_count}"
+        self._helper_count += 1
+        lin, lout = self.layout_in, self.layout_out
+        touches_packet = spec.reads_packet or spec.writes_packet
+        if touches_packet and lin.window_bytes * 8 != lin.window_bits:
+            raise VhdlEmitError("window accounting error")  # pragma: no cover
+        self.decls.append(f"  signal {h}_req : std_logic;")
+        for i in range(5):
+            self.decls.append(
+                f"  signal {h}_r{i + 1} : std_logic_vector(63 downto 0);"
+            )
+        self.decls.append(
+            f"  signal {h}_rsp : std_logic_vector(63 downto 0);"
+        )
+        self.conc.append(f"  {h}_req <= {self._req_expr(op)};")
+        for i in range(5):
+            arg = (self._src(isa.R1 + i) if i < spec.nargs else _imm64(0))
+            self.conc.append(f"  {h}_r{i + 1} <= {arg};")
+        assoc = [("clk", "clk"), ("req", f"{h}_req")]
+        assoc += [(f"r{i + 1}", f"{h}_r{i + 1}") for i in range(5)]
+        generics = [("G_HELPER_ID", str(call.helper_id))]
+        if touches_packet:
+            wb = lin.window_bits
+            generics.append(("G_WIN_BYTES", str(lin.window_bytes)))
+            self.decls += [
+                f"  signal {h}_frame_i : std_logic_vector({wb - 1} downto 0);",
+                f"  signal {h}_plen_i : std_logic_vector(15 downto 0);",
+                f"  signal {h}_haj_i : std_logic_vector(15 downto 0);",
+            ]
+            self.conc += [
+                f"  {h}_frame_i <= state_in({wb - 1} downto 0);",
+                f"  {h}_plen_i <= state_in{lin.plen_slice};",
+                f"  {h}_haj_i <= state_in{lin.haj_slice};",
+            ]
+            assoc += [("frame_i", f"{h}_frame_i"), ("plen_i", f"{h}_plen_i"),
+                      ("haj_i", f"{h}_haj_i")]
+        if spec.writes_packet:
+            wb = lin.window_bits
+            self.decls += [
+                f"  signal {h}_frame_o : std_logic_vector({wb - 1} downto 0);",
+                f"  signal {h}_plen_o : std_logic_vector(15 downto 0);",
+                f"  signal {h}_haj_o : std_logic_vector(15 downto 0);",
+            ]
+            assoc += [("frame_o", f"{h}_frame_o"), ("plen_o", f"{h}_plen_o"),
+                      ("haj_o", f"{h}_haj_o")]
+        if spec.reads_stack and lin.stack:
+            ranges = sorted(lin.stack)
+            total = sum(8 * s for (_o, s) in ranges)
+            layout_desc = ";".join(f"{o}:{s}" for o, s in ranges)
+            pieces = [f"state_in{lin.stack_slice(o, s)}"
+                      for o, s in reversed(ranges)]
+            self.decls.append(
+                f"  signal {h}_stack_i : std_logic_vector({total - 1} downto 0);"
+            )
+            self.conc.append(f"  {h}_stack_i <= " + " & ".join(pieces) + ";")
+            generics.append(("G_STACK_LAYOUT", f'"{layout_desc}"'))
+            assoc.append(("stack_i", f"{h}_stack_i"))
+        assoc.append(("rsp", f"{h}_rsp"))
+        gmap = ", ".join(f"{f} => {v}" for f, v in generics)
+        pmap = ", ".join(f"{f} => {v}" for f, v in assoc)
+        self.conc.append(
+            f"  {h} : entity work.{entity} generic map ({gmap}) "
+            f"port map ({pmap});"
+        )
+        effects = []
+        dst = self._dst_slice(isa.R0)
+        if dst is not None:
+            effects.append(f"{dst} <= {h}_rsp;")
+        if spec.writes_packet:
+            effects += [
+                f"state_out({lout.window_bits - 1} downto 0) <= "
+                f"{h}_frame_o;",
+                f"state_out{lout.plen_slice} <= {h}_plen_o;",
+                f"state_out{lout.haj_slice} <= {h}_haj_o;",
+            ]
+        self._clobber_callers(effects)
+        self._emit_guarded(op, effects)
+
+    # -- carries and rendering ----------------------------------------------
+
+    def _carries(self) -> List[str]:
+        lin, lout = self.layout_in, self.layout_out
+        lines = []
+        wi, wo = lin.window_bits, lout.window_bits
+        lines.append(
+            f"        state_out({wi - 1} downto 0) <= "
+            f"state_in({wi - 1} downto 0);"
+        )
+        if wo > wi:
+            lines.append(
+                f"        state_out({wo - 1} downto {wi}) <= frame_in;"
+            )
+        lines += [
+            f"        state_out{lout.plen_slice} <= state_in{lin.plen_slice};",
+            f"        state_out{lout.haj_slice} <= state_in{lin.haj_slice};",
+            f"        state_out({lout.done_bit}) <= "
+            f"state_in({lin.done_bit});",
+            f"        state_out{lout.verdict_slice} <= "
+            f"state_in{lin.verdict_slice};",
+        ]
+        for reg, low in sorted(lout.regs.items(), key=lambda kv: kv[1]):
+            if reg in lin.regs:
+                lines.append(
+                    f"        state_out{lout.reg_slice(reg)} <= "
+                    f"state_in{lin.reg_slice(reg)};  -- carry r{reg}"
+                )
+            else:
+                lines.append(
+                    f"        state_out{lout.reg_slice(reg)} <= "
+                    f"(others => '0');  -- r{reg} defined here"
+                )
+        for (off, size), base in sorted(lout.stack.items(),
+                                        key=lambda kv: kv[1]):
+            runs = []
+            cur = None
+            for b in range(off, off + size):
+                src_low = lin.stack_low_bit(b, 1)
+                dst_low = base + 8 * (b - off)
+                if (cur is not None and cur[2] is not None
+                        and src_low is not None
+                        and src_low == cur[2] + 8 * cur[1]):
+                    cur[1] += 1
+                elif (cur is not None and cur[2] is None
+                        and src_low is None):
+                    cur[1] += 1
+                else:
+                    cur = [dst_low, 1, src_low]
+                    runs.append(cur)
+            for dst_low, nbytes, src_low in runs:
+                tgt = f"state_out({dst_low + 8 * nbytes - 1} downto {dst_low})"
+                if src_low is None:
+                    lines.append(f"        {tgt} <= (others => '0');")
+                else:
+                    lines.append(
+                        f"        {tgt} <= state_in("
+                        f"{src_low + 8 * nbytes - 1} downto {src_low});"
+                    )
+        return lines
+
+    def render(self, name: str) -> List[str]:
+        stage, lin, lout = self.stage, self.layout_in, self.layout_out
+        ew = self.enable_width
+        desc = (" | ".join(format_instruction(op.insn) for op in stage.ops)
+                if stage.ops else f"({stage.kind.value})")
+        ports = [
+            "clk        : in  std_logic",
+            "rst        : in  std_logic",
+            "flush      : in  std_logic",
+            "valid_in   : in  std_logic",
+            "valid_out  : out std_logic",
+            f"enable_in  : in  std_logic_vector({ew - 1} downto 0)",
+            f"enable_out : out std_logic_vector({ew - 1} downto 0)",
+            f"state_in   : in  std_logic_vector({lin.total_bits - 1} downto 0)",
+            f"state_out  : out std_logic_vector({lout.total_bits - 1} downto 0)",
+        ]
+        if lout.window_bits > lin.window_bits:
+            join = lout.window_bits - lin.window_bits
+            ports.append(
+                f"frame_in   : in  std_logic_vector({join - 1} downto 0)"
+            )
+        ports += self.ports
+        lines = [f"-- stage {stage.number}: {desc}"]
+        lines += _context_clause()
+        lines.append(f"entity {name} is")
+        lines.append("  port (")
+        for i, p in enumerate(ports):
+            sep = ";" if i < len(ports) - 1 else ""
+            lines.append(f"    {p}{sep}")
+        lines += ["  );", f"end entity {name};", ""]
+        lines.append(f"architecture rtl of {name} is")
+        lines += self.decls
+        lines.append("begin")
+        lines += self.conc
+        lines += [
+            "  process(clk)",
+            "  begin",
+            "    if rising_edge(clk) then",
+            "      if rst = '1' or flush = '1' then",
+            "        valid_out <= '0';",
+            "      else",
+            "        valid_out <= valid_in;",
+            "        enable_out <= enable_in;  -- predication fan-through",
+        ]
+        lines += self._carries()
+        lines += self.seq
+        lines += [
+            "      end if;",
+            "    end if;",
+            "  end process;",
+            f"end architecture rtl;",
+            "",
+        ]
+        return lines
 
 
 # ---------------------------------------------------------------------------
-# Entities
+# Shared design units
 # ---------------------------------------------------------------------------
 
 
-def _header(pipeline: Pipeline) -> List[str]:
+def _context_clause() -> List[str]:
     return [
-        "-- Generated by eHDL (reproduction) -- do not edit",
-        f"-- program: {pipeline.program.name}",
-        f"-- stages: {pipeline.n_stages}  frame: {pipeline.frame_size} B"
-        f"  maps: {sorted(pipeline.map_hazards)}",
+        "library ieee;",
+        "use ieee.std_logic_1164.all;",
+        "use ieee.numeric_std.all;",
+        "use work.ehdl_pkg.all;",
+        "",
+    ]
+
+
+def _package(name: str) -> List[str]:
+    return [
         "library ieee;",
         "use ieee.std_logic_1164.all;",
         "use ieee.numeric_std.all;",
         "",
+        f"package {name} is",
+        "  -- byte-order and division blocks; the RTL simulator binds these",
+        "  -- declarations to behavioural builtins (div by zero yields 0,",
+        "  -- rem by zero yields the dividend, as the eBPF ISA requires).",
+        "  function ehdl_bswap16(v : std_logic_vector(63 downto 0))"
+        " return std_logic_vector;",
+        "  function ehdl_bswap32(v : std_logic_vector(63 downto 0))"
+        " return std_logic_vector;",
+        "  function ehdl_bswap64(v : std_logic_vector(63 downto 0))"
+        " return std_logic_vector;",
+        "  function ehdl_udiv(a : std_logic_vector; b : std_logic_vector)"
+        " return std_logic_vector;",
+        "  function ehdl_urem(a : std_logic_vector; b : std_logic_vector)"
+        " return std_logic_vector;",
+        f"end package {name};",
+        "",
     ]
 
 
-def _stage_entity(
-    pipeline: Pipeline,
-    stage: Stage,
-    name: str,
-    layout_in: StateLayout,
-    layout_out: StateLayout,
-) -> List[str]:
-    in_bits = max(layout_in.total_bits, 1)
-    out_bits = max(layout_out.total_bits, 1)
-    lines = [
-        f"-- stage {stage.number}: "
-        + (
-            " | ".join(format_instruction(op.insn) for op in stage.ops)
-            if stage.ops
-            else f"({stage.kind.value}{': ' + stage.note if stage.note else ''})"
-        ),
-        f"entity {name} is",
-        "  port (",
-        "    clk        : in  std_logic;",
-        "    rst        : in  std_logic;",
-        "    flush      : in  std_logic;",
-        "    valid_in   : in  std_logic;",
-        "    valid_out  : out std_logic;",
-        "    enable_in  : in  std_logic_vector(31 downto 0);",
-        "    enable_out : out std_logic_vector(31 downto 0);",
-        "    frame_bus  : in  std_logic_vector"
-        f"({pipeline.frame_size * 8 - 1} downto 0);",
-        f"    state_in   : in  std_logic_vector({in_bits - 1} downto 0);",
-        f"    state_out  : out std_logic_vector({out_bits - 1} downto 0)",
-    ]
-    for op in stage.ops:
-        if op.call is not None and op.call.map_fd is not None:
-            fd = op.call.map_fd
-            lines[-1] += ";"
-            lines += [
-                f"    map{fd}_req   : out std_logic;",
-                f"    map{fd}_key   : out std_logic_vector"
-                f"({8 * max(1, op.call.key_size) - 1} downto 0);",
-                f"    map{fd}_rsp   : in  std_logic_vector(63 downto 0)",
-            ]
-            break
+def _fifo_entity(name: str, width: int) -> List[str]:
+    lines = _context_clause()
     lines += [
+        "-- dual-clock FIFO decoupling the pipeline from the shell (§4.5);",
+        "-- the single-clock RTL model binds it to a pass-through primitive.",
+        f"entity {name} is",
+        f"  generic (G_WIDTH : integer := {width});",
+        "  port (",
+        "    wr_clk  : in  std_logic;",
+        "    rd_clk  : in  std_logic;",
+        "    rst     : in  std_logic;",
+        "    wr_en   : in  std_logic;",
+        f"    wr_data : in  std_logic_vector({width - 1} downto 0);",
+        "    rd_en   : in  std_logic;",
+        f"    rd_data : out std_logic_vector({width - 1} downto 0);",
+        "    empty   : out std_logic;",
+        "    full    : out std_logic",
         "  );",
         f"end entity {name};",
         "",
-        f"architecture rtl of {name} is",
-    ]
-    for op in stage.ops:
-        if op.insn.is_call and op.call is not None and op.call.map_fd is None:
-            spec = helper_spec(op.insn.imm)
-            lines.append(
-                f"  -- helper block instance: {spec.name}"
-                f" ({spec.hw_stages} internal stages)"
-            )
-    lines += [
+        f"architecture behavioral of {name} is",
         "begin",
-        "  process(clk)",
-        "  begin",
-        "    if rising_edge(clk) then",
-        "      if rst = '1' or flush = '1' then",
-        "        valid_out <= '0';",
-        "      else",
-        "        valid_out <= valid_in;",
-        "        enable_out <= enable_in;  -- predication fan-through",
-    ]
-    # carry-through for live values that survive this stage untouched
-    for reg, low in layout_out.regs.items():
-        if reg in layout_in.regs:
-            lines.append(
-                f"        state_out{layout_out.reg_slice(reg)} <= "
-                f"state_in{layout_in.reg_slice(reg)};  -- carry r{reg}"
-            )
-    for key, base_out in layout_out.stack.items():
-        if key in layout_in.stack:
-            base_in = layout_in.stack[key]
-            width = 8 * key[1]
-            lines.append(
-                f"        state_out({base_out + width - 1} downto {base_out}) <= "
-                f"state_in({base_in + width - 1} downto {base_in});"
-                f"  -- carry stack[{key[0]}:{key[1]}]"
-            )
-    datapath = _StageDatapath(pipeline, stage, layout_in, layout_out)
-    for op in stage.ops:
-        datapath.emit_op(op)
-    lines += datapath.body
-    lines += [
-        "      end if;",
-        "    end if;",
-        "  end process;",
-        "end architecture rtl;",
+        "  -- vendor dual-clock FIFO macro (simulation primitive)",
+        f"end architecture behavioral;",
         "",
     ]
     return lines
 
 
-def _map_block(pipeline: Pipeline, fd: int) -> List[str]:
+def _helper_entity(name: str, spec, win_bytes: int, stack_bits: int,
+                   stack_desc: str) -> List[str]:
+    touches = spec.reads_packet or spec.writes_packet
+    lines = _context_clause()
+    lines += [
+        f"-- helper block: {spec.name} ({spec.hw_stages} internal stages)",
+        f"entity {name} is",
+        f"  generic (G_HELPER_ID : integer := {spec.helper_id};"
+        f" G_WIN_BYTES : integer := {win_bytes};"
+        ' G_STACK_LAYOUT : string := "' + stack_desc + '");',
+        "  port (",
+        "    clk : in  std_logic;",
+        "    req : in  std_logic;",
+    ]
+    for i in range(5):
+        lines.append(
+            f"    r{i + 1}  : in  std_logic_vector(63 downto 0);"
+        )
+    if touches:
+        wb = 8 * win_bytes
+        lines += [
+            f"    frame_i : in  std_logic_vector({wb - 1} downto 0);",
+            "    plen_i  : in  std_logic_vector(15 downto 0);",
+            "    haj_i   : in  std_logic_vector(15 downto 0);",
+        ]
+    if spec.writes_packet:
+        wb = 8 * win_bytes
+        lines += [
+            f"    frame_o : out std_logic_vector({wb - 1} downto 0);",
+            "    plen_o  : out std_logic_vector(15 downto 0);",
+            "    haj_o   : out std_logic_vector(15 downto 0);",
+        ]
+    if stack_bits:
+        lines.append(
+            f"    stack_i : in  std_logic_vector({stack_bits - 1} downto 0);"
+        )
+    lines += [
+        "    rsp : out std_logic_vector(63 downto 0)",
+        "  );",
+        f"end entity {name};",
+        "",
+        f"architecture behavioral of {name} is",
+        "begin",
+        "  -- behavioural helper model (simulation primitive)",
+        f"end architecture behavioral;",
+        "",
+    ]
+    return lines
+
+
+def _map_entity(pipeline: Pipeline, fd: int, name: str, channels: int,
+                uses_atomic: bool) -> List[str]:
     plan = pipeline.map_hazards[fd]
     spec = pipeline.program.maps.get(fd)
-    name = f"ehdl_map_{fd}"
-    depth = spec.max_entries if spec else 0
-    width = 8 * (spec.value_size if spec else 8)
-    lines = [
-        f"-- eHDLmap block for map fd {fd}"
+    kb = 8 * max(spec.key_size if spec else 1, 1)
+    wb = 8 * max(spec.value_size if spec else 8, 8)
+    lines = _context_clause()
+    lines += [
+        f"-- eHDL map block for fd {fd}"
         + (f" ({spec.name}, {spec.map_type})" if spec else ""),
-        f"--   channels: {plan.channels}"
+        f"--   channels: {channels}"
         f"  WAR buffer depth: {plan.war_buffer_depth}"
         f"  flush blocks: {len(plan.flush_blocks)}"
-        f"  atomic ports: {len(plan.atomic_stages)}",
+        f"  atomic port: {'yes' if uses_atomic else 'no'}",
         f"entity {name} is",
-        f"  generic (DEPTH : integer := {depth}; WIDTH : integer := {width});",
+        f"  generic (G_FD : integer := {fd};"
+        f" G_DEPTH : integer := {spec.max_entries if spec else 0};"
+        f" G_KEY_BYTES : integer := {spec.key_size if spec else 1};"
+        f" G_VALUE_BYTES : integer := {spec.value_size if spec else 8});",
         "  port (",
-        "    clk       : in  std_logic;",
-        "    rst       : in  std_logic;",
+        "    clk : in  std_logic;",
+        "    rst : in  std_logic;",
     ]
-    for ch in range(plan.channels):
+    for ch in range(channels):
         lines += [
             f"    ch{ch}_req   : in  std_logic;",
-            f"    ch{ch}_wr    : in  std_logic;",
-            f"    ch{ch}_addr  : in  std_logic_vector(31 downto 0);",
-            f"    ch{ch}_wdata : in  std_logic_vector(WIDTH - 1 downto 0);",
-            f"    ch{ch}_rdata : out std_logic_vector(WIDTH - 1 downto 0);",
+            f"    ch{ch}_op    : in  std_logic_vector(7 downto 0);",
+            f"    ch{ch}_addr  : in  std_logic_vector(63 downto 0);",
+            f"    ch{ch}_key   : in  std_logic_vector({kb - 1} downto 0);",
+            f"    ch{ch}_wdata : in  std_logic_vector({wb - 1} downto 0);",
+            f"    ch{ch}_rdata : out std_logic_vector(63 downto 0);",
+            f"    ch{ch}_oob   : out std_logic;",
         ]
-    if plan.uses_atomic:
+    if uses_atomic:
         lines += [
-            "    atomic_req   : in  std_logic;",
-            "    atomic_addr  : in  std_logic_vector(31 downto 0);",
-            "    atomic_delta : in  std_logic_vector(63 downto 0);",
+            "    at_req      : in  std_logic;",
+            "    at_op       : in  std_logic_vector(7 downto 0);",
+            "    at_size     : in  std_logic_vector(3 downto 0);",
+            "    at_addr     : in  std_logic_vector(63 downto 0);",
+            "    at_wdata    : in  std_logic_vector(63 downto 0);",
+            "    at_expected : in  std_logic_vector(63 downto 0);",
+            "    at_old      : out std_logic_vector(63 downto 0);",
+            "    at_oob      : out std_logic;",
         ]
     if plan.needs_flush:
-        lines += [
-            "    flush_out    : out std_logic;",
-            "    flush_stage  : out std_logic_vector(7 downto 0);",
-        ]
+        lines.append("    flush_out : out std_logic;")
     lines += [
         "    host_req   : in  std_logic;  -- userspace eBPF map interface",
         "    host_wr    : in  std_logic;",
         "    host_addr  : in  std_logic_vector(31 downto 0);",
-        "    host_wdata : in  std_logic_vector(WIDTH - 1 downto 0);",
-        "    host_rdata : out std_logic_vector(WIDTH - 1 downto 0)",
+        f"    host_wdata : in  std_logic_vector({wb - 1} downto 0);",
+        f"    host_rdata : out std_logic_vector({wb - 1} downto 0)",
         "  );",
         f"end entity {name};",
         "",
-        f"architecture rtl of {name} is",
-        "  type ram_t is array (0 to DEPTH - 1) of"
-        " std_logic_vector(WIDTH - 1 downto 0);",
-        "  signal ram : ram_t;",
-    ]
-    if plan.war_buffer_depth:
-        lines.append(
-            f"  -- WAR write-delay buffer: {plan.war_buffer_depth} stages (Fig. 6)"
-        )
-    for i, fb in enumerate(plan.flush_blocks):
-        lines.append(
-            f"  -- Flush Evaluation Block {i}: read stage {fb.read_stage},"
-            f" write stage {fb.write_stage}, L={fb.L} (Fig. 7)"
-        )
-    lines += [
+        f"architecture behavioral of {name} is",
         "begin",
-        "  -- dual-port BRAM inference + hazard machinery",
-        "end architecture rtl;",
+        f"  -- BRAM + WAR delay chain ({plan.war_buffer_depth} slots) + "
+        f"{len(plan.flush_blocks)} Flush Evaluation Blocks (Figs. 6-7);",
+        "  -- bound to the repro.rtl simulation primitive backed by the",
+        "  -- shared MapSet.",
+        f"end architecture behavioral;",
         "",
     ]
     return lines
 
 
-def _top(pipeline: Pipeline, stage_names: List[str],
-         layouts: List[StateLayout]) -> List[str]:
-    top = f"ehdl_{_ident(pipeline.name)}"
-    frame_bits = pipeline.frame_size * 8
-    lines = [
-        f"entity {top} is",
-        "  port (",
-        "    pipe_clk   : in  std_logic;  -- pipeline clock domain (250 MHz)",
-        "    shell_clk  : in  std_logic;  -- Corundum shell clock domain",
-        "    rst        : in  std_logic;",
-        f"    s_axis_tdata  : in  std_logic_vector({frame_bits - 1} downto 0);",
-        "    s_axis_tvalid : in  std_logic;",
-        "    s_axis_tlast  : in  std_logic;",
-        "    s_axis_tready : out std_logic;",
-        f"    m_axis_tdata  : out std_logic_vector({frame_bits - 1} downto 0);",
-        "    m_axis_tvalid : out std_logic;",
-        "    m_axis_tlast  : out std_logic;",
-        "    m_axis_tready : in  std_logic",
-        "  );",
-        f"end entity {top};",
-        "",
-        f"architecture structural of {top} is",
-        "  -- asynchronous FIFOs decouple the pipeline from the shell (§4.5)",
-    ]
-    for i, layout in enumerate(layouts):
-        bits = max(layout.total_bits, 1)
-        lines.append(
-            f"  signal st{i} : std_logic_vector({bits - 1} downto 0);"
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+def _entry_value(op: PipeOp) -> str:
+    """Injection-time value of one elided ctx load (haj == 0, so the data
+    pointer is the headroom base)."""
+    insn = op.insn
+    if insn.opclass != isa.BPF_LDX:
+        raise VhdlEmitError(
+            f"entry op {op.insn_index}: only ctx loads can be elided"
         )
-    lines += [
-        "begin",
-        "  input_fifo  : entity work.async_fifo port map"
-        " (wr_clk => shell_clk, rd_clk => pipe_clk);",
-        "  output_fifo : entity work.async_fifo port map"
-        " (wr_clk => pipe_clk, rd_clk => shell_clk);",
-    ]
-    for i, name in enumerate(stage_names):
-        lines.append(
-            f"  s{i + 1:03d} : entity work.{name} port map"
-            " (clk => pipe_clk, rst => rst, flush => flush_sig,"
-            f" valid_in => v{i}, valid_out => v{i + 1},"
-            f" enable_in => e{i}, enable_out => e{i + 1},"
-            f" frame_bus => frame{i},"
-            f" state_in => st{i}, state_out => st{i + 1});"
+    off, size = insn.off, insn.size_bytes
+    data32 = _hex(_PKT_DATA, 32)
+    dend32 = (f"std_logic_vector(to_unsigned({_PKT_DATA}, 32) + "
+              "resize(unsigned(inj_tlen), 32))")
+    if size == 8 and off == 0:
+        return f"{dend32} & {data32}"
+    if size != 4:
+        raise VhdlEmitError(
+            f"entry op {op.insn_index}: ctx load of {size} bytes at {off}"
         )
-    for fd in sorted(pipeline.map_hazards):
-        lines.append(
-            f"  m{fd:02d} : entity work.ehdl_map_{fd} port map"
-            " (clk => pipe_clk, rst => rst);"
-        )
-    lines += [
-        "end architecture structural;",
-        "",
+    if off == 0:
+        return _zext(f"unsigned({data32})")
+    if off == 4:
+        return (f"std_logic_vector(to_unsigned({_PKT_DATA}, 64) + "
+                "resize(unsigned(inj_tlen), 64))")
+    if off == 12:
+        return _imm64(1)
+    if off in (8, 16, 20):
+        return _imm64(0)
+    raise VhdlEmitError(f"entry op {op.insn_index}: ctx offset {off}")
+
+
+def _top(pipeline: Pipeline, name: str, fifo_name: str,
+         stage_names: List[str], builders: List["_StageBuilder"],
+         layouts: List[StateLayout], windows: List[int], ew: int,
+         map_names: Dict[int, str], map_channels: Dict[int, int],
+         map_atomics: Dict[int, bool]) -> List[str]:
+    n = len(pipeline.stages)
+    wmax = windows[-1]
+    wbits = 8 * wmax
+    in_low = wbits + 16  # s_axis bundle width
+    final = layouts[-1]
+    fw = max(in_low, final.total_bits)
+    decls: List[str] = []
+    conc: List[str] = []
+
+    def sig(text: str) -> None:
+        decls.append(f"  signal {text};")
+
+    sig("tie_one : std_logic")
+    sig("tie_zero : std_logic")
+    sig("tie_addr : std_logic_vector(31 downto 0)")
+    conc += [
+        "  tie_one <= '1';",
+        "  tie_zero <= '0';",
+        "  tie_addr <= (others => '0');",
+        "  s_axis_tready <= '1';",
     ]
+
+    # -- input side: shell FIFO, injection, entry checks ---------------------
+    sig(f"fifo_in_bus : std_logic_vector({fw - 1} downto 0)")
+    sig(f"fifo_in_q : std_logic_vector({fw - 1} downto 0)")
+    sig("fifo_in_empty : std_logic")
+    sig("fifo_in_full : std_logic")
+    sig(f"inj_frame : std_logic_vector({wbits - 1} downto 0)")
+    sig("inj_tlen : std_logic_vector(15 downto 0)")
+    sig("inj_done : std_logic")
+    sig("inj_verdict : std_logic_vector(31 downto 0)")
+    sig(f"pkt_window : std_logic_vector({wbits - 1} downto 0)")
+    conc.append(
+        f"  fifo_in_bus({in_low - 1} downto 0) <= s_axis_tdata & s_axis_tlen;"
+    )
+    if fw > in_low:
+        conc.append(
+            f"  fifo_in_bus({fw - 1} downto {in_low}) <= (others => '0');"
+        )
+    conc += [
+        f"  input_fifo : entity work.{fifo_name} port map (",
+        "    wr_clk => shell_clk, rd_clk => pipe_clk, rst => rst,",
+        "    wr_en => s_axis_tvalid, wr_data => fifo_in_bus,",
+        "    rd_en => tie_one, rd_data => fifo_in_q,",
+        "    empty => fifo_in_empty, full => fifo_in_full);",
+        f"  inj_frame <= fifo_in_q({in_low - 1} downto 16);",
+        "  inj_tlen <= fifo_in_q(15 downto 0);",
+    ]
+    checks = []
+    for min_len, action in pipeline.entry_checks:
+        code = action & 0xFFFFFFFF
+        if code > 4:
+            code = 0  # invalid verdicts abort, like hwsim/_finish
+        cond = f"unsigned(inj_tlen) < to_unsigned({min_len}, 16)"
+        checks.append((cond, code))
+    if checks:
+        conc.append(
+            "  inj_done <= "
+            + " else ".join(f"'1' when {c}" for c, _ in checks)
+            + " else '0';"
+        )
+        conc.append(
+            "  inj_verdict <= "
+            + " else ".join(f"{_hex(code, 32)} when {c}"
+                            for c, code in checks)
+            + " else x\"00000000\";"
+        )
+    else:
+        conc += [
+            "  inj_done <= '0';",
+            "  inj_verdict <= x\"00000000\";",
+        ]
+
+    # -- per-link valid / enable / state signals -----------------------------
+    for i in range(n + 1):
+        sig(f"v{i} : std_logic")
+        sig(f"e{i} : std_logic_vector({ew - 1} downto 0)")
+        sig(f"st{i} : std_logic_vector({layouts[i].total_bits - 1} downto 0)")
+    sig("flush_sig : std_logic")
+
+    conc.append("  v0 <= not fifo_in_empty;")
+    entry_block = pipeline.cfg.entry.block_id
+    conc.append(f"  e0 <= {_hex(1 << entry_block, ew)};")
+
+    lay0 = layouts[0]
+    w0 = 8 * windows[0]
+    conc += [
+        f"  st0({w0 - 1} downto 0) <= inj_frame({w0 - 1} downto 0);",
+        f"  st0{lay0.plen_slice} <= inj_tlen;",
+        f"  st0{lay0.haj_slice} <= x\"0000\";",
+        f"  st0({lay0.done_bit}) <= inj_done;",
+        f"  st0{lay0.verdict_slice} <= inj_verdict;",
+    ]
+    reg_exprs: Dict[int, str] = {}
+    for reg in lay0.regs:
+        reg_exprs[reg] = (_imm64(AddressSpace.CTX_BASE)
+                          if reg == isa.R1 else _imm64(0))
+    for op in pipeline.entry_ops:
+        if op.insn.dst in lay0.regs:
+            reg_exprs[op.insn.dst] = _entry_value(op)
+    for reg in sorted(reg_exprs):
+        conc.append(f"  st0{lay0.reg_slice(reg)} <= {reg_exprs[reg]};")
+    for (off, size) in sorted(lay0.stack):
+        conc.append(
+            f"  st0{lay0.stack_slice(off, size)} <= (others => '0');"
+        )
+
+    conc += [
+        "  process(pipe_clk)",
+        "  begin",
+        "    if rising_edge(pipe_clk) then",
+        "      if v0 = '1' then",
+        "        pkt_window <= inj_frame;  -- frame bus for later joins",
+        "      end if;",
+        "    end if;",
+        "  end process;",
+    ]
+
+    # -- stage instances -----------------------------------------------------
+    for i, b in enumerate(builders):
+        num = pipeline.stages[i].number
+        for use in b.map_uses:
+            kb = b._key_bits(use.fd)
+            wb = b._wdata_bits(use.fd)
+            p = f"s{num}_{use.port}"
+            sig(f"{p}_req : std_logic")
+            sig(f"{p}_op : std_logic_vector(7 downto 0)")
+            sig(f"{p}_addr : std_logic_vector(63 downto 0)")
+            sig(f"{p}_key : std_logic_vector({kb - 1} downto 0)")
+            sig(f"{p}_wdata : std_logic_vector({wb - 1} downto 0)")
+        if b.atomic_use is not None:
+            p = f"s{num}_ap"
+            sig(f"{p}_req : std_logic")
+            sig(f"{p}_op : std_logic_vector(7 downto 0)")
+            sig(f"{p}_size : std_logic_vector(3 downto 0)")
+            sig(f"{p}_addr : std_logic_vector(63 downto 0)")
+            sig(f"{p}_wdata : std_logic_vector(63 downto 0)")
+            sig(f"{p}_expected : std_logic_vector(63 downto 0)")
+
+    # map-side shared wires
+    for fd in sorted(map_names):
+        kb = 8 * max(pipeline.program.maps.get(fd).key_size
+                     if pipeline.program.maps.get(fd) else 1, 1)
+        wb = 8 * max(pipeline.program.maps.get(fd).value_size
+                     if pipeline.program.maps.get(fd) else 8, 8)
+        for ch in range(map_channels[fd]):
+            p = f"m{fd}_ch{ch}"
+            sig(f"{p}_req : std_logic")
+            sig(f"{p}_op : std_logic_vector(7 downto 0)")
+            sig(f"{p}_addr : std_logic_vector(63 downto 0)")
+            sig(f"{p}_key : std_logic_vector({kb - 1} downto 0)")
+            sig(f"{p}_wdata : std_logic_vector({wb - 1} downto 0)")
+            sig(f"{p}_rdata : std_logic_vector(63 downto 0)")
+            sig(f"{p}_oob : std_logic")
+        if map_atomics[fd]:
+            p = f"m{fd}_at"
+            sig(f"{p}_req : std_logic")
+            sig(f"{p}_op : std_logic_vector(7 downto 0)")
+            sig(f"{p}_size : std_logic_vector(3 downto 0)")
+            sig(f"{p}_addr : std_logic_vector(63 downto 0)")
+            sig(f"{p}_wdata : std_logic_vector(63 downto 0)")
+            sig(f"{p}_expected : std_logic_vector(63 downto 0)")
+            sig(f"{p}_old : std_logic_vector(63 downto 0)")
+            sig(f"{p}_oob : std_logic")
+        if pipeline.map_hazards[fd].needs_flush:
+            sig(f"m{fd}_flush : std_logic")
+        sig(f"m{fd}_host_wdata : std_logic_vector({wb - 1} downto 0)")
+        sig(f"m{fd}_host_rdata : std_logic_vector({wb - 1} downto 0)")
+        conc.append(f"  m{fd}_host_wdata <= (others => '0');")
+
+    for i, b in enumerate(builders):
+        num = pipeline.stages[i].number
+        lin, lout = layouts[i], layouts[i + 1]
+        assoc = [
+            ("clk", "pipe_clk"), ("rst", "rst"), ("flush", "flush_sig"),
+            ("valid_in", f"v{i}"), ("valid_out", f"v{i + 1}"),
+            ("enable_in", f"e{i}"), ("enable_out", f"e{i + 1}"),
+            ("state_in", f"st{i}"), ("state_out", f"st{i + 1}"),
+        ]
+        if lout.window_bits > lin.window_bits:
+            hi, lo = lout.window_bits - 1, lin.window_bits
+            src = "inj_frame" if i == 0 else "pkt_window"
+            assoc.append(("frame_in", f"{src}({hi} downto {lo})"))
+        for use in b.map_uses:
+            sp = f"s{num}_{use.port}"
+            mp = f"m{use.fd}_ch{use.channel}"
+            assoc += [
+                (f"{use.port}_req", f"{sp}_req"),
+                (f"{use.port}_op", f"{sp}_op"),
+                (f"{use.port}_addr", f"{sp}_addr"),
+                (f"{use.port}_key", f"{sp}_key"),
+                (f"{use.port}_wdata", f"{sp}_wdata"),
+                (f"{use.port}_rdata", f"{mp}_rdata"),
+                (f"{use.port}_oob", f"{mp}_oob"),
+            ]
+        if b.atomic_use is not None:
+            sp, mp = f"s{num}_ap", f"m{b.atomic_use.fd}_at"
+            assoc += [
+                ("ap_req", f"{sp}_req"), ("ap_op", f"{sp}_op"),
+                ("ap_size", f"{sp}_size"), ("ap_addr", f"{sp}_addr"),
+                ("ap_wdata", f"{sp}_wdata"),
+                ("ap_expected", f"{sp}_expected"),
+                ("ap_old", f"{mp}_old"), ("ap_oob", f"{mp}_oob"),
+            ]
+        conc.append(f"  s{num:03d} : entity work.{stage_names[i]} port map (")
+        for j, (f_, a) in enumerate(assoc):
+            sep = "," if j < len(assoc) - 1 else ");"
+            conc.append(f"    {f_} => {a}{sep}")
+
+    # -- map channel / atomic muxes and map instances ------------------------
+    for fd in sorted(map_names):
+        users: Dict[int, List[Tuple[int, str]]] = {}
+        at_users: List[int] = []
+        for i, b in enumerate(builders):
+            num = pipeline.stages[i].number
+            for use in b.map_uses:
+                if use.fd == fd:
+                    users.setdefault(use.channel, []).append(
+                        (num, f"s{num}_{use.port}")
+                    )
+            if b.atomic_use is not None and b.atomic_use.fd == fd:
+                at_users.append(num)
+        for ch in range(map_channels[fd]):
+            p = f"m{fd}_ch{ch}"
+            stages_on = users.get(ch, [])
+            if not stages_on:
+                conc += [
+                    f"  {p}_req <= '0';",
+                    f"  {p}_op <= (others => '0');",
+                    f"  {p}_addr <= (others => '0');",
+                    f"  {p}_key <= (others => '0');",
+                    f"  {p}_wdata <= (others => '0');",
+                ]
+                continue
+            conc.append(
+                f"  {p}_req <= "
+                + " or ".join(f"{sp}_req" for _num, sp in stages_on) + ";"
+            )
+            for field in ("op", "addr", "key", "wdata"):
+                conc.append(
+                    f"  {p}_{field} <= "
+                    + " else ".join(
+                        f"{sp}_{field} when {sp}_req = '1'"
+                        for _num, sp in stages_on
+                    )
+                    + " else (others => '0');"
+                )
+        if map_atomics[fd]:
+            p = f"m{fd}_at"
+            sps = [f"s{num}_ap" for num in at_users]
+            conc.append(
+                f"  {p}_req <= " + " or ".join(f"{sp}_req" for sp in sps)
+                + ";"
+            )
+            for field in ("op", "size", "addr", "wdata", "expected"):
+                conc.append(
+                    f"  {p}_{field} <= "
+                    + " else ".join(f"{sp}_{field} when {sp}_req = '1'"
+                                    for sp in sps)
+                    + " else (others => '0');"
+                )
+        assoc = [("clk", "pipe_clk"), ("rst", "rst")]
+        for ch in range(map_channels[fd]):
+            p = f"m{fd}_ch{ch}"
+            assoc += [(f"ch{ch}_{f_}", f"{p}_{f_}")
+                      for f_ in ("req", "op", "addr", "key", "wdata",
+                                 "rdata", "oob")]
+        if map_atomics[fd]:
+            p = f"m{fd}_at"
+            assoc += [(f"at_{f_}", f"{p}_{f_}")
+                      for f_ in ("req", "op", "size", "addr", "wdata",
+                                 "expected", "old", "oob")]
+        if pipeline.map_hazards[fd].needs_flush:
+            assoc.append(("flush_out", f"m{fd}_flush"))
+        assoc += [
+            ("host_req", "tie_zero"), ("host_wr", "tie_zero"),
+            ("host_addr", "tie_addr"),
+            ("host_wdata", f"m{fd}_host_wdata"),
+            ("host_rdata", f"m{fd}_host_rdata"),
+        ]
+        conc.append(f"  m{fd:03d} : entity work.{map_names[fd]} port map (")
+        for j, (f_, a) in enumerate(assoc):
+            sep = "," if j < len(assoc) - 1 else ");"
+            conc.append(f"    {f_} => {a}{sep}")
+
+    flush_fds = [fd for fd in sorted(map_names)
+                 if pipeline.map_hazards[fd].needs_flush]
+    if flush_fds:
+        conc.append(
+            "  flush_sig <= "
+            + " or ".join(f"m{fd}_flush" for fd in flush_fds) + ";"
+        )
+    else:
+        conc.append("  flush_sig <= '0';")
+
+    # -- output side ---------------------------------------------------------
+    sig(f"fifo_out_bus : std_logic_vector({fw - 1} downto 0)")
+    sig(f"fifo_out_q : std_logic_vector({fw - 1} downto 0)")
+    sig("fifo_out_empty : std_logic")
+    sig("fifo_out_full : std_logic")
+    conc.append(
+        f"  fifo_out_bus({final.total_bits - 1} downto 0) <= st{n};"
+    )
+    if fw > final.total_bits:
+        conc.append(
+            f"  fifo_out_bus({fw - 1} downto {final.total_bits}) <= "
+            "(others => '0');"
+        )
+    conc += [
+        f"  output_fifo : entity work.{fifo_name} port map (",
+        "    wr_clk => pipe_clk, rd_clk => shell_clk, rst => rst,",
+        f"    wr_en => v{n}, wr_data => fifo_out_bus,",
+        "    rd_en => tie_one, rd_data => fifo_out_q,",
+        "    empty => fifo_out_empty, full => fifo_out_full);",
+        "  m_axis_tvalid <= not fifo_out_empty;",
+        f"  m_axis_tdata <= fifo_out_q({wbits - 1} downto 0);",
+        f"  m_axis_tlen <= fifo_out_q({final.plen_low + 15} downto "
+        f"{final.plen_low});",
+        "  m_axis_tlast <= '1';",
+        f"  m_axis_tverdict <= fifo_out_q({final.verdict_low + 31} downto "
+        f"{final.verdict_low}) when fifo_out_q({final.done_bit}) = '1' "
+        "else x\"00000000\";",
+    ]
+
+    ports = [
+        "pipe_clk      : in  std_logic",
+        "shell_clk     : in  std_logic",
+        "rst           : in  std_logic",
+        f"s_axis_tdata  : in  std_logic_vector({wbits - 1} downto 0)",
+        "s_axis_tlen   : in  std_logic_vector(15 downto 0)",
+        "s_axis_tvalid : in  std_logic",
+        "s_axis_tlast  : in  std_logic",
+        "s_axis_tready : out std_logic",
+        f"m_axis_tdata  : out std_logic_vector({wbits - 1} downto 0)",
+        "m_axis_tlen   : out std_logic_vector(15 downto 0)",
+        "m_axis_tverdict : out std_logic_vector(31 downto 0)",
+        "m_axis_tvalid : out std_logic",
+        "m_axis_tlast  : out std_logic",
+        "m_axis_tready : in  std_logic",
+    ]
+    lines = [f"-- top-level pipeline wrapper ({n} stages)"]
+    lines += _context_clause()
+    lines.append(f"entity {name} is")
+    lines.append("  port (")
+    for i, p in enumerate(ports):
+        sep = ";" if i < len(ports) - 1 else ""
+        lines.append(f"    {p}{sep}")
+    lines += ["  );", f"end entity {name};", ""]
+    lines.append(f"architecture rtl of {name} is")
+    lines += decls
+    lines.append("begin")
+    lines += conc
+    lines += [f"end architecture rtl;", ""]
     return lines
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
 
 
 def emit_vhdl(pipeline: Pipeline) -> str:
-    """Render the complete VHDL source for a compiled pipeline."""
-    lines = _header(pipeline)
-    stages = pipeline.stages
-    layouts = [_layout_for(stage, pipeline.frame_size) for stage in stages]
-    layouts.append(_layout_for(None, pipeline.frame_size))  # final link
-    stage_names = []
-    for i, stage in enumerate(stages):
-        name = f"{_ident(pipeline.name)}_stage_{stage.number:03d}"
-        stage_names.append(name)
-        lines += _stage_entity(pipeline, stage, name, layouts[i], layouts[i + 1])
-    for fd in sorted(pipeline.map_hazards):
-        lines += _map_block(pipeline, fd)
-    lines += _top(pipeline, stage_names, layouts)
-    return "\n".join(lines)
+    """Render a compiled pipeline as a single self-contained VHDL file."""
+    names = _Names()
+    pkg_name = names.claim("ehdl_pkg")
+    fifo_name = names.claim("ehdl_async_fifo")
+    windows = link_windows(pipeline)
+    wmax = windows[-1]
+    n_blocks = len(pipeline.cfg.blocks)
+    ew = max(32, 4 * ((n_blocks + 3) // 4))
+    layouts = [
+        _layout_for(stage, windows[i])
+        for i, stage in enumerate(pipeline.stages)
+    ]
+    layouts.append(_layout_for(None, wmax))
+
+    # Helper entities: one per distinct (helper, window, stack) signature.
+    helper_entities: Dict[Tuple, Tuple] = {}
+    helper_names: Dict[Tuple[int, int], str] = {}
+    for i, stage in enumerate(pipeline.stages):
+        lin = layouts[i]
+        for op in stage.ops:
+            if op.call is None or op.call.map_fd is not None:
+                continue
+            spec = helper_spec(op.call.helper_id)
+            touches = spec.reads_packet or spec.writes_packet
+            win = lin.window_bytes if touches else 0
+            sdesc, sbits = "", 0
+            if spec.reads_stack and lin.stack:
+                ranges = sorted(lin.stack)
+                sdesc = ";".join(f"{o}:{s}" for o, s in ranges)
+                sbits = sum(8 * s for _o, s in ranges)
+            key = (op.call.helper_id, win, sdesc)
+            if key not in helper_entities:
+                ename = names.claim(f"ehdl_helper_{op.call.helper_id}")
+                helper_entities[key] = (ename, spec, win, sbits, sdesc)
+            helper_names[(stage.number, op.insn_index)] = \
+                helper_entities[key][0]
+
+    prog = _ident(pipeline.name)
+    map_names = {fd: names.claim(f"{prog}_map_{fd}")
+                 for fd in sorted(pipeline.map_hazards)}
+
+    builders: List[_StageBuilder] = []
+    stage_names: List[str] = []
+    for i, stage in enumerate(pipeline.stages):
+        b = _StageBuilder(pipeline, stage, layouts[i], layouts[i + 1],
+                          ew, helper_names)
+        for op in stage.ops:
+            if op.block_id < 0 or op.block_id >= n_blocks:
+                raise VhdlEmitError(
+                    f"insn {op.insn_index}: block id {op.block_id} "
+                    "out of range"
+                )
+            b.emit_op(op)
+        builders.append(b)
+        stage_names.append(names.claim(f"{prog}_stage_{stage.number:03d}"))
+    top_name = names.claim(f"ehdl_{prog}")
+
+    map_channels: Dict[int, int] = {}
+    map_atomics: Dict[int, bool] = {}
+    for fd in map_names:
+        per_stage = [
+            sum(1 for use in b.map_uses if use.fd == fd) for b in builders
+        ]
+        map_channels[fd] = max([1] + per_stage)
+        map_atomics[fd] = any(
+            b.atomic_use is not None and b.atomic_use.fd == fd
+            for b in builders
+        )
+
+    lines = [
+        f"-- {pipeline.name}: eHDL-generated pipeline "
+        f"({pipeline.n_stages} stages, {n_blocks} blocks)",
+        f"{TOP_MARKER}{top_name}",
+        "-- window plan (bytes per link): "
+        + " ".join(str(w) for w in windows),
+        f"-- enable width: {ew}  frame size: {pipeline.frame_size}",
+        "",
+    ]
+    lines += _package(pkg_name)
+    fw = max(8 * wmax + 16, layouts[-1].total_bits)
+    lines += _fifo_entity(fifo_name, fw)
+    for key in sorted(helper_entities):
+        ename, spec, win, sbits, sdesc = helper_entities[key]
+        lines += _helper_entity(ename, spec, win, sbits, sdesc)
+    for fd in sorted(map_names):
+        lines += _map_entity(pipeline, fd, map_names[fd],
+                             map_channels[fd], map_atomics[fd])
+    for i, b in enumerate(builders):
+        lines += b.render(stage_names[i])
+    lines += _top(pipeline, top_name, fifo_name, stage_names, builders,
+                  layouts, windows, ew, map_names, map_channels,
+                  map_atomics)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,34 @@
+"""RTL verification subsystem: parse, elaborate and simulate the VHDL
+emitted by :mod:`repro.core.vhdl`.
+
+The paper's shipped artifact is the generated VHDL pipeline; this package
+closes the loop by *executing* it. The pipeline entities are parsed and
+elaborated into a netlist of combinational assignments and clocked
+processes, behavioural blocks (map blocks, helper blocks, the async
+FIFOs, the ``ehdl_pkg`` functions) are bound to simulation primitives
+backed by the same :class:`repro.ebpf.maps.MapSet` and helper
+implementations the VM uses, and a two-phase clock-stepped simulator
+drives the top level with real frames. :mod:`repro.rtl.diff` wires the
+result into a three-way differential harness against
+:class:`repro.hwsim.sim.PipelineSimulator` and :class:`repro.ebpf.vm.Vm`.
+"""
+
+from .errors import RtlError, RtlParseError, RtlElabError, RtlSimError
+from .parser import parse_vhdl
+from .elab import elaborate
+from .sim import RtlSimulator, RtlRunner, load_design
+from .diff import ThreeWayResult, run_three_way
+
+__all__ = [
+    "RtlError",
+    "RtlParseError",
+    "RtlElabError",
+    "RtlSimError",
+    "parse_vhdl",
+    "elaborate",
+    "RtlSimulator",
+    "RtlRunner",
+    "load_design",
+    "ThreeWayResult",
+    "run_three_way",
+]

@@ -1,0 +1,192 @@
+"""AST for the emitted VHDL subset.
+
+Only what :func:`repro.core.vhdl.emit_vhdl` produces is modeled: design
+units (package / entity / architecture), signal and port declarations
+with literal ``downto`` ranges, concurrent assignments (plain and
+``when``/``else`` chains), component instantiations via
+``entity work.NAME``, and single-clock processes whose body is built
+from signal assignments and ``if``/``elsif``/``else``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass
+class Lit:
+    value: int
+    width: int  # 0 = plain integer literal
+    kind: str = "u"  # 'u' vector/std_logic, 'i' integer
+
+
+@dataclass
+class OthersZero:
+    """``(others => '0')`` — width comes from the assignment target."""
+
+
+@dataclass
+class NameRef:
+    name: str
+
+
+@dataclass
+class Index:
+    name: str
+    index: int
+
+
+@dataclass
+class SliceRef:
+    name: str
+    hi: int
+    lo: int
+
+
+@dataclass
+class Call:
+    fn: str
+    args: List["Expr"]
+
+
+@dataclass
+class Bin:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass
+class Un:
+    op: str
+    operand: "Expr"
+
+
+@dataclass
+class WhenElse:
+    """``v0 when c0 else v1 when c1 else ... else vN``."""
+
+    arms: List[Tuple["Expr", "Expr"]]  # (value, condition)
+    otherwise: "Expr"
+
+
+Expr = Union[Lit, OthersZero, NameRef, Index, SliceRef, Call, Bin, Un,
+             WhenElse]
+
+Target = Union[NameRef, Index, SliceRef]
+
+
+# -- statements --------------------------------------------------------------
+
+
+@dataclass
+class ConcAssign:
+    target: Target
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class Instance:
+    label: str
+    entity: str
+    generic_map: Dict[str, object] = field(default_factory=dict)
+    port_map: List[Tuple[str, Target]] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class SeqAssign:
+    target: Target
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class IfStmt:
+    # (condition, body) for the if and each elsif, in order.
+    branches: List[Tuple[Expr, List["SeqStmt"]]]
+    otherwise: List["SeqStmt"] = field(default_factory=list)
+    line: int = 0
+
+
+SeqStmt = Union[SeqAssign, IfStmt]
+
+
+@dataclass
+class Process:
+    sensitivity: List[str]
+    body: List[SeqStmt]
+    line: int = 0
+
+
+ConcStmt = Union[ConcAssign, Instance, Process]
+
+
+# -- declarations and design units ------------------------------------------
+
+
+@dataclass
+class PortDecl:
+    name: str
+    direction: str  # 'in' | 'out'
+    width: int
+    is_vector: bool
+
+
+@dataclass
+class GenericDecl:
+    name: str
+    type: str  # 'integer' | 'string'
+    default: object = None
+
+
+@dataclass
+class SignalDecl:
+    name: str
+    width: int
+    is_vector: bool
+
+
+@dataclass
+class EntityDecl:
+    name: str
+    generics: List[GenericDecl] = field(default_factory=list)
+    ports: List[PortDecl] = field(default_factory=list)
+
+    def port(self, name: str) -> Optional[PortDecl]:
+        for p in self.ports:
+            if p.name == name:
+                return p
+        return None
+
+
+@dataclass
+class Architecture:
+    name: str
+    entity: str
+    signals: List[SignalDecl] = field(default_factory=list)
+    statements: List[ConcStmt] = field(default_factory=list)
+
+    @property
+    def is_primitive(self) -> bool:
+        """An empty architecture body marks a behavioural block that the
+        simulator binds to a Python primitive."""
+        return not self.statements
+
+
+@dataclass
+class PackageDecl:
+    name: str
+    functions: List[str] = field(default_factory=list)
+
+
+@dataclass
+class DesignFile:
+    packages: List[PackageDecl] = field(default_factory=list)
+    entities: Dict[str, EntityDecl] = field(default_factory=dict)
+    architectures: Dict[str, Architecture] = field(default_factory=dict)

@@ -1,0 +1,28 @@
+"""Error taxonomy of the RTL verification subsystem.
+
+Each layer raises its own class so a differential failure pinpoints
+*where* the emitted VHDL went wrong: unparseable text, an elaboration
+inconsistency (undeclared signal, width mismatch, combinational loop),
+or a runtime divergence.
+"""
+
+
+class RtlError(Exception):
+    """Base class for all RTL subsystem failures."""
+
+
+class RtlParseError(RtlError):
+    """The text is outside the VHDL subset ``emit_vhdl`` promises."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+class RtlElabError(RtlError):
+    """The design does not elaborate: dangling references, width
+    mismatches, duplicate design units, or a combinational cycle."""
+
+
+class RtlSimError(RtlError):
+    """The elaborated design misbehaved while simulating."""

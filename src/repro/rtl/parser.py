@@ -1,0 +1,460 @@
+"""Recursive-descent parser for the emitted VHDL subset.
+
+The grammar is exactly what :func:`repro.core.vhdl.emit_vhdl` produces —
+any excursion outside it is an emission bug and raises
+:class:`RtlParseError` with the offending line. All ranges are literal
+``downto`` pairs (the emitter folds widths at compile time), which keeps
+elaboration free of generic arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (
+    Architecture,
+    Bin,
+    Call,
+    ConcAssign,
+    DesignFile,
+    EntityDecl,
+    GenericDecl,
+    IfStmt,
+    Index,
+    Instance,
+    Lit,
+    NameRef,
+    OthersZero,
+    PackageDecl,
+    PortDecl,
+    Process,
+    SeqAssign,
+    SignalDecl,
+    SliceRef,
+    Un,
+    WhenElse,
+)
+from .errors import RtlParseError
+from .tokens import Token, tokenize
+
+#: names that parse as function calls rather than signal indexing
+FUNCTIONS = {
+    "resize", "unsigned", "signed", "std_logic_vector", "to_unsigned",
+    "to_signed", "to_integer", "shift_left", "shift_right", "rising_edge",
+    "ehdl_bswap16", "ehdl_bswap32", "ehdl_bswap64", "ehdl_udiv",
+    "ehdl_urem",
+}
+
+_REL_OPS = {"=", "/=", "<", "<=", ">", ">="}
+_LOGICAL = {"and", "or", "xor"}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def error(self, message: str) -> RtlParseError:
+        return RtlParseError(message, self.peek().line)
+
+    def expect(self, kind: str, value: object = None) -> Token:
+        tok = self.next()
+        if tok.kind != kind or (value is not None and tok.value != value):
+            raise RtlParseError(
+                f"expected {value or kind}, got {tok.value!r}", tok.line
+            )
+        return tok
+
+    def accept(self, kind: str, value: object = None) -> Optional[Token]:
+        tok = self.peek()
+        if tok.kind == kind and (value is None or tok.value == value):
+            return self.next()
+        return None
+
+    def at(self, kind: str, value: object = None, ahead: int = 0) -> bool:
+        tok = self.peek(ahead)
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    # -- design file ---------------------------------------------------------
+
+    def parse_file(self) -> DesignFile:
+        design = DesignFile()
+        while not self.at("EOF"):
+            if self.accept("ID", "library"):
+                self.expect("ID")
+                self.expect("OP", ";")
+            elif self.accept("ID", "use"):
+                while not self.accept("OP", ";"):
+                    self.next()
+            elif self.at("ID", "package"):
+                design.packages.append(self.parse_package())
+            elif self.at("ID", "entity"):
+                ent = self.parse_entity()
+                if ent.name in design.entities:
+                    raise self.error(f"duplicate entity {ent.name!r}")
+                design.entities[ent.name] = ent
+            elif self.at("ID", "architecture"):
+                arch = self.parse_architecture()
+                if arch.entity in design.architectures:
+                    raise self.error(
+                        f"entity {arch.entity!r} has two architectures"
+                    )
+                design.architectures[arch.entity] = arch
+            else:
+                raise self.error(
+                    f"expected a design unit, got {self.peek().value!r}"
+                )
+        return design
+
+    def parse_package(self) -> PackageDecl:
+        self.expect("ID", "package")
+        name = self.expect("ID").value
+        self.expect("ID", "is")
+        functions: List[str] = []
+        while not self.at("ID", "end"):
+            if self.accept("ID", "function"):
+                functions.append(self.expect("ID").value)
+                # skip the profile up to the terminating semicolon
+                depth = 0
+                while True:
+                    tok = self.next()
+                    if tok.kind == "OP" and tok.value == "(":
+                        depth += 1
+                    elif tok.kind == "OP" and tok.value == ")":
+                        depth -= 1
+                    elif tok.kind == "OP" and tok.value == ";" and depth == 0:
+                        break
+                    elif tok.kind == "EOF":
+                        raise self.error("unterminated function declaration")
+            else:
+                self.next()
+        self.expect("ID", "end")
+        self.expect("ID", "package")
+        self.expect("ID", name)
+        self.expect("OP", ";")
+        return PackageDecl(name, functions)
+
+    # -- entities ------------------------------------------------------------
+
+    def parse_entity(self) -> EntityDecl:
+        self.expect("ID", "entity")
+        name = self.expect("ID").value
+        self.expect("ID", "is")
+        ent = EntityDecl(name)
+        if self.accept("ID", "generic"):
+            self.expect("OP", "(")
+            while True:
+                ent.generics.append(self.parse_generic())
+                if not self.accept("OP", ";"):
+                    break
+            self.expect("OP", ")")
+            self.expect("OP", ";")
+        if self.accept("ID", "port"):
+            self.expect("OP", "(")
+            while True:
+                ent.ports.append(self.parse_port())
+                if not self.accept("OP", ";"):
+                    break
+            self.expect("OP", ")")
+            self.expect("OP", ";")
+        self.expect("ID", "end")
+        self.accept("ID", "entity")
+        self.accept("ID", name)
+        self.expect("OP", ";")
+        return ent
+
+    def parse_generic(self) -> GenericDecl:
+        name = self.expect("ID").value
+        self.expect("OP", ":")
+        gtype = self.expect("ID").value
+        default: object = None
+        if self.accept("OP", ":="):
+            tok = self.next()
+            if tok.kind == "INT":
+                default = tok.value
+            elif tok.kind == "STR":
+                default = tok.value
+            else:
+                raise self.error(f"bad generic default {tok.value!r}")
+        return GenericDecl(name, gtype, default)
+
+    def parse_port(self) -> PortDecl:
+        name = self.expect("ID").value
+        self.expect("OP", ":")
+        direction = self.expect("ID").value
+        if direction not in ("in", "out"):
+            raise self.error(f"bad port direction {direction!r}")
+        width, is_vector = self.parse_type()
+        return PortDecl(name, direction, width, is_vector)
+
+    def parse_type(self) -> Tuple[int, bool]:
+        tname = self.expect("ID").value
+        if tname == "std_logic":
+            return 1, False
+        if tname != "std_logic_vector":
+            raise self.error(f"unsupported type {tname!r}")
+        self.expect("OP", "(")
+        hi = self.expect("INT").value
+        self.expect("ID", "downto")
+        lo = self.expect("INT").value
+        self.expect("OP", ")")
+        if lo != 0 or hi < 0:
+            raise self.error(f"unsupported range ({hi} downto {lo})")
+        return hi - lo + 1, True
+
+    # -- architectures -------------------------------------------------------
+
+    def parse_architecture(self) -> Architecture:
+        self.expect("ID", "architecture")
+        name = self.expect("ID").value
+        self.expect("ID", "of")
+        entity = self.expect("ID").value
+        self.expect("ID", "is")
+        arch = Architecture(name, entity)
+        while self.accept("ID", "signal"):
+            signame = self.expect("ID").value
+            self.expect("OP", ":")
+            width, is_vector = self.parse_type()
+            self.expect("OP", ";")
+            arch.signals.append(SignalDecl(signame, width, is_vector))
+        self.expect("ID", "begin")
+        while not self.at("ID", "end"):
+            arch.statements.append(self.parse_concurrent())
+        self.expect("ID", "end")
+        self.accept("ID", "architecture")
+        self.accept("ID", name)
+        self.expect("OP", ";")
+        return arch
+
+    def parse_concurrent(self):
+        line = self.peek().line
+        if self.at("ID", "process"):
+            return self.parse_process()
+        if self.at("ID") and self.at("OP", ":", 1):
+            return self.parse_instance()
+        target = self.parse_target()
+        self.expect("OP", "<=")
+        value = self.parse_wave()
+        self.expect("OP", ";")
+        return ConcAssign(target, value, line)
+
+    def parse_instance(self) -> Instance:
+        line = self.peek().line
+        label = self.expect("ID").value
+        self.expect("OP", ":")
+        self.expect("ID", "entity")
+        self.expect("ID", "work")
+        self.expect("OP", ".")
+        entity = self.expect("ID").value
+        inst = Instance(label, entity, line=line)
+        if self.accept("ID", "generic"):
+            self.expect("ID", "map")
+            self.expect("OP", "(")
+            while True:
+                formal = self.expect("ID").value
+                self.expect("OP", "=>")
+                tok = self.next()
+                if tok.kind in ("INT", "STR"):
+                    inst.generic_map[formal] = tok.value
+                else:
+                    raise self.error(f"bad generic actual {tok.value!r}")
+                if not self.accept("OP", ","):
+                    break
+            self.expect("OP", ")")
+        self.expect("ID", "port")
+        self.expect("ID", "map")
+        self.expect("OP", "(")
+        while True:
+            formal = self.expect("ID").value
+            self.expect("OP", "=>")
+            inst.port_map.append((formal, self.parse_target()))
+            if not self.accept("OP", ","):
+                break
+        self.expect("OP", ")")
+        self.expect("OP", ";")
+        return inst
+
+    def parse_process(self) -> Process:
+        line = self.peek().line
+        self.expect("ID", "process")
+        self.expect("OP", "(")
+        sensitivity = [self.expect("ID").value]
+        while self.accept("OP", ","):
+            sensitivity.append(self.expect("ID").value)
+        self.expect("OP", ")")
+        self.expect("ID", "begin")
+        body = self.parse_seq_body(("end",))
+        self.expect("ID", "end")
+        self.expect("ID", "process")
+        self.expect("OP", ";")
+        return Process(sensitivity, body, line)
+
+    def parse_seq_body(self, stop: Tuple[str, ...]) -> List:
+        body = []
+        while not any(self.at("ID", s) for s in stop):
+            body.append(self.parse_seq_stmt())
+        return body
+
+    def parse_seq_stmt(self):
+        line = self.peek().line
+        if self.accept("ID", "if"):
+            branches = []
+            cond = self.parse_expr()
+            self.expect("ID", "then")
+            branches.append(
+                (cond, self.parse_seq_body(("elsif", "else", "end")))
+            )
+            while self.accept("ID", "elsif"):
+                cond = self.parse_expr()
+                self.expect("ID", "then")
+                branches.append(
+                    (cond, self.parse_seq_body(("elsif", "else", "end")))
+                )
+            otherwise = []
+            if self.accept("ID", "else"):
+                otherwise = self.parse_seq_body(("end",))
+            self.expect("ID", "end")
+            self.expect("ID", "if")
+            self.expect("OP", ";")
+            return IfStmt(branches, otherwise, line)
+        target = self.parse_target()
+        self.expect("OP", "<=")
+        value = self.parse_expr()
+        self.expect("OP", ";")
+        return SeqAssign(target, value, line)
+
+    # -- targets and expressions --------------------------------------------
+
+    def parse_target(self):
+        name = self.expect("ID").value
+        if self.accept("OP", "("):
+            first = self.expect("INT").value
+            if self.accept("ID", "downto"):
+                lo = self.expect("INT").value
+                self.expect("OP", ")")
+                return SliceRef(name, first, lo)
+            self.expect("OP", ")")
+            return Index(name, first)
+        return NameRef(name)
+
+    def parse_wave(self):
+        value = self.parse_expr()
+        if not self.at("ID", "when"):
+            return value
+        arms = []
+        while self.accept("ID", "when"):
+            cond = self.parse_expr()
+            self.expect("ID", "else")
+            arms.append((value, cond))
+            value = self.parse_expr()
+        return WhenElse(arms, value)
+
+    def parse_expr(self):
+        left = self.parse_relational()
+        while self.at("ID") and self.peek().value in _LOGICAL:
+            op = self.next().value
+            right = self.parse_relational()
+            left = Bin(op, left, right)
+        return left
+
+    def parse_relational(self):
+        left = self.parse_additive()
+        if self.at("OP") and self.peek().value in _REL_OPS:
+            op = self.next().value
+            right = self.parse_additive()
+            return Bin(op, left, right)
+        return left
+
+    def parse_additive(self):
+        left = self.parse_multiplicative()
+        while self.at("OP") and self.peek().value in ("+", "-", "&"):
+            op = self.next().value
+            right = self.parse_multiplicative()
+            left = Bin(op, left, right)
+        return left
+
+    def parse_multiplicative(self):
+        left = self.parse_unary()
+        while self.at("OP", "*"):
+            self.next()
+            right = self.parse_unary()
+            left = Bin("*", left, right)
+        return left
+
+    def parse_unary(self):
+        if self.accept("ID", "not"):
+            return Un("not", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self):
+        tok = self.peek()
+        if tok.kind == "INT":
+            self.next()
+            return Lit(tok.value, 0, "i")
+        if tok.kind == "HEX":
+            self.next()
+            value, width = tok.value
+            return Lit(value, width, "u")
+        if tok.kind == "CHAR":
+            self.next()
+            if tok.value not in ("0", "1"):
+                raise self.error(f"unsupported std_logic value '{tok.value}'")
+            return Lit(int(tok.value), 1, "u")
+        if tok.kind == "STR":
+            self.next()
+            if not all(c in "01" for c in tok.value):
+                raise self.error(f"bad binary literal {tok.value!r}")
+            return Lit(int(tok.value, 2) if tok.value else 0,
+                       len(tok.value), "u")
+        if tok.kind == "OP" and tok.value == "(":
+            self.next()
+            if self.at("ID", "others"):
+                self.next()
+                self.expect("OP", "=>")
+                fill = self.expect("CHAR")
+                if fill.value != "0":
+                    raise self.error("only (others => '0') is supported")
+                self.expect("OP", ")")
+                return OthersZero()
+            inner = self.parse_expr()
+            self.expect("OP", ")")
+            return inner
+        if tok.kind == "ID":
+            name = self.next().value
+            if name in FUNCTIONS:
+                self.expect("OP", "(")
+                args = [self.parse_expr()]
+                while self.accept("OP", ","):
+                    args.append(self.parse_expr())
+                self.expect("OP", ")")
+                return Call(name, args)
+            if self.accept("OP", "("):
+                first = self.parse_expr()
+                if self.accept("ID", "downto"):
+                    lo = self.parse_expr()
+                    self.expect("OP", ")")
+                    if not (isinstance(first, Lit) and isinstance(lo, Lit)):
+                        raise self.error("slice bounds must be literals")
+                    return SliceRef(name, first.value, lo.value)
+                self.expect("OP", ")")
+                if not isinstance(first, Lit):
+                    raise self.error("index must be a literal")
+                return Index(name, first.value)
+            return NameRef(name)
+        raise self.error(f"unexpected token {tok.value!r} in expression")
+
+
+def parse_vhdl(text: str) -> DesignFile:
+    """Parse emitted VHDL into a :class:`DesignFile`."""
+    return _Parser(tokenize(text)).parse_file()

@@ -1,0 +1,415 @@
+"""Python models for the behavioural entities in the emitted design.
+
+``emit_vhdl`` leaves three kinds of blocks behavioural (empty
+architecture bodies): the per-map port blocks, the helper blocks, and
+the async FIFOs of the NIC-shell boundary. During elaboration each
+instance is bound to one of the primitives here, which evaluate as
+combinational nodes against the shared value table while mutating the
+*same* backing objects the software legs use (``MapSet``, packet
+shadows), so the differential harness compares ends states directly.
+
+The map block contributes one node per channel — in channel order, with
+an explicit ordering edge — plus the atomic port last; the topological
+scheduler guarantees each runs exactly once per cycle, making the
+mutation-on-evaluate model sound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ebpf import isa
+from ..ebpf.helpers import helper_impl, helper_spec
+from ..ebpf.maps import MapError, MapSet
+from ..ebpf.xdp import AddressSpace, XdpContext
+from .elab import CombNode, Ref
+from .errors import RtlElabError, RtlSimError
+
+MASK32 = (1 << 32) - 1
+MASK64 = (1 << 64) - 1
+NEG1 = MASK64
+
+CH_OP_LOOKUP = 0x1
+CH_OP_UPDATE = 0x2
+CH_OP_DELETE = 0x3
+CH_OP_LOAD = 0x4
+CH_OP_STORE = 0x5
+CH_OP_REDIRECT = 0x6
+
+
+def _sign16(value: int) -> int:
+    return value - 0x10000 if value & 0x8000 else value
+
+
+class PacketShadow:
+    """Runner-side state of the packet currently in flight.
+
+    The pipeline carries only the first ``wmax`` packet bytes; anything
+    beyond rides here, along with metadata the state vector has no bits
+    for (the original length, the redirect target).
+    """
+
+    def __init__(self, frame: bytes) -> None:
+        self.orig_len = len(frame)
+        self.tail = bytearray()
+        self.redirect_ifindex: Optional[int] = None
+
+
+class RtlContext:
+    """Shared environment of one RTL simulation run: the maps, the
+    frozen clock, and the shadow of the in-flight packet."""
+
+    def __init__(self, maps: MapSet, time_ns: int = 0) -> None:
+        self.maps = maps
+        self.time_ns = time_ns
+        self.trace_events: List[tuple] = []
+        self._prandom_state = 0x5EED
+        self.packet: Optional[PacketShadow] = None
+
+    def next_prandom(self) -> int:
+        self._prandom_state = (
+            self._prandom_state * 1103515245 + 12345
+        ) & MASK32
+        return self._prandom_state
+
+
+def _bytes_le(value: int, nbytes: int) -> bytes:
+    return (value & ((1 << (8 * nbytes)) - 1)).to_bytes(nbytes, "little")
+
+
+class MapBlock:
+    """Models a ``{prog}_map_{fd}`` entity against the shared MapSet."""
+
+    def __init__(self, entity_name: str, generics: Dict[str, object],
+                 ports: Dict[str, Ref], context: RtlContext) -> None:
+        self.name = entity_name
+        self.fd = int(generics["g_fd"])
+        self.key_bytes = int(generics["g_key_bytes"])
+        self.value_bytes = int(generics["g_value_bytes"])
+        self.ports = ports
+        self.context = context
+        self.n_channels = 0
+        while f"ch{self.n_channels}_req" in ports:
+            self.n_channels += 1
+        if not self.n_channels:
+            raise RtlElabError(f"{entity_name}: no channels")
+
+    def _map(self):
+        maps = self.context.maps
+        if self.fd not in maps:
+            raise RtlSimError(f"{self.name}: fd {self.fd} not in MapSet")
+        return maps[self.fd]
+
+    def _decode_addr(self, addr: int, size: int):
+        """A map-value address valid for this fd, or None (→ oob)."""
+        if not AddressSpace.is_map_value(addr):
+            return None
+        if AddressSpace.map_fd_of(addr) != self.fd:
+            return None
+        offset = AddressSpace.map_offset_of(addr)
+        if offset + size > len(self._map().storage):
+            return None
+        return offset
+
+    def _channel(self, c: int, values: List[int]) -> None:
+        p = self.ports
+        rdata, oob = p[f"ch{c}_rdata"], p[f"ch{c}_oob"]
+        if p[f"ch{c}_req"].get(values) != 1:
+            rdata.set(values, 0)
+            oob.set(values, 0)
+            return
+        op = p[f"ch{c}_op"].get(values)
+        code, size = op & 0xF, op >> 4
+        addr = p[f"ch{c}_addr"].get(values)
+        key_raw = p[f"ch{c}_key"].get(values)
+        bpf_map = self._map()
+        result, out_of_bounds = 0, 0
+        if code == CH_OP_LOOKUP:
+            key = _bytes_le(key_raw, bpf_map.key_size)
+            slot = bpf_map.lookup_slot(key)
+            if slot is not None:
+                result = AddressSpace.map_value_addr(
+                    self.fd, bpf_map.value_addr(slot)
+                )
+        elif code == CH_OP_UPDATE:
+            key = _bytes_le(key_raw, bpf_map.key_size)
+            value = _bytes_le(p[f"ch{c}_wdata"].get(values),
+                              bpf_map.value_size)
+            try:
+                bpf_map.update(key, value, flags=addr & 0x3)
+            except MapError:
+                result = NEG1
+        elif code == CH_OP_DELETE:
+            key = _bytes_le(key_raw, bpf_map.key_size)
+            slot = bpf_map.lookup_slot(key)
+            deleted = False
+            if slot is not None:
+                try:
+                    deleted = bpf_map.delete(key)
+                except MapError:
+                    deleted = False
+            result = 0 if deleted else NEG1
+        elif code == CH_OP_REDIRECT:
+            slot = None
+            if bpf_map.key_size == 4:
+                key = _bytes_le(key_raw, 4)
+                slot = bpf_map.lookup_slot(key)
+            if slot is None:
+                result = addr & MASK32  # miss: fall back to r3's action
+            else:
+                value = bpf_map.lookup(key)
+                shadow = self.context.packet
+                if shadow is not None:
+                    shadow.redirect_ifindex = int.from_bytes(
+                        value[:4], "little"
+                    )
+                result = 4  # XDP_REDIRECT
+        elif code == CH_OP_LOAD:
+            offset = self._decode_addr(addr, size)
+            if offset is None:
+                out_of_bounds = 1
+            else:
+                result = int.from_bytes(
+                    bpf_map.storage[offset:offset + size], "little"
+                )
+        elif code == CH_OP_STORE:
+            offset = self._decode_addr(addr, size)
+            if offset is None:
+                out_of_bounds = 1
+            else:
+                bpf_map.storage[offset:offset + size] = _bytes_le(
+                    p[f"ch{c}_wdata"].get(values), size
+                )
+        else:
+            raise RtlSimError(f"{self.name}: channel op {op:#x}")
+        rdata.set(values, result)
+        oob.set(values, out_of_bounds)
+
+    def _atomic(self, values: List[int]) -> None:
+        p = self.ports
+        old_ref, oob = p["at_old"], p["at_oob"]
+        if p["at_req"].get(values) != 1:
+            old_ref.set(values, 0)
+            oob.set(values, 0)
+            return
+        op = p["at_op"].get(values)
+        size = p["at_size"].get(values)
+        addr = p["at_addr"].get(values)
+        src = p["at_wdata"].get(values)
+        mask = (1 << (8 * size)) - 1
+        offset = self._decode_addr(addr, size)
+        if offset is None:
+            old_ref.set(values, 0)
+            oob.set(values, 1)
+            return
+        bpf_map = self._map()
+        old = int.from_bytes(bpf_map.storage[offset:offset + size],
+                             "little")
+        src_val = src & mask
+        if op == isa.ATOMIC_XCHG:
+            new = src_val
+        elif op == isa.ATOMIC_CMPXCHG:
+            expected = p["at_expected"].get(values) & mask
+            new = src_val if old == expected else old
+        else:
+            base = op & ~isa.BPF_FETCH
+            if base == isa.ATOMIC_ADD:
+                new = (old + src_val) & mask
+            elif base == isa.ATOMIC_OR:
+                new = old | src_val
+            elif base == isa.ATOMIC_AND:
+                new = old & src_val
+            elif base == isa.ATOMIC_XOR:
+                new = old ^ src_val
+            else:
+                raise RtlSimError(f"{self.name}: atomic op {op:#x}")
+        bpf_map.storage[offset:offset + size] = new.to_bytes(size, "little")
+        old_ref.set(values, old)
+        oob.set(values, 0)
+
+    def nodes(self) -> List[CombNode]:
+        p = self.ports
+        out: List[CombNode] = []
+        for c in range(self.n_channels):
+            reads = {p[f"ch{c}_{f}"].net
+                     for f in ("req", "op", "addr", "key", "wdata")}
+            writes = {p[f"ch{c}_rdata"].net, p[f"ch{c}_oob"].net}
+            out.append(CombNode(
+                lambda values, c=c: self._channel(c, values),
+                reads, writes, label=f"{self.name}.ch{c}",
+            ))
+        if "at_req" in p:
+            reads = {p[f"at_{f}"].net
+                     for f in ("req", "op", "size", "addr", "wdata",
+                               "expected")}
+            writes = {p["at_old"].net, p["at_oob"].net}
+            out.append(CombNode(self._atomic, reads, writes,
+                                label=f"{self.name}.atomic"))
+        # Quiescent host/flush outputs (host port unused in verification).
+        tied = [p[name] for name in ("flush_out", "host_rdata")
+                if name in p]
+        if tied:
+            def tie(values, tied=tied):
+                for ref in tied:
+                    ref.set(values, 0)
+
+            out.append(CombNode(tie, set(), {r.net for r in tied},
+                                label=f"{self.name}.tie"))
+        return out
+
+
+class _HelperFacade:
+    """Duck-typed Vm for ``helper_impl`` callables, backed by the RTL
+    block's input ports (mirrors ``hwsim.sim._HelperContext``)."""
+
+    def __init__(self, context: RtlContext, ctx: XdpContext,
+                 stack_layout: List, stack_value: int) -> None:
+        self._context = context
+        self.maps = context.maps
+        self.ctx = ctx
+        self.time_ns = context.time_ns
+        self.trace_events = context.trace_events
+        self._stack_layout = stack_layout  # [(offset, size, low_bit)]
+        self._stack_value = stack_value
+
+    def next_prandom(self) -> int:
+        return self._context.next_prandom()
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        if AddressSpace.is_stack(addr):
+            off = addr - AddressSpace.STACK_BASE
+            for r_off, r_size, low in self._stack_layout:
+                if r_off <= off and off + size <= r_off + r_size:
+                    shift = low + 8 * (off - r_off)
+                    raw = (self._stack_value >> shift) & \
+                        ((1 << (8 * size)) - 1)
+                    return raw.to_bytes(size, "little")
+            raise RtlSimError(
+                f"helper read of stack [{off}:{off + size}] outside the "
+                "carried layout"
+            )
+        if AddressSpace.is_packet(addr):
+            off = addr - self.ctx.data
+            if off < 0 or off + size > len(self.ctx.packet):
+                raise RtlSimError("helper packet read out of bounds")
+            return bytes(self.ctx.packet[off:off + size])
+        if AddressSpace.is_map_value(addr):
+            fd = AddressSpace.map_fd_of(addr)
+            offset = AddressSpace.map_offset_of(addr)
+            return bytes(self.maps[fd].storage[offset:offset + size])
+        raise RtlSimError(f"helper read from unmapped address {addr:#x}")
+
+
+class HelperBlock:
+    """Models a helper entity: one combinational node that runs the
+    shared helper implementation when requested."""
+
+    def __init__(self, entity_name: str, generics: Dict[str, object],
+                 ports: Dict[str, Ref], context: RtlContext) -> None:
+        self.name = entity_name
+        self.helper_id = int(generics["g_helper_id"])
+        self.spec = helper_spec(self.helper_id)
+        self.impl = helper_impl(self.helper_id)
+        self.win_bytes = int(generics.get("g_win_bytes") or 0)
+        self.ports = ports
+        self.context = context
+        # "off:size;off:size" → [(off, size, low_bit)] ascending
+        self.stack_layout: List = []
+        desc = generics.get("g_stack_layout") or ""
+        low = 0
+        for piece in str(desc).split(";"):
+            if not piece:
+                continue
+            off_s, size_s = piece.split(":")
+            self.stack_layout.append((int(off_s), int(size_s), low))
+            low += 8 * int(size_s)
+
+    def _eval(self, values: List[int]) -> None:
+        p = self.ports
+        if p["req"].get(values) != 1:
+            p["rsp"].set(values, 0)
+            return
+        shadow = self.context.packet
+        if shadow is None:
+            raise RtlSimError(f"{self.name}: request with no packet in "
+                              "flight")
+        has_frame = "frame_i" in p
+        packet = bytearray()
+        plen = haj = 0
+        if has_frame:
+            plen = p["plen_i"].get(values)
+            haj = _sign16(p["haj_i"].get(values))
+            window = _bytes_le(p["frame_i"].get(values), self.win_bytes)
+            packet = bytearray(window[:min(plen, self.win_bytes)]
+                               + shadow.tail)
+        ctx = XdpContext(packet)
+        ctx.head_adjust = haj
+        ctx.tail_adjust = plen - shadow.orig_len + haj
+        ctx.redirect_ifindex = shadow.redirect_ifindex
+        stack_value = p["stack_i"].get(values) if "stack_i" in p else 0
+        facade = _HelperFacade(self.context, ctx, self.stack_layout,
+                               stack_value)
+        args = [p[f"r{i}"].get(values) for i in range(1, 6)]
+        result = self.impl(facade, *args) & MASK64
+        p["rsp"].set(values, result)
+        shadow.redirect_ifindex = ctx.redirect_ifindex
+        if "frame_o" in p:
+            new_packet = bytes(ctx.packet)
+            win = new_packet[:self.win_bytes].ljust(self.win_bytes, b"\x00")
+            p["frame_o"].set(values, int.from_bytes(win, "little"))
+            p["plen_o"].set(values, len(new_packet) & 0xFFFF)
+            p["haj_o"].set(values, ctx.head_adjust & 0xFFFF)
+            shadow.tail = bytearray(new_packet[self.win_bytes:])
+
+    def nodes(self) -> List[CombNode]:
+        p = self.ports
+        reads = {p[name].net for name in
+                 ("req", "r1", "r2", "r3", "r4", "r5", "frame_i",
+                  "plen_i", "haj_i", "stack_i") if name in p}
+        writes = {p[name].net for name in
+                  ("rsp", "frame_o", "plen_o", "haj_o") if name in p}
+        return [CombNode(self._eval, reads, writes, label=self.name)]
+
+
+class AsyncFifo:
+    """Depth-agnostic model of ``ehdl_async_fifo``: in verification both
+    clocks are the same and at most one packet is in flight, so the FIFO
+    degenerates to a wire (write visible the same cycle)."""
+
+    def __init__(self, entity_name: str, generics: Dict[str, object],
+                 ports: Dict[str, Ref], context: RtlContext) -> None:
+        self.name = entity_name
+        self.ports = ports
+
+    def _eval(self, values: List[int]) -> None:
+        p = self.ports
+        wr = p["wr_en"].get(values)
+        p["rd_data"].set(values, p["wr_data"].get(values))
+        p["empty"].set(values, 0 if wr else 1)
+        p["full"].set(values, 0)
+
+    def nodes(self) -> List[CombNode]:
+        p = self.ports
+        reads = {p["wr_en"].net, p["wr_data"].net, p["rd_en"].net}
+        writes = {p["rd_data"].net, p["empty"].net, p["full"].net}
+        return [CombNode(self._eval, reads, writes, label=self.name)]
+
+
+def primitive_factory(entity, generics: Dict[str, object],
+                      ports: Dict[str, Ref], context: RtlContext):
+    """Dispatch a behavioural entity to its Python model by its
+    distinguishing generic."""
+    if context is None:
+        raise RtlElabError(
+            f"entity {entity.name!r}: primitives need an RtlContext"
+        )
+    if "g_fd" in generics:
+        return MapBlock(entity.name, generics, ports, context)
+    if "g_helper_id" in generics:
+        return HelperBlock(entity.name, generics, ports, context)
+    if "g_width" in generics:
+        return AsyncFifo(entity.name, generics, ports, context)
+    raise RtlElabError(
+        f"entity {entity.name!r} is behavioural but matches no known "
+        "primitive"
+    )

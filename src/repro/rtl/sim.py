@@ -1,0 +1,194 @@
+"""Cycle-accurate simulation of the emitted VHDL design.
+
+:class:`RtlSimulator` is the generic engine: drive top-level inputs,
+``settle()`` the combinational fabric (one pass over the topologically
+ordered nodes), sample outputs, ``edge()`` the registers. On top of it
+:class:`RtlRunner` speaks the NIC-shell AXI-stream protocol of the
+emitted top entity, pushing real frames through ``s_axis_*`` and
+collecting verdicts from ``m_axis_*`` into the same
+:class:`~repro.hwsim.stats.SimReport` shape the pipeline simulator
+produces — so reports from both back ends compare field by field.
+
+Verification runs one packet in flight (``gap >= n_stages``): that is
+the regime where the hardware pipeline is sequentially consistent with
+the instruction-level VM, which is exactly the property the three-way
+differential harness (:mod:`repro.rtl.diff`) checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..core.pipeline import Pipeline
+from ..core.vhdl import TOP_MARKER, emit_vhdl
+from ..ebpf.maps import MapSet
+from ..ebpf.xdp import XdpAction
+from .elab import Elaborated, elaborate
+from .errors import RtlSimError
+from .parser import parse_vhdl
+from .primitives import PacketShadow, RtlContext, primitive_factory
+
+from ..hwsim.stats import PacketRecord, SimReport
+
+
+class RtlSimulator:
+    """Two-phase simulator over an elaborated design."""
+
+    def __init__(self, model: Elaborated) -> None:
+        self.model = model
+        self.values: List[int] = [0] * len(model.net_widths)
+
+    def _port(self, name: str):
+        ref = self.model.top_scope.get(name)
+        if ref is None:
+            raise RtlSimError(f"top has no port or signal {name!r}")
+        return ref
+
+    def drive(self, name: str, value: int) -> None:
+        self._port(name).set(self.values, value)
+
+    def read(self, name: str) -> int:
+        return self._port(name).get(self.values)
+
+    def settle(self) -> None:
+        """One combinational evaluation pass (topological order)."""
+        values = self.values
+        for node in self.model.nodes:
+            node.fn(values)
+
+    def edge(self) -> None:
+        """One rising clock edge: every process reads pre-edge values,
+        writes land after all processes ran (signal semantics)."""
+        values = self.values
+        pending: Dict[int, int] = {}
+        for proc in self.model.procs:
+            proc.fn(values, pending)
+        for net, value in pending.items():
+            values[net] = value
+
+
+def find_top(text: str) -> Optional[str]:
+    """The top entity name recorded in the emitted header comment."""
+    for line in text.splitlines():
+        if line.startswith(TOP_MARKER):
+            return line[len(TOP_MARKER):].strip()
+        if line and not line.startswith("--"):
+            break
+    return None
+
+
+def load_design(text: str, context: Optional[RtlContext] = None
+                ) -> RtlSimulator:
+    """Parse + elaborate emitted VHDL into a ready simulator."""
+    top = find_top(text)
+    if top is None:
+        raise RtlSimError("no '-- top:' marker in the design text")
+    if context is None:
+        context = RtlContext(MapSet({}))
+    design = parse_vhdl(text)
+    model = elaborate(design, top, primitive_factory, context)
+    return RtlSimulator(model)
+
+
+class RtlRunner:
+    """Drives the emitted top entity with frames, one per ``gap``
+    cycles, and reports per-packet verdicts."""
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        maps: Optional[MapSet] = None,
+        time_ns: int = 0,
+        text: Optional[str] = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.maps = maps if maps is not None else MapSet(pipeline.program.maps)
+        self.text = text if text is not None else emit_vhdl(pipeline)
+        self.context = RtlContext(self.maps, time_ns=time_ns)
+        top = find_top(self.text)
+        if top is None:
+            raise RtlSimError("emitted design has no '-- top:' marker")
+        design = parse_vhdl(self.text)
+        self.model = elaborate(design, top, primitive_factory, self.context)
+        self.sim = RtlSimulator(self.model)
+        self.n_stages = pipeline.n_stages
+        port = self.model.top_entity.port("s_axis_tdata")
+        self.window_bytes = port.width // 8
+
+    def run_packets(self, frames: Iterable[bytes],
+                    gap: Optional[int] = None) -> SimReport:
+        """Push ``frames`` through the design, one injection every
+        ``gap`` cycles (default ``n_stages + 2``: single packet in
+        flight, the sequentially-consistent regime)."""
+        frames = [bytes(f) for f in frames]
+        if gap is None:
+            gap = self.n_stages + 2
+        if gap < self.n_stages:
+            raise RtlSimError(
+                f"gap {gap} would overlap packets (pipeline depth "
+                f"{self.n_stages}); the RTL runner models one packet in "
+                "flight"
+            )
+        sim = self.sim
+        report = SimReport(clock_mhz=1_000_000.0, n_stages=self.n_stages)
+        report.packets_in = len(frames)
+        sim.drive("rst", 0)
+        sim.drive("m_axis_tready", 1)
+        shadows: List[PacketShadow] = []
+        out_index = 0
+        total_cycles = (len(frames) - 1) * gap + self.n_stages + 1 \
+            if frames else 0
+        wmax = self.window_bytes
+        for cycle in range(total_cycles):
+            if cycle % gap == 0 and cycle // gap < len(frames):
+                frame = frames[cycle // gap]
+                shadow = PacketShadow(frame)
+                shadow.tail = bytearray(frame[wmax:])
+                shadows.append(shadow)
+                self.context.packet = shadow
+                window = frame[:wmax].ljust(wmax, b"\x00")
+                sim.drive("s_axis_tvalid", 1)
+                sim.drive("s_axis_tlast", 1)
+                sim.drive("s_axis_tdata", int.from_bytes(window, "little"))
+                sim.drive("s_axis_tlen", len(frame) & 0xFFFF)
+            else:
+                sim.drive("s_axis_tvalid", 0)
+            sim.settle()
+            if sim.read("m_axis_tvalid") == 1:
+                if out_index >= len(shadows):
+                    raise RtlSimError(
+                        f"cycle {cycle}: spurious m_axis output"
+                    )
+                shadow = shadows[out_index]
+                plen = sim.read("m_axis_tlen")
+                raw = sim.read("m_axis_tdata").to_bytes(wmax, "little")
+                data = raw[:min(plen, wmax)] + bytes(shadow.tail)
+                verdict = sim.read("m_axis_tverdict")
+                try:
+                    action = XdpAction(verdict)
+                except ValueError:
+                    action = XdpAction.ABORTED
+                if shadow.redirect_ifindex is not None \
+                        and action is not XdpAction.REDIRECT:
+                    shadow.redirect_ifindex = None
+                inject = out_index * gap
+                record = PacketRecord(
+                    pid=out_index, action=action, data=data,
+                    arrival_cycle=inject, inject_cycle=inject,
+                    exit_cycle=cycle,
+                )
+                report.records.append(record)
+                report.packets_out += 1
+                report.action_counts[action] = \
+                    report.action_counts.get(action, 0) + 1
+                report.sum_total_cycles += record.total_cycles
+                report.sum_pipeline_cycles += record.pipeline_cycles
+                out_index += 1
+            sim.edge()
+        report.cycles = total_cycles
+        if out_index != len(frames):
+            raise RtlSimError(
+                f"{len(frames) - out_index} packet(s) never reached "
+                "m_axis"
+            )
+        return report

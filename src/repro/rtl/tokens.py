@@ -1,0 +1,96 @@
+"""Tokenizer for the VHDL subset :func:`repro.core.vhdl.emit_vhdl` emits.
+
+VHDL is case-insensitive; identifiers and keywords are lowercased here so
+the parser compares plain strings. ``--`` comments run to end of line.
+Token kinds:
+
+``ID``      identifier or keyword (lowercased)
+``INT``     decimal integer literal
+``HEX``     bit-string literal ``x"..."`` (value, bit width)
+``STR``     double-quoted string (binary literal or generic string)
+``CHAR``    character literal ``'0'`` / ``'1'``
+``OP``      punctuation / operator, one of the multi- or single-char ops
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple
+
+from .errors import RtlParseError
+
+
+class Token(NamedTuple):
+    kind: str
+    value: object
+    line: int
+
+
+_TWO_CHAR = ("<=", "=>", ":=", "/=", ">=", "**")
+_ONE_CHAR = "()+-*/&=<>;:,.'|"
+
+
+def tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    i, n, line = 0, len(text), 1
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r":
+            i += 1
+            continue
+        if text.startswith("--", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if c in "xX" and i + 1 < n and text[i + 1] == '"':
+            j = text.find('"', i + 2)
+            if j < 0:
+                raise RtlParseError("unterminated bit-string literal", line)
+            digits = text[i + 2 : j]
+            try:
+                value = int(digits, 16) if digits else 0
+            except ValueError:
+                raise RtlParseError(f"bad hex literal x\"{digits}\"", line)
+            tokens.append(Token("HEX", (value, 4 * len(digits)), line))
+            i = j + 1
+            continue
+        if c == '"':
+            j = text.find('"', i + 1)
+            if j < 0:
+                raise RtlParseError("unterminated string literal", line)
+            tokens.append(Token("STR", text[i + 1 : j], line))
+            i = j + 1
+            continue
+        if c == "'" and i + 2 < n and text[i + 2] == "'":
+            tokens.append(Token("CHAR", text[i + 1], line))
+            i += 3
+            continue
+        if c.isdigit():
+            j = i
+            while j < n and (text[j].isdigit() or text[j] == "_"):
+                j += 1
+            tokens.append(Token("INT", int(text[i:j].replace("_", "")), line))
+            i = j
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token("ID", text[i:j].lower(), line))
+            i = j
+            continue
+        two = text[i : i + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token("OP", two, line))
+            i += 2
+            continue
+        if c in _ONE_CHAR:
+            tokens.append(Token("OP", c, line))
+            i += 1
+            continue
+        raise RtlParseError(f"unexpected character {c!r}", line)
+    tokens.append(Token("EOF", None, line))
+    return tokens

@@ -1,6 +1,14 @@
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate golden snapshot files (tests/corpus/vhdl/) "
+             "instead of comparing against them",
+    )
+
+
 @pytest.fixture(autouse=True)
 def _isolated_compile_cache(tmp_path_factory, monkeypatch):
     """Keep the persistent compile cache out of the user's home directory

@@ -1,0 +1,1766 @@
+-- firewall: eHDL-generated pipeline (22 stages, 7 blocks)
+-- top: ehdl_firewall
+-- window plan (bytes per link): 64 64 64 64 64 64 64 64 64 64 64 64 64 64 64 64 64 64 64 64 64 64 64
+-- enable width: 32  frame size: 64
+
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+package ehdl_pkg is
+  -- byte-order and division blocks; the RTL simulator binds these
+  -- declarations to behavioural builtins (div by zero yields 0,
+  -- rem by zero yields the dividend, as the eBPF ISA requires).
+  function ehdl_bswap16(v : std_logic_vector(63 downto 0)) return std_logic_vector;
+  function ehdl_bswap32(v : std_logic_vector(63 downto 0)) return std_logic_vector;
+  function ehdl_bswap64(v : std_logic_vector(63 downto 0)) return std_logic_vector;
+  function ehdl_udiv(a : std_logic_vector; b : std_logic_vector) return std_logic_vector;
+  function ehdl_urem(a : std_logic_vector; b : std_logic_vector) return std_logic_vector;
+end package ehdl_pkg;
+
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+-- dual-clock FIFO decoupling the pipeline from the shell (§4.5);
+-- the single-clock RTL model binds it to a pass-through primitive.
+entity ehdl_async_fifo is
+  generic (G_WIDTH : integer := 577);
+  port (
+    wr_clk  : in  std_logic;
+    rd_clk  : in  std_logic;
+    rst     : in  std_logic;
+    wr_en   : in  std_logic;
+    wr_data : in  std_logic_vector(576 downto 0);
+    rd_en   : in  std_logic;
+    rd_data : out std_logic_vector(576 downto 0);
+    empty   : out std_logic;
+    full    : out std_logic
+  );
+end entity ehdl_async_fifo;
+
+architecture behavioral of ehdl_async_fifo is
+begin
+  -- vendor dual-clock FIFO macro (simulation primitive)
+end architecture behavioral;
+
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+-- eHDL map block for fd 1 (flows, hash)
+--   channels: 1  WAR buffer depth: 0  flush blocks: 0  atomic port: yes
+entity firewall_map_1 is
+  generic (G_FD : integer := 1; G_DEPTH : integer := 8192; G_KEY_BYTES : integer := 16; G_VALUE_BYTES : integer := 8);
+  port (
+    clk : in  std_logic;
+    rst : in  std_logic;
+    ch0_req   : in  std_logic;
+    ch0_op    : in  std_logic_vector(7 downto 0);
+    ch0_addr  : in  std_logic_vector(63 downto 0);
+    ch0_key   : in  std_logic_vector(127 downto 0);
+    ch0_wdata : in  std_logic_vector(63 downto 0);
+    ch0_rdata : out std_logic_vector(63 downto 0);
+    ch0_oob   : out std_logic;
+    at_req      : in  std_logic;
+    at_op       : in  std_logic_vector(7 downto 0);
+    at_size     : in  std_logic_vector(3 downto 0);
+    at_addr     : in  std_logic_vector(63 downto 0);
+    at_wdata    : in  std_logic_vector(63 downto 0);
+    at_expected : in  std_logic_vector(63 downto 0);
+    at_old      : out std_logic_vector(63 downto 0);
+    at_oob      : out std_logic;
+    host_req   : in  std_logic;  -- userspace eBPF map interface
+    host_wr    : in  std_logic;
+    host_addr  : in  std_logic_vector(31 downto 0);
+    host_wdata : in  std_logic_vector(63 downto 0);
+    host_rdata : out std_logic_vector(63 downto 0)
+  );
+end entity firewall_map_1;
+
+architecture behavioral of firewall_map_1 is
+begin
+  -- BRAM + WAR delay chain (0 slots) + 0 Flush Evaluation Blocks (Figs. 6-7);
+  -- bound to the repro.rtl simulation primitive backed by the
+  -- shared MapSet.
+end architecture behavioral;
+
+-- stage 1: r2 = *(u16 *)(r6 + 12)
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_001 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(640 downto 0);
+    state_out  : out std_logic_vector(704 downto 0)
+  );
+end entity firewall_stage_001;
+
+architecture rtl of firewall_stage_001 is
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        state_out(640 downto 577) <= (others => '0');  -- r2 defined here
+        state_out(704 downto 641) <= state_in(640 downto 577);  -- carry r6
+        -- b0: r2 = *(u16 *)(r6 + 12)
+        if valid_in = '1' and enable_in(0) = '1' and state_in(544) = '0' then
+          if unsigned(state_in(527 downto 512)) < to_unsigned(14, 16) then
+            state_out(544) <= '1';
+            state_out(576 downto 545) <= x"00000001";
+          else
+            state_out(640 downto 577) <= std_logic_vector(resize(unsigned(state_in(111 downto 96)), 64));
+          end if;
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- stage 2: if r2 != 8 goto +38
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_002 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(704 downto 0);
+    state_out  : out std_logic_vector(640 downto 0)
+  );
+end entity firewall_stage_002;
+
+architecture rtl of firewall_stage_002 is
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        state_out(640 downto 577) <= state_in(704 downto 641);  -- carry r6
+        -- b0: if r2 != 8 goto +38
+        if valid_in = '1' and enable_in(0) = '1' and state_in(544) = '0' then
+          if unsigned(state_in(640 downto 577)) /= unsigned(x"0000000000000008") then
+            enable_out(6) <= '1';
+          else
+            enable_out(1) <= '1';
+          end if;
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- stage 3: r2 = *(u8 *)(r6 + 23)
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_003 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(640 downto 0);
+    state_out  : out std_logic_vector(704 downto 0)
+  );
+end entity firewall_stage_003;
+
+architecture rtl of firewall_stage_003 is
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        state_out(640 downto 577) <= (others => '0');  -- r2 defined here
+        state_out(704 downto 641) <= state_in(640 downto 577);  -- carry r6
+        -- b1: r2 = *(u8 *)(r6 + 23)
+        if valid_in = '1' and enable_in(1) = '1' and state_in(544) = '0' then
+          if unsigned(state_in(527 downto 512)) < to_unsigned(24, 16) then
+            state_out(544) <= '1';
+            state_out(576 downto 545) <= x"00000001";
+          else
+            state_out(640 downto 577) <= std_logic_vector(resize(unsigned(state_in(191 downto 184)), 64));
+          end if;
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- stage 4: if r2 != 17 goto +36
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_004 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(704 downto 0);
+    state_out  : out std_logic_vector(640 downto 0)
+  );
+end entity firewall_stage_004;
+
+architecture rtl of firewall_stage_004 is
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        state_out(640 downto 577) <= state_in(704 downto 641);  -- carry r6
+        -- b1: if r2 != 17 goto +36
+        if valid_in = '1' and enable_in(1) = '1' and state_in(544) = '0' then
+          if unsigned(state_in(640 downto 577)) /= unsigned(x"0000000000000011") then
+            enable_out(6) <= '1';
+          else
+            enable_out(2) <= '1';
+          end if;
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- stage 5: r2 = *(u32 *)(r6 + 26) | r3 = *(u32 *)(r6 + 30) | r4 = *(u16 *)(r6 + 34) | r5 = *(u16 *)(r6 + 36) | r8 = 0 | r1 = map[1]
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_005 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(640 downto 0);
+    state_out  : out std_logic_vector(1024 downto 0)
+  );
+end entity firewall_stage_005;
+
+architecture rtl of firewall_stage_005 is
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        state_out(640 downto 577) <= (others => '0');  -- r1 defined here
+        state_out(704 downto 641) <= (others => '0');  -- r2 defined here
+        state_out(768 downto 705) <= (others => '0');  -- r3 defined here
+        state_out(832 downto 769) <= (others => '0');  -- r4 defined here
+        state_out(896 downto 833) <= (others => '0');  -- r5 defined here
+        state_out(960 downto 897) <= state_in(640 downto 577);  -- carry r6
+        state_out(1024 downto 961) <= (others => '0');  -- r8 defined here
+        -- b2: r2 = *(u32 *)(r6 + 26)
+        if valid_in = '1' and enable_in(2) = '1' and state_in(544) = '0' then
+          if unsigned(state_in(527 downto 512)) < to_unsigned(30, 16) then
+            state_out(544) <= '1';
+            state_out(576 downto 545) <= x"00000001";
+          else
+            state_out(704 downto 641) <= std_logic_vector(resize(unsigned(state_in(239 downto 208)), 64));
+          end if;
+        end if;
+        -- b2: r3 = *(u32 *)(r6 + 30)
+        if valid_in = '1' and enable_in(2) = '1' and state_in(544) = '0' and not (unsigned(state_in(527 downto 512)) < to_unsigned(30, 16)) then
+          if unsigned(state_in(527 downto 512)) < to_unsigned(34, 16) then
+            state_out(544) <= '1';
+            state_out(576 downto 545) <= x"00000001";
+          else
+            state_out(768 downto 705) <= std_logic_vector(resize(unsigned(state_in(271 downto 240)), 64));
+          end if;
+        end if;
+        -- b2: r4 = *(u16 *)(r6 + 34)
+        if valid_in = '1' and enable_in(2) = '1' and state_in(544) = '0' and not (unsigned(state_in(527 downto 512)) < to_unsigned(30, 16)) and not (unsigned(state_in(527 downto 512)) < to_unsigned(34, 16)) then
+          if unsigned(state_in(527 downto 512)) < to_unsigned(36, 16) then
+            state_out(544) <= '1';
+            state_out(576 downto 545) <= x"00000001";
+          else
+            state_out(832 downto 769) <= std_logic_vector(resize(unsigned(state_in(287 downto 272)), 64));
+          end if;
+        end if;
+        -- b2: r5 = *(u16 *)(r6 + 36)
+        if valid_in = '1' and enable_in(2) = '1' and state_in(544) = '0' and not (unsigned(state_in(527 downto 512)) < to_unsigned(30, 16)) and not (unsigned(state_in(527 downto 512)) < to_unsigned(34, 16)) and not (unsigned(state_in(527 downto 512)) < to_unsigned(36, 16)) then
+          if unsigned(state_in(527 downto 512)) < to_unsigned(38, 16) then
+            state_out(544) <= '1';
+            state_out(576 downto 545) <= x"00000001";
+          else
+            state_out(896 downto 833) <= std_logic_vector(resize(unsigned(state_in(303 downto 288)), 64));
+          end if;
+        end if;
+        -- b2: r8 = 0
+        if valid_in = '1' and enable_in(2) = '1' and state_in(544) = '0' and not (unsigned(state_in(527 downto 512)) < to_unsigned(30, 16)) and not (unsigned(state_in(527 downto 512)) < to_unsigned(34, 16)) and not (unsigned(state_in(527 downto 512)) < to_unsigned(36, 16)) and not (unsigned(state_in(527 downto 512)) < to_unsigned(38, 16)) then
+          state_out(1024 downto 961) <= x"0000000000000000";
+        end if;
+        -- b2: r1 = map[1]
+        if valid_in = '1' and enable_in(2) = '1' and state_in(544) = '0' and not (unsigned(state_in(527 downto 512)) < to_unsigned(30, 16)) and not (unsigned(state_in(527 downto 512)) < to_unsigned(34, 16)) and not (unsigned(state_in(527 downto 512)) < to_unsigned(36, 16)) and not (unsigned(state_in(527 downto 512)) < to_unsigned(38, 16)) then
+          state_out(640 downto 577) <= x"0000000030000001";
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- stage 6: *(u32 *)(r10 - 16) = r2 | *(u32 *)(r10 - 12) = r3 | *(u16 *)(r10 - 8) = r4 | *(u16 *)(r10 - 6) = r5 | *(u32 *)(r10 - 4) = r8 | r2 = r10 | r2 += -16
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_006 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(1024 downto 0);
+    state_out  : out std_logic_vector(896 downto 0)
+  );
+end entity firewall_stage_006;
+
+architecture rtl of firewall_stage_006 is
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        state_out(640 downto 577) <= state_in(640 downto 577);  -- carry r1
+        state_out(704 downto 641) <= state_in(704 downto 641);  -- carry r2
+        state_out(768 downto 705) <= state_in(960 downto 897);  -- carry r6
+        state_out(896 downto 769) <= (others => '0');
+        -- b2: *(u32 *)(r10 - 16) = r2
+        if valid_in = '1' and enable_in(2) = '1' and state_in(544) = '0' then
+          state_out(800 downto 769) <= std_logic_vector(resize(unsigned(state_in(704 downto 641)), 32));
+        end if;
+        -- b2: *(u32 *)(r10 - 12) = r3
+        if valid_in = '1' and enable_in(2) = '1' and state_in(544) = '0' then
+          state_out(832 downto 801) <= std_logic_vector(resize(unsigned(state_in(768 downto 705)), 32));
+        end if;
+        -- b2: *(u16 *)(r10 - 8) = r4
+        if valid_in = '1' and enable_in(2) = '1' and state_in(544) = '0' then
+          state_out(848 downto 833) <= std_logic_vector(resize(unsigned(state_in(832 downto 769)), 16));
+        end if;
+        -- b2: *(u16 *)(r10 - 6) = r5
+        if valid_in = '1' and enable_in(2) = '1' and state_in(544) = '0' then
+          state_out(864 downto 849) <= std_logic_vector(resize(unsigned(state_in(896 downto 833)), 16));
+        end if;
+        -- b2: *(u32 *)(r10 - 4) = r8
+        if valid_in = '1' and enable_in(2) = '1' and state_in(544) = '0' then
+          state_out(896 downto 865) <= std_logic_vector(resize(unsigned(state_in(1024 downto 961)), 32));
+        end if;
+        -- b2: r2 = r10
+        if valid_in = '1' and enable_in(2) = '1' and state_in(544) = '0' then
+          state_out(704 downto 641) <= x"0000000000200200";
+        end if;
+        -- b2: r2 += -16
+        if valid_in = '1' and enable_in(2) = '1' and state_in(544) = '0' then
+          state_out(704 downto 641) <= std_logic_vector(unsigned((x"0000000000200200")) + unsigned(x"fffffffffffffff0"));
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- stage 7: call 1
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_007 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(896 downto 0);
+    state_out  : out std_logic_vector(736 downto 0);
+    mp0_req   : out std_logic;
+    mp0_op    : out std_logic_vector(7 downto 0);
+    mp0_addr  : out std_logic_vector(63 downto 0);
+    mp0_key   : out std_logic_vector(127 downto 0);
+    mp0_wdata : out std_logic_vector(63 downto 0);
+    mp0_rdata : in  std_logic_vector(63 downto 0);
+    mp0_oob   : in  std_logic
+  );
+end entity firewall_stage_007;
+
+architecture rtl of firewall_stage_007 is
+begin
+  mp0_req <= '1' when valid_in = '1' and enable_in(2) = '1' and state_in(544) = '0' else '0';
+  mp0_op <= x"01";
+  mp0_addr <= x"0000000000000000";
+  mp0_key <= state_in(896 downto 769);
+  mp0_wdata <= (others => '0');
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        state_out(640 downto 577) <= (others => '0');  -- r0 defined here
+        state_out(704 downto 641) <= state_in(768 downto 705);  -- carry r6
+        state_out(736 downto 705) <= state_in(896 downto 865);
+        -- b2: call 1
+        if valid_in = '1' and enable_in(2) = '1' and state_in(544) = '0' then
+          if mp0_oob = '1' then
+            state_out(544) <= '1';
+            state_out(576 downto 545) <= x"00000001";
+          else
+            state_out(640 downto 577) <= mp0_rdata;
+          end if;
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- stage 8: (helper_latency)
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_008 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(736 downto 0);
+    state_out  : out std_logic_vector(736 downto 0)
+  );
+end entity firewall_stage_008;
+
+architecture rtl of firewall_stage_008 is
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        state_out(640 downto 577) <= state_in(640 downto 577);  -- carry r0
+        state_out(704 downto 641) <= state_in(704 downto 641);  -- carry r6
+        state_out(736 downto 705) <= state_in(736 downto 705);
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- stage 9: if r0 != 0 goto +16
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_009 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(736 downto 0);
+    state_out  : out std_logic_vector(736 downto 0)
+  );
+end entity firewall_stage_009;
+
+architecture rtl of firewall_stage_009 is
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        state_out(640 downto 577) <= state_in(640 downto 577);  -- carry r0
+        state_out(704 downto 641) <= state_in(704 downto 641);  -- carry r6
+        state_out(736 downto 705) <= state_in(736 downto 705);
+        -- b2: if r0 != 0 goto +16
+        if valid_in = '1' and enable_in(2) = '1' and state_in(544) = '0' then
+          if unsigned(state_in(640 downto 577)) /= unsigned(x"0000000000000000") then
+            enable_out(5) <= '1';
+          else
+            enable_out(3) <= '1';
+          end if;
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- stage 10: r2 = *(u32 *)(r6 + 30) | r3 = *(u32 *)(r6 + 26) | r4 = *(u16 *)(r6 + 36) | r5 = *(u16 *)(r6 + 34) | r1 = map[1]
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_010 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(736 downto 0);
+    state_out  : out std_logic_vector(1152 downto 0)
+  );
+end entity firewall_stage_010;
+
+architecture rtl of firewall_stage_010 is
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        state_out(640 downto 577) <= state_in(640 downto 577);  -- carry r0
+        state_out(704 downto 641) <= (others => '0');  -- r1 defined here
+        state_out(768 downto 705) <= (others => '0');  -- r2 defined here
+        state_out(832 downto 769) <= (others => '0');  -- r3 defined here
+        state_out(896 downto 833) <= (others => '0');  -- r4 defined here
+        state_out(960 downto 897) <= (others => '0');  -- r5 defined here
+        state_out(1024 downto 961) <= state_in(704 downto 641);  -- carry r6
+        state_out(1120 downto 1025) <= (others => '0');
+        state_out(1152 downto 1121) <= state_in(736 downto 705);
+        -- b3: r2 = *(u32 *)(r6 + 30)
+        if valid_in = '1' and enable_in(3) = '1' and state_in(544) = '0' then
+          if unsigned(state_in(527 downto 512)) < to_unsigned(34, 16) then
+            state_out(544) <= '1';
+            state_out(576 downto 545) <= x"00000001";
+          else
+            state_out(768 downto 705) <= std_logic_vector(resize(unsigned(state_in(271 downto 240)), 64));
+          end if;
+        end if;
+        -- b3: r3 = *(u32 *)(r6 + 26)
+        if valid_in = '1' and enable_in(3) = '1' and state_in(544) = '0' and not (unsigned(state_in(527 downto 512)) < to_unsigned(34, 16)) then
+          if unsigned(state_in(527 downto 512)) < to_unsigned(30, 16) then
+            state_out(544) <= '1';
+            state_out(576 downto 545) <= x"00000001";
+          else
+            state_out(832 downto 769) <= std_logic_vector(resize(unsigned(state_in(239 downto 208)), 64));
+          end if;
+        end if;
+        -- b3: r4 = *(u16 *)(r6 + 36)
+        if valid_in = '1' and enable_in(3) = '1' and state_in(544) = '0' and not (unsigned(state_in(527 downto 512)) < to_unsigned(34, 16)) and not (unsigned(state_in(527 downto 512)) < to_unsigned(30, 16)) then
+          if unsigned(state_in(527 downto 512)) < to_unsigned(38, 16) then
+            state_out(544) <= '1';
+            state_out(576 downto 545) <= x"00000001";
+          else
+            state_out(896 downto 833) <= std_logic_vector(resize(unsigned(state_in(303 downto 288)), 64));
+          end if;
+        end if;
+        -- b3: r5 = *(u16 *)(r6 + 34)
+        if valid_in = '1' and enable_in(3) = '1' and state_in(544) = '0' and not (unsigned(state_in(527 downto 512)) < to_unsigned(34, 16)) and not (unsigned(state_in(527 downto 512)) < to_unsigned(30, 16)) and not (unsigned(state_in(527 downto 512)) < to_unsigned(38, 16)) then
+          if unsigned(state_in(527 downto 512)) < to_unsigned(36, 16) then
+            state_out(544) <= '1';
+            state_out(576 downto 545) <= x"00000001";
+          else
+            state_out(960 downto 897) <= std_logic_vector(resize(unsigned(state_in(287 downto 272)), 64));
+          end if;
+        end if;
+        -- b3: r1 = map[1]
+        if valid_in = '1' and enable_in(3) = '1' and state_in(544) = '0' and not (unsigned(state_in(527 downto 512)) < to_unsigned(34, 16)) and not (unsigned(state_in(527 downto 512)) < to_unsigned(30, 16)) and not (unsigned(state_in(527 downto 512)) < to_unsigned(38, 16)) and not (unsigned(state_in(527 downto 512)) < to_unsigned(36, 16)) then
+          state_out(704 downto 641) <= x"0000000030000001";
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- stage 11: *(u32 *)(r10 - 16) = r2 | *(u32 *)(r10 - 12) = r3 | *(u16 *)(r10 - 8) = r4 | *(u16 *)(r10 - 6) = r5 | r2 = r10 | r2 += -16
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_011 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(1152 downto 0);
+    state_out  : out std_logic_vector(896 downto 0)
+  );
+end entity firewall_stage_011;
+
+architecture rtl of firewall_stage_011 is
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        state_out(640 downto 577) <= state_in(640 downto 577);  -- carry r0
+        state_out(704 downto 641) <= state_in(704 downto 641);  -- carry r1
+        state_out(768 downto 705) <= state_in(768 downto 705);  -- carry r2
+        state_out(896 downto 769) <= state_in(1152 downto 1025);
+        -- b3: *(u32 *)(r10 - 16) = r2
+        if valid_in = '1' and enable_in(3) = '1' and state_in(544) = '0' then
+          state_out(800 downto 769) <= std_logic_vector(resize(unsigned(state_in(768 downto 705)), 32));
+        end if;
+        -- b3: *(u32 *)(r10 - 12) = r3
+        if valid_in = '1' and enable_in(3) = '1' and state_in(544) = '0' then
+          state_out(832 downto 801) <= std_logic_vector(resize(unsigned(state_in(832 downto 769)), 32));
+        end if;
+        -- b3: *(u16 *)(r10 - 8) = r4
+        if valid_in = '1' and enable_in(3) = '1' and state_in(544) = '0' then
+          state_out(848 downto 833) <= std_logic_vector(resize(unsigned(state_in(896 downto 833)), 16));
+        end if;
+        -- b3: *(u16 *)(r10 - 6) = r5
+        if valid_in = '1' and enable_in(3) = '1' and state_in(544) = '0' then
+          state_out(864 downto 849) <= std_logic_vector(resize(unsigned(state_in(960 downto 897)), 16));
+        end if;
+        -- b3: r2 = r10
+        if valid_in = '1' and enable_in(3) = '1' and state_in(544) = '0' then
+          state_out(768 downto 705) <= x"0000000000200200";
+        end if;
+        -- b3: r2 += -16
+        if valid_in = '1' and enable_in(3) = '1' and state_in(544) = '0' then
+          state_out(768 downto 705) <= std_logic_vector(unsigned((x"0000000000200200")) + unsigned(x"fffffffffffffff0"));
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- stage 12: call 1
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_012 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(896 downto 0);
+    state_out  : out std_logic_vector(640 downto 0);
+    mp0_req   : out std_logic;
+    mp0_op    : out std_logic_vector(7 downto 0);
+    mp0_addr  : out std_logic_vector(63 downto 0);
+    mp0_key   : out std_logic_vector(127 downto 0);
+    mp0_wdata : out std_logic_vector(63 downto 0);
+    mp0_rdata : in  std_logic_vector(63 downto 0);
+    mp0_oob   : in  std_logic
+  );
+end entity firewall_stage_012;
+
+architecture rtl of firewall_stage_012 is
+begin
+  mp0_req <= '1' when valid_in = '1' and enable_in(3) = '1' and state_in(544) = '0' else '0';
+  mp0_op <= x"01";
+  mp0_addr <= x"0000000000000000";
+  mp0_key <= state_in(896 downto 769);
+  mp0_wdata <= (others => '0');
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        state_out(640 downto 577) <= state_in(640 downto 577);  -- carry r0
+        -- b3: call 1
+        if valid_in = '1' and enable_in(3) = '1' and state_in(544) = '0' then
+          if mp0_oob = '1' then
+            state_out(544) <= '1';
+            state_out(576 downto 545) <= x"00000001";
+          else
+            state_out(640 downto 577) <= mp0_rdata;
+          end if;
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- stage 13: (helper_latency)
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_013 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(640 downto 0);
+    state_out  : out std_logic_vector(640 downto 0)
+  );
+end entity firewall_stage_013;
+
+architecture rtl of firewall_stage_013 is
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        state_out(640 downto 577) <= state_in(640 downto 577);  -- carry r0
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- stage 14: if r0 != 0 goto +2
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_014 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(640 downto 0);
+    state_out  : out std_logic_vector(640 downto 0)
+  );
+end entity firewall_stage_014;
+
+architecture rtl of firewall_stage_014 is
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        state_out(640 downto 577) <= state_in(640 downto 577);  -- carry r0
+        -- b3: if r0 != 0 goto +2
+        if valid_in = '1' and enable_in(3) = '1' and state_in(544) = '0' then
+          if unsigned(state_in(640 downto 577)) /= unsigned(x"0000000000000000") then
+            enable_out(5) <= '1';
+          else
+            enable_out(4) <= '1';
+          end if;
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- stage 15: r0 = 1
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_015 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(640 downto 0);
+    state_out  : out std_logic_vector(640 downto 0)
+  );
+end entity firewall_stage_015;
+
+architecture rtl of firewall_stage_015 is
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        state_out(640 downto 577) <= state_in(640 downto 577);  -- carry r0
+        -- b4: r0 = 1
+        if valid_in = '1' and enable_in(4) = '1' and state_in(544) = '0' then
+          state_out(640 downto 577) <= x"0000000000000001";
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- stage 16: exit
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_016 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(640 downto 0);
+    state_out  : out std_logic_vector(640 downto 0)
+  );
+end entity firewall_stage_016;
+
+architecture rtl of firewall_stage_016 is
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        state_out(640 downto 577) <= state_in(640 downto 577);  -- carry r0
+        -- b4: exit
+        if valid_in = '1' and enable_in(4) = '1' and state_in(544) = '0' then
+          state_out(544) <= '1';
+          state_out(576 downto 545) <= std_logic_vector(resize(unsigned(state_in(640 downto 577)), 32));
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- stage 17: r1 = 1
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_017 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(640 downto 0);
+    state_out  : out std_logic_vector(704 downto 0)
+  );
+end entity firewall_stage_017;
+
+architecture rtl of firewall_stage_017 is
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        state_out(640 downto 577) <= state_in(640 downto 577);  -- carry r0
+        state_out(704 downto 641) <= (others => '0');  -- r1 defined here
+        -- b5: r1 = 1
+        if valid_in = '1' and enable_in(5) = '1' and state_in(544) = '0' then
+          state_out(704 downto 641) <= x"0000000000000001";
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- stage 18: lock *(u64 *)(r0 + 0) += r1
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_018 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(704 downto 0);
+    state_out  : out std_logic_vector(576 downto 0);
+    ap_req      : out std_logic;
+    ap_op       : out std_logic_vector(7 downto 0);
+    ap_size     : out std_logic_vector(3 downto 0);
+    ap_addr     : out std_logic_vector(63 downto 0);
+    ap_wdata    : out std_logic_vector(63 downto 0);
+    ap_expected : out std_logic_vector(63 downto 0);
+    ap_old      : in  std_logic_vector(63 downto 0);
+    ap_oob      : in  std_logic
+  );
+end entity firewall_stage_018;
+
+architecture rtl of firewall_stage_018 is
+begin
+  ap_req <= '1' when valid_in = '1' and enable_in(5) = '1' and state_in(544) = '0' else '0';
+  ap_op <= x"00";
+  ap_size <= x"8";
+  ap_addr <= std_logic_vector(unsigned(state_in(640 downto 577)) + unsigned(x"0000000000000000"));
+  ap_wdata <= state_in(704 downto 641);
+  ap_expected <= x"0000000000000000";
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        -- b5: lock *(u64 *)(r0 + 0) += r1
+        if valid_in = '1' and enable_in(5) = '1' and state_in(544) = '0' then
+          if ap_oob = '1' then
+            state_out(544) <= '1';
+            state_out(576 downto 545) <= x"00000001";
+          else
+          end if;
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- stage 19: r0 = 3
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_019 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(576 downto 0);
+    state_out  : out std_logic_vector(640 downto 0)
+  );
+end entity firewall_stage_019;
+
+architecture rtl of firewall_stage_019 is
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        state_out(640 downto 577) <= (others => '0');  -- r0 defined here
+        -- b5: r0 = 3
+        if valid_in = '1' and enable_in(5) = '1' and state_in(544) = '0' then
+          state_out(640 downto 577) <= x"0000000000000003";
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- stage 20: exit
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_020 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(640 downto 0);
+    state_out  : out std_logic_vector(576 downto 0)
+  );
+end entity firewall_stage_020;
+
+architecture rtl of firewall_stage_020 is
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        -- b5: exit
+        if valid_in = '1' and enable_in(5) = '1' and state_in(544) = '0' then
+          state_out(544) <= '1';
+          state_out(576 downto 545) <= std_logic_vector(resize(unsigned(state_in(640 downto 577)), 32));
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- stage 21: r0 = 2
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_021 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(576 downto 0);
+    state_out  : out std_logic_vector(640 downto 0)
+  );
+end entity firewall_stage_021;
+
+architecture rtl of firewall_stage_021 is
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        state_out(640 downto 577) <= (others => '0');  -- r0 defined here
+        -- b6: r0 = 2
+        if valid_in = '1' and enable_in(6) = '1' and state_in(544) = '0' then
+          state_out(640 downto 577) <= x"0000000000000002";
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- stage 22: exit
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity firewall_stage_022 is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    flush      : in  std_logic;
+    valid_in   : in  std_logic;
+    valid_out  : out std_logic;
+    enable_in  : in  std_logic_vector(31 downto 0);
+    enable_out : out std_logic_vector(31 downto 0);
+    state_in   : in  std_logic_vector(640 downto 0);
+    state_out  : out std_logic_vector(576 downto 0)
+  );
+end entity firewall_stage_022;
+
+architecture rtl of firewall_stage_022 is
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' or flush = '1' then
+        valid_out <= '0';
+      else
+        valid_out <= valid_in;
+        enable_out <= enable_in;  -- predication fan-through
+        state_out(511 downto 0) <= state_in(511 downto 0);
+        state_out(527 downto 512) <= state_in(527 downto 512);
+        state_out(543 downto 528) <= state_in(543 downto 528);
+        state_out(544) <= state_in(544);
+        state_out(576 downto 545) <= state_in(576 downto 545);
+        -- b6: exit
+        if valid_in = '1' and enable_in(6) = '1' and state_in(544) = '0' then
+          state_out(544) <= '1';
+          state_out(576 downto 545) <= std_logic_vector(resize(unsigned(state_in(640 downto 577)), 32));
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture rtl;
+
+-- top-level pipeline wrapper (22 stages)
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.ehdl_pkg.all;
+
+entity ehdl_firewall is
+  port (
+    pipe_clk      : in  std_logic;
+    shell_clk     : in  std_logic;
+    rst           : in  std_logic;
+    s_axis_tdata  : in  std_logic_vector(511 downto 0);
+    s_axis_tlen   : in  std_logic_vector(15 downto 0);
+    s_axis_tvalid : in  std_logic;
+    s_axis_tlast  : in  std_logic;
+    s_axis_tready : out std_logic;
+    m_axis_tdata  : out std_logic_vector(511 downto 0);
+    m_axis_tlen   : out std_logic_vector(15 downto 0);
+    m_axis_tverdict : out std_logic_vector(31 downto 0);
+    m_axis_tvalid : out std_logic;
+    m_axis_tlast  : out std_logic;
+    m_axis_tready : in  std_logic
+  );
+end entity ehdl_firewall;
+
+architecture rtl of ehdl_firewall is
+  signal tie_one : std_logic;
+  signal tie_zero : std_logic;
+  signal tie_addr : std_logic_vector(31 downto 0);
+  signal fifo_in_bus : std_logic_vector(576 downto 0);
+  signal fifo_in_q : std_logic_vector(576 downto 0);
+  signal fifo_in_empty : std_logic;
+  signal fifo_in_full : std_logic;
+  signal inj_frame : std_logic_vector(511 downto 0);
+  signal inj_tlen : std_logic_vector(15 downto 0);
+  signal inj_done : std_logic;
+  signal inj_verdict : std_logic_vector(31 downto 0);
+  signal pkt_window : std_logic_vector(511 downto 0);
+  signal v0 : std_logic;
+  signal e0 : std_logic_vector(31 downto 0);
+  signal st0 : std_logic_vector(640 downto 0);
+  signal v1 : std_logic;
+  signal e1 : std_logic_vector(31 downto 0);
+  signal st1 : std_logic_vector(704 downto 0);
+  signal v2 : std_logic;
+  signal e2 : std_logic_vector(31 downto 0);
+  signal st2 : std_logic_vector(640 downto 0);
+  signal v3 : std_logic;
+  signal e3 : std_logic_vector(31 downto 0);
+  signal st3 : std_logic_vector(704 downto 0);
+  signal v4 : std_logic;
+  signal e4 : std_logic_vector(31 downto 0);
+  signal st4 : std_logic_vector(640 downto 0);
+  signal v5 : std_logic;
+  signal e5 : std_logic_vector(31 downto 0);
+  signal st5 : std_logic_vector(1024 downto 0);
+  signal v6 : std_logic;
+  signal e6 : std_logic_vector(31 downto 0);
+  signal st6 : std_logic_vector(896 downto 0);
+  signal v7 : std_logic;
+  signal e7 : std_logic_vector(31 downto 0);
+  signal st7 : std_logic_vector(736 downto 0);
+  signal v8 : std_logic;
+  signal e8 : std_logic_vector(31 downto 0);
+  signal st8 : std_logic_vector(736 downto 0);
+  signal v9 : std_logic;
+  signal e9 : std_logic_vector(31 downto 0);
+  signal st9 : std_logic_vector(736 downto 0);
+  signal v10 : std_logic;
+  signal e10 : std_logic_vector(31 downto 0);
+  signal st10 : std_logic_vector(1152 downto 0);
+  signal v11 : std_logic;
+  signal e11 : std_logic_vector(31 downto 0);
+  signal st11 : std_logic_vector(896 downto 0);
+  signal v12 : std_logic;
+  signal e12 : std_logic_vector(31 downto 0);
+  signal st12 : std_logic_vector(640 downto 0);
+  signal v13 : std_logic;
+  signal e13 : std_logic_vector(31 downto 0);
+  signal st13 : std_logic_vector(640 downto 0);
+  signal v14 : std_logic;
+  signal e14 : std_logic_vector(31 downto 0);
+  signal st14 : std_logic_vector(640 downto 0);
+  signal v15 : std_logic;
+  signal e15 : std_logic_vector(31 downto 0);
+  signal st15 : std_logic_vector(640 downto 0);
+  signal v16 : std_logic;
+  signal e16 : std_logic_vector(31 downto 0);
+  signal st16 : std_logic_vector(640 downto 0);
+  signal v17 : std_logic;
+  signal e17 : std_logic_vector(31 downto 0);
+  signal st17 : std_logic_vector(704 downto 0);
+  signal v18 : std_logic;
+  signal e18 : std_logic_vector(31 downto 0);
+  signal st18 : std_logic_vector(576 downto 0);
+  signal v19 : std_logic;
+  signal e19 : std_logic_vector(31 downto 0);
+  signal st19 : std_logic_vector(640 downto 0);
+  signal v20 : std_logic;
+  signal e20 : std_logic_vector(31 downto 0);
+  signal st20 : std_logic_vector(576 downto 0);
+  signal v21 : std_logic;
+  signal e21 : std_logic_vector(31 downto 0);
+  signal st21 : std_logic_vector(640 downto 0);
+  signal v22 : std_logic;
+  signal e22 : std_logic_vector(31 downto 0);
+  signal st22 : std_logic_vector(576 downto 0);
+  signal flush_sig : std_logic;
+  signal s7_mp0_req : std_logic;
+  signal s7_mp0_op : std_logic_vector(7 downto 0);
+  signal s7_mp0_addr : std_logic_vector(63 downto 0);
+  signal s7_mp0_key : std_logic_vector(127 downto 0);
+  signal s7_mp0_wdata : std_logic_vector(63 downto 0);
+  signal s12_mp0_req : std_logic;
+  signal s12_mp0_op : std_logic_vector(7 downto 0);
+  signal s12_mp0_addr : std_logic_vector(63 downto 0);
+  signal s12_mp0_key : std_logic_vector(127 downto 0);
+  signal s12_mp0_wdata : std_logic_vector(63 downto 0);
+  signal s18_ap_req : std_logic;
+  signal s18_ap_op : std_logic_vector(7 downto 0);
+  signal s18_ap_size : std_logic_vector(3 downto 0);
+  signal s18_ap_addr : std_logic_vector(63 downto 0);
+  signal s18_ap_wdata : std_logic_vector(63 downto 0);
+  signal s18_ap_expected : std_logic_vector(63 downto 0);
+  signal m1_ch0_req : std_logic;
+  signal m1_ch0_op : std_logic_vector(7 downto 0);
+  signal m1_ch0_addr : std_logic_vector(63 downto 0);
+  signal m1_ch0_key : std_logic_vector(127 downto 0);
+  signal m1_ch0_wdata : std_logic_vector(63 downto 0);
+  signal m1_ch0_rdata : std_logic_vector(63 downto 0);
+  signal m1_ch0_oob : std_logic;
+  signal m1_at_req : std_logic;
+  signal m1_at_op : std_logic_vector(7 downto 0);
+  signal m1_at_size : std_logic_vector(3 downto 0);
+  signal m1_at_addr : std_logic_vector(63 downto 0);
+  signal m1_at_wdata : std_logic_vector(63 downto 0);
+  signal m1_at_expected : std_logic_vector(63 downto 0);
+  signal m1_at_old : std_logic_vector(63 downto 0);
+  signal m1_at_oob : std_logic;
+  signal m1_host_wdata : std_logic_vector(63 downto 0);
+  signal m1_host_rdata : std_logic_vector(63 downto 0);
+  signal fifo_out_bus : std_logic_vector(576 downto 0);
+  signal fifo_out_q : std_logic_vector(576 downto 0);
+  signal fifo_out_empty : std_logic;
+  signal fifo_out_full : std_logic;
+begin
+  tie_one <= '1';
+  tie_zero <= '0';
+  tie_addr <= (others => '0');
+  s_axis_tready <= '1';
+  fifo_in_bus(527 downto 0) <= s_axis_tdata & s_axis_tlen;
+  fifo_in_bus(576 downto 528) <= (others => '0');
+  input_fifo : entity work.ehdl_async_fifo port map (
+    wr_clk => shell_clk, rd_clk => pipe_clk, rst => rst,
+    wr_en => s_axis_tvalid, wr_data => fifo_in_bus,
+    rd_en => tie_one, rd_data => fifo_in_q,
+    empty => fifo_in_empty, full => fifo_in_full);
+  inj_frame <= fifo_in_q(527 downto 16);
+  inj_tlen <= fifo_in_q(15 downto 0);
+  inj_done <= '1' when unsigned(inj_tlen) < to_unsigned(42, 16) else '0';
+  inj_verdict <= x"00000002" when unsigned(inj_tlen) < to_unsigned(42, 16) else x"00000000";
+  v0 <= not fifo_in_empty;
+  e0 <= x"00000001";
+  st0(511 downto 0) <= inj_frame(511 downto 0);
+  st0(527 downto 512) <= inj_tlen;
+  st0(543 downto 528) <= x"0000";
+  st0(544) <= inj_done;
+  st0(576 downto 545) <= inj_verdict;
+  st0(640 downto 577) <= std_logic_vector(resize(unsigned(x"00100100"), 64));
+  process(pipe_clk)
+  begin
+    if rising_edge(pipe_clk) then
+      if v0 = '1' then
+        pkt_window <= inj_frame;  -- frame bus for later joins
+      end if;
+    end if;
+  end process;
+  m1_host_wdata <= (others => '0');
+  s001 : entity work.firewall_stage_001 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v0,
+    valid_out => v1,
+    enable_in => e0,
+    enable_out => e1,
+    state_in => st0,
+    state_out => st1);
+  s002 : entity work.firewall_stage_002 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v1,
+    valid_out => v2,
+    enable_in => e1,
+    enable_out => e2,
+    state_in => st1,
+    state_out => st2);
+  s003 : entity work.firewall_stage_003 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v2,
+    valid_out => v3,
+    enable_in => e2,
+    enable_out => e3,
+    state_in => st2,
+    state_out => st3);
+  s004 : entity work.firewall_stage_004 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v3,
+    valid_out => v4,
+    enable_in => e3,
+    enable_out => e4,
+    state_in => st3,
+    state_out => st4);
+  s005 : entity work.firewall_stage_005 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v4,
+    valid_out => v5,
+    enable_in => e4,
+    enable_out => e5,
+    state_in => st4,
+    state_out => st5);
+  s006 : entity work.firewall_stage_006 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v5,
+    valid_out => v6,
+    enable_in => e5,
+    enable_out => e6,
+    state_in => st5,
+    state_out => st6);
+  s007 : entity work.firewall_stage_007 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v6,
+    valid_out => v7,
+    enable_in => e6,
+    enable_out => e7,
+    state_in => st6,
+    state_out => st7,
+    mp0_req => s7_mp0_req,
+    mp0_op => s7_mp0_op,
+    mp0_addr => s7_mp0_addr,
+    mp0_key => s7_mp0_key,
+    mp0_wdata => s7_mp0_wdata,
+    mp0_rdata => m1_ch0_rdata,
+    mp0_oob => m1_ch0_oob);
+  s008 : entity work.firewall_stage_008 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v7,
+    valid_out => v8,
+    enable_in => e7,
+    enable_out => e8,
+    state_in => st7,
+    state_out => st8);
+  s009 : entity work.firewall_stage_009 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v8,
+    valid_out => v9,
+    enable_in => e8,
+    enable_out => e9,
+    state_in => st8,
+    state_out => st9);
+  s010 : entity work.firewall_stage_010 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v9,
+    valid_out => v10,
+    enable_in => e9,
+    enable_out => e10,
+    state_in => st9,
+    state_out => st10);
+  s011 : entity work.firewall_stage_011 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v10,
+    valid_out => v11,
+    enable_in => e10,
+    enable_out => e11,
+    state_in => st10,
+    state_out => st11);
+  s012 : entity work.firewall_stage_012 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v11,
+    valid_out => v12,
+    enable_in => e11,
+    enable_out => e12,
+    state_in => st11,
+    state_out => st12,
+    mp0_req => s12_mp0_req,
+    mp0_op => s12_mp0_op,
+    mp0_addr => s12_mp0_addr,
+    mp0_key => s12_mp0_key,
+    mp0_wdata => s12_mp0_wdata,
+    mp0_rdata => m1_ch0_rdata,
+    mp0_oob => m1_ch0_oob);
+  s013 : entity work.firewall_stage_013 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v12,
+    valid_out => v13,
+    enable_in => e12,
+    enable_out => e13,
+    state_in => st12,
+    state_out => st13);
+  s014 : entity work.firewall_stage_014 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v13,
+    valid_out => v14,
+    enable_in => e13,
+    enable_out => e14,
+    state_in => st13,
+    state_out => st14);
+  s015 : entity work.firewall_stage_015 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v14,
+    valid_out => v15,
+    enable_in => e14,
+    enable_out => e15,
+    state_in => st14,
+    state_out => st15);
+  s016 : entity work.firewall_stage_016 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v15,
+    valid_out => v16,
+    enable_in => e15,
+    enable_out => e16,
+    state_in => st15,
+    state_out => st16);
+  s017 : entity work.firewall_stage_017 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v16,
+    valid_out => v17,
+    enable_in => e16,
+    enable_out => e17,
+    state_in => st16,
+    state_out => st17);
+  s018 : entity work.firewall_stage_018 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v17,
+    valid_out => v18,
+    enable_in => e17,
+    enable_out => e18,
+    state_in => st17,
+    state_out => st18,
+    ap_req => s18_ap_req,
+    ap_op => s18_ap_op,
+    ap_size => s18_ap_size,
+    ap_addr => s18_ap_addr,
+    ap_wdata => s18_ap_wdata,
+    ap_expected => s18_ap_expected,
+    ap_old => m1_at_old,
+    ap_oob => m1_at_oob);
+  s019 : entity work.firewall_stage_019 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v18,
+    valid_out => v19,
+    enable_in => e18,
+    enable_out => e19,
+    state_in => st18,
+    state_out => st19);
+  s020 : entity work.firewall_stage_020 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v19,
+    valid_out => v20,
+    enable_in => e19,
+    enable_out => e20,
+    state_in => st19,
+    state_out => st20);
+  s021 : entity work.firewall_stage_021 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v20,
+    valid_out => v21,
+    enable_in => e20,
+    enable_out => e21,
+    state_in => st20,
+    state_out => st21);
+  s022 : entity work.firewall_stage_022 port map (
+    clk => pipe_clk,
+    rst => rst,
+    flush => flush_sig,
+    valid_in => v21,
+    valid_out => v22,
+    enable_in => e21,
+    enable_out => e22,
+    state_in => st21,
+    state_out => st22);
+  m1_ch0_req <= s7_mp0_req or s12_mp0_req;
+  m1_ch0_op <= s7_mp0_op when s7_mp0_req = '1' else s12_mp0_op when s12_mp0_req = '1' else (others => '0');
+  m1_ch0_addr <= s7_mp0_addr when s7_mp0_req = '1' else s12_mp0_addr when s12_mp0_req = '1' else (others => '0');
+  m1_ch0_key <= s7_mp0_key when s7_mp0_req = '1' else s12_mp0_key when s12_mp0_req = '1' else (others => '0');
+  m1_ch0_wdata <= s7_mp0_wdata when s7_mp0_req = '1' else s12_mp0_wdata when s12_mp0_req = '1' else (others => '0');
+  m1_at_req <= s18_ap_req;
+  m1_at_op <= s18_ap_op when s18_ap_req = '1' else (others => '0');
+  m1_at_size <= s18_ap_size when s18_ap_req = '1' else (others => '0');
+  m1_at_addr <= s18_ap_addr when s18_ap_req = '1' else (others => '0');
+  m1_at_wdata <= s18_ap_wdata when s18_ap_req = '1' else (others => '0');
+  m1_at_expected <= s18_ap_expected when s18_ap_req = '1' else (others => '0');
+  m001 : entity work.firewall_map_1 port map (
+    clk => pipe_clk,
+    rst => rst,
+    ch0_req => m1_ch0_req,
+    ch0_op => m1_ch0_op,
+    ch0_addr => m1_ch0_addr,
+    ch0_key => m1_ch0_key,
+    ch0_wdata => m1_ch0_wdata,
+    ch0_rdata => m1_ch0_rdata,
+    ch0_oob => m1_ch0_oob,
+    at_req => m1_at_req,
+    at_op => m1_at_op,
+    at_size => m1_at_size,
+    at_addr => m1_at_addr,
+    at_wdata => m1_at_wdata,
+    at_expected => m1_at_expected,
+    at_old => m1_at_old,
+    at_oob => m1_at_oob,
+    host_req => tie_zero,
+    host_wr => tie_zero,
+    host_addr => tie_addr,
+    host_wdata => m1_host_wdata,
+    host_rdata => m1_host_rdata);
+  flush_sig <= '0';
+  fifo_out_bus(576 downto 0) <= st22;
+  output_fifo : entity work.ehdl_async_fifo port map (
+    wr_clk => pipe_clk, rd_clk => shell_clk, rst => rst,
+    wr_en => v22, wr_data => fifo_out_bus,
+    rd_en => tie_one, rd_data => fifo_out_q,
+    empty => fifo_out_empty, full => fifo_out_full);
+  m_axis_tvalid <= not fifo_out_empty;
+  m_axis_tdata <= fifo_out_q(511 downto 0);
+  m_axis_tlen <= fifo_out_q(527 downto 512);
+  m_axis_tlast <= '1';
+  m_axis_tverdict <= fifo_out_q(576 downto 545) when fifo_out_q(544) = '1' else x"00000000";
+end architecture rtl;
+

@@ -83,6 +83,18 @@ class TestCommands:
         assert main(["compile", prog_file, "-o", str(out_path)]) == 0
         assert "entity" in out_path.read_text()
 
+    def test_compile_to_directory(self, capsys, tmp_path, prog_file):
+        out_dir = tmp_path / "build"
+        out_dir.mkdir()
+        assert main(["compile", prog_file, "-o", str(out_dir)]) == 0
+        assert (out_dir / "simple.vhd").exists()
+        assert "entity" in (out_dir / "simple.vhd").read_text()
+
+    def test_compile_to_new_directory_with_slash(self, tmp_path, prog_file):
+        out_dir = tmp_path / "gen"
+        assert main(["compile", prog_file, "-o", str(out_dir) + "/"]) == 0
+        assert (out_dir / "simple.vhd").exists()
+
     def test_compile_to_stdout(self, capsys, prog_file):
         assert main(["compile", prog_file]) == 0
         assert "architecture" in capsys.readouterr().out
@@ -177,6 +189,41 @@ class TestRunAndBench:
                      "--workers", "2"]) == 0
         out = capsys.readouterr().out
         assert "fast x2" in out and "parallel scaling" in out
+
+
+class TestRtlCommands:
+    def test_rtl_sim(self, capsys, prog_file):
+        assert main(["rtl-sim", prog_file, "--packets", "6",
+                     "--flows", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "rtl:" in out and "per-packet cycles" in out
+
+    def test_verify_ok(self, capsys, prog_file):
+        assert main(["verify", prog_file, "--packets", "6",
+                     "--flows", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "vm/hwsim/rtl" in out
+
+    def test_verify_example_program(self, capsys):
+        assert main(["verify", str(EXAMPLE), "--packets", "8",
+                     "--flows", "3"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_fails_on_divergence(self, capsys, tmp_path, monkeypatch):
+        # sabotage the RTL leg: feed the harness a corrupted design
+        path = tmp_path / "tx.ebpf"
+        path.write_text("r0 = 3\nexit\n")
+        from repro.core.vhdl import emit_vhdl as real_emit
+
+        def corrupted(pipeline, *a, **kw):
+            text = real_emit(pipeline, *a, **kw)
+            return text.replace('x"0000000000000003"',
+                                'x"0000000000000002"')
+
+        monkeypatch.setattr("repro.rtl.sim.emit_vhdl", corrupted)
+        assert main(["verify", str(path), "--packets", "4"]) == 1
+        err = capsys.readouterr().err
+        assert "FAIL" in err and "rtl" in err
 
 
 class TestCacheCommand:

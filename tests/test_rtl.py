@@ -1,0 +1,450 @@
+"""Tests of the RTL verification subsystem (:mod:`repro.rtl`).
+
+Covers the three layers — parser, elaborator, simulator — on small
+hand-written designs, then the three-way differential harness (VM vs
+pipeline simulator vs simulated VHDL) across every evaluation app,
+compiler-option corners, and randomized verifier-valid map programs.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.apps import (
+    dnat,
+    firewall,
+    icmp_echo,
+    leaky_bucket,
+    router,
+    suricata,
+    toy_counter,
+    tunnel,
+)
+from repro.core.compiler import CompileOptions, compile_program
+from repro.core.vhdl import emit_vhdl
+from repro.ebpf.verifier import verify
+from repro.net.packet import FiveTuple, ipv4, mac, tcp_packet, udp_packet
+from repro.rtl import (
+    RtlElabError,
+    RtlParseError,
+    RtlRunner,
+    RtlSimulator,
+    elaborate,
+    parse_vhdl,
+    run_three_way,
+)
+from repro.rtl.sim import find_top
+from repro.runtime import XdpOffload
+from tests.test_property_maps import map_programs, packet_batches
+
+HEADER = """\
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+"""
+
+
+def _design(body: str):
+    return parse_vhdl(HEADER + body)
+
+
+# ---------------------------------------------------------------------------
+# parser
+
+
+class TestParser:
+    def test_parses_entity_and_architecture(self):
+        design = _design("""
+entity tiny is
+  port (
+    a : in  std_logic_vector(7 downto 0);
+    y : out std_logic_vector(7 downto 0)
+  );
+end entity tiny;
+
+architecture rtl of tiny is
+begin
+  y <= a;
+end architecture rtl;
+""")
+        assert "tiny" in design.entities
+        ent = design.entities["tiny"]
+        assert [p.name for p in ent.ports] == ["a", "y"]
+
+    def test_identifiers_are_case_insensitive(self):
+        design = _design("""
+entity Tiny is
+  port (Y : out std_logic);
+end entity Tiny;
+architecture rtl of TINY is
+begin
+  y <= '1';
+end architecture rtl;
+""")
+        assert "tiny" in design.entities
+
+    def test_parse_error_carries_line_number(self):
+        with pytest.raises(RtlParseError) as exc:
+            parse_vhdl("entity broken is\n  port (")
+        assert "line" in str(exc.value)
+
+    def test_rejects_unknown_statement(self):
+        with pytest.raises(RtlParseError):
+            _design("""
+entity t is
+  port (y : out std_logic);
+end entity t;
+architecture rtl of t is
+begin
+  assert false report "no";
+end architecture rtl;
+""")
+
+    def test_every_app_parses(self):
+        text = emit_vhdl(compile_program(toy_counter.build()))
+        design = parse_vhdl(text)
+        assert find_top(text) == "ehdl_toy_counter"
+        assert find_top(text) in design.entities
+
+
+# ---------------------------------------------------------------------------
+# elaborator: structural defect detection
+
+
+class TestElaborator:
+    def test_undeclared_signal_is_an_error(self):
+        design = _design("""
+entity t is
+  port (y : out std_logic_vector(7 downto 0));
+end entity t;
+architecture rtl of t is
+begin
+  y <= nosuch;
+end architecture rtl;
+""")
+        with pytest.raises(RtlElabError, match="nosuch"):
+            elaborate(design, "t")
+
+    def test_width_mismatch_is_an_error(self):
+        design = _design("""
+entity t is
+  port (
+    a : in  std_logic_vector(7 downto 0);
+    y : out std_logic_vector(7 downto 0)
+  );
+end entity t;
+architecture rtl of t is
+begin
+  y <= a & a;
+end architecture rtl;
+""")
+        with pytest.raises(RtlElabError, match="width"):
+            elaborate(design, "t")
+
+    def test_combinational_cycle_is_an_error(self):
+        design = _design("""
+entity t is
+  port (y : out std_logic_vector(7 downto 0));
+end entity t;
+architecture rtl of t is
+  signal p : std_logic_vector(7 downto 0);
+  signal q : std_logic_vector(7 downto 0);
+begin
+  p <= q;
+  q <= p;
+  y <= p;
+end architecture rtl;
+""")
+        with pytest.raises(RtlElabError, match="cycle"):
+            elaborate(design, "t")
+
+    def test_out_of_range_slice_is_an_error(self):
+        design = _design("""
+entity t is
+  port (
+    a : in  std_logic_vector(7 downto 0);
+    y : out std_logic_vector(7 downto 0)
+  );
+end entity t;
+architecture rtl of t is
+begin
+  y <= a(15 downto 8);
+end architecture rtl;
+""")
+        with pytest.raises(RtlElabError):
+            elaborate(design, "t")
+
+    def test_missing_top_entity_is_an_error(self):
+        design = _design("""
+entity t is
+  port (y : out std_logic);
+end entity t;
+architecture rtl of t is
+begin
+  y <= '0';
+end architecture rtl;
+""")
+        with pytest.raises(RtlElabError):
+            elaborate(design, "nothere")
+
+
+# ---------------------------------------------------------------------------
+# simulator: two-phase semantics on tiny designs
+
+
+class TestSimulator:
+    def test_combinational_passthrough(self):
+        design = _design("""
+entity comb is
+  port (
+    a : in  std_logic_vector(7 downto 0);
+    y : out std_logic_vector(7 downto 0)
+  );
+end entity comb;
+architecture rtl of comb is
+  signal t : std_logic_vector(7 downto 0);
+begin
+  t <= a;
+  y <= t;
+end architecture rtl;
+""")
+        sim = RtlSimulator(elaborate(design, "comb"))
+        sim.drive("a", 0x5A)
+        sim.settle()
+        assert sim.read("y") == 0x5A
+
+    def test_register_updates_only_on_edge(self):
+        design = _design("""
+entity reg8 is
+  port (
+    clk : in  std_logic;
+    d   : in  std_logic_vector(7 downto 0);
+    q   : out std_logic_vector(7 downto 0)
+  );
+end entity reg8;
+architecture rtl of reg8 is
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      q <= d;
+    end if;
+  end process;
+end architecture rtl;
+""")
+        sim = RtlSimulator(elaborate(design, "reg8"))
+        sim.drive("d", 0xAB)
+        sim.settle()
+        assert sim.read("q") == 0  # not clocked yet
+        sim.edge()
+        assert sim.read("q") == 0xAB
+        sim.drive("d", 0xCD)
+        sim.settle()
+        assert sim.read("q") == 0xAB  # holds until the next edge
+        sim.edge()
+        assert sim.read("q") == 0xCD
+
+    def test_signal_semantics_swap(self):
+        # both processes read the pre-edge values: a true register swap
+        design = _design("""
+entity swap is
+  port (
+    clk  : in  std_logic;
+    seed : in  std_logic;
+    da   : in  std_logic_vector(3 downto 0);
+    db   : in  std_logic_vector(3 downto 0);
+    pa   : out std_logic_vector(3 downto 0);
+    pb   : out std_logic_vector(3 downto 0)
+  );
+end entity swap;
+architecture rtl of swap is
+  signal ra : std_logic_vector(3 downto 0);
+  signal rb : std_logic_vector(3 downto 0);
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if seed = '1' then
+        ra <= da;
+        rb <= db;
+      else
+        ra <= rb;
+        rb <= ra;
+      end if;
+    end if;
+  end process;
+  pa <= ra;
+  pb <= rb;
+end architecture rtl;
+""")
+        sim = RtlSimulator(elaborate(design, "swap"))
+        sim.drive("seed", 1)
+        sim.drive("da", 1)
+        sim.drive("db", 2)
+        sim.settle()
+        sim.edge()
+        sim.drive("seed", 0)
+        sim.settle()
+        assert (sim.read("pa"), sim.read("pb")) == (1, 2)
+        sim.edge()
+        sim.settle()
+        assert (sim.read("pa"), sim.read("pb")) == (2, 1)
+
+
+# ---------------------------------------------------------------------------
+# three-way differential: evaluation apps
+
+F_ALLOWED = FiveTuple(ipv4("10.0.0.1"), ipv4("192.168.9.9"), 17, 5555, 53)
+F_OTHER = FiveTuple(ipv4("10.0.0.2"), ipv4("192.168.9.9"), 17, 6666, 53)
+F_BAD = FiveTuple(ipv4("6.6.6.6"), ipv4("10.0.0.1"), 17, 31337, 53)
+
+
+def _udp(ft: FiveTuple, **kw) -> bytes:
+    return udp_packet(src_ip=ft.src_ip, dst_ip=ft.dst_ip,
+                      sport=ft.sport, dport=ft.dport, size=64, **kw)
+
+
+def _fw_setup(maps):
+    firewall.allow_flow(maps, F_ALLOWED)
+
+
+def _rt_setup(maps):
+    router.add_route(maps, ipv4("192.168.7.1"),
+                     mac("02:0a:0b:0c:0d:0e"), mac("02:01:02:03:04:05"), 5)
+
+
+def _tn_setup(maps):
+    tunnel.add_tunnel(maps, ipv4("10.5.0.9"), ipv4("100.0.0.1"),
+                      ipv4("100.0.0.2"), mac("02:ff:00:00:00:01"),
+                      mac("02:ff:00:00:00:02"))
+
+
+def _su_setup(maps):
+    suricata.add_bypass(maps, F_BAD)
+
+
+APP_CASES = {
+    "toy_counter": (
+        toy_counter.build, None,
+        [toy_counter.packet_for_key(k) for k in (1, 2, 1, 0)],
+    ),
+    "firewall": (
+        firewall.build, _fw_setup,
+        [_udp(F_ALLOWED), _udp(F_OTHER), _udp(F_ALLOWED.reversed()),
+         tcp_packet(size=64)],
+    ),
+    "router": (
+        router.build, _rt_setup,
+        [udp_packet(dst_ip="192.168.7.200", size=64, ttl=9),
+         udp_packet(dst_ip="8.8.8.8", size=64),
+         udp_packet(dst_ip="192.168.7.4", size=64, ttl=1)],
+    ),
+    "router_rmw": (
+        lambda: router.build(use_atomic=False), _rt_setup,
+        [udp_packet(dst_ip="192.168.7.200", size=64, ttl=9),
+         udp_packet(dst_ip="192.168.7.3", size=64, ttl=255)],
+    ),
+    "tunnel": (
+        tunnel.build, _tn_setup,
+        [udp_packet(dst_ip="10.5.0.9", size=90),
+         udp_packet(dst_ip="9.9.9.9", size=64)],
+    ),
+    "suricata": (
+        suricata.build, _su_setup,
+        [_udp(F_BAD), udp_packet(size=64), tcp_packet(size=64)],
+    ),
+    "dnat": (
+        dnat.build, None,
+        [udp_packet(src_ip="172.16.0.1", dst_ip="8.8.4.4",
+                    sport=7000, dport=53, size=64),
+         udp_packet(src_ip="172.16.0.2", dst_ip="8.8.4.4",
+                    sport=7001, dport=53, size=64),
+         udp_packet(src_ip="172.16.0.1", dst_ip="8.8.4.4",
+                    sport=7000, dport=53, size=64),
+         tcp_packet(size=64)],
+    ),
+    "leaky_bucket": (
+        leaky_bucket.build, None,
+        [_udp(F_ALLOWED)] * 4,
+    ),
+    "icmp_echo": (
+        icmp_echo.build, None,
+        [icmp_echo.echo_request(seq=1), icmp_echo.echo_request(seq=2),
+         udp_packet(size=64)],
+    ),
+}
+
+
+class TestThreeWayApps:
+    @pytest.mark.parametrize("name", sorted(APP_CASES))
+    def test_app_agrees_across_all_legs(self, name):
+        build, setup, frames = APP_CASES[name]
+        result = run_three_way(build(), frames, setup=setup)
+        result.raise_on_mismatch()
+        assert result.packets == len(frames)
+        assert result.rtl_report is not None
+
+    def test_rtl_latency_matches_pipeline_depth(self):
+        program = toy_counter.build()
+        pipeline = compile_program(program)
+        runner = RtlRunner(pipeline)
+        report = runner.run_packets([toy_counter.packet_for_key(1)] * 3)
+        assert [r.pipeline_cycles for r in report.records] \
+            == [pipeline.n_stages] * 3
+
+    def test_corrupted_rtl_is_detected(self):
+        program = toy_counter.build()
+        pipeline = compile_program(program)
+        text = emit_vhdl(pipeline)
+        # r0 = 3 (XDP_TX) becomes r0 = 2 (XDP_PASS): the RTL leg now
+        # disagrees on the verdict and the harness must say so.
+        assert 'x"0000000000000003"' in text
+        bad = text.replace('x"0000000000000003"', 'x"0000000000000002"')
+        result = run_three_way(program, [toy_counter.packet_for_key(1)],
+                               pipeline=pipeline, vhdl_text=bad)
+        assert not result.ok
+        assert any(m.what.startswith("rtl") for m in result.mismatches)
+        with pytest.raises(AssertionError):
+            result.raise_on_mismatch()
+
+    def test_offload_verify_rtl_leaves_live_maps_alone(self):
+        nic = XdpOffload(toy_counter.build())
+        result = nic.verify_rtl([toy_counter.packet_for_key(1)] * 3)
+        result.raise_on_mismatch()
+        # the differential ran on fresh map sets, not the NIC's
+        assert nic.map("stats").read_u64(1) == 0
+
+
+# ---------------------------------------------------------------------------
+# three-way differential: compiler-option corners
+
+CORNER_OPTIONS = {
+    "frame32": CompileOptions(frame_size=32),
+    "no_pruning": CompileOptions(enable_pruning=False),
+    "no_fusion": CompileOptions(enable_fusion=False),
+}
+
+
+class TestThreeWayOptionCorners:
+    @pytest.mark.parametrize("app", ["toy_counter", "firewall", "suricata"])
+    @pytest.mark.parametrize("corner", sorted(CORNER_OPTIONS))
+    def test_option_corner(self, app, corner):
+        build, setup, frames = APP_CASES[app]
+        result = run_three_way(build(), frames, setup=setup,
+                               compile_options=CORNER_OPTIONS[corner])
+        result.raise_on_mismatch()
+
+
+# ---------------------------------------------------------------------------
+# three-way differential: randomized verifier-valid programs
+
+
+class TestThreeWayRandomPrograms:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(prog_ops=map_programs(), frames=packet_batches())
+    def test_random_map_programs_agree(self, prog_ops, frames):
+        program, _ops = prog_ops
+        verify(program)
+        # single packet in flight on both hardware legs: even mixed
+        # atomic/RMW patterns must match the VM exactly
+        run_three_way(program, frames[:4]).raise_on_mismatch()

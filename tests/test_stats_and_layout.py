@@ -5,7 +5,7 @@ import pytest
 from repro.apps import toy_counter
 from repro.core import compile_program
 from repro.core.pipeline import Stage, StageKind
-from repro.core.vhdl import StateLayout, _layout_for, emit_vhdl
+from repro.core.vhdl import StateLayout, _layout_for, emit_vhdl, link_windows
 from repro.ebpf.xdp import XdpAction
 from repro.hwsim.stats import PacketRecord, SimReport
 
@@ -79,34 +79,48 @@ class TestStateLayout:
         stage = Stage(number=1, kind=StageKind.OPS)
         stage.live_in_regs = frozenset({1, 3})
         stage.live_in_stack = ((-8, 4),)
-        layout = _layout_for(stage, frame_size=64)
-        assert layout.frame_bits == 512
-        assert layout.regs[1] == 512
-        assert layout.regs[3] == 512 + 64
-        assert layout.stack[(-8, 4)] == 512 + 128
-        assert layout.total_bits == 512 + 128 + 32
+        layout = _layout_for(stage, window_bytes=64)
+        assert layout.window_bits == 512
+        # header: plen(16) haj(16) done(1) verdict(32) right above the window
+        assert layout.plen_low == 512
+        assert layout.haj_low == 512 + 16
+        assert layout.done_bit == 512 + 32
+        assert layout.verdict_low == 512 + 33
+        assert layout.regs[1] == 512 + 65
+        assert layout.regs[3] == 512 + 65 + 64
+        assert layout.stack[(-8, 4)] == 512 + 65 + 128
+        assert layout.total_bits == 512 + 65 + 128 + 32
 
     def test_reg_slice_text(self):
         stage = Stage(number=1, kind=StageKind.OPS)
         stage.live_in_regs = frozenset({0})
-        layout = _layout_for(stage, frame_size=64)
-        assert layout.reg_slice(0) == "(575 downto 512)"
+        layout = _layout_for(stage, window_bytes=64)
+        assert layout.reg_slice(0) == "(640 downto 577)"
 
-    def test_final_link_has_verdict(self):
-        layout = _layout_for(None, frame_size=64)
-        assert layout.verdict_bit == 512
-        assert layout.total_bits == 512 + 32
+    def test_r10_is_never_carried(self):
+        # R10 is a hardware constant (stack top), not pipeline state
+        stage = Stage(number=1, kind=StageKind.OPS)
+        stage.live_in_regs = frozenset({1, 10})
+        layout = _layout_for(stage, window_bytes=64)
+        assert 10 not in layout.regs
+        assert layout.total_bits == 512 + 65 + 64
+
+    def test_final_link_is_header_only(self):
+        layout = _layout_for(None, window_bytes=64)
+        assert layout.verdict_low == 512 + 33
+        assert layout.total_bits == 512 + 65
 
     def test_vhdl_ports_match_layouts(self):
         pipeline = compile_program(toy_counter.build())
         text = emit_vhdl(pipeline)
-        first = _layout_for(pipeline.stages[0], pipeline.frame_size)
+        windows = link_windows(pipeline)
+        first = _layout_for(pipeline.stages[0], windows[0])
         assert (
             f"state_in   : in  std_logic_vector({first.total_bits - 1} downto 0)"
             in text
         )
-        # the last stage's output is the final frame+verdict link
-        final = _layout_for(None, pipeline.frame_size)
+        # the last stage's output is the final header-only link
+        final = _layout_for(None, windows[-1])
         assert (
             f"state_out  : out std_logic_vector({final.total_bits - 1} downto 0)"
             in text
@@ -116,5 +130,5 @@ class TestStateLayout:
         text = emit_vhdl(compile_program(toy_counter.build()))
         assert "shift_left" in text  # r1 <<= 8
         assert " or " in text  # r1 |= r2
-        assert "frame_bus(" in text  # packet byte-select
+        assert "state_in(" in text  # window/register byte-select
         assert "enable_out(" in text  # predication updates
