@@ -24,7 +24,12 @@ from conftest import print_table, setup_app_maps
 from repro.apps import firewall, router
 from repro.core import compile_program
 from repro.ebpf.maps import MapSet
-from repro.hwsim import ParallelPipelineSimulator, PipelineSimulator, SimOptions
+from repro.hwsim import (
+    ParallelPipelineSimulator,
+    PipelineSimulator,
+    SimOptions,
+    SimReport,
+)
 from repro.net.flows import TrafficGenerator, TrafficSpec
 from repro.rtl import RtlRunner
 
@@ -76,6 +81,9 @@ def _bench_app(name, program):
     slow_rep, slow_pps = _measure(name, program, frames, flows, False)
     assert fast_rep.cycles == slow_rep.cycles
     assert fast_rep.action_counts == slow_rep.action_counts
+    # round-trip through the JSON codec so the BENCH row carries exactly
+    # what a reader would get back out of it
+    report_json = SimReport.from_json(fast_rep.to_json()).to_json()
     return {
         "app": name,
         "packets": N_PACKETS,
@@ -83,6 +91,7 @@ def _bench_app(name, program):
         "interpreted_pps": round(slow_pps),
         "speedup": round(fast_pps / slow_pps, 2),
         "cycles": fast_rep.cycles,
+        "report": report_json,
     }
 
 
@@ -129,6 +138,53 @@ def _bench_parallel(name, program):
     }
 
 
+def _bench_telemetry_overhead(name, program):
+    """Cost of the telemetry machinery on the fast path.
+
+    The disabled path (the default — one ``is not None`` test per cycle)
+    must be free; the enabled path pays for per-stage occupancy and the
+    cycles-per-packet histogram, and both runs must retire identical
+    packets."""
+    gen = TrafficGenerator(TrafficSpec(n_flows=64, packet_size=64, seed=7))
+    frames = list(gen.packets(N_PACKETS))
+    flows = list(gen.flows)
+    pipeline = compile_program(program)
+
+    def run(telemetry_on):
+        best = None
+        for _ in range(2):
+            maps = MapSet(program.maps)
+            setup_app_maps(name, maps, flows)
+            sim = PipelineSimulator(
+                pipeline, maps=maps,
+                options=SimOptions(fast=True, keep_records=False,
+                                   telemetry=telemetry_on),
+            )
+            start = time.perf_counter()
+            report = sim.run_packets(frames)
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best[1]:
+                best = (report, elapsed)
+        return best
+
+    off_rep, off_dt = run(False)
+    on_rep, on_dt = run(True)
+    assert off_rep.metrics is None
+    assert on_rep.metrics is not None
+    assert off_rep.cycles == on_rep.cycles
+    assert off_rep.action_counts == on_rep.action_counts
+    assert on_rep.metrics.packet_cycle_count == on_rep.packets_out
+    off_pps = len(frames) / off_dt
+    on_pps = len(frames) / on_dt
+    return {
+        "app": name,
+        "packets": N_PACKETS,
+        "disabled_pps": round(off_pps),
+        "enabled_pps": round(on_pps),
+        "telemetry_overhead_pct": round((off_pps - on_pps) / off_pps * 100, 1),
+    }
+
+
 def _bench_rtl(name, program):
     """RTL-simulation throughput in simulated clock cycles per second of
     host time. The elaborated-netlist simulator is orders of magnitude
@@ -167,12 +223,14 @@ def test_fast_path_throughput_regression():
     ]
     parallel_row = _bench_parallel("firewall", firewall.build())
     rtl_row = _bench_rtl("firewall", firewall.build())
+    telemetry_row = _bench_telemetry_overhead("firewall", firewall.build())
     RESULT_PATH.write_text(json.dumps({
         "benchmark": "sim_throughput",
         "packets_per_run": N_PACKETS,
         "results": rows,
         "parallel": parallel_row,
         "rtl_sim": rtl_row,
+        "telemetry": telemetry_row,
     }, indent=2) + "\n")
     print_table(
         "simulator throughput (fast vs interpreted)",
@@ -193,6 +251,13 @@ def test_fast_path_throughput_regression():
         ["app", "stages", "sim cycles", "cycles/sec", "pps"],
         [[rtl_row["app"], rtl_row["n_stages"], f"{rtl_row['sim_cycles']:,}",
           f"{rtl_row['cycles_per_sec']:,}", f"{rtl_row['pps']:,}"]],
+    )
+    print_table(
+        "telemetry overhead (fast path, enabled vs disabled)",
+        ["app", "disabled pps", "enabled pps", "overhead"],
+        [[telemetry_row["app"], f"{telemetry_row['disabled_pps']:,}",
+          f"{telemetry_row['enabled_pps']:,}",
+          f"{telemetry_row['telemetry_overhead_pct']:.1f}%"]],
     )
     firewall_row = rows[0]
     assert firewall_row["speedup"] >= MIN_SPEEDUP, (

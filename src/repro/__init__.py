@@ -9,9 +9,11 @@ Top-level convenience namespace; see subpackages for the full API:
 * :mod:`repro.baselines` — hXDP / Bluefield2 / SDNet comparison models
 * :mod:`repro.analysis` — analytical flush & energy models
 * :mod:`repro.apps` — the paper's five evaluation applications
+* :mod:`repro.telemetry` — counters, pass tracing, Prometheus/Chrome export
 """
 
+from . import telemetry
 from .runtime import HostMap, XdpOffload
 
-__all__ = ["HostMap", "XdpOffload"]
+__all__ = ["HostMap", "XdpOffload", "telemetry"]
 __version__ = "1.0.0"

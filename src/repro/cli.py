@@ -22,6 +22,7 @@ import pathlib
 import sys
 from typing import Optional
 
+from . import telemetry
 from .analysis import analyze_pipeline
 from .core import (
     CompileOptions,
@@ -36,12 +37,29 @@ from .ebpf.asm import assemble_program
 from .ebpf.disasm import disassemble
 from .ebpf.isa import Program
 from .ebpf.maps import MapSet
-from .hwsim import NicSystem
+from .hwsim import NicSystem, publish_report
 from .net.flows import TrafficGenerator, TrafficSpec
+
+_APP_SCHEME = "app:"
+
+
+def _load_app(name: str) -> Program:
+    from . import apps
+
+    module = getattr(apps, name, None)
+    if module is None or not hasattr(module, "build"):
+        known = ", ".join(sorted(
+            n for n in apps.__all__ if n != "EVALUATION_APPS"
+        ))
+        raise SystemExit(f"unknown app {name!r} (known apps: {known})")
+    return module.build()
 
 
 def load_program(path: str) -> Program:
-    """Load a program from verifier-syntax text or raw binary bytecode."""
+    """Load a program from verifier-syntax text, raw binary bytecode, or
+    a built-in evaluation app via the ``app:<name>`` scheme."""
+    if path.startswith(_APP_SCHEME):
+        return _load_app(path[len(_APP_SCHEME):])
     data = pathlib.Path(path).read_bytes()
     name = pathlib.Path(path).stem
     try:
@@ -79,6 +97,21 @@ def _add_compile_flags(parser: argparse.ArgumentParser) -> None:
                         help="bypass the persistent compile cache")
 
 
+def _add_metrics_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="enable telemetry and write metrics to FILE "
+             "(.prom/.txt: Prometheus text; otherwise JSON snapshot)")
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", metavar="FILE",
+        help="enable telemetry and write a Chrome trace_event JSON "
+             "(load in chrome://tracing or Perfetto); implies an "
+             "uncached compile so pass spans are recorded")
+
+
 def _add_traffic_flags(parser: argparse.ArgumentParser, packets: int = 2000,
                        flows: int = 100) -> None:
     parser.add_argument("--packets", type=int, default=packets)
@@ -89,15 +122,41 @@ def _add_traffic_flags(parser: argparse.ArgumentParser, packets: int = 2000,
                         default="uniform")
 
 
+def _telemetry_setup(args: argparse.Namespace) -> bool:
+    """Enable process-wide telemetry when an export flag asks for it."""
+    wanted = bool(getattr(args, "metrics_out", None)
+                  or getattr(args, "trace_out", None))
+    if wanted:
+        telemetry.enable()
+    return wanted
+
+
+def _export_telemetry(args: argparse.Namespace) -> None:
+    reg = telemetry.get_registry()
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        fmt = telemetry.write_metrics(metrics_out, reg)
+        print(f"wrote {fmt} metrics to {metrics_out}")
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        n_events = telemetry.write_trace(trace_out, reg)
+        print(f"wrote {n_events} trace events to {trace_out}")
+
+
 def _compile(args: argparse.Namespace, program: Program):
-    """Compile through the persistent cache unless ``--no-cache``."""
+    """Compile through the persistent cache unless ``--no-cache``.
+
+    ``--trace-out`` also forces a real compile: a cache hit skips every
+    pass, so a traced run would record no spans.
+    """
     options = _options_from_args(args)
-    if getattr(args, "no_cache", False):
+    if getattr(args, "no_cache", False) or getattr(args, "trace_out", None):
         return compile_program(program, options)
     return compile_cached(program, options)
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
+    collect = _telemetry_setup(args)
     program = load_program(args.program)
     pipeline = _compile(args, program)
     vhdl = emit_vhdl(pipeline)
@@ -110,6 +169,8 @@ def cmd_compile(args: argparse.Namespace) -> int:
         print(f"wrote {len(vhdl.splitlines())} lines of VHDL to {target}")
     else:
         print(vhdl)
+    if collect:
+        _export_telemetry(args)
     return 0
 
 
@@ -138,10 +199,20 @@ def cmd_verify(args: argparse.Namespace) -> int:
     """
     from .rtl import run_three_way
 
+    collect = _telemetry_setup(args)
     program = load_program(args.program)
     pipeline = _compile(args, program)
     frames = _gen_frames(args)
     result = run_three_way(program, frames, pipeline=pipeline)
+    if collect:
+        reg = telemetry.get_registry()
+        if result.hw_report is not None:
+            publish_report(result.hw_report, reg, app=program.name,
+                           engine="hwsim")
+        if result.rtl_report is not None:
+            publish_report(result.rtl_report, reg, app=program.name,
+                           engine="rtl")
+        _export_telemetry(args)
     if result.ok:
         rec = result.rtl_report.records
         depth = rec[0].pipeline_cycles if rec else 0
@@ -157,7 +228,10 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 def cmd_stats(args: argparse.Namespace) -> int:
     program = load_program(args.program)
-    pipeline = _compile(args, program)
+    # Compile uncached inside a private registry so the per-pass span
+    # timings are always available (a cache hit would skip the passes).
+    with telemetry.scoped() as reg:
+        pipeline = compile_program(program, _options_from_args(args))
     print(pipeline.summary())
     print()
     print(f"instructions: {len(program.instructions)} in, "
@@ -172,6 +246,15 @@ def cmd_stats(args: argparse.Namespace) -> int:
           f"{estimate_resources(pipeline).summary()}")
     analysis = analyze_pipeline(pipeline)
     print(f"flush analysis @50k Zipfian flows: {analysis.row()}")
+    spans = [s for s in reg.spans if s.name.startswith("compile.")]
+    if spans:
+        print()
+        print(f"{'compile pass':<24s}  {'ms':>8s}")
+        for span in spans:
+            print(f"{span.name[len('compile.'):]:<24s}  "
+                  f"{span.dur_ns / 1e6:>8.3f}")
+        total_ns = sum(s.dur_ns for s in spans)
+        print(f"{'total':<24s}  {total_ns / 1e6:>8.3f}")
     return 0
 
 
@@ -244,7 +327,8 @@ def _gen_frames(args: argparse.Namespace) -> list:
 
 
 def _run_once(pipeline, program, frames, fast: bool, workers: int = 1):
-    """One timed simulator pass; returns (report, wall_seconds).
+    """One timed simulator pass; returns (report, wall_seconds,
+    shard_sizes) — shard_sizes is ``None`` on the single-worker path.
 
     With ``workers > 1`` the parallel engine shards the trace RSS-style
     over that many replica processes and the merged report is returned.
@@ -255,7 +339,11 @@ def _run_once(pipeline, program, frames, fast: bool, workers: int = 1):
     from .hwsim.sim import SimOptions
 
     maps = MapSet(program.maps)
-    options = SimOptions(fast=fast, keep_records=False, workers=workers)
+    # Pin the telemetry decision into the options so spawned worker
+    # processes (which do not inherit the enabled global registry)
+    # collect iff this process would.
+    options = SimOptions(fast=fast, keep_records=False, workers=workers,
+                         telemetry=telemetry.enabled())
     if workers > 1:
         psim = ParallelPipelineSimulator(pipeline, maps=maps, options=options)
         start = time.perf_counter()
@@ -265,15 +353,16 @@ def _run_once(pipeline, program, frames, fast: bool, workers: int = 1):
             print(f"WARNING: {len(parallel_report.conflicts)} map merge "
                   "conflicts (program not flow-partitionable?)",
                   file=sys.stderr)
-        return parallel_report.report, elapsed
+        return parallel_report.report, elapsed, parallel_report.shard_sizes
     sim = PipelineSimulator(pipeline, maps=maps, options=options)
     start = time.perf_counter()
     report = sim.run_packets(frames)
     elapsed = time.perf_counter() - start
-    return report, elapsed
+    return report, elapsed, None
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    collect = _telemetry_setup(args)
     program = load_program(args.program)
     pipeline = _compile(args, program)
     frames = _gen_frames(args)
@@ -283,8 +372,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         profiler = cProfile.Profile()
         profiler.enable()
-    report, elapsed = _run_once(pipeline, program, frames, args.fast,
-                                workers=args.workers)
+    report, elapsed, shard_sizes = _run_once(pipeline, program, frames,
+                                             args.fast, workers=args.workers)
     if profiler is not None:
         profiler.disable()
     mode = "fast" if args.fast else "interpreted"
@@ -293,6 +382,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(report.summary())
     print(f"engine: {mode}, wall {elapsed * 1e3:.1f} ms, "
           f"{len(frames) / elapsed:,.0f} packets/s")
+    if collect:
+        publish_report(report, telemetry.get_registry(), app=program.name,
+                       engine="hwsim", shard_sizes=shard_sizes)
+        _export_telemetry(args)
     if profiler is not None:
         import pstats
 
@@ -302,11 +395,12 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    collect = _telemetry_setup(args)
     program = load_program(args.program)
     pipeline = _compile(args, program)
     frames = _gen_frames(args)
-    fast_report, fast_dt = _run_once(pipeline, program, frames, True)
-    slow_report, slow_dt = _run_once(pipeline, program, frames, False)
+    fast_report, fast_dt, _ = _run_once(pipeline, program, frames, True)
+    slow_report, slow_dt, _ = _run_once(pipeline, program, frames, False)
     if fast_report.cycles != slow_report.cycles or \
             fast_report.action_counts != slow_report.action_counts:
         print("ERROR: fast/interpreted engines diverged", file=sys.stderr)
@@ -316,9 +410,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
           f"{len(frames) / fast_dt:>12,.0f}")
     print(f"{'interpreted':<14s}  {slow_dt * 1e3:>9.1f}  "
           f"{len(frames) / slow_dt:>12,.0f}")
+    shard_sizes = None
     if args.workers > 1:
-        par_report, par_dt = _run_once(pipeline, program, frames, True,
-                                       workers=args.workers)
+        par_report, par_dt, shard_sizes = _run_once(
+            pipeline, program, frames, True, workers=args.workers)
         if par_report.action_counts != fast_report.action_counts:
             print("ERROR: parallel engine action counts diverged",
                   file=sys.stderr)
@@ -330,6 +425,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"speedup: {slow_dt / fast_dt:.2f}x "
           f"(parity OK: {fast_report.cycles} cycles, "
           f"{sum(fast_report.action_counts.values())} packets)")
+    if collect:
+        publish_report(fast_report, telemetry.get_registry(),
+                       app=program.name, engine="hwsim",
+                       shard_sizes=shard_sizes)
+        _export_telemetry(args)
     return 0
 
 
@@ -356,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile = sub.add_parser("compile", help="generate VHDL")
     _add_compile_flags(p_compile)
     p_compile.add_argument("-o", "--output", help="output .vhd path")
+    _add_trace_flag(p_compile)
     p_compile.set_defaults(func=cmd_compile)
 
     p_stats = sub.add_parser("stats", help="pipeline/resource report")
@@ -396,6 +497,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "N worker processes (default 1)")
     p_run.add_argument("--profile", action="store_true",
                        help="profile the run and print the top-20 functions")
+    _add_metrics_flag(p_run)
+    _add_trace_flag(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_bench = sub.add_parser(
@@ -411,6 +514,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--workers", type=int, default=1,
                          help="also time the parallel engine with N "
                               "replica processes")
+    _add_metrics_flag(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 
     p_rtl = sub.add_parser(
@@ -426,6 +530,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_compile_flags(p_verify)
     _add_traffic_flags(p_verify, packets=64, flows=8)
+    _add_metrics_flag(p_verify)
     p_verify.set_defaults(func=cmd_verify)
 
     p_cache = sub.add_parser("cache", help="inspect the compile cache")

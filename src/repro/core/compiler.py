@@ -18,11 +18,13 @@ The result — a :class:`~repro.core.pipeline.Pipeline` — can be simulated
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Set
 
 from ..ebpf.isa import Program
 from ..ebpf.verifier import RegKind, verify
+from ..telemetry import get_registry
 from .cfg import build_cfg
 from .ddg import build_ddg
 from .framing import (
@@ -67,41 +69,73 @@ class CompileError(ValueError):
     """Raised when a program cannot be compiled to a pipeline."""
 
 
+@contextmanager
+def _pass_span(name: str, **args):
+    """Trace one compiler pass (span + per-pass run/time counters).
+
+    A no-op when telemetry is disabled: the enabled check is the only
+    work added to the compile path.
+    """
+    reg = get_registry()
+    if not reg.enabled:
+        yield
+        return
+    with reg.span(f"compile.{name}", cat="compile", **args) as span:
+        yield
+    labels = {"pass": name}
+    reg.counter(
+        "ehdl_compile_pass_runs_total", "Compiler pass executions", labels
+    ).inc()
+    reg.counter(
+        "ehdl_compile_pass_ns_total",
+        "Cumulative wall time per compiler pass", labels,
+    ).inc(span.dur_ns)
+
+
 def compile_program(
     program: Program, options: Optional[CompileOptions] = None
 ) -> Pipeline:
     """Compile an eBPF/XDP program into a hardware pipeline."""
     options = options or CompileOptions()
     original = program
+    n_input_insns = len(program.instructions)
 
     # 0. Bounded loops are unrolled so the pipeline is strictly forward
     # feeding (§2.2, §3.5); unbounded loops raise LoopError here.
     unrolled = 0
     if options.unroll_loops:
-        program, loop_report = unroll_loops(program)
-        unrolled = loop_report.loops_unrolled
+        with _pass_span("unroll_loops", program=program.name):
+            program, loop_report = unroll_loops(program)
+            unrolled = loop_report.loops_unrolled
 
     # 1. The input must be a valid (DAG-shaped) eBPF program.
-    verify(program)
+    with _pass_span("verify", program=program.name):
+        verify(program)
 
     # 2. Bytecode transforms.
     elided = 0
     dce_removed = 0
     entry_checks = ()
     if options.elide_bounds_checks:
-        program, report = elide_bounds_checks(program)
-        elided = len(report.elided_branches)
-        entry_checks = tuple(
-            (check.min_len, check.action) for check in report.entry_checks
-        )
+        with _pass_span("elide_bounds_checks", program=program.name):
+            program, report = elide_bounds_checks(program)
+            elided = len(report.elided_branches)
+            entry_checks = tuple(
+                (check.min_len, check.action) for check in report.entry_checks
+            )
     if options.dead_code_elimination:
-        program, dce_removed = dead_code_elimination(program)
+        with _pass_span("dead_code_elimination", program=program.name):
+            program, dce_removed = dead_code_elimination(program)
 
     # 3. Analysis.
-    vres = verify(program)
-    labels = label_program(program, vres)
-    cfg = build_cfg(program)
-    ddg = build_ddg(cfg, labels)
+    with _pass_span("reverify", program=program.name):
+        vres = verify(program)
+    with _pass_span("labeling", program=program.name):
+        labels = label_program(program, vres)
+    with _pass_span("cfg", program=program.name):
+        cfg = build_cfg(program)
+    with _pass_span("ddg", program=program.name):
+        ddg = build_ddg(cfg, labels)
 
     # Ctx loads in the entry block become "entry ops": the hardware wires
     # packet pointers/metadata directly into the first stage, so they cost
@@ -122,16 +156,22 @@ def compile_program(
         max_fuse_chain=options.max_fuse_chain,
         max_row_width=options.max_row_width,
     )
-    schedule = schedule_program(cfg, ddg, labels, sched_options, entry_op_indices)
+    with _pass_span("schedule", program=program.name):
+        schedule = schedule_program(
+            cfg, ddg, labels, sched_options, entry_op_indices
+        )
 
     # 5. Stage assembly.
-    stages = assemble_stages(program, cfg, labels, schedule)
+    with _pass_span("assemble_stages", program=program.name):
+        stages = assemble_stages(program, cfg, labels, schedule)
 
     # 6. Packet framing.
-    apply_framing(stages, options.frame_size, options.dynamic_access_depth)
+    with _pass_span("framing", program=program.name):
+        apply_framing(stages, options.frame_size, options.dynamic_access_depth)
 
     # 7. Map hazard machinery.
-    map_hazards = plan_hazards(stages)
+    with _pass_span("hazards", program=program.name):
+        map_hazards = plan_hazards(stages)
 
     entry_ops = [
         PipeOp(
@@ -145,13 +185,30 @@ def compile_program(
     ]
 
     # 8. State pruning.
-    apply_pruning(
-        stages,
-        enabled=options.enable_pruning,
-        program=program,
-        labels=labels,
-        entry_ops=entry_ops,
-    )
+    with _pass_span("pruning", program=program.name):
+        apply_pruning(
+            stages,
+            enabled=options.enable_pruning,
+            program=program,
+            labels=labels,
+            entry_ops=entry_ops,
+        )
+
+    reg = get_registry()
+    if reg.enabled:
+        size_labels = {"program": program.name}
+        reg.gauge(
+            "ehdl_compile_instructions_in",
+            "Instructions in the input program", size_labels,
+        ).set(n_input_insns)
+        reg.gauge(
+            "ehdl_compile_instructions_scheduled",
+            "Instructions after transforms, as scheduled", size_labels,
+        ).set(len(program.instructions))
+        reg.gauge(
+            "ehdl_compile_stages",
+            "Pipeline depth of the compiled program", size_labels,
+        ).set(len(stages))
 
     return Pipeline(
         program=program,

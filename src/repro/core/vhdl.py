@@ -1796,6 +1796,13 @@ def _top(pipeline: Pipeline, name: str, fifo_name: str,
 
 def emit_vhdl(pipeline: Pipeline) -> str:
     """Render a compiled pipeline as a single self-contained VHDL file."""
+    from .compiler import _pass_span
+
+    with _pass_span("vhdl_emit", program=pipeline.name):
+        return _emit_vhdl(pipeline)
+
+
+def _emit_vhdl(pipeline: Pipeline) -> str:
     names = _Names()
     pkg_name = names.claim("ehdl_pkg")
     fifo_name = names.claim("ehdl_async_fifo")

@@ -27,8 +27,21 @@ from .helpers import (
 from .isa import MASK32, MASK64, Instruction, Program, to_signed32, to_signed64
 from .maps import MapSet
 from .xdp import AddressSpace, XdpAction, XdpContext, XdpResult
+from ..telemetry import get_registry
 
 MAX_INSTRUCTIONS = 1_000_000  # kernel's executed-instruction bound
+
+# Opcode-class names for the per-class instruction telemetry.
+_CLASS_NAMES = {
+    isa.BPF_ALU64: "alu64",
+    isa.BPF_ALU: "alu32",
+    isa.BPF_LDX: "ldx",
+    isa.BPF_LD: "ld",
+    isa.BPF_ST: "st",
+    isa.BPF_STX: "stx",
+    isa.BPF_JMP: "jmp",
+    isa.BPF_JMP32: "jmp32",
+}
 
 # Hot-path constants for the jump-threaded dispatch handlers: region
 # bounds without classmethod calls, and single-call little-endian codecs
@@ -86,6 +99,25 @@ class Vm:
             self._slot_table.append(index)
             if insn.slots == 2:
                 self._slot_table.append(None)
+        # Telemetry: per-slot opcode-class/helper names precomputed so
+        # counting in the run drivers is two dict bumps per instruction,
+        # and only when the registry is enabled at run() time.
+        self._slot_class: List[Optional[str]] = [None] * len(self._slot_table)
+        self._slot_helper: List[Optional[str]] = [None] * len(self._slot_table)
+        slot = 0
+        for insn in program.instructions:
+            self._slot_class[slot] = _CLASS_NAMES.get(insn.opclass, "unknown")
+            if insn.opclass in (isa.BPF_JMP, isa.BPF_JMP32) and insn.is_call:
+                try:
+                    self._slot_helper[slot] = helper_spec(insn.imm).name
+                except HelperError:
+                    self._slot_helper[slot] = f"helper_{insn.imm}"
+            slot += insn.slots
+        # Executed-instruction counts by opcode class, and helper calls by
+        # helper name, cumulative across runs of this VM instance.
+        self.opcode_class_counts: Dict[str, int] = {}
+        self.helper_call_counts: Dict[str, int] = {}
+        self._collect = False
         # Jump-threaded dispatch table (one bound closure per slot), built
         # lazily on the first fast run. The interpreted loop remains as
         # the bit-identical reference (fast=False).
@@ -295,6 +327,7 @@ class Vm:
         self.regs[isa.R1] = AddressSpace.CTX_BASE
         self.regs[isa.R10] = AddressSpace.stack_top()
         self.stack = bytearray(AddressSpace.STACK_SIZE)
+        self._collect = get_registry().enabled
         if self._fast:
             return self._run_fast()
         return self._run_interpreted()
@@ -313,6 +346,11 @@ class Vm:
         n = len(dispatch)
         slot = 0
         executed = 0
+        collect = self._collect
+        classes = self._slot_class
+        helpers = self._slot_helper
+        ccounts = self.opcode_class_counts
+        hcounts = self.helper_call_counts
         while True:
             if executed >= MAX_INSTRUCTIONS:
                 raise VmError("instruction limit exceeded (unbounded loop?)")
@@ -322,6 +360,12 @@ class Vm:
             if handler is None:
                 raise VmError(f"jump into the middle of ld_imm64 at slot {slot}")
             executed += 1
+            if collect:
+                cname = classes[slot]
+                ccounts[cname] = ccounts.get(cname, 0) + 1
+                hname = helpers[slot]
+                if hname is not None:
+                    hcounts[hname] = hcounts.get(hname, 0) + 1
             slot = handler(self)
             if slot is None:
                 action_code = self.regs[isa.R0] & MASK32
@@ -527,6 +571,11 @@ class Vm:
         executed = 0
         table = self._slot_table
         instructions = self.program.instructions
+        collect = self._collect
+        classes = self._slot_class
+        helpers = self._slot_helper
+        ccounts = self.opcode_class_counts
+        hcounts = self.helper_call_counts
 
         while True:
             if executed >= MAX_INSTRUCTIONS:
@@ -538,6 +587,12 @@ class Vm:
                 raise VmError(f"jump into the middle of ld_imm64 at slot {slot}")
             insn = instructions[index]
             executed += 1
+            if collect:
+                cname = classes[slot]
+                ccounts[cname] = ccounts.get(cname, 0) + 1
+                hname = helpers[slot]
+                if hname is not None:
+                    hcounts[hname] = hcounts.get(hname, 0) + 1
             next_slot = slot + insn.slots
             cls = insn.opclass
 
@@ -628,6 +683,28 @@ class Vm:
         # would reject them).
         for reg in (isa.R1, isa.R2, isa.R3, isa.R4, isa.R5):
             self.regs[reg] = 0
+
+    def publish_telemetry(self, registry=None) -> None:
+        """Flush the VM's per-class/per-helper execution counts into a
+        telemetry registry (the process-wide one by default) and reset
+        the local tallies, so repeated publishes never double-count."""
+        if registry is None:
+            registry = get_registry()
+        labels = {"program": self.program.name}
+        for cname, count in sorted(self.opcode_class_counts.items()):
+            registry.counter(
+                "ehdl_vm_instructions_total",
+                "Instructions executed by the reference VM, by opcode class",
+                {**labels, "class": cname},
+            ).inc(count)
+        for hname, count in sorted(self.helper_call_counts.items()):
+            registry.counter(
+                "ehdl_vm_helper_calls_total",
+                "Helper calls executed by the reference VM",
+                {**labels, "helper": hname},
+            ).inc(count)
+        self.opcode_class_counts = {}
+        self.helper_call_counts = {}
 
 
 def run_program(

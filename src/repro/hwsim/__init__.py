@@ -12,7 +12,7 @@ from .parallel import (
 )
 from .shell import NicSystem, ShellConfig
 from .sim import PipelineSimulator, SimError, SimOptions
-from .stats import PacketRecord, SimReport, merge_reports
+from .stats import PacketRecord, SimMetrics, SimReport, merge_reports, publish_report
 from .trace import CycleSnapshot, OccupancyTracer, render_occupancy
 
 __all__ = [
@@ -28,6 +28,7 @@ __all__ = [
     "PipelineSimulator",
     "ShellConfig",
     "SimError",
+    "SimMetrics",
     "SimOptions",
     "SimReport",
     "SlotResult",
@@ -35,6 +36,7 @@ __all__ = [
     "ethertype_classifier",
     "merge_map_shards",
     "merge_reports",
+    "publish_report",
     "CycleSnapshot",
     "OccupancyTracer",
     "render_occupancy",

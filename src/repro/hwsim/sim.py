@@ -39,7 +39,8 @@ from ..ebpf.xdp import AddressSpace, XdpAction, XdpContext
 from ..core.cfg import BasicBlock
 from ..core.labeling import Region
 from ..core.pipeline import PipeOp, Pipeline, Stage, StageKind
-from .stats import PacketRecord, SimReport
+from ..telemetry import get_registry
+from .stats import PacketRecord, SimMetrics, SimReport
 
 
 @dataclass
@@ -60,6 +61,12 @@ class SimOptions:
     # (repro.hwsim.parallel), which shards flows RSS-style across worker
     # processes. PipelineSimulator itself always runs one replica.
     workers: int = 1
+    # Collect per-cycle telemetry (SimMetrics on the report): None
+    # follows the process-wide registry's enabled flag; an explicit bool
+    # overrides it. The override is what lets the parallel engine's
+    # spawned workers — which do not inherit the parent's registry
+    # state — still collect when the caller asked for metrics.
+    telemetry: Optional[bool] = None
 
 
 class SimError(RuntimeError):
@@ -206,6 +213,9 @@ class PipelineSimulator:
         self.trace_events: List[Tuple[int, ...]] = []
         self._prandom_state = 0x5EED
         self._current: Optional[_InFlight] = None  # packet being executed
+        # Telemetry counters of the most recent run (None until a run
+        # collects them; see SimOptions.telemetry).
+        self.metrics: Optional[SimMetrics] = None
 
         program = pipeline.program
         self._blocks: List[BasicBlock] = pipeline.cfg.blocks
@@ -293,6 +303,14 @@ class PipelineSimulator:
         )
         stages = self.pipeline.stages
         n_stages = len(stages)
+        # Telemetry: resolved once per run; when off, the whole per-cycle
+        # cost is a single `is not None` check below.
+        collect = options.telemetry
+        if collect is None:
+            collect = get_registry().enabled
+        metrics = SimMetrics.create(n_stages) if collect else None
+        self.metrics = metrics
+        report.metrics = metrics
         slots: List[Optional[_InFlight]] = [None] * (n_stages + 1)  # 1-based
         self._slots = slots  # forwarding registry for _map_read_bytes
         input_queue: Deque[_InFlight] = deque()
@@ -485,6 +503,18 @@ class PipelineSimulator:
                     )
                 if flushed:
                     reload_stall = max(reload_stall, reload_overhead)
+
+            if metrics is not None:
+                metrics.observed_cycles += 1
+                busy = metrics.stage_busy_cycles
+                for pos in range(1, n_stages + 1):
+                    if slots[pos] is not None:
+                        busy[pos - 1] += 1
+                if barrier_queues:
+                    waits = 0
+                    for queue in barrier_queues.values():
+                        waits += len(queue)
+                    metrics.barrier_wait_cycles += waits
 
             if observer is not None:
                 observer(cycle, slots, barrier_queues, input_queue, report)

@@ -6,6 +6,90 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..ebpf.xdp import XdpAction
+from ..telemetry.metrics import N_BUCKETS, Registry, bucket_index
+
+
+@dataclass
+class SimMetrics:
+    """NIC-style per-cycle counters collected alongside a ``SimReport``.
+
+    Plain-list storage so the object pickles cheaply across the parallel
+    engine's worker processes and merges exactly (additively) under
+    :meth:`SimReport.merge` — the same invariance contract the report's
+    own aggregates keep. Collected only when telemetry is on (see
+    ``SimOptions.telemetry``); the simulator's hot loop pays one ``is
+    not None`` check per cycle when off.
+    """
+
+    n_stages: int
+    # cycles each stage slot held a packet (index 0 = stage 1)
+    stage_busy_cycles: List[int]
+    # sum over cycles of all elastic-buffer queue depths: cycles packets
+    # spent serialized behind map-hazard barriers waiting to re-enter
+    barrier_wait_cycles: int = 0
+    observed_cycles: int = 0
+    # cycles-per-packet (inject -> exit) log2 histogram
+    packet_cycle_buckets: List[int] = field(
+        default_factory=lambda: [0] * N_BUCKETS
+    )
+    packet_cycle_sum: int = 0
+    packet_cycle_count: int = 0
+
+    @classmethod
+    def create(cls, n_stages: int) -> "SimMetrics":
+        return cls(n_stages=n_stages, stage_busy_cycles=[0] * n_stages)
+
+    def observe_packet(self, pipeline_cycles: int) -> None:
+        self.packet_cycle_buckets[bucket_index(pipeline_cycles)] += 1
+        self.packet_cycle_sum += pipeline_cycles
+        self.packet_cycle_count += 1
+
+    def occupancy_pct(self) -> List[float]:
+        """Per-stage busy percentage over the observed cycles."""
+        if self.observed_cycles == 0:
+            return [0.0] * self.n_stages
+        return [
+            100.0 * busy / self.observed_cycles
+            for busy in self.stage_busy_cycles
+        ]
+
+    def merge(self, other: "SimMetrics") -> None:
+        if self.n_stages != other.n_stages:
+            raise ValueError(
+                f"cannot merge metrics for {other.n_stages}-stage pipeline "
+                f"into {self.n_stages}-stage metrics"
+            )
+        for i in range(self.n_stages):
+            self.stage_busy_cycles[i] += other.stage_busy_cycles[i]
+        self.barrier_wait_cycles += other.barrier_wait_cycles
+        self.observed_cycles += other.observed_cycles
+        for i in range(N_BUCKETS):
+            self.packet_cycle_buckets[i] += other.packet_cycle_buckets[i]
+        self.packet_cycle_sum += other.packet_cycle_sum
+        self.packet_cycle_count += other.packet_cycle_count
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "n_stages": self.n_stages,
+            "stage_busy_cycles": list(self.stage_busy_cycles),
+            "barrier_wait_cycles": self.barrier_wait_cycles,
+            "observed_cycles": self.observed_cycles,
+            "packet_cycle_buckets": list(self.packet_cycle_buckets),
+            "packet_cycle_sum": self.packet_cycle_sum,
+            "packet_cycle_count": self.packet_cycle_count,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "SimMetrics":
+        return cls(
+            n_stages=data["n_stages"],
+            stage_busy_cycles=list(data["stage_busy_cycles"]),
+            barrier_wait_cycles=data["barrier_wait_cycles"],
+            observed_cycles=data["observed_cycles"],
+            packet_cycle_buckets=list(data["packet_cycle_buckets"]),
+            packet_cycle_sum=data["packet_cycle_sum"],
+            packet_cycle_count=data["packet_cycle_count"],
+        )
 
 
 @dataclass
@@ -51,6 +135,9 @@ class SimReport:
     sum_total_cycles: int = 0
     sum_pipeline_cycles: int = 0
     sum_restarts: int = 0
+    # Telemetry counters (per-stage occupancy, barrier waits, the
+    # cycles-per-packet histogram); None unless the run collected them.
+    metrics: Optional[SimMetrics] = None
 
     # -- derived metrics -----------------------------------------------------
 
@@ -107,6 +194,8 @@ class SimReport:
         self.sum_total_cycles += exit_cycle - arrival_cycle
         self.sum_pipeline_cycles += exit_cycle - inject_cycle
         self.sum_restarts += restarts
+        if self.metrics is not None:
+            self.metrics.observe_packet(exit_cycle - inject_cycle)
 
     def record(self, rec: PacketRecord) -> None:
         self.tally(rec.action, rec.arrival_cycle, rec.inject_cycle,
@@ -141,6 +230,88 @@ class SimReport:
         self.sum_restarts += other.sum_restarts
         for action, count in other.action_counts.items():
             self.action_counts[action] = self.action_counts.get(action, 0) + count
+        if other.metrics is not None:
+            if self.metrics is None:
+                self.metrics = SimMetrics.create(other.metrics.n_stages)
+            self.metrics.merge(other.metrics)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_json(self, include_records: bool = False) -> Dict[str, object]:
+        """JSON-able dict carrying every aggregate (and optionally the
+        per-packet records); :meth:`from_json` round-trips it exactly."""
+        out: Dict[str, object] = {
+            "clock_mhz": self.clock_mhz,
+            "n_stages": self.n_stages,
+            "cycles": self.cycles,
+            "packets_in": self.packets_in,
+            "packets_out": self.packets_out,
+            "packets_dropped_queue": self.packets_dropped_queue,
+            "flush_events": self.flush_events,
+            "squashed_packets": self.squashed_packets,
+            "stall_cycles": self.stall_cycles,
+            "action_counts": {
+                action.name: count
+                for action, count in sorted(self.action_counts.items())
+            },
+            "sum_total_cycles": self.sum_total_cycles,
+            "sum_pipeline_cycles": self.sum_pipeline_cycles,
+            "sum_restarts": self.sum_restarts,
+            "metrics": (self.metrics.to_json()
+                        if self.metrics is not None else None),
+        }
+        if include_records:
+            out["records"] = [
+                {
+                    "pid": rec.pid,
+                    "action": rec.action.name,
+                    "data": rec.data.hex(),
+                    "arrival_cycle": rec.arrival_cycle,
+                    "inject_cycle": rec.inject_cycle,
+                    "exit_cycle": rec.exit_cycle,
+                    "restarts": rec.restarts,
+                }
+                for rec in self.records
+            ]
+        return out
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "SimReport":
+        records = [
+            PacketRecord(
+                pid=rec["pid"],
+                action=XdpAction[rec["action"]],
+                data=bytes.fromhex(rec["data"]),
+                arrival_cycle=rec["arrival_cycle"],
+                inject_cycle=rec["inject_cycle"],
+                exit_cycle=rec["exit_cycle"],
+                restarts=rec.get("restarts", 0),
+            )
+            for rec in data.get("records", ())
+        ]
+        metrics_data = data.get("metrics")
+        return cls(
+            clock_mhz=data["clock_mhz"],
+            n_stages=data["n_stages"],
+            cycles=data["cycles"],
+            packets_in=data["packets_in"],
+            packets_out=data["packets_out"],
+            packets_dropped_queue=data["packets_dropped_queue"],
+            flush_events=data["flush_events"],
+            squashed_packets=data["squashed_packets"],
+            stall_cycles=data["stall_cycles"],
+            action_counts={
+                XdpAction[name]: count
+                for name, count in data["action_counts"].items()
+            },
+            records=records,
+            keep_records=bool(records),
+            sum_total_cycles=data["sum_total_cycles"],
+            sum_pipeline_cycles=data["sum_pipeline_cycles"],
+            sum_restarts=data["sum_restarts"],
+            metrics=(SimMetrics.from_json(metrics_data)
+                     if metrics_data is not None else None),
+        )
 
     def summary(self) -> str:
         lines = [
@@ -173,3 +344,90 @@ def merge_reports(reports: Sequence[SimReport]) -> SimReport:
     for report in reports:
         merged.merge(report)
     return merged
+
+
+def publish_report(
+    report: SimReport,
+    registry: Registry,
+    app: str = "",
+    engine: str = "hwsim",
+    shard_sizes: Optional[Sequence[int]] = None,
+) -> None:
+    """Translate a report's aggregates into registry metrics.
+
+    Every counter is published with an ``app``/``engine`` label pair so
+    runs over different programs or engines coexist in one scrape. The
+    per-action packet counters exactly equal ``report.action_counts`` —
+    the equality the telemetry acceptance tests pin down.
+    """
+    base = {"app": app, "engine": engine}
+    registry.counter(
+        "ehdl_sim_packets_in_total",
+        "Packets accepted into the input queue", base,
+    ).inc(report.packets_in)
+    for action, count in sorted(report.action_counts.items()):
+        registry.counter(
+            "ehdl_sim_packets_total",
+            "Packets retired, by final XDP action",
+            {**base, "action": action.name},
+        ).inc(count)
+    registry.counter(
+        "ehdl_sim_queue_drops_total",
+        "Packets dropped on input-queue overflow", base,
+    ).inc(report.packets_dropped_queue)
+    registry.counter(
+        "ehdl_sim_cycles_total",
+        "Simulated clock cycles", base,
+    ).inc(report.cycles)
+    registry.counter(
+        "ehdl_sim_stall_cycles_total",
+        "Cycles the pipeline stalled on map-hazard barriers", base,
+    ).inc(report.stall_cycles)
+    registry.counter(
+        "ehdl_sim_flush_events_total",
+        "Flush Evaluation Block firings", base,
+    ).inc(report.flush_events)
+    registry.counter(
+        "ehdl_sim_squashed_packets_total",
+        "Packets squashed and restarted by flushes", base,
+    ).inc(report.squashed_packets)
+    registry.counter(
+        "ehdl_sim_restarts_total",
+        "Per-packet restart events (squash re-executions)", base,
+    ).inc(report.sum_restarts)
+    registry.gauge(
+        "ehdl_sim_stages",
+        "Pipeline depth in stages", base,
+    ).set(report.n_stages)
+    metrics = report.metrics
+    if metrics is not None:
+        for i, busy in enumerate(metrics.stage_busy_cycles):
+            registry.counter(
+                "ehdl_sim_stage_busy_cycles_total",
+                "Cycles a stage slot held a packet",
+                {**base, "stage": str(i + 1)},
+            ).inc(busy)
+        registry.counter(
+            "ehdl_sim_observed_cycles_total",
+            "Cycles the occupancy counters observed", base,
+        ).inc(metrics.observed_cycles)
+        registry.counter(
+            "ehdl_sim_barrier_wait_cycles_total",
+            "Packet-cycles spent serialized in map-hazard barrier queues",
+            base,
+        ).inc(metrics.barrier_wait_cycles)
+        registry.histogram(
+            "ehdl_sim_packet_cycles",
+            "Inject-to-exit pipeline cycles per packet", base,
+        ).merge_counts(
+            metrics.packet_cycle_buckets,
+            metrics.packet_cycle_sum,
+            metrics.packet_cycle_count,
+        )
+    if shard_sizes is not None:
+        for worker, size in enumerate(shard_sizes):
+            registry.counter(
+                "ehdl_sim_worker_packets_total",
+                "Packets sharded to each parallel worker (RSS balance)",
+                {**base, "worker": str(worker)},
+            ).inc(size)

@@ -36,14 +36,20 @@ class CycleSnapshot:
 class OccupancyTracer:
     """Attach via ``sim.observer = OccupancyTracer(...)`` before ``run``.
 
-    ``max_cycles`` bounds memory; tracing silently stops after it.
+    ``max_cycles`` bounds memory; once it is hit, later cycles are
+    dropped, ``truncated`` is set, and ``dropped_cycles`` counts what was
+    lost (:func:`render_occupancy` surfaces both).
     """
 
     max_cycles: int = 10_000
     snapshots: List[CycleSnapshot] = field(default_factory=list)
+    truncated: bool = False
+    dropped_cycles: int = 0
 
     def __call__(self, cycle, slots, barrier_queues, input_queue, report):
         if len(self.snapshots) >= self.max_cycles:
+            self.truncated = True
+            self.dropped_cycles += 1
             return
         occupancy = tuple(
             pkt.pid if pkt is not None else None for pkt in slots[1:]
@@ -108,5 +114,10 @@ def render_occupancy(
         lines.append(
             f"cycle {snap.cycle:5d}  " + " ".join(f"{c:>3s}" for c in cells)
             + queue + marker
+        )
+    if tracer.truncated:
+        lines.append(
+            f"[trace truncated: {tracer.dropped_cycles} cycles dropped "
+            f"after max_cycles={tracer.max_cycles}]"
         )
     return "\n".join(lines)

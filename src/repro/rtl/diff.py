@@ -93,6 +93,9 @@ def run_three_way(
     vm_maps = _leg_maps(program, setup)
     vm = Vm(program, maps=vm_maps, time_ns=time_ns)
     vm_results = [vm.run(f) for f in frames]
+    # Flush the VM leg's opcode/helper counters (no-op when telemetry
+    # was off during the runs above).
+    vm.publish_telemetry()
 
     hw_maps = _leg_maps(program, setup)
     hw_sim = PipelineSimulator(

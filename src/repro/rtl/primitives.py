@@ -36,6 +36,15 @@ CH_OP_LOAD = 0x4
 CH_OP_STORE = 0x5
 CH_OP_REDIRECT = 0x6
 
+_CH_OP_NAMES = {
+    CH_OP_LOOKUP: "lookup",
+    CH_OP_UPDATE: "update",
+    CH_OP_DELETE: "delete",
+    CH_OP_LOAD: "load",
+    CH_OP_STORE: "store",
+    CH_OP_REDIRECT: "redirect",
+}
+
 
 def _sign16(value: int) -> int:
     return value - 0x10000 if value & 0x8000 else value
@@ -65,6 +74,12 @@ class RtlContext:
         self.trace_events: List[tuple] = []
         self._prandom_state = 0x5EED
         self.packet: Optional[PacketShadow] = None
+        # Primitive activity: executed map-channel/atomic/helper requests
+        # by kind, for the RTL telemetry counters.
+        self.op_counts: Dict[str, int] = {}
+
+    def count_op(self, kind: str) -> None:
+        self.op_counts[kind] = self.op_counts.get(kind, 0) + 1
 
     def next_prandom(self) -> int:
         self._prandom_state = (
@@ -120,6 +135,7 @@ class MapBlock:
             return
         op = p[f"ch{c}_op"].get(values)
         code, size = op & 0xF, op >> 4
+        self.context.count_op(_CH_OP_NAMES.get(code, "unknown"))
         addr = p[f"ch{c}_addr"].get(values)
         key_raw = p[f"ch{c}_key"].get(values)
         bpf_map = self._map()
@@ -193,6 +209,7 @@ class MapBlock:
             oob.set(values, 0)
             return
         op = p["at_op"].get(values)
+        self.context.count_op("atomic")
         size = p["at_size"].get(values)
         addr = p["at_addr"].get(values)
         src = p["at_wdata"].get(values)
@@ -333,6 +350,7 @@ class HelperBlock:
         if shadow is None:
             raise RtlSimError(f"{self.name}: request with no packet in "
                               "flight")
+        self.context.count_op(f"helper:{self.spec.name}")
         has_frame = "frame_i" in p
         packet = bytearray()
         plen = haj = 0

@@ -29,6 +29,7 @@ from .parser import parse_vhdl
 from .primitives import PacketShadow, RtlContext, primitive_factory
 
 from ..hwsim.stats import PacketRecord, SimReport
+from ..telemetry import get_registry
 
 
 class RtlSimulator:
@@ -37,6 +38,10 @@ class RtlSimulator:
     def __init__(self, model: Elaborated) -> None:
         self.model = model
         self.values: List[int] = [0] * len(model.net_widths)
+        # Activity counters for the RTL telemetry: combinational settle
+        # passes and clock edges since construction.
+        self.settle_count = 0
+        self.edge_count = 0
 
     def _port(self, name: str):
         ref = self.model.top_scope.get(name)
@@ -52,6 +57,7 @@ class RtlSimulator:
 
     def settle(self) -> None:
         """One combinational evaluation pass (topological order)."""
+        self.settle_count += 1
         values = self.values
         for node in self.model.nodes:
             node.fn(values)
@@ -59,6 +65,7 @@ class RtlSimulator:
     def edge(self) -> None:
         """One rising clock edge: every process reads pre-edge values,
         writes land after all processes ran (signal semantics)."""
+        self.edge_count += 1
         values = self.values
         pending: Dict[int, int] = {}
         for proc in self.model.procs:
@@ -114,6 +121,10 @@ class RtlRunner:
         self.n_stages = pipeline.n_stages
         port = self.model.top_entity.port("s_axis_tdata")
         self.window_bytes = port.width // 8
+        # Telemetry high-water marks (deltas published per run_packets).
+        self._published_settles = 0
+        self._published_edges = 0
+        self._published_ops: Dict[str, int] = {}
 
     def run_packets(self, frames: Iterable[bytes],
                     gap: Optional[int] = None) -> SimReport:
@@ -191,4 +202,33 @@ class RtlRunner:
                 f"{len(frames) - out_index} packet(s) never reached "
                 "m_axis"
             )
+        self._publish_telemetry()
         return report
+
+    def _publish_telemetry(self) -> None:
+        """Report settle/edge activity and primitive op counts into the
+        process-wide registry (no-op when telemetry is off). Counters are
+        cumulative per simulator, so publish the delta since last time."""
+        reg = get_registry()
+        if not reg.enabled:
+            return
+        labels = {"program": self.pipeline.name, "engine": "rtl"}
+        sim = self.sim
+        reg.counter(
+            "ehdl_rtl_settles_total",
+            "Combinational settle passes of the RTL simulator", labels,
+        ).inc(sim.settle_count - self._published_settles)
+        reg.counter(
+            "ehdl_rtl_edges_total",
+            "Clock edges stepped by the RTL simulator", labels,
+        ).inc(sim.edge_count - self._published_edges)
+        self._published_settles = sim.settle_count
+        self._published_edges = sim.edge_count
+        for kind, count in sorted(self.context.op_counts.items()):
+            already = self._published_ops.get(kind, 0)
+            reg.counter(
+                "ehdl_rtl_primitive_ops_total",
+                "Requests served by map/helper primitive blocks, by kind",
+                {**labels, "op": kind},
+            ).inc(count - already)
+            self._published_ops[kind] = count

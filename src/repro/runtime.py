@@ -167,13 +167,52 @@ class XdpOffload:
         record = report.records[0]
         return record.action, record.data
 
+    def process_stream(
+        self,
+        frames: Iterable[bytes],
+        gap: int = 1,
+        batch_size: int = 256,
+    ) -> SimReport:
+        """Stream an arbitrarily long frame iterable through the NIC in
+        bounded memory (see :meth:`PipelineSimulator.run_stream`)."""
+        report = self._nic.sim.run_stream(frames, gap=gap,
+                                          batch_size=batch_size)
+        self._last_report = report
+        return report
+
     # -- reports --------------------------------------------------------------------
 
     def latency_ns(self, report: Optional[SimReport] = None) -> float:
-        report = report or self._last_report
         if report is None:
-            raise RuntimeError("no traffic processed yet")
+            report = self._last_report
+        if report is None:
+            raise RuntimeError(
+                "latency_ns: no report available — run process(), "
+                "process_stream() or process_one() first, or pass a "
+                "SimReport explicitly"
+            )
         return self._nic.forwarding_latency_ns(report)
+
+    def telemetry(self, registry=None) -> dict:
+        """Snapshot of this offload's NIC-style counters.
+
+        Publishes the last run's report (and the live pipeline metrics,
+        when a telemetry-enabled run collected them) into ``registry`` —
+        a fresh private one by default — and returns its snapshot dict.
+        Use ``repro.telemetry.prometheus_text``/``chrome_trace`` on the
+        registry for the exposition formats.
+        """
+        from .hwsim.stats import publish_report
+        from .telemetry import Registry
+
+        if registry is None:
+            registry = Registry(enabled=True)
+        if self._last_report is not None:
+            publish_report(
+                self._last_report, registry,
+                app=self.program.name, engine="hwsim",
+            )
+        return registry.snapshot()
 
     def resources(self, include_shell: bool = True) -> ResourceEstimate:
         return estimate_resources(self.pipeline, include_shell=include_shell)

@@ -1,0 +1,304 @@
+"""Telemetry exposition: Prometheus text, Chrome trace JSON, flat JSON.
+
+Three stdlib-only exporters over :class:`repro.telemetry.Registry`:
+
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, escaped labels, cumulative
+  histogram ``_bucket``/``_sum``/``_count`` series);
+* :func:`chrome_trace` — the Chrome ``trace_event`` JSON object format
+  (complete ``"ph": "X"`` events), loadable in ``about://tracing`` and
+  Perfetto;
+* :func:`json_snapshot` — the registry's flat snapshot, for programmatic
+  consumers.
+
+:func:`write_metrics` picks Prometheus vs JSON by file extension
+(``.prom``/``.txt`` vs anything else), matching the CLI's
+``--metrics-out`` contract.
+
+:func:`validate_prometheus_text` is a tiny grammar checker used by the
+tests and the CI workflow — it validates what this module and any
+well-formed scraper-facing endpoint must produce, with no dependency on
+a Prometheus client library.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import BUCKET_BOUNDS, N_BUCKETS, Registry
+
+_ESCAPES = str.maketrans({
+    "\\": r"\\",
+    '"': r"\"",
+    "\n": r"\n",
+})
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def _fmt_labels(labels, extra: Optional[Tuple[str, str]] = None) -> str:
+    items = list(labels)
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    body = ",".join(
+        f'{k}="{str(v).translate(_ESCAPES)}"' for k, v in items
+    )
+    return "{" + body + "}"
+
+
+def prometheus_text(registry: Registry) -> str:
+    """Render every metric in the Prometheus text exposition format."""
+    lines: List[str] = []
+    seen_header = set()
+    for metric in registry.metrics():
+        if metric.name not in seen_header:
+            seen_header.add(metric.name)
+            if metric.help:
+                lines.append(
+                    f"# HELP {metric.name} "
+                    f"{metric.help.translate(_ESCAPES)}"
+                )
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if metric.kind == "histogram":
+            cumulative = 0
+            for i in range(N_BUCKETS):
+                cumulative += metric.buckets[i]
+                le = (str(BUCKET_BOUNDS[i])
+                      if i < len(BUCKET_BOUNDS) else "+Inf")
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_fmt_labels(metric.labels, ('le', le))} {cumulative}"
+                )
+            lines.append(
+                f"{metric.name}_sum{_fmt_labels(metric.labels)} "
+                f"{_fmt_value(metric.sum)}"
+            )
+            lines.append(
+                f"{metric.name}_count{_fmt_labels(metric.labels)} "
+                f"{metric.count}"
+            )
+        else:
+            lines.append(
+                f"{metric.name}{_fmt_labels(metric.labels)} "
+                f"{_fmt_value(metric.value)}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def chrome_trace(registry: Registry) -> Dict[str, object]:
+    """Chrome ``trace_event`` JSON object format: one complete ("X")
+    event per span, timestamps and durations in microseconds."""
+    events = []
+    for span in registry.spans:
+        events.append({
+            "name": span.name,
+            "cat": span.cat or "ehdl",
+            "ph": "X",
+            "ts": span.ts_ns / 1000.0,
+            "dur": span.dur_ns / 1000.0,
+            "pid": span.pid,
+            "tid": span.tid,
+            "args": dict(span.args),
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def json_snapshot(registry: Registry) -> Dict[str, object]:
+    return registry.snapshot()
+
+
+def write_metrics(path: str, registry: Registry) -> str:
+    """Write metrics to ``path``; format by extension (``.prom``/``.txt``
+    → Prometheus text, anything else → flat JSON). Returns the format."""
+    lower = str(path).lower()
+    if lower.endswith((".prom", ".txt")):
+        text = prometheus_text(registry)
+        fmt = "prometheus"
+    else:
+        text = json.dumps(json_snapshot(registry), indent=2) + "\n"
+        fmt = "json"
+    with open(path, "w") as fh:
+        fh.write(text)
+    return fmt
+
+
+def write_trace(path: str, registry: Registry) -> int:
+    """Write the Chrome trace JSON; returns the number of events."""
+    trace = chrome_trace(registry)
+    with open(path, "w") as fh:
+        json.dump(trace, fh, indent=1)
+        fh.write("\n")
+    return len(trace["traceEvents"])
+
+
+# -- Prometheus text-format checker -------------------------------------------
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+_LABEL_VALUE = r'"(?:[^"\\\n]|\\\\|\\"|\\n)*"'
+_LABELS = rf"\{{\s*(?:{_LABEL_NAME}\s*=\s*{_LABEL_VALUE}\s*(?:,\s*{_LABEL_NAME}\s*=\s*{_LABEL_VALUE}\s*)*,?)?\}}"
+_VALUE = r"(?:[+-]?Inf|NaN|[+-]?(?:\d+(?:\.\d*)?|\.\d+)(?:[eE][+-]?\d+)?)"
+_SAMPLE_RE = re.compile(
+    rf"^(?P<name>{_METRIC_NAME})(?P<labels>{_LABELS})?\s+"
+    rf"(?P<value>{_VALUE})(?:\s+(?P<ts>[+-]?\d+))?$"
+)
+_HELP_RE = re.compile(rf"^# HELP ({_METRIC_NAME}) .*$")
+_TYPE_RE = re.compile(
+    rf"^# TYPE ({_METRIC_NAME}) "
+    r"(counter|gauge|histogram|summary|untyped)$"
+)
+
+_TYPED_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _base_name(name: str, types: Dict[str, str]) -> str:
+    """Resolve a sample name to its metric family (histogram/summary
+    series use suffixed sample names)."""
+    for suffix in _TYPED_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if base in types:
+                return base
+    return name
+
+
+def validate_prometheus_text(text: str) -> List[str]:
+    """Check ``text`` against the Prometheus text-format grammar.
+
+    Returns a list of error strings (empty = valid). Checks per line:
+    comment/HELP/TYPE syntax, sample syntax (metric name, label quoting,
+    value), one TYPE per family, samples of a TYPEd family appearing
+    after their header, histogram ``le`` buckets cumulative and ending
+    in ``+Inf``, and ``_count`` equal to the ``+Inf`` bucket.
+    """
+    errors: List[str] = []
+    types: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    # (family, labels-without-le) -> list of (le, cumulative value)
+    hist_buckets: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+    hist_counts: Dict[Tuple[str, str], float] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if line.startswith("# HELP "):
+                match = _HELP_RE.match(line)
+                if not match:
+                    errors.append(f"line {lineno}: malformed HELP: {line!r}")
+                    continue
+                name = match.group(1)
+                if name in helps:
+                    errors.append(f"line {lineno}: duplicate HELP for {name}")
+                helps[name] = line
+            elif line.startswith("# TYPE "):
+                match = _TYPE_RE.match(line)
+                if not match:
+                    errors.append(f"line {lineno}: malformed TYPE: {line!r}")
+                    continue
+                name = match.group(1)
+                if name in types:
+                    errors.append(f"line {lineno}: duplicate TYPE for {name}")
+                types[name] = match.group(2)
+            # other comments are free-form
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: malformed sample: {line!r}")
+            continue
+        name = match.group("name")
+        family = _base_name(name, types)
+        family_type = types.get(family)
+        if family_type is None:
+            # untyped samples are legal; nothing more to check
+            continue
+        if family_type == "histogram":
+            labels = match.group("labels") or ""
+            value = float(match.group("value"))
+            if name == family + "_bucket":
+                le_match = re.search(rf'le\s*=\s*({_LABEL_VALUE})', labels)
+                if not le_match:
+                    errors.append(
+                        f"line {lineno}: histogram bucket without le label"
+                    )
+                    continue
+                le_raw = le_match.group(1)[1:-1]
+                le = math.inf if le_raw == "+Inf" else float(le_raw)
+                rest = re.sub(
+                    rf'le\s*=\s*{_LABEL_VALUE},?', "", labels
+                )
+                key = (family, rest)
+                hist_buckets.setdefault(key, []).append((le, value))
+            elif name == family + "_count":
+                key = (family, labels)
+                hist_counts[key] = value
+            elif name not in (family + "_sum", family):
+                errors.append(
+                    f"line {lineno}: unexpected series {name!r} for "
+                    f"histogram {family!r}"
+                )
+
+    for (family, labels), buckets in hist_buckets.items():
+        les = [le for le, _ in buckets]
+        if les != sorted(les):
+            errors.append(
+                f"histogram {family}{labels or ''}: le bounds not ascending"
+            )
+        values = [v for _, v in buckets]
+        if any(b < a for a, b in zip(values, values[1:])):
+            errors.append(
+                f"histogram {family}{labels or ''}: bucket counts not "
+                "cumulative"
+            )
+        if not les or not math.isinf(les[-1]):
+            errors.append(
+                f"histogram {family}{labels or ''}: missing +Inf bucket"
+            )
+        else:
+            count = hist_counts.get((family, labels))
+            if count is not None and count != values[-1]:
+                errors.append(
+                    f"histogram {family}{labels or ''}: _count {count} != "
+                    f"+Inf bucket {values[-1]}"
+                )
+    return errors
+
+
+def parse_prometheus_samples(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
+    """Parse sample lines into ``{name: {label items: value}}`` (tests
+    use this to compare exported counters against simulator reports)."""
+    out: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    label_re = re.compile(rf"({_LABEL_NAME})\s*=\s*({_LABEL_VALUE})")
+    for line in text.splitlines():
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            continue
+        labels = tuple(
+            (k, v[1:-1].replace(r"\"", '"').replace(r"\n", "\n")
+             .replace("\\\\", "\\"))
+            for k, v in label_re.findall(match.group("labels") or "")
+        )
+        raw = match.group("value")
+        if raw in ("+Inf", "Inf"):
+            value = math.inf
+        elif raw == "-Inf":
+            value = -math.inf
+        else:
+            value = float(raw)
+        out.setdefault(match.group("name"), {})[labels] = value
+    return out

@@ -89,3 +89,24 @@ class TestTracer:
         sim.observer = tracer
         sim.run_packets(frames)
         assert len(tracer.snapshots) == 3
+
+    def test_truncation_flagged_and_rendered(self):
+        tracer = OccupancyTracer(max_cycles=3)
+        frames = [toy_counter.packet_for_key(1)] * 50
+        prog = toy_counter.build()
+        pipe = compile_program(prog)
+        sim = PipelineSimulator(pipe, maps=MapSet(prog.maps))
+        sim.observer = tracer
+        report = sim.run_packets(frames)
+        assert tracer.truncated
+        assert tracer.dropped_cycles == report.cycles - 3
+        art = render_occupancy(tracer)
+        assert "truncated" in art
+        assert "max_cycles=3" in art
+
+    def test_no_truncation_below_bound(self):
+        tracer, _, _ = traced_run(toy_counter.build(),
+                                  [toy_counter.packet_for_key(1)] * 3)
+        assert not tracer.truncated
+        assert tracer.dropped_cycles == 0
+        assert "truncated" not in render_occupancy(tracer)
