@@ -38,6 +38,12 @@ from .ebpf.disasm import disassemble
 from .ebpf.isa import Program
 from .ebpf.maps import MapSet
 from .hwsim import NicSystem, publish_report
+from .hwsim.engines import (
+    engine_names,
+    get_engine,
+    pipeline_engine_names,
+    run_engine,
+)
 from .net.flows import TrafficGenerator, TrafficSpec
 
 _APP_SCHEME = "app:"
@@ -203,7 +209,9 @@ def cmd_verify(args: argparse.Namespace) -> int:
     program = load_program(args.program)
     pipeline = _compile(args, program)
     frames = _gen_frames(args)
-    result = run_three_way(program, frames, pipeline=pipeline)
+    engine = getattr(args, "engine", None)
+    result = run_three_way(program, frames, pipeline=pipeline,
+                           engine=engine)
     if collect:
         reg = telemetry.get_registry()
         if result.hw_report is not None:
@@ -326,12 +334,14 @@ def _gen_frames(args: argparse.Namespace) -> list:
     return list(gen.packets(args.packets))
 
 
-def _run_once(pipeline, program, frames, fast: bool, workers: int = 1):
+def _run_once(pipeline, program, frames, engine: str, workers: int = 1):
     """One timed simulator pass; returns (report, wall_seconds,
     shard_sizes) — shard_sizes is ``None`` on the single-worker path.
 
-    With ``workers > 1`` the parallel engine shards the trace RSS-style
-    over that many replica processes and the merged report is returned.
+    ``engine`` is a pipeline backend from the registry ("interpreted",
+    "fast", "codegen"). With ``workers > 1`` the parallel engine shards
+    the trace RSS-style over that many replica processes and the merged
+    report is returned.
     """
     import time
 
@@ -342,7 +352,7 @@ def _run_once(pipeline, program, frames, fast: bool, workers: int = 1):
     # Pin the telemetry decision into the options so spawned worker
     # processes (which do not inherit the enabled global registry)
     # collect iff this process would.
-    options = SimOptions(fast=fast, keep_records=False, workers=workers,
+    options = SimOptions(engine=engine, keep_records=False, workers=workers,
                          telemetry=telemetry.enabled())
     if workers > 1:
         psim = ParallelPipelineSimulator(pipeline, maps=maps, options=options)
@@ -361,11 +371,34 @@ def _run_once(pipeline, program, frames, fast: bool, workers: int = 1):
     return report, elapsed, None
 
 
+def _resolve_engine(args: argparse.Namespace) -> str:
+    """``--engine`` wins; otherwise the legacy ``--fast`` boolean."""
+    engine = getattr(args, "engine", None)
+    if engine is not None:
+        return engine
+    return "fast" if getattr(args, "fast", True) else "interpreted"
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     collect = _telemetry_setup(args)
     program = load_program(args.program)
     pipeline = _compile(args, program)
     frames = _gen_frames(args)
+    engine = _resolve_engine(args)
+    spec = get_engine(engine)
+    if spec.kind != "pipeline":
+        # Reference/RTL engines: no worker sharding, no record-free mode
+        # — run through the uniform registry interface instead.
+        import time
+
+        start = time.perf_counter()
+        result = run_engine(engine, program, frames, pipeline=pipeline)
+        elapsed = time.perf_counter() - start
+        actions = [a for a in result.actions if a is not None]
+        print(f"{engine}: {len(actions)}/{len(frames)} packets")
+        print(f"engine: {engine}, wall {elapsed * 1e3:.1f} ms, "
+              f"{len(frames) / elapsed:,.0f} packets/s")
+        return 0
     profiler = None
     if args.profile:
         import cProfile
@@ -373,10 +406,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
     report, elapsed, shard_sizes = _run_once(pipeline, program, frames,
-                                             args.fast, workers=args.workers)
+                                             engine, workers=args.workers)
     if profiler is not None:
         profiler.disable()
-    mode = "fast" if args.fast else "interpreted"
+    mode = engine
     if args.workers > 1:
         mode += f", {args.workers} workers"
     print(report.summary())
@@ -399,32 +432,42 @@ def cmd_bench(args: argparse.Namespace) -> int:
     program = load_program(args.program)
     pipeline = _compile(args, program)
     frames = _gen_frames(args)
-    fast_report, fast_dt, _ = _run_once(pipeline, program, frames, True)
-    slow_report, slow_dt, _ = _run_once(pipeline, program, frames, False)
-    if fast_report.cycles != slow_report.cycles or \
-            fast_report.action_counts != slow_report.action_counts:
-        print("ERROR: fast/interpreted engines diverged", file=sys.stderr)
-        return 1
-    print(f"{'engine':<14s}  {'wall ms':>9s}  {'packets/s':>12s}")
-    print(f"{'fast':<14s}  {fast_dt * 1e3:>9.1f}  "
-          f"{len(frames) / fast_dt:>12,.0f}")
-    print(f"{'interpreted':<14s}  {slow_dt * 1e3:>9.1f}  "
-          f"{len(frames) / slow_dt:>12,.0f}")
+    # Every registered pipeline engine runs the identical workload; the
+    # interpreted engine is the parity reference (all three must agree on
+    # cycle counts and verdicts — they model the same hardware).
+    engines = pipeline_engine_names()
+    results = {}
+    for engine in engines:
+        results[engine] = _run_once(pipeline, program, frames, engine)
+    ref_report = results["interpreted"][0]
+    print(f"{'engine':<14s}  {'wall ms':>9s}  {'packets/s':>12s}  "
+          f"{'speedup':>8s}")
+    slow_dt = results["interpreted"][1]
+    for engine in engines:
+        report, dt, _ = results[engine]
+        if report.cycles != ref_report.cycles or \
+                report.action_counts != ref_report.action_counts:
+            print(f"ERROR: {engine}/interpreted engines diverged",
+                  file=sys.stderr)
+            return 1
+        print(f"{engine:<14s}  {dt * 1e3:>9.1f}  "
+              f"{len(frames) / dt:>12,.0f}  {slow_dt / dt:>7.2f}x")
+    fast_report, fast_dt, _ = results["fast"]
     shard_sizes = None
     if args.workers > 1:
         par_report, par_dt, shard_sizes = _run_once(
-            pipeline, program, frames, True, workers=args.workers)
+            pipeline, program, frames, "fast", workers=args.workers)
         if par_report.action_counts != fast_report.action_counts:
             print("ERROR: parallel engine action counts diverged",
                   file=sys.stderr)
             return 1
         label = f"fast x{args.workers}"
         print(f"{label:<14s}  {par_dt * 1e3:>9.1f}  "
-              f"{len(frames) / par_dt:>12,.0f}")
+              f"{len(frames) / par_dt:>12,.0f}  {slow_dt / par_dt:>7.2f}x")
         print(f"parallel scaling: {fast_dt / par_dt:.2f}x over 1 worker")
-    print(f"speedup: {slow_dt / fast_dt:.2f}x "
-          f"(parity OK: {fast_report.cycles} cycles, "
-          f"{sum(fast_report.action_counts.values())} packets)")
+    print(f"parity OK: {ref_report.cycles} cycles, "
+          f"{sum(ref_report.action_counts.values())} packets on "
+          f"{len(engines)} engines")
     if collect:
         publish_report(fast_report, telemetry.get_registry(),
                        app=program.name, engine="hwsim",
@@ -491,7 +534,11 @@ def build_parser() -> argparse.ArgumentParser:
                        default="uniform")
     p_run.add_argument("--fast", action=argparse.BooleanOptionalAction,
                        default=True,
-                       help="use the pre-compiled stage kernels (default on)")
+                       help="use the pre-compiled stage kernels (default on; "
+                            "shorthand for --engine fast/interpreted)")
+    p_run.add_argument("--engine", choices=engine_names(), default=None,
+                       help="execution backend (overrides --fast): "
+                            + ", ".join(engine_names()))
     p_run.add_argument("--workers", type=int, default=1,
                        help="pipeline replicas: RSS-shard the trace across "
                             "N worker processes (default 1)")
@@ -502,7 +549,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.set_defaults(func=cmd_run)
 
     p_bench = sub.add_parser(
-        "bench", help="compare the fast and interpreted engines"
+        "bench", help="compare the registered pipeline execution engines"
     )
     _add_compile_flags(p_bench)
     p_bench.add_argument("--packets", type=int, default=2000)
@@ -531,6 +578,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compile_flags(p_verify)
     _add_traffic_flags(p_verify, packets=64, flows=8)
     _add_metrics_flag(p_verify)
+    p_verify.add_argument("--engine", choices=pipeline_engine_names(),
+                          default=None,
+                          help="pipeline-simulator backend for the hwsim "
+                               "leg (default: fast)")
     p_verify.set_defaults(func=cmd_verify)
 
     p_cache = sub.add_parser("cache", help="inspect the compile cache")

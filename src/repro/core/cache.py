@@ -34,7 +34,8 @@ from .pipeline import Pipeline
 
 # Bump when the Pipeline IR or the compiler's observable output changes
 # in a way that makes old pickles stale.
-_CACHE_VERSION = 2
+# v3: Pipeline carries codegen_source/codegen_version (hwsim.codegen).
+_CACHE_VERSION = 3
 
 CACHE_ENV = "EHDL_CACHE_DIR"
 _MEMORY_ENTRIES = 32
@@ -52,9 +53,16 @@ def cache_key(program: Program, options=None) -> str:
     """Content hash of everything the compiler's output depends on."""
     from .compiler import CompileOptions  # local: avoid import cycle
 
+    from ..hwsim.codegen import CODEGEN_VERSION  # local: avoid import cycle
+
     options = options or CompileOptions()
     hasher = hashlib.sha256()
     hasher.update(f"ehdl-cache-v{_CACHE_VERSION}".encode())
+    # The pickled pipeline carries its generated execution source; an
+    # emitter bump makes that text stale, so it invalidates the entry —
+    # otherwise every "hit" would pay a re-emission (and trip the
+    # ehdl_codegen_recompile_total counter).
+    hasher.update(f"codegen-v{CODEGEN_VERSION}".encode())
     hasher.update(program.name.encode())
     hasher.update(program.encode())
     for fd in sorted(program.maps):

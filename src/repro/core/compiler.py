@@ -210,7 +210,7 @@ def compile_program(
             "Pipeline depth of the compiled program", size_labels,
         ).set(len(stages))
 
-    return Pipeline(
+    pipeline = Pipeline(
         program=program,
         original_program=original,
         cfg=cfg,
@@ -227,6 +227,16 @@ def compile_program(
         entry_checks=entry_checks,
         loops_unrolled=unrolled,
     )
+
+    # 9. Codegen-engine source. Attached at compile time — rather than
+    # lazily at first codegen run — so the compile cache pickles it with
+    # the pipeline and cache hits / parallel workers never regenerate.
+    with _pass_span("codegen", program=program.name):
+        from ..hwsim.codegen import attach_source
+
+        attach_source(pipeline)
+
+    return pipeline
 
 
 class EhdlCompiler:

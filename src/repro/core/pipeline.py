@@ -150,6 +150,14 @@ class Pipeline:
     # at the packet input: (min_len, oob action code) pairs in program order.
     entry_checks: Tuple = ()
     loops_unrolled: int = 0
+    # Generated execution source for the codegen engine (see
+    # repro.hwsim.codegen). Plain text, so — unlike the stage kernels —
+    # it survives pickling: cached pipelines and parallel workers reuse
+    # it instead of regenerating. ``codegen_version`` stamps the emitter
+    # that produced it; a mismatch triggers regeneration on load.
+    codegen_source: Optional[str] = field(default=None, compare=False,
+                                          repr=False)
+    codegen_version: int = field(default=0, compare=False)
 
     # -- structural properties -------------------------------------------------
 

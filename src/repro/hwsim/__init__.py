@@ -1,6 +1,22 @@
 """Cycle-level simulation of eHDL-generated pipelines + NIC shell model."""
 
+from .codegen import (
+    CODEGEN_VERSION,
+    ensure_source,
+    generate_pipeline_source,
+    load_pipeline_module,
+)
 from .diff import DiffResult, Mismatch, run_differential
+from .engines import (
+    ENGINES,
+    EngineRun,
+    EngineSpec,
+    compare_runs,
+    engine_names,
+    get_engine,
+    pipeline_engine_names,
+    run_engine,
+)
 from .multi import MultiProgramNic, SlotResult, ethertype_classifier
 from .parallel import (
     MergeConflict,
@@ -16,7 +32,19 @@ from .stats import PacketRecord, SimMetrics, SimReport, merge_reports, publish_r
 from .trace import CycleSnapshot, OccupancyTracer, render_occupancy
 
 __all__ = [
+    "CODEGEN_VERSION",
     "DiffResult",
+    "ENGINES",
+    "EngineRun",
+    "EngineSpec",
+    "compare_runs",
+    "engine_names",
+    "ensure_source",
+    "generate_pipeline_source",
+    "get_engine",
+    "load_pipeline_module",
+    "pipeline_engine_names",
+    "run_engine",
     "MergeConflict",
     "Mismatch",
     "MultiProgramNic",

@@ -1,0 +1,1473 @@
+"""Source-emitting execution backend for the pipeline simulator.
+
+The ``fast`` engine (:mod:`repro.hwsim.kernels`) already decodes every
+:class:`~repro.core.pipeline.PipeOp` once at construction — but it still
+pays one closure call per op per packet per cycle, plus a kernel call
+per stage. This module goes the rest of the way, in the spirit of the
+paper's own argument (compiling the program into specialized hardware
+beats interpreting it on NIC cores): each stage's op list is translated
+into *generated Python source* — ops inlined as statements, widths,
+offsets, masks and immediates folded into literals, predication and
+snapshot/flush logic emitted only for pipelines whose hazard plans need
+them — and the per-stage bodies are additionally stitched into a single
+generated cycle-advance function so the hot shift loop runs without any
+per-stage dispatch at all.
+
+Layout of a generated module:
+
+* ``_s<N>`` — stage N's body with the stage-kernel contract
+  ``fn(sim, pkt, slots, barrier_queues, input_queue, report) -> bool``
+  (used by the barrier-release / stalled paths, and for stage 1 at
+  injection);
+* ``_entry`` — the elided-ctx-load entry ops (or ``None``);
+* ``_advance`` — the whole shift phase of one hazard-free cycle: shifts
+  every in-flight packet one slot deeper and executes its new stage's
+  body inline, deepest first;
+* ``_observe`` — the per-cycle telemetry increments with the stage-busy
+  loop unrolled; the simulator binds it into the run loop only when
+  telemetry is enabled at construction, so a disabled run carries zero
+  telemetry branches in generated code;
+* ``_STAGE_FNS`` / ``_ENTRY`` / ``_ADVANCE`` / ``_OBSERVE`` — the tuple
+  and bindings :class:`~repro.hwsim.sim.PipelineSimulator` consumes.
+
+The emitted semantics mirror :mod:`repro.hwsim.kernels` statement for
+statement (which in turn mirrors the interpreted path), so a codegen run
+is bit-identical — same XDP actions, packet bytes, map state AND cycle
+counts. Anything the kernels defer to the simulator (WAR-buffered map
+stores, complex atomics, unknown helpers, flush checks) is emitted as a
+call to the same ``sim._*`` fallback.
+
+Unlike kernels — which are closures and therefore unpicklable — the
+generated *source text* persists: the compiler attaches it to the
+:class:`~repro.core.pipeline.Pipeline` (``codegen_source``), the compile
+cache pickles it with the pipeline, and parallel workers inherit it, so
+cache hits and worker startup skip kernel compilation entirely.
+Regenerations outside the compiler are counted by the
+``ehdl_codegen_recompile_total`` telemetry counter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..core.cfg import BasicBlock
+from ..core.labeling import Region
+from ..core.pipeline import PipeOp, Pipeline, Stage, StageKind
+from ..ebpf import isa
+from ..ebpf.helpers import HelperError, MAP_PTR_BASE, helper_spec, map_ptr
+from ..ebpf.isa import MASK32, MASK64, to_signed32
+from ..ebpf.xdp import AddressSpace, XDP_MD_SIZE, XdpAction
+from ..telemetry import get_registry
+
+# Bump when the emitted code's shape changes: stale cached source (from
+# an older emitter) is regenerated instead of trusted.
+# v2: adds the _STREAM straight-line path for hazard-free pipelines.
+# v3: constant-offset load/store folding from verifier labels; dead
+#     read-tracking elided when no hazard plan exists.
+CODEGEN_VERSION = 3
+
+# Helpers whose results depend on the global interleaving of calls
+# (shared clock, shared PRNG state): running packets to completion would
+# reorder their calls relative to the cycle-accurate schedule, so their
+# presence disables the _STREAM path.
+_ORDER_SENSITIVE_HELPERS = frozenset({5, 7})  # ktime_get_ns, prandom_u32
+
+# Address-space constants folded into the generated source as literals
+# (LOAD_CONST beats LOAD_GLOBAL on the hot path).
+_M64 = "0x" + format(MASK64, "x")
+_M32 = "0x" + format(MASK32, "x")
+_PKT_LO = hex(AddressSpace.PACKET_BASE)
+_STK_LO = hex(AddressSpace.STACK_BASE)
+_STK_HI = hex(AddressSpace.STACK_BASE + AddressSpace.STACK_SIZE)
+_STK_SZ = AddressSpace.STACK_SIZE
+_MAPB = hex(AddressSpace.MAP_BASE)
+_MAP_SHIFT = AddressSpace.MAP_WINDOW.bit_length() - 1
+_MAP_OFF_MASK = hex(AddressSpace.MAP_WINDOW - 1)
+_CTX_LO = hex(AddressSpace.CTX_BASE)
+_CTX_HI = hex(AddressSpace.CTX_BASE + XDP_MD_SIZE)
+_DATA0 = hex(AddressSpace.PACKET_BASE + AddressSpace.PACKET_HEADROOM)
+_MPB = hex(MAP_PTR_BASE)
+_REDIRECT = int(XdpAction.REDIRECT)
+
+_STRUCT_FMT = {1: "<B", 2: "<H", 4: "<I", 8: "<Q"}
+
+_UNSIGNED_REL = {
+    isa.BPF_JEQ: "==",
+    isa.BPF_JNE: "!=",
+    isa.BPF_JGT: ">",
+    isa.BPF_JGE: ">=",
+    isa.BPF_JLT: "<",
+    isa.BPF_JLE: "<=",
+}
+_SIGNED_REL = {
+    isa.BPF_JSGT: ">",
+    isa.BPF_JSGE: ">=",
+    isa.BPF_JSLT: "<",
+    isa.BPF_JSLE: "<=",
+}
+_BINOP_SYM = {
+    isa.BPF_ADD: "+",
+    isa.BPF_SUB: "-",
+    isa.BPF_MUL: "*",
+    isa.BPF_OR: "|",
+    isa.BPF_XOR: "^",
+}
+
+
+def _ind(lines: List[str], levels: int = 1) -> List[str]:
+    """Indent a block of relative lines by ``levels``."""
+    pad = "    " * levels
+    return [pad + ln if ln else ln for ln in lines]
+
+
+class _Emitter:
+    """Builds the generated module's source for one pipeline."""
+
+    def __init__(self, pipeline: Pipeline) -> None:
+        self.pipeline = pipeline
+        self.any_flush = any(
+            plan.needs_flush for plan in pipeline.map_hazards.values()
+        )
+        self.may_pend = any(
+            plan.write_stages for plan in pipeline.map_hazards.values()
+        )
+        # Whether the generated advance keeps pkt.position / pending-write
+        # commits per shift. When no hazard plan can buffer a write and no
+        # flush can fire, both are dead per-cycle work; the only remaining
+        # position consumer (sim._mem_store's WAR threshold) gets a
+        # just-in-time position write right before the fallback call.
+        self.maintain = self.any_flush or self.may_pend
+        # Packets executing any kernel op already passed every entry
+        # length comparator, so constant packet accesses below the
+        # largest entry threshold need no bounds check — unless the
+        # program can change the packet length mid-flight (adjust_head/
+        # adjust_tail, or an unknown helper we can't reason about).
+        resizes = False
+        all_ops = list(pipeline.entry_ops)
+        for stage in pipeline.stages:
+            all_ops.extend(stage.ops or [])
+        for op in all_ops:
+            insn = op.insn
+            if getattr(insn, "is_call", False):
+                try:
+                    helper_spec(insn.imm)
+                except HelperError:
+                    resizes = True
+                else:
+                    if insn.imm in (44, 65):  # adjust_head, adjust_tail
+                        resizes = True
+        self.pkt_min_len = 0 if resizes else max(
+            (min_len for min_len, _action in pipeline.entry_checks),
+            default=0,
+        )
+        self.terminator_block: Dict[int, BasicBlock] = {
+            b.terminator_index: b for b in pipeline.cfg.blocks
+        }
+        self.unpack_widths: set = set()
+        self.pack_widths: set = set()
+        self.helpers: Dict[int, str] = {}
+        self.insns: List[object] = []  # Instruction literals for fallbacks
+        self.uses_vm = False
+        self.uses_actions = False
+        self.uses_helper_ctx = False
+        self.uses_sim_error = False
+        self.uses_pass = False
+        self.uses_stream = False
+        self.uses_generic_call = False
+        # Stream-body emission mode: predication as local boolean flags
+        # (_e<block>) instead of the shared pkt.enabled set.
+        self.pred_flags = False
+        # Whether any emitted op can mutate the packet bytes: labeled
+        # packet stores, stores/atomics whose target region is unknown,
+        # and the packet-resizing helpers. When False the stream path
+        # wraps the caller's frame without copying it.
+        self.pkt_writes = False
+
+    # -- shared sub-emitters -------------------------------------------------
+
+    def _unpack(self, size: int) -> str:
+        self.unpack_widths.add(size)
+        return f"_u{size}"
+
+    def _pack(self, size: int) -> str:
+        self.pack_widths.add(size)
+        return f"_p{size}"
+
+    def _helper(self, helper_id: int) -> str:
+        name = f"_h{helper_id}"
+        self.helpers[helper_id] = name
+        return name
+
+    def _insn_literal(self, insn) -> str:
+        name = f"_i{len(self.insns)}"
+        self.insns.append(insn)
+        return name
+
+    def _enable_lines(self, block: BasicBlock) -> List[str]:
+        return self._enable_set(tuple(s for s, _k in block.succs))
+
+    def _enable_set(self, succs: Tuple[int, ...]) -> List[str]:
+        """Unconditionally enable successors. In ``pred_flags`` mode
+        (stream body: one packet per scope) block enables are plain local
+        boolean stores instead of set mutations."""
+        if self.pred_flags:
+            return [f"_e{s} = True" for s in succs]
+        if len(succs) == 1:
+            return [f"enabled.add({succs[0]})"]
+        return [f"enabled.update({succs!r})"]
+
+    def _enable_branch(
+        self, cond: str, taken: Tuple[int, ...], fall: Tuple[int, ...]
+    ) -> List[str]:
+        """Enable one of two successor sets depending on ``cond``."""
+        if not self.pred_flags:
+            return [f"enabled.update({taken!r} if {cond} else {fall!r})"]
+        if taken and fall:
+            return (
+                [f"if {cond}:"]
+                + _ind(self._enable_set(taken))
+                + ["else:"]
+                + _ind(self._enable_set(fall))
+            )
+        if taken:
+            return [f"if {cond}:"] + _ind(self._enable_set(taken))
+        if fall:
+            return [f"if not ({cond}):"] + _ind(self._enable_set(fall))
+        return []
+
+    def _flush_lines(self, stage_number: int) -> List[str]:
+        return [
+            "if _se is not None:",
+            f"    pkt.take_snapshot({stage_number})",
+            "    if sim._flush_check(pkt, _se, slots, barrier_queues, "
+            "input_queue, report):",
+            "        flushed = True",
+        ]
+
+    # -- per-opclass emission ------------------------------------------------
+
+    def _alu_lines(self, insn) -> List[str]:
+        """ALU/ALU64 body, specialized exactly like opfns.make_alu_fn;
+        unspecialized opcodes fall back to the interpreted primitives."""
+        is64 = insn.opclass == isa.BPF_ALU64
+        mask = MASK64 if is64 else MASK32
+        shift_mask = 63 if is64 else 31
+        op = insn.op
+        D = f"regs[{insn.dst}]"
+        S = f"regs[{insn.src}]"
+        M = hex(mask)
+
+        if op == isa.BPF_END:
+            bits = insn.imm
+            if bits in (16, 32, 64):
+                smask = hex((1 << bits) - 1)
+                if insn.uses_reg_src:  # to_be
+                    return [
+                        f"_v = {D} & {smask}",
+                        f'{D} = int.from_bytes(_v.to_bytes({bits // 8}, '
+                        f'"little"), "big")',
+                    ]
+                return [f"{D} = {D} & {smask}"]  # to_le truncates
+            self.uses_vm = True
+            return [
+                f"{D} = _Vm._swap({D}, {insn.imm}, "
+                f"to_big={bool(insn.uses_reg_src)})"
+            ]
+        if op == isa.BPF_NEG:
+            return [f"{D} = (-{D}) & {M}"]
+
+        use_reg = insn.uses_reg_src
+        imm = to_signed32(insn.imm) & mask
+        I = hex(imm)
+
+        if op == isa.BPF_MOV:
+            return [f"{D} = {S} & {M}"] if use_reg else [f"{D} = {I}"]
+        if op in _BINOP_SYM:
+            sym = _BINOP_SYM[op]
+            rhs = S if use_reg else I
+            return [f"{D} = ({D} {sym} {rhs}) & {M}"]
+        if op == isa.BPF_AND:
+            if use_reg:
+                return [f"{D} = ({D} & {S}) & {M}"]
+            return [f"{D} = {D} & {I}"]  # imm already masked
+        if op == isa.BPF_LSH:
+            if use_reg:
+                return [f"{D} = ({D} << ({S} & {shift_mask})) & {M}"]
+            return [f"{D} = ({D} << {imm & shift_mask}) & {M}"]
+        if op == isa.BPF_RSH:
+            if use_reg:
+                return [f"{D} = ({D} & {M}) >> ({S} & {shift_mask})"]
+            return [f"{D} = ({D} & {M}) >> {imm & shift_mask}"]
+        if op == isa.BPF_ARSH:
+            bits = 64 if is64 else 32
+            sbit = hex(1 << (bits - 1))
+            wrap = hex(1 << bits)
+            sh = f"({S} & {shift_mask})" if use_reg else str(imm & shift_mask)
+            return [
+                f"_v = {D} & {M}",
+                f"if _v & {sbit}:",
+                f"    _v -= {wrap}",
+                f"{D} = (_v >> {sh}) & {M}",
+            ]
+        if op == isa.BPF_DIV:
+            if use_reg:
+                return [
+                    f"_v = {S} & {M}",
+                    f"{D} = ({D} & {M}) // _v if _v else 0",
+                ]
+            return [f"{D} = ({D} & {M}) // {I}"] if imm else [f"{D} = 0"]
+        if op == isa.BPF_MOD:
+            if use_reg:
+                return [
+                    f"_v = {S} & {M}",
+                    "if _v:",
+                    f"    {D} = ({D} & {M}) % _v",
+                    "else:",
+                    f"    {D} = {D} & {M}",
+                ]
+            if imm:
+                return [f"{D} = ({D} & {M}) % {I}"]
+            return [f"{D} = {D} & {M}"]
+        # Genuinely unknown opcode: the interpreted primitive raises the
+        # canonical error at execution time.
+        self.uses_vm = True
+        if insn.op == isa.BPF_NEG:
+            operand = "0"
+        elif use_reg:
+            operand = S
+        else:
+            operand = I
+        return [f"{D} = _Vm._alu({insn.op}, {D}, {operand}, {is64})"]
+
+    def _ldx_lines(self, op: PipeOp) -> List[str]:
+        insn = op.insn
+        size = insn.size_bytes
+        D = f"regs[{insn.dst}]"
+        label = op.label
+        if label is not None and label.offset is not None:
+            fast = self._const_ldx(label, size, D)
+            if fast is not None:
+                return fast
+        unpack = self._unpack(size)
+
+        pkt_body = [
+            "_c = pkt.ctx",
+            f"_o = _a - {_DATA0} - _c.head_adjust",
+            "_b = _c.packet",
+            f"if _o < 0 or _o + {size} > len(_b):",
+            "    sim._drop(pkt)",
+            "else:",
+            f"    {D} = {unpack}(_b, _o)[0]",
+        ]
+        stk_body = [
+            f"_o = _a - {_STK_LO}",
+            f"if _o + {size} > {_STK_SZ}:",
+            "    sim._drop(pkt)",
+            "else:",
+            f"    {D} = {unpack}(pkt.stack, _o)[0]",
+        ]
+        if self.maintain:
+            map_body = [
+                f"_sp = _a - {_MAPB}",
+                f"_fd = _sp >> {_MAP_SHIFT}",
+                f"_o = _sp & {_MAP_OFF_MASK}",
+                "_m = sim.maps[_fd]",
+                f"if _o + {size} > len(_m.storage):",
+                "    sim._drop(pkt)",
+                "else:",
+                f"    _d = sim._map_read_bytes(pkt, _fd, _o, {size})",
+                "    pkt.value_reads.setdefault(_fd, set()).add("
+                "_m.slot_of_addr(_o))",
+                f'    {D} = int.from_bytes(_d, "little")',
+            ]
+        else:
+            # No hazard plan buffers writes and no flush can fire: the
+            # store-forwarding scan inside _map_read_bytes can never hit
+            # and the value_reads set is never consulted, so read backing
+            # storage directly.
+            map_body = [
+                f"_sp = _a - {_MAPB}",
+                f"_st = sim.maps[_sp >> {_MAP_SHIFT}].storage",
+                f"_o = _sp & {_MAP_OFF_MASK}",
+                f"if _o + {size} > len(_st):",
+                "    sim._drop(pkt)",
+                "else:",
+                f"    {D} = {unpack}(_st, _o)[0]",
+            ]
+        if size == 4:  # every xdp_md field is an aligned u32
+            ctx_body = [
+                f"_o = _a - {_CTX_LO}",
+                "_c = pkt.ctx",
+                "if _o == 0:",
+                f"    {D} = {_DATA0} + _c.head_adjust",
+                "elif _o == 4:",
+                f"    {D} = {_DATA0} + _c.head_adjust + len(_c.packet)",
+                "elif _o == 8:",
+                f"    {D} = 0",
+                "elif _o == 12:",
+                f"    {D} = _c.ingress_ifindex",
+                "elif _o == 16:",
+                f"    {D} = _c.rx_queue_index",
+                "elif _o == 20:",
+                f"    {D} = _c.egress_ifindex",
+                "else:",
+                "    _d = _c.ctx_bytes()",
+                f"    if _o + 4 > len(_d):",
+                "        sim._drop(pkt)",
+                "    else:",
+                f'        {D} = int.from_bytes(_d[_o:_o + 4], "little")',
+            ]
+        else:
+            ctx_body = [
+                f"_o = _a - {_CTX_LO}",
+                "_d = pkt.ctx.ctx_bytes()",
+                f"if _o + {size} > len(_d):",
+                "    sim._drop(pkt)",
+                "else:",
+                f'    {D} = int.from_bytes(_d[_o:_o + {size}], "little")',
+            ]
+        branches = {
+            "packet": (f"{_PKT_LO} <= _a < {_STK_LO}", pkt_body),
+            "stack": (f"{_STK_LO} <= _a < {_STK_HI}", stk_body),
+            "map": (f"_a >= {_MAPB}", map_body),
+            "ctx": (f"{_CTX_LO} <= _a < {_CTX_HI}", ctx_body),
+        }
+        # The regions are range-disjoint, so test order is free: put the
+        # labeled region first and keep the kernels' order for the rest.
+        order = ["packet", "stack", "map", "ctx"]
+        label = op.label
+        if label is not None:
+            front = {
+                Region.PACKET: "packet",
+                Region.STACK: "stack",
+                Region.MAP_VALUE: "map",
+                Region.CTX: "ctx",
+            }.get(label.region)
+            if front is not None:
+                order = [front] + [r for r in order if r != front]
+
+        if insn.off:
+            out = [f"_a = (regs[{insn.src}] + {insn.off}) & {_M64}"]
+        else:
+            out = [f"_a = regs[{insn.src}] & {_M64}"]
+        kw = "if"
+        for region in order:
+            cond, body = branches[region]
+            out.append(f"{kw} {cond}:")
+            out += _ind(body)
+            kw = "elif"
+        out.append("else:")
+        out.append("    sim._drop(pkt)")
+        return out
+
+    def _const_ldx(self, label, size: int, D: str) -> Optional[List[str]]:
+        """Constant-offset load: the verifier proved every address this
+        insn computes lands at one fixed byte offset inside its region —
+        the same guarantee the VHDL backend uses to wire static slices —
+        so the region dispatch chain and the offset arithmetic fold away
+        entirely. Returns None when the label can't be folded (map
+        values stay dynamic: the *slot* varies per packet even when the
+        in-value offset is fixed)."""
+        off = label.offset
+        if label.region is Region.STACK:
+            idx = _STK_SZ + off  # off is negative, R10-relative
+            if 0 <= idx and idx + size <= _STK_SZ:
+                # Statically in range: no bounds check, no drop path.
+                return [f"{D} = {self._unpack(size)}(pkt.stack, {idx})[0]"]
+            return None
+        if label.region is Region.PACKET:
+            if off < 0:
+                return None
+            if off + size <= self.pkt_min_len:
+                # Subsumed by the entry length comparators: every packet
+                # reaching kernel ops is at least pkt_min_len bytes.
+                return [f"{D} = {self._unpack(size)}(pkt.ctx.packet, {off})[0]"]
+            # Offset is relative to the current data pointer, exactly
+            # like the dynamic path's _a - DATA0 - head_adjust; only the
+            # (variable) length check remains.
+            return [
+                "_b = pkt.ctx.packet",
+                f"if len(_b) < {off + size}:",
+                "    sim._drop(pkt)",
+                "else:",
+                f"    {D} = {self._unpack(size)}(_b, {off})[0]",
+            ]
+        if label.region is Region.CTX:
+            if off < 0 or off + size > XDP_MD_SIZE:
+                return None
+            if size == 4 and off in (0, 4, 8, 12, 16, 20):
+                expr = {
+                    0: f"{_DATA0} + pkt.ctx.head_adjust",
+                    4: f"{_DATA0} + pkt.ctx.head_adjust + "
+                       "len(pkt.ctx.packet)",
+                    8: "0",
+                    12: "pkt.ctx.ingress_ifindex",
+                    16: "pkt.ctx.rx_queue_index",
+                    20: "pkt.ctx.egress_ifindex",
+                }[off]
+                return [f"{D} = {expr}"]
+            return [
+                "_d = pkt.ctx.ctx_bytes()",
+                f'{D} = int.from_bytes(_d[{off}:{off + size}], "little")',
+            ]
+        return None
+
+    def _const_store(
+        self, label, size: int, val: str, flush: bool
+    ) -> Optional[List[str]]:
+        """Constant-offset stack/packet store (see _const_ldx). Emits
+        the dead _se slot when a flush epilogue follows: direct stack
+        and packet stores are never map side effects."""
+        pre = ["_se = None"] if flush else []
+        if label.region is Region.STACK:
+            idx = _STK_SZ + label.offset
+            if 0 <= idx and idx + size <= _STK_SZ:
+                return pre + [
+                    f"{self._pack(size)}(pkt.stack, {idx}, {val})"
+                ]
+            return None
+        if label.region is Region.PACKET and label.offset >= 0:
+            off = label.offset
+            if off + size <= self.pkt_min_len:
+                return pre + [
+                    f"{self._pack(size)}(pkt.ctx.packet, {off}, {val})"
+                ]
+            return pre + [
+                "_b = pkt.ctx.packet",
+                f"if len(_b) < {off + size}:",
+                "    sim._drop(pkt)",
+                "else:",
+                f"    {self._pack(size)}(_b, {off}, {val})",
+            ]
+        return None
+
+    def _ld_lines(self, insn) -> List[str]:
+        if insn.src == isa.BPF_PSEUDO_MAP_FD:
+            value = map_ptr((insn.imm64 or insn.imm) & MASK32)
+        else:
+            value = (insn.imm64 if insn.imm64 is not None else insn.imm) & MASK64
+        return [f"regs[{insn.dst}] = {hex(value)}"]
+
+    def _store_lines(
+        self, op: PipeOp, stage_number: int, in_entry: bool, flush: bool
+    ) -> List[str]:
+        insn = op.insn
+        size = insn.size_bytes
+        smask = hex((1 << (8 * size)) - 1)
+        is_stx = insn.opclass == isa.BPF_STX
+        pack = self._pack(size)
+        if is_stx:
+            raw_val = "_v"
+            masked_val = f"_v & {smask}"
+        else:
+            imm_val = to_signed32(insn.imm) & MASK64
+            raw_val = hex(imm_val)
+            masked_val = hex(imm_val & ((1 << (8 * size)) - 1))
+
+        label = op.label
+        if label is not None and label.offset is not None:
+            val = f"regs[{insn.src}] & {smask}" if is_stx else masked_val
+            fast = self._const_store(label, size, val, flush)
+            if fast is not None:
+                if label.region is Region.PACKET:
+                    self.pkt_writes = True
+                return fast
+        if label is None or label.region is Region.PACKET:
+            self.pkt_writes = True
+
+        stk_body = [
+            f"_o = _a - {_STK_LO}",
+            f"if _o + {size} > {_STK_SZ}:",
+            "    sim._drop(pkt)",
+            "else:",
+            f"    {pack}(pkt.stack, _o, {masked_val})",
+        ]
+        pkt_body = [
+            "_c = pkt.ctx",
+            f"_o = _a - {_DATA0} - _c.head_adjust",
+            f"if _o < 0 or _o + {size} > len(_c.packet):",
+            "    sim._drop(pkt)",
+            "else:",
+            f"    {pack}(_c.packet, _o, {masked_val})",
+        ]
+        # WAR buffering / flush bookkeeping and unmapped addresses share
+        # the interpreted path.
+        fallback = []
+        if not self.maintain and not in_entry:
+            # Positions are elided from the generated shift loop; the WAR
+            # threshold compare in sim._mem_store is the one consumer left.
+            fallback.append(f"pkt.position = {stage_number}")
+        call = f"sim._mem_store(pkt, _a, {size}, {raw_val}, None)"
+        fallback.append(f"_se = {call}" if flush else call)
+
+        branches = {
+            "stack": (f"{_STK_LO} <= _a < {_STK_HI}", stk_body),
+            "packet": (f"{_PKT_LO} <= _a < {_STK_LO}", pkt_body),
+        }
+        order = ["stack", "packet"]
+        if op.label is not None and op.label.region is Region.PACKET:
+            order = ["packet", "stack"]
+
+        if insn.off:
+            out = [f"_a = (regs[{insn.dst}] + {insn.off}) & {_M64}"]
+        else:
+            out = [f"_a = regs[{insn.dst}] & {_M64}"]
+        if is_stx:
+            out.append(f"_v = regs[{insn.src}]")
+        if flush:
+            out.append("_se = None")
+        kw = "if"
+        for region in order:
+            cond, body = branches[region]
+            out.append(f"{kw} {cond}:")
+            out += _ind(body)
+            kw = "elif"
+        out.append("else:")
+        out += _ind(fallback)
+        return out
+
+    def _atomic_lines(
+        self, op: PipeOp, stage_number: int, in_entry: bool, flush: bool
+    ) -> List[str]:
+        insn = op.insn
+        if op.label is None or op.label.region is Region.PACKET:
+            self.pkt_writes = True
+        size = insn.size_bytes
+        smask = hex((1 << (8 * size)) - 1)
+        base_op = insn.imm & ~isa.BPF_FETCH
+        fetch = bool(insn.imm & isa.BPF_FETCH)
+        simple = (
+            insn.imm not in (isa.ATOMIC_XCHG, isa.ATOMIC_CMPXCHG)
+            and base_op in (isa.ATOMIC_ADD, isa.ATOMIC_OR, isa.ATOMIC_AND,
+                            isa.ATOMIC_XOR)
+        )
+        iname = self._insn_literal(insn)
+        if insn.off:
+            addr = f"(regs[{insn.dst}] + {insn.off}) & {_M64}"
+        else:
+            addr = f"regs[{insn.dst}] & {_M64}"
+
+        if not simple:
+            # XCHG/CMPXCHG and unknown atomics defer entirely to the
+            # interpreted path (which materialises pending overlaps).
+            call = f"sim._atomic(pkt, {iname}, {addr})"
+            return [f"_se = {call}" if flush else call]
+
+        unpack = self._unpack(size)
+        pack = self._pack(size)
+        if base_op == isa.ATOMIC_ADD:
+            new = f"(_old + _sv) & {smask}"
+        elif base_op == isa.ATOMIC_OR:
+            new = "_old | _sv"
+        elif base_op == isa.ATOMIC_AND:
+            new = "_old & _sv"
+        else:
+            new = "_old ^ _sv"
+        call = f"sim._atomic(pkt, {iname}, _a)"
+        inline = [
+            f"_sp = _a - {_MAPB}",
+            f"_fd = _sp >> {_MAP_SHIFT}",
+            f"_o = _sp & {_MAP_OFF_MASK}",
+            "_st = sim.maps[_fd].storage",
+            f"if _o + {size} > len(_st):",
+            "    sim._drop(pkt)",
+            "else:",
+            f"    _old = {unpack}(_st, _o)[0]",
+            f"    _sv = regs[{insn.src}] & {smask}",
+            f"    _new = {new}",
+            f"    {pack}(_st, _o, _new)",
+        ]
+        if fetch:
+            inline.append(f"    regs[{insn.src}] = _old")
+        if flush:
+            inline.append('    _se = ("atomic", _fd)')
+        out = [f"_a = {addr}"]
+        if flush:
+            out.append("_se = None")
+        out += [
+            # Stack/packet atomics and the rare own-pending-write overlap
+            # keep the interpreted path.
+            f"if _a < {_MAPB} or pkt.pending_writes:",
+            f"    _se = {call}" if flush else f"    {call}",
+            "else:",
+        ]
+        out += _ind(inline)
+        return out
+
+    def _call_lines(self, insn, flush: bool) -> Tuple[List[str], bool]:
+        """Helper-call body. Returns (lines, may_side_effect)."""
+        helper_id = insn.imm
+        scrub = "regs[1] = regs[2] = regs[3] = regs[4] = regs[5] = 0"
+        try:
+            spec = helper_spec(helper_id)
+        except HelperError:
+            # Unknown helper: fail at execution time, like the interpreter.
+            self.uses_generic_call = True
+            self.pkt_writes = True
+            call = f"sim._call(pkt, {helper_id})"
+            return ([f"_se = {call}" if flush else call], True)
+        if helper_id in (44, 65):  # adjust_head / adjust_tail resize
+            self.pkt_writes = True
+
+        if spec.map_channel:
+            # addr_reads only feeds flush-restart validation
+            # (sim._reads_match); with no hazard plans it is dead work.
+            if helper_id == 1:  # bpf_map_lookup_elem, fully inlined
+                track = [
+                    "        _r = pkt.addr_reads.get(_fd)",
+                    "        if _r is None:",
+                    "            _r = pkt.addr_reads[_fd] = []",
+                    "        _r.append((_k, _sl))",
+                ] if self.maintain else []
+                return ([
+                    f"_fd = regs[1] - {_MPB}",
+                    "_e = sim._map_entry.get(_fd) or sim._map_entry_for(_fd)",
+                    "if _e is None:",
+                    "    sim._drop(pkt)",
+                    "else:",
+                    "    _m, _ks, _vs, _mb, _lk = _e",
+                    "    _a = regs[2]",
+                    f"    if {_STK_LO} <= _a < {_STK_HI} and "
+                    f"_a - {_STK_LO} + _ks <= {_STK_SZ}:",
+                    f"        _o = _a - {_STK_LO}",
+                    "        _k = bytes(pkt.stack[_o:_o + _ks])",
+                    "    else:",
+                    "        _k = sim._read_plain(pkt, _a, _ks)",
+                    "    if _k is not None:",
+                    "        _sl = _lk(_k)",
+                ] + track + [
+                    # value_addr folded: directory slots are in range by
+                    # construction, so it is just slot * value_size.
+                    "        regs[0] = 0 if _sl is None else "
+                    "_mb + _sl * _vs",
+                    scrub,
+                ], False)
+            if helper_id == 51:  # bpf_redirect_map, fully inlined
+                track = [
+                    "    _r = pkt.addr_reads.get(_fd)",
+                    "    if _r is None:",
+                    "        _r = pkt.addr_reads[_fd] = []",
+                    "    _r.append((_k, _sl))",
+                ] if self.maintain else []
+                return ([
+                    f"_fd = regs[1] - {_MPB}",
+                    "_e = sim._map_entry.get(_fd) or sim._map_entry_for(_fd)",
+                    "if _e is None:",
+                    "    sim._drop(pkt)",
+                    "else:",
+                    "    _m, _ks, _vs, _mb, _lk = _e",
+                    f'    _k = (regs[2] & {_M32}).to_bytes(4, "little")',
+                    "    _sl = _lk(_k) if _ks == 4 else None",
+                ] + track + [
+                    "    if _sl is None:",
+                    f"        regs[0] = regs[3] & {_M32}",
+                    "    else:",
+                    "        _val = _m.lookup(_k)",
+                    '        pkt.ctx.redirect_ifindex = '
+                    'int.from_bytes(_val[:4], "little")',
+                    f"        regs[0] = {_REDIRECT}",
+                    scrub,
+                ], False)
+            call = f"sim._map_channel_call(pkt, {helper_id})"
+            return ([f"_se = {call}" if flush else call, scrub], True)
+
+        # Non-map helper: shared VM implementation via the duck-typed
+        # per-packet context.
+        self.uses_helper_ctx = True
+        hname = self._helper(helper_id)
+        return ([
+            f"regs[0] = {hname}(_HC(sim, pkt), regs[1], regs[2], regs[3], "
+            f"regs[4], regs[5]) & {_M64}",
+            scrub,
+        ], False)
+
+    def _branch_lines(self, insn, block: BasicBlock) -> List[str]:
+        taken = tuple(s for s, k in block.succs if k == "taken")
+        fall = tuple(s for s, k in block.succs if k != "taken")
+        is64 = insn.opclass == isa.BPF_JMP
+        bits = 64 if is64 else 32
+        mask = MASK64 if is64 else MASK32
+        M = hex(mask)
+        op = insn.op
+        D = f"regs[{insn.dst}]"
+        S = f"regs[{insn.src}]"
+        use_reg = insn.uses_reg_src
+        imm = to_signed32(insn.imm) & mask
+
+        if op == isa.BPF_JSET:
+            cond = f"{D} & {S} & {M}" if use_reg else f"{D} & {hex(imm)}"
+            return self._enable_branch(cond, taken, fall)
+        if op in _UNSIGNED_REL:
+            rel = _UNSIGNED_REL[op]
+            rhs = f"({S} & {M})" if use_reg else hex(imm)
+            return self._enable_branch(
+                f"({D} & {M}) {rel} {rhs}", taken, fall
+            )
+        if op in _SIGNED_REL:
+            rel = _SIGNED_REL[op]
+            sbit = hex(1 << (bits - 1))
+            wrap = hex(1 << bits)
+            out = [
+                f"_l = {D} & {M}",
+                f"if _l & {sbit}:",
+                f"    _l -= {wrap}",
+            ]
+            if use_reg:
+                out += [
+                    f"_r = {S} & {M}",
+                    f"if _r & {sbit}:",
+                    f"    _r -= {wrap}",
+                ]
+                out += self._enable_branch(f"_l {rel} _r", taken, fall)
+            else:
+                simm = imm - (1 << bits) if imm & (1 << (bits - 1)) else imm
+                out += self._enable_branch(f"_l {rel} {simm}", taken, fall)
+            return out
+        # Unknown compare opcode: the interpreted primitive raises the
+        # canonical error.
+        self.uses_vm = True
+        rhs = S if use_reg else hex(imm)
+        return self._enable_branch(
+            f"_Vm._compare({op}, {D}, {rhs}, {is64})", taken, fall
+        )
+
+    # -- op -> statements ----------------------------------------------------
+
+    def op_may_side_effect(self, op: PipeOp) -> bool:
+        """Mirror of the kernels' may_side_effect flags."""
+        insn = op.insn
+        cls = insn.opclass
+        if cls in (isa.BPF_ST, isa.BPF_STX):
+            return True
+        if cls in (isa.BPF_JMP, isa.BPF_JMP32) and insn.is_call:
+            try:
+                spec = helper_spec(insn.imm)
+            except HelperError:
+                return True
+            return spec.map_channel and insn.imm not in (1, 51)
+        return False
+
+    def _op_body(
+        self, op: PipeOp, stage_number: int, in_entry: bool
+    ) -> Optional[Tuple[List[str], bool]]:
+        """Emit one op's statements (relative indent 0).
+
+        Returns (lines, sets_done) or None when the op has no observable
+        behaviour. ``sets_done`` says whether executing the op can set
+        ``pkt.done`` (drops, exits) — later ops then re-check it.
+        """
+        insn = op.insn
+        cls = insn.opclass
+        block = self.terminator_block.get(op.insn_index)
+        flush = (
+            self.any_flush and not in_entry and self.op_may_side_effect(op)
+        )
+
+        if cls in (isa.BPF_ALU64, isa.BPF_ALU):
+            out = self._alu_lines(insn)
+            if block is not None:
+                # ALU ops never set done: successor enabling needs no
+                # done re-check.
+                out += self._enable_lines(block)
+            return out, False
+
+        if cls == isa.BPF_LDX:
+            out = self._ldx_lines(op)
+            # Fully folded loads (constant stack offset, packet offset
+            # under the entry threshold, ctx field) have no drop path:
+            # no sim._* call appears, so done needs no re-check.
+            sets_done = any("sim._" in line for line in out)
+            if block is not None and not insn.is_exit:
+                if sets_done:
+                    out.append("if not pkt.done:")
+                    out += _ind(self._enable_lines(block))
+                else:
+                    out += self._enable_lines(block)
+            return out, sets_done
+
+        if cls == isa.BPF_LD:
+            out = self._ld_lines(insn)
+            if block is not None:
+                out += self._enable_lines(block)
+            return out, False
+
+        if cls in (isa.BPF_ST, isa.BPF_STX):
+            if insn.is_atomic:
+                out = self._atomic_lines(op, stage_number, in_entry, flush)
+            else:
+                out = self._store_lines(op, stage_number, in_entry, flush)
+            sets_done = any("sim._" in line for line in out) or flush
+            if block is not None:
+                if sets_done:
+                    out.append("if not pkt.done:")
+                    out += _ind(self._enable_lines(block))
+                else:
+                    out += self._enable_lines(block)
+            if flush:
+                out += self._flush_lines(stage_number)
+            return out, sets_done
+
+        if cls in (isa.BPF_JMP, isa.BPF_JMP32):
+            if insn.is_exit:
+                self.uses_actions = True
+                return [
+                    "pkt.done = True",
+                    f"pkt.action = _ACTIONS.get(regs[0] & {_M32}, _ABORTED)",
+                ], True
+            if insn.is_call:
+                out, _mse = self._call_lines(insn, flush)
+                if block is not None:
+                    # A call can terminate a block; helpers may drop the
+                    # packet, so the done re-check stays. Enabling happens
+                    # BEFORE the snapshot, so a restart resumes with the
+                    # successors enabled.
+                    out.append("if not pkt.done:")
+                    out += _ind(self._enable_lines(block))
+                if flush:
+                    out += self._flush_lines(stage_number)
+                return out, True
+            if block is None:
+                # A jump with no block to terminate has no behaviour.
+                return None
+            if insn.is_cond_jump:
+                return self._branch_lines(insn, block), False
+            return self._enable_lines(block), False
+
+        # Unknown class: canonical simulator error at execution time.
+        self.uses_sim_error = True
+        return [f'raise SimError("unknown instruction class {cls:#x}")'], False
+
+    # -- stage / entry / advance bodies --------------------------------------
+
+    def stage_body(self, stage: Stage) -> Optional[Tuple[List[str], bool]]:
+        """The guarded op sequence of one stage (relative indent 0).
+
+        Returns (lines, has_flush) or None when the stage has nothing to
+        execute. The caller guarantees ``pkt.done`` is False on entry
+        (prologue or shift-loop guard), so done is only re-checked after
+        ops that can set it — exactly the kernels' per-op break.
+        """
+        if stage.kind is not StageKind.OPS or not stage.ops:
+            return None
+        out: List[str] = []
+        has_flush = False
+        done_dirty = False
+        for op in stage.ops:
+            body = self._op_body(op, stage.number, in_entry=False)
+            if body is None:
+                continue
+            lines, sets_done = body
+            if self.pred_flags:
+                guard = f"_e{op.block_id}"
+            else:
+                guard = f"{op.block_id} in enabled"
+            if done_dirty:
+                guard = f"not pkt.done and {guard}"
+            out.append(f"if {guard}:")
+            out += _ind(lines)
+            done_dirty = done_dirty or sets_done
+            if self.any_flush and self.op_may_side_effect(op):
+                has_flush = True
+        if not out:
+            return None
+        return out, has_flush
+
+    def entry_body(self) -> Optional[List[str]]:
+        """Entry ops run unconditionally, with no inter-op done checks
+        (mirrors compile_entry_kernel); side effects are impossible for
+        ctx loads and are ignored."""
+        if not self.pipeline.entry_ops:
+            return None
+        out: List[str] = []
+        for op in self.pipeline.entry_ops:
+            body = self._op_body(op, stage_number=1, in_entry=True)
+            if body is None:
+                continue
+            out += body[0]
+        return out or None
+
+    def observe_body(self, n_stages: int) -> List[str]:
+        out = [
+            "metrics.observed_cycles += 1",
+            "_b = metrics.stage_busy_cycles",
+        ]
+        for pos in range(1, n_stages + 1):
+            out.append(f"if slots[{pos}] is not None:")
+            out.append(f"    _b[{pos - 1}] += 1")
+        if self.any_flush:
+            # Barrier queues only ever fill via flushes.
+            out += [
+                "if barrier_queues:",
+                "    _w = 0",
+                "    for _q in barrier_queues.values():",
+                "        _w += len(_q)",
+                "    metrics.barrier_wait_cycles += _w",
+            ]
+        return out
+
+    def stream_eligible(self) -> bool:
+        """Whether the straight-line _STREAM path preserves semantics.
+
+        When the hazard analysis emits no plan at all (nothing pends,
+        nothing flushes), no packet can observe another in-flight
+        packet's partial state — pipelined execution is sequentially
+        consistent, every map's accesses sit in a single stage and hence
+        retire in packet order. Each packet may then run front-to-back
+        to completion, with the (stall-free, deterministic) cycle
+        accounting reconstructed arithmetically. Order-sensitive helpers
+        (shared clock / PRNG state) and unknown-helper fallbacks would
+        still observe the changed interleaving, so they disable the path.
+        """
+        return (
+            not self.any_flush
+            and not self.may_pend
+            and not self.uses_generic_call
+            and not (set(self.helpers) & _ORDER_SENSITIVE_HELPERS)
+        )
+
+    def stream_body(
+        self,
+        stage_bodies: List[Optional[Tuple[List[str], bool]]],
+        entry: Optional[List[str]],
+    ) -> List[str]:
+        """One packet per loop iteration, all stages fused, cycle counts
+        computed closed-form. Mirrors run()'s per-packet event order:
+        entry length checks, entry ops, stage 1..N bodies, finalize,
+        record/tally — with inject = arrival = ``i * gap`` and exit =
+        ``inject + n_stages`` (exact for a stall-free pipeline)."""
+        pipeline = self.pipeline
+        n = pipeline.n_stages
+        self.uses_stream = True
+        self.uses_sim_error = True
+        self.uses_actions = True
+        self.uses_pass = True
+
+        # Re-emit entry + stage bodies in pred_flags mode: with the whole
+        # packet lifetime in one scope, block predication becomes local
+        # boolean stores instead of pkt.enabled set mutations.
+        self.pred_flags = True
+        try:
+            entry = self.entry_body()
+            stage_bodies = [
+                self.stage_body(stage) for stage in pipeline.stages
+            ]
+        finally:
+            self.pred_flags = False
+
+        blk: List[str] = [
+            f"if cycle + {n} >= _max:",
+            '    raise SimError("simulation exceeded %d cycles" % _max)',
+        ]
+        # In-place per-packet reset of the single reused _InFlight: only
+        # state the emitted ops can observe is restored. inject_cycle,
+        # enabled, position and the read/write tracking dicts are never
+        # touched on this path (records carry the closed-form cycles and
+        # predication runs on local flags), so they keep their defaults.
+        if self.pkt_writes:
+            blk.append("_c.packet = bytearray(frame)")
+        else:
+            # No emitted op can mutate packet bytes: wrap without copy.
+            blk.append("_c.packet = frame")
+        helpers = set(self.helpers)
+        if 44 in helpers:
+            blk.append("_c.head_adjust = 0")
+        if 65 in helpers:
+            blk.append("_c.tail_adjust = 0")
+        if 23 in helpers or 51 in helpers:
+            blk.append("_c.redirect_ifindex = None")
+        blk += [
+            "pkt.done = False",
+            "pkt.action = None",
+            "regs[:] = _RINIT",
+            "pkt.stack[:] = _ZSTACK",
+        ]
+        if pipeline.entry_checks:
+            blk.append("_pl = len(_c.packet)")
+            kw = "if"
+            for min_len, action in pipeline.entry_checks:
+                blk += [
+                    f"{kw} _pl < {min_len}:",
+                    "    pkt.done = True",
+                    f"    pkt.action = _ACTIONS.get({action & MASK32}, "
+                    "_ABORTED)",
+                ]
+                kw = "elif"
+
+        # Entry ops cannot set done (ctx loads only), so they share the
+        # first guard with stage 1; every further stage nests one level
+        # deeper — a packet decided early skips ALL remaining checks.
+        blocks: List[List[str]] = []
+        first: List[str] = list(entry) if entry is not None else []
+        if stage_bodies and stage_bodies[0] is not None:
+            first += stage_bodies[0][0]
+        if first:
+            blocks.append(first)
+        for body in stage_bodies[1:]:
+            if body is not None:
+                blocks.append(list(body[0]))
+        if blocks:
+            tail: List[str] = []
+            for body in reversed(blocks[1:]):
+                tail = ["if not pkt.done:"] + _ind(body + tail)
+            # regs/enabled are hoisted to the wrapper: the reused pkt's
+            # lists are the same objects for every packet.
+            guard: List[str] = []
+            body_lines = blocks[0] + tail
+            # Initialize every referenced block flag; only the entry
+            # block starts enabled.
+            entry_bid = pipeline.cfg.entry.block_id
+            flag_ids = sorted(
+                b.block_id
+                for b in pipeline.cfg.blocks
+                if _needs(body_lines, f"_e{b.block_id}")
+            )
+            guard += [
+                f"_e{bid} = {bid == entry_bid}" for bid in flag_ids
+            ]
+            guard += body_lines
+            blk += ["if not pkt.done:"] + _ind(guard)
+
+        # Finalize (inlined sim._finalize: no pending writes possible on
+        # this path unless a fallback made some) + exit accounting. The
+        # per-packet aggregates are batched: every stream packet has
+        # arrival = inject and exit = inject + n_stages, so the tally
+        # sums are closed-form in pid and only the action histogram
+        # needs per-packet work.
+        blk += [
+            "if pkt.pending_writes:",
+            "    sim._finalize(pkt)",
+            "elif not pkt.done:",
+            "    pkt.action = _ABORTED",
+            "_act = pkt.action",
+            "if _act is None:",
+            "    _act = _PASS",
+            "_cnt[_act] = _cnt.get(_act, 0) + 1",
+            "if keep_records:",
+            "    _recs.append(_PR(pid=pid, action=_act, "
+            "data=bytes(_c.packet), arrival_cycle=cycle, "
+            f"inject_cycle=cycle, exit_cycle=cycle + {n}, restarts=0))",
+            "pid += 1",
+            "cycle += gap",
+        ]
+
+        out = [
+            "pid = 0",
+            "cycle = 0",
+            "_max = sim.options.max_cycles",
+            'pkt = _IF(0, b"", 0)',
+            "_c = pkt.ctx",
+            "regs = pkt.regs",
+            "_cnt = {}",
+            "_recs = report.records",
+            "for frame in frames:",
+        ]
+        out += _ind(blk)
+        out += [
+            "if pid:",
+            f"    report.cycles = (pid - 1) * gap + {n + 1}",
+            "report.packets_in += pid",
+            "report.packets_out += pid",
+            "_ac = report.action_counts",
+            "for _k, _v in _cnt.items():",
+            "    _ac[_k] = _ac.get(_k, 0) + _v",
+            f"report.sum_total_cycles += pid * {n}",
+            f"report.sum_pipeline_cycles += pid * {n}",
+            "return pid",
+        ]
+        return out
+
+
+def _needs(lines: List[str], token: str) -> bool:
+    import re
+
+    pat = re.compile(r"(?<![A-Za-z0-9_])" + re.escape(token) + r"(?![A-Za-z0-9_])")
+    return any(pat.search(ln) for ln in lines)
+
+
+def _fn(name: str, params: List[str], body: List[str], binds: List[str]) -> List[str]:
+    """Assemble a def with module-level names re-bound as keyword-default
+    locals (LOAD_FAST beats LOAD_GLOBAL on the hot path)."""
+    used = [b for b in binds if _needs(body, b)]
+    sig = ", ".join(params + [f"{b}={b}" for b in used])
+    return [f"def {name}({sig}):"] + _ind(body) + [""]
+
+
+def generate_pipeline_source(pipeline: Pipeline) -> str:
+    """Emit the specialized execution module for a pipeline as source text.
+
+    Deterministic for a given pipeline (no timestamps, no environment):
+    the golden tests snapshot it and the compile cache stores it.
+    """
+    em = _Emitter(pipeline)
+    n_stages = pipeline.n_stages
+
+    # Per-stage bodies first (they populate the emitter's usage sets).
+    stage_bodies: List[Optional[Tuple[List[str], bool]]] = [
+        em.stage_body(stage) for stage in pipeline.stages
+    ]
+    entry = em.entry_body()
+    observe = em.observe_body(n_stages)
+
+    # -- stage functions ------------------------------------------------------
+    fn_sections: List[List[str]] = []
+    stage_fn_names: List[str] = []
+    stage_params = ["sim", "pkt", "slots", "barrier_queues", "input_queue",
+                    "report"]
+    for stage, body in zip(pipeline.stages, stage_bodies):
+        if body is None:
+            stage_fn_names.append("None")
+            continue
+        lines, has_flush = body
+        fn_body = ["if pkt.done:", "    return False"]
+        if _needs(lines, "regs"):
+            fn_body.append("regs = pkt.regs")
+        if _needs(lines, "enabled"):
+            fn_body.append("enabled = pkt.enabled")
+        if has_flush:
+            fn_body.append("flushed = False")
+        fn_body += lines
+        fn_body.append("return flushed" if has_flush else "return False")
+        name = f"_s{stage.number}"
+        stage_fn_names.append(name)
+        fn_sections.append((name, stage_params, fn_body))
+
+    # -- entry ----------------------------------------------------------------
+    if entry is not None:
+        fn_body = []
+        if _needs(entry, "regs"):
+            fn_body.append("regs = pkt.regs")
+        if _needs(entry, "enabled"):
+            fn_body.append("enabled = pkt.enabled")
+        fn_body += entry
+        fn_sections.append(("_entry", ["sim", "pkt"], fn_body))
+
+    # -- advance --------------------------------------------------------------
+    # The whole hazard-free shift phase of one cycle, deepest first, with
+    # each stage's body inlined at its shift site: zero per-stage dispatch.
+    adv: List[str] = []
+    any_stage_flush = any(b is not None and b[1] for b in stage_bodies)
+    if any_stage_flush:
+        adv.append("flushed = False")
+    for npos in range(n_stages, 1, -1):
+        pos = npos - 1
+        body = stage_bodies[npos - 1]  # stage number npos
+        adv.append(f"pkt = slots[{pos}]")
+        adv.append("if pkt is not None:")
+        blk = [
+            f"slots[{pos}] = None",
+            f"slots[{npos}] = pkt",
+        ]
+        if em.maintain:
+            blk.append(f"pkt.position = {npos}")
+            blk.append("if pkt.pending_writes:")
+            blk.append(f"    sim._commit_pending(pkt, {npos})")
+        if body is not None:
+            lines, _has_flush = body
+            blk.append("if not pkt.done:")
+            inner = []
+            if _needs(lines, "regs"):
+                inner.append("regs = pkt.regs")
+            if _needs(lines, "enabled"):
+                inner.append("enabled = pkt.enabled")
+            inner += lines
+            blk += _ind(inner)
+        adv += _ind(blk)
+    adv.append("return flushed" if any_stage_flush else "return False")
+    fn_sections.append(
+        ("_advance", ["sim", "slots", "barrier_queues", "input_queue",
+                      "report"], adv)
+    )
+
+    # -- observe --------------------------------------------------------------
+    fn_sections.append(("_observe", ["metrics", "slots", "barrier_queues"],
+                        observe))
+
+    # -- stream ---------------------------------------------------------------
+    # Straight-line per-packet execution for hazard-free pipelines (see
+    # stream_eligible): the 10x path — no slots, no per-cycle loop.
+    stream_ok = em.stream_eligible()
+    if stream_ok:
+        fn_sections.append(
+            ("_stream",
+             ["sim", "frames", "gap", "report", "keep_records"],
+             em.stream_body(stage_bodies, entry))
+        )
+
+    # -- preamble -------------------------------------------------------------
+    binds: List[str] = []
+    pre: List[str] = []
+    head = [
+        f'"""Generated execution module for pipeline {pipeline.name!r} '
+        f"({n_stages} stages).",
+        "",
+        f"Emitted by repro.hwsim.codegen (CODEGEN_VERSION = "
+        f"{CODEGEN_VERSION}); flush machinery "
+        f"{'included' if em.any_flush else 'elided'}, position/commit "
+        f"tracking {'included' if em.maintain else 'elided'}. Do not edit.",
+        '"""',
+        "",
+    ]
+    imports: List[str] = []
+    if em.unpack_widths or em.pack_widths:
+        imports.append("import struct")
+        imports.append("")
+    if em.helpers:
+        imports.append("from repro.ebpf.helpers import helper_impl")
+    if em.insns:
+        imports.append("from repro.ebpf.isa import Instruction")
+    if em.uses_vm:
+        imports.append("from repro.ebpf.vm import Vm as _Vm")
+        binds.append("_Vm")
+    if em.uses_actions:
+        imports.append("from repro.ebpf.xdp import XdpAction")
+    sim_imports = []
+    if em.uses_helper_ctx:
+        sim_imports.append("_HelperContext as _HC")
+        binds.append("_HC")
+    if em.uses_sim_error:
+        sim_imports.append("SimError")
+        binds.append("SimError")
+    if em.uses_stream:
+        sim_imports.append("_InFlight as _IF")
+        binds.append("_IF")
+    if sim_imports:
+        imports.append(
+            "from repro.hwsim.sim import " + ", ".join(sim_imports)
+        )
+    if em.uses_stream:
+        imports.append(
+            "from repro.hwsim.stats import PacketRecord as _PR"
+        )
+        binds.append("_PR")
+    if imports:
+        imports.append("")
+    for size in sorted(em.unpack_widths):
+        pre.append(
+            f'_u{size} = struct.Struct("{_STRUCT_FMT[size]}").unpack_from'
+        )
+        binds.append(f"_u{size}")
+    for size in sorted(em.pack_widths):
+        pre.append(
+            f'_p{size} = struct.Struct("{_STRUCT_FMT[size]}").pack_into'
+        )
+        binds.append(f"_p{size}")
+    if em.uses_actions:
+        pre.append("_ACTIONS = {int(_a): _a for _a in XdpAction}")
+        pre.append("_ABORTED = XdpAction.ABORTED")
+        binds += ["_ACTIONS", "_ABORTED"]
+    if em.uses_pass:
+        pre.append("_PASS = XdpAction.PASS")
+        binds.append("_PASS")
+    for helper_id in sorted(em.helpers):
+        pre.append(f"_h{helper_id} = helper_impl({helper_id})")
+        binds.append(f"_h{helper_id}")
+    for idx, insn in enumerate(em.insns):
+        pre.append(
+            f"_i{idx} = Instruction(opcode={insn.opcode}, dst={insn.dst}, "
+            f"src={insn.src}, off={insn.off}, imm={insn.imm}, "
+            f"imm64={insn.imm64!r})"
+        )
+        binds.append(f"_i{idx}")
+    if em.uses_stream:
+        # Register file template and stack-zero block for the in-place
+        # per-packet reset of the stream path's reused _InFlight.
+        rinit = [0] * isa.NUM_REGS
+        rinit[isa.R1] = AddressSpace.CTX_BASE
+        rinit[isa.R10] = AddressSpace.stack_top()
+        pre.append(f"_RINIT = {rinit!r}")
+        pre.append(f"_ZSTACK = bytes({_STK_SZ})")
+        binds += ["_RINIT", "_ZSTACK"]
+    if pre:
+        pre.append("")
+
+    # -- assembly -------------------------------------------------------------
+    out = head + imports + pre + [""]
+    for name, params, body in fn_sections:
+        out += _fn(name, params, body, binds)
+        out.append("")
+    out.append(f"_STAGE_FNS = ({', '.join(stage_fn_names)},)")
+    out.append(f"_ENTRY = {'_entry' if entry is not None else 'None'}")
+    out.append("_ADVANCE = _advance")
+    out.append("_OBSERVE = _observe")
+    out.append(f"_STREAM = {'_stream' if stream_ok else 'None'}")
+    out.append("")
+    # Collapse double blanks left by empty sections.
+    text_lines: List[str] = []
+    for ln in out:
+        if ln == "" and text_lines and text_lines[-1] == "":
+            continue
+        text_lines.append(ln)
+    return "\n".join(text_lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# source lifecycle: attach, reuse, count recompiles, exec
+
+
+def ensure_source(pipeline: Pipeline, count_recompile: bool = True) -> str:
+    """Return the pipeline's generated source, generating (and attaching)
+    it when missing or emitted by an older CODEGEN_VERSION.
+
+    ``count_recompile`` increments ``ehdl_codegen_recompile_total`` when a
+    regeneration happens — every such event is work the compile cache (or
+    a parallel worker's pickled pipeline) should have avoided. The
+    compiler's own initial attachment uses :func:`attach_source`, which
+    does not count.
+    """
+    source = getattr(pipeline, "codegen_source", None)
+    if (
+        source is not None
+        and getattr(pipeline, "codegen_version", 0) == CODEGEN_VERSION
+    ):
+        return source
+    source = generate_pipeline_source(pipeline)
+    pipeline.codegen_source = source
+    pipeline.codegen_version = CODEGEN_VERSION
+    if count_recompile:
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter(
+                "ehdl_codegen_recompile_total",
+                "Generated pipeline source rebuilt outside the compiler "
+                "(a compile-cache or worker-startup reuse miss)",
+                {"program": pipeline.name},
+            ).inc()
+    return source
+
+
+def attach_source(pipeline: Pipeline) -> str:
+    """Compiler-side attachment: generate once at compile time so the
+    cached (pickled) pipeline already carries its source."""
+    return ensure_source(pipeline, count_recompile=False)
+
+
+# Executed modules, keyed by source digest: every simulator over the same
+# pipeline (and every pipeline with identical generated code) shares one
+# compiled namespace.
+_MODULE_CACHE: Dict[str, Dict[str, object]] = {}
+
+
+def load_pipeline_module(pipeline: Pipeline) -> Dict[str, object]:
+    """compile() + exec the pipeline's generated source (memoized)."""
+    source = ensure_source(pipeline)
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    ns = _MODULE_CACHE.get(digest)
+    if ns is None:
+        filename = f"<ehdl-codegen:{pipeline.name}:{digest[:12]}>"
+        code = compile(source, filename, "exec")
+        ns = {"__name__": f"_ehdl_codegen_{digest[:12]}"}
+        exec(code, ns)
+        _MODULE_CACHE[digest] = ns
+    return ns
+
+
+def write_debug_source(pipeline: Pipeline, directory: str) -> str:
+    """Dump the generated source to ``directory`` for postmortem debugging
+    (the CI workflow uploads this directory on differential failure)."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{pipeline.name}_codegen.py")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(ensure_source(pipeline, count_recompile=False))
+    return path

@@ -70,16 +70,23 @@ def run_differential(
     time_ns: int = 0,
     setup=None,
     ignore_maps: Sequence[str] = (),
+    engine: Optional[str] = None,
 ) -> DiffResult:
     """Run ``frames`` through both the VM and the compiled pipeline.
 
     ``gap`` is the injection spacing in cycles (1 = back-to-back at line
     rate, the most hazard-prone schedule). ``setup(maps)`` — if given — is
     applied to both sides' fresh map sets before execution (host-installed
-    state such as routes or ACL entries).
+    state such as routes or ACL entries). ``engine`` picks the pipeline
+    execution backend ("interpreted", "fast" or "codegen"; see
+    :mod:`repro.hwsim.engines`) without touching the other sim options.
     """
     if pipeline is None:
         pipeline = compile_program(program, compile_options)
+    if engine is not None:
+        from dataclasses import replace
+
+        sim_options = replace(sim_options or SimOptions(), engine=engine)
 
     vm_maps = MapSet(program.maps)
     if setup is not None:

@@ -348,7 +348,7 @@ def _compile_map_lookup() -> Callable:
         if entry is None:
             sim._drop(pkt)
         else:
-            bpf_map, key_size, _value_size, base = entry
+            bpf_map, key_size, _value_size, base, _lookup = entry
             addr = regs[2]
             if (_STACK_BASE <= addr < _STACK_END
                     and addr - _STACK_BASE + key_size <= _STACK_SIZE):
@@ -379,7 +379,7 @@ def _compile_redirect_map() -> Callable:
         if entry is None:
             sim._drop(pkt)
         else:
-            bpf_map, key_size, _value_size, _base = entry
+            bpf_map, key_size, _value_size, _base, _lookup = entry
             key = (regs[2] & 0xFFFFFFFF).to_bytes(4, "little")
             slot = bpf_map.lookup_slot(key) if key_size == 4 else None
             reads = pkt.addr_reads.get(fd)

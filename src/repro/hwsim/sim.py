@@ -33,7 +33,7 @@ from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence, Se
 from ..ebpf import isa
 from ..ebpf.helpers import MAP_PTR_BASE, helper_impl, helper_spec, map_ptr
 from ..ebpf.isa import MASK32, MASK64, Instruction, to_signed32
-from ..ebpf.maps import BPF_ANY, MapError, MapSet
+from ..ebpf.maps import BPF_ANY, HashMap, MapError, MapSet
 from ..ebpf.vm import Vm
 from ..ebpf.xdp import AddressSpace, XdpAction, XdpContext
 from ..core.cfg import BasicBlock
@@ -67,6 +67,15 @@ class SimOptions:
     # spawned workers — which do not inherit the parent's registry
     # state — still collect when the caller asked for metrics.
     telemetry: Optional[bool] = None
+    # Execution backend (see repro.hwsim.engines): "interpreted", "fast"
+    # or "codegen". None keeps the legacy ``fast`` boolean in charge, so
+    # existing callers are unaffected.
+    engine: Optional[str] = None
+
+    def resolved_engine(self) -> str:
+        if self.engine is not None:
+            return self.engine
+        return "fast" if self.fast else "interpreted"
 
 
 class SimError(RuntimeError):
@@ -187,6 +196,21 @@ class _InFlight:
         return snap.stage
 
 
+def _generic_observe(metrics, slots, barrier_queues) -> None:
+    """Per-cycle telemetry increments (any engine). The codegen engine
+    substitutes a generated equivalent with the busy loop unrolled."""
+    metrics.observed_cycles += 1
+    busy = metrics.stage_busy_cycles
+    for pos in range(1, len(slots)):
+        if slots[pos] is not None:
+            busy[pos - 1] += 1
+    if barrier_queues:
+        waits = 0
+        for queue in barrier_queues.values():
+            waits += len(queue)
+        metrics.barrier_wait_cycles += waits
+
+
 class PipelineSimulator:
     """Executes packets through a compiled pipeline, cycle by cycle."""
 
@@ -245,15 +269,43 @@ class PipelineSimulator:
         # the specialized helper-call kernels; per-simulator because the
         # kernels are shared by every simulator over the same pipeline.
         self._map_entry: Dict[int, Tuple] = {}
-        # Fast path: compile each stage's op list into a kernel closure
-        # once, here, instead of re-dispatching per packet per cycle.
-        self._fast = self.options.fast
+        # Execution backend: "interpreted" re-decodes ops per packet per
+        # cycle; "fast" compiles each stage to a kernel closure here;
+        # "codegen" exec()s the pipeline's generated source module and
+        # additionally gets a whole-cycle advance function.
+        engine = self.options.resolved_engine()
+        if engine not in ("interpreted", "fast", "codegen"):
+            raise SimError(
+                f"unknown simulator engine {engine!r} "
+                "(expected interpreted, fast or codegen)"
+            )
+        self.engine = engine
+        self._fast = engine != "interpreted"
         self._entry_kernel = None
-        if self._fast:
+        self._kernels: List[Optional[Callable]] = [None] * pipeline.n_stages
+        self._advance_fn: Optional[Callable] = None
+        self._observe_fn: Optional[Callable] = None
+        self._stream_fn: Optional[Callable] = None
+        if engine == "fast":
             from .kernels import compile_entry_kernel, install_stage_kernels
 
             install_stage_kernels(pipeline)
+            self._kernels = [stage.kernel for stage in pipeline.stages]
             self._entry_kernel = compile_entry_kernel(pipeline)
+        elif engine == "codegen":
+            from .codegen import load_pipeline_module
+
+            module = load_pipeline_module(pipeline)
+            self._kernels = list(module["_STAGE_FNS"])
+            self._entry_kernel = module["_ENTRY"]
+            self._advance_fn = module["_ADVANCE"]
+            self._stream_fn = module.get("_STREAM")
+            # The generated observer is bound only when telemetry is on at
+            # construction: a disabled run's generated path carries zero
+            # telemetry branches.
+            telem = self.options.telemetry
+            if telem if telem is not None else get_registry().enabled:
+                self._observe_fn = module["_OBSERVE"]
 
     def _map_entry_for(self, fd: int) -> Optional[Tuple]:
         """Resolve and cache a map's hot-path constants for the kernels.
@@ -263,11 +315,20 @@ class PipelineSimulator:
         if fd not in self.maps:
             return None
         bpf_map = self.maps[fd]
+        if type(bpf_map) is HashMap:
+            # Plain hash maps: the slot directory IS the lookup; callers
+            # always pass exact key_size bytes, so _check_key can't
+            # fire. LRU hashes keep the virtual call — their lookup has
+            # recency side effects.
+            lookup = bpf_map._slot_by_key.get
+        else:
+            lookup = bpf_map.lookup_slot
         entry = (
             bpf_map,
             bpf_map.key_size,
             bpf_map.value_size,
             AddressSpace.MAP_BASE + fd * AddressSpace.MAP_WINDOW,
+            lookup,
         )
         self._map_entry[fd] = entry
         return entry
@@ -327,8 +388,15 @@ class PipelineSimulator:
         # Fast path: per-position kernel table (kernels[pos] executes
         # stages[pos], i.e. stage number pos+1), dispatched inline below
         # to skip the _execute_stage indirection on the hot shift loop.
+        # The codegen engine additionally supplies a generated advance
+        # function covering the entire hazard-free shift phase, and a
+        # generated observer with the stage-busy loop unrolled.
         fast = self._fast
-        kernels = [stage.kernel for stage in stages] if fast else []
+        kernels = self._kernels if fast else []
+        advance = self._advance_fn
+        observe = None
+        if metrics is not None:
+            observe = self._observe_fn or _generic_observe
         # Loop-invariant lookups, hoisted off the per-cycle path.
         entry_block_id = self.pipeline.cfg.entry.block_id
         entry_checks = self.pipeline.entry_checks
@@ -402,7 +470,13 @@ class PipelineSimulator:
                         out.restarts,
                     )
                 slots[n_stages] = None
-            if fast and stall_below < 0:
+            if advance is not None and stall_below < 0:
+                # Codegen engine: the whole shift phase is one generated
+                # call — stage bodies inlined at their shift sites, no
+                # per-stage dispatch at all.
+                if advance(self, slots, barrier_queues, input_queue, report):
+                    reload_stall = max(reload_stall, reload_overhead)
+            elif fast and stall_below < 0:
                 # Hot shift loop: no barrier stalls in flight, kernels
                 # dispatched inline (the overwhelmingly common cycle).
                 for pos in shift_range:
@@ -504,17 +578,8 @@ class PipelineSimulator:
                 if flushed:
                     reload_stall = max(reload_stall, reload_overhead)
 
-            if metrics is not None:
-                metrics.observed_cycles += 1
-                busy = metrics.stage_busy_cycles
-                for pos in range(1, n_stages + 1):
-                    if slots[pos] is not None:
-                        busy[pos - 1] += 1
-                if barrier_queues:
-                    waits = 0
-                    for queue in barrier_queues.values():
-                        waits += len(queue)
-                    metrics.barrier_wait_cycles += waits
+            if observe is not None:
+                observe(metrics, slots, barrier_queues)
 
             if observer is not None:
                 observer(cycle, slots, barrier_queues, input_queue, report)
@@ -532,7 +597,47 @@ class PipelineSimulator:
 
     def run_packets(self, frames: Sequence[bytes], gap: int = 1) -> SimReport:
         """Convenience: inject frames ``gap`` cycles apart (1 = line rate)."""
+        report = self._try_stream(frames, gap)
+        if report is not None:
+            return report
         return self.run((i * gap, f) for i, f in enumerate(frames))
+
+    def _try_stream(
+        self, frames: Iterable[bytes], gap: int
+    ) -> Optional[SimReport]:
+        """Codegen engine's straight-line path, when the generated module
+        proved it equivalent (see ``codegen.stream_eligible``) and nothing
+        cycle-bound is attached to this run: no per-cycle observer or
+        tracer, no scheduled host map ops, telemetry off (the metrics
+        histogram is per-cycle by construction). Cycle accounting and the
+        report are bit-identical to the cycle loop's."""
+        stream = self._stream_fn
+        if stream is None or gap < 1:
+            return None
+        options = self.options
+        collect = options.telemetry
+        if collect is None:
+            collect = get_registry().enabled
+        if (
+            collect
+            or self.observer is not None
+            or self.host_ops
+            or options.input_queue_capacity < 1
+        ):
+            return None
+        report = SimReport(
+            clock_mhz=options.clock_mhz,
+            n_stages=self.pipeline.n_stages,
+            keep_records=options.keep_records,
+        )
+        self.metrics = None
+        # No packets are ever in flight together on this path; the map
+        # channel's store-forwarding scan must see an empty pipeline.
+        self._slots = ()
+        stream(self, frames, gap, report, options.keep_records)
+        # The cycle loop leaves the wall clock at the last cycle boundary.
+        self.time_ns += int(report.cycles * (1000.0 / options.clock_mhz))
+        return report
 
     def run_stream(
         self,
@@ -554,6 +659,10 @@ class PipelineSimulator:
 
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+
+        report = self._try_stream(frames, gap)
+        if report is not None:
+            return report
 
         progress = {"read": 0}
 
@@ -612,7 +721,7 @@ class PipelineSimulator:
         # stale) reads instead of replaying the committed write.
         self._commit_pending(pkt, stage.number)
         if self._fast:
-            kernel = stage.kernel
+            kernel = self._kernels[stage.number - 1]
             if kernel is None:
                 return False
             return kernel(self, pkt, slots, barrier_queues, input_queue, report)

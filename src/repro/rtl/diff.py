@@ -76,6 +76,7 @@ def run_three_way(
     setup=None,
     ignore_maps: Sequence[str] = (),
     vhdl_text: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> ThreeWayResult:
     """Run ``frames`` through the VM, the pipeline simulator, and the
     RTL simulation of the emitted VHDL; compare everything observable.
@@ -83,7 +84,9 @@ def run_three_way(
     ``setup(maps)`` — if given — seeds each leg's fresh map set with the
     same host-installed state. ``vhdl_text`` lets callers diff an
     already-emitted (possibly hand-edited) design; by default the
-    pipeline is re-emitted.
+    pipeline is re-emitted. ``engine`` selects the pipeline-simulator
+    execution backend for the hwsim leg ("interpreted", "fast" or
+    "codegen"; see :mod:`repro.hwsim.engines`).
     """
     if pipeline is None:
         pipeline = compile_program(program, compile_options)
@@ -100,7 +103,7 @@ def run_three_way(
     hw_maps = _leg_maps(program, setup)
     hw_sim = PipelineSimulator(
         pipeline, maps=hw_maps,
-        options=SimOptions(clock_mhz=_FROZEN_CLOCK_MHZ),
+        options=SimOptions(clock_mhz=_FROZEN_CLOCK_MHZ, engine=engine),
         time_ns=time_ns,
     )
     hw_report = hw_sim.run_packets(list(frames), gap=gap)

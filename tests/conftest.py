@@ -4,8 +4,8 @@ import pytest
 def pytest_addoption(parser):
     parser.addoption(
         "--update-golden", action="store_true", default=False,
-        help="regenerate golden snapshot files (tests/corpus/vhdl/) "
-             "instead of comparing against them",
+        help="regenerate golden snapshot files (tests/corpus/vhdl/, "
+             "tests/corpus/codegen/) instead of comparing against them",
     )
 
 

@@ -1,0 +1,1508 @@
+"""Generated execution module for pipeline 'router_rmw' (30 stages).
+
+Emitted by repro.hwsim.codegen (CODEGEN_VERSION = 3); flush machinery included, position/commit tracking included. Do not edit.
+"""
+
+import struct
+
+from repro.ebpf.helpers import helper_impl
+from repro.ebpf.xdp import XdpAction
+from repro.hwsim.sim import _HelperContext as _HC
+
+_u1 = struct.Struct("<B").unpack_from
+_u2 = struct.Struct("<H").unpack_from
+_u4 = struct.Struct("<I").unpack_from
+_u8 = struct.Struct("<Q").unpack_from
+_p1 = struct.Struct("<B").pack_into
+_p2 = struct.Struct("<H").pack_into
+_p4 = struct.Struct("<I").pack_into
+_p8 = struct.Struct("<Q").pack_into
+_ACTIONS = {int(_a): _a for _a in XdpAction}
+_ABORTED = XdpAction.ABORTED
+_h23 = helper_impl(23)
+
+def _s1(sim, pkt, slots, barrier_queues, input_queue, report, _u2=_u2):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    if 0 in enabled:
+        regs[2] = _u2(pkt.ctx.packet, 12)[0]
+    return False
+
+def _s2(sim, pkt, slots, barrier_queues, input_queue, report):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    if 0 in enabled:
+        enabled.update((6,) if (regs[2] & 0xffffffffffffffff) != 0x8 else (1,))
+    return False
+
+def _s3(sim, pkt, slots, barrier_queues, input_queue, report, _u1=_u1):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    if 1 in enabled:
+        regs[2] = _u1(pkt.ctx.packet, 22)[0]
+    return False
+
+def _s4(sim, pkt, slots, barrier_queues, input_queue, report):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    if 1 in enabled:
+        enabled.update((6,) if (regs[2] & 0xffffffffffffffff) <= 0x1 else (2,))
+    return False
+
+def _s5(sim, pkt, slots, barrier_queues, input_queue, report, _u4=_u4):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    if 2 in enabled:
+        regs[2] = _u4(pkt.ctx.packet, 30)[0]
+    if 2 in enabled:
+        regs[1] = 0x30000001
+    return False
+
+def _s6(sim, pkt, slots, barrier_queues, input_queue, report):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    if 2 in enabled:
+        regs[2] = regs[2] & 0xffffff
+    return False
+
+def _s7(sim, pkt, slots, barrier_queues, input_queue, report, _p4=_p4):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    flushed = False
+    if 2 in enabled:
+        _se = None
+        _p4(pkt.stack, 508, regs[2] & 0xffffffff)
+        if _se is not None:
+            pkt.take_snapshot(7)
+            if sim._flush_check(pkt, _se, slots, barrier_queues, input_queue, report):
+                flushed = True
+    if not pkt.done and 2 in enabled:
+        regs[2] = regs[10] & 0xffffffffffffffff
+    if not pkt.done and 2 in enabled:
+        regs[2] = (regs[2] + 0xfffffffffffffffc) & 0xffffffffffffffff
+    return flushed
+
+def _s8(sim, pkt, slots, barrier_queues, input_queue, report):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    if 2 in enabled:
+        _fd = regs[1] - 0x30000000
+        _e = sim._map_entry.get(_fd) or sim._map_entry_for(_fd)
+        if _e is None:
+            sim._drop(pkt)
+        else:
+            _m, _ks, _vs, _mb, _lk = _e
+            _a = regs[2]
+            if 0x200000 <= _a < 0x200200 and _a - 0x200000 + _ks <= 512:
+                _o = _a - 0x200000
+                _k = bytes(pkt.stack[_o:_o + _ks])
+            else:
+                _k = sim._read_plain(pkt, _a, _ks)
+            if _k is not None:
+                _sl = _lk(_k)
+                _r = pkt.addr_reads.get(_fd)
+                if _r is None:
+                    _r = pkt.addr_reads[_fd] = []
+                _r.append((_k, _sl))
+                regs[0] = 0 if _sl is None else _mb + _sl * _vs
+        regs[1] = regs[2] = regs[3] = regs[4] = regs[5] = 0
+    return False
+
+def _s10(sim, pkt, slots, barrier_queues, input_queue, report):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    if 2 in enabled:
+        enabled.update((6,) if (regs[0] & 0xffffffffffffffff) == 0x0 else (3,))
+    return False
+
+def _s11(sim, pkt, slots, barrier_queues, input_queue, report, _u2=_u2):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    if 3 in enabled:
+        regs[8] = regs[0] & 0xffffffffffffffff
+    if 3 in enabled:
+        regs[3] = _u2(pkt.ctx.packet, 24)[0]
+    if 3 in enabled:
+        regs[1] = 0x30000002
+    return False
+
+def _s12(sim, pkt, slots, barrier_queues, input_queue, report, _u4=_u4):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    if 3 in enabled:
+        _a = regs[8] & 0xffffffffffffffff
+        if _a >= 0x40000000:
+            _sp = _a - 0x40000000
+            _fd = _sp >> 24
+            _o = _sp & 0xffffff
+            _m = sim.maps[_fd]
+            if _o + 4 > len(_m.storage):
+                sim._drop(pkt)
+            else:
+                _d = sim._map_read_bytes(pkt, _fd, _o, 4)
+                pkt.value_reads.setdefault(_fd, set()).add(_m.slot_of_addr(_o))
+                regs[2] = int.from_bytes(_d, "little")
+        elif 0x100000 <= _a < 0x200000:
+            _c = pkt.ctx
+            _o = _a - 0x100100 - _c.head_adjust
+            _b = _c.packet
+            if _o < 0 or _o + 4 > len(_b):
+                sim._drop(pkt)
+            else:
+                regs[2] = _u4(_b, _o)[0]
+        elif 0x200000 <= _a < 0x200200:
+            _o = _a - 0x200000
+            if _o + 4 > 512:
+                sim._drop(pkt)
+            else:
+                regs[2] = _u4(pkt.stack, _o)[0]
+        elif 0x1000 <= _a < 0x1018:
+            _o = _a - 0x1000
+            _c = pkt.ctx
+            if _o == 0:
+                regs[2] = 0x100100 + _c.head_adjust
+            elif _o == 4:
+                regs[2] = 0x100100 + _c.head_adjust + len(_c.packet)
+            elif _o == 8:
+                regs[2] = 0
+            elif _o == 12:
+                regs[2] = _c.ingress_ifindex
+            elif _o == 16:
+                regs[2] = _c.rx_queue_index
+            elif _o == 20:
+                regs[2] = _c.egress_ifindex
+            else:
+                _d = _c.ctx_bytes()
+                if _o + 4 > len(_d):
+                    sim._drop(pkt)
+                else:
+                    regs[2] = int.from_bytes(_d[_o:_o + 4], "little")
+        else:
+            sim._drop(pkt)
+    if not pkt.done and 3 in enabled:
+        _v = regs[3] & 0xffff
+        regs[3] = int.from_bytes(_v.to_bytes(2, "little"), "big")
+    return False
+
+def _s13(sim, pkt, slots, barrier_queues, input_queue, report, _u2=_u2, _p4=_p4):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    flushed = False
+    if 3 in enabled:
+        _se = None
+        _p4(pkt.ctx.packet, 0, regs[2] & 0xffffffff)
+        if _se is not None:
+            pkt.take_snapshot(13)
+            if sim._flush_check(pkt, _se, slots, barrier_queues, input_queue, report):
+                flushed = True
+    if not pkt.done and 3 in enabled:
+        _a = (regs[8] + 4) & 0xffffffffffffffff
+        if _a >= 0x40000000:
+            _sp = _a - 0x40000000
+            _fd = _sp >> 24
+            _o = _sp & 0xffffff
+            _m = sim.maps[_fd]
+            if _o + 2 > len(_m.storage):
+                sim._drop(pkt)
+            else:
+                _d = sim._map_read_bytes(pkt, _fd, _o, 2)
+                pkt.value_reads.setdefault(_fd, set()).add(_m.slot_of_addr(_o))
+                regs[2] = int.from_bytes(_d, "little")
+        elif 0x100000 <= _a < 0x200000:
+            _c = pkt.ctx
+            _o = _a - 0x100100 - _c.head_adjust
+            _b = _c.packet
+            if _o < 0 or _o + 2 > len(_b):
+                sim._drop(pkt)
+            else:
+                regs[2] = _u2(_b, _o)[0]
+        elif 0x200000 <= _a < 0x200200:
+            _o = _a - 0x200000
+            if _o + 2 > 512:
+                sim._drop(pkt)
+            else:
+                regs[2] = _u2(pkt.stack, _o)[0]
+        elif 0x1000 <= _a < 0x1018:
+            _o = _a - 0x1000
+            _d = pkt.ctx.ctx_bytes()
+            if _o + 2 > len(_d):
+                sim._drop(pkt)
+            else:
+                regs[2] = int.from_bytes(_d[_o:_o + 2], "little")
+        else:
+            sim._drop(pkt)
+    if not pkt.done and 3 in enabled:
+        regs[3] = (regs[3] + 0x100) & 0xffffffffffffffff
+    if not pkt.done and 3 in enabled:
+        regs[4] = regs[3] & 0xffffffffffffffff
+    if not pkt.done and 3 in enabled:
+        regs[3] = regs[3] & 0xffff
+    return flushed
+
+def _s14(sim, pkt, slots, barrier_queues, input_queue, report, _u4=_u4, _p2=_p2):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    flushed = False
+    if 3 in enabled:
+        _se = None
+        _p2(pkt.ctx.packet, 4, regs[2] & 0xffff)
+        if _se is not None:
+            pkt.take_snapshot(14)
+            if sim._flush_check(pkt, _se, slots, barrier_queues, input_queue, report):
+                flushed = True
+    if not pkt.done and 3 in enabled:
+        _a = (regs[8] + 6) & 0xffffffffffffffff
+        if _a >= 0x40000000:
+            _sp = _a - 0x40000000
+            _fd = _sp >> 24
+            _o = _sp & 0xffffff
+            _m = sim.maps[_fd]
+            if _o + 4 > len(_m.storage):
+                sim._drop(pkt)
+            else:
+                _d = sim._map_read_bytes(pkt, _fd, _o, 4)
+                pkt.value_reads.setdefault(_fd, set()).add(_m.slot_of_addr(_o))
+                regs[2] = int.from_bytes(_d, "little")
+        elif 0x100000 <= _a < 0x200000:
+            _c = pkt.ctx
+            _o = _a - 0x100100 - _c.head_adjust
+            _b = _c.packet
+            if _o < 0 or _o + 4 > len(_b):
+                sim._drop(pkt)
+            else:
+                regs[2] = _u4(_b, _o)[0]
+        elif 0x200000 <= _a < 0x200200:
+            _o = _a - 0x200000
+            if _o + 4 > 512:
+                sim._drop(pkt)
+            else:
+                regs[2] = _u4(pkt.stack, _o)[0]
+        elif 0x1000 <= _a < 0x1018:
+            _o = _a - 0x1000
+            _c = pkt.ctx
+            if _o == 0:
+                regs[2] = 0x100100 + _c.head_adjust
+            elif _o == 4:
+                regs[2] = 0x100100 + _c.head_adjust + len(_c.packet)
+            elif _o == 8:
+                regs[2] = 0
+            elif _o == 12:
+                regs[2] = _c.ingress_ifindex
+            elif _o == 16:
+                regs[2] = _c.rx_queue_index
+            elif _o == 20:
+                regs[2] = _c.egress_ifindex
+            else:
+                _d = _c.ctx_bytes()
+                if _o + 4 > len(_d):
+                    sim._drop(pkt)
+                else:
+                    regs[2] = int.from_bytes(_d[_o:_o + 4], "little")
+        else:
+            sim._drop(pkt)
+    if not pkt.done and 3 in enabled:
+        regs[4] = (regs[4] & 0xffffffffffffffff) >> 16
+    if not pkt.done and 3 in enabled:
+        regs[3] = (regs[3] + regs[4]) & 0xffffffffffffffff
+    return flushed
+
+def _s15(sim, pkt, slots, barrier_queues, input_queue, report, _u2=_u2, _p4=_p4):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    flushed = False
+    if 3 in enabled:
+        _se = None
+        _p4(pkt.ctx.packet, 6, regs[2] & 0xffffffff)
+        if _se is not None:
+            pkt.take_snapshot(15)
+            if sim._flush_check(pkt, _se, slots, barrier_queues, input_queue, report):
+                flushed = True
+    if not pkt.done and 3 in enabled:
+        _a = (regs[8] + 10) & 0xffffffffffffffff
+        if _a >= 0x40000000:
+            _sp = _a - 0x40000000
+            _fd = _sp >> 24
+            _o = _sp & 0xffffff
+            _m = sim.maps[_fd]
+            if _o + 2 > len(_m.storage):
+                sim._drop(pkt)
+            else:
+                _d = sim._map_read_bytes(pkt, _fd, _o, 2)
+                pkt.value_reads.setdefault(_fd, set()).add(_m.slot_of_addr(_o))
+                regs[2] = int.from_bytes(_d, "little")
+        elif 0x100000 <= _a < 0x200000:
+            _c = pkt.ctx
+            _o = _a - 0x100100 - _c.head_adjust
+            _b = _c.packet
+            if _o < 0 or _o + 2 > len(_b):
+                sim._drop(pkt)
+            else:
+                regs[2] = _u2(_b, _o)[0]
+        elif 0x200000 <= _a < 0x200200:
+            _o = _a - 0x200000
+            if _o + 2 > 512:
+                sim._drop(pkt)
+            else:
+                regs[2] = _u2(pkt.stack, _o)[0]
+        elif 0x1000 <= _a < 0x1018:
+            _o = _a - 0x1000
+            _d = pkt.ctx.ctx_bytes()
+            if _o + 2 > len(_d):
+                sim._drop(pkt)
+            else:
+                regs[2] = int.from_bytes(_d[_o:_o + 2], "little")
+        else:
+            sim._drop(pkt)
+    if not pkt.done and 3 in enabled:
+        regs[4] = regs[3] & 0xffffffffffffffff
+    if not pkt.done and 3 in enabled:
+        regs[4] = (regs[4] & 0xffffffffffffffff) >> 16
+    if not pkt.done and 3 in enabled:
+        regs[3] = regs[3] & 0xffff
+    return flushed
+
+def _s16(sim, pkt, slots, barrier_queues, input_queue, report, _u1=_u1, _p2=_p2):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    flushed = False
+    if 3 in enabled:
+        _se = None
+        _p2(pkt.ctx.packet, 10, regs[2] & 0xffff)
+        if _se is not None:
+            pkt.take_snapshot(16)
+            if sim._flush_check(pkt, _se, slots, barrier_queues, input_queue, report):
+                flushed = True
+    if not pkt.done and 3 in enabled:
+        regs[2] = _u1(pkt.ctx.packet, 22)[0]
+    if not pkt.done and 3 in enabled:
+        regs[3] = (regs[3] + regs[4]) & 0xffffffffffffffff
+    return flushed
+
+def _s17(sim, pkt, slots, barrier_queues, input_queue, report):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    if 3 in enabled:
+        regs[2] = (regs[2] + 0xffffffffffffffff) & 0xffffffffffffffff
+    if 3 in enabled:
+        _v = regs[3] & 0xffff
+        regs[3] = int.from_bytes(_v.to_bytes(2, "little"), "big")
+    return False
+
+def _s18(sim, pkt, slots, barrier_queues, input_queue, report, _p1=_p1, _p2=_p2):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    flushed = False
+    if 3 in enabled:
+        _se = None
+        _p1(pkt.ctx.packet, 22, regs[2] & 0xff)
+        if _se is not None:
+            pkt.take_snapshot(18)
+            if sim._flush_check(pkt, _se, slots, barrier_queues, input_queue, report):
+                flushed = True
+    if not pkt.done and 3 in enabled:
+        _se = None
+        _p2(pkt.ctx.packet, 24, regs[3] & 0xffff)
+        if _se is not None:
+            pkt.take_snapshot(18)
+            if sim._flush_check(pkt, _se, slots, barrier_queues, input_queue, report):
+                flushed = True
+    if not pkt.done and 3 in enabled:
+        regs[2] = 0x0
+    return flushed
+
+def _s19(sim, pkt, slots, barrier_queues, input_queue, report, _p4=_p4):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    flushed = False
+    if 3 in enabled:
+        _se = None
+        _p4(pkt.stack, 504, regs[2] & 0xffffffff)
+        if _se is not None:
+            pkt.take_snapshot(19)
+            if sim._flush_check(pkt, _se, slots, barrier_queues, input_queue, report):
+                flushed = True
+    if not pkt.done and 3 in enabled:
+        regs[2] = regs[10] & 0xffffffffffffffff
+    if not pkt.done and 3 in enabled:
+        regs[2] = (regs[2] + 0xfffffffffffffff8) & 0xffffffffffffffff
+    return flushed
+
+def _s20(sim, pkt, slots, barrier_queues, input_queue, report):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    if 3 in enabled:
+        _fd = regs[1] - 0x30000000
+        _e = sim._map_entry.get(_fd) or sim._map_entry_for(_fd)
+        if _e is None:
+            sim._drop(pkt)
+        else:
+            _m, _ks, _vs, _mb, _lk = _e
+            _a = regs[2]
+            if 0x200000 <= _a < 0x200200 and _a - 0x200000 + _ks <= 512:
+                _o = _a - 0x200000
+                _k = bytes(pkt.stack[_o:_o + _ks])
+            else:
+                _k = sim._read_plain(pkt, _a, _ks)
+            if _k is not None:
+                _sl = _lk(_k)
+                _r = pkt.addr_reads.get(_fd)
+                if _r is None:
+                    _r = pkt.addr_reads[_fd] = []
+                _r.append((_k, _sl))
+                regs[0] = 0 if _sl is None else _mb + _sl * _vs
+        regs[1] = regs[2] = regs[3] = regs[4] = regs[5] = 0
+    return False
+
+def _s22(sim, pkt, slots, barrier_queues, input_queue, report):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    if 3 in enabled:
+        enabled.update((5,) if (regs[0] & 0xffffffffffffffff) == 0x0 else (4,))
+    return False
+
+def _s23(sim, pkt, slots, barrier_queues, input_queue, report, _u8=_u8):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    if 4 in enabled:
+        _a = regs[0] & 0xffffffffffffffff
+        if _a >= 0x40000000:
+            _sp = _a - 0x40000000
+            _fd = _sp >> 24
+            _o = _sp & 0xffffff
+            _m = sim.maps[_fd]
+            if _o + 8 > len(_m.storage):
+                sim._drop(pkt)
+            else:
+                _d = sim._map_read_bytes(pkt, _fd, _o, 8)
+                pkt.value_reads.setdefault(_fd, set()).add(_m.slot_of_addr(_o))
+                regs[2] = int.from_bytes(_d, "little")
+        elif 0x100000 <= _a < 0x200000:
+            _c = pkt.ctx
+            _o = _a - 0x100100 - _c.head_adjust
+            _b = _c.packet
+            if _o < 0 or _o + 8 > len(_b):
+                sim._drop(pkt)
+            else:
+                regs[2] = _u8(_b, _o)[0]
+        elif 0x200000 <= _a < 0x200200:
+            _o = _a - 0x200000
+            if _o + 8 > 512:
+                sim._drop(pkt)
+            else:
+                regs[2] = _u8(pkt.stack, _o)[0]
+        elif 0x1000 <= _a < 0x1018:
+            _o = _a - 0x1000
+            _d = pkt.ctx.ctx_bytes()
+            if _o + 8 > len(_d):
+                sim._drop(pkt)
+            else:
+                regs[2] = int.from_bytes(_d[_o:_o + 8], "little")
+        else:
+            sim._drop(pkt)
+    return False
+
+def _s24(sim, pkt, slots, barrier_queues, input_queue, report):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    if 4 in enabled:
+        regs[2] = (regs[2] + 0x1) & 0xffffffffffffffff
+    return False
+
+def _s25(sim, pkt, slots, barrier_queues, input_queue, report, _p8=_p8):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    flushed = False
+    if 4 in enabled:
+        _a = regs[0] & 0xffffffffffffffff
+        _v = regs[2]
+        _se = None
+        if 0x200000 <= _a < 0x200200:
+            _o = _a - 0x200000
+            if _o + 8 > 512:
+                sim._drop(pkt)
+            else:
+                _p8(pkt.stack, _o, _v & 0xffffffffffffffff)
+        elif 0x100000 <= _a < 0x200000:
+            _c = pkt.ctx
+            _o = _a - 0x100100 - _c.head_adjust
+            if _o < 0 or _o + 8 > len(_c.packet):
+                sim._drop(pkt)
+            else:
+                _p8(_c.packet, _o, _v & 0xffffffffffffffff)
+        else:
+            _se = sim._mem_store(pkt, _a, 8, _v, None)
+        if not pkt.done:
+            enabled.add(5)
+        if _se is not None:
+            pkt.take_snapshot(25)
+            if sim._flush_check(pkt, _se, slots, barrier_queues, input_queue, report):
+                flushed = True
+    return flushed
+
+def _s26(sim, pkt, slots, barrier_queues, input_queue, report, _u4=_u4):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    if 5 in enabled:
+        _a = (regs[8] + 12) & 0xffffffffffffffff
+        if _a >= 0x40000000:
+            _sp = _a - 0x40000000
+            _fd = _sp >> 24
+            _o = _sp & 0xffffff
+            _m = sim.maps[_fd]
+            if _o + 4 > len(_m.storage):
+                sim._drop(pkt)
+            else:
+                _d = sim._map_read_bytes(pkt, _fd, _o, 4)
+                pkt.value_reads.setdefault(_fd, set()).add(_m.slot_of_addr(_o))
+                regs[1] = int.from_bytes(_d, "little")
+        elif 0x100000 <= _a < 0x200000:
+            _c = pkt.ctx
+            _o = _a - 0x100100 - _c.head_adjust
+            _b = _c.packet
+            if _o < 0 or _o + 4 > len(_b):
+                sim._drop(pkt)
+            else:
+                regs[1] = _u4(_b, _o)[0]
+        elif 0x200000 <= _a < 0x200200:
+            _o = _a - 0x200000
+            if _o + 4 > 512:
+                sim._drop(pkt)
+            else:
+                regs[1] = _u4(pkt.stack, _o)[0]
+        elif 0x1000 <= _a < 0x1018:
+            _o = _a - 0x1000
+            _c = pkt.ctx
+            if _o == 0:
+                regs[1] = 0x100100 + _c.head_adjust
+            elif _o == 4:
+                regs[1] = 0x100100 + _c.head_adjust + len(_c.packet)
+            elif _o == 8:
+                regs[1] = 0
+            elif _o == 12:
+                regs[1] = _c.ingress_ifindex
+            elif _o == 16:
+                regs[1] = _c.rx_queue_index
+            elif _o == 20:
+                regs[1] = _c.egress_ifindex
+            else:
+                _d = _c.ctx_bytes()
+                if _o + 4 > len(_d):
+                    sim._drop(pkt)
+                else:
+                    regs[1] = int.from_bytes(_d[_o:_o + 4], "little")
+        else:
+            sim._drop(pkt)
+    if not pkt.done and 5 in enabled:
+        regs[2] = 0x0
+    return False
+
+def _s27(sim, pkt, slots, barrier_queues, input_queue, report, _HC=_HC, _h23=_h23):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    if 5 in enabled:
+        regs[0] = _h23(_HC(sim, pkt), regs[1], regs[2], regs[3], regs[4], regs[5]) & 0xffffffffffffffff
+        regs[1] = regs[2] = regs[3] = regs[4] = regs[5] = 0
+    return False
+
+def _s28(sim, pkt, slots, barrier_queues, input_queue, report, _ACTIONS=_ACTIONS, _ABORTED=_ABORTED):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    if 5 in enabled:
+        pkt.done = True
+        pkt.action = _ACTIONS.get(regs[0] & 0xffffffff, _ABORTED)
+    return False
+
+def _s29(sim, pkt, slots, barrier_queues, input_queue, report):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    if 6 in enabled:
+        regs[0] = 0x2
+    return False
+
+def _s30(sim, pkt, slots, barrier_queues, input_queue, report, _ACTIONS=_ACTIONS, _ABORTED=_ABORTED):
+    if pkt.done:
+        return False
+    regs = pkt.regs
+    enabled = pkt.enabled
+    if 6 in enabled:
+        pkt.done = True
+        pkt.action = _ACTIONS.get(regs[0] & 0xffffffff, _ABORTED)
+    return False
+
+def _entry(sim, pkt):
+    regs = pkt.regs
+    regs[6] = 0x100100 + pkt.ctx.head_adjust
+
+def _advance(sim, slots, barrier_queues, input_queue, report, _HC=_HC, _u1=_u1, _u2=_u2, _u4=_u4, _u8=_u8, _p1=_p1, _p2=_p2, _p4=_p4, _p8=_p8, _ACTIONS=_ACTIONS, _ABORTED=_ABORTED, _h23=_h23):
+    flushed = False
+    pkt = slots[29]
+    if pkt is not None:
+        slots[29] = None
+        slots[30] = pkt
+        pkt.position = 30
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 30)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 6 in enabled:
+                pkt.done = True
+                pkt.action = _ACTIONS.get(regs[0] & 0xffffffff, _ABORTED)
+    pkt = slots[28]
+    if pkt is not None:
+        slots[28] = None
+        slots[29] = pkt
+        pkt.position = 29
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 29)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 6 in enabled:
+                regs[0] = 0x2
+    pkt = slots[27]
+    if pkt is not None:
+        slots[27] = None
+        slots[28] = pkt
+        pkt.position = 28
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 28)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 5 in enabled:
+                pkt.done = True
+                pkt.action = _ACTIONS.get(regs[0] & 0xffffffff, _ABORTED)
+    pkt = slots[26]
+    if pkt is not None:
+        slots[26] = None
+        slots[27] = pkt
+        pkt.position = 27
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 27)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 5 in enabled:
+                regs[0] = _h23(_HC(sim, pkt), regs[1], regs[2], regs[3], regs[4], regs[5]) & 0xffffffffffffffff
+                regs[1] = regs[2] = regs[3] = regs[4] = regs[5] = 0
+    pkt = slots[25]
+    if pkt is not None:
+        slots[25] = None
+        slots[26] = pkt
+        pkt.position = 26
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 26)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 5 in enabled:
+                _a = (regs[8] + 12) & 0xffffffffffffffff
+                if _a >= 0x40000000:
+                    _sp = _a - 0x40000000
+                    _fd = _sp >> 24
+                    _o = _sp & 0xffffff
+                    _m = sim.maps[_fd]
+                    if _o + 4 > len(_m.storage):
+                        sim._drop(pkt)
+                    else:
+                        _d = sim._map_read_bytes(pkt, _fd, _o, 4)
+                        pkt.value_reads.setdefault(_fd, set()).add(_m.slot_of_addr(_o))
+                        regs[1] = int.from_bytes(_d, "little")
+                elif 0x100000 <= _a < 0x200000:
+                    _c = pkt.ctx
+                    _o = _a - 0x100100 - _c.head_adjust
+                    _b = _c.packet
+                    if _o < 0 or _o + 4 > len(_b):
+                        sim._drop(pkt)
+                    else:
+                        regs[1] = _u4(_b, _o)[0]
+                elif 0x200000 <= _a < 0x200200:
+                    _o = _a - 0x200000
+                    if _o + 4 > 512:
+                        sim._drop(pkt)
+                    else:
+                        regs[1] = _u4(pkt.stack, _o)[0]
+                elif 0x1000 <= _a < 0x1018:
+                    _o = _a - 0x1000
+                    _c = pkt.ctx
+                    if _o == 0:
+                        regs[1] = 0x100100 + _c.head_adjust
+                    elif _o == 4:
+                        regs[1] = 0x100100 + _c.head_adjust + len(_c.packet)
+                    elif _o == 8:
+                        regs[1] = 0
+                    elif _o == 12:
+                        regs[1] = _c.ingress_ifindex
+                    elif _o == 16:
+                        regs[1] = _c.rx_queue_index
+                    elif _o == 20:
+                        regs[1] = _c.egress_ifindex
+                    else:
+                        _d = _c.ctx_bytes()
+                        if _o + 4 > len(_d):
+                            sim._drop(pkt)
+                        else:
+                            regs[1] = int.from_bytes(_d[_o:_o + 4], "little")
+                else:
+                    sim._drop(pkt)
+            if not pkt.done and 5 in enabled:
+                regs[2] = 0x0
+    pkt = slots[24]
+    if pkt is not None:
+        slots[24] = None
+        slots[25] = pkt
+        pkt.position = 25
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 25)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 4 in enabled:
+                _a = regs[0] & 0xffffffffffffffff
+                _v = regs[2]
+                _se = None
+                if 0x200000 <= _a < 0x200200:
+                    _o = _a - 0x200000
+                    if _o + 8 > 512:
+                        sim._drop(pkt)
+                    else:
+                        _p8(pkt.stack, _o, _v & 0xffffffffffffffff)
+                elif 0x100000 <= _a < 0x200000:
+                    _c = pkt.ctx
+                    _o = _a - 0x100100 - _c.head_adjust
+                    if _o < 0 or _o + 8 > len(_c.packet):
+                        sim._drop(pkt)
+                    else:
+                        _p8(_c.packet, _o, _v & 0xffffffffffffffff)
+                else:
+                    _se = sim._mem_store(pkt, _a, 8, _v, None)
+                if not pkt.done:
+                    enabled.add(5)
+                if _se is not None:
+                    pkt.take_snapshot(25)
+                    if sim._flush_check(pkt, _se, slots, barrier_queues, input_queue, report):
+                        flushed = True
+    pkt = slots[23]
+    if pkt is not None:
+        slots[23] = None
+        slots[24] = pkt
+        pkt.position = 24
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 24)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 4 in enabled:
+                regs[2] = (regs[2] + 0x1) & 0xffffffffffffffff
+    pkt = slots[22]
+    if pkt is not None:
+        slots[22] = None
+        slots[23] = pkt
+        pkt.position = 23
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 23)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 4 in enabled:
+                _a = regs[0] & 0xffffffffffffffff
+                if _a >= 0x40000000:
+                    _sp = _a - 0x40000000
+                    _fd = _sp >> 24
+                    _o = _sp & 0xffffff
+                    _m = sim.maps[_fd]
+                    if _o + 8 > len(_m.storage):
+                        sim._drop(pkt)
+                    else:
+                        _d = sim._map_read_bytes(pkt, _fd, _o, 8)
+                        pkt.value_reads.setdefault(_fd, set()).add(_m.slot_of_addr(_o))
+                        regs[2] = int.from_bytes(_d, "little")
+                elif 0x100000 <= _a < 0x200000:
+                    _c = pkt.ctx
+                    _o = _a - 0x100100 - _c.head_adjust
+                    _b = _c.packet
+                    if _o < 0 or _o + 8 > len(_b):
+                        sim._drop(pkt)
+                    else:
+                        regs[2] = _u8(_b, _o)[0]
+                elif 0x200000 <= _a < 0x200200:
+                    _o = _a - 0x200000
+                    if _o + 8 > 512:
+                        sim._drop(pkt)
+                    else:
+                        regs[2] = _u8(pkt.stack, _o)[0]
+                elif 0x1000 <= _a < 0x1018:
+                    _o = _a - 0x1000
+                    _d = pkt.ctx.ctx_bytes()
+                    if _o + 8 > len(_d):
+                        sim._drop(pkt)
+                    else:
+                        regs[2] = int.from_bytes(_d[_o:_o + 8], "little")
+                else:
+                    sim._drop(pkt)
+    pkt = slots[21]
+    if pkt is not None:
+        slots[21] = None
+        slots[22] = pkt
+        pkt.position = 22
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 22)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 3 in enabled:
+                enabled.update((5,) if (regs[0] & 0xffffffffffffffff) == 0x0 else (4,))
+    pkt = slots[20]
+    if pkt is not None:
+        slots[20] = None
+        slots[21] = pkt
+        pkt.position = 21
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 21)
+    pkt = slots[19]
+    if pkt is not None:
+        slots[19] = None
+        slots[20] = pkt
+        pkt.position = 20
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 20)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 3 in enabled:
+                _fd = regs[1] - 0x30000000
+                _e = sim._map_entry.get(_fd) or sim._map_entry_for(_fd)
+                if _e is None:
+                    sim._drop(pkt)
+                else:
+                    _m, _ks, _vs, _mb, _lk = _e
+                    _a = regs[2]
+                    if 0x200000 <= _a < 0x200200 and _a - 0x200000 + _ks <= 512:
+                        _o = _a - 0x200000
+                        _k = bytes(pkt.stack[_o:_o + _ks])
+                    else:
+                        _k = sim._read_plain(pkt, _a, _ks)
+                    if _k is not None:
+                        _sl = _lk(_k)
+                        _r = pkt.addr_reads.get(_fd)
+                        if _r is None:
+                            _r = pkt.addr_reads[_fd] = []
+                        _r.append((_k, _sl))
+                        regs[0] = 0 if _sl is None else _mb + _sl * _vs
+                regs[1] = regs[2] = regs[3] = regs[4] = regs[5] = 0
+    pkt = slots[18]
+    if pkt is not None:
+        slots[18] = None
+        slots[19] = pkt
+        pkt.position = 19
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 19)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 3 in enabled:
+                _se = None
+                _p4(pkt.stack, 504, regs[2] & 0xffffffff)
+                if _se is not None:
+                    pkt.take_snapshot(19)
+                    if sim._flush_check(pkt, _se, slots, barrier_queues, input_queue, report):
+                        flushed = True
+            if not pkt.done and 3 in enabled:
+                regs[2] = regs[10] & 0xffffffffffffffff
+            if not pkt.done and 3 in enabled:
+                regs[2] = (regs[2] + 0xfffffffffffffff8) & 0xffffffffffffffff
+    pkt = slots[17]
+    if pkt is not None:
+        slots[17] = None
+        slots[18] = pkt
+        pkt.position = 18
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 18)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 3 in enabled:
+                _se = None
+                _p1(pkt.ctx.packet, 22, regs[2] & 0xff)
+                if _se is not None:
+                    pkt.take_snapshot(18)
+                    if sim._flush_check(pkt, _se, slots, barrier_queues, input_queue, report):
+                        flushed = True
+            if not pkt.done and 3 in enabled:
+                _se = None
+                _p2(pkt.ctx.packet, 24, regs[3] & 0xffff)
+                if _se is not None:
+                    pkt.take_snapshot(18)
+                    if sim._flush_check(pkt, _se, slots, barrier_queues, input_queue, report):
+                        flushed = True
+            if not pkt.done and 3 in enabled:
+                regs[2] = 0x0
+    pkt = slots[16]
+    if pkt is not None:
+        slots[16] = None
+        slots[17] = pkt
+        pkt.position = 17
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 17)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 3 in enabled:
+                regs[2] = (regs[2] + 0xffffffffffffffff) & 0xffffffffffffffff
+            if 3 in enabled:
+                _v = regs[3] & 0xffff
+                regs[3] = int.from_bytes(_v.to_bytes(2, "little"), "big")
+    pkt = slots[15]
+    if pkt is not None:
+        slots[15] = None
+        slots[16] = pkt
+        pkt.position = 16
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 16)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 3 in enabled:
+                _se = None
+                _p2(pkt.ctx.packet, 10, regs[2] & 0xffff)
+                if _se is not None:
+                    pkt.take_snapshot(16)
+                    if sim._flush_check(pkt, _se, slots, barrier_queues, input_queue, report):
+                        flushed = True
+            if not pkt.done and 3 in enabled:
+                regs[2] = _u1(pkt.ctx.packet, 22)[0]
+            if not pkt.done and 3 in enabled:
+                regs[3] = (regs[3] + regs[4]) & 0xffffffffffffffff
+    pkt = slots[14]
+    if pkt is not None:
+        slots[14] = None
+        slots[15] = pkt
+        pkt.position = 15
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 15)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 3 in enabled:
+                _se = None
+                _p4(pkt.ctx.packet, 6, regs[2] & 0xffffffff)
+                if _se is not None:
+                    pkt.take_snapshot(15)
+                    if sim._flush_check(pkt, _se, slots, barrier_queues, input_queue, report):
+                        flushed = True
+            if not pkt.done and 3 in enabled:
+                _a = (regs[8] + 10) & 0xffffffffffffffff
+                if _a >= 0x40000000:
+                    _sp = _a - 0x40000000
+                    _fd = _sp >> 24
+                    _o = _sp & 0xffffff
+                    _m = sim.maps[_fd]
+                    if _o + 2 > len(_m.storage):
+                        sim._drop(pkt)
+                    else:
+                        _d = sim._map_read_bytes(pkt, _fd, _o, 2)
+                        pkt.value_reads.setdefault(_fd, set()).add(_m.slot_of_addr(_o))
+                        regs[2] = int.from_bytes(_d, "little")
+                elif 0x100000 <= _a < 0x200000:
+                    _c = pkt.ctx
+                    _o = _a - 0x100100 - _c.head_adjust
+                    _b = _c.packet
+                    if _o < 0 or _o + 2 > len(_b):
+                        sim._drop(pkt)
+                    else:
+                        regs[2] = _u2(_b, _o)[0]
+                elif 0x200000 <= _a < 0x200200:
+                    _o = _a - 0x200000
+                    if _o + 2 > 512:
+                        sim._drop(pkt)
+                    else:
+                        regs[2] = _u2(pkt.stack, _o)[0]
+                elif 0x1000 <= _a < 0x1018:
+                    _o = _a - 0x1000
+                    _d = pkt.ctx.ctx_bytes()
+                    if _o + 2 > len(_d):
+                        sim._drop(pkt)
+                    else:
+                        regs[2] = int.from_bytes(_d[_o:_o + 2], "little")
+                else:
+                    sim._drop(pkt)
+            if not pkt.done and 3 in enabled:
+                regs[4] = regs[3] & 0xffffffffffffffff
+            if not pkt.done and 3 in enabled:
+                regs[4] = (regs[4] & 0xffffffffffffffff) >> 16
+            if not pkt.done and 3 in enabled:
+                regs[3] = regs[3] & 0xffff
+    pkt = slots[13]
+    if pkt is not None:
+        slots[13] = None
+        slots[14] = pkt
+        pkt.position = 14
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 14)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 3 in enabled:
+                _se = None
+                _p2(pkt.ctx.packet, 4, regs[2] & 0xffff)
+                if _se is not None:
+                    pkt.take_snapshot(14)
+                    if sim._flush_check(pkt, _se, slots, barrier_queues, input_queue, report):
+                        flushed = True
+            if not pkt.done and 3 in enabled:
+                _a = (regs[8] + 6) & 0xffffffffffffffff
+                if _a >= 0x40000000:
+                    _sp = _a - 0x40000000
+                    _fd = _sp >> 24
+                    _o = _sp & 0xffffff
+                    _m = sim.maps[_fd]
+                    if _o + 4 > len(_m.storage):
+                        sim._drop(pkt)
+                    else:
+                        _d = sim._map_read_bytes(pkt, _fd, _o, 4)
+                        pkt.value_reads.setdefault(_fd, set()).add(_m.slot_of_addr(_o))
+                        regs[2] = int.from_bytes(_d, "little")
+                elif 0x100000 <= _a < 0x200000:
+                    _c = pkt.ctx
+                    _o = _a - 0x100100 - _c.head_adjust
+                    _b = _c.packet
+                    if _o < 0 or _o + 4 > len(_b):
+                        sim._drop(pkt)
+                    else:
+                        regs[2] = _u4(_b, _o)[0]
+                elif 0x200000 <= _a < 0x200200:
+                    _o = _a - 0x200000
+                    if _o + 4 > 512:
+                        sim._drop(pkt)
+                    else:
+                        regs[2] = _u4(pkt.stack, _o)[0]
+                elif 0x1000 <= _a < 0x1018:
+                    _o = _a - 0x1000
+                    _c = pkt.ctx
+                    if _o == 0:
+                        regs[2] = 0x100100 + _c.head_adjust
+                    elif _o == 4:
+                        regs[2] = 0x100100 + _c.head_adjust + len(_c.packet)
+                    elif _o == 8:
+                        regs[2] = 0
+                    elif _o == 12:
+                        regs[2] = _c.ingress_ifindex
+                    elif _o == 16:
+                        regs[2] = _c.rx_queue_index
+                    elif _o == 20:
+                        regs[2] = _c.egress_ifindex
+                    else:
+                        _d = _c.ctx_bytes()
+                        if _o + 4 > len(_d):
+                            sim._drop(pkt)
+                        else:
+                            regs[2] = int.from_bytes(_d[_o:_o + 4], "little")
+                else:
+                    sim._drop(pkt)
+            if not pkt.done and 3 in enabled:
+                regs[4] = (regs[4] & 0xffffffffffffffff) >> 16
+            if not pkt.done and 3 in enabled:
+                regs[3] = (regs[3] + regs[4]) & 0xffffffffffffffff
+    pkt = slots[12]
+    if pkt is not None:
+        slots[12] = None
+        slots[13] = pkt
+        pkt.position = 13
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 13)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 3 in enabled:
+                _se = None
+                _p4(pkt.ctx.packet, 0, regs[2] & 0xffffffff)
+                if _se is not None:
+                    pkt.take_snapshot(13)
+                    if sim._flush_check(pkt, _se, slots, barrier_queues, input_queue, report):
+                        flushed = True
+            if not pkt.done and 3 in enabled:
+                _a = (regs[8] + 4) & 0xffffffffffffffff
+                if _a >= 0x40000000:
+                    _sp = _a - 0x40000000
+                    _fd = _sp >> 24
+                    _o = _sp & 0xffffff
+                    _m = sim.maps[_fd]
+                    if _o + 2 > len(_m.storage):
+                        sim._drop(pkt)
+                    else:
+                        _d = sim._map_read_bytes(pkt, _fd, _o, 2)
+                        pkt.value_reads.setdefault(_fd, set()).add(_m.slot_of_addr(_o))
+                        regs[2] = int.from_bytes(_d, "little")
+                elif 0x100000 <= _a < 0x200000:
+                    _c = pkt.ctx
+                    _o = _a - 0x100100 - _c.head_adjust
+                    _b = _c.packet
+                    if _o < 0 or _o + 2 > len(_b):
+                        sim._drop(pkt)
+                    else:
+                        regs[2] = _u2(_b, _o)[0]
+                elif 0x200000 <= _a < 0x200200:
+                    _o = _a - 0x200000
+                    if _o + 2 > 512:
+                        sim._drop(pkt)
+                    else:
+                        regs[2] = _u2(pkt.stack, _o)[0]
+                elif 0x1000 <= _a < 0x1018:
+                    _o = _a - 0x1000
+                    _d = pkt.ctx.ctx_bytes()
+                    if _o + 2 > len(_d):
+                        sim._drop(pkt)
+                    else:
+                        regs[2] = int.from_bytes(_d[_o:_o + 2], "little")
+                else:
+                    sim._drop(pkt)
+            if not pkt.done and 3 in enabled:
+                regs[3] = (regs[3] + 0x100) & 0xffffffffffffffff
+            if not pkt.done and 3 in enabled:
+                regs[4] = regs[3] & 0xffffffffffffffff
+            if not pkt.done and 3 in enabled:
+                regs[3] = regs[3] & 0xffff
+    pkt = slots[11]
+    if pkt is not None:
+        slots[11] = None
+        slots[12] = pkt
+        pkt.position = 12
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 12)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 3 in enabled:
+                _a = regs[8] & 0xffffffffffffffff
+                if _a >= 0x40000000:
+                    _sp = _a - 0x40000000
+                    _fd = _sp >> 24
+                    _o = _sp & 0xffffff
+                    _m = sim.maps[_fd]
+                    if _o + 4 > len(_m.storage):
+                        sim._drop(pkt)
+                    else:
+                        _d = sim._map_read_bytes(pkt, _fd, _o, 4)
+                        pkt.value_reads.setdefault(_fd, set()).add(_m.slot_of_addr(_o))
+                        regs[2] = int.from_bytes(_d, "little")
+                elif 0x100000 <= _a < 0x200000:
+                    _c = pkt.ctx
+                    _o = _a - 0x100100 - _c.head_adjust
+                    _b = _c.packet
+                    if _o < 0 or _o + 4 > len(_b):
+                        sim._drop(pkt)
+                    else:
+                        regs[2] = _u4(_b, _o)[0]
+                elif 0x200000 <= _a < 0x200200:
+                    _o = _a - 0x200000
+                    if _o + 4 > 512:
+                        sim._drop(pkt)
+                    else:
+                        regs[2] = _u4(pkt.stack, _o)[0]
+                elif 0x1000 <= _a < 0x1018:
+                    _o = _a - 0x1000
+                    _c = pkt.ctx
+                    if _o == 0:
+                        regs[2] = 0x100100 + _c.head_adjust
+                    elif _o == 4:
+                        regs[2] = 0x100100 + _c.head_adjust + len(_c.packet)
+                    elif _o == 8:
+                        regs[2] = 0
+                    elif _o == 12:
+                        regs[2] = _c.ingress_ifindex
+                    elif _o == 16:
+                        regs[2] = _c.rx_queue_index
+                    elif _o == 20:
+                        regs[2] = _c.egress_ifindex
+                    else:
+                        _d = _c.ctx_bytes()
+                        if _o + 4 > len(_d):
+                            sim._drop(pkt)
+                        else:
+                            regs[2] = int.from_bytes(_d[_o:_o + 4], "little")
+                else:
+                    sim._drop(pkt)
+            if not pkt.done and 3 in enabled:
+                _v = regs[3] & 0xffff
+                regs[3] = int.from_bytes(_v.to_bytes(2, "little"), "big")
+    pkt = slots[10]
+    if pkt is not None:
+        slots[10] = None
+        slots[11] = pkt
+        pkt.position = 11
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 11)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 3 in enabled:
+                regs[8] = regs[0] & 0xffffffffffffffff
+            if 3 in enabled:
+                regs[3] = _u2(pkt.ctx.packet, 24)[0]
+            if 3 in enabled:
+                regs[1] = 0x30000002
+    pkt = slots[9]
+    if pkt is not None:
+        slots[9] = None
+        slots[10] = pkt
+        pkt.position = 10
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 10)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 2 in enabled:
+                enabled.update((6,) if (regs[0] & 0xffffffffffffffff) == 0x0 else (3,))
+    pkt = slots[8]
+    if pkt is not None:
+        slots[8] = None
+        slots[9] = pkt
+        pkt.position = 9
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 9)
+    pkt = slots[7]
+    if pkt is not None:
+        slots[7] = None
+        slots[8] = pkt
+        pkt.position = 8
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 8)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 2 in enabled:
+                _fd = regs[1] - 0x30000000
+                _e = sim._map_entry.get(_fd) or sim._map_entry_for(_fd)
+                if _e is None:
+                    sim._drop(pkt)
+                else:
+                    _m, _ks, _vs, _mb, _lk = _e
+                    _a = regs[2]
+                    if 0x200000 <= _a < 0x200200 and _a - 0x200000 + _ks <= 512:
+                        _o = _a - 0x200000
+                        _k = bytes(pkt.stack[_o:_o + _ks])
+                    else:
+                        _k = sim._read_plain(pkt, _a, _ks)
+                    if _k is not None:
+                        _sl = _lk(_k)
+                        _r = pkt.addr_reads.get(_fd)
+                        if _r is None:
+                            _r = pkt.addr_reads[_fd] = []
+                        _r.append((_k, _sl))
+                        regs[0] = 0 if _sl is None else _mb + _sl * _vs
+                regs[1] = regs[2] = regs[3] = regs[4] = regs[5] = 0
+    pkt = slots[6]
+    if pkt is not None:
+        slots[6] = None
+        slots[7] = pkt
+        pkt.position = 7
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 7)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 2 in enabled:
+                _se = None
+                _p4(pkt.stack, 508, regs[2] & 0xffffffff)
+                if _se is not None:
+                    pkt.take_snapshot(7)
+                    if sim._flush_check(pkt, _se, slots, barrier_queues, input_queue, report):
+                        flushed = True
+            if not pkt.done and 2 in enabled:
+                regs[2] = regs[10] & 0xffffffffffffffff
+            if not pkt.done and 2 in enabled:
+                regs[2] = (regs[2] + 0xfffffffffffffffc) & 0xffffffffffffffff
+    pkt = slots[5]
+    if pkt is not None:
+        slots[5] = None
+        slots[6] = pkt
+        pkt.position = 6
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 6)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 2 in enabled:
+                regs[2] = regs[2] & 0xffffff
+    pkt = slots[4]
+    if pkt is not None:
+        slots[4] = None
+        slots[5] = pkt
+        pkt.position = 5
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 5)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 2 in enabled:
+                regs[2] = _u4(pkt.ctx.packet, 30)[0]
+            if 2 in enabled:
+                regs[1] = 0x30000001
+    pkt = slots[3]
+    if pkt is not None:
+        slots[3] = None
+        slots[4] = pkt
+        pkt.position = 4
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 4)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 1 in enabled:
+                enabled.update((6,) if (regs[2] & 0xffffffffffffffff) <= 0x1 else (2,))
+    pkt = slots[2]
+    if pkt is not None:
+        slots[2] = None
+        slots[3] = pkt
+        pkt.position = 3
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 3)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 1 in enabled:
+                regs[2] = _u1(pkt.ctx.packet, 22)[0]
+    pkt = slots[1]
+    if pkt is not None:
+        slots[1] = None
+        slots[2] = pkt
+        pkt.position = 2
+        if pkt.pending_writes:
+            sim._commit_pending(pkt, 2)
+        if not pkt.done:
+            regs = pkt.regs
+            enabled = pkt.enabled
+            if 0 in enabled:
+                enabled.update((6,) if (regs[2] & 0xffffffffffffffff) != 0x8 else (1,))
+    return flushed
+
+def _observe(metrics, slots, barrier_queues):
+    metrics.observed_cycles += 1
+    _b = metrics.stage_busy_cycles
+    if slots[1] is not None:
+        _b[0] += 1
+    if slots[2] is not None:
+        _b[1] += 1
+    if slots[3] is not None:
+        _b[2] += 1
+    if slots[4] is not None:
+        _b[3] += 1
+    if slots[5] is not None:
+        _b[4] += 1
+    if slots[6] is not None:
+        _b[5] += 1
+    if slots[7] is not None:
+        _b[6] += 1
+    if slots[8] is not None:
+        _b[7] += 1
+    if slots[9] is not None:
+        _b[8] += 1
+    if slots[10] is not None:
+        _b[9] += 1
+    if slots[11] is not None:
+        _b[10] += 1
+    if slots[12] is not None:
+        _b[11] += 1
+    if slots[13] is not None:
+        _b[12] += 1
+    if slots[14] is not None:
+        _b[13] += 1
+    if slots[15] is not None:
+        _b[14] += 1
+    if slots[16] is not None:
+        _b[15] += 1
+    if slots[17] is not None:
+        _b[16] += 1
+    if slots[18] is not None:
+        _b[17] += 1
+    if slots[19] is not None:
+        _b[18] += 1
+    if slots[20] is not None:
+        _b[19] += 1
+    if slots[21] is not None:
+        _b[20] += 1
+    if slots[22] is not None:
+        _b[21] += 1
+    if slots[23] is not None:
+        _b[22] += 1
+    if slots[24] is not None:
+        _b[23] += 1
+    if slots[25] is not None:
+        _b[24] += 1
+    if slots[26] is not None:
+        _b[25] += 1
+    if slots[27] is not None:
+        _b[26] += 1
+    if slots[28] is not None:
+        _b[27] += 1
+    if slots[29] is not None:
+        _b[28] += 1
+    if slots[30] is not None:
+        _b[29] += 1
+    if barrier_queues:
+        _w = 0
+        for _q in barrier_queues.values():
+            _w += len(_q)
+        metrics.barrier_wait_cycles += _w
+
+_STAGE_FNS = (_s1, _s2, _s3, _s4, _s5, _s6, _s7, _s8, None, _s10, _s11, _s12, _s13, _s14, _s15, _s16, _s17, _s18, _s19, _s20, None, _s22, _s23, _s24, _s25, _s26, _s27, _s28, _s29, _s30,)
+_ENTRY = _entry
+_ADVANCE = _advance
+_OBSERVE = _observe
+_STREAM = None
+

@@ -1,0 +1,233 @@
+"""Tests of the code-generation backend (:mod:`repro.hwsim.codegen`).
+
+Semantics (bit-identical agreement with the other pipeline engines on
+every app) are covered by ``tests/test_engines.py``; this file pins the
+machinery around the generated source itself:
+
+* golden snapshots of the emitted module text (``tests/corpus/codegen/``,
+  regenerate with ``pytest --update-golden``) for one stream-eligible
+  app and one with hazard plans, so emitter changes show up as diffs;
+* caching: the compiler attaches the source at compile time, it pickles
+  with the pipeline (compile-cache hits and parallel workers exec() it
+  instead of re-emitting), and every regeneration outside the compiler
+  increments ``ehdl_codegen_recompile_total``;
+* the ``_STREAM`` straight-line path: emitted only for hazard-free
+  pipelines without order-sensitive helpers, and observably equivalent
+  to the generated cycle loop.
+"""
+
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro import telemetry
+from repro.apps import firewall, leaky_bucket, toy_counter
+from repro.core.cache import CompileCache, compile_cached
+from repro.core.compiler import compile_program
+from repro.hwsim import PipelineSimulator, SimOptions
+from repro.hwsim.codegen import (
+    CODEGEN_VERSION,
+    ensure_source,
+    generate_pipeline_source,
+    load_pipeline_module,
+    write_debug_source,
+)
+from tests.test_rtl import APP_CASES
+
+_COUNTER = "ehdl_codegen_recompile_total"
+
+
+def _recompiles(reg, pipeline):
+    return reg.counter(_COUNTER, labels={"program": pipeline.name}).value
+
+
+class TestGolden:
+    """Full-text snapshots of the generated execution modules.
+
+    ``firewall`` exercises the ``_STREAM`` straight-line path plus
+    constant-offset folding; ``router_rmw`` has read-modify-write hazard
+    plans, so its module carries the predication/snapshot/flush logic
+    the firewall's elides. Regenerate intentionally with
+    ``pytest --update-golden``.
+    """
+
+    APPS = ["firewall", "router_rmw"]
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_snapshot(self, app, request):
+        build, _setup, _frames = APP_CASES[app]
+        text = generate_pipeline_source(compile_program(build()))
+        path = Path(__file__).parent / "corpus" / "codegen" / f"{app}.py"
+        if request.config.getoption("--update-golden"):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+            pytest.skip(f"golden file {path.name} regenerated")
+        assert path.exists(), (
+            f"missing golden file {path}; run pytest --update-golden"
+        )
+        assert text == path.read_text(), (
+            f"generated source for {app} diverged from {path.name}; if "
+            "the change is intentional run pytest --update-golden"
+        )
+
+    def test_generation_is_deterministic(self):
+        pipeline = compile_program(firewall.build())
+        assert generate_pipeline_source(pipeline) \
+            == generate_pipeline_source(pipeline)
+
+
+class TestSourceAttachment:
+    def test_compiler_attaches_versioned_source(self):
+        pipeline = compile_program(firewall.build())
+        assert pipeline.codegen_source
+        assert pipeline.codegen_version == CODEGEN_VERSION
+        # attachment is exactly the on-demand generation
+        assert pipeline.codegen_source == generate_pipeline_source(pipeline)
+
+    def test_source_survives_pickling(self):
+        pipeline = compile_program(firewall.build())
+        clone = pickle.loads(pickle.dumps(pipeline))
+        assert clone.codegen_source == pipeline.codegen_source
+        assert clone.codegen_version == CODEGEN_VERSION
+
+    def test_attached_source_is_not_regenerated(self):
+        pipeline = compile_program(firewall.build())
+        with telemetry.scoped(enabled=True) as reg:
+            source = ensure_source(pipeline)
+            assert source is pipeline.codegen_source
+            assert _recompiles(reg, pipeline) == 0
+
+    def test_stale_version_recompiles_and_counts(self):
+        pipeline = compile_program(firewall.build())
+        pipeline.codegen_version = 0  # e.g. unpickled from an old cache
+        with telemetry.scoped(enabled=True) as reg:
+            ensure_source(pipeline)
+            assert _recompiles(reg, pipeline) == 1
+            assert pipeline.codegen_version == CODEGEN_VERSION
+            # and only once: the refreshed stamp satisfies the next call
+            ensure_source(pipeline)
+            assert _recompiles(reg, pipeline) == 1
+
+    def test_compile_cache_hit_carries_source(self, tmp_path):
+        prog = toy_counter.build()
+        warm = CompileCache(tmp_path)
+        compile_cached(prog, cache=warm)
+        # a fresh cache over the same directory: a "new process" whose
+        # hit must come back ready to execute, no re-emission
+        cold = CompileCache(tmp_path)
+        pipeline = compile_cached(prog, cache=cold)
+        assert cold.hits == 1
+        assert pipeline.codegen_version == CODEGEN_VERSION
+        with telemetry.scoped(enabled=True) as reg:
+            sim = PipelineSimulator(
+                pipeline, options=SimOptions(engine="codegen"))
+            sim.run_packets([toy_counter.packet_for_key(1)])
+            assert _recompiles(reg, pipeline) == 0
+
+    def test_cache_key_tracks_codegen_version(self, monkeypatch):
+        # an emitter bump must invalidate cached pipelines: their pickled
+        # source is stale, and serving it would recompile on every "hit"
+        from repro.core.cache import cache_key
+        from repro.hwsim import codegen
+
+        prog = toy_counter.build()
+        before = cache_key(prog)
+        monkeypatch.setattr(codegen, "CODEGEN_VERSION",
+                            codegen.CODEGEN_VERSION + 1)
+        assert cache_key(prog) != before
+
+    def test_module_cache_shared_across_simulators(self):
+        pipeline = compile_program(firewall.build())
+        clone = pickle.loads(pickle.dumps(pipeline))
+        # same source digest -> the exec()d namespace is shared, even
+        # across distinct pipeline objects
+        assert load_pipeline_module(pipeline) is load_pipeline_module(clone)
+
+    def test_write_debug_source(self, tmp_path):
+        pipeline = compile_program(firewall.build())
+        path = write_debug_source(pipeline, str(tmp_path / "dbg"))
+        assert Path(path).read_text() == pipeline.codegen_source
+
+
+class TestStreamPath:
+    def test_stream_emitted_only_when_hazard_free(self):
+        # firewall: no flush plans, no order-sensitive helpers
+        fw = generate_pipeline_source(compile_program(firewall.build()))
+        assert "_STREAM = _stream" in fw
+        # leaky bucket calls bpf_ktime_get_ns: packets must observe the
+        # clock in injection order, which the straight-line path breaks
+        lb = generate_pipeline_source(compile_program(leaky_bucket.build()))
+        assert "_STREAM = None" in lb
+
+    def test_simulator_binds_stream_function(self):
+        fw = PipelineSimulator(compile_program(firewall.build()),
+                               options=SimOptions(engine="codegen"))
+        lb = PipelineSimulator(compile_program(leaky_bucket.build()),
+                               options=SimOptions(engine="codegen"))
+        assert fw._stream_fn is not None
+        assert lb._stream_fn is None
+
+    def test_stream_matches_cycle_loop(self):
+        # telemetry forces the generated cycle loop (per-cycle observers
+        # need every cycle to happen); the straight-line path must agree
+        # with it on every record field and on the total cycle count
+        build, setup, frames = APP_CASES["firewall"]
+        program = build()
+        pipeline = compile_program(program)
+        frames = frames * 10
+
+        def run(**kw):
+            from repro.ebpf.maps import MapSet
+
+            maps = MapSet(program.maps)
+            setup(maps)
+            sim = PipelineSimulator(
+                pipeline, maps=maps,
+                options=SimOptions(engine="codegen", keep_records=True, **kw),
+            )
+            return sim.run_packets(list(frames))
+
+        stream, loop = run(), run(telemetry=True)
+        assert stream.metrics is None and loop.metrics is not None
+        assert stream.cycles == loop.cycles
+        assert stream.action_counts == loop.action_counts
+        assert [
+            (r.pid, r.action, bytes(r.data), r.arrival_cycle,
+             r.inject_cycle, r.exit_cycle, r.restarts)
+            for r in stream.records
+        ] == [
+            (r.pid, r.action, bytes(r.data), r.arrival_cycle,
+             r.inject_cycle, r.exit_cycle, r.restarts)
+            for r in loop.records
+        ]
+
+
+class TestParallelReuse:
+    def test_parallel_workers_share_generated_source(self):
+        # the parent generates once pre-fork; worker results must match a
+        # single-queue codegen run (same engine in every process)
+        from repro.ebpf.maps import MapSet
+        from repro.hwsim import ParallelPipelineSimulator
+
+        build, setup, frames = APP_CASES["firewall"]
+        program = build()
+        pipeline = compile_program(program)
+        frames = frames * 25
+
+        maps = MapSet(program.maps)
+        setup(maps)
+        single = PipelineSimulator(
+            pipeline, maps=maps,
+            options=SimOptions(engine="codegen", keep_records=False),
+        ).run_packets(list(frames))
+
+        maps = MapSet(program.maps)
+        setup(maps)
+        par = ParallelPipelineSimulator(
+            pipeline, maps=maps,
+            options=SimOptions(engine="codegen", keep_records=False),
+            workers=2,
+        ).run_stream(list(frames))
+        assert par.report.action_counts == single.action_counts
+        assert par.report.packets_out == single.packets_out

@@ -63,6 +63,15 @@ class TestCorpus:
         program = load_program(str(path))
         run_differential(program, PACKETS, gap=gap_for(path)).raise_on_mismatch()
 
+    def test_codegen_matches_vm(self, path):
+        # the generated-source backend over the same battery: corpus
+        # members hit the folding/elision paths app code doesn't (packet
+        # resizing, atomics, division corners, deep nesting)
+        program = load_program(str(path))
+        result = run_differential(program, PACKETS, gap=gap_for(path),
+                                  engine="codegen")
+        result.raise_on_mismatch()
+
     def test_pipeline_matches_vm_line_rate_repeats(self, path):
         # back-to-back duplicates stress the hazard machinery
         program = load_program(str(path))

@@ -1,0 +1,213 @@
+"""Tests of the execution-backend registry (:mod:`repro.hwsim.engines`).
+
+The registry is the single enumeration point for every way the repo can
+execute an XDP program. Two properties are load-bearing and pinned here:
+
+* the three ``pipeline`` engines (interpreted, fast, codegen) are
+  different executions of the *same* cycle-level model and must be
+  bit-identical — XDP actions, packet bytes, final map state AND
+  per-packet inject/exit cycles — on every evaluation app;
+* the ``vm`` and ``rtl`` engines share the end-to-end observables
+  (actions, bytes, maps) with the pipeline engines but not the cycle
+  structure, and :func:`compare_runs` must honour that distinction.
+
+On a pipeline-pair mismatch the generated source is dumped to
+``codegen-debug/`` so the CI workflow can upload it as an artifact.
+"""
+
+import functools
+
+import pytest
+
+from repro.core.compiler import compile_program
+from repro.hwsim import SimOptions
+from repro.hwsim.codegen import write_debug_source
+from repro.hwsim.engines import (
+    ENGINES,
+    compare_runs,
+    engine_names,
+    get_engine,
+    pipeline_engine_names,
+    run_engine,
+)
+from tests.test_rtl import APP_CASES
+
+# Freeze the helper clock (cycle-to-ns rounds to zero) so that
+# time-dependent programs — the leaky bucket policer — read the same
+# bpf_ktime_get_ns on the cycle-counting engines as on the VM.
+_FROZEN = SimOptions(clock_mhz=1e9)
+
+# Every unordered pair with at least one pipeline engine; the three
+# pipeline pairs additionally compare cycle structure.
+PIPELINE_PAIRS = [
+    ("interpreted", "fast"),
+    ("interpreted", "codegen"),
+    ("fast", "codegen"),
+]
+REFERENCE_PAIRS = [
+    ("vm", "codegen"),
+    ("vm", "fast"),
+]
+
+
+class TestRegistry:
+    def test_engine_names(self):
+        assert engine_names() == [
+            "vm", "interpreted", "fast", "codegen", "rtl"
+        ]
+
+    def test_pipeline_engine_names(self):
+        assert pipeline_engine_names() == ["interpreted", "fast", "codegen"]
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            get_engine("verilog")
+
+    def test_cycle_exactness_split(self):
+        # only the pipeline engines promise identical cycle structure
+        for name, spec in ENGINES.items():
+            assert spec.cycle_exact == (spec.kind == "pipeline"), name
+
+    def test_simulator_rejects_non_pipeline_engine(self):
+        from repro.apps import toy_counter
+        from repro.hwsim import PipelineSimulator, SimError
+
+        pipeline = compile_program(toy_counter.build())
+        with pytest.raises(SimError):
+            PipelineSimulator(pipeline, options=SimOptions(engine="rtl"))
+
+
+@functools.lru_cache(maxsize=None)
+def _compiled(app):
+    build, _setup, _frames = APP_CASES[app]
+    program = build()
+    return program, compile_program(program)
+
+
+def _run_pair(app, a, b, gap=1):
+    _build, setup, frames = APP_CASES[app]
+    program, pipeline = _compiled(app)
+    runs = {
+        name: run_engine(
+            name, program, frames,
+            pipeline=pipeline, sim_options=_FROZEN, setup=setup, gap=gap,
+        )
+        for name in (a, b)
+    }
+    mismatches = compare_runs(runs[a], runs[b])
+    if mismatches:
+        # postmortem material for the CI artifact upload
+        path = write_debug_source(pipeline, "codegen-debug")
+        mismatches.append(f"generated source dumped to {path}")
+    assert not mismatches, "\n".join(mismatches)
+    return runs
+
+
+class TestEngineMatrix:
+    """Cross-engine differential on every evaluation app."""
+
+    @pytest.mark.parametrize("a,b", PIPELINE_PAIRS)
+    @pytest.mark.parametrize("app", sorted(APP_CASES))
+    def test_pipeline_pair_bit_identical(self, app, a, b):
+        runs = _run_pair(app, a, b)
+        # cycle_exact pairs must actually have compared cycle structure
+        assert runs[a].total_cycles is not None
+        assert runs[a].total_cycles == runs[b].total_cycles
+
+    @pytest.mark.parametrize("a,b", REFERENCE_PAIRS)
+    @pytest.mark.parametrize("app", sorted(APP_CASES))
+    def test_vm_agrees_on_observables(self, app, a, b):
+        # One packet in flight: the regime in which the pipeline is
+        # sequentially consistent with the VM. At tighter spacings hazard
+        # replays may legitimately re-draw bpf_get_prandom_u32 (dnat's
+        # port allocator), which the replay-free VM never does.
+        _program, pipeline = _compiled(app)
+        runs = _run_pair(app, a, b, gap=pipeline.n_stages + 2)
+        # the reference leg carries no cycle structure
+        assert runs["vm"].total_cycles is None
+        assert runs["vm"].packet_cycles == []
+
+    def test_rtl_engine_through_registry(self):
+        # One cheap smoke through the rtl entry: full app coverage of the
+        # RTL leg lives in test_rtl's three-way differential.
+        app = "toy_counter"
+        _build, setup, frames = APP_CASES[app]
+        program, pipeline = _compiled(app)
+        vm = run_engine("vm", program, frames, pipeline=pipeline,
+                        setup=setup)
+        rtl = run_engine("rtl", program, frames, pipeline=pipeline,
+                         setup=setup)
+        assert not compare_runs(vm, rtl)
+
+    def test_wide_gap_matches_back_to_back(self):
+        # injection spacing must not change verdicts, bytes, or map state
+        app = "firewall"
+        _build, setup, frames = APP_CASES[app]
+        program, pipeline = _compiled(app)
+        tight = run_engine("codegen", program, frames, pipeline=pipeline,
+                           sim_options=_FROZEN, setup=setup, gap=1)
+        wide = run_engine("codegen", program, frames, pipeline=pipeline,
+                          sim_options=_FROZEN, setup=setup,
+                          gap=pipeline.n_stages + 2)
+        assert tight.actions == wide.actions
+        assert tight.frames == wide.frames
+        assert tight.map_items == wide.map_items
+        assert tight.total_cycles < wide.total_cycles
+
+
+class TestThreeWayEngineSelection:
+    def test_three_way_hw_leg_on_codegen(self):
+        from repro.rtl import run_three_way
+
+        build, setup, frames = APP_CASES["firewall"]
+        result = run_three_way(build(), frames, setup=setup,
+                               engine="codegen")
+        result.raise_on_mismatch()
+        assert result.ok
+
+
+class TestCliEngineFlag:
+    PROG = """
+.map counters array key=4 value=8 entries=1
+
+    r0 = 2
+    exit
+"""
+
+    @pytest.fixture()
+    def prog_file(self, tmp_path):
+        path = tmp_path / "simple.ebpf"
+        path.write_text(self.PROG)
+        return str(path)
+
+    def test_run_engine_codegen(self, capsys, prog_file):
+        from repro.cli import main
+
+        assert main(["run", prog_file, "--packets", "40",
+                     "--engine", "codegen"]) == 0
+        assert "engine: codegen" in capsys.readouterr().out
+
+    def test_run_engine_vm_reference(self, capsys, prog_file):
+        from repro.cli import main
+
+        assert main(["run", prog_file, "--packets", "10",
+                     "--engine", "vm"]) == 0
+        out = capsys.readouterr().out
+        assert "engine: vm" in out and "10/10 packets" in out
+
+    def test_bench_enumerates_pipeline_engines(self, capsys, prog_file):
+        from repro.cli import main
+
+        assert main(["bench", prog_file, "--packets", "60",
+                     "--flows", "4"]) == 0
+        out = capsys.readouterr().out
+        for engine in pipeline_engine_names():
+            assert engine in out
+        assert "parity OK" in out and "3 engines" in out
+
+    def test_verify_engine_codegen(self, capsys, prog_file):
+        from repro.cli import main
+
+        assert main(["verify", prog_file, "--packets", "6",
+                     "--engine", "codegen"]) == 0
+        assert "OK" in capsys.readouterr().out

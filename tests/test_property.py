@@ -160,6 +160,15 @@ class TestRandomProgramEquivalence:
         verify(prog)  # generated programs must be valid by construction
         run_differential(prog, frames).raise_on_mismatch()
 
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(prog=random_programs(), frames=st.lists(packets(), min_size=1, max_size=6))
+    def test_codegen_matches_vm(self, prog, frames):
+        # same property, executed by the generated compile()d source —
+        # constant-offset folding and the elision decisions are in the loop
+        verify(prog)
+        run_differential(prog, frames, engine="codegen").raise_on_mismatch()
+
     @settings(max_examples=25, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
     @given(prog=random_programs(), frames=st.lists(packets(), min_size=1, max_size=4))
