@@ -22,6 +22,7 @@ JSON don't mistake a starved-container number for a regression.
 import json
 import os
 import pathlib
+import threading
 import time
 
 from conftest import print_table, setup_app_maps
@@ -54,6 +55,10 @@ PARALLEL_WORKERS = 4
 MIN_PARALLEL_SCALING = 2.0
 
 RTL_PACKETS = 16
+
+SERVE_PACKETS = 20_000
+SERVE_FLOWS = 100_000
+SERVE_SWAPS = 3
 
 
 def _host_cpus():
@@ -246,6 +251,77 @@ def _bench_rtl(name, program):
     }
 
 
+def _bench_serve():
+    """Serving-daemon throughput and hot-swap latency.
+
+    One :class:`~repro.serve.daemon.NicDaemon` streams a Zipfian synth
+    feed through the two-slot NIC while a driver thread issues three
+    live firewall hot-swaps through the control-plane ``submit`` path —
+    so the measured wall time pays for batch dispatch, the drained-
+    boundary synchronization, and the swaps themselves. The swap
+    latency rows come from the daemon's own request-to-activation
+    telemetry (cached compile + draining the in-flight batch). The run
+    only counts if the offline segmented replay reproduces it
+    bit-identically."""
+    from repro.apps import toy_counter
+    from repro.net.packet import ETH_P_IP
+    from repro.serve import (
+        FeedSpec,
+        NicDaemon,
+        ProgramSpec,
+        ServeConfig,
+        segmented_replay,
+        verify_replay,
+    )
+
+    config = ServeConfig(
+        programs=[
+            ProgramSpec("bg", toy_counter.build()),
+            ProgramSpec("fw", firewall.build(), ethertype=ETH_P_IP),
+        ],
+        feed=FeedSpec(source="synth", packets=SERVE_PACKETS,
+                      flows=SERVE_FLOWS, distribution="zipf", seed=7),
+        engine="codegen",
+        batch_size=1024,
+    )
+    daemon = NicDaemon(config)
+
+    def driver():
+        # live same-program upgrades that keep the flow table — each
+        # submit blocks until its swap lands at a drained boundary
+        for _ in range(SERVE_SWAPS):
+            daemon.submit({"op": "swap", "name": "fw",
+                           "program": "app:firewall", "keep_maps": True})
+
+    thread = threading.Thread(target=driver, daemon=True)
+    start = time.perf_counter()
+    thread.start()
+    report = daemon.run()
+    elapsed = time.perf_counter() - start
+    thread.join(timeout=30)
+
+    assert report["frames"] == SERVE_PACKETS
+    latencies = report["swap_latencies_us"]
+    assert len(latencies) == SERVE_SWAPS
+    offline = segmented_replay(config, report, daemon.program_table)
+    assert verify_replay(report, offline) == []
+    return {
+        "feed": config.feed.describe(),
+        "packets": SERVE_PACKETS,
+        "batch_size": config.batch_size,
+        "engine": config.engine,
+        "swaps": len(latencies),
+        "serve_pps": round(SERVE_PACKETS / elapsed),
+        "serve_swap_latency": {
+            "unit": "us",
+            "min": round(min(latencies)),
+            "mean": round(sum(latencies) / len(latencies)),
+            "max": round(max(latencies)),
+        },
+        "replay_bit_identical": True,
+    }
+
+
 def test_fast_path_throughput_regression():
     rows = [
         _bench_app("firewall", firewall.build()),
@@ -254,6 +330,7 @@ def test_fast_path_throughput_regression():
     parallel_row = _bench_parallel("firewall", firewall.build())
     rtl_row = _bench_rtl("firewall", firewall.build())
     telemetry_row = _bench_telemetry_overhead("firewall", firewall.build())
+    serve_row = _bench_serve()
     RESULT_PATH.write_text(json.dumps({
         "benchmark": "sim_throughput",
         "packets_per_run": N_PACKETS,
@@ -261,6 +338,7 @@ def test_fast_path_throughput_regression():
         "parallel": parallel_row,
         "rtl_sim": rtl_row,
         "telemetry": telemetry_row,
+        "serve": serve_row,
     }, indent=2) + "\n")
     print_table(
         "simulator throughput by engine",
@@ -290,6 +368,15 @@ def test_fast_path_throughput_regression():
         [[telemetry_row["app"], f"{telemetry_row['disabled_pps']:,}",
           f"{telemetry_row['enabled_pps']:,}",
           f"{telemetry_row['telemetry_overhead_pct']:.1f}%"]],
+    )
+    lat = serve_row["serve_swap_latency"]
+    print_table(
+        f"serving daemon ({serve_row['swaps']} live hot-swaps, "
+        "replay-verified)",
+        ["packets", "batch", "serve pps", "swap lat min/mean/max (us)"],
+        [[f"{serve_row['packets']:,}", serve_row["batch_size"],
+          f"{serve_row['serve_pps']:,}",
+          f"{lat['min']:,} / {lat['mean']:,} / {lat['max']:,}"]],
     )
     firewall_row = rows[0]
     assert firewall_row["speedup"] >= MIN_SPEEDUP, (

@@ -489,6 +489,125 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived serving daemon (see docs/serving.md)."""
+    import json
+
+    from .serve import (
+        NicDaemon,
+        ProgramSpec,
+        ServeConfig,
+        ServeServer,
+        parse_feed_spec,
+        segmented_replay,
+        verify_replay,
+    )
+
+    collect = _telemetry_setup(args)
+    programs = []
+    for item in args.program:
+        name, sep, spec = item.partition("=")
+        if not sep:
+            raise SystemExit(
+                f"--program {item!r} is not NAME=PROGRAM "
+                f"(e.g. fw=app:firewall)"
+            )
+        programs.append(ProgramSpec(name=name, program=load_program(spec),
+                                    source=spec))
+    by_name = {p.name: p for p in programs}
+    for item in args.steer or ():
+        name, sep, ethertype = item.partition("=")
+        if not sep or name not in by_name:
+            raise SystemExit(
+                f"--steer {item!r} is not NAME=ETHERTYPE for a "
+                f"--program name ({sorted(by_name)})"
+            )
+        by_name[name].ethertype = int(ethertype, 0)
+    config = ServeConfig(
+        programs=programs,
+        feed=parse_feed_spec(args.feed),
+        engine=args.engine,
+        batch_size=args.batch_size,
+        exit_when_drained=args.exit_when_drained,
+    )
+    daemon = NicDaemon(config)
+    server = None
+    if args.socket:
+        server = ServeServer(daemon, args.socket).start()
+        print(f"control plane on {args.socket}")
+    print(f"serving {len(programs)} program(s) "
+          f"[{', '.join(p.name for p in programs)}] "
+          f"engine={args.engine} feed={config.feed.describe()}")
+    try:
+        report = daemon.run()
+    finally:
+        if server is not None:
+            server.stop()
+    exit_code = 0
+    if args.verify_replay:
+        offline = segmented_replay(config, report, daemon.program_table)
+        divergences = verify_replay(report, offline)
+        report["divergences"] = divergences
+        if divergences:
+            exit_code = 1
+            print(f"REPLAY DIVERGED ({len(divergences)}):", file=sys.stderr)
+            for line in divergences[:20]:
+                print(f"  {line}", file=sys.stderr)
+        else:
+            print(f"replay verified: {report['frames']} frames, "
+                  f"{report['batches']} batches, bit-identical")
+    if args.report_out:
+        pathlib.Path(args.report_out).write_text(
+            json.dumps(report, indent=2, sort_keys=True)
+        )
+        print(f"wrote final report to {args.report_out}")
+    print(f"served {report['frames']} frames in {report['batches']} "
+          f"batches, epoch {report['epoch']}, "
+          f"{len(report.get('quarantined', []))} quarantined")
+    if collect:
+        _export_telemetry(args)
+    return exit_code
+
+
+def _ctl_value(text: str):
+    """Coerce a ctl KEY=VALUE: ints (any base), bools, ``hex:`` bytes."""
+    if text.startswith("hex:"):
+        return text[len("hex:"):]
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text, 0)
+    except ValueError:
+        return text
+
+
+def cmd_ctl(args: argparse.Namespace) -> int:
+    """One control-plane request against a serving daemon."""
+    import json
+
+    from .serve import CtlClient, CtlError
+
+    params = {}
+    for item in args.params:
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise SystemExit(f"ctl parameter {item!r} is not KEY=VALUE")
+        params[key] = _ctl_value(value)
+    try:
+        with CtlClient.wait_for(args.socket, timeout=args.timeout) as ctl:
+            result = ctl.call(args.op, **params)
+    except CtlError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach daemon at {args.socket}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -592,6 +711,59 @@ def build_parser() -> argparse.ArgumentParser:
     p_model = sub.add_parser("model", help="analytical flush model (A.1)")
     _add_compile_flags(p_model)
     p_model.set_defaults(func=cmd_model)
+
+    from .serve.protocol import OPS as serve_ops
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived NIC daemon: hot-swap + map control plane",
+    )
+    p_serve.add_argument("--program", "-p", action="append", required=True,
+                         metavar="NAME=PROGRAM",
+                         help="slot to serve (repeatable; the first is the "
+                              "default route), e.g. fw=app:firewall")
+    p_serve.add_argument("--steer", action="append", default=[],
+                         metavar="NAME=ETHERTYPE",
+                         help="steer an ethertype at a slot, "
+                              "e.g. fw=0x0800 (repeatable)")
+    p_serve.add_argument("--feed",
+                         default="gen:packets=10000,flows=1000",
+                         help="traffic feed: gen:/synth: spec or a .pcap "
+                              "path (default %(default)s)")
+    p_serve.add_argument("--socket", default=None, metavar="PATH",
+                         help="unix socket path for the control plane "
+                              "(repro ctl)")
+    p_serve.add_argument("--engine", choices=pipeline_engine_names(),
+                         default="codegen",
+                         help="execution backend (default codegen)")
+    p_serve.add_argument("--batch-size", type=int, default=256,
+                         help="frames per drained batch (the control-plane "
+                              "synchronization quantum)")
+    p_serve.add_argument("--report-out", metavar="FILE",
+                         help="write the final JSON report to FILE")
+    p_serve.add_argument("--verify-replay", action="store_true",
+                         help="after serving, re-run the journal offline "
+                              "and fail on any divergence")
+    p_serve.add_argument("--exit-when-drained",
+                         action=argparse.BooleanOptionalAction,
+                         default=False,
+                         help="exit once the feed is exhausted instead of "
+                              "waiting for a shutdown op")
+    _add_metrics_flag(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_ctl = sub.add_parser(
+        "ctl", help="send one control-plane op to a serving daemon"
+    )
+    p_ctl.add_argument("--socket", required=True, metavar="PATH")
+    p_ctl.add_argument("--timeout", type=float, default=30.0,
+                       help="seconds to wait for the daemon socket")
+    p_ctl.add_argument("op", choices=sorted(serve_ops))
+    p_ctl.add_argument("params", nargs="*", metavar="KEY=VALUE",
+                       help="op parameters; ints parse any base, "
+                            "true/false are bools, hex:<bytes> forces a "
+                            "hex byte string")
+    p_ctl.set_defaults(func=cmd_ctl)
 
     p_trace = sub.add_parser("trace", help="render the pipeline timeline")
     _add_compile_flags(p_trace)

@@ -59,6 +59,10 @@ class SlotResult:
     name: str
     packets: int
     report: Optional[SimReport]
+    # Batch-serving extensions (see process_batch): a quarantine-eligible
+    # failure instead of a report, or a deliberately skipped slot.
+    error: Optional[SimError] = None
+    skipped: bool = False
 
 
 class MultiProgramNic:
@@ -70,6 +74,7 @@ class MultiProgramNic:
         classifier: Classifier,
         maps: Optional[Sequence[MapSet]] = None,
         shell: Optional[ShellConfig] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if not pipelines:
             raise ValueError("need at least one pipeline")
@@ -81,6 +86,10 @@ class MultiProgramNic:
         if len(maps) != len(self.pipelines):
             raise ValueError("one MapSet per pipeline required")
         self.maps = list(maps)
+        # Execution backend for the persistent serving simulators (see
+        # process_batch); None keeps the SimOptions default ("fast").
+        self.engine = engine
+        self._sims: List[Optional[PipelineSimulator]] = [None] * len(self.pipelines)
 
     @classmethod
     def from_programs(
@@ -105,7 +114,178 @@ class MultiProgramNic:
                                workers=workers)
         return cls(pipelines, classifier, maps=maps, shell=shell)
 
+    # -- slot management (the serving control plane, §2.4 + §6) -------------------
+
+    @property
+    def names(self) -> List[str]:
+        return [p.name for p in self.pipelines]
+
+    def index_of(self, name: str) -> int:
+        """Slot index of the pipeline called ``name`` (must be unique)."""
+        matches = [i for i, p in enumerate(self.pipelines) if p.name == name]
+        if not matches:
+            raise KeyError(
+                f"no pipeline named {name!r} (loaded: {self.names})"
+            )
+        if len(matches) > 1:
+            raise ValueError(
+                f"pipeline name {name!r} is ambiguous "
+                f"(slots {matches}); use the *_at index methods"
+            )
+        return matches[0]
+
+    def add(self, pipeline: Pipeline, mapset: Optional[MapSet] = None) -> int:
+        """Append a pipeline as a new slot; returns its index.
+
+        The classifier is NOT touched — until the caller updates it, no
+        frame is steered at the new slot (load-then-steer, the order a
+        hot-load must use so the new program never sees traffic before
+        it is ready).
+        """
+        self.pipelines.append(pipeline)
+        self.maps.append(
+            mapset if mapset is not None else MapSet(pipeline.program.maps)
+        )
+        self._sims.append(None)
+        return len(self.pipelines) - 1
+
+    def replace_at(
+        self,
+        index: int,
+        pipeline: Pipeline,
+        mapset: Optional[MapSet] = None,
+    ) -> int:
+        """Atomically swap the pipeline in slot ``index``.
+
+        Deterministic classifier semantics: the slot keeps its index and
+        the classifier table is untouched, so every steering decision
+        that reached the old pipeline reaches the new one — nothing
+        else moves. Map state is NOT carried over unless the caller
+        passes a ``mapset`` (e.g. the old ``self.maps[index]`` for the
+        pinned-maps deployment). The slot's persistent simulator is
+        retired; the next batch builds a fresh one against the new
+        pipeline.
+        """
+        if not 0 <= index < len(self.pipelines):
+            raise IndexError(f"no slot {index}")
+        self.pipelines[index] = pipeline
+        self.maps[index] = (
+            mapset if mapset is not None else MapSet(pipeline.program.maps)
+        )
+        self._sims[index] = None
+        return index
+
+    def replace(
+        self,
+        name: str,
+        pipeline: Pipeline,
+        mapset: Optional[MapSet] = None,
+    ) -> int:
+        """:meth:`replace_at` addressed by the outgoing pipeline's name."""
+        return self.replace_at(self.index_of(name), pipeline, mapset)
+
+    def remove_at(self, index: int) -> int:
+        """Retire slot ``index``; returns the removed index.
+
+        Deterministic classifier semantics: the existing classifier is
+        wrapped with exactly one remap — frames it steers at the removed
+        slot fall back to slot 0 (the default pipeline), indices above
+        the removed slot shift down by one, everything else is
+        unchanged. Removing slot 0 itself is refused (it is the default
+        route); so is removing the last slot.
+        """
+        if not 0 <= index < len(self.pipelines):
+            raise IndexError(f"no slot {index}")
+        if index == 0:
+            raise ValueError("cannot remove slot 0 (the default pipeline)")
+        if len(self.pipelines) == 1:
+            raise ValueError("cannot remove the last pipeline")
+        del self.pipelines[index]
+        del self.maps[index]
+        del self._sims[index]
+        inner = self.classifier
+        removed = index
+
+        def remap(frame: bytes) -> int:
+            i = inner(frame)
+            if i == removed:
+                return 0
+            return i - 1 if i > removed else i
+
+        self.classifier = remap
+        return index
+
+    def remove(self, name: str) -> int:
+        """:meth:`remove_at` addressed by pipeline name."""
+        return self.remove_at(self.index_of(name))
+
     # -- execution ---------------------------------------------------------------
+
+    def _sim_for(self, index: int) -> PipelineSimulator:
+        """The slot's persistent serving simulator (built on first use)."""
+        sim = self._sims[index]
+        if sim is None:
+            sim = PipelineSimulator(
+                self.pipelines[index], maps=self.maps[index],
+                options=SimOptions(clock_mhz=self.shell.clock_mhz,
+                                   keep_records=False, engine=self.engine),
+            )
+            self._sims[index] = sim
+        return sim
+
+    def process_batch(
+        self,
+        frames: Iterable[bytes],
+        isolate: bool = False,
+        skip: Sequence[int] = (),
+    ) -> List[SlotResult]:
+        """Serve one drained batch through persistent per-slot simulators.
+
+        Unlike :meth:`run_stream` (which builds fresh simulators per
+        call), the simulators persist across batches: map state, the
+        wall clock and compiled kernels carry over, so a long-lived
+        serving loop pays one classify pass plus one run per non-empty
+        slot per batch. Every slot drains fully before this returns —
+        the batch boundary is a full synchronization point with no
+        frame in flight, which is what makes control-plane changes
+        applied *between* batches deterministic and replayable.
+
+        ``isolate=True`` turns a slot's :class:`SimError` into a
+        ``SlotResult.error`` (its simulator is retired — the failed
+        run's in-flight state is unrecoverable) instead of aborting the
+        whole batch; slot indices in ``skip`` have their frames counted
+        but not executed (``SlotResult.skipped``), the quarantine
+        behaviour of the serving daemon.
+        """
+        n = len(self.pipelines)
+        skip_set = set(skip)
+        buckets: List[List[bytes]] = [[] for _ in range(n)]
+        for frame in frames:
+            index = self.classifier(frame)
+            if not 0 <= index < n:
+                raise ValueError(f"classifier returned bad pipeline index {index}")
+            buckets[index].append(frame)
+        results: List[SlotResult] = []
+        for index, bucket in enumerate(buckets):
+            name = self.pipelines[index].name
+            if index in skip_set:
+                results.append(SlotResult(name, len(bucket), None, skipped=True))
+                continue
+            if not bucket:
+                results.append(SlotResult(name, 0, None))
+                continue
+            sim = self._sim_for(index)
+            try:
+                report = sim.run_packets(bucket)
+            except SimError as exc:
+                err = SimError(f"pipeline {name!r} (slot {index}): {exc}")
+                if not isolate:
+                    raise err from exc
+                self._sims[index] = None
+                results.append(SlotResult(name, len(bucket), None, error=err))
+                continue
+            results.append(SlotResult(name, len(bucket), report))
+        return results
 
     def run_at_line_rate(self, frames: Sequence[bytes]) -> List[SlotResult]:
         """Steer frames to their pipelines and run each at line rate.

@@ -58,6 +58,7 @@ class NicSystem:
         maps: Optional[MapSet] = None,
         shell: Optional[ShellConfig] = None,
         keep_records: bool = True,
+        engine: Optional[str] = None,
     ) -> None:
         self.pipeline = pipeline
         self.shell = shell or ShellConfig()
@@ -69,6 +70,7 @@ class NicSystem:
                 clock_mhz=self.shell.clock_mhz,
                 input_queue_capacity=self.shell.input_queue_capacity,
                 keep_records=keep_records,
+                engine=engine,
             ),
         )
 

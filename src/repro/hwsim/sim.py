@@ -333,6 +333,22 @@ class PipelineSimulator:
         self._map_entry[fd] = entry
         return entry
 
+    def invalidate_map_cache(self) -> None:
+        """Forget the cached per-fd map handles (``_map_entry``).
+
+        The kernel/codegen hot paths cache ``(map, key_size, value_size,
+        base, bound-lookup)`` per fd on first use. In-place mutation
+        through the host port (``HostMap.update``/``delete``) stays
+        visible through those handles, but *replacing* a ``Map`` object
+        inside ``self.maps`` — hot-swapping a program while keeping the
+        simulator, splicing a pre-seeded map in a test — leaves them
+        pointing at the retired object. Any caller that swaps map
+        objects must invalidate; ``XdpOffload.process_stream`` does so
+        at every drained batch boundary so its ``on_batch`` hook may
+        replace maps freely.
+        """
+        self._map_entry.clear()
+
     def schedule_host_op(self, cycle: int, op: "Callable[[MapSet], None]") -> None:
         """Apply ``op(maps)`` at the start of ``cycle`` during :meth:`run`."""
         self.host_ops.append((cycle, op))

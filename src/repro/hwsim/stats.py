@@ -235,6 +235,53 @@ class SimReport:
                 self.metrics = SimMetrics.create(other.metrics.n_stages)
             self.metrics.merge(other.metrics)
 
+    def merge_serial(self, other: "SimReport") -> None:
+        """Append a later run's results as if the two ran back-to-back.
+
+        The counterpart of :meth:`merge` for *sequential* composition —
+        the serving loop's per-batch reports, where the pipeline fully
+        drains between runs on the same hardware. ``cycles`` therefore
+        ADD (wall-clock is the sum of the segments), and per-packet
+        records concatenate with this report's cycle and pid horizon
+        added to the incoming ones, so the merged timeline stays
+        monotonic. ``n_stages`` keeps this report's value (callers
+        composing across a hot-swap should track depth themselves).
+        """
+        if self.clock_mhz != other.clock_mhz:
+            raise ValueError(
+                f"cannot merge reports at different clocks: "
+                f"{self.clock_mhz} vs {other.clock_mhz} MHz"
+            )
+        cycle_off = self.cycles
+        pid_off = self.packets_in
+        self.cycles += other.cycles
+        self.packets_in += other.packets_in
+        self.packets_out += other.packets_out
+        self.packets_dropped_queue += other.packets_dropped_queue
+        self.flush_events += other.flush_events
+        self.squashed_packets += other.squashed_packets
+        self.stall_cycles += other.stall_cycles
+        self.sum_total_cycles += other.sum_total_cycles
+        self.sum_pipeline_cycles += other.sum_pipeline_cycles
+        self.sum_restarts += other.sum_restarts
+        for action, count in other.action_counts.items():
+            self.action_counts[action] = self.action_counts.get(action, 0) + count
+        if self.keep_records:
+            for rec in other.records:
+                self.records.append(PacketRecord(
+                    pid=rec.pid + pid_off,
+                    action=rec.action,
+                    data=rec.data,
+                    arrival_cycle=rec.arrival_cycle + cycle_off,
+                    inject_cycle=rec.inject_cycle + cycle_off,
+                    exit_cycle=rec.exit_cycle + cycle_off,
+                    restarts=rec.restarts,
+                ))
+        if other.metrics is not None:
+            if self.metrics is None:
+                self.metrics = SimMetrics.create(other.metrics.n_stages)
+            self.metrics.merge(other.metrics)
+
     # -- serialization -------------------------------------------------------
 
     def to_json(self, include_records: bool = False) -> Dict[str, object]:

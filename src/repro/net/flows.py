@@ -33,6 +33,25 @@ from .packet import (
 from .packet import tcp_packet, udp_packet
 
 
+def flow_at(
+    i: int,
+    proto: int = IPPROTO_UDP,
+    base_src: int = 0x0A000000,  # 10.0.0.0/8
+    base_dst: int = 0xC0A80000,  # 192.168.0.0/16
+    dport: int = 53,
+) -> FiveTuple:
+    """The ``i``-th flow of the deterministic enumeration — pure
+    arithmetic, so million-flow populations need no materialised list
+    (the serving feeder synthesises frames straight from the index)."""
+    return FiveTuple(
+        src_ip=base_src + 1 + (i % 0xFFFFFE),
+        dst_ip=base_dst + 1 + (i % 254),
+        proto=proto,
+        sport=1024 + (i % 60000),
+        dport=dport,
+    )
+
+
 def make_flows(
     count: int,
     proto: int = IPPROTO_UDP,
@@ -46,18 +65,11 @@ def make_flows(
     map entries; destinations rotate over a /24 so router-style programs
     exercise multiple routes.
     """
-    flows = []
-    for i in range(count):
-        flows.append(
-            FiveTuple(
-                src_ip=base_src + 1 + (i % 0xFFFFFE),
-                dst_ip=base_dst + 1 + (i % 254),
-                proto=proto,
-                sport=1024 + (i % 60000),
-                dport=dport,
-            )
-        )
-    return flows
+    return [
+        flow_at(i, proto=proto, base_src=base_src, base_dst=base_dst,
+                dport=dport)
+        for i in range(count)
+    ]
 
 
 def zipf_weights(n: int, exponent: float = 1.0) -> List[float]:
@@ -98,17 +110,26 @@ class TrafficGenerator:
         self.flows = make_flows(spec.n_flows, proto=spec.proto)
         self._rng = random.Random(spec.seed)
         if spec.distribution == "uniform":
-            self._weights: Optional[List[float]] = None
+            self._cum_weights: Optional[List[float]] = None
         elif spec.distribution == "zipf":
-            self._weights = zipf_weights(spec.n_flows, spec.zipf_exponent)
+            # Cumulative weights once, binary search per pick: O(log n)
+            # per packet instead of random.choices' O(n) re-accumulation,
+            # which is what makes million-flow Zipfian streams feasible.
+            from itertools import accumulate
+
+            self._cum_weights = list(
+                accumulate(zipf_weights(spec.n_flows, spec.zipf_exponent))
+            )
         else:
             raise ValueError(f"unknown distribution {spec.distribution!r}")
         self._cache: dict = {}
 
     def pick_flow(self) -> FiveTuple:
-        if self._weights is None:
+        if self._cum_weights is None:
             return self.flows[self._rng.randrange(len(self.flows))]
-        return self._rng.choices(self.flows, weights=self._weights, k=1)[0]
+        return self._rng.choices(
+            self.flows, cum_weights=self._cum_weights, k=1
+        )[0]
 
     def frame_for(self, flow: FiveTuple, size: Optional[int] = None) -> bytes:
         size = size or self.spec.packet_size

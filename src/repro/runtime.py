@@ -21,7 +21,7 @@ hardware pipeline at line rate.
 from __future__ import annotations
 
 import pathlib
-from typing import Iterable, Optional, Sequence, Tuple, Union
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 from .core.compiler import CompileOptions, compile_program
 from .core.pipeline import Pipeline
@@ -113,12 +113,13 @@ class XdpOffload:
         program: ProgramLike,
         options: Optional[CompileOptions] = None,
         shell: Optional[ShellConfig] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.program = self._resolve(program)
         self.pipeline: Pipeline = compile_program(self.program, options)
         self.maps = MapSet(self.program.maps)
         self._nic = NicSystem(self.pipeline, maps=self.maps, shell=shell,
-                              keep_records=True)
+                              keep_records=True, engine=engine)
         self._last_report: Optional[SimReport] = None
 
     @staticmethod
@@ -172,13 +173,65 @@ class XdpOffload:
         frames: Iterable[bytes],
         gap: int = 1,
         batch_size: int = 256,
+        on_batch: Optional[Callable[["XdpOffload", int], None]] = None,
     ) -> SimReport:
         """Stream an arbitrarily long frame iterable through the NIC in
-        bounded memory (see :meth:`PipelineSimulator.run_stream`)."""
-        report = self._nic.sim.run_stream(frames, gap=gap,
-                                          batch_size=batch_size)
-        self._last_report = report
-        return report
+        bounded memory (see :meth:`PipelineSimulator.run_stream`).
+
+        **Host-map synchronization point.** :class:`HostMap` writes made
+        *while* a stream runs are only well-defined at **drained batch
+        boundaries**. Pass ``on_batch``: the stream is cut into
+        ``batch_size``-frame batches, each batch runs to full pipeline
+        drain, then ``on_batch(offload, batch_index)`` is called with no
+        frame in flight. A write made inside the hook is observed by
+        **every** frame of the next batch and by **none** of the batch
+        just drained — identically under every execution engine. Without
+        the hook the engines legitimately disagree on when a concurrent
+        write lands: the codegen engine's straight-line stream path runs
+        each packet to completion (a write between generator yields hits
+        exactly at a packet boundary) while the cycle-level engines keep
+        ``n_stages`` packets in flight that observe it at whatever stage
+        they happen to occupy — and batch prefetching shifts generator
+        side effects to arbitrary pipeline states.
+
+        The simulator's cached per-fd map handles are invalidated at
+        every boundary (:meth:`PipelineSimulator.invalidate_map_cache`),
+        so the hook may even replace whole ``Map`` objects. Each drain
+        costs ``n_stages`` extra cycles per batch relative to one
+        continuous run; the returned report is the serial concatenation
+        of the per-batch runs (:meth:`SimReport.merge_serial`), with
+        per-packet records re-based onto one monotonic timeline.
+        """
+        if on_batch is None:
+            report = self._nic.sim.run_stream(frames, gap=gap,
+                                              batch_size=batch_size)
+            self._last_report = report
+            return report
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        from itertools import islice
+
+        sim = self._nic.sim
+        total: Optional[SimReport] = None
+        it = iter(frames)
+        index = 0
+        while True:
+            batch = list(islice(it, batch_size))
+            if not batch:
+                break
+            sim.invalidate_map_cache()
+            report = sim.run_packets(batch, gap=gap)
+            if total is None:
+                total = report
+            else:
+                total.merge_serial(report)
+            on_batch(self, index)
+            index += 1
+        if total is None:
+            total = SimReport(clock_mhz=self._nic.shell.clock_mhz,
+                              n_stages=self.pipeline.n_stages)
+        self._last_report = total
+        return total
 
     # -- reports --------------------------------------------------------------------
 

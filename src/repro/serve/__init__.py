@@ -1,0 +1,45 @@
+"""Long-lived NIC serving: daemon, control plane, deterministic replay.
+
+The offline toolchain (compile → simulate → report) answers "what would
+this program do"; this package answers "run the NIC". A
+:class:`~repro.serve.daemon.NicDaemon` owns a
+:class:`~repro.hwsim.multi.MultiProgramNic`, streams a deterministic
+feed through it batch by batch, and accepts control-plane operations —
+program hot-swap, load/unload, host map writes — over a unix socket
+(``repro serve`` / ``repro ctl``). Every mutating op applies at a
+drained batch boundary and is journaled, so
+:func:`~repro.serve.replay.segmented_replay` can re-run the whole
+session offline and prove the online results bit-identical. See
+docs/serving.md.
+"""
+
+from .client import CtlClient, CtlError
+from .daemon import (
+    NicDaemon,
+    ProgramSpec,
+    ServeConfig,
+    ServeError,
+    carry_maps,
+)
+from .feeder import FeedSpec, Feeder, parse_feed_spec
+from .protocol import OPS, PROTOCOL_VERSION
+from .replay import segmented_replay, verify_replay
+from .server import ServeServer
+
+__all__ = [
+    "CtlClient",
+    "CtlError",
+    "FeedSpec",
+    "Feeder",
+    "NicDaemon",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProgramSpec",
+    "ServeConfig",
+    "ServeError",
+    "ServeServer",
+    "carry_maps",
+    "parse_feed_spec",
+    "segmented_replay",
+    "verify_replay",
+]

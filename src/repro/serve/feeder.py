@@ -1,0 +1,219 @@
+"""Data-plane feeders for the serving daemon.
+
+A :class:`Feeder` is a *restartable*, fully deterministic frame source:
+calling :meth:`Feeder.frames` twice yields bit-identical sequences. That
+property is load-bearing — the offline segmented replay
+(:mod:`repro.serve.replay`) re-runs the exact same traffic to prove the
+online daemon's results, so any hidden state in the source would show up
+as false divergence.
+
+Three source kinds, selected by :func:`parse_feed_spec`:
+
+``gen:`` — :class:`repro.net.flows.TrafficGenerator` (materialises the
+flow population; right for populations up to ~100k flows).
+
+``synth:`` — arithmetic synthesis for *million-flow* populations: frames
+are patched from a single template using :func:`repro.net.flows.flow_at`
+(the same deterministic flow enumeration), with inverse-CDF Zipf
+sampling, so no per-flow object or frame cache is ever materialised.
+
+``pcap:<path>`` (or a bare ``*.pcap`` path) — replay a capture file via
+:func:`repro.net.pcap.read_pcap`.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from dataclasses import dataclass, replace
+from itertools import accumulate, islice
+from typing import Iterator, List, Optional
+
+from ..net.flows import flow_at, zipf_weights, TrafficGenerator, TrafficSpec
+from ..net.packet import ETH_HLEN, FrameBuffer, udp_packet
+
+_IP_OFF = ETH_HLEN        # IPv4 header offset
+_L4_OFF = ETH_HLEN + 20   # UDP header offset (no IP options in templates)
+
+
+@dataclass(frozen=True)
+class FeedSpec:
+    """Parsed description of a traffic feed (see :func:`parse_feed_spec`)."""
+
+    source: str = "gen"            # "gen" | "synth" | "pcap"
+    path: Optional[str] = None     # pcap only
+    packets: int = 10_000          # 0 with pcap = the whole capture
+    flows: int = 1_000
+    distribution: str = "uniform"  # "uniform" | "zipf"
+    zipf_exponent: float = 1.0
+    packet_size: int = 64
+    seed: int = 1
+
+    def describe(self) -> str:
+        if self.source == "pcap":
+            return f"pcap:{self.path}" + (
+                f",packets={self.packets}" if self.packets else ""
+            )
+        return (
+            f"{self.source}:packets={self.packets},flows={self.flows},"
+            f"dist={self.distribution},size={self.packet_size},"
+            f"seed={self.seed}"
+            + (
+                f",exponent={self.zipf_exponent}"
+                if self.distribution == "zipf"
+                else ""
+            )
+        )
+
+
+_INT_FIELDS = {"packets", "flows", "size", "seed"}
+_ALIASES = {"dist": "distribution", "size": "packet_size",
+            "exponent": "zipf_exponent"}
+
+
+def parse_feed_spec(text: str) -> FeedSpec:
+    """Parse a ``--feed`` argument.
+
+    Examples::
+
+        gen:packets=20000,flows=1000,dist=zipf,seed=5
+        synth:packets=1000000,flows=1000000,dist=zipf,exponent=1.0
+        pcap:/tmp/capture.pcap
+        /tmp/capture.pcap
+    """
+    text = text.strip()
+    if text.startswith("pcap:"):
+        return FeedSpec(source="pcap", path=text[len("pcap:"):], packets=0)
+    if text.endswith(".pcap"):
+        return FeedSpec(source="pcap", path=text, packets=0)
+    head, _, rest = text.partition(":")
+    if head not in ("gen", "synth"):
+        raise ValueError(
+            f"unknown feed source {head!r} (expected gen:, synth:, "
+            f"pcap:<path> or a *.pcap path)"
+        )
+    spec = FeedSpec(source=head)
+    if not rest:
+        return spec
+    for item in rest.split(","):
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise ValueError(f"feed option {item!r} is not key=value")
+        field = _ALIASES.get(key, key)
+        if field not in FeedSpec.__dataclass_fields__ or field in (
+            "source", "path"
+        ):
+            raise ValueError(f"unknown feed option {key!r}")
+        if key in _INT_FIELDS:
+            spec = replace(spec, **{field: int(value, 0)})
+        elif field == "zipf_exponent":
+            spec = replace(spec, **{field: float(value)})
+        else:
+            spec = replace(spec, **{field: value})
+    if spec.distribution not in ("uniform", "zipf"):
+        raise ValueError(f"unknown distribution {spec.distribution!r}")
+    if spec.packets < 1:
+        raise ValueError("feed needs packets >= 1")
+    if spec.flows < 1:
+        raise ValueError("feed needs flows >= 1")
+    return spec
+
+
+class Feeder:
+    """Deterministic, restartable frame source for a :class:`FeedSpec`."""
+
+    def __init__(self, spec: FeedSpec) -> None:
+        self.spec = spec
+        if spec.source == "synth" and spec.distribution == "zipf":
+            # Inverse-CDF table, built once: one uniform draw + one
+            # binary search per packet, no per-flow objects.
+            self._cum: Optional[List[float]] = list(
+                accumulate(zipf_weights(spec.flows, spec.zipf_exponent))
+            )
+        else:
+            self._cum = None
+
+    # -- frame synthesis ---------------------------------------------------------
+
+    def _synth_template(self) -> bytearray:
+        return bytearray(udp_packet(size=self.spec.packet_size))
+
+    def _synth_frame(self, template: bytearray, index: int) -> bytes:
+        """Patch the template into flow ``index``'s frame.
+
+        Field formulas are :func:`repro.net.flows.flow_at`'s — a synth
+        feed over N flows covers the same 5-tuples as ``make_flows(N)``.
+        """
+        flow = flow_at(index)
+        template[_IP_OFF + 12:_IP_OFF + 16] = flow.src_ip.to_bytes(4, "big")
+        template[_IP_OFF + 16:_IP_OFF + 20] = flow.dst_ip.to_bytes(4, "big")
+        template[_L4_OFF:_L4_OFF + 2] = flow.sport.to_bytes(2, "big")
+        template[_L4_OFF + 2:_L4_OFF + 4] = flow.dport.to_bytes(2, "big")
+        # Re-checksum the IPv4 header; UDP checksum 0 = "not computed".
+        template[_IP_OFF + 10:_IP_OFF + 12] = b"\x00\x00"
+        total = 0
+        for off in range(_IP_OFF, _IP_OFF + 20, 2):
+            total += int.from_bytes(template[off:off + 2], "big")
+        while total >> 16:
+            total = (total & 0xFFFF) + (total >> 16)
+        template[_IP_OFF + 10:_IP_OFF + 12] = (~total & 0xFFFF).to_bytes(2, "big")
+        template[_L4_OFF + 6:_L4_OFF + 8] = b"\x00\x00"
+        return bytes(template)
+
+    def _synth_frames(self) -> Iterator[bytes]:
+        spec = self.spec
+        template = self._synth_template()
+        rng = random.Random(spec.seed)
+        cum = self._cum
+        if cum is None:
+            for _ in range(spec.packets):
+                yield self._synth_frame(template, rng.randrange(spec.flows))
+        else:
+            top = cum[-1]
+            last = spec.flows - 1
+            for _ in range(spec.packets):
+                index = bisect_left(cum, rng.random() * top)
+                yield self._synth_frame(template, min(index, last))
+
+    # -- public source interface -------------------------------------------------
+
+    def frames(self) -> Iterator[bytes]:
+        """A fresh pass over the feed, identical on every call."""
+        spec = self.spec
+        if spec.source == "pcap":
+            from ..net.pcap import read_pcap
+
+            if spec.path is None:
+                raise ValueError("pcap feed needs a path")
+            packets = (data for _ts, data in read_pcap(spec.path))
+            if spec.packets:
+                packets = islice(packets, spec.packets)
+            return packets
+        if spec.source == "synth":
+            return self._synth_frames()
+        if spec.source == "gen":
+            gen = TrafficGenerator(TrafficSpec(
+                n_flows=spec.flows,
+                distribution=spec.distribution,
+                zipf_exponent=spec.zipf_exponent,
+                packet_size=spec.packet_size,
+                seed=spec.seed,
+            ))
+            return gen.packets(spec.packets)
+        raise ValueError(f"unknown feed source {spec.source!r}")
+
+    def batches(self, batch_size: int) -> Iterator[FrameBuffer]:
+        """The feed cut into sealed :class:`FrameBuffer` batches."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        source = self.frames()
+        while True:
+            chunk = list(islice(source, batch_size))
+            if not chunk:
+                return
+            buffer = FrameBuffer()
+            for frame in chunk:
+                buffer.append(frame)
+            yield buffer

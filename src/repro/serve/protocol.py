@@ -1,0 +1,126 @@
+"""Control-plane wire protocol: newline-delimited JSON over a unix socket.
+
+One request per line, one response per line, UTF-8, no framing beyond
+``\\n`` — the format every ``socat``/``nc -U`` user can speak by hand::
+
+    {"id": 1, "op": "ping"}
+    {"id": 1, "ok": true, "result": {"pong": true, "epoch": 0}}
+
+Requests carry an ``op`` (see :data:`OPS`) plus op-specific parameters;
+responses echo the request ``id`` and carry either ``result`` or
+``error``. Binary map keys/values travel as hex strings. The protocol is
+versioned (:data:`PROTOCOL_VERSION`, reported by ``ping``/``status``) so
+clients can refuse to talk across incompatible revisions.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional, Union
+
+PROTOCOL_VERSION = 1
+
+#: Longest accepted line; a control channel has no business shipping
+#: megabytes (map dumps paginate via ``map_items`` offsets instead).
+MAX_LINE = 1 << 20
+
+#: Every operation the daemon understands, with its mutation class:
+#: "read" ops execute immediately against a consistent snapshot;
+#: "boundary" ops are journaled and applied only at drained batch
+#: boundaries (the determinism contract, see docs/serving.md).
+OPS: Dict[str, str] = {
+    "ping": "read",
+    "status": "read",
+    "stats": "read",
+    "metrics": "read",
+    "journal": "read",
+    "map_lookup": "read",
+    "map_items": "read",
+    "load": "boundary",
+    "swap": "boundary",
+    "unload": "boundary",
+    "map_update": "boundary",
+    "map_delete": "boundary",
+    "shutdown": "boundary",
+}
+
+
+class ProtocolError(ValueError):
+    """Malformed request/response line."""
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """One wire line for a message dict (compact JSON + newline)."""
+    line = json.dumps(message, separators=(",", ":"), sort_keys=True)
+    data = line.encode("utf-8") + b"\n"
+    if len(data) > MAX_LINE:
+        raise ProtocolError(f"message exceeds {MAX_LINE} bytes")
+    return data
+
+
+def decode(line: Union[str, bytes]) -> Dict[str, Any]:
+    """Parse one wire line back into a message dict."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"expected a JSON object, got {type(message).__name__}")
+    return message
+
+
+def ok_response(request_id: Any, result: Any) -> Dict[str, Any]:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: Any, error: str) -> Dict[str, Any]:
+    return {"id": request_id, "ok": False, "error": str(error)}
+
+
+def validate_request(message: Dict[str, Any]) -> str:
+    """Check a decoded request; returns its op name."""
+    op = message.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("request missing 'op'")
+    if op not in OPS:
+        known = ", ".join(sorted(OPS))
+        raise ProtocolError(f"unknown op {op!r} (known: {known})")
+    return op
+
+
+class LineChannel:
+    """Buffered ND-JSON framing over a connected socket.
+
+    Owns neither connect nor accept — both the server's per-connection
+    handler and the client wrap an already-connected socket. ``recv``
+    returns one decoded message or ``None`` on orderly EOF.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._buffer = b""
+
+    def send(self, message: Dict[str, Any]) -> None:
+        self._sock.sendall(encode(message))
+
+    def recv(self) -> Optional[Dict[str, Any]]:
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > MAX_LINE:
+                raise ProtocolError(f"line exceeds {MAX_LINE} bytes")
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                if self._buffer.strip():
+                    raise ProtocolError("connection closed mid-line")
+                return None
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return decode(line)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass

@@ -1,0 +1,149 @@
+"""Offline segmented replay: the proof that online serving is exact.
+
+The daemon's determinism contract says an online run is fully described
+by (a) its deterministic feed, (b) its journal — which control op landed
+at which drained batch boundary. :func:`segmented_replay` re-runs that
+description from scratch: a **fresh** daemon, fresh map state, the same
+feed, with every journaled op pre-scheduled at its recorded boundary.
+:func:`verify_replay` then compares the two final reports — per-program
+(per-incarnation) packet and action counts, cycle counts and final map
+contents must be **bit-identical**.
+
+Quarantined programs are the documented exception: online, the slot died
+partway through a batch (its partial effects are unrecoverable), so the
+replay marks the slot quarantined at the journaled boundary to keep the
+frame accounting aligned, and the verifier excludes that program — and
+only that program — from the identity check. Every other slot's results
+are unaffected (skipping a slot never changes how frames are steered to
+the rest).
+
+Replay is an in-process operation: it needs the original
+:class:`~repro.serve.daemon.ServeConfig` and the daemon's
+``program_table`` (journal entries reference programs by table ref, so
+arbitrary in-memory programs replay without serialisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, List, Optional
+
+from ..ebpf.isa import Program
+from ..telemetry import Registry
+from .daemon import NicDaemon, ServeConfig, ServeError
+
+
+def segmented_replay(
+    config: ServeConfig,
+    report: Dict[str, Any],
+    program_table: Dict[str, Program],
+) -> Dict[str, Any]:
+    """Re-run an online serve run offline; returns the replay's report.
+
+    ``report`` is the online daemon's :meth:`~NicDaemon.final_report`
+    (only its ``journal`` drives the replay); ``program_table`` maps the
+    journal's ``program_ref`` keys to the actual programs (take it
+    straight off the online daemon).
+    """
+    journal = report.get("journal", [])
+    # The journal carries the stop condition (a shutdown entry, if any),
+    # so the replay itself always just drains the feed.
+    replay_config = replace(config, exit_when_drained=True)
+    daemon = NicDaemon(replay_config, registry=Registry(enabled=False))
+    for entry in journal:
+        batch = entry["batch"]
+        if "event" in entry:
+            if entry["event"] == "quarantine":
+                daemon.schedule(batch, {"op": "_quarantine",
+                                        "name": entry["name"]})
+            continue
+        op = entry["op"]
+        if op in ("swap", "load"):
+            ref = entry["program_ref"]
+            program = program_table.get(ref)
+            if program is None:
+                raise ServeError(
+                    f"journal references unknown program {ref!r}"
+                )
+            params: Dict[str, Any] = {
+                "op": op, "name": entry["name"], "program": program,
+            }
+            if op == "swap":
+                params["keep_maps"] = entry.get("keep_maps", False)
+            else:
+                params["ethertype"] = entry.get("ethertype")
+            daemon.schedule(batch, params)
+        elif op == "map_update":
+            daemon.schedule(batch, {
+                "op": op, "program": entry["name"], "map": entry["map"],
+                "key": entry["key"], "value": entry["value"],
+            })
+        elif op == "map_delete":
+            daemon.schedule(batch, {
+                "op": op, "program": entry["name"], "map": entry["map"],
+                "key": entry["key"],
+            })
+        elif op == "unload":
+            daemon.schedule(batch, {"op": op, "name": entry["name"]})
+        elif op == "shutdown":
+            daemon.schedule(batch, {"op": op})
+        else:
+            raise ServeError(f"journal contains unknown op {op!r}")
+    return daemon.run()
+
+
+def _incarnation_key(inc: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "program": inc["program"],
+        "from_batch": inc["from_batch"],
+        "packets": inc["packets"],
+        "cycles": inc["cycles"],
+        "actions": inc["actions"],
+    }
+
+
+def verify_replay(
+    online: Dict[str, Any], offline: Dict[str, Any]
+) -> List[str]:
+    """Compare two final reports; returns divergences (empty = identical).
+
+    Quarantined programs (in either run) are excluded — see the module
+    docstring — but everything else must match exactly: frame/batch
+    totals, every incarnation's packet/cycle/action counts, and every
+    final map entry, byte for byte.
+    """
+    divergences: List[str] = []
+    quarantined = set(online.get("quarantined", ())) | set(
+        offline.get("quarantined", ())
+    )
+    for field in ("batches", "frames", "epoch"):
+        if online.get(field) != offline.get(field):
+            divergences.append(
+                f"{field}: online {online.get(field)} "
+                f"!= replay {offline.get(field)}"
+            )
+    on_programs = online.get("programs", {})
+    off_programs = offline.get("programs", {})
+    names = set(on_programs) | set(off_programs)
+    for name in sorted(names - quarantined):
+        on = on_programs.get(name)
+        off = off_programs.get(name)
+        if on is None or off is None:
+            divergences.append(
+                f"program {name!r}: present online={on is not None} "
+                f"replay={off is not None}"
+            )
+            continue
+        on_incs = [_incarnation_key(i) for i in on["incarnations"]]
+        off_incs = [_incarnation_key(i) for i in off["incarnations"]]
+        if on_incs != off_incs:
+            divergences.append(
+                f"program {name!r}: incarnation stats differ: "
+                f"online {on_incs} != replay {off_incs}"
+            )
+    on_maps = online.get("maps", {})
+    off_maps = offline.get("maps", {})
+    for name in sorted((set(on_maps) | set(off_maps)) - quarantined):
+        if on_maps.get(name) != off_maps.get(name):
+            divergences.append(f"program {name!r}: final map state differs")
+    return divergences

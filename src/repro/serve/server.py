@@ -1,0 +1,140 @@
+"""Unix-socket control-plane server for :class:`~repro.serve.daemon.NicDaemon`.
+
+One accept-loop thread, one daemon thread per connection, ND-JSON
+framing (:mod:`repro.serve.protocol`). The server is a thin transport:
+every request is validated, handed to ``daemon.handle`` and its result
+or :class:`~repro.serve.daemon.ServeError` wrapped back into a response
+— the daemon's own locking makes concurrent connections safe, and a
+``shutdown`` request is answered *before* the data plane stops, so the
+client always sees its ack.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import List, Optional
+
+from .daemon import NicDaemon, ServeError
+from .protocol import (
+    LineChannel,
+    ProtocolError,
+    error_response,
+    ok_response,
+    validate_request,
+)
+
+
+class ServeServer:
+    """Serve a daemon's control plane on a unix socket path."""
+
+    def __init__(self, daemon: NicDaemon, socket_path: str,
+                 backlog: int = 8) -> None:
+        self.daemon = daemon
+        self.socket_path = socket_path
+        if os.path.exists(socket_path):
+            # a previous daemon's stale socket; binding needs it gone
+            os.unlink(socket_path)
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(socket_path)
+        self._listener.listen(backlog)
+        self._stopping = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connections: List[socket.socket] = []
+        self._lock = threading.Lock()
+        self._inflight = 0
+
+    def start(self) -> "ServeServer":
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="ehdl-serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            with self._lock:
+                self._connections.append(conn)
+            threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="ehdl-serve-conn", daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        channel = LineChannel(conn)
+        try:
+            while True:
+                try:
+                    request = channel.recv()
+                except ProtocolError as exc:
+                    channel.send(error_response(None, str(exc)))
+                    return
+                if request is None:
+                    return
+                request_id = request.get("id")
+                with self._lock:
+                    self._inflight += 1
+                try:
+                    validate_request(request)
+                    result = self.daemon.handle(request)
+                    channel.send(ok_response(request_id, result))
+                except (ProtocolError, ServeError) as exc:
+                    channel.send(error_response(request_id, str(exc)))
+                except Exception as exc:  # transport must never die
+                    channel.send(error_response(
+                        request_id, f"{type(exc).__name__}: {exc}"
+                    ))
+                finally:
+                    with self._lock:
+                        self._inflight -= 1
+        except OSError:
+            pass  # client went away mid-write
+        finally:
+            channel.close()
+            with self._lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+
+    def stop(self, grace: float = 2.0) -> None:
+        """Close the listener and every live connection; remove the socket.
+
+        In-flight requests get up to ``grace`` seconds to flush their
+        responses first — this is what makes the ``shutdown`` ack
+        reliable: the daemon loop returns the instant the op applies,
+        racing the handler thread that still has to send the reply.
+        """
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        deadline = time.monotonic() + grace
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._inflight:
+                    break
+            time.sleep(0.01)
+        with self._lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if os.path.exists(self.socket_path):
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

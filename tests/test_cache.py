@@ -234,3 +234,94 @@ class TestHousekeeping:
         stray = [p for p in cache.directory.iterdir()
                  if not p.name.endswith(".pipeline.pkl")]
         assert stray == []
+
+
+class TestConcurrency:
+    """Atomic rename-on-write makes the cache safe under concurrent
+    readers and writers: a get() racing any number of put()s returns
+    either None or a complete, valid Pipeline — never a torn pickle."""
+
+    def test_concurrent_readers_and_writers(self, cache):
+        import threading
+
+        prog = toy_counter.build()
+        key = cache_key(prog)
+        pipeline = compile_program(prog)
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            while not stop.is_set():
+                try:
+                    CompileCache(cache.directory).put(key, pipeline)
+                except Exception as exc:  # pragma: no cover
+                    failures.append(f"writer: {exc!r}")
+                    return
+
+        def reader():
+            # a private CompileCache per reader: no in-memory LRU hits,
+            # every get() really deserialises from disk
+            local = CompileCache(cache.directory, memory_entries=0)
+            while not stop.is_set():
+                try:
+                    got = local.get(key)
+                except Exception as exc:  # pragma: no cover
+                    failures.append(f"reader: {exc!r}")
+                    return
+                if got is not None and got.n_stages != pipeline.n_stages:
+                    failures.append("reader observed a torn pipeline")
+                    return
+
+        threads = [threading.Thread(target=writer) for _ in range(3)]
+        threads += [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        import time
+
+        time.sleep(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert failures == []
+        # the entry on disk is whole and loadable afterwards
+        final = CompileCache(cache.directory, memory_entries=0).get(key)
+        assert final is not None and final.n_stages == pipeline.n_stages
+
+    def test_concurrent_compile_cached_same_program(self, cache):
+        from concurrent.futures import ThreadPoolExecutor
+
+        prog = firewall.build()
+
+        def compile_one(_i):
+            return compile_cached(prog, cache=CompileCache(cache.directory))
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            pipelines = list(pool.map(compile_one, range(16)))
+        stages = {p.n_stages for p in pipelines}
+        assert len(stages) == 1
+        # exactly one entry on disk, no stray temp files
+        entries = list(cache.directory.glob("*.pipeline.pkl"))
+        assert len(entries) == 1
+        stray = [p for p in cache.directory.iterdir()
+                 if not p.name.endswith(".pipeline.pkl")]
+        assert stray == []
+
+    def test_garbage_entry_is_miss_and_unlinked(self, cache):
+        prog = toy_counter.build()
+        key = cache_key(prog)
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        path = cache.directory / f"{key}.pipeline.pkl"
+        path.write_bytes(b"\x80\x04 definitely not a pipeline")
+        fresh = CompileCache(cache.directory, memory_entries=0)
+        assert fresh.get(key) is None
+        assert not path.exists()
+        assert fresh.stats()["misses"] == 1
+
+    def test_wrong_type_pickle_is_miss(self, cache):
+        prog = toy_counter.build()
+        key = cache_key(prog)
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        path = cache.directory / f"{key}.pipeline.pkl"
+        path.write_bytes(pickle.dumps({"not": "a pipeline"}))
+        fresh = CompileCache(cache.directory, memory_entries=0)
+        assert fresh.get(key) is None

@@ -111,3 +111,125 @@ class TestResources:
         pipe = compile_program(firewall.build())
         with pytest.raises(ValueError, match="per pipeline"):
             MultiProgramNic([pipe], lambda f: 0, maps=[])
+
+
+class TestSlotManagement:
+    """Serving control-plane primitives: add/replace/remove (§2.4 + §6)."""
+
+    def test_names_and_index_of(self, nic):
+        assert nic.names == ["firewall", "router"]
+        assert nic.index_of("router") == 1
+        with pytest.raises(KeyError):
+            nic.index_of("nope")
+
+    def test_index_of_ambiguous(self, nic):
+        nic.add(compile_program(firewall.build()))
+        with pytest.raises(ValueError, match="ambiguous"):
+            nic.index_of("firewall")
+
+    def test_add_is_load_then_steer(self, nic):
+        index = nic.add(compile_program(suricata.build()))
+        assert index == 2
+        # classifier untouched: no frame reaches the new slot yet
+        results = nic.run_at_line_rate(
+            [udp_packet(dst_ip="192.168.1.9", size=64)] * 20
+        )
+        assert results[2].packets == 0
+
+    def test_replace_keeps_index_and_steering(self, nic):
+        frames = [udp_packet(dst_ip="192.168.1.9", size=64)] * 20
+        nic.replace("router", compile_program(firewall.build()))
+        assert nic.names == ["firewall", "firewall"]
+        # slot 1 still receives every IPv4 frame, now as the new program
+        results = nic.run_at_line_rate(frames)
+        assert results[1].packets == 20
+
+    def test_replace_resets_maps_unless_given(self, nic):
+        old_maps = nic.maps[1]
+        nic.replace_at(1, compile_program(router.build()))
+        assert nic.maps[1] is not old_maps
+        kept = nic.maps[1]
+        nic.replace_at(1, compile_program(router.build()), mapset=kept)
+        assert nic.maps[1] is kept
+
+    def test_remove_remaps_to_default(self, nic):
+        frames = [udp_packet(dst_ip="192.168.1.9", size=64)] * 15
+        nic.remove("router")
+        assert nic.names == ["firewall"]
+        results = nic.run_at_line_rate(frames)
+        assert results[0].packets == 15  # IPv4 now falls back to slot 0
+
+    def test_remove_shifts_higher_slots_down(self, nic):
+        nic.add(compile_program(suricata.build()))
+        nic.classifier = ethertype_classifier({ETH_P_IP: 2}, default=0)
+        nic.remove("router")  # slot 1 goes, suricata moves 2 -> 1
+        results = nic.run_at_line_rate(
+            [udp_packet(dst_ip="192.168.1.9", size=64)] * 10
+        )
+        assert results[1].packets == 10
+
+    def test_remove_refuses_default_slot(self, nic):
+        with pytest.raises(ValueError, match="slot 0"):
+            nic.remove_at(0)
+        nic.remove_at(1)
+        with pytest.raises(ValueError, match="slot 0"):
+            nic.remove_at(0)  # the sole remaining slot stays put
+
+
+class TestProcessBatch:
+    def test_persistent_sims_accumulate_state(self):
+        from repro.apps import toy_counter
+
+        counter = MultiProgramNic(
+            [compile_program(toy_counter.build())], lambda f: 0
+        )
+        frames = [toy_counter.packet_for_key(1)] * 10
+        counter.process_batch(frames)
+        sim = counter._sims[0]
+        counter.process_batch(frames)
+        # same simulator instance serves every batch, and its map state
+        # carries over: 20 packets counted across the two batches
+        assert counter._sims[0] is sim
+        value = counter.maps[0].by_name("stats").lookup(
+            (1).to_bytes(4, "little")
+        )
+        assert int.from_bytes(value, "little") == 20
+
+    def test_skip_counts_without_executing(self, nic):
+        frames = [udp_packet(dst_ip="192.168.1.9", size=64)] * 10
+        results = nic.process_batch(frames, skip=[1])
+        assert results[1].skipped is True
+        assert results[1].packets == 10
+        assert results[1].report is None
+
+    def test_isolate_wraps_simerror(self, nic, monkeypatch):
+        from repro.hwsim.sim import SimError
+
+        sim = nic._sim_for(1)
+        monkeypatch.setattr(
+            sim, "run_packets",
+            lambda *a, **k: (_ for _ in ()).throw(SimError("boom")),
+        )
+        frames = [udp_packet(dst_ip="192.168.1.9", size=64)] * 5
+        results = nic.process_batch(frames, isolate=True)
+        assert results[1].error is not None
+        assert "router" in str(results[1].error)
+        assert nic._sims[1] is None  # failed sim retired
+        # without isolate the same failure aborts the batch
+        sim2 = nic._sim_for(1)
+        monkeypatch.setattr(
+            sim2, "run_packets",
+            lambda *a, **k: (_ for _ in ()).throw(SimError("boom")),
+        )
+        with pytest.raises(SimError, match="router"):
+            nic.process_batch(frames)
+
+    def test_engine_override_matches_default(self):
+        fw = compile_program(firewall.build())
+        frames = [udp_packet(size=64)] * 50
+        by_engine = {}
+        for engine in (None, "codegen"):
+            nic = MultiProgramNic([fw], lambda f: 0, engine=engine)
+            report = nic.process_batch(frames)[0].report
+            by_engine[engine] = (report.cycles, dict(report.action_counts))
+        assert by_engine[None] == by_engine["codegen"]
