@@ -11,6 +11,13 @@ the trajectory, and enforces two floors on the firewall: the fast path
 must stay >= 3x the interpreted engine, and the codegen engine must
 stay >= 5x the fast path.
 
+The ``rtl_sim`` rows time the compiled-schedule RTL engine against the
+delta-cycle interpreter on the full 4000-packet firewall and router
+traces (interpreter extrapolated from a slice) and enforce a >= 100x
+floor on the firewall; the telemetry row times the fast path with
+metrics on vs off and records the overhead against its pre-batching
+baseline.
+
 Also times the multi-queue parallel engine at 1 vs. 4 workers on the
 firewall and records the scaling ratio; the >= 2x floor at 4 workers is
 enforced only on hosts that actually have >= 4 CPUs (fork + IPC overhead
@@ -19,6 +26,7 @@ measured on such hosts carry ``"inconclusive": true`` so readers of the
 JSON don't mistake a starved-container number for a regression.
 """
 
+import gc
 import json
 import os
 import pathlib
@@ -54,7 +62,20 @@ PARALLEL_PACKETS = 20_000
 PARALLEL_WORKERS = 4
 MIN_PARALLEL_SCALING = 2.0
 
-RTL_PACKETS = 16
+# Full bench trace on the compiled RTL engine; the delta-cycle
+# interpreter runs a slice extrapolated linearly (its per-frame cost is
+# constant: every frame is the same 25-cycle single-packet window).
+RTL_PACKETS = 4000
+RTL_INTERP_PACKETS = 200
+RTL_ROUNDS = 3
+# compiled-schedule vs interpreter floor on the firewall, established by
+# the compiled RTL simulation PR (measured 101-116x across load
+# conditions: levelized schedule + comb fusion + generated frame stepper)
+MIN_RTL_SPEEDUP = 100.0
+# telemetry_overhead_pct before the batched per-run observer (PR 8
+# hoisted the enabled check and batched per-cycle increments); kept in
+# the bench row as the before/after reference.
+TELEMETRY_OVERHEAD_BEFORE_PCT = 12.0
 
 SERVE_PACKETS = 20_000
 SERVE_FLOWS = 100_000
@@ -221,33 +242,61 @@ def _bench_telemetry_overhead(name, program):
 
 
 def _bench_rtl(name, program):
-    """RTL-simulation throughput in simulated clock cycles per second of
-    host time. The elaborated-netlist simulator is orders of magnitude
-    slower than hwsim by design; this row tracks that it stays fast
-    enough for the differential harness and CI ``verify`` runs."""
+    """Compiled-schedule RTL simulation vs the delta-cycle interpreter.
+
+    The compiled engine runs the full ``RTL_PACKETS`` bench trace; the
+    interpreter — which re-walks the whole netlist every delta cycle by
+    construction — runs a ``RTL_INTERP_PACKETS`` slice extrapolated
+    linearly (per-frame cost is constant in the one-packet-in-flight
+    regime: every frame is the same fixed-cycle window). Rounds are
+    interleaved compiled/interp so a noisy host perturbs both engines
+    about equally, and gc is paused around the timed regions — allocator
+    pauses otherwise dominate the compiled engine's sub-second runs.
+    The recorded speedup is best-of-rounds over best-of-rounds."""
     gen = TrafficGenerator(TrafficSpec(n_flows=16, packet_size=64, seed=7))
     frames = list(gen.packets(RTL_PACKETS))
     flows = list(gen.flows)
     pipeline = compile_program(program)
-    best = None
-    for _ in range(2):
+
+    def timed(engine, fr):
         maps = MapSet(program.maps)
         setup_app_maps(name, maps, flows)
-        runner = RtlRunner(pipeline, maps=maps)
-        start = time.perf_counter()
-        report = runner.run_packets(frames)
-        elapsed = time.perf_counter() - start
-        if best is None or elapsed < best[1]:
-            best = (report, elapsed)
-    report, elapsed = best
+        runner = RtlRunner(pipeline, maps=maps, engine=engine)
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            report = runner.run_packets(fr)
+            return report, time.perf_counter() - start
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    compiled, interp = [], []
+    for _ in range(RTL_ROUNDS):
+        compiled.append(timed("rtl", frames))
+        interp.append(timed("rtl-interp", frames[:RTL_INTERP_PACKETS]))
+    report, c_best = min(compiled, key=lambda pair: pair[1])
+    i_report, i_slice = min(interp, key=lambda pair: pair[1])
+    i_best = i_slice * (RTL_PACKETS / RTL_INTERP_PACKETS)
+    # Both engines simulate the same netlist; if they disagree on the
+    # slice's verdicts the numbers below compare different computations
+    # (bit-identity itself is covered by tests/test_rtl.py).
+    assert i_report.packets_out == RTL_INTERP_PACKETS
+    assert report.packets_out == RTL_PACKETS
+    compiled_pps = RTL_PACKETS / c_best
+    interp_pps = RTL_PACKETS / i_best
     return {
         "app": name,
         "engine": "rtl_sim",
         "packets": RTL_PACKETS,
+        "interp_packets": RTL_INTERP_PACKETS,
         "n_stages": report.n_stages,
         "sim_cycles": report.cycles,
-        "cycles_per_sec": round(report.cycles / elapsed),
-        "pps": round(len(frames) / elapsed, 1),
+        "cycles_per_sec": round(report.cycles / c_best),
+        "compiled_pps": round(compiled_pps, 1),
+        "interp_pps": round(interp_pps, 1),
+        "speedup": round(compiled_pps / interp_pps, 1),
     }
 
 
@@ -328,15 +377,20 @@ def test_fast_path_throughput_regression():
         _bench_app("router", router.build()),
     ]
     parallel_row = _bench_parallel("firewall", firewall.build())
-    rtl_row = _bench_rtl("firewall", firewall.build())
+    rtl_rows = [
+        _bench_rtl("firewall", firewall.build()),
+        _bench_rtl("router", router.build()),
+    ]
     telemetry_row = _bench_telemetry_overhead("firewall", firewall.build())
+    telemetry_row["overhead_pct_before_batching"] = \
+        TELEMETRY_OVERHEAD_BEFORE_PCT
     serve_row = _bench_serve()
     RESULT_PATH.write_text(json.dumps({
         "benchmark": "sim_throughput",
         "packets_per_run": N_PACKETS,
         "results": rows,
         "parallel": parallel_row,
-        "rtl_sim": rtl_row,
+        "rtl_sim": rtl_rows,
         "telemetry": telemetry_row,
         "serve": serve_row,
     }, indent=2) + "\n")
@@ -357,17 +411,20 @@ def test_fast_path_throughput_regression():
           f"{parallel_row['scaling']:.2f}x"]],
     )
     print_table(
-        "rtl simulation (elaborated VHDL netlist)",
-        ["app", "stages", "sim cycles", "cycles/sec", "pps"],
-        [[rtl_row["app"], rtl_row["n_stages"], f"{rtl_row['sim_cycles']:,}",
-          f"{rtl_row['cycles_per_sec']:,}", f"{rtl_row['pps']:,}"]],
+        "rtl simulation (elaborated VHDL netlist, compiled vs interp)",
+        ["app", "stages", "sim cycles", "compiled pps", "interp pps",
+         "speedup"],
+        [[r["app"], r["n_stages"], f"{r['sim_cycles']:,}",
+          f"{r['compiled_pps']:,}", f"{r['interp_pps']:,}",
+          f"{r['speedup']:.1f}x"] for r in rtl_rows],
     )
     print_table(
         "telemetry overhead (fast path, enabled vs disabled)",
-        ["app", "disabled pps", "enabled pps", "overhead"],
+        ["app", "disabled pps", "enabled pps", "overhead", "before"],
         [[telemetry_row["app"], f"{telemetry_row['disabled_pps']:,}",
           f"{telemetry_row['enabled_pps']:,}",
-          f"{telemetry_row['telemetry_overhead_pct']:.1f}%"]],
+          f"{telemetry_row['telemetry_overhead_pct']:.1f}%",
+          f"{telemetry_row['overhead_pct_before_batching']:.1f}%"]],
     )
     lat = serve_row["serve_swap_latency"]
     print_table(
@@ -392,3 +449,9 @@ def test_fast_path_throughput_regression():
             f"parallel engine regressed: {parallel_row['scaling']:.2f}x < "
             f"{MIN_PARALLEL_SCALING}x at {PARALLEL_WORKERS} workers"
         )
+    rtl_firewall = rtl_rows[0]
+    assert rtl_firewall["speedup"] >= MIN_RTL_SPEEDUP, (
+        f"compiled RTL engine regressed: {rtl_firewall['speedup']:.1f}x < "
+        f"{MIN_RTL_SPEEDUP}x over the interpreter on the firewall "
+        f"{RTL_PACKETS}-packet trace"
+    )

@@ -45,6 +45,7 @@ from .hwsim.engines import (
     run_engine,
 )
 from .net.flows import TrafficGenerator, TrafficSpec
+from .rtl.sim import RTL_ENGINES
 
 _APP_SCHEME = "app:"
 
@@ -186,12 +187,14 @@ def cmd_rtl_sim(args: argparse.Namespace) -> int:
 
     program = load_program(args.program)
     pipeline = _compile(args, program)
-    runner = RtlRunner(pipeline, maps=MapSet(program.maps))
+    engine = getattr(args, "engine", None) or "rtl"
+    runner = RtlRunner(pipeline, maps=MapSet(program.maps), engine=engine)
     frames = _gen_frames(args)
     report = runner.run_packets(frames)
     print(report.summary())
     cycles = sorted({rec.pipeline_cycles for rec in report.records})
-    print(f"rtl: {runner.n_stages}-stage pipeline, "
+    note = "" if runner.engine == engine else " (codegen fallback)"
+    print(f"rtl[{runner.engine}{note}]: {runner.n_stages}-stage pipeline, "
           f"{runner.window_bytes}-byte window, "
           f"per-packet cycles {cycles}")
     return 0
@@ -210,8 +213,9 @@ def cmd_verify(args: argparse.Namespace) -> int:
     pipeline = _compile(args, program)
     frames = _gen_frames(args)
     engine = getattr(args, "engine", None)
+    rtl_engine = getattr(args, "rtl_engine", None) or "rtl"
     result = run_three_way(program, frames, pipeline=pipeline,
-                           engine=engine)
+                           engine=engine, rtl_engine=rtl_engine)
     if collect:
         reg = telemetry.get_registry()
         if result.hw_report is not None:
@@ -231,6 +235,14 @@ def cmd_verify(args: argparse.Namespace) -> int:
           f"{result.packets} packets", file=sys.stderr)
     for mismatch in result.mismatches[:20]:
         print(f"  {mismatch}", file=sys.stderr)
+    debug_dir = getattr(args, "debug_dir", None)
+    if debug_dir:
+        from .rtl import dump_schedule_source
+
+        written = dump_schedule_source(pipeline, debug_dir)
+        if written:
+            print(f"wrote compiled schedule source to {written}",
+                  file=sys.stderr)
     return 1
 
 
@@ -688,6 +700,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_compile_flags(p_rtl)
     _add_traffic_flags(p_rtl, packets=64, flows=8)
+    p_rtl.add_argument("--engine", choices=list(RTL_ENGINES),
+                       default="rtl",
+                       help="RTL simulation engine: compiled levelized "
+                            "schedule (rtl) or delta-cycle interpreter "
+                            "(rtl-interp)")
     p_rtl.set_defaults(func=cmd_rtl_sim)
 
     p_verify = sub.add_parser(
@@ -701,6 +718,13 @@ def build_parser() -> argparse.ArgumentParser:
                           default=None,
                           help="pipeline-simulator backend for the hwsim "
                                "leg (default: fast)")
+    p_verify.add_argument("--rtl-engine", choices=list(RTL_ENGINES),
+                          default="rtl", dest="rtl_engine",
+                          help="RTL-leg simulation engine (default: "
+                               "compiled schedule)")
+    p_verify.add_argument("--debug-dir", default=None, dest="debug_dir",
+                          help="on mismatch, dump the generated RTL "
+                               "schedule source here for inspection")
     p_verify.set_defaults(func=cmd_verify)
 
     p_cache = sub.add_parser("cache", help="inspect the compile cache")

@@ -153,17 +153,51 @@ class CompileCache:
             raise
         self.stores += 1
 
+    # -- side artifacts ----------------------------------------------------------
+
+    def _artifact_path(self, digest: str, kind: str) -> Path:
+        return self.directory / f"{digest}.{kind}.py"
+
+    def get_artifact(self, digest: str, kind: str) -> Optional[str]:
+        """Fetch a generated-text side artifact (e.g. the compiled RTL
+        schedule source) keyed by content digest, or None on a miss."""
+        try:
+            return self._artifact_path(digest, kind).read_text(
+                encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            return None
+
+    def put_artifact(self, digest: str, kind: str, text: str) -> None:
+        """Persist a generated-text side artifact (atomic rename, same
+        torn-write guarantees as pipeline entries)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".py"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, self._artifact_path(digest, kind))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
     def clear(self) -> int:
         """Delete every on-disk entry; returns how many were removed."""
         self._memory.clear()
         removed = 0
         if self.directory.is_dir():
-            for path in self.directory.glob("*.pipeline.pkl"):
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+            for pattern in ("*.pipeline.pkl", "*.*.py"):
+                for path in self.directory.glob(pattern):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
         return removed
 
     def stats(self) -> Dict[str, int]:

@@ -100,8 +100,9 @@ class Vm:
             if insn.slots == 2:
                 self._slot_table.append(None)
         # Telemetry: per-slot opcode-class/helper names precomputed so
-        # counting in the run drivers is two dict bumps per instruction,
-        # and only when the registry is enabled at run() time.
+        # the run drivers count executions per slot (one list increment
+        # per instruction, folded into the dicts once per run), and only
+        # when the registry is enabled at run() time.
         self._slot_class: List[Optional[str]] = [None] * len(self._slot_table)
         self._slot_helper: List[Optional[str]] = [None] * len(self._slot_table)
         slot = 0
@@ -347,38 +348,41 @@ class Vm:
         slot = 0
         executed = 0
         collect = self._collect
-        classes = self._slot_class
-        helpers = self._slot_helper
-        ccounts = self.opcode_class_counts
-        hcounts = self.helper_call_counts
-        while True:
-            if executed >= MAX_INSTRUCTIONS:
-                raise VmError("instruction limit exceeded (unbounded loop?)")
-            if not 0 <= slot < n:
-                raise VmError(f"program counter out of range: slot {slot}")
-            handler = dispatch[slot]
-            if handler is None:
-                raise VmError(f"jump into the middle of ld_imm64 at slot {slot}")
-            executed += 1
+        # Per-slot execution tallies, folded into the by-class/by-helper
+        # dicts once per run (see _fold_slot_counts): the per-instruction
+        # telemetry cost is one list increment instead of two dict bumps.
+        scounts = [0] * n if collect else None
+        try:
+            while True:
+                if executed >= MAX_INSTRUCTIONS:
+                    raise VmError(
+                        "instruction limit exceeded (unbounded loop?)")
+                if not 0 <= slot < n:
+                    raise VmError(
+                        f"program counter out of range: slot {slot}")
+                handler = dispatch[slot]
+                if handler is None:
+                    raise VmError(
+                        f"jump into the middle of ld_imm64 at slot {slot}")
+                executed += 1
+                if collect:
+                    scounts[slot] += 1
+                slot = handler(self)
+                if slot is None:
+                    action_code = self.regs[isa.R0] & MASK32
+                    try:
+                        action = XdpAction(action_code)
+                    except ValueError:
+                        action = XdpAction.ABORTED
+                    return XdpResult(
+                        action=action,
+                        packet=bytes(self.ctx.packet),
+                        redirect_ifindex=self.ctx.redirect_ifindex,
+                        instructions_executed=executed,
+                    )
+        finally:
             if collect:
-                cname = classes[slot]
-                ccounts[cname] = ccounts.get(cname, 0) + 1
-                hname = helpers[slot]
-                if hname is not None:
-                    hcounts[hname] = hcounts.get(hname, 0) + 1
-            slot = handler(self)
-            if slot is None:
-                action_code = self.regs[isa.R0] & MASK32
-                try:
-                    action = XdpAction(action_code)
-                except ValueError:
-                    action = XdpAction.ABORTED
-                return XdpResult(
-                    action=action,
-                    packet=bytes(self.ctx.packet),
-                    redirect_ifindex=self.ctx.redirect_ifindex,
-                    instructions_executed=executed,
-                )
+                self._fold_slot_counts(scounts)
 
     def _build_dispatch(self) -> List[Optional[Callable]]:
         from .opfns import make_alu_fn, make_cmp_fn
@@ -567,15 +571,20 @@ class Vm:
         return handler
 
     def _run_interpreted(self) -> XdpResult:
+        collect = self._collect
+        scounts = [0] * len(self._slot_table) if collect else None
+        try:
+            return self._interp_loop(scounts)
+        finally:
+            if collect:
+                self._fold_slot_counts(scounts)
+
+    def _interp_loop(self, scounts: Optional[List[int]]) -> XdpResult:
         slot = 0
         executed = 0
         table = self._slot_table
         instructions = self.program.instructions
-        collect = self._collect
-        classes = self._slot_class
-        helpers = self._slot_helper
-        ccounts = self.opcode_class_counts
-        hcounts = self.helper_call_counts
+        collect = scounts is not None
 
         while True:
             if executed >= MAX_INSTRUCTIONS:
@@ -588,11 +597,7 @@ class Vm:
             insn = instructions[index]
             executed += 1
             if collect:
-                cname = classes[slot]
-                ccounts[cname] = ccounts.get(cname, 0) + 1
-                hname = helpers[slot]
-                if hname is not None:
-                    hcounts[hname] = hcounts.get(hname, 0) + 1
+                scounts[slot] += 1
             next_slot = slot + insn.slots
             cls = insn.opclass
 
@@ -683,6 +688,23 @@ class Vm:
         # would reject them).
         for reg in (isa.R1, isa.R2, isa.R3, isa.R4, isa.R5):
             self.regs[reg] = 0
+
+    def _fold_slot_counts(self, scounts: List[int]) -> None:
+        """Fold one run's per-slot execution tallies into the cumulative
+        by-class and by-helper dicts (a per-run batch instead of dict
+        bumps on every executed instruction)."""
+        classes = self._slot_class
+        helpers = self._slot_helper
+        ccounts = self.opcode_class_counts
+        hcounts = self.helper_call_counts
+        for slot, count in enumerate(scounts):
+            if not count:
+                continue
+            cname = classes[slot]
+            ccounts[cname] = ccounts.get(cname, 0) + count
+            hname = helpers[slot]
+            if hname is not None:
+                hcounts[hname] = hcounts.get(hname, 0) + count
 
     def publish_telemetry(self, registry=None) -> None:
         """Flush the VM's per-class/per-helper execution counts into a

@@ -7,22 +7,26 @@ a separate RTL runner — so each new backend (and each new consumer:
 CLI, benches, differential tests) re-invented enumeration. The registry
 makes the set explicit:
 
-========== ========== ============================================
+=========== ========== ============================================
 name        kind       executor
-========== ========== ============================================
+=========== ========== ============================================
 vm          reference  sequential interpreter (:class:`repro.ebpf.vm.Vm`)
 interpreted pipeline   cycle-level simulator, per-op decode
 fast        pipeline   simulator + precompiled closure kernels
 codegen     pipeline   simulator + generated/compile()d source
-rtl         rtl        event-driven simulation of the emitted VHDL
-========== ========== ============================================
+rtl         rtl        compiled levelized schedule over the emitted VHDL
+rtl-interp  rtl        delta-cycle interpreter over the same netlist
+=========== ========== ============================================
 
 The three ``pipeline`` engines are different executions of the *same*
 cycle-level model and must agree on everything — XDP actions, packet
 bytes, map state AND cycle counts (``cycle_exact``). The ``vm`` and
-``rtl`` engines share the end-to-end observables (actions, bytes, maps)
-but not the cycle structure: the VM has no pipeline, and the RTL runner
-models one packet in flight.
+``rtl*`` engines share the end-to-end observables (actions, bytes,
+maps) but not the cycle structure: the VM has no pipeline, and the RTL
+runner models one packet in flight. The two ``rtl`` engines simulate
+the *same elaborated netlist* and must agree bit-for-bit on every net
+each cycle; ``rtl-interp`` is kept as the slow, obviously-correct
+baseline for differential testing of the compiled schedule.
 
 :func:`run_engine` executes any engine over a packet sequence and
 returns a normalized :class:`EngineRun`; :func:`compare_runs` diffs two
@@ -79,7 +83,13 @@ ENGINES: Dict[str, EngineSpec] = {
         ),
         EngineSpec(
             "rtl", "rtl",
-            "event-driven simulation of the emitted VHDL", False,
+            "compiled levelized-schedule simulation of the emitted VHDL",
+            False,
+        ),
+        EngineSpec(
+            "rtl-interp", "rtl",
+            "delta-cycle netlist interpreter (compiled-schedule baseline)",
+            False,
         ),
     )
 }
@@ -178,7 +188,8 @@ def run_engine(
     if spec.kind == "rtl":
         from ..rtl.sim import RtlRunner
 
-        runner = RtlRunner(pipeline, maps=maps, time_ns=time_ns)
+        runner = RtlRunner(pipeline, maps=maps, time_ns=time_ns,
+                           engine=name)
         report = runner.run_packets(
             frames, gap=max(gap, pipeline.n_stages + 2)
         )

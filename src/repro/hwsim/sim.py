@@ -211,6 +211,44 @@ def _generic_observe(metrics, slots, barrier_queues) -> None:
         metrics.barrier_wait_cycles += waits
 
 
+class _BatchedObserver:
+    """Per-cycle telemetry with the line-rate common case batched.
+
+    At line rate every stage slot holds a packet, so the per-stage busy
+    scan degenerates to "add 1 to every stage" — detectable with one
+    C-level ``slots.count(None)`` (index 0 is the 1-based pad, always
+    ``None``). Those cycles are tallied into a single counter and folded
+    into ``stage_busy_cycles`` once per run by :meth:`flush`; only
+    partially-occupied cycles (fill, drain, gaps, barrier activity) pay
+    the per-slot loop. Final counts are identical to calling the inner
+    observer every cycle.
+    """
+
+    __slots__ = ("metrics", "inner", "full_cycles")
+
+    def __init__(self, metrics, inner=None) -> None:
+        self.metrics = metrics
+        self.inner = inner if inner is not None else _generic_observe
+        self.full_cycles = 0
+
+    def __call__(self, metrics, slots, barrier_queues) -> None:
+        if not barrier_queues and slots.count(None) == 1:
+            self.full_cycles += 1
+        else:
+            self.inner(metrics, slots, barrier_queues)
+
+    def flush(self) -> None:
+        full = self.full_cycles
+        if not full:
+            return
+        self.full_cycles = 0
+        metrics = self.metrics
+        metrics.observed_cycles += full
+        busy = metrics.stage_busy_cycles
+        for i in range(len(busy)):
+            busy[i] += full
+
+
 class PipelineSimulator:
     """Executes packets through a compiled pipeline, cycle by cycle."""
 
@@ -300,12 +338,11 @@ class PipelineSimulator:
             self._entry_kernel = module["_ENTRY"]
             self._advance_fn = module["_ADVANCE"]
             self._stream_fn = module.get("_STREAM")
-            # The generated observer is bound only when telemetry is on at
-            # construction: a disabled run's generated path carries zero
-            # telemetry branches.
-            telem = self.options.telemetry
-            if telem if telem is not None else get_registry().enabled:
-                self._observe_fn = module["_OBSERVE"]
+            # Binding the generated observer is free; whether any
+            # observer runs is decided once per run() from the hoisted
+            # `collect` flag, so a simulator built before telemetry was
+            # enabled still gets the unrolled observer.
+            self._observe_fn = module["_OBSERVE"]
 
     def _map_entry_for(self, fd: int) -> Optional[Tuple]:
         """Resolve and cache a map's hot-path constants for the kernels.
@@ -412,7 +449,10 @@ class PipelineSimulator:
         advance = self._advance_fn
         observe = None
         if metrics is not None:
-            observe = self._observe_fn or _generic_observe
+            # Batched wrapper over the engine's per-cycle observer: the
+            # full-pipeline common case accumulates into one counter,
+            # flushed into the metrics as a per-run delta below.
+            observe = _BatchedObserver(metrics, self._observe_fn)
         # Loop-invariant lookups, hoisted off the per-cycle path.
         entry_block_id = self.pipeline.cfg.entry.block_id
         entry_checks = self.pipeline.entry_checks
@@ -595,7 +635,13 @@ class PipelineSimulator:
                     reload_stall = max(reload_stall, reload_overhead)
 
             if observe is not None:
-                observe(metrics, slots, barrier_queues)
+                # Inlined _BatchedObserver fast path: a full pipeline
+                # with no barrier activity is one C-level count and an
+                # increment, no observer call at all.
+                if not barrier_queues and slots.count(None) == 1:
+                    observe.full_cycles += 1
+                else:
+                    observe.inner(metrics, slots, barrier_queues)
 
             if observer is not None:
                 observer(cycle, slots, barrier_queues, input_queue, report)
@@ -608,6 +654,8 @@ class PipelineSimulator:
             if not drain and pending_arrival is None and not input_queue:
                 break
 
+        if observe is not None:
+            observe.flush()
         report.cycles = cycle
         return report
 

@@ -13,10 +13,13 @@ result into a three-way differential harness against
 :class:`repro.hwsim.sim.PipelineSimulator` and :class:`repro.ebpf.vm.Vm`.
 """
 
-from .errors import RtlError, RtlParseError, RtlElabError, RtlSimError
+from .errors import (RtlError, RtlParseError, RtlElabError, RtlSimError,
+                     RtlCodegenError)
 from .parser import parse_vhdl
 from .elab import elaborate
-from .sim import RtlSimulator, RtlRunner, load_design
+from .codegen import RTL_CODEGEN_VERSION, generate_rtl_source
+from .sim import (RTL_ENGINES, CompiledRtlSimulator, RtlSimulator,
+                  RtlRunner, dump_schedule_source, load_design)
 from .diff import ThreeWayResult, run_three_way
 
 __all__ = [
@@ -24,11 +27,17 @@ __all__ = [
     "RtlParseError",
     "RtlElabError",
     "RtlSimError",
+    "RtlCodegenError",
+    "RTL_CODEGEN_VERSION",
+    "RTL_ENGINES",
     "parse_vhdl",
     "elaborate",
+    "generate_rtl_source",
+    "CompiledRtlSimulator",
     "RtlSimulator",
     "RtlRunner",
     "load_design",
+    "dump_schedule_source",
     "ThreeWayResult",
     "run_three_way",
 ]

@@ -1,0 +1,1481 @@
+"""Compile an elaborated netlist into a static evaluation schedule.
+
+The interpreting simulator re-walks every combinational node each
+``settle()`` and every process each ``edge()`` through trees of nested
+closures — correct, but ~100x too slow to push real traffic through the
+RTL leg. This module turns the same :class:`~repro.rtl.elab.Elaborated`
+model into one generated Python module (mirroring
+:mod:`repro.hwsim.codegen`) that evaluates *only what changed*:
+
+* The elaborator already levelizes the netlist (longest-path ranks, one
+  canonical topological order shared with the interpreter), so the node
+  index doubles as the schedule priority. A binary heap of dirty node
+  indices replaces the full settle sweep: each write is change-detected
+  and, only when the value actually moved, marks the reader nodes and
+  processes downstream.
+* Every expression is re-compiled to straight-line Python source with
+  constants folded (masks, slice offsets, ``rising_edge`` → ``True``),
+  replacing per-AST-node closure calls with single bytecode operations.
+* Effectful primitives (map channels, atomics, helpers) cannot be
+  skipped while requested — their side effects are not idempotent — so
+  they stay *live*: while the gate reads 1 the node re-queues itself
+  for the next settle, and per-primitive activity counters
+  (``ehdl_rtl_prim_active_total``) record exactly how often each block
+  really ran. Quiescent cycles cost one empty-heap check.
+* Clocked processes compile to functions over pre-edge values returning
+  a tuple of written nets; commits are change-detected and mark readers,
+  preserving the interpreter's two-phase (read-then-commit) semantics.
+
+The generated source is cached in-process by netlist digest and
+persisted as a side artifact through :class:`repro.core.cache
+.CompileCache`, stamped with :data:`RTL_CODEGEN_VERSION`.
+
+Designs outside the emitted subset (a net written by two processes, by
+a process *and* a concurrent assignment, or a node reading its own
+output) raise :class:`~repro.rtl.errors.RtlCodegenError`; callers fall
+back to the interpreter (``rtl-interp``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .ast import (
+    Bin,
+    Call,
+    ConcAssign,
+    IfStmt,
+    Index,
+    Lit,
+    NameRef,
+    OthersZero,
+    SeqAssign,
+    SliceRef,
+    Un,
+    WhenElse,
+)
+from .elab import CombNode, Elaborated, Ref, _sign
+from .errors import RtlCodegenError
+
+#: Bump whenever the generated schedule source changes shape; the stamp
+#: is folded into the digest so stale disk artifacts never load.
+RTL_CODEGEN_VERSION = 3
+
+#: In-process cache: digest -> executed module namespace.
+_MODULE_CACHE: Dict[str, dict] = {}
+
+_BARE_V = re.compile(r"V\[\d+\]")
+_INT_SRC = re.compile(r"-?\d+|0x[0-9a-f]+")
+
+
+def _bswap16(v: int) -> int:
+    return int.from_bytes((v & 0xFFFF).to_bytes(2, "little"), "big")
+
+
+def _bswap32(v: int) -> int:
+    return int.from_bytes((v & 0xFFFFFFFF).to_bytes(4, "little"), "big")
+
+
+def _bswap64(v: int) -> int:
+    return int.from_bytes(
+        (v & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little"), "big")
+
+
+_FOLD_ENV = {
+    "__builtins__": {},
+    "_sign": _sign,
+    "_bswap16": _bswap16,
+    "_bswap32": _bswap32,
+    "_bswap64": _bswap64,
+}
+
+_HELPER_DEFS = {
+    "_sign": (
+        "def _sign(v, w):\n"
+        "    if w and v & (1 << (w - 1)):\n"
+        "        return v - (1 << w)\n"
+        "    return v\n"
+    ),
+    "_bswap16": (
+        "def _bswap16(v):\n"
+        "    return int.from_bytes((v & 0xffff)"
+        ".to_bytes(2, 'little'), 'big')\n"
+    ),
+    "_bswap32": (
+        "def _bswap32(v):\n"
+        "    return int.from_bytes((v & 0xffffffff)"
+        ".to_bytes(4, 'little'), 'big')\n"
+    ),
+    "_bswap64": (
+        "def _bswap64(v):\n"
+        "    return int.from_bytes((v & 0xffffffffffffffff)"
+        ".to_bytes(8, 'little'), 'big')\n"
+    ),
+}
+
+
+def _hx(value: int) -> str:
+    return hex(value) if value > 9 else str(value)
+
+
+def _fold(src: str) -> str:
+    """Constant-fold a source fragment that reads no nets."""
+    if "V[" in src:
+        return src
+    try:
+        v = eval(src, dict(_FOLD_ENV))  # noqa: S307 - self-generated
+    except Exception:
+        return src
+    if v is True:
+        return "1"
+    if v is False:
+        return "0"
+    if isinstance(v, int):
+        return _hx(v) if v >= 0 else str(v)
+    return src
+
+
+def _as_cond(src: str) -> str:
+    """Unwrap ``(1 if X else 0)`` when used directly as a condition."""
+    if src.startswith("(1 if ") and src.endswith(" else 0)"):
+        return src[len("(1 if "):-len(" else 0)")]
+    return src
+
+
+_TRAIL_MASK = re.compile(r"^\((.*) & (0x[0-9a-f]+|\d+)\)$")
+
+
+def _top_masked(src: str) -> Optional[int]:
+    """If ``src`` is ``(X & M)`` with ``M`` masking the *whole*
+    expression, return ``M``; else None. Nested widening chains
+    (``resize``/``unsigned`` stacks) produce ``((X & m) & M)`` with
+    ``m ⊆ M``, where the outer mask is a no-op on multi-word ints —
+    this is the proof the emitter needs to drop it."""
+    m = _TRAIL_MASK.match(src)
+    if not m:
+        return None
+    inner = m.group(1)
+    depth = 0
+    i, n = 0, len(inner)
+    while i < n:
+        c = inner[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth < 0:
+                return None
+        elif depth == 0:
+            # anything binding looser than "&" (or unparenthesised
+            # comparisons) means the trailing mask is not top-level
+            if c in "|^=!,":
+                return None
+            if c in "<>":
+                if i + 1 < n and inner[i + 1] == c:
+                    i += 2  # shift operator
+                    continue
+                return None
+            if c == " " and (inner.startswith(" if ", i)
+                             or inner.startswith(" else ", i)
+                             or inner.startswith(" and ", i)
+                             or inner.startswith(" or ", i)
+                             or inner.startswith(" not ", i)):
+                return None
+        i += 1
+    if depth:
+        return None
+    return int(m.group(2), 0)
+
+
+def _masked(src: str, mask: int) -> str:
+    """Apply ``& mask``, skipping it when ``src`` provably fits."""
+    got = _top_masked(src)
+    if got is not None and got & mask == got:
+        return src
+    return f"(({src}) & {_hx(mask)})"
+
+
+def _v_pure(frag: str) -> bool:
+    """True when ``frag`` reads only nets and pure helpers (no body
+    temps), so its value cannot change inside one process body."""
+    s = re.sub(r"V\[\d+\]|0x[0-9a-f]+|_sign|_bswap(?:16|32|64)"
+               r"|\b(?:if|else|and|or|not)\b|\d+", "", frag)
+    return re.search(r"[A-Za-z_]", s) is None
+
+
+def _cse_body(lines: List[str]) -> Tuple[List[str], List[str]]:
+    """Hoist repeated parenthesised pure-``V`` subexpressions out of a
+    process body (bounds-check chains repeat their guards). Safe
+    because process bodies never write ``V``: any net-only fragment is
+    invariant for the whole evaluation. Returns (hoists, new body)."""
+    text = "\n".join(lines)
+    seen: Dict[str, None] = {}
+    for line in lines:
+        stack: List[int] = []
+        for i, c in enumerate(line):
+            if c == "(":
+                stack.append(i)
+            elif c == ")" and stack:
+                frag = line[stack.pop():i + 1]
+                if len(frag) >= 16 and "V[" in frag:
+                    seen[frag] = None
+    defs: List[Tuple[str, str]] = []  # (name, expr), longest-first
+    n = 0
+    # longest first: hoisting an outer fragment removes the inner
+    # duplicates it carries, so they stop qualifying. A later (inner)
+    # fragment also rewrites earlier hoist bodies, so shared leaves —
+    # e.g. one wide-shift field extract — are computed exactly once.
+    for frag in sorted(seen, key=len, reverse=True):
+        occurrences = text.count(frag) \
+            + sum(expr.count(frag) for _nm, expr in defs)
+        if occurrences < 2 or not _v_pure(frag):
+            continue
+        name = f"_x{n}"
+        n += 1
+        text = text.replace(frag, name)
+        defs = [(nm, expr.replace(frag, name)) for nm, expr in defs]
+        defs.append((name, frag))
+    # inner fragments are defined later but used by earlier (outer)
+    # ones: emit in reverse so every name is bound before use
+    hoists = [f"    {nm} = {expr}" for nm, expr in reversed(defs)]
+    return hoists, _merge_dup_ifs(text.split("\n"))
+
+
+_IF_LINE = re.compile(r"(\s*)if .*:$")
+
+
+def _merge_dup_ifs(lines: List[str]) -> List[str]:
+    """Concatenate the bodies of immediately consecutive ``if`` blocks
+    with byte-identical conditions (bounds-check chains re-test the
+    same guard). Conditions read only nets/hoists, never body temps,
+    so the first body cannot change the verdict."""
+    out: List[str] = []
+    i, n = 0, len(lines)
+    while i < n:
+        line = lines[i]
+        out.append(line)
+        i += 1
+        m = _IF_LINE.match(line)
+        if not m:
+            continue
+        deeper = m.group(1) + " "
+        while True:
+            while i < n and lines[i].startswith(deeper):
+                out.append(lines[i])
+                i += 1
+            if i < n and lines[i] == line:
+                i += 1  # drop the duplicate header; bodies run in order
+                continue
+            break
+    return out
+
+
+# -- expression → source (mirrors elab._Compiler) ----------------------------
+
+#: compiled expression source: (fragment, bit width, kind)
+_S = Tuple[str, int, str]
+
+_CMP_PYOPS = {"=": "==", "/=": "!=", "<": "<", "<=": "<=",
+              ">": ">", ">=": ">="}
+
+
+class _SrcCompiler:
+    """Re-compiles an already-validated expression tree into Python
+    source. Width/kind bookkeeping mirrors :class:`repro.rtl.elab
+    ._Compiler` branch for branch, so the generated arithmetic is
+    bit-identical to the interpreting closures."""
+
+    def __init__(self, net_widths: Sequence[int],
+                 scope: Dict[str, Ref], where: str) -> None:
+        self.net_widths = net_widths
+        self.scope = scope
+        self.where = where
+        self.reads: Set[int] = set()
+
+    def err(self, message: str) -> RtlCodegenError:
+        return RtlCodegenError(f"{self.where}: {message}")
+
+    def ref_of(self, target) -> Ref:
+        base = self.scope.get(target.name)
+        if base is None:
+            raise self.err(f"undeclared signal {target.name!r}")
+        if isinstance(target, NameRef):
+            return base
+        if isinstance(target, Index):
+            return base.sub(target.index, 1)
+        return base.sub(target.lo, target.hi - target.lo + 1)
+
+    def read_src(self, ref: Ref) -> str:
+        self.reads.add(ref.net)
+        if ref.low == 0 and ref.width == self.net_widths[ref.net]:
+            return f"V[{ref.net}]"
+        if ref.low == 0:
+            return f"(V[{ref.net}] & {_hx(ref.mask)})"
+        return f"(V[{ref.net}] >> {ref.low} & {_hx(ref.mask)})"
+
+    def compile(self, expr, expect_width: Optional[int] = None) -> _S:
+        src, width, kind = self._compile(expr, expect_width)
+        return _fold(src), width, kind
+
+    def _compile(self, expr, expect_width: Optional[int]) -> _S:
+        if isinstance(expr, Lit):
+            return _hx(expr.value) if expr.value >= 0 \
+                else str(expr.value), expr.width, expr.kind
+        if isinstance(expr, OthersZero):
+            if expect_width is None:
+                raise self.err("(others => '0') without a known width")
+            return "0", expect_width, "u"
+        if isinstance(expr, (NameRef, Index, SliceRef)):
+            ref = self.ref_of(expr)
+            return self.read_src(ref), ref.width, "u"
+        if isinstance(expr, Call):
+            return self.compile_call(expr, expect_width)
+        if isinstance(expr, Un):
+            return self.compile_un(expr)
+        if isinstance(expr, Bin):
+            return self.compile_bin(expr)
+        if isinstance(expr, WhenElse):
+            return self.compile_when(expr, expect_width)
+        raise self.err(f"cannot compile {type(expr).__name__}")
+
+    def compile_call(self, expr: Call,
+                     expect_width: Optional[int]) -> _S:
+        fn = expr.fn
+        if fn == "rising_edge":
+            # processes run exactly at the clock edge
+            return "1", 0, "b"
+        if fn in ("unsigned", "std_logic_vector"):
+            s, w, _k = self.compile(expr.args[0], expect_width)
+            return s, w, "u"
+        if fn == "signed":
+            s, w, _k = self.compile(expr.args[0], expect_width)
+            return s, w, "s"
+        if fn == "resize":
+            s, w, k = self.compile(expr.args[0])
+            nw = self._const(expr.args[1])
+            mask = (1 << nw) - 1
+            if k == "s":
+                return f"(_sign({s}, {w}) & {_hx(mask)})", nw, "s"
+            return _masked(s, mask), nw, "u"
+        if fn in ("to_unsigned", "to_signed"):
+            s, _w, _k = self.compile(expr.args[0])
+            nw = self._const(expr.args[1])
+            mask = (1 << nw) - 1
+            kind = "u" if fn == "to_unsigned" else "s"
+            return _masked(s, mask), nw, kind
+        if fn == "to_integer":
+            s, w, k = self.compile(expr.args[0])
+            if k == "s":
+                return f"_sign({s}, {w})", 0, "i"
+            return s, 0, "i"
+        if fn in ("shift_left", "shift_right"):
+            s, w, k = self.compile(expr.args[0])
+            amt, _aw, _ak = self.compile(expr.args[1])
+            mask = (1 << w) - 1
+            if fn == "shift_left":
+                return f"(({s} << {amt}) & {_hx(mask)})", w, k
+            if k == "s":
+                return f"((_sign({s}, {w}) >> {amt}) & {_hx(mask)})", w, k
+            return f"({s} >> {amt})", w, k
+        if fn in ("ehdl_bswap16", "ehdl_bswap32", "ehdl_bswap64"):
+            bits = int(fn[len("ehdl_bswap"):])
+            s, _w, _k = self.compile(expr.args[0])
+            # width 64 mirrors the interpreter (the assignment width
+            # check relies on it)
+            return f"_bswap{bits}({s})", 64, "u"
+        if fn in ("ehdl_udiv", "ehdl_urem"):
+            sa, wa, _ka = self.compile(expr.args[0])
+            sb, _wb, _kb = self.compile(expr.args[1])
+            if fn == "ehdl_udiv":
+                return f"(({sa} // {sb}) if {sb} else 0)", wa, "u"
+            return f"(({sa} % {sb}) if {sb} else {sa})", wa, "u"
+        raise self.err(f"unknown function {fn!r}")
+
+    def _const(self, expr) -> int:
+        if isinstance(expr, Lit) and expr.kind == "i":
+            return expr.value
+        raise self.err("expected an integer literal")
+
+    def compile_un(self, expr: Un) -> _S:
+        s, w, k = self.compile(expr.operand)
+        if expr.op != "not":
+            raise self.err(f"unary {expr.op!r} unsupported")
+        if k == "b":
+            return f"(0 if {_as_cond(s)} else 1)", 0, "b"
+        mask = (1 << w) - 1
+        return f"(~{s} & {_hx(mask)})", w, k
+
+    def compile_bin(self, expr: Bin) -> _S:
+        op = expr.op
+        sa, wa, ka = self.compile(expr.left)
+        sb, wb, kb = self.compile(expr.right)
+        if op in ("and", "or", "xor"):
+            if ka == "b" and kb == "b":
+                ca, cb = _as_cond(sa), _as_cond(sb)
+                if op == "and":
+                    return f"(1 if ({ca}) and ({cb}) else 0)", 0, "b"
+                if op == "or":
+                    return f"(1 if ({ca}) or ({cb}) else 0)", 0, "b"
+                return f"(1 if {sa} != {sb} else 0)", 0, "b"
+            if wa != wb:
+                raise self.err(f"bitwise {op} width mismatch "
+                               f"({wa} vs {wb})")
+            pyop = {"and": "&", "or": "|", "xor": "^"}[op]
+            return f"({sa} {pyop} {sb})", wa, ka
+        if op in _CMP_PYOPS:
+            signed = ka == "s" or kb == "s"
+
+            def interp(s, w, k):
+                if signed and k != "i":
+                    return f"_sign({s}, {w})"
+                return s
+
+            ia, ib = interp(sa, wa, ka), interp(sb, wb, kb)
+            if ka not in ("i", "b") and kb not in ("i", "b") \
+                    and wa != wb:
+                raise self.err(f"comparison {op} width mismatch "
+                               f"({wa} vs {wb})")
+            return f"(1 if {ia} {_CMP_PYOPS[op]} {ib} else 0)", 0, "b"
+        if op == "&":
+            return f"(({sa} << {wb}) | {sb})", wa + wb, "u"
+        if op in ("+", "-"):
+            if ka == "i":
+                width, kind = wb, kb
+            elif kb == "i":
+                width, kind = wa, ka
+            elif wa != wb:
+                raise self.err(f"{op} width mismatch ({wa} vs {wb})")
+            else:
+                width = wa
+                kind = "s" if (ka == "s" or kb == "s") else "u"
+            mask = (1 << width) - 1
+            ia = f"_sign({sa}, {wa})" if kind == "s" and ka == "s" else sa
+            ib = f"_sign({sb}, {wb})" if kind == "s" and kb == "s" else sb
+            return f"(({ia} {op} {ib}) & {_hx(mask)})", width, kind
+        if op == "*":
+            width = wa + wb
+            mask = (1 << width) - 1
+            return f"(({sa} * {sb}) & {_hx(mask)})", width, "u"
+        raise self.err(f"operator {op!r} unsupported")
+
+    def compile_when(self, expr: WhenElse,
+                     expect_width: Optional[int]) -> _S:
+        arms = []
+        width, kind = expect_width, "u"
+        for value, cond in expr.arms:
+            sv, wv, kv = self.compile(value, expect_width)
+            sc, _wc, kc = self.compile(cond)
+            if kc != "b":
+                raise self.err("when-condition is not boolean")
+            arms.append((sv, sc))
+            if not isinstance(value, OthersZero):
+                width, kind = wv, kv
+        so, wo, _ko = self.compile(expr.otherwise, width)
+        if width is None:
+            width = wo
+        src = so
+        for sv, sc in reversed(arms):
+            if sc == "1":
+                # this arm always wins over everything after it
+                src = sv
+            elif sc == "0":
+                continue
+            else:
+                src = f"({sv} if {_as_cond(sc)} else {src})"
+        return src, width, kind
+
+
+# -- module generation --------------------------------------------------------
+
+
+class _Builder:
+    """Assembles the generated schedule module for one netlist."""
+
+    def __init__(self, model: Elaborated, name: str) -> None:
+        self.model = model
+        self.name = name
+        if len(model.nodes) != len(model.node_ranks):
+            raise RtlCodegenError(
+                "model has no levelization ranks (elaborate() it with "
+                "the current elaborator)")
+        self.kinds: List[str] = []
+        for node in model.nodes:
+            if node.gate is not None:
+                self.kinds.append("prim")
+            elif node.ports is not None:
+                self.kinds.append("fifo")
+            elif node.stmt is not None:
+                self.kinds.append("conc")
+            elif node.idle:
+                self.kinds.append("tie")
+            else:
+                raise RtlCodegenError(
+                    f"node {node.label!r} retains no metadata for "
+                    "scheduling (hand-built CombNode?)")
+        # Per-node sensitivity (⊆ node.reads): what actually feeds the
+        # outputs. Populated while compiling bodies.
+        self.node_reads: List[Set[int]] = [set() for _ in model.nodes]
+        self.node_bodies: List[List[str]] = [[] for _ in model.nodes]
+        self.proc_srcs: List[List[str]] = []
+        self.proc_commits: List[List[str]] = []
+        self.proc_reads: List[Set[int]] = []
+        self.proc_writes: List[List[int]] = []
+        self.readers_nodes: Dict[int, List[int]] = {}
+        self.readers_procs: Dict[int, List[int]] = {}
+        self._tmp = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _fresh(self, stem: str) -> str:
+        self._tmp += 1
+        return f"_{stem}{self._tmp}"
+
+    def mark_lines(self, net: int, ind: str) -> List[str]:
+        # Node marks are bare byte stores: NQ *is* the queue (the settle
+        # scan visits set bytes in ascending index order), and marks are
+        # idempotent, so no dedup guard is needed.
+        out = []
+        for j in self.readers_nodes.get(net, ()):
+            out.append(f"{ind}NQ[{j}] = 1")
+        for p in self.readers_procs.get(net, ()):
+            out.append(f"{ind}if not PQ[{p}]:")
+            out.append(f"{ind}    PQ[{p}] = 1")
+            out.append(f"{ind}    PEND.append({p})")
+        return out
+
+    def write_lines(self, ref: Ref, src: str, width: int, kind: str,
+                    ind: str) -> List[str]:
+        """Change-detected write of ``src`` into ``ref``, marking the
+        readers of the net when the value moved."""
+        n = ref.net
+        nw = self.model.net_widths[n]
+        marks = self.mark_lines(n, ind + "    ")
+        full = ref.low == 0 and ref.width == nw
+        if full:
+            if kind in ("u", "s") and width == ref.width \
+                    and _BARE_V.fullmatch(src):
+                val = src  # stored values are invariantly masked
+            elif src == "0":
+                val = "0"
+            else:
+                got = _top_masked(src)
+                if got is not None and got & ref.mask == got:
+                    val = src
+                else:
+                    val = f"({src}) & {_hx(ref.mask)}"
+            if not marks:
+                return [f"{ind}V[{n}] = {val}"]
+            if val == "0":
+                return [f"{ind}if V[{n}]:",
+                        f"{ind}    V[{n}] = 0"] + marks
+            v = self._fresh("v")
+            return ([f"{ind}{v} = {val}",
+                     f"{ind}if V[{n}] != {v}:",
+                     f"{ind}    V[{n}] = {v}"] + marks)
+        keep = ((1 << nw) - 1) ^ (ref.mask << ref.low)
+        shifted = _masked(src, ref.mask)
+        if ref.low:
+            shifted = f"({shifted} << {ref.low})"
+        rmw = f"& {_hx(keep)}" if src == "0" \
+            else f"& {_hx(keep)} | {shifted}"
+        if not marks:
+            return [f"{ind}V[{n}] = V[{n}] {rmw}"]
+        o, v = self._fresh("o"), self._fresh("v")
+        return ([f"{ind}{o} = V[{n}]",
+                 f"{ind}{v} = {o} {rmw}",
+                 f"{ind}if {v} != {o}:",
+                 f"{ind}    V[{n}] = {v}"] + marks)
+
+    # -- node bodies ---------------------------------------------------------
+
+    def compile_nodes_pass1(self) -> None:
+        """First pass: compile sources and collect sensitivities (the
+        reader maps need every node's true read set before any marks
+        can be emitted)."""
+        model = self.model
+        self.node_exprs: List[object] = [None] * len(model.nodes)
+        for i, node in enumerate(model.nodes):
+            kind = self.kinds[i]
+            if kind == "conc":
+                stmt: ConcAssign = node.stmt
+                comp = _SrcCompiler(model.net_widths, node.scope,
+                                    node.where or node.label)
+                target = comp.ref_of(stmt.target)
+                src, width, k = comp.compile(
+                    stmt.value, expect_width=target.width)
+                if width not in (0, target.width):
+                    raise comp.err("assignment width mismatch")
+                if comp.reads & {target.net}:
+                    raise RtlCodegenError(
+                        f"{node.label}: node reads its own output net; "
+                        "not schedulable")
+                self.node_reads[i] = comp.reads
+                self.node_exprs[i] = (target, src, width, k)
+            elif kind == "fifo":
+                p = node.ports
+                self.node_reads[i] = {p["wr_en"].net, p["wr_data"].net}
+            elif kind == "prim":
+                self.node_reads[i] = set(node.reads)
+                if set(node.reads) & set(node.writes):
+                    raise RtlCodegenError(
+                        f"{node.label}: primitive reads its own output "
+                        "net; not schedulable")
+            else:  # tie
+                self.node_reads[i] = set()
+
+    def compile_procs_pass1(self) -> None:
+        model = self.model
+        self._proc_comps = []
+        owners: Dict[int, int] = {}
+        comb_written = set()
+        for node in model.nodes:
+            comb_written.update(node.writes)
+        for pi, proc in enumerate(model.procs):
+            if proc.body is None or proc.scope is None:
+                raise RtlCodegenError(
+                    f"process {proc.label!r} retains no body; "
+                    "not schedulable")
+            comp = _SrcCompiler(model.net_widths, proc.scope,
+                                proc.where or proc.label)
+            writes: List[int] = []
+            lines = self._emit_seq(proc.body, "    ", comp, writes)
+            for net in writes:
+                other = owners.get(net)
+                if other is not None and other != pi:
+                    raise RtlCodegenError(
+                        f"net {model.net_names[net]!r} is written by two "
+                        "processes; not schedulable")
+                owners[net] = pi
+                if net in comb_written:
+                    raise RtlCodegenError(
+                        f"net {model.net_names[net]!r} is written both "
+                        "combinationally and by a process; not "
+                        "schedulable")
+            self._proc_comps.append((comp, writes, lines))
+            self.proc_reads.append(comp.reads)
+            self.proc_writes.append(writes)
+
+    def _simple_value(self, value, target: Ref, comp: _SrcCompiler):
+        """Classify a sequential assignment's value as a plain field
+        copy or constant (the coalescable cases); None otherwise."""
+        expr = value
+        while isinstance(expr, Call) and expr.fn in (
+                "unsigned", "std_logic_vector", "signed"):
+            expr = expr.args[0]
+        if isinstance(expr, Lit):
+            return ("const", (expr.value & target.mask) << target.low)
+        if isinstance(expr, OthersZero):
+            return ("const", 0)
+        if isinstance(expr, (NameRef, Index, SliceRef)):
+            ref = comp.ref_of(expr)
+            if ref.width != target.width:
+                return None
+            comp.reads.add(ref.net)
+            return ("net", ref.net, target.low - ref.low,
+                    target.mask << target.low)
+        return None
+
+    def _emit_coalesced(self, net: int, group, ind: str) -> List[str]:
+        """Fold a straight-line run of field writes into one masked-OR
+        expression. Wide pipeline registers are mostly whole-window
+        pass-through copies; evaluating them one bignum RMW per field
+        dominates the schedule's runtime, while the composed form costs
+        one shift+mask per distinct (source, offset) pair."""
+        nw = self.model.net_widths[net]
+        full = (1 << nw) - 1
+        # later writes shadow earlier ones bit by bit
+        segs: List[Tuple[tuple, int]] = []
+        cover = 0
+        for target, contrib in group:
+            dmask = target.mask << target.low
+            segs = [(c, em & ~dmask) for c, em in segs if em & ~dmask]
+            segs.append((contrib, dmask))
+            cover |= dmask
+        keep = full & ~cover
+        const_acc = 0
+        by_src: Dict[Tuple[int, int], int] = {}
+        order: List[Tuple[int, int]] = []
+        for contrib, em in segs:
+            if contrib[0] == "const":
+                const_acc |= contrib[1] & em
+            else:
+                key = (contrib[1], contrib[2])
+                if key not in by_src:
+                    by_src[key] = 0
+                    order.append(key)
+                by_src[key] |= em
+        terms: List[str] = []
+        if keep:
+            terms.append(f"t{net} & {_hx(keep)}")
+        for snet, delta in order:
+            m = by_src[(snet, delta)]
+            if delta == 0:
+                if m == full and self.model.net_widths[snet] == nw:
+                    terms.append(f"V[{snet}]")
+                else:
+                    terms.append(f"V[{snet}] & {_hx(m)}")
+            elif delta > 0:
+                terms.append(f"(V[{snet}] << {delta}) & {_hx(m)}")
+            else:
+                terms.append(f"(V[{snet}] >> {-delta}) & {_hx(m)}")
+        if const_acc:
+            terms.append(_hx(const_acc))
+        if not terms:
+            return [f"{ind}t{net} = 0"]
+        return [f"{ind}t{net} = " + " | ".join(terms)]
+
+    def _emit_seq(self, stmts, ind: str, comp: _SrcCompiler,
+                  writes: List[int]) -> List[str]:
+        out: List[str] = []
+        group: List[Tuple[Ref, tuple]] = []
+        gnet: Optional[int] = None
+
+        def flush() -> None:
+            nonlocal gnet
+            if group:
+                out.extend(self._emit_coalesced(gnet, group, ind))
+                del group[:]
+                gnet = None
+
+        for stmt in stmts:
+            if isinstance(stmt, SeqAssign):
+                target = comp.ref_of(stmt.target)
+                contrib = self._simple_value(stmt.value, target, comp)
+                if contrib is not None:
+                    if target.net not in writes:
+                        writes.append(target.net)
+                    if gnet is not None and gnet != target.net:
+                        flush()
+                    gnet = target.net
+                    group.append((target, contrib))
+                    continue
+                flush()
+                src, width, kind = comp.compile(
+                    stmt.value, expect_width=target.width)
+                if width not in (0, target.width):
+                    raise comp.err(
+                        f"line {stmt.line}: sequential assignment "
+                        "width mismatch")
+                if target.net not in writes:
+                    writes.append(target.net)
+                t = f"t{target.net}"
+                nw = self.model.net_widths[target.net]
+                got = _top_masked(src)
+                fits = got is not None and got & target.mask == got
+                if target.low == 0 and target.width == nw:
+                    out.append(f"{ind}{t} = {src}" if fits else
+                               f"{ind}{t} = ({src}) & {_hx(target.mask)}")
+                else:
+                    keep = ((1 << nw) - 1) ^ (target.mask << target.low)
+                    shifted = src if fits \
+                        else f"(({src}) & {_hx(target.mask)})"
+                    if target.low:
+                        shifted = f"({shifted} << {target.low})"
+                    out.append(f"{ind}{t} = {t} & {_hx(keep)} "
+                               f"| {shifted}")
+            elif isinstance(stmt, IfStmt):
+                flush()
+                out.extend(self._emit_if(stmt, ind, comp, writes))
+            else:  # pragma: no cover - parser yields only the two kinds
+                raise comp.err(
+                    f"unsupported statement {type(stmt).__name__}")
+        flush()
+        return out
+
+    def _emit_if(self, stmt: IfStmt, ind: str, comp: _SrcCompiler,
+                 writes: List[int]) -> List[str]:
+        out: List[str] = []
+        opened = False
+        for cond, cbody in stmt.branches:
+            csrc, _w, kc = comp.compile(cond)
+            if kc != "b":
+                raise comp.err(f"line {stmt.line}: non-boolean if")
+            if csrc == "0":
+                continue  # branch can never be taken
+            body = self._emit_seq(cbody,
+                                  ind + ("    " if csrc != "1" or opened
+                                         else ""),
+                                  comp, writes)
+            if csrc == "1":
+                if not opened:
+                    # always taken: inline, drop the rest of the chain
+                    out.extend(body or [])
+                    return out
+                out.append(f"{ind}else:")
+                out.extend(body or [f"{ind}    pass"])
+                return out
+            kw = "if" if not opened else "elif"
+            out.append(f"{ind}{kw} {_as_cond(csrc)}:")
+            out.extend(body or [f"{ind}    pass"])
+            opened = True
+        if stmt.otherwise:
+            body = self._emit_seq(stmt.otherwise,
+                                  ind + ("    " if opened else ""),
+                                  comp, writes)
+            if opened:
+                out.append(f"{ind}else:")
+                out.extend(body or [f"{ind}    pass"])
+            else:
+                out.extend(body)
+        return out
+
+    # -- second pass: emit with marks ----------------------------------------
+
+    def build_reader_maps(self) -> None:
+        for i, reads in enumerate(self.node_reads):
+            for net in reads:
+                self.readers_nodes.setdefault(net, []).append(i)
+        for pi, reads in enumerate(self.proc_reads):
+            for net in reads:
+                self.readers_procs.setdefault(net, []).append(pi)
+
+    def compute_fusion(self) -> None:
+        """Fuse co-triggered wire nodes into single eval bodies.
+
+        Conc/fifo nodes that share trigger nets wake together on almost
+        every cycle (the per-channel mux bank in front of a map
+        primitive is the firewall's hot case: five nodes, one shared
+        request strobe).  Fusing such a group into one body at the
+        highest member index turns N queue dispatches into one and
+        collapses the group's marks to a single byte store, while the
+        forward-marking invariant survives: every external writer sits
+        below the whole group, so its mark still lands ahead of the
+        scan, and member bodies run in levelized index order inside the
+        fused body (intra-group feeds resolve by ordering, change
+        detection keeps the spurious evals idempotent).
+
+        A group is dropped when fusion would move an eval across the
+        single-pass scan boundary relative to today's schedule:
+
+        * an external writer of a member trigger net sits inside
+          ``[member, rep)`` — its mark would flip from "next settle" to
+          "this settle"; or
+        * an external node reader of a member output does not resolve
+          above the representative — the member's change mark would
+          land behind the scan and defer a settle.
+        """
+        n = len(self.model.nodes)
+        self.fuse_rep: Dict[int, int] = {}
+        self.fuse_groups: Dict[int, List[int]] = {}
+        fusable = [i for i in range(n)
+                   if self.kinds[i] in ("conc", "fifo")
+                   and self.node_reads[i]]
+        parent = list(range(n))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        by_net: Dict[int, List[int]] = {}
+        for i in fusable:
+            for net in self.node_reads[i]:
+                by_net.setdefault(net, []).append(i)
+        for members in by_net.values():
+            head = find(members[0])
+            for other in members[1:]:
+                ro = find(other)
+                if ro != head:
+                    if ro < head:
+                        head, ro = ro, head
+                    parent[ro] = head
+        groups: Dict[int, List[int]] = {}
+        for i in fusable:
+            groups.setdefault(find(i), []).append(i)
+        cand = {max(g): sorted(g) for g in groups.values()
+                if len(g) > 1}
+
+        writer_ix: Dict[int, List[int]] = {}
+        for i, node in enumerate(self.model.nodes):
+            for net in node.writes:
+                writer_ix.setdefault(net, []).append(i)
+
+        changed = True
+        while changed:
+            changed = False
+            rep_of = {m: rep for rep, g in cand.items() for m in g}
+            for rep, g in list(cand.items()):
+                gset = set(g)
+                ok = True
+                for m in g:
+                    for net in self.node_reads[m]:
+                        for w in writer_ix.get(net, ()):
+                            if w in gset:
+                                continue
+                            if (w < m) != (w < rep):
+                                ok = False
+                    for net in self.model.nodes[m].writes:
+                        for r in self.readers_nodes.get(net, ()):
+                            if r in gset:
+                                continue
+                            if rep_of.get(r, r) <= rep:
+                                ok = False
+                if not ok:
+                    del cand[rep]
+                    changed = True
+
+        self.fuse_groups = cand
+        for rep, g in cand.items():
+            for m in g:
+                self.fuse_rep[m] = rep
+        if not self.fuse_rep:
+            return
+        for net, lst in self.readers_nodes.items():
+            seen: Set[int] = set()
+            remapped = []
+            for i in lst:
+                j = self.fuse_rep.get(i, i)
+                if j not in seen:
+                    seen.add(j)
+                    remapped.append(j)
+            self.readers_nodes[net] = sorted(remapped)
+
+    def emit_node_fns(self) -> List[str]:
+        model = self.model
+        out: List[str] = []
+        self.prim_ids: List[int] = []
+        self.prim_labels: List[str] = []
+        for i, node in enumerate(model.nodes):
+            kind = self.kinds[i]
+            rep = self.fuse_rep.get(i, i)
+            out.append(f"def _e{i}(V, NQ, PEND, PQ, PRIMS, ACT):")
+            if rep != i:
+                out.append(f"    pass  # fused into _e{rep}")
+                out.append("")
+                continue
+            members = self.fuse_groups.get(i, [i])
+            for m in members:
+                mk = self.kinds[m]
+                mn = model.nodes[m]
+                out.append(f"    # [{mk} r{model.node_ranks[m]}] "
+                           f"{mn.label}")
+                if mk == "prim":
+                    out.extend(self._emit_prim(m, mn))
+                elif mk == "conc":
+                    target, src, width, k = self.node_exprs[m]
+                    out.extend(self.write_lines(target, src, width, k,
+                                                "    "))
+                elif mk == "fifo":
+                    out.extend(self._emit_fifo(mn))
+                else:  # tie
+                    for ref in mn.idle:
+                        out.extend(self.write_lines(ref, "0", 0, "i",
+                                                    "    "))
+            out.append("")
+        return out
+
+    def _emit_prim(self, i: int, node: CombNode) -> List[str]:
+        pi = len(self.prim_ids)
+        self.prim_ids.append(i)
+        self.prim_labels.append(node.label)
+        gate = node.gate
+        if gate.low == 0 and gate.width == \
+                self.model.net_widths[gate.net]:
+            gsrc = f"V[{gate.net}]"
+        elif gate.low == 0:
+            gsrc = f"V[{gate.net}] & {_hx(gate.mask)}"
+        else:
+            gsrc = f"V[{gate.net}] >> {gate.low} & {_hx(gate.mask)}"
+        out = [f"    if {gsrc}:",
+               f"        ACT[{pi}] += 1"]
+        snaps = []
+        for net in sorted(node.writes):
+            marks = self.mark_lines(net, "            ")
+            if not marks:
+                continue
+            s = self._fresh("s")
+            snaps.append((net, s, marks))
+            out.append(f"        {s} = V[{net}]")
+        out.append(f"        PRIMS[{pi}](V)")
+        for net, s, marks in snaps:
+            out.append(f"        if V[{net}] != {s}:")
+            out.extend(marks)
+        # stay live: side effects must re-run while the gate holds (the
+        # settle scan already moved past this index, so the mark lands
+        # in the next settle)
+        out.append(f"        NQ[{i}] = 1")
+        out.append("    else:")
+        idle = node.idle or []
+        if not idle:
+            out.append("        pass")
+        for ref in idle:
+            out.extend(self.write_lines(ref, "0", 0, "i", "        "))
+        return out
+
+    def _emit_fifo(self, node: CombNode) -> List[str]:
+        p = node.ports
+        comp = _SrcCompiler(self.model.net_widths, {}, node.label)
+        wr_data = comp.read_src(p["wr_data"])
+        wr_en = comp.read_src(p["wr_en"])
+        out = []
+        out.extend(self.write_lines(p["rd_data"], wr_data,
+                                    p["wr_data"].width, "u", "    "))
+        out.extend(self.write_lines(p["empty"],
+                                    f"(0 if {wr_en} else 1)", 0, "i",
+                                    "    "))
+        out.extend(self.write_lines(p["full"], "0", 0, "i", "    "))
+        return out
+
+    def _commit_groups(self, writes: List[int]
+                       ) -> List[Tuple[List[int], Tuple[str, ...]]]:
+        """Write nets grouped by identical mark targets: one change
+        test (an or-chain) and one mark block per distinct reader set,
+        instead of re-guarding the same PQ slot once per net."""
+        order: List[Tuple[str, ...]] = []
+        nets: Dict[Tuple[str, ...], List[int]] = {}
+        for net in writes:
+            key = tuple(self.mark_lines(net, "        "))
+            if key not in nets:
+                nets[key] = []
+                order.append(key)
+            nets[key].append(net)
+        return [(nets[key], key) for key in order]
+
+    def emit_proc_fns(self) -> List[str]:
+        out: List[str] = []
+        for pi, (comp, writes, lines) in enumerate(self._proc_comps):
+            hoists, lines = _cse_body(lines) if lines else ([], lines)
+            groups = self._commit_groups(writes)
+            slot_of = {net: s for s, net in enumerate(writes)}
+            out.append(f"def _p{pi}(V):")
+            out.append(f"    # {self.model.procs[pi].label}")
+            for net in writes:
+                out.append(f"    t{net} = V[{net}]")
+            out.extend(hoists)
+            out.extend(lines or ["    pass"])
+            rets = ", ".join(f"t{net}" for net in writes)
+            if len(writes) == 1:
+                rets += ","
+            out.append(f"    return ({rets})")
+            out.append("")
+            out.append(f"def _c{pi}(V, t, NQ, PEND, PQ):")
+            body = []
+            for gnets, marks in groups:
+                if marks:
+                    cond = " or ".join(
+                        f"V[{n}] != t[{slot_of[n]}]" for n in gnets)
+                    body.append(f"    if {cond}:")
+                    for n in gnets:
+                        body.append(f"        V[{n}] = t[{slot_of[n]}]")
+                    body.extend(marks)
+                else:
+                    for n in gnets:
+                        body.append(f"    V[{n}] = t[{slot_of[n]}]")
+            out.extend(body or ["    pass"])
+            out.append("")
+            # Fused evaluate+commit, valid when this is the only pending
+            # process on an edge (no other reader of the pre-edge values)
+            out.append(f"def _f{pi}(V, NQ, PEND, PQ):")
+            for net in writes:
+                out.append(f"    t{net} = V[{net}]")
+            out.extend(hoists)
+            out.extend(lines or ["    pass"])
+            for gnets, marks in groups:
+                if marks:
+                    cond = " or ".join(f"V[{n}] != t{n}" for n in gnets)
+                    out.append(f"    if {cond}:")
+                    for n in gnets:
+                        out.append(f"        V[{n}] = t{n}")
+                    out.extend(marks)
+                else:
+                    for n in gnets:
+                        out.append(f"    V[{n}] = t{n}")
+            out.append("")
+        return out
+
+    # -- assembly ------------------------------------------------------------
+
+    def build(self) -> str:
+        self.compile_nodes_pass1()
+        self.compile_procs_pass1()
+        self.build_reader_maps()
+        self.compute_fusion()
+        node_fns = self.emit_node_fns()
+        proc_fns = self.emit_proc_fns()
+        model = self.model
+        n_nodes, n_procs = len(model.nodes), len(model.procs)
+        head = [
+            '"""Generated RTL evaluation schedule for '
+            f'{self.name!r}.',
+            "",
+            f"RTL_CODEGEN_VERSION = {RTL_CODEGEN_VERSION}; regenerated "
+            "whenever the netlist or the",
+            "generator changes (repro.rtl.codegen). Event-driven: the "
+            "dirty bytearray NQ",
+            "doubles as the queue — levelized indices mean marks always "
+            "land ahead of the",
+            "scan, so settle is a single NQ.find(1) sweep; gated "
+            "primitives stay live",
+            "while requested by re-marking their own slot.",
+            f"nodes={n_nodes} procs={n_procs} "
+            f"nets={len(model.net_widths)} "
+            f"ranks={max(model.node_ranks) + 1 if model.node_ranks else 0} "
+            f"fused={sum(len(g) for g in self.fuse_groups.values())}"
+            f"->{len(self.fuse_groups)}",
+            '"""',
+            "",
+        ]
+        tables = [
+            "_EVAL = (" + ", ".join(
+                f"_e{i}" for i in range(n_nodes)) + ("," if n_nodes == 1
+                                                    else "") + ")",
+            "_PFNS = (" + ", ".join(
+                f"_p{i}" for i in range(n_procs)) + ("," if n_procs == 1
+                                                    else "") + ")",
+            "_PCOMMITS = (" + ", ".join(
+                f"_c{i}" for i in range(n_procs)) + ("," if n_procs == 1
+                                                    else "") + ")",
+            "_PFUSED = (" + ", ".join(
+                f"_f{i}" for i in range(n_procs)) + ("," if n_procs == 1
+                                                    else "") + ")",
+            "_READERS = {",
+        ]
+        for net in sorted(set(self.readers_nodes)
+                          | set(self.readers_procs)):
+            nodes = tuple(self.readers_nodes.get(net, ()))
+            procs = tuple(self.readers_procs.get(net, ()))
+            tables.append(f"    {net}: ({nodes!r}, {procs!r}),")
+        tables.append("}")
+        # Static commit order for multi-process edges: process j must
+        # evaluate before process k commits whenever j reads a net k
+        # writes, so fused evaluate+commit bodies are safe iff that
+        # constraint graph is acyclic. Kahn with index tie-break keeps
+        # the emitted order deterministic.
+        succ: List[List[int]] = [[] for _ in range(n_procs)]
+        indeg = [0] * n_procs
+        for j in range(n_procs):
+            rj = self.proc_reads[j]
+            for k in range(n_procs):
+                if j != k and rj.intersection(self.proc_writes[k]):
+                    succ[j].append(k)
+                    indeg[k] += 1
+        topo: List[int] = []
+        ready = sorted(p for p in range(n_procs) if not indeg[p])
+        while ready:
+            j = ready.pop(0)
+            topo.append(j)
+            fresh = []
+            for k in succ[j]:
+                indeg[k] -= 1
+                if not indeg[k]:
+                    fresh.append(k)
+            if fresh:
+                ready = sorted(ready + fresh)
+        ordered = len(topo) == n_procs
+        if ordered:
+            prio = [0] * n_procs
+            for rank, j in enumerate(topo):
+                prio[j] = rank
+            tables.append(
+                "_PRIO = (" + ", ".join(str(r) for r in prio)
+                + ("," if n_procs == 1 else "") + ")")
+        mv = model.top_scope.get("m_axis_tvalid")
+        if mv is None:
+            mv_src = None
+        elif mv.low == 0 and mv.width == model.net_widths[mv.net]:
+            mv_src = f"V[{mv.net}]"
+        elif mv.low == 0:
+            mv_src = f"V[{mv.net}] & {_hx(mv.mask)}"
+        else:
+            mv_src = f"V[{mv.net}] >> {mv.low} & {_hx(mv.mask)}"
+        tables.extend([
+            "",
+            "def _mark(net, NQ, PEND, PQ):",
+            "    e = _READERS.get(net)",
+            "    if e is None:",
+            "        return",
+            "    for k in e[0]:",
+            "        NQ[k] = 1",
+            "    for p in e[1]:",
+            "        if not PQ[p]:",
+            "            PQ[p] = 1",
+            "            PEND.append(p)",
+            "",
+            "def _settle(V, NQ, PEND, PQ, PRIMS, ACT, ev=_EVAL):",
+            "    n = 0",
+            "    find = NQ.find",
+            "    pos = find(1)",
+            "    while pos >= 0:",
+            "        NQ[pos] = 0",
+            "        ev[pos](V, NQ, PEND, PQ, PRIMS, ACT)",
+            "        n += 1",
+            "        pos = find(1, pos + 1)",
+            "    return n",
+            "",
+        ])
+        if ordered:
+            tables.extend([
+                "def _edge(V, NQ, PEND, PQ, pu=_PFUSED, prio=_PRIO):",
+                "    n = len(PEND)",
+                "    if not n:",
+                "        return 0",
+                "    if n == 1:",
+                "        k = PEND[0]",
+                "        PQ[k] = 0",
+                "        del PEND[:]",
+                "        pu[k](V, NQ, PEND, PQ)",
+                "        return 1",
+                "    if n == 2:",
+                "        a = PEND[0]",
+                "        b = PEND[1]",
+                "        if prio[a] > prio[b]:",
+                "            a, b = b, a",
+                "        PQ[a] = 0",
+                "        PQ[b] = 0",
+                "        del PEND[:]",
+                "        pu[a](V, NQ, PEND, PQ)",
+                "        pu[b](V, NQ, PEND, PQ)",
+                "        return 2",
+                "    cur = sorted(PEND, key=prio.__getitem__)",
+                "    for k in cur:",
+                "        PQ[k] = 0",
+                "    del PEND[:]",
+                "    for k in cur:",
+                "        pu[k](V, NQ, PEND, PQ)",
+                "    return n",
+                "",
+            ])
+        else:
+            tables.extend([
+                "def _edge(V, NQ, PEND, PQ,",
+                "          pf=_PFNS, pc=_PCOMMITS, pu=_PFUSED):",
+                "    n = len(PEND)",
+                "    if not n:",
+                "        return 0",
+                "    if n == 1:",
+                "        k = PEND[0]",
+                "        PQ[k] = 0",
+                "        del PEND[:]",
+                "        pu[k](V, NQ, PEND, PQ)",
+                "        return 1",
+                "    todo = [(k, pf[k](V)) for k in PEND]",
+                "    for k in PEND:",
+                "        PQ[k] = 0",
+                "    del PEND[:]",
+                "    for k, t in todo:",
+                "        pc[k](V, t, NQ, PEND, PQ)",
+                "    return n",
+                "",
+            ])
+        def settle_block(ind: str) -> List[str]:
+            return [
+                f"{ind}pos = find(1)",
+                f"{ind}while pos >= 0:",
+                f"{ind}    NQ[pos] = 0",
+                f"{ind}    ev[pos](V, NQ, PEND, PQ, PRIMS, ACT)",
+                f"{ind}    nc += 1",
+                f"{ind}    pos = find(1, pos + 1)",
+            ]
+
+        def edge_block(ind: str) -> List[str]:
+            out = [
+                f"{ind}n = len(PEND)",
+                f"{ind}if n == 1:",
+                f"{ind}    pr += 1",
+                f"{ind}    k = PEND.pop()",
+                f"{ind}    PQ[k] = 0",
+                f"{ind}    pu[k](V, NQ, PEND, PQ)",
+            ]
+            if ordered:
+                out.extend([
+                    f"{ind}elif n == 2:",
+                    f"{ind}    pr += 2",
+                    f"{ind}    b = PEND.pop()",
+                    f"{ind}    a = PEND.pop()",
+                    f"{ind}    if prio[a] > prio[b]:",
+                    f"{ind}        a, b = b, a",
+                    f"{ind}    PQ[a] = 0",
+                    f"{ind}    PQ[b] = 0",
+                    f"{ind}    pu[a](V, NQ, PEND, PQ)",
+                    f"{ind}    pu[b](V, NQ, PEND, PQ)",
+                    f"{ind}elif n:",
+                    f"{ind}    pr += n",
+                    f"{ind}    cur = sorted(PEND, key=prio.__getitem__)",
+                    f"{ind}    for k in cur:",
+                    f"{ind}        PQ[k] = 0",
+                    f"{ind}    del PEND[:]",
+                    f"{ind}    for k in cur:",
+                    f"{ind}        pu[k](V, NQ, PEND, PQ)",
+                ])
+            else:
+                out.extend([
+                    f"{ind}elif n:",
+                    f"{ind}    pr += n",
+                    f"{ind}    todo = [(k, pf[k](V)) for k in PEND]",
+                    f"{ind}    for k in PEND:",
+                    f"{ind}        PQ[k] = 0",
+                    f"{ind}    del PEND[:]",
+                    f"{ind}    for k, t in todo:",
+                    f"{ind}        pc[k](V, t, NQ, PEND, PQ)",
+                ])
+            return out
+
+        stepper_args = ("ev=_EVAL, pf=_PFNS, pc=_PCOMMITS, pu=_PFUSED"
+                        + (", prio=_PRIO):" if ordered else "):"))
+        if mv_src is not None:
+            tables.extend([
+                "def _run(V, NQ, PEND, PQ, PRIMS, ACT, limit,",
+                "         " + stepper_args,
+                "    # Fused cycles: settle, stop on m_axis_tvalid (edge",
+                "    # still pending for that cycle), else clock edge.",
+                "    nc = 0",
+                "    pr = 0",
+                "    find = NQ.find",
+                "    for done in range(limit):",
+            ])
+            tables.extend(settle_block("        "))
+            tables.extend([
+                f"        if {mv_src}:",
+                "            return (done, 1, nc, pr)",
+            ])
+            tables.extend(edge_block("        "))
+            tables.extend([
+                "    return (limit, 0, nc, pr)",
+                "",
+                "_RUN = _run",
+                "",
+            ])
+        else:
+            tables.extend(["_RUN = None", ""])
+        scope = model.top_scope
+        s_ports = [scope.get(p) for p in
+                   ("s_axis_tvalid", "s_axis_tlast",
+                    "s_axis_tdata", "s_axis_tlen")]
+        if mv_src is not None and None not in s_ports:
+            sv, sl, sd, sn = s_ports
+            tables.extend([
+                "def _frame(V, NQ, PEND, PQ, PRIMS, ACT, span, data, "
+                "tlen,",
+                "           " + stepper_args,
+                "    # Inject one s_axis beat (marks inlined per port),",
+                "    # then run the window: settle, stop on",
+                "    # m_axis_tvalid (edge deferred to the caller), else",
+                "    # edge; tvalid drops after the first edge.",
+            ])
+            tables.extend(self.write_lines(sv, "1", 0, "i", "    "))
+            tables.extend(self.write_lines(sl, "1", 0, "i", "    "))
+            tables.extend(self.write_lines(sd, "data", sd.width, "u",
+                                           "    "))
+            tables.extend(self.write_lines(sn, "tlen", sn.width, "u",
+                                           "    "))
+            tables.extend([
+                "    nc = 0",
+                "    pr = 0",
+                "    find = NQ.find",
+                "    for done in range(span):",
+            ])
+            tables.extend(settle_block("        "))
+            tables.extend([
+                f"        if {mv_src}:",
+                "            return (done, 1, nc, pr)",
+            ])
+            tables.extend(edge_block("        "))
+            tables.append("        if not done:")
+            tables.extend(self.write_lines(sv, "0", 0, "i",
+                                           "            "))
+            tables.extend([
+                "    return (span, 0, nc, pr)",
+                "",
+                "_FRAME = _frame",
+                "",
+            ])
+        else:
+            tables.extend(["_FRAME = None", ""])
+        tables.extend([
+            f"_GEN_VERSION = {RTL_CODEGEN_VERSION}",
+            f"_N_NODES = {n_nodes}",
+            f"_N_PROCS = {n_procs}",
+            f"_PRIM_NODE_IDS = {tuple(self.prim_ids)!r}",
+            f"_PRIM_LABELS = {tuple(self.prim_labels)!r}",
+            "_SETTLE = _settle",
+            "_EDGE = _edge",
+            "_MARK_NET = _mark",
+            "",
+        ])
+        body = "\n".join(node_fns + proc_fns)
+        helpers = [defn for token, defn in sorted(_HELPER_DEFS.items())
+                   if token + "(" in body]
+        text = "\n".join(head + helpers + [body] + tables)
+        return re.sub(r"\n{3,}", "\n\n", text) + "\n"
+
+
+def generate_rtl_source(model: Elaborated, name: str = "design") -> str:
+    """Emit the compiled schedule module source for ``model``."""
+    return _Builder(model, name).build()
+
+
+def schedule_digest(vhdl_text: str) -> str:
+    """Digest keying the generated schedule: the design text plus the
+    generator version (stale artifacts never load)."""
+    h = hashlib.sha256()
+    h.update(f"ehdl-rtl-codegen-v{RTL_CODEGEN_VERSION}\n".encode())
+    h.update(vhdl_text.encode())
+    return h.hexdigest()
+
+
+#: CompileCache artifact kind for persisted schedule sources.
+ARTIFACT_KIND = "rtlsched"
+
+
+def load_rtl_module(model: Elaborated, vhdl_text: Optional[str],
+                    name: str = "design", cache=None) -> dict:
+    """Compile (or fetch) the schedule module for ``model``.
+
+    In-process results are memoized by design digest; when a
+    :class:`~repro.core.cache.CompileCache` is supplied the generated
+    source is also persisted as a side artifact so later processes skip
+    generation entirely.
+    """
+    digest = schedule_digest(vhdl_text) if vhdl_text is not None else None
+    if digest is not None:
+        cached = _MODULE_CACHE.get(digest)
+        if cached is not None:
+            return cached
+    source = None
+    if digest is not None and cache is not None:
+        source = cache.get_artifact(digest, ARTIFACT_KIND)
+        if source is not None:
+            ns = _exec_module(source, name, digest)
+            if ns is not None \
+                    and ns.get("_GEN_VERSION") == RTL_CODEGEN_VERSION \
+                    and ns.get("_N_NODES") == len(model.nodes) \
+                    and ns.get("_N_PROCS") == len(model.procs):
+                _MODULE_CACHE[digest] = ns
+                return ns
+            source = None  # corrupt/stale artifact: regenerate
+    source = generate_rtl_source(model, name)
+    if digest is not None and cache is not None:
+        cache.put_artifact(digest, ARTIFACT_KIND, source)
+    ns = _exec_module(source, name, digest)
+    if ns is None:  # pragma: no cover - generator emits valid source
+        raise RtlCodegenError(
+            f"generated schedule for {name!r} failed to compile")
+    if digest is not None:
+        _MODULE_CACHE[digest] = ns
+    return ns
+
+
+def _exec_module(source: str, name: str,
+                 digest: Optional[str]) -> Optional[dict]:
+    tag = digest[:12] if digest else "nodigest"
+    try:
+        code = compile(source, f"<ehdl-rtl-sched:{name}:{tag}>", "exec")
+        ns: dict = {"__name__": f"ehdl_rtl_sched_{tag}"}
+        exec(code, ns)  # noqa: S102 - self-generated source
+        return ns
+    except SyntaxError:
+        return None
+
+
+def write_debug_source(source: str, directory, name: str) -> Path:
+    """Drop the generated schedule source next to a failing run (CI
+    uploads the directory as an artifact)."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    out = path / f"{name}_rtl_schedule.py"
+    out.write_text(source, encoding="utf-8")
+    return out

@@ -77,6 +77,7 @@ def run_three_way(
     ignore_maps: Sequence[str] = (),
     vhdl_text: Optional[str] = None,
     engine: Optional[str] = None,
+    rtl_engine: str = "rtl",
 ) -> ThreeWayResult:
     """Run ``frames`` through the VM, the pipeline simulator, and the
     RTL simulation of the emitted VHDL; compare everything observable.
@@ -86,7 +87,9 @@ def run_three_way(
     already-emitted (possibly hand-edited) design; by default the
     pipeline is re-emitted. ``engine`` selects the pipeline-simulator
     execution backend for the hwsim leg ("interpreted", "fast" or
-    "codegen"; see :mod:`repro.hwsim.engines`).
+    "codegen"; see :mod:`repro.hwsim.engines`); ``rtl_engine`` selects
+    the RTL leg's simulation engine ("rtl" for the compiled levelized
+    schedule, "rtl-interp" for the delta-cycle interpreter).
     """
     if pipeline is None:
         pipeline = compile_program(program, compile_options)
@@ -110,7 +113,7 @@ def run_three_way(
 
     rtl_maps = _leg_maps(program, setup)
     rtl = RtlRunner(pipeline, maps=rtl_maps, time_ns=time_ns,
-                    text=vhdl_text)
+                    text=vhdl_text, engine=rtl_engine)
     rtl_report = rtl.run_packets(frames, gap=gap)
 
     result = ThreeWayResult(packets=len(frames), hw_report=hw_report,

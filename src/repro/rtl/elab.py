@@ -73,12 +73,27 @@ class CombNode:
     writes: Set[int]
     label: str = ""
     after: Optional["CombNode"] = None  # explicit ordering edge
+    # Metadata retained for the compiled scheduler (rtl/codegen.py).
+    # Pure assignments keep their AST + name scope; primitives declare
+    # how they are gated instead (evaluate while ``gate`` reads 1, zero
+    # the ``idle`` refs otherwise) or, for pure wire models, their port
+    # refs so the scheduler can re-derive the wire equations.
+    stmt: object = None
+    scope: Optional[Dict[str, "Ref"]] = None
+    where: str = ""
+    gate: Optional["Ref"] = None
+    idle: Optional[List["Ref"]] = None
+    ports: Optional[Dict[str, "Ref"]] = None
 
 
 @dataclass
 class ClockedProcess:
     fn: Callable[[List[int], Dict[int, int]], None]
     label: str = ""
+    # Retained for the compiled scheduler: statement list + name scope.
+    body: object = None
+    scope: Optional[Dict[str, "Ref"]] = None
+    where: str = ""
 
 
 class Elaborated:
@@ -89,6 +104,9 @@ class Elaborated:
         self.net_names: List[str] = []
         self.top_scope: Dict[str, Ref] = {}
         self.nodes: List[CombNode] = []
+        # Longest-path level of each node, aligned with ``nodes`` (filled
+        # by ``_order_nodes``; the compiled scheduler keys on it).
+        self.node_ranks: List[int] = []
         self.procs: List[ClockedProcess] = []
         self.primitives: List[object] = []
         self.top_entity: Optional[EntityDecl] = None
@@ -372,7 +390,8 @@ def _compile_conc(model: Elaborated, scope: Dict[str, Ref],
     node_fn = lambda values, fn=fn, target=target: \
         target.set(values, fn(values))
     return CombNode(node_fn, comp.reads, {target.net},
-                    label=f"{where}:{stmt.line}")
+                    label=f"{where}:{stmt.line}",
+                    stmt=stmt, scope=scope, where=f"{where}:{stmt.line}")
 
 
 def _compile_seq(comp: "_Compiler", body) -> Callable:
@@ -450,7 +469,9 @@ def _elaborate_arch(model: Elaborated, design: DesignFile,
             comp = _Compiler(model, scope, f"{path}:process@{stmt.line}")
             fn = _compile_seq(comp, stmt.body)
             model.procs.append(
-                ClockedProcess(fn, label=f"{path}:process@{stmt.line}")
+                ClockedProcess(fn, label=f"{path}:process@{stmt.line}",
+                               body=stmt.body, scope=scope,
+                               where=f"{path}:process@{stmt.line}")
             )
         elif isinstance(stmt, Instance):
             _elaborate_instance(model, design, stmt, scope, path,
@@ -565,7 +586,20 @@ def _order_nodes(model: Elaborated) -> None:
         raise RtlElabError(
             "combinational cycle through: " + ", ".join(stuck[:8])
         )
-    model.nodes = [nodes[i] for i in order]
+    # Levelize: longest-path ranks over the same edge set. A stable sort
+    # of any topological order by rank is itself a topological order
+    # (every edge strictly increases rank), so both the interpreting and
+    # the compiled simulator share one canonical, levelized evaluation
+    # order — which lets the compiled scheduler use the plain node index
+    # as its priority key.
+    rank = [0] * len(nodes)
+    for i in order:
+        for j in succs[i]:
+            if rank[j] <= rank[i]:
+                rank[j] = rank[i] + 1
+    level_order = sorted(range(len(nodes)), key=lambda i: (rank[i], i))
+    model.nodes = [nodes[i] for i in level_order]
+    model.node_ranks = [rank[i] for i in level_order]
 
 
 def elaborate(design: DesignFile, top: str, factory=None,

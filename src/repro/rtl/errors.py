@@ -26,3 +26,9 @@ class RtlElabError(RtlError):
 
 class RtlSimError(RtlError):
     """The elaborated design misbehaved while simulating."""
+
+
+class RtlCodegenError(RtlError):
+    """The design cannot be compiled into a static evaluation schedule
+    (e.g. a net with multiple clocked writers); callers fall back to the
+    interpreting simulator."""

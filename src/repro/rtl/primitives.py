@@ -108,6 +108,28 @@ class MapBlock:
             self.n_channels += 1
         if not self.n_channels:
             raise RtlElabError(f"{entity_name}: no channels")
+        # Port refs bound once; _channel runs on the simulation hot
+        # path and must not re-do name lookups per call.
+        self._chan_refs = [
+            tuple(ports.get(f"ch{c}_{nm}") for nm in
+                  ("req", "op", "addr", "key", "wdata", "rdata", "oob"))
+            for c in range(self.n_channels)
+        ]
+        # Flattened bit positions for the channel fields: _channel runs
+        # on the simulation hot path (the idle branch on most calls)
+        # and must be a handful of int ops, not Ref method calls.
+        self._chan_hot = []
+        for refs in self._chan_refs:
+            req, op, addr, key, wdata, rdata, oob = refs
+            self._chan_hot.append(
+                ((req.net, req.low, req.mask),
+                 (op.net, op.low, op.mask),
+                 (addr.net, addr.low, addr.mask),
+                 (key.net, key.low, key.mask),
+                 (wdata.net, wdata.low, wdata.mask),
+                 (rdata.net, rdata.low, rdata.mask,
+                  rdata.mask << rdata.low),
+                 (oob.net, oob.low, oob.mask << oob.low)))
 
     def _map(self):
         maps = self.context.maps
@@ -127,17 +149,19 @@ class MapBlock:
         return offset
 
     def _channel(self, c: int, values: List[int]) -> None:
-        p = self.ports
-        rdata, oob = p[f"ch{c}_rdata"], p[f"ch{c}_oob"]
-        if p[f"ch{c}_req"].get(values) != 1:
-            rdata.set(values, 0)
-            oob.set(values, 0)
+        ((rq_n, rq_l, rq_m), (op_n, op_l, op_m), (ad_n, ad_l, ad_m),
+         (ky_n, ky_l, ky_m), (wd_n, wd_l, wd_m),
+         (rd_n, rd_l, rd_m, rd_sm), (ob_n, ob_l, ob_sm)) = \
+            self._chan_hot[c]
+        if (values[rq_n] >> rq_l) & rq_m != 1:
+            values[rd_n] &= ~rd_sm
+            values[ob_n] &= ~ob_sm
             return
-        op = p[f"ch{c}_op"].get(values)
+        op = (values[op_n] >> op_l) & op_m
         code, size = op & 0xF, op >> 4
         self.context.count_op(_CH_OP_NAMES.get(code, "unknown"))
-        addr = p[f"ch{c}_addr"].get(values)
-        key_raw = p[f"ch{c}_key"].get(values)
+        addr = (values[ad_n] >> ad_l) & ad_m
+        key_raw = (values[ky_n] >> ky_l) & ky_m
         bpf_map = self._map()
         result, out_of_bounds = 0, 0
         if code == CH_OP_LOOKUP:
@@ -149,7 +173,7 @@ class MapBlock:
                 )
         elif code == CH_OP_UPDATE:
             key = _bytes_le(key_raw, bpf_map.key_size)
-            value = _bytes_le(p[f"ch{c}_wdata"].get(values),
+            value = _bytes_le((values[wd_n] >> wd_l) & wd_m,
                               bpf_map.value_size)
             try:
                 bpf_map.update(key, value, flags=addr & 0x3)
@@ -194,12 +218,12 @@ class MapBlock:
                 out_of_bounds = 1
             else:
                 bpf_map.storage[offset:offset + size] = _bytes_le(
-                    p[f"ch{c}_wdata"].get(values), size
+                    (values[wd_n] >> wd_l) & wd_m, size
                 )
         else:
             raise RtlSimError(f"{self.name}: channel op {op:#x}")
-        rdata.set(values, result)
-        oob.set(values, out_of_bounds)
+        values[rd_n] = values[rd_n] & ~rd_sm | (result & rd_m) << rd_l
+        values[ob_n] = values[ob_n] & ~ob_sm | (out_of_bounds & 1) << ob_l
 
     def _atomic(self, values: List[int]) -> None:
         p = self.ports
@@ -254,6 +278,8 @@ class MapBlock:
             out.append(CombNode(
                 lambda values, c=c: self._channel(c, values),
                 reads, writes, label=f"{self.name}.ch{c}",
+                gate=p[f"ch{c}_req"],
+                idle=[p[f"ch{c}_rdata"], p[f"ch{c}_oob"]],
             ))
         if "at_req" in p:
             reads = {p[f"at_{f}"].net
@@ -261,7 +287,9 @@ class MapBlock:
                                "expected")}
             writes = {p["at_old"].net, p["at_oob"].net}
             out.append(CombNode(self._atomic, reads, writes,
-                                label=f"{self.name}.atomic"))
+                                label=f"{self.name}.atomic",
+                                gate=p["at_req"],
+                                idle=[p["at_old"], p["at_oob"]]))
         # Quiescent host/flush outputs (host port unused in verification).
         tied = [p[name] for name in ("flush_out", "host_rdata")
                 if name in p]
@@ -271,7 +299,7 @@ class MapBlock:
                     ref.set(values, 0)
 
             out.append(CombNode(tie, set(), {r.net for r in tied},
-                                label=f"{self.name}.tie"))
+                                label=f"{self.name}.tie", idle=tied))
         return out
 
 
@@ -386,7 +414,8 @@ class HelperBlock:
                   "plen_i", "haj_i", "stack_i") if name in p}
         writes = {p[name].net for name in
                   ("rsp", "frame_o", "plen_o", "haj_o") if name in p}
-        return [CombNode(self._eval, reads, writes, label=self.name)]
+        return [CombNode(self._eval, reads, writes, label=self.name,
+                         gate=p["req"], idle=[p["rsp"]])]
 
 
 class AsyncFifo:
@@ -410,7 +439,8 @@ class AsyncFifo:
         p = self.ports
         reads = {p["wr_en"].net, p["wr_data"].net, p["rd_en"].net}
         writes = {p["rd_data"].net, p["empty"].net, p["full"].net}
-        return [CombNode(self._eval, reads, writes, label=self.name)]
+        return [CombNode(self._eval, reads, writes, label=self.name,
+                         ports=p)]
 
 
 def primitive_factory(entity, generics: Dict[str, object],

@@ -19,17 +19,22 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+from ..core.cache import get_default_cache
 from ..core.pipeline import Pipeline
 from ..core.vhdl import TOP_MARKER, emit_vhdl
 from ..ebpf.maps import MapSet
 from ..ebpf.xdp import XdpAction
+from .codegen import load_rtl_module
 from .elab import Elaborated, elaborate
-from .errors import RtlSimError
+from .errors import RtlCodegenError, RtlSimError
 from .parser import parse_vhdl
 from .primitives import PacketShadow, RtlContext, primitive_factory
 
 from ..hwsim.stats import PacketRecord, SimReport
 from ..telemetry import get_registry
+
+#: RTL engine names accepted by :class:`RtlRunner`.
+RTL_ENGINES = ("rtl", "rtl-interp")
 
 
 class RtlSimulator:
@@ -74,6 +79,67 @@ class RtlSimulator:
             values[net] = value
 
 
+class CompiledRtlSimulator(RtlSimulator):
+    """Event-driven simulator over a generated evaluation schedule
+    (:mod:`repro.rtl.codegen`).
+
+    Same two-phase drive/settle/read/edge interface as
+    :class:`RtlSimulator` and bit-identical values every phase, but only
+    *dirty* nodes are evaluated: writes are change-detected and mark
+    their readers into a heap keyed by the levelized node index, and
+    clocked processes only re-run when an input net actually moved.
+    Gated primitives stay live while requested (side effects are not
+    idempotent), counted per block in ``prim_active``.
+    """
+
+    def __init__(self, model: Elaborated, namespace: dict) -> None:
+        super().__init__(model)
+        self._settle_fn = namespace["_SETTLE"]
+        self._edge_fn = namespace["_EDGE"]
+        self._mark_fn = namespace["_MARK_NET"]
+        # Fused multi-cycle stepper (settle / output check / edge in one
+        # call); None when the design has no m_axis_tvalid port.
+        self._run_fn = namespace.get("_RUN")
+        # Whole-window stepper (inject + window in one call); None for
+        # designs without the s_axis/m_axis streaming ports.
+        self._frame_fn = namespace.get("_FRAME")
+        n_nodes, n_procs = len(model.nodes), len(model.procs)
+        # Power-on: everything is dirty once, mirroring the
+        # interpreter's first full sweep.
+        self._NQ = bytearray(b"\x01" * n_nodes) if n_nodes \
+            else bytearray()
+        self._PEND = list(range(n_procs))
+        self._PQ = bytearray(b"\x01" * n_procs) if n_procs \
+            else bytearray()
+        self._PRIMS = [model.nodes[i].fn
+                       for i in namespace["_PRIM_NODE_IDS"]]
+        self.prim_labels = list(namespace["_PRIM_LABELS"])
+        self.prim_active = [0] * len(self._PRIMS)
+        # Evaluation counters (the interpreter's equivalents would be
+        # n_nodes per settle / n_procs per edge).
+        self.comb_evals = 0
+        self.proc_evals = 0
+
+    def drive(self, name: str, value: int) -> None:
+        ref = self._port(name)
+        values = self.values
+        before = values[ref.net]
+        ref.set(values, value)
+        if values[ref.net] != before:
+            self._mark_fn(ref.net, self._NQ, self._PEND, self._PQ)
+
+    def settle(self) -> None:
+        self.settle_count += 1
+        self.comb_evals += self._settle_fn(
+            self.values, self._NQ, self._PEND, self._PQ,
+            self._PRIMS, self.prim_active)
+
+    def edge(self) -> None:
+        self.edge_count += 1
+        self.proc_evals += self._edge_fn(
+            self.values, self._NQ, self._PEND, self._PQ)
+
+
 def find_top(text: str) -> Optional[str]:
     """The top entity name recorded in the emitted header comment."""
     for line in text.splitlines():
@@ -97,6 +163,28 @@ def load_design(text: str, context: Optional[RtlContext] = None
     return RtlSimulator(model)
 
 
+def dump_schedule_source(pipeline: Pipeline, directory) -> Optional[str]:
+    """Regenerate the compiled schedule source for ``pipeline`` and drop
+    it under ``directory`` for post-mortem inspection (the CI verify
+    step uploads the directory as an artifact on failure). Returns the
+    written path, or ``None`` when the design falls outside the
+    schedulable subset."""
+    from .codegen import generate_rtl_source, write_debug_source
+
+    text = emit_vhdl(pipeline)
+    top = find_top(text)
+    if top is None:
+        return None
+    design = parse_vhdl(text)
+    context = RtlContext(MapSet(pipeline.program.maps))
+    model = elaborate(design, top, primitive_factory, context)
+    try:
+        source = generate_rtl_source(model, pipeline.name)
+    except RtlCodegenError:
+        return None
+    return str(write_debug_source(source, directory, pipeline.name))
+
+
 class RtlRunner:
     """Drives the emitted top entity with frames, one per ``gap``
     cycles, and reports per-packet verdicts."""
@@ -107,7 +195,12 @@ class RtlRunner:
         maps: Optional[MapSet] = None,
         time_ns: int = 0,
         text: Optional[str] = None,
+        engine: str = "rtl",
     ) -> None:
+        if engine not in RTL_ENGINES:
+            raise RtlSimError(
+                f"unknown RTL engine {engine!r} (choose from "
+                f"{', '.join(RTL_ENGINES)})")
         self.pipeline = pipeline
         self.maps = maps if maps is not None else MapSet(pipeline.program.maps)
         self.text = text if text is not None else emit_vhdl(pipeline)
@@ -117,14 +210,40 @@ class RtlRunner:
             raise RtlSimError("emitted design has no '-- top:' marker")
         design = parse_vhdl(self.text)
         self.model = elaborate(design, top, primitive_factory, self.context)
-        self.sim = RtlSimulator(self.model)
+        self.engine = engine
+        if engine == "rtl":
+            try:
+                namespace = load_rtl_module(
+                    self.model, self.text, pipeline.name,
+                    cache=get_default_cache())
+                self.sim: RtlSimulator = CompiledRtlSimulator(
+                    self.model, namespace)
+            except RtlCodegenError:
+                # Outside the schedulable subset: fall back to the
+                # interpreter (and say so in the telemetry).
+                self.engine = "rtl-interp"
+                self.sim = RtlSimulator(self.model)
+                reg = get_registry()
+                if reg.enabled:
+                    reg.counter(
+                        "ehdl_rtl_codegen_fallback_total",
+                        "Designs outside the compiled-schedule subset "
+                        "that fell back to the interpreter",
+                        {"program": pipeline.name},
+                    ).inc()
+        else:
+            self.sim = RtlSimulator(self.model)
         self.n_stages = pipeline.n_stages
         port = self.model.top_entity.port("s_axis_tdata")
         self.window_bytes = port.width // 8
+        self._out_hot = None  # (net, low, mask) of the m_axis sample ports
         # Telemetry high-water marks (deltas published per run_packets).
         self._published_settles = 0
         self._published_edges = 0
         self._published_ops: Dict[str, int] = {}
+        self._published_comb = 0
+        self._published_procs = 0
+        self._published_active: List[int] = []
 
     def run_packets(self, frames: Iterable[bytes],
                     gap: Optional[int] = None) -> SimReport:
@@ -146,57 +265,11 @@ class RtlRunner:
         sim.drive("rst", 0)
         sim.drive("m_axis_tready", 1)
         shadows: List[PacketShadow] = []
-        out_index = 0
-        total_cycles = (len(frames) - 1) * gap + self.n_stages + 1 \
-            if frames else 0
-        wmax = self.window_bytes
-        for cycle in range(total_cycles):
-            if cycle % gap == 0 and cycle // gap < len(frames):
-                frame = frames[cycle // gap]
-                shadow = PacketShadow(frame)
-                shadow.tail = bytearray(frame[wmax:])
-                shadows.append(shadow)
-                self.context.packet = shadow
-                window = frame[:wmax].ljust(wmax, b"\x00")
-                sim.drive("s_axis_tvalid", 1)
-                sim.drive("s_axis_tlast", 1)
-                sim.drive("s_axis_tdata", int.from_bytes(window, "little"))
-                sim.drive("s_axis_tlen", len(frame) & 0xFFFF)
-            else:
-                sim.drive("s_axis_tvalid", 0)
-            sim.settle()
-            if sim.read("m_axis_tvalid") == 1:
-                if out_index >= len(shadows):
-                    raise RtlSimError(
-                        f"cycle {cycle}: spurious m_axis output"
-                    )
-                shadow = shadows[out_index]
-                plen = sim.read("m_axis_tlen")
-                raw = sim.read("m_axis_tdata").to_bytes(wmax, "little")
-                data = raw[:min(plen, wmax)] + bytes(shadow.tail)
-                verdict = sim.read("m_axis_tverdict")
-                try:
-                    action = XdpAction(verdict)
-                except ValueError:
-                    action = XdpAction.ABORTED
-                if shadow.redirect_ifindex is not None \
-                        and action is not XdpAction.REDIRECT:
-                    shadow.redirect_ifindex = None
-                inject = out_index * gap
-                record = PacketRecord(
-                    pid=out_index, action=action, data=data,
-                    arrival_cycle=inject, inject_cycle=inject,
-                    exit_cycle=cycle,
-                )
-                report.records.append(record)
-                report.packets_out += 1
-                report.action_counts[action] = \
-                    report.action_counts.get(action, 0) + 1
-                report.sum_total_cycles += record.total_cycles
-                report.sum_pipeline_cycles += record.pipeline_cycles
-                out_index += 1
-            sim.edge()
-        report.cycles = total_cycles
+        run_fn = getattr(sim, "_run_fn", None)
+        if run_fn is not None:
+            out_index = self._run_compiled(frames, gap, report, shadows)
+        else:
+            out_index = self._run_stepped(frames, gap, report, shadows)
         if out_index != len(frames):
             raise RtlSimError(
                 f"{len(frames) - out_index} packet(s) never reached "
@@ -205,6 +278,176 @@ class RtlRunner:
         self._publish_telemetry()
         return report
 
+    def _inject(self, frame: bytes, shadows: List[PacketShadow]) -> None:
+        """Drive one frame onto ``s_axis_*`` (held for one cycle)."""
+        sim = self.sim
+        wmax = self.window_bytes
+        shadow = PacketShadow(frame)
+        shadow.tail = bytearray(frame[wmax:])
+        shadows.append(shadow)
+        self.context.packet = shadow
+        window = frame[:wmax].ljust(wmax, b"\x00")
+        sim.drive("s_axis_tvalid", 1)
+        sim.drive("s_axis_tlast", 1)
+        sim.drive("s_axis_tdata", int.from_bytes(window, "little"))
+        sim.drive("s_axis_tlen", len(frame) & 0xFFFF)
+
+    def _take_output(self, cycle: int, gap: int,
+                     shadows: List[PacketShadow], out_index: int,
+                     report: SimReport) -> int:
+        """Sample ``m_axis_*`` (post-settle, pre-edge) into a record."""
+        sim = self.sim
+        wmax = self.window_bytes
+        if out_index >= len(shadows):
+            raise RtlSimError(f"cycle {cycle}: spurious m_axis output")
+        shadow = shadows[out_index]
+        hot = self._out_hot
+        if hot is None:
+            hot = self._out_hot = tuple(
+                (r.net, r.low, r.mask) for r in (
+                    sim._port("m_axis_tlen"),
+                    sim._port("m_axis_tdata"),
+                    sim._port("m_axis_tverdict")))
+        (ln, ll, lm), (dn, dl, dm), (vn, vl, vm) = hot
+        values = sim.values
+        plen = (values[ln] >> ll) & lm
+        raw = ((values[dn] >> dl) & dm).to_bytes(wmax, "little")
+        data = raw[:min(plen, wmax)] + bytes(shadow.tail)
+        verdict = (values[vn] >> vl) & vm
+        try:
+            action = XdpAction(verdict)
+        except ValueError:
+            action = XdpAction.ABORTED
+        if shadow.redirect_ifindex is not None \
+                and action is not XdpAction.REDIRECT:
+            shadow.redirect_ifindex = None
+        inject = out_index * gap
+        record = PacketRecord(
+            pid=out_index, action=action, data=data,
+            arrival_cycle=inject, inject_cycle=inject,
+            exit_cycle=cycle,
+        )
+        report.records.append(record)
+        report.packets_out += 1
+        report.action_counts[action] = \
+            report.action_counts.get(action, 0) + 1
+        report.sum_total_cycles += record.total_cycles
+        report.sum_pipeline_cycles += record.pipeline_cycles
+        return out_index + 1
+
+    def _run_stepped(self, frames: List[bytes], gap: int,
+                     report: SimReport,
+                     shadows: List[PacketShadow]) -> int:
+        """Generic cycle-by-cycle loop (interpreter engine)."""
+        sim = self.sim
+        out_index = 0
+        total_cycles = (len(frames) - 1) * gap + self.n_stages + 1 \
+            if frames else 0
+        for cycle in range(total_cycles):
+            if cycle % gap == 0 and cycle // gap < len(frames):
+                self._inject(frames[cycle // gap], shadows)
+            else:
+                sim.drive("s_axis_tvalid", 0)
+            sim.settle()
+            if sim.read("m_axis_tvalid") == 1:
+                out_index = self._take_output(cycle, gap, shadows,
+                                              out_index, report)
+            sim.edge()
+        report.cycles = total_cycles
+        return out_index
+
+    def _run_compiled(self, frames: List[bytes], gap: int,
+                      report: SimReport,
+                      shadows: List[PacketShadow]) -> int:
+        """Fast loop for the compiled engine: the generated ``_run``
+        steps whole idle stretches in one call, returning early (settle
+        done, edge pending) on the cycle ``m_axis_tvalid`` rises, so
+        Python only touches injections and outputs."""
+        sim = self.sim
+        run = sim._run_fn
+        frame_fn = sim._frame_fn
+        values = sim.values
+        NQ, PEND, PQ = sim._NQ, sim._PEND, sim._PQ
+        PRIMS, ACT = sim._PRIMS, sim.prim_active
+        mark = sim._mark_fn
+        edge = sim._edge_fn
+        # Port refs resolved once; the per-frame loop writes nets
+        # directly instead of going through drive()'s name lookup.
+        tvalid = sim._port("s_axis_tvalid")
+        tv_net, tv_bit = tvalid.net, 1 << tvalid.low
+        in_refs = [(r.net, r.low, r.mask) for r in (
+            sim._port("s_axis_tlast"), sim._port("s_axis_tdata"),
+            sim._port("s_axis_tlen"))]
+        wmax = self.window_bytes
+        ctx = self.context
+        out_index = 0
+        base = 0
+        last = len(frames) - 1
+        for idx, frame in enumerate(frames):
+            shadow = PacketShadow(frame)
+            shadow.tail = bytearray(frame[wmax:])
+            shadows.append(shadow)
+            ctx.packet = shadow
+            window = frame[:wmax].ljust(wmax, b"\x00")
+            span = gap if idx < last else self.n_stages + 1
+            if frame_fn is not None:
+                # Whole window in one generated call: injection marks
+                # are inlined constants and tvalid drops after the
+                # first edge without a Python round-trip.
+                done, hit, nc, pr = frame_fn(
+                    values, NQ, PEND, PQ, PRIMS, ACT, span,
+                    int.from_bytes(window, "little"),
+                    len(frame) & 0xFFFF)
+                consumed = done
+            else:
+                if not values[tv_net] & tv_bit:
+                    values[tv_net] |= tv_bit
+                    mark(tv_net, NQ, PEND, PQ)
+                for (net, low, msk), val in zip(in_refs, (
+                        1, int.from_bytes(window, "little"),
+                        len(frame) & 0xFFFF)):
+                    before = values[net]
+                    after = before & ~(msk << low) \
+                        | (val & msk) << low
+                    if after != before:
+                        values[net] = after
+                        mark(net, NQ, PEND, PQ)
+                # tvalid is held for exactly one cycle, so the first
+                # step of a window is capped at one cycle.
+                done, hit, nc, pr = run(values, NQ, PEND, PQ,
+                                        PRIMS, ACT, 1)
+                consumed = done
+            sim.comb_evals += nc
+            sim.proc_evals += pr
+            sim.settle_count += done + hit
+            sim.edge_count += done
+            while True:
+                if hit:
+                    out_index = self._take_output(
+                        base + consumed, gap, shadows, out_index,
+                        report)
+                    # finish the output cycle
+                    sim.proc_evals += edge(values, NQ, PEND, PQ)
+                    sim.edge_count += 1
+                    consumed += 1
+                if values[tv_net] & tv_bit and consumed:
+                    # output rose on the inject cycle itself, before
+                    # the stepper's first-edge tvalid drop
+                    values[tv_net] &= ~tv_bit
+                    mark(tv_net, NQ, PEND, PQ)
+                if consumed >= span:
+                    break
+                done, hit, nc, pr = run(values, NQ, PEND, PQ,
+                                        PRIMS, ACT, span - consumed)
+                sim.comb_evals += nc
+                sim.proc_evals += pr
+                sim.settle_count += done + hit
+                sim.edge_count += done
+                consumed += done
+            base += span
+        report.cycles = base
+        return out_index
+
     def _publish_telemetry(self) -> None:
         """Report settle/edge activity and primitive op counts into the
         process-wide registry (no-op when telemetry is off). Counters are
@@ -212,7 +455,7 @@ class RtlRunner:
         reg = get_registry()
         if not reg.enabled:
             return
-        labels = {"program": self.pipeline.name, "engine": "rtl"}
+        labels = {"program": self.pipeline.name, "engine": self.engine}
         sim = self.sim
         reg.counter(
             "ehdl_rtl_settles_total",
@@ -224,6 +467,32 @@ class RtlRunner:
         ).inc(sim.edge_count - self._published_edges)
         self._published_settles = sim.settle_count
         self._published_edges = sim.edge_count
+        if isinstance(sim, CompiledRtlSimulator):
+            reg.counter(
+                "ehdl_rtl_comb_evals_total",
+                "Combinational nodes actually evaluated by the compiled "
+                "schedule (the interpreter would evaluate "
+                "nodes x settles)", labels,
+            ).inc(sim.comb_evals - self._published_comb)
+            reg.counter(
+                "ehdl_rtl_proc_evals_total",
+                "Clocked processes actually evaluated by the compiled "
+                "schedule", labels,
+            ).inc(sim.proc_evals - self._published_procs)
+            self._published_comb = sim.comb_evals
+            self._published_procs = sim.proc_evals
+            if not self._published_active:
+                self._published_active = [0] * len(sim.prim_active)
+            for i, label in enumerate(sim.prim_labels):
+                delta = sim.prim_active[i] - self._published_active[i]
+                if delta:
+                    reg.counter(
+                        "ehdl_rtl_prim_active_total",
+                        "Settles in which a gated primitive block was "
+                        "live (request held)",
+                        {**labels, "prim": label},
+                    ).inc(delta)
+                    self._published_active[i] = sim.prim_active[i]
         for kind, count in sorted(self.context.op_counts.items()):
             already = self._published_ops.get(kind, 0)
             reg.counter(

@@ -276,19 +276,22 @@ class XdpOffload:
         return emit_vhdl(self.pipeline)
 
     def verify_rtl(self, frames: Sequence[bytes],
-                   setup=None, ignore_maps: Sequence[str] = ()):
+                   setup=None, ignore_maps: Sequence[str] = (),
+                   rtl_engine: str = "rtl"):
         """Three-way differential over ``frames``: the reference VM, the
         pipeline simulator, and an RTL simulation of :meth:`vhdl`'s
         output must agree on every action, output byte, and final map
         entry. Returns a :class:`repro.rtl.diff.ThreeWayResult`; call
         ``raise_on_mismatch()`` to assert. Runs on fresh map sets (the
         loaded NIC's live state is not disturbed); ``setup(maps)`` seeds
-        each leg the same way."""
+        each leg the same way. ``rtl_engine`` picks the RTL leg's
+        simulator: the compiled levelized schedule (``"rtl"``, default)
+        or the delta-cycle interpreter (``"rtl-interp"``)."""
         from .rtl import run_three_way
 
         return run_three_way(
             self.program, list(frames), pipeline=self.pipeline,
-            setup=setup, ignore_maps=ignore_maps,
+            setup=setup, ignore_maps=ignore_maps, rtl_engine=rtl_engine,
         )
 
     def summary(self) -> str:

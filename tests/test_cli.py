@@ -196,7 +196,15 @@ class TestRtlCommands:
         assert main(["rtl-sim", prog_file, "--packets", "6",
                      "--flows", "2"]) == 0
         out = capsys.readouterr().out
-        assert "rtl:" in out and "per-packet cycles" in out
+        # the banner names the engine that actually ran — the compiled
+        # schedule, with no silent interpreter fallback
+        assert "rtl[rtl]:" in out and "per-packet cycles" in out
+
+    def test_rtl_sim_interp_engine(self, capsys, prog_file):
+        assert main(["rtl-sim", prog_file, "--packets", "6",
+                     "--flows", "2", "--engine", "rtl-interp"]) == 0
+        out = capsys.readouterr().out
+        assert "rtl[rtl-interp]:" in out
 
     def test_verify_ok(self, capsys, prog_file):
         assert main(["verify", prog_file, "--packets", "6",

@@ -53,7 +53,7 @@ REFERENCE_PAIRS = [
 class TestRegistry:
     def test_engine_names(self):
         assert engine_names() == [
-            "vm", "interpreted", "fast", "codegen", "rtl"
+            "vm", "interpreted", "fast", "codegen", "rtl", "rtl-interp"
         ]
 
     def test_pipeline_engine_names(self):

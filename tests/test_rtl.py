@@ -19,8 +19,11 @@ from repro.apps import (
     toy_counter,
     tunnel,
 )
+from random import Random
+
 from repro.core.compiler import CompileOptions, compile_program
 from repro.core.vhdl import emit_vhdl
+from repro.ebpf.maps import MapSet
 from repro.ebpf.verifier import verify
 from repro.net.packet import FiveTuple, ipv4, mac, tcp_packet, udp_packet
 from repro.rtl import (
@@ -448,3 +451,126 @@ class TestThreeWayRandomPrograms:
         # single packet in flight on both hardware legs: even mixed
         # atomic/RMW patterns must match the VM exactly
         run_three_way(program, frames[:4]).raise_on_mismatch()
+
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(prog_ops=map_programs(), frames=packet_batches())
+    def test_random_programs_compiled_matches_interp(self, prog_ops, frames):
+        # The hypothesis corpus through the engine-pair differential:
+        # both RTL engines simulate the same elaborated netlist, so
+        # every observable — including the cycle structure — must match.
+        # (Programs outside the schedulable subset fall back to the
+        # interpreter, where the comparison is trivially exact.)
+        program, _ops = prog_ops
+        verify(program)
+        _assert_rtl_engines_agree(compile_program(program), None, frames[:4])
+
+
+# ---------------------------------------------------------------------------
+# engine-pair differential: compiled schedule vs delta-cycle interpreter
+
+
+def _rtl_engine_run(pipeline, setup, frames, engine):
+    maps = MapSet(pipeline.program.maps)
+    if setup is not None:
+        setup(maps)
+    runner = RtlRunner(pipeline, maps=maps, engine=engine)
+    report = runner.run_packets(frames)
+    return runner, report
+
+
+def _assert_rtl_engines_agree(pipeline, setup, frames):
+    """Run ``frames`` on both RTL engines and compare every observable:
+    verdicts, output bytes, per-packet inject/exit cycles, total cycle
+    count, final map state, and the primitive op mix."""
+    interp, rep_i = _rtl_engine_run(pipeline, setup, frames, "rtl-interp")
+    compiled, rep_c = _rtl_engine_run(pipeline, setup, frames, "rtl")
+    obs_i = [(r.pid, r.action, bytes(r.data), r.inject_cycle, r.exit_cycle)
+             for r in rep_i.records]
+    obs_c = [(r.pid, r.action, bytes(r.data), r.inject_cycle, r.exit_cycle)
+             for r in rep_c.records]
+    assert obs_i == obs_c
+    assert rep_i.cycles == rep_c.cycles
+    assert interp.maps.snapshot() == compiled.maps.snapshot()
+    assert interp.context.op_counts == compiled.context.op_counts
+    return compiled
+
+
+class TestCompiledEnginePair:
+    @pytest.mark.parametrize("name", sorted(APP_CASES))
+    def test_compiled_matches_interp(self, name):
+        build, setup, frames = APP_CASES[name]
+        pipeline = compile_program(build())
+        compiled = _assert_rtl_engines_agree(pipeline, setup, frames)
+        # every evaluation app must be inside the schedulable subset —
+        # a silent interpreter fallback would void the bench numbers
+        assert compiled.engine == "rtl"
+
+    def test_compiled_matches_interp_on_random_traffic(self):
+        # Same deterministic seed on both engines, mixed verdicts.
+        rng = Random(0x5EED)
+        tuples = [FiveTuple(ipv4(f"10.0.{i % 4}.{10 + i}"),
+                            ipv4("192.168.9.9"), 17, 5000 + i, 53)
+                  for i in range(16)]
+        allowed = tuples[::2]
+
+        def setup(maps):
+            for ft in allowed:
+                firewall.allow_flow(maps, ft)
+
+        frames = [_udp(rng.choice(tuples)) for _ in range(120)]
+        pipeline = compile_program(firewall.build())
+        compiled = _assert_rtl_engines_agree(pipeline, setup, frames)
+        assert compiled.engine == "rtl"
+
+
+# ---------------------------------------------------------------------------
+# three-way differential: full bench traces on the compiled engine
+
+FULL_TRACE_PACKETS = 4000
+
+
+def _firewall_trace():
+    rng = Random(0x5EED)
+    tuples = [FiveTuple(ipv4(f"10.0.{i % 4}.{10 + i}"),
+                        ipv4("192.168.9.9"), 17, 5000 + i, 53)
+              for i in range(16)]
+    allowed = tuples[::2]
+
+    def setup(maps):
+        for ft in allowed:
+            firewall.allow_flow(maps, ft)
+
+    frames = [_udp(rng.choice(tuples)) for _ in range(FULL_TRACE_PACKETS)]
+    return firewall.build, setup, frames
+
+
+def _router_trace():
+    rng = Random(0x5EED)
+    dsts = ["192.168.7.200", "192.168.7.4", "8.8.8.8"]
+    frames = [udp_packet(dst_ip=rng.choice(dsts), size=64,
+                         ttl=rng.choice([1, 9, 64]))
+              for _ in range(FULL_TRACE_PACKETS)]
+    return router.build, _rt_setup, frames
+
+
+class TestThreeWayFullTraces:
+    """vm == hwsim == rtl on full 4000-packet traces.
+
+    Only feasible because the compiled RTL engine simulates these
+    traces in well under a second; the delta-cycle interpreter needed
+    ~40s per trace, which is why the differential used to stop at
+    16-packet smoke runs.
+    """
+
+    @pytest.mark.parametrize("trace", ["firewall", "router"])
+    def test_full_trace_agrees_across_all_legs(self, trace):
+        build, setup, frames = \
+            _firewall_trace() if trace == "firewall" else _router_trace()
+        result = run_three_way(build(), frames, setup=setup,
+                               rtl_engine="rtl")
+        result.raise_on_mismatch()
+        assert result.packets == FULL_TRACE_PACKETS
+        # both verdict classes must occur or the trace proves little
+        actions = {rec.action for rec in result.rtl_report.records}
+        assert len(actions) >= 2

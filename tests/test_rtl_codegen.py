@@ -1,0 +1,113 @@
+"""Tests of the compiled RTL schedule generator (:mod:`repro.rtl.codegen`).
+
+Semantics (bit-identical agreement with the delta-cycle interpreter on
+every app) are covered by ``tests/test_rtl.py``; this file pins the
+machinery around the generated schedule source itself:
+
+* golden snapshots of the emitted module text
+  (``tests/corpus/rtl_codegen/``, regenerate with
+  ``pytest --update-golden``) for one fusion-heavy app and one with
+  read-modify-write map channels, so emitter changes show up as diffs;
+* determinism: elaborating the same pipeline twice yields identical
+  source (the persistent-cache contract — artifacts are keyed by
+  netlist digest only);
+* the version stamp and digest plumbing through ``core/cache.py``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.cache import CompileCache
+from repro.core.compiler import compile_program
+from repro.core.vhdl import emit_vhdl
+from repro.ebpf.maps import MapSet
+from repro.rtl import RTL_CODEGEN_VERSION, elaborate, generate_rtl_source, parse_vhdl
+from repro.rtl.codegen import (
+    ARTIFACT_KIND,
+    load_rtl_module,
+    schedule_digest,
+    write_debug_source,
+)
+from repro.rtl.primitives import RtlContext, primitive_factory
+from repro.rtl.sim import find_top
+from tests.test_rtl import APP_CASES
+
+
+def _elaborated(app):
+    build, _setup, _frames = APP_CASES[app]
+    pipeline = compile_program(build())
+    text = emit_vhdl(pipeline)
+    context = RtlContext(MapSet(pipeline.program.maps))
+    model = elaborate(parse_vhdl(text), find_top(text),
+                      primitive_factory, context)
+    return pipeline, text, model
+
+
+class TestGolden:
+    """Full-text snapshots of the generated schedule modules.
+
+    ``firewall`` exercises comb-node fusion and the generated
+    whole-window ``_frame`` stepper; ``router_rmw`` has
+    read-modify-write map channels, so its module carries busy-port
+    traffic the firewall's channels mostly idle through. Regenerate
+    intentionally with ``pytest --update-golden``.
+    """
+
+    APPS = ["firewall", "router_rmw"]
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_snapshot(self, app, request):
+        pipeline, _text, model = _elaborated(app)
+        source = generate_rtl_source(model, pipeline.name)
+        path = Path(__file__).parent / "corpus" / "rtl_codegen" / f"{app}.py"
+        if request.config.getoption("--update-golden"):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source)
+            pytest.skip(f"golden file {path.name} regenerated")
+        assert path.exists(), (
+            f"missing golden file {path}; run pytest --update-golden"
+        )
+        assert source == path.read_text(), (
+            f"generated schedule for {app} diverged from {path.name}; if "
+            "the change is intentional run pytest --update-golden"
+        )
+
+    def test_generation_is_deterministic(self):
+        pipeline, _text, model_a = _elaborated("firewall")
+        _pipeline, _text, model_b = _elaborated("firewall")
+        assert generate_rtl_source(model_a, pipeline.name) \
+            == generate_rtl_source(model_b, pipeline.name)
+
+    def test_version_stamp_matches(self):
+        pipeline, _text, model = _elaborated("firewall")
+        source = generate_rtl_source(model, pipeline.name)
+        assert f"_GEN_VERSION = {RTL_CODEGEN_VERSION}" in source
+
+
+class TestCachePlumbing:
+    def test_schedule_persisted_by_digest(self, tmp_path):
+        from repro.rtl import codegen as rtl_codegen
+
+        pipeline, text, model = _elaborated("toy_counter")
+        cache = CompileCache(tmp_path)
+        digest = schedule_digest(text)
+        # drop the in-process memo so the artifact path actually runs
+        rtl_codegen._MODULE_CACHE.pop(digest, None)
+        assert cache.get_artifact(digest, ARTIFACT_KIND) is None
+        load_rtl_module(model, text, pipeline.name, cache=cache)
+        persisted = cache.get_artifact(digest, ARTIFACT_KIND)
+        assert persisted is not None
+        assert persisted == generate_rtl_source(model, pipeline.name)
+
+    def test_digest_covers_generator_version(self):
+        _pipeline, text, _model = _elaborated("toy_counter")
+        # the digest string folds in RTL_CODEGEN_VERSION, so a version
+        # bump orphans stale persisted artifacts instead of loading them
+        assert schedule_digest(text) != schedule_digest(text + " ")
+
+    def test_debug_source_dump(self, tmp_path):
+        pipeline, _text, model = _elaborated("toy_counter")
+        source = generate_rtl_source(model, pipeline.name)
+        out = write_debug_source(source, tmp_path / "dbg", pipeline.name)
+        assert out.read_text() == source
