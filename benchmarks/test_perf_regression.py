@@ -81,6 +81,11 @@ SERVE_PACKETS = 20_000
 SERVE_FLOWS = 100_000
 SERVE_SWAPS = 3
 
+# Second-generation app matrix: each app on its registered workload
+# (repro.apps.APP_WORKLOADS — Zipfian, million-flow populations),
+# truncated so the interpreted engine keeps the whole matrix cheap.
+APP_MATRIX_PACKETS = 6_000
+
 
 def _host_cpus():
     try:
@@ -300,6 +305,77 @@ def _bench_rtl(name, program):
     }
 
 
+def _bench_app_matrix():
+    """Throughput rows for the second-generation app suite, each on its
+    registered Zipfian workload (million-flow populations where the
+    :data:`repro.apps.APP_WORKLOADS` spec says so), across all three
+    pipeline engines. The input queue is sized to the trace: the
+    lru_hash apps carry serialization windows that make line-rate
+    injection outrun drain, and a queue drop would silently shrink the
+    measured work. Engine parity (cycles + verdicts) is asserted before
+    any pps is recorded; the three-way vm/hwsim/rtl equivalence on the
+    same workloads is enforced by tests/test_second_gen_apps.py and the
+    CI app-matrix step."""
+    import dataclasses
+
+    from repro.apps import APP_WORKLOADS, SECOND_GEN_APPS
+    from repro.workloads import make_workload, parse_workload_spec
+
+    rows = []
+    for name in sorted(SECOND_GEN_APPS):
+        module = SECOND_GEN_APPS[name]
+        program = module.build()
+        pipeline = compile_program(program)
+        spec = dataclasses.replace(
+            parse_workload_spec(APP_WORKLOADS[name]),
+            packets=APP_MATRIX_PACKETS,
+        )
+        frames = make_workload(spec).materialize()
+        setup = getattr(module, "default_setup", None)
+        reps = {}
+        best = {}
+        for _ in range(2):
+            for engine in ("codegen", "fast", "interpreted"):
+                maps = MapSet(program.maps)
+                if setup is not None:
+                    setup(maps)
+                sim = PipelineSimulator(
+                    pipeline, maps=maps,
+                    options=SimOptions(engine=engine, keep_records=False,
+                                       input_queue_capacity=len(frames)),
+                )
+                gc.collect()
+                start = time.perf_counter()
+                report = sim.run_packets(frames)
+                elapsed = time.perf_counter() - start
+                if engine not in best or elapsed < best[engine]:
+                    best[engine] = elapsed
+                    reps[engine] = report
+        for engine in ("fast", "interpreted"):
+            assert reps["codegen"].cycles == reps[engine].cycles, name
+            assert (reps["codegen"].action_counts
+                    == reps[engine].action_counts), name
+        report = reps["codegen"]
+        assert report.packets_dropped_queue == 0, name
+        rows.append({
+            "app": name,
+            "workload": spec.describe(),
+            "packets": APP_MATRIX_PACKETS,
+            "workload_flows": spec.flows,
+            "n_stages": pipeline.n_stages,
+            "serial_windows": len(pipeline.serial_windows),
+            "codegen_pps": round(APP_MATRIX_PACKETS / best["codegen"]),
+            "fast_pps": round(APP_MATRIX_PACKETS / best["fast"]),
+            "interpreted_pps": round(
+                APP_MATRIX_PACKETS / best["interpreted"]),
+            "cycles": report.cycles,
+            "cycles_per_packet": round(
+                report.cycles / APP_MATRIX_PACKETS, 2),
+            "action_counts": dict(report.action_counts),
+        })
+    return rows
+
+
 def _bench_serve():
     """Serving-daemon throughput and hot-swap latency.
 
@@ -384,6 +460,7 @@ def test_fast_path_throughput_regression():
     telemetry_row = _bench_telemetry_overhead("firewall", firewall.build())
     telemetry_row["overhead_pct_before_batching"] = \
         TELEMETRY_OVERHEAD_BEFORE_PCT
+    matrix_rows = _bench_app_matrix()
     serve_row = _bench_serve()
     RESULT_PATH.write_text(json.dumps({
         "benchmark": "sim_throughput",
@@ -392,6 +469,7 @@ def test_fast_path_throughput_regression():
         "parallel": parallel_row,
         "rtl_sim": rtl_rows,
         "telemetry": telemetry_row,
+        "app_matrix": matrix_rows,
         "serve": serve_row,
     }, indent=2) + "\n")
     print_table(
@@ -425,6 +503,16 @@ def test_fast_path_throughput_regression():
           f"{telemetry_row['enabled_pps']:,}",
           f"{telemetry_row['telemetry_overhead_pct']:.1f}%",
           f"{telemetry_row['overhead_pct_before_batching']:.1f}%"]],
+    )
+    print_table(
+        f"second-generation app matrix ({APP_MATRIX_PACKETS:,} packets "
+        "of each app's registered workload)",
+        ["app", "stages", "windows", "cyc/pkt", "codegen pps",
+         "fast pps", "interp pps"],
+        [[r["app"], r["n_stages"], r["serial_windows"],
+          f"{r['cycles_per_packet']:.2f}", f"{r['codegen_pps']:,}",
+          f"{r['fast_pps']:,}", f"{r['interpreted_pps']:,}"]
+         for r in matrix_rows],
     )
     lat = serve_row["serve_swap_latency"]
     print_table(

@@ -7,17 +7,32 @@ DNAT and the Suricata early filter — plus the toy counter running example
 contrast case for the hazard and resource machinery). Each module provides ``build()`` returning the eBPF
 :class:`~repro.ebpf.isa.Program` plus host-side map helpers (key builders,
 state installers, counter readers).
+
+The **second-generation suite** (:data:`SECOND_GEN_APPS`) extends the
+paper's set with heavier stateful dataplanes: a connection-tracking
+firewall (the ``lru_hash`` map kind), a Maglev-style consistent-hash L4
+load balancer, a SYN-cookie DDoS scrubber, stateless NAT64 and VXLAN
+tunnel termination. Per-app map/helper requirements and the
+expressiveness findings live in docs/apps.md.
+
+:data:`APP_WORKLOADS` names each app's natural ``repro.workloads`` spec
+— the pairing the bench matrix and CI differential sweep run.
 """
 
 from . import (
+    ct_firewall,
     dnat,
     firewall,
     icmp_echo,
     leaky_bucket,
+    maglev,
+    nat64,
     router,
     suricata,
+    syn_cookie,
     toy_counter,
     tunnel,
+    vxlan_term,
 )
 
 EVALUATION_APPS = {
@@ -28,14 +43,39 @@ EVALUATION_APPS = {
     "suricata": suricata,
 }
 
+SECOND_GEN_APPS = {
+    "ct_firewall": ct_firewall,
+    "maglev": maglev,
+    "syn_cookie": syn_cookie,
+    "nat64": nat64,
+    "vxlan_term": vxlan_term,
+}
+
+#: Each second-generation app's natural workload (repro.workloads spec
+#: syntax) — what `repro bench --app-matrix` and the CI sweep feed it.
+APP_WORKLOADS = {
+    "ct_firewall": "flow-churn:flows=1000000,packets=20000,churn=0.05",
+    "maglev": "udp-zipf:flows=1000000,packets=20000",
+    "syn_cookie": "syn-flood:packets=20000",
+    "nat64": "udp6-nat64:flows=1000000,packets=20000",
+    "vxlan_term": "tunnel-encap:flows=1000000,packets=20000,vnis=16",
+}
+
 __all__ = [
+    "APP_WORKLOADS",
     "EVALUATION_APPS",
+    "SECOND_GEN_APPS",
+    "ct_firewall",
     "dnat",
     "icmp_echo",
     "firewall",
     "leaky_bucket",
+    "maglev",
+    "nat64",
     "router",
     "suricata",
+    "syn_cookie",
     "toy_counter",
     "tunnel",
+    "vxlan_term",
 ]

@@ -1,0 +1,205 @@
+"""Maglev-style consistent-hash L4 load balancer.
+
+The data plane hashes each packet's 5-tuple, indexes a fixed-size
+lookup table (an array map of ``TABLE_SIZE`` entries, ``TABLE_SIZE``
+prime as in the Maglev paper), bumps the chosen backend's packet
+counter and redirects the frame out of the backend's interface. The
+table itself is filled by the host with Maglev's offset/skip
+permutation algorithm (:func:`maglev_table`), which gives near-equal
+backend shares and minimal disruption when a backend is added or
+removed — :func:`populate` is the "host writes, data plane reads"
+interaction of §6.
+
+Connection affinity is hash-only (the per-connection table of the real
+Maglev is left to the conntrack firewall app); the part reproduced here
+is the consistent-hash table as a *data-plane array lookup* with the
+permutation entirely on the host.
+
+Maps:
+
+* ``maglev``: array[TABLE_SIZE], value 8 B = backend_id(4 LE) +
+  egress ifindex(4 LE);
+* ``lb_stats``: array[MAX_BACKENDS] of u64 per-backend packet counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..ebpf.asm import assemble_program
+from ..ebpf.isa import MapSpec, Program
+from ..ebpf.maps import MapSet
+from ..net.packet import FiveTuple
+
+#: Lookup-table size; prime, per Maglev §3.4 (small — this is the
+#: reproduction's knob, not a line-rate deployment's 65537).
+TABLE_SIZE = 251
+MAX_BACKENDS = 32
+
+#: Data-plane hash multiplier (golden-ratio constant, fits in s32 imm).
+HASH_MULT = 1640531527
+
+_MASK64 = (1 << 64) - 1
+
+MAGLEV_MAP = MapSpec(
+    "maglev", "array", key_size=4, value_size=8, max_entries=TABLE_SIZE
+)
+LB_STATS_MAP = MapSpec(
+    "lb_stats", "array", key_size=4, value_size=8, max_entries=MAX_BACKENDS
+)
+
+ETH_P_IP_LE = 0x0008
+IPPROTO_UDP = 17
+IPPROTO_TCP = 6
+
+_SOURCE = f"""
+    r7 = *(u32 *)(r1 + 4)
+    r6 = *(u32 *)(r1 + 0)
+    r2 = r6
+    r2 += 42
+    if r2 > r7 goto pass
+    r2 = *(u16 *)(r6 + 12)
+    if r2 != {ETH_P_IP_LE} goto pass
+    r2 = *(u8 *)(r6 + 23)
+    if r2 == {IPPROTO_UDP} goto l4ok
+    if r2 != {IPPROTO_TCP} goto pass
+l4ok:
+    ; 5-tuple hash: xor-fold the LE-loaded wire words, one multiply,
+    ; fold the high bits back, then index the prime-sized table
+    r2 = *(u32 *)(r6 + 26)
+    r3 = *(u32 *)(r6 + 30)
+    r2 ^= r3
+    r3 = *(u32 *)(r6 + 34)
+    r2 ^= r3
+    r2 *= {HASH_MULT}
+    r3 = r2
+    r3 >>= 16
+    r2 ^= r3
+    r2 %= {TABLE_SIZE}
+    *(u32 *)(r10 - 8) = r2
+    r1 = map[maglev]
+    r2 = r10
+    r2 += -8
+    call 1
+    if r0 == 0 goto pass
+    r8 = *(u32 *)(r0 + 0)            ; backend id
+    r9 = *(u32 *)(r0 + 4)            ; backend egress ifindex
+    ; per-backend packet counter
+    *(u32 *)(r10 - 16) = r8
+    r1 = map[lb_stats]
+    r2 = r10
+    r2 += -16
+    call 1
+    if r0 == 0 goto redirect
+    r1 = 1
+    lock *(u64 *)(r0 + 0) += r1
+redirect:
+    r1 = r9
+    r2 = 0
+    call 23                          ; bpf_redirect(backend ifindex, 0)
+    exit
+pass:
+    r0 = 2
+    exit
+"""
+
+
+def build() -> Program:
+    """Assemble the Maglev load balancer."""
+    return assemble_program(
+        _SOURCE,
+        maps={"maglev": MAGLEV_MAP, "lb_stats": LB_STATS_MAP},
+        name="maglev",
+    )
+
+
+# -- host side: the Maglev permutation ----------------------------------------
+
+
+def _h(x: int, salt: int) -> int:
+    """Deterministic host-side hash for offset/skip derivation."""
+    x = (x * 2654435761 + salt * 40503 + 0x9E3779B9) & 0xFFFFFFFF
+    x ^= x >> 15
+    x = (x * 2246822519) & 0xFFFFFFFF
+    x ^= x >> 13
+    return x
+
+
+def maglev_table(n_backends: int, table_size: int = TABLE_SIZE) -> List[int]:
+    """Maglev's population algorithm (§3.4): each backend walks its own
+    offset/skip permutation of the table, claiming the first free slot
+    per round, until the table is full. Returns backend index per slot."""
+    if n_backends < 1:
+        raise ValueError("need at least one backend")
+    if n_backends > table_size:
+        raise ValueError("more backends than table entries")
+    offsets = [_h(i, 1) % table_size for i in range(n_backends)]
+    skips = [_h(i, 2) % (table_size - 1) + 1 for i in range(n_backends)]
+    next_pref = [0] * n_backends
+    entry = [-1] * table_size
+    filled = 0
+    while filled < table_size:
+        for i in range(n_backends):
+            c = (offsets[i] + next_pref[i] * skips[i]) % table_size
+            while entry[c] >= 0:
+                next_pref[i] += 1
+                c = (offsets[i] + next_pref[i] * skips[i]) % table_size
+            entry[c] = i
+            next_pref[i] += 1
+            filled += 1
+            if filled == table_size:
+                break
+    return entry
+
+
+def populate(maps: MapSet, backends: Sequence[int]) -> List[int]:
+    """Host-side: fill the lookup table for ``backends`` (a sequence of
+    egress ifindexes; backend id = position). Returns the table."""
+    if len(backends) > MAX_BACKENDS:
+        raise ValueError(f"at most {MAX_BACKENDS} backends")
+    table = maglev_table(len(backends))
+    lookup = maps.by_name("maglev")
+    for slot, backend in enumerate(table):
+        value = backend.to_bytes(4, "little") + int(
+            backends[backend]
+        ).to_bytes(4, "little")
+        lookup.update(slot.to_bytes(4, "little"), value)
+    return table
+
+
+def flow_slot(flow: FiveTuple) -> int:
+    """Mirror of the data-plane hash: the table slot a flow indexes."""
+    src = int.from_bytes(flow.src_ip.to_bytes(4, "big"), "little")
+    dst = int.from_bytes(flow.dst_ip.to_bytes(4, "big"), "little")
+    ports = int.from_bytes(
+        flow.sport.to_bytes(2, "big") + flow.dport.to_bytes(2, "big"),
+        "little",
+    )
+    h = ((src ^ dst ^ ports) * HASH_MULT) & _MASK64
+    h ^= h >> 16
+    return h % TABLE_SIZE
+
+
+def backend_for(table: Sequence[int], flow: FiveTuple) -> int:
+    """The backend index a flow balances to under ``table``."""
+    return table[flow_slot(flow)]
+
+
+#: Demo backend pool for the CLI (`repro run app:maglev`): four
+#: backends on ifindexes 1..4.
+DEFAULT_BACKENDS = (1, 2, 3, 4)
+
+
+def default_setup(maps: MapSet) -> None:
+    """CLI hook: populate the table with :data:`DEFAULT_BACKENDS`."""
+    populate(maps, DEFAULT_BACKENDS)
+
+
+def backend_counters(maps: MapSet, n_backends: int) -> Dict[int, int]:
+    """Host-side: per-backend packet counts."""
+    stats = maps.by_name("lb_stats")
+    out: Dict[int, int] = {}
+    for i in range(n_backends):
+        value = stats.lookup(i.to_bytes(4, "little"))
+        out[i] = int.from_bytes(value, "little") if value else 0
+    return out

@@ -1,0 +1,176 @@
+"""Stateless NAT64: IPv6 UDP to IPv4, RFC 6052 well-known prefix.
+
+Translates inbound IPv6/UDP packets addressed into ``64:ff9b::/96``
+(the NAT64 well-known prefix) to IPv4: the embedded IPv4 destination is
+the low 32 bits of the v6 destination, the IPv4 source is derived
+statelessly from the v6 source's low bytes into ``10.0.0.0/8``, and the
+40-byte IPv6 header is swapped for a freshly-built 20-byte IPv4 header
+(``bpf_xdp_adjust_head(+20)``, then the header-store burst + checksum
+fold, mirroring the Tunnel app's encapsulation in reverse). The UDP
+payload is untouched; the v4 UDP checksum is cleared (optional in v4 —
+the v6 pseudo-header sum would be stale).
+
+Only the UDP fast path is expressible: ICMPv6-to-ICMPv4 translation and
+TCP MSS clamping both require checksum recomputation over unbounded
+payload bytes, which has no bounded-unroll form — the expressiveness
+finding recorded in docs/apps.md.
+
+Map ``nat64_stats``: array[1] u64 — packets translated.
+"""
+
+from __future__ import annotations
+
+from ..ebpf.asm import assemble_program
+from ..ebpf.isa import MapSpec, Program
+from ..ebpf.maps import MapSet
+
+STATS_MAP = MapSpec(
+    "nat64_stats", "array", key_size=4, value_size=8, max_entries=1
+)
+
+ETH_P_IPV6_LE = 0xDD86  # 0x86DD read little-endian
+IPPROTO_UDP = 17
+
+#: LE load of the prefix's first four wire bytes ``00 64 ff 9b``.
+PREFIX_WORD_LE = 0x9BFF6400
+
+#: The well-known prefix itself, host side (bytes 0..11 of the v6 dst).
+WELL_KNOWN_PREFIX = bytes.fromhex("0064ff9b") + bytes(8)
+
+_SOURCE = f"""
+    r9 = r1                          ; keep the ctx for adjust_head
+    r7 = *(u32 *)(r1 + 4)
+    r6 = *(u32 *)(r1 + 0)
+    r2 = r6
+    r2 += 62
+    if r2 > r7 goto pass
+    r2 = *(u16 *)(r6 + 12)
+    if r2 != {ETH_P_IPV6_LE} goto pass
+    r2 = *(u8 *)(r6 + 20)
+    if r2 != {IPPROTO_UDP} goto pass ; UDP fast path only (docs/apps.md)
+    ; destination must be inside 64:ff9b::/96
+    r2 = *(u32 *)(r6 + 38)
+    r3 = {PREFIX_WORD_LE} ll
+    if r2 != r3 goto pass
+    r2 = *(u64 *)(r6 + 42)
+    if r2 != 0 goto pass
+    r8 = *(u32 *)(r6 + 50)           ; embedded IPv4 destination (wire)
+    ; stateless source mapping: 10.a.b.c from the v6 source low bytes
+    r3 = *(u32 *)(r6 + 34)
+    r3 <<= 8
+    r3 |= 10
+    *(u32 *)(r10 - 8) = r3
+    ; IPv4 total length = IPv6 payload length + 20-byte header
+    r2 = *(u16 *)(r6 + 18)
+    r2 = be16 r2
+    r2 += 20
+    *(u16 *)(r10 - 12) = r2
+    ; the old Ethernet header falls off the front: save the MACs
+    r2 = *(u64 *)(r6 + 0)
+    *(u64 *)(r10 - 24) = r2
+    r2 = *(u32 *)(r6 + 8)
+    *(u32 *)(r10 - 28) = r2
+    ; shrink the frame: IPv6 (40 B) becomes IPv4 (20 B)
+    r1 = r9
+    r2 = 20
+    call 44                          ; bpf_xdp_adjust_head(ctx, +20)
+    if r0 != 0 goto aborted
+    r7 = *(u32 *)(r9 + 4)
+    r6 = *(u32 *)(r9 + 0)
+    r2 = r6
+    r2 += 42
+    if r2 > r7 goto aborted
+    ; rebuild Ethernet
+    r2 = *(u64 *)(r10 - 24)
+    *(u64 *)(r6 + 0) = r2
+    r2 = *(u32 *)(r10 - 28)
+    *(u32 *)(r6 + 8) = r2
+    *(u16 *)(r6 + 12) = 8            ; ethertype IPv4
+    ; build the IPv4 header
+    *(u8 *)(r6 + 14) = 69            ; 0x45 version/ihl
+    *(u8 *)(r6 + 15) = 0             ; tos
+    r3 = *(u16 *)(r10 - 12)          ; total length (host value)
+    r2 = r3
+    r2 = be16 r2
+    *(u16 *)(r6 + 16) = r2
+    *(u16 *)(r6 + 18) = 0            ; identification
+    *(u16 *)(r6 + 20) = 0            ; flags/fragment
+    *(u8 *)(r6 + 22) = 64            ; ttl
+    *(u8 *)(r6 + 23) = {IPPROTO_UDP}
+    r2 = *(u32 *)(r10 - 8)
+    *(u32 *)(r6 + 26) = r2           ; translated source
+    *(u32 *)(r6 + 30) = r8           ; embedded destination
+    ; header checksum (one's complement fold, as in the Tunnel app)
+    r4 = 17664                       ; 0x4500 version/ihl/tos word
+    r4 += r3                         ; + total length
+    r4 += 16401                      ; 0x4011 ttl/protocol word
+    r2 = *(u16 *)(r6 + 26)
+    r2 = be16 r2
+    r4 += r2
+    r2 = *(u16 *)(r6 + 28)
+    r2 = be16 r2
+    r4 += r2
+    r2 = *(u16 *)(r6 + 30)
+    r2 = be16 r2
+    r4 += r2
+    r2 = *(u16 *)(r6 + 32)
+    r2 = be16 r2
+    r4 += r2
+    r2 = r4
+    r2 >>= 16
+    r4 &= 65535
+    r4 += r2
+    r2 = r4
+    r2 >>= 16
+    r4 &= 65535
+    r4 += r2
+    r4 ^= 65535
+    r4 = be16 r4
+    *(u16 *)(r6 + 24) = r4
+    ; v4 UDP checksum is optional — the v6 pseudo-header sum is stale
+    *(u16 *)(r6 + 40) = 0
+    ; translated-packet counter
+    r2 = 0
+    *(u32 *)(r10 - 32) = r2
+    r1 = map[nat64_stats]
+    r2 = r10
+    r2 += -32
+    call 1
+    if r0 == 0 goto send
+    r1 = 1
+    lock *(u64 *)(r0 + 0) += r1
+send:
+    r0 = 3
+    exit
+aborted:
+    r0 = 0
+    exit
+pass:
+    r0 = 2
+    exit
+"""
+
+
+def build() -> Program:
+    """Assemble the NAT64 translator."""
+    return assemble_program(
+        _SOURCE, maps={"nat64_stats": STATS_MAP}, name="nat64"
+    )
+
+
+def nat64_dst(v4_dst: int) -> bytes:
+    """Host-side: the v6 address the translator maps to ``v4_dst``."""
+    return WELL_KNOWN_PREFIX + v4_dst.to_bytes(4, "big")
+
+
+def translated_src(v6_src: bytes) -> bytes:
+    """Host-side mirror of the stateless source mapping (wire bytes)."""
+    if len(v6_src) != 16:
+        raise ValueError("expected a 16-byte IPv6 address")
+    return bytes([10, v6_src[12], v6_src[13], v6_src[14]])
+
+
+def translated_count(maps: MapSet) -> int:
+    """Host-side: packets translated so far."""
+    value = maps.by_name("nat64_stats").lookup(bytes(4))
+    return int.from_bytes(value, "little") if value else 0

@@ -1,0 +1,291 @@
+"""SYN-cookie DDoS scrubber: stateless SYN reflection, stateful admits.
+
+The classic SYN-proxy defence, run entirely in the data plane:
+
+* A pure **SYN** never allocates state. The program crafts a SYN-ACK
+  *in place* (MAC/IP/port swap — both checksums are invariant under the
+  swaps), sets the sequence number to an arithmetic cookie bound to the
+  4-tuple and a host-provisioned secret, and transmits it back out
+  (``XDP_TX``). A SYN flood therefore costs the box zero memory.
+* A pure **ACK** whose acknowledgement number equals ``cookie + 1``
+  proves the peer completed the handshake; the connection is admitted
+  into an ``lru_hash`` table (second LRU app — the admit path's lookup
+  + update on one map exercises the serialization window) and passed.
+* Packets of admitted connections pass and bump the entry's counter;
+  everything else TCP is dropped.
+
+The TCP checksum of the reflected SYN-ACK is zeroed rather than
+recomputed — seq/ack/flags rewrites would need a full 16-bit fold over
+changed words; real deployments lean on NIC checksum offload for this,
+and the simulators do not validate L4 checksums (see docs/apps.md).
+
+Maps:
+
+* ``secret``: hash[1] u64 — cookie secret; *unset secret bypasses the
+  scrubber* (everything passes — a hash map, not an array, precisely so
+  the unarmed state is an observable lookup miss), so the host arms it
+  explicitly;
+* ``conns``: lru_hash, key 16 B (wire-order 4-tuple + pad), value 8 B
+  packet counter;
+* ``scrub_stats``: array[3] u64 — [0] SYN-ACKs reflected,
+  [1] connections admitted, [2] packets dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ebpf.asm import assemble_program
+from ..ebpf.isa import MapSpec, Program
+from ..ebpf.maps import MapSet
+from ..net.packet import FiveTuple
+
+SECRET_MAP = MapSpec("secret", "hash", key_size=4, value_size=8, max_entries=1)
+CONNS_MAP = MapSpec(
+    "conns", "lru_hash", key_size=16, value_size=8, max_entries=2048
+)
+STATS_MAP = MapSpec(
+    "scrub_stats", "array", key_size=4, value_size=8, max_entries=3
+)
+
+ETH_P_IP_LE = 0x0008
+IPPROTO_TCP = 6
+TCP_FLAGS_OFF = 47  # 14 (eth) + 20 (ipv4) + 13
+
+#: Cookie mixing constants (both fit in a signed 32-bit immediate).
+COOKIE_MULT1 = 1640531527
+COOKIE_MULT2 = 1103515245
+
+_MASK64 = (1 << 64) - 1
+
+STAT_SYNACK = 0
+STAT_ADMITTED = 1
+STAT_DROPPED = 2
+
+# Computes the cookie for the packet under r6 into r3 (32-bit result);
+# clobbers r2. The secret must already be in r9.
+_COOKIE_BLOCK = f"""
+    r3 = *(u32 *)(r6 + 26)
+    r3 *= {COOKIE_MULT1}
+    r2 = *(u32 *)(r6 + 30)
+    r3 ^= r2
+    r2 = *(u32 *)(r6 + 34)
+    r3 ^= r2
+    r3 += r9
+    r3 *= {COOKIE_MULT2}
+    r2 = r3
+    r2 >>= 17
+    r3 ^= r2
+    r3 <<= 32
+    r3 >>= 32
+"""
+
+_SOURCE = f"""
+    r7 = *(u32 *)(r1 + 4)
+    r6 = *(u32 *)(r1 + 0)
+    r2 = r6
+    r2 += 54
+    if r2 > r7 goto pass
+    r2 = *(u16 *)(r6 + 12)
+    if r2 != {ETH_P_IP_LE} goto pass
+    r2 = *(u8 *)(r6 + 23)
+    if r2 != {IPPROTO_TCP} goto pass
+    ; arm check: an unset secret disables the scrubber
+    r2 = 0
+    *(u32 *)(r10 - 40) = r2
+    r1 = map[secret]
+    r2 = r10
+    r2 += -40
+    call 1
+    if r0 == 0 goto pass
+    r9 = *(u64 *)(r0 + 0)
+    r8 = *(u8 *)(r6 + {TCP_FLAGS_OFF})
+    if r8 == 2 goto synpath          ; pure SYN
+    ; build the forward 4-tuple key
+    r2 = *(u32 *)(r6 + 26)
+    *(u32 *)(r10 - 16) = r2
+    r3 = *(u32 *)(r6 + 30)
+    *(u32 *)(r10 - 12) = r3
+    r4 = *(u16 *)(r6 + 34)
+    *(u16 *)(r10 - 8) = r4
+    r5 = *(u16 *)(r6 + 36)
+    *(u16 *)(r10 - 6) = r5
+    r2 = 0
+    *(u32 *)(r10 - 4) = r2
+    r1 = map[conns]
+    r2 = r10
+    r2 += -16
+    call 1
+    if r0 != 0 goto established
+    if r8 == 16 goto ackpath         ; pure ACK: maybe a cookie reply
+    goto dropstat
+established:
+    r1 = 1
+    lock *(u64 *)(r0 + 0) += r1
+    r0 = 2
+    exit
+ackpath:
+{_COOKIE_BLOCK}
+    r2 = *(u32 *)(r6 + 42)           ; acknowledgement number (wire)
+    r2 = be32 r2
+    r2 += -1
+    r4 = r2
+    r4 <<= 32
+    r4 >>= 32
+    if r4 != r3 goto dropstat
+    ; handshake proven: admit the connection
+    r3 = 1
+    *(u64 *)(r10 - 32) = r3
+    r1 = map[conns]
+    r2 = r10
+    r2 += -16
+    r3 = r10
+    r3 += -32
+    r4 = 0
+    call 2
+    r2 = {STAT_ADMITTED}
+    *(u32 *)(r10 - 40) = r2
+    r1 = map[scrub_stats]
+    r2 = r10
+    r2 += -40
+    call 1
+    if r0 == 0 goto admit
+    r1 = 1
+    lock *(u64 *)(r0 + 0) += r1
+admit:
+    r0 = 2
+    exit
+synpath:
+{_COOKIE_BLOCK}
+    ; reflect as a SYN-ACK: swap MACs...
+    r2 = *(u32 *)(r6 + 0)
+    r4 = *(u16 *)(r6 + 4)
+    r5 = *(u32 *)(r6 + 6)
+    r1 = *(u16 *)(r6 + 10)
+    *(u32 *)(r6 + 0) = r5
+    *(u16 *)(r6 + 4) = r1
+    *(u32 *)(r6 + 6) = r2
+    *(u16 *)(r6 + 10) = r4
+    ; ...swap addresses and ports (checksum-invariant swaps)...
+    r2 = *(u32 *)(r6 + 26)
+    r4 = *(u32 *)(r6 + 30)
+    *(u32 *)(r6 + 26) = r4
+    *(u32 *)(r6 + 30) = r2
+    r2 = *(u16 *)(r6 + 34)
+    r4 = *(u16 *)(r6 + 36)
+    *(u16 *)(r6 + 34) = r4
+    *(u16 *)(r6 + 36) = r2
+    ; ...ack = client ISN + 1, seq = cookie
+    r2 = *(u32 *)(r6 + 38)
+    r2 = be32 r2
+    r2 += 1
+    r2 = be32 r2
+    *(u32 *)(r6 + 42) = r2
+    r3 = be32 r3
+    *(u32 *)(r6 + 38) = r3
+    r2 = 18                          ; SYN|ACK
+    *(u8 *)(r6 + {TCP_FLAGS_OFF}) = r2
+    r2 = 0
+    *(u16 *)(r6 + 50) = r2           ; checksum: see module docstring
+    r2 = {STAT_SYNACK}
+    *(u32 *)(r10 - 40) = r2
+    r1 = map[scrub_stats]
+    r2 = r10
+    r2 += -40
+    call 1
+    if r0 == 0 goto reflect
+    r1 = 1
+    lock *(u64 *)(r0 + 0) += r1
+reflect:
+    r0 = 3
+    exit
+dropstat:
+    r2 = {STAT_DROPPED}
+    *(u32 *)(r10 - 40) = r2
+    r1 = map[scrub_stats]
+    r2 = r10
+    r2 += -40
+    call 1
+    if r0 == 0 goto drop
+    r1 = 1
+    lock *(u64 *)(r0 + 0) += r1
+drop:
+    r0 = 1
+    exit
+pass:
+    r0 = 2
+    exit
+"""
+
+
+def build() -> Program:
+    """Assemble the SYN-cookie scrubber."""
+    return assemble_program(
+        _SOURCE,
+        maps={
+            "secret": SECRET_MAP,
+            "conns": CONNS_MAP,
+            "scrub_stats": STATS_MAP,
+        },
+        name="syn_cookie",
+    )
+
+
+def arm(maps: MapSet, secret: int) -> None:
+    """Host-side: set the cookie secret, enabling the scrubber."""
+    maps.by_name("secret").update(
+        bytes(4), (secret & _MASK64).to_bytes(8, "little")
+    )
+
+
+#: Demo secret for the CLI (`repro run app:syn_cookie`); real
+#: deployments rotate it from the control plane.
+DEFAULT_SECRET = 0x5EC12E7C00C1E5
+
+
+def default_setup(maps: MapSet) -> None:
+    """CLI hook: arm the scrubber with :data:`DEFAULT_SECRET`."""
+    arm(maps, DEFAULT_SECRET)
+
+
+def syn_cookie(flow: FiveTuple, secret: int) -> int:
+    """Mirror of the data-plane cookie: inputs are the LE values of the
+    wire bytes, exactly as the pipeline loads them."""
+    src = int.from_bytes(flow.src_ip.to_bytes(4, "big"), "little")
+    dst = int.from_bytes(flow.dst_ip.to_bytes(4, "big"), "little")
+    ports = int.from_bytes(
+        flow.sport.to_bytes(2, "big") + flow.dport.to_bytes(2, "big"),
+        "little",
+    )
+    c = (src * COOKIE_MULT1) & _MASK64
+    c ^= dst
+    c ^= ports
+    c = (c + secret) & _MASK64
+    c = (c * COOKIE_MULT2) & _MASK64
+    c ^= c >> 17
+    return c & 0xFFFFFFFF
+
+
+def conn_key(flow: FiveTuple) -> bytes:
+    """The admitted-connection key for ``flow`` (wire-order bytes)."""
+    return (
+        flow.src_ip.to_bytes(4, "big")
+        + flow.dst_ip.to_bytes(4, "big")
+        + flow.sport.to_bytes(2, "big")
+        + flow.dport.to_bytes(2, "big")
+        + bytes(4)
+    )
+
+
+def admitted(maps: MapSet, flow: FiveTuple) -> Optional[int]:
+    """Host-side: an admitted connection's packet counter, or ``None``."""
+    value = maps.by_name("conns").lookup(conn_key(flow))
+    if value is None:
+        return None
+    return int.from_bytes(value, "little")
+
+
+def stat(maps: MapSet, index: int) -> int:
+    """Host-side: one of the ``scrub_stats`` counters."""
+    value = maps.by_name("scrub_stats").lookup(index.to_bytes(4, "little"))
+    return int.from_bytes(value, "little") if value else 0

@@ -1,0 +1,117 @@
+"""VXLAN tunnel termination: validate the VNI, strip the overlay.
+
+The VTEP receive path: for UDP packets to the VXLAN port (4789) whose
+VXLAN header carries a VNI registered in the ``vnis`` map, the program
+bumps the per-VNI packet counter and strips the entire 50-byte overlay
+(outer Ethernet + IPv4 + UDP + VXLAN) with ``bpf_xdp_adjust_head(+50)``,
+passing the decapsulated inner Ethernet frame up the stack. Unknown
+VNIs are dropped — tenant isolation — and non-VXLAN traffic passes
+untouched. The complement of the Tunnel app (which encapsulates on
+transmit): together they cover both directions of the overlay.
+
+Pairs with the ``tunnel-encap`` workload, whose outer/VXLAN layout this
+parser assumes (no VLANs, no IP options, I flag set).
+
+Map ``vnis``: hash, key 4 B = VNI as LE-loaded wire bytes (see
+:func:`vni_key`), value 8 B per-VNI packet counter. Host registers the
+VNIs it terminates; the data plane only counts.
+"""
+
+from __future__ import annotations
+
+from ..ebpf.asm import assemble_program
+from ..ebpf.isa import MapSpec, Program
+from ..ebpf.maps import MapSet
+
+VNIS_MAP = MapSpec("vnis", "hash", key_size=4, value_size=8, max_entries=4096)
+
+ETH_P_IP_LE = 0x0008
+IPPROTO_UDP = 17
+VXLAN_PORT_LE = 0xB512  # wire 0x12B5 (4789) read little-endian
+VXLAN_FLAG_I = 0x08
+
+#: Bytes stripped: outer Ethernet(14) + IPv4(20) + UDP(8) + VXLAN(8).
+DECAP_BYTES = 50
+
+_SOURCE = f"""
+    r9 = r1                          ; keep the ctx for adjust_head
+    r7 = *(u32 *)(r1 + 4)
+    r6 = *(u32 *)(r1 + 0)
+    ; bounds: the full overlay must be present
+    r2 = r6
+    r2 += {DECAP_BYTES}
+    if r2 > r7 goto pass
+    r2 = *(u16 *)(r6 + 12)
+    if r2 != {ETH_P_IP_LE} goto pass
+    r2 = *(u8 *)(r6 + 23)
+    if r2 != {IPPROTO_UDP} goto pass
+    r2 = *(u16 *)(r6 + 36)
+    if r2 != {VXLAN_PORT_LE} goto pass
+    r2 = *(u8 *)(r6 + 42)
+    if r2 != {VXLAN_FLAG_I} goto pass ; VNI must be valid (RFC 7348)
+    ; VNI bytes 46..48 (the trailing reserved byte 49 is zero)
+    r2 = *(u32 *)(r6 + 46)
+    *(u32 *)(r10 - 4) = r2
+    r1 = map[vnis]
+    r2 = r10
+    r2 += -4
+    call 1
+    if r0 == 0 goto drop             ; unregistered tenant
+    r1 = 1
+    lock *(u64 *)(r0 + 0) += r1
+    ; strip the overlay, exposing the inner Ethernet frame
+    r1 = r9
+    r2 = {DECAP_BYTES}
+    call 44                          ; bpf_xdp_adjust_head(ctx, +50)
+    if r0 != 0 goto aborted
+    r7 = *(u32 *)(r9 + 4)
+    r6 = *(u32 *)(r9 + 0)
+    r2 = r6
+    r2 += 14
+    if r2 > r7 goto aborted          ; inner frame must hold an Ethernet header
+    r0 = 2
+    exit
+drop:
+    r0 = 1
+    exit
+aborted:
+    r0 = 0
+    exit
+pass:
+    r0 = 2
+    exit
+"""
+
+
+def build() -> Program:
+    """Assemble the VXLAN terminator."""
+    return assemble_program(_SOURCE, maps={"vnis": VNIS_MAP}, name="vxlan_term")
+
+
+def vni_key(vni: int) -> bytes:
+    """Key for a VNI: the three wire bytes as the data plane loads them
+    (LE u32 of bytes 46..49, trailing reserved byte zero)."""
+    wire = (vni & 0xFFFFFF).to_bytes(3, "big")
+    return wire + b"\x00"
+
+
+def register_vni(maps: MapSet, vni: int) -> None:
+    """Host-side: start terminating ``vni`` (counter reset to zero)."""
+    maps.by_name("vnis").update(vni_key(vni), bytes(8))
+
+
+#: VNIs the CLI demo terminates (12 of the tunnel-encap workload's 16,
+#: so the unknown-tenant drop path stays exercised).
+DEFAULT_VNIS = tuple(range(12))
+
+
+def default_setup(maps: MapSet) -> None:
+    """CLI hook: register :data:`DEFAULT_VNIS`."""
+    for vni in DEFAULT_VNIS:
+        register_vni(maps, vni)
+
+
+def vni_count(maps: MapSet, vni: int) -> int:
+    """Host-side: packets terminated for ``vni``."""
+    value = maps.by_name("vnis").lookup(vni_key(vni))
+    return int.from_bytes(value, "little") if value else 0

@@ -50,16 +50,36 @@ from .rtl.sim import RTL_ENGINES
 _APP_SCHEME = "app:"
 
 
+def _app_names() -> list:
+    """Every registered app module name (anything with a ``build()``)."""
+    from . import apps
+
+    return sorted(
+        n for n in apps.__all__
+        if hasattr(getattr(apps, n, None), "build")
+    )
+
+
 def _load_app(name: str) -> Program:
     from . import apps
 
     module = getattr(apps, name, None)
     if module is None or not hasattr(module, "build"):
-        known = ", ".join(sorted(
-            n for n in apps.__all__ if n != "EVALUATION_APPS"
-        ))
+        known = ", ".join(_app_names())
         raise SystemExit(f"unknown app {name!r} (known apps: {known})")
     return module.build()
+
+
+def _app_setup(path: str):
+    """The ``default_setup(maps)`` hook of an ``app:<name>`` program, if
+    the app module defines one (demo host state: backends, VNIs, the
+    cookie secret), else ``None``."""
+    if not path.startswith(_APP_SCHEME):
+        return None
+    from . import apps
+
+    module = getattr(apps, path[len(_APP_SCHEME):], None)
+    return getattr(module, "default_setup", None)
 
 
 def load_program(path: str) -> Program:
@@ -127,6 +147,13 @@ def _add_traffic_flags(parser: argparse.ArgumentParser, packets: int = 2000,
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--distribution", choices=["uniform", "zipf"],
                         default="uniform")
+    parser.add_argument(
+        "--workload", metavar="SPEC",
+        help="generate traffic from a repro.workloads spec "
+             "(<kind>:k=v,..., e.g. tcp-handshake:packets=20000,"
+             "flows=1000000); overrides the flat traffic flags. "
+             "'auto' uses the app's registered workload (see `repro "
+             "apps`) truncated to --packets")
 
 
 def _telemetry_setup(args: argparse.Namespace) -> bool:
@@ -188,7 +215,11 @@ def cmd_rtl_sim(args: argparse.Namespace) -> int:
     program = load_program(args.program)
     pipeline = _compile(args, program)
     engine = getattr(args, "engine", None) or "rtl"
-    runner = RtlRunner(pipeline, maps=MapSet(program.maps), engine=engine)
+    maps = MapSet(program.maps)
+    setup = _app_setup(args.program)
+    if setup is not None:
+        setup(maps)
+    runner = RtlRunner(pipeline, maps=maps, engine=engine)
     frames = _gen_frames(args)
     report = runner.run_packets(frames)
     print(report.summary())
@@ -215,7 +246,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
     engine = getattr(args, "engine", None)
     rtl_engine = getattr(args, "rtl_engine", None) or "rtl"
     result = run_three_way(program, frames, pipeline=pipeline,
-                           engine=engine, rtl_engine=rtl_engine)
+                           engine=engine, rtl_engine=rtl_engine,
+                           setup=_app_setup(args.program))
     if collect:
         reg = telemetry.get_registry()
         if result.hw_report is not None:
@@ -323,12 +355,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     program = load_program(args.program)
     pipeline = _compile(args, program)
     maps = MapSet(program.maps)
+    setup = _app_setup(args.program)
+    if setup is not None:
+        setup(maps)
     nic = NicSystem(pipeline, maps=maps)
-    gen = TrafficGenerator(TrafficSpec(
-        n_flows=args.flows, packet_size=args.packet_size, seed=args.seed,
-        distribution=args.distribution,
-    ))
-    frames = list(gen.packets(args.packets))
+    frames = _gen_frames(args)
     if args.rate_mpps:
         report = nic.run_at_rate(frames, args.rate_mpps)
     else:
@@ -338,7 +369,40 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _auto_workload(args: argparse.Namespace) -> str:
+    """Resolve ``--workload auto``: the app's registered workload
+    (:data:`repro.apps.APP_WORKLOADS`), truncated to ``--packets``."""
+    import dataclasses
+
+    from . import apps
+    from .workloads import parse_workload_spec
+
+    program = getattr(args, "program", "") or ""
+    name = program[len(_APP_SCHEME):] if program.startswith(_APP_SCHEME) else None
+    spec_text = apps.APP_WORKLOADS.get(name) if name else None
+    if spec_text is None:
+        known = ", ".join(sorted(apps.APP_WORKLOADS))
+        raise SystemExit(
+            f"--workload auto needs an app:<name> program with a "
+            f"registered workload (have: {known})"
+        )
+    spec = dataclasses.replace(
+        parse_workload_spec(spec_text), packets=args.packets
+    )
+    return spec.describe()
+
+
 def _gen_frames(args: argparse.Namespace) -> list:
+    workload = getattr(args, "workload", None)
+    if workload == "auto":
+        workload = _auto_workload(args)
+    if workload:
+        from .workloads import make_workload, parse_workload_spec
+
+        try:
+            return make_workload(parse_workload_spec(workload)).materialize()
+        except ValueError as exc:
+            raise SystemExit(f"--workload: {exc}")
     gen = TrafficGenerator(TrafficSpec(
         n_flows=args.flows, packet_size=args.packet_size, seed=args.seed,
         distribution=args.distribution,
@@ -346,7 +410,8 @@ def _gen_frames(args: argparse.Namespace) -> list:
     return list(gen.packets(args.packets))
 
 
-def _run_once(pipeline, program, frames, engine: str, workers: int = 1):
+def _run_once(pipeline, program, frames, engine: str, workers: int = 1,
+              setup=None):
     """One timed simulator pass; returns (report, wall_seconds,
     shard_sizes) — shard_sizes is ``None`` on the single-worker path.
 
@@ -361,6 +426,8 @@ def _run_once(pipeline, program, frames, engine: str, workers: int = 1):
     from .hwsim.sim import SimOptions
 
     maps = MapSet(program.maps)
+    if setup is not None:
+        setup(maps)
     # Pin the telemetry decision into the options so spawned worker
     # processes (which do not inherit the enabled global registry)
     # collect iff this process would.
@@ -396,6 +463,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     program = load_program(args.program)
     pipeline = _compile(args, program)
     frames = _gen_frames(args)
+    setup = _app_setup(args.program)
     engine = _resolve_engine(args)
     spec = get_engine(engine)
     if spec.kind != "pipeline":
@@ -404,7 +472,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         import time
 
         start = time.perf_counter()
-        result = run_engine(engine, program, frames, pipeline=pipeline)
+        result = run_engine(engine, program, frames, pipeline=pipeline,
+                            setup=setup)
         elapsed = time.perf_counter() - start
         actions = [a for a in result.actions if a is not None]
         print(f"{engine}: {len(actions)}/{len(frames)} packets")
@@ -418,7 +487,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
     report, elapsed, shard_sizes = _run_once(pipeline, program, frames,
-                                             engine, workers=args.workers)
+                                             engine, workers=args.workers,
+                                             setup=setup)
     if profiler is not None:
         profiler.disable()
     mode = engine
@@ -444,13 +514,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
     program = load_program(args.program)
     pipeline = _compile(args, program)
     frames = _gen_frames(args)
+    setup = _app_setup(args.program)
     # Every registered pipeline engine runs the identical workload; the
     # interpreted engine is the parity reference (all three must agree on
     # cycle counts and verdicts — they model the same hardware).
     engines = pipeline_engine_names()
     results = {}
     for engine in engines:
-        results[engine] = _run_once(pipeline, program, frames, engine)
+        results[engine] = _run_once(pipeline, program, frames, engine,
+                                    setup=setup)
     ref_report = results["interpreted"][0]
     print(f"{'engine':<14s}  {'wall ms':>9s}  {'packets/s':>12s}  "
           f"{'speedup':>8s}")
@@ -468,7 +540,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     shard_sizes = None
     if args.workers > 1:
         par_report, par_dt, shard_sizes = _run_once(
-            pipeline, program, frames, "fast", workers=args.workers)
+            pipeline, program, frames, "fast", workers=args.workers,
+            setup=setup)
         if par_report.action_counts != fast_report.action_counts:
             print("ERROR: parallel engine action counts diverged",
                   file=sys.stderr)
@@ -485,6 +558,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
                        app=program.name, engine="hwsim",
                        shard_sizes=shard_sizes)
         _export_telemetry(args)
+    return 0
+
+
+def cmd_apps(args: argparse.Namespace) -> int:
+    """List the registered applications (the ``app:<name>`` namespace)."""
+    from . import apps
+
+    print(f"{'app':<14s}  {'suite':<10s}  {'maps':<28s}  workload")
+    for name in _app_names():
+        module = getattr(apps, name)
+        if name in apps.SECOND_GEN_APPS:
+            suite = "2nd-gen"
+        elif name in apps.EVALUATION_APPS:
+            suite = "paper"
+        else:
+            suite = "extra"
+        program = module.build()
+        map_desc = ",".join(
+            f"{spec.name}({spec.map_type})"
+            for spec in program.maps.values()
+        ) or "-"
+        workload = apps.APP_WORKLOADS.get(name, "-")
+        print(f"{name:<14s}  {suite:<10s}  {map_desc:<28s}  {workload}")
+        if args.verbose:
+            doc = (module.__doc__ or "").strip().splitlines()
+            if doc:
+                print(f"{'':14s}  {doc[0]}")
     return 0
 
 
@@ -643,12 +743,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sim = sub.add_parser("simulate", help="run traffic through the pipeline")
     _add_compile_flags(p_sim)
-    p_sim.add_argument("--packets", type=int, default=2000)
-    p_sim.add_argument("--flows", type=int, default=100)
-    p_sim.add_argument("--packet-size", type=int, default=64)
-    p_sim.add_argument("--seed", type=int, default=1)
-    p_sim.add_argument("--distribution", choices=["uniform", "zipf"],
-                       default="uniform")
+    _add_traffic_flags(p_sim)
     p_sim.add_argument("--rate-mpps", type=float, default=None,
                        help="offered rate (default: line rate)")
     p_sim.set_defaults(func=cmd_simulate)
@@ -657,12 +752,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run traffic through the simulator (timed)"
     )
     _add_compile_flags(p_run)
-    p_run.add_argument("--packets", type=int, default=2000)
-    p_run.add_argument("--flows", type=int, default=100)
-    p_run.add_argument("--packet-size", type=int, default=64)
-    p_run.add_argument("--seed", type=int, default=1)
-    p_run.add_argument("--distribution", choices=["uniform", "zipf"],
-                       default="uniform")
+    _add_traffic_flags(p_run)
     p_run.add_argument("--fast", action=argparse.BooleanOptionalAction,
                        default=True,
                        help="use the pre-compiled stage kernels (default on; "
@@ -683,12 +773,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="compare the registered pipeline execution engines"
     )
     _add_compile_flags(p_bench)
-    p_bench.add_argument("--packets", type=int, default=2000)
-    p_bench.add_argument("--flows", type=int, default=100)
-    p_bench.add_argument("--packet-size", type=int, default=64)
-    p_bench.add_argument("--seed", type=int, default=1)
-    p_bench.add_argument("--distribution", choices=["uniform", "zipf"],
-                         default="uniform")
+    _add_traffic_flags(p_bench)
     p_bench.add_argument("--workers", type=int, default=1,
                          help="also time the parallel engine with N "
                               "replica processes")
@@ -726,6 +811,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="on mismatch, dump the generated RTL "
                                "schedule source here for inspection")
     p_verify.set_defaults(func=cmd_verify)
+
+    p_apps = sub.add_parser(
+        "apps", help="list registered applications (app:<name>)")
+    p_apps.add_argument("-v", "--verbose", action="store_true",
+                        help="include each app's one-line description")
+    p_apps.set_defaults(func=cmd_apps)
 
     p_cache = sub.add_parser("cache", help="inspect the compile cache")
     p_cache.add_argument("--clear", action="store_true",

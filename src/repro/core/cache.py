@@ -35,7 +35,7 @@ from .pipeline import Pipeline
 # Bump when the Pipeline IR or the compiler's observable output changes
 # in a way that makes old pickles stale.
 # v3: Pipeline carries codegen_source/codegen_version (hwsim.codegen).
-_CACHE_VERSION = 3
+_CACHE_VERSION = 4
 
 CACHE_ENV = "EHDL_CACHE_DIR"
 _MEMORY_ENTRIES = 32

@@ -171,7 +171,7 @@ def compile_program(
 
     # 7. Map hazard machinery.
     with _pass_span("hazards", program=program.name):
-        map_hazards = plan_hazards(stages)
+        map_hazards = plan_hazards(stages, program.maps)
 
     entry_ops = [
         PipeOp(

@@ -22,13 +22,17 @@ block contributes its (K, L) pair to Table 3).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from ..ebpf.isa import MapSpec
 from .labeling import Region
 from .pipeline import FlushBlock, MapHazardPlan, Pipeline, Stage, StageKind
 
 
-def plan_hazards(stages: List[Stage]) -> Dict[int, MapHazardPlan]:
+def plan_hazards(
+    stages: List[Stage],
+    maps: Optional[Dict[int, MapSpec]] = None,
+) -> Dict[int, MapHazardPlan]:
     """Build per-map hazard plans from the staged map accesses."""
     plans: Dict[int, MapHazardPlan] = {}
 
@@ -94,6 +98,18 @@ def plan_hazards(stages: List[Stage]) -> Dict[int, MapHazardPlan]:
             set(plan.read_stages) | set(plan.write_stages) | set(plan.atomic_stages)
         )
         plan.channels = max(1, min(len(touching), 2))
+        # Serialization window: LRU maps mutate recency state on every
+        # lookup, so even read-only accesses from two in-flight packets
+        # interleave observably (a different eviction victim later).
+        # Flush blocks cannot repair that — an eviction is irreversible —
+        # so when accesses span more than one stage the window is
+        # interlocked: at most one packet between the first and last
+        # touching stage. Single-stage access is already serialized by
+        # the pipeline itself.
+        if maps is not None and len(touching) > 1:
+            spec = maps.get(plan.map_fd)
+            if spec is not None and spec.map_type == "lru_hash":
+                plan.serial_window = (touching[0], touching[-1])
     return plans
 
 

@@ -119,6 +119,14 @@ class MapHazardPlan:
     flush_blocks: List[FlushBlock] = field(default_factory=list)
     war_buffer_depth: int = 0  # write-delay registers (Figure 6)
     channels: int = 1  # parallel read/write channels into the memory
+    # Structural interlock for recency-ordered maps (LRU hash): the
+    # inclusive 1-based stage range [lo, hi] spanning every access to
+    # the map. At most one packet may occupy the window at a time, so
+    # recency mutations (and hence eviction choices) happen strictly in
+    # packet order — squash/replay cannot undo an eviction, so the
+    # flush machinery alone cannot repair LRU divergence. ``None`` when
+    # all accesses share one stage (order is then automatic).
+    serial_window: Optional[Tuple[int, int]] = None
 
     @property
     def uses_atomic(self) -> bool:
@@ -127,6 +135,10 @@ class MapHazardPlan:
     @property
     def needs_flush(self) -> bool:
         return bool(self.flush_blocks)
+
+    @property
+    def needs_serialization(self) -> bool:
+        return self.serial_window is not None
 
 
 @dataclass
@@ -164,6 +176,19 @@ class Pipeline:
     @property
     def n_stages(self) -> int:
         return len(self.stages)
+
+    @property
+    def serial_windows(self) -> List[Tuple[int, int]]:
+        """Interlock windows of recency-ordered maps, sorted by entry stage.
+
+        ``getattr`` guards pipelines unpickled from caches written before
+        the field existed."""
+        return sorted(
+            w for w in (
+                getattr(plan, "serial_window", None)
+                for plan in self.map_hazards.values()
+            ) if w is not None
+        )
 
     @property
     def n_instructions(self) -> int:

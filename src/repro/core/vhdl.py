@@ -1339,12 +1339,19 @@ def _map_entity(pipeline: Pipeline, fd: int, name: str, channels: int,
         f"--   channels: {channels}"
         f"  WAR buffer depth: {plan.war_buffer_depth}"
         f"  flush blocks: {len(plan.flush_blocks)}"
-        f"  atomic port: {'yes' if uses_atomic else 'no'}",
+        f"  atomic port: {'yes' if uses_atomic else 'no'}"
+        + (
+            f"  serial window: stages "
+            f"{plan.serial_window[0]}..{plan.serial_window[1]}"
+            " (LRU recency interlock: at most one packet in the window)"
+            if getattr(plan, "serial_window", None) is not None else ""
+        ),
         f"entity {name} is",
         f"  generic (G_FD : integer := {fd};"
         f" G_DEPTH : integer := {spec.max_entries if spec else 0};"
         f" G_KEY_BYTES : integer := {spec.key_size if spec else 1};"
-        f" G_VALUE_BYTES : integer := {spec.value_size if spec else 8});",
+        f" G_VALUE_BYTES : integer := {spec.value_size if spec else 8};"
+        f' G_MAP_TYPE : string := "{spec.map_type if spec else "hash"}");',
         "  port (",
         "    clk : in  std_logic;",
         "    rst : in  std_logic;",

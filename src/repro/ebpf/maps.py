@@ -238,11 +238,19 @@ class HashMap(Map):
 
 class LruHashMap(HashMap):
     """``BPF_MAP_TYPE_LRU_HASH``: a hash map that evicts the least recently
-    used entry instead of failing when full."""
+    used entry instead of failing when full.
+
+    Recency order is part of the observable state: it decides future
+    eviction victims, so engines must replicate it exactly and hot-swap
+    carry (:func:`repro.serve.daemon.carry_maps`) must preserve it —
+    hence :meth:`items` iterates oldest-first and replaying the pairs
+    through :meth:`update` reconstructs the same order.
+    """
 
     def __init__(self, spec: MapSpec) -> None:
         super().__init__(spec)
         self._lru: "OrderedDict[bytes, None]" = OrderedDict()
+        self.evictions = 0
 
     def lookup_slot(self, key: bytes) -> Optional[int]:
         slot = super().lookup_slot(key)
@@ -255,6 +263,7 @@ class LruHashMap(HashMap):
         if key not in self._slot_by_key and not self._free:
             oldest = next(iter(self._lru))
             self.delete(oldest)
+            self.evictions += 1
         slot = super().update(key, value, flags)
         self._lru[key] = None
         self._lru.move_to_end(key)
@@ -265,6 +274,14 @@ class LruHashMap(HashMap):
         if deleted:
             self._lru.pop(bytes(key), None)
         return deleted
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        for key in list(self._lru):
+            yield key, self._read_slot(self._slot_by_key[key])
+
+    def lru_keys(self) -> List[bytes]:
+        """Keys in recency order, least recently used first."""
+        return list(self._lru)
 
     def clear(self) -> None:
         super().clear()

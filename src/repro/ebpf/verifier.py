@@ -396,6 +396,17 @@ class Verifier:
                     raise self._err(
                         index, f"r1 must hold a map pointer for {spec.name}"
                     )
+                if spec.helper_id == 3 and r1_type.map_fd is not None:
+                    map_spec = program.maps.get(r1_type.map_fd)
+                    if map_spec is not None and map_spec.map_type in (
+                        "array", "percpu_array"
+                    ):
+                        raise self._err(
+                            index,
+                            f"{spec.name} on array map "
+                            f"{map_spec.name!r}: array entries "
+                            "cannot be deleted",
+                        )
             new_state = new_state.with_reg(isa.R0, r0_type)
             for reg in (isa.R1, isa.R2, isa.R3, isa.R4, isa.R5):
                 new_state = new_state.with_reg(reg, UNINIT)

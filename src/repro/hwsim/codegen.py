@@ -1025,6 +1025,9 @@ class _Emitter:
             and not self.may_pend
             and not self.uses_generic_call
             and not (set(self.helpers) & _ORDER_SENSITIVE_HELPERS)
+            # Interlocked (LRU-window) pipelines stall, so the
+            # closed-form cycle accounting would diverge.
+            and not self.pipeline.serial_windows
         )
 
     def stream_body(
@@ -1275,10 +1278,16 @@ def generate_pipeline_source(pipeline: Pipeline) -> str:
             blk += _ind(inner)
         adv += _ind(blk)
     adv.append("return flushed" if any_stage_flush else "return False")
-    fn_sections.append(
-        ("_advance", ["sim", "slots", "barrier_queues", "input_queue",
-                      "report"], adv)
-    )
+    # LRU serialization windows: the unrolled whole-cycle advance knows
+    # nothing about interlock stalls, so windowed pipelines fall back to
+    # the simulator's generic shift loop (which dispatches _STAGE_FNS as
+    # kernels) — identical stall timing on every engine by construction.
+    serial = bool(pipeline.serial_windows)
+    if not serial:
+        fn_sections.append(
+            ("_advance", ["sim", "slots", "barrier_queues", "input_queue",
+                          "report"], adv)
+        )
 
     # -- observe --------------------------------------------------------------
     fn_sections.append(("_observe", ["metrics", "slots", "barrier_queues"],
@@ -1389,7 +1398,7 @@ def generate_pipeline_source(pipeline: Pipeline) -> str:
         out.append("")
     out.append(f"_STAGE_FNS = ({', '.join(stage_fn_names)},)")
     out.append(f"_ENTRY = {'_entry' if entry is not None else 'None'}")
-    out.append("_ADVANCE = _advance")
+    out.append(f"_ADVANCE = {'None' if serial else '_advance'}")
     out.append("_OBSERVE = _observe")
     out.append(f"_STREAM = {'_stream' if stream_ok else 'None'}")
     out.append("")

@@ -293,6 +293,13 @@ class PipelineSimulator:
             self._max_read_stage[fd] = max(plan.read_stages, default=0)
             self._has_flush[fd] = plan.needs_flush
         self._any_flush = any(self._has_flush.values())
+        # LRU serialization windows (core.hazards): inclusive 1-based
+        # [lo, hi] stage ranges each admitting at most one packet at a
+        # time, so recency mutations happen strictly in packet order on
+        # every engine. Empty for almost all pipelines.
+        self._serial_windows: Tuple[Tuple[int, int], ...] = tuple(
+            pipeline.serial_windows
+        )
         # Pending (WAR-buffered) writes commit only once the packet can no
         # longer be flushed — past the deepest flush-capable write stage —
         # so a squashed packet never has to unwind a committed store. (In
@@ -462,6 +469,20 @@ class PipelineSimulator:
         keep_records = options.keep_records
         shift_range = range(n_stages - 1, 0, -1)
         observer = self.observer
+        # LRU interlock windows. When present, the whole-cycle advance
+        # paths are bypassed (codegen emits _ADVANCE=None for windowed
+        # pipelines; the fast hot loop is gated below) so every engine
+        # runs the same generic shift loop and stalls identically.
+        windows = self._serial_windows
+
+        def window_blocked(stage_no: int) -> bool:
+            """Entering ``stage_no`` from outside would violate a window."""
+            for lo, hi in windows:
+                if lo <= stage_no <= hi:
+                    for p in range(lo, hi + 1):
+                        if slots[p] is not None:
+                            return True
+            return False
         while True:
             # 0. host-side map accesses land through the dedicated host port
             while host_ops and host_ops[0][0] <= cycle:
@@ -532,7 +553,7 @@ class PipelineSimulator:
                 # per-stage dispatch at all.
                 if advance(self, slots, barrier_queues, input_queue, report):
                     reload_stall = max(reload_stall, reload_overhead)
-            elif fast and stall_below < 0:
+            elif fast and stall_below < 0 and not windows:
                 # Hot shift loop: no barrier stalls in flight, kernels
                 # dispatched inline (the overwhelmingly common cycle).
                 for pos in shift_range:
@@ -557,12 +578,32 @@ class PipelineSimulator:
                         continue
                     if pos <= stall_below:
                         continue  # held by a draining elastic buffer
+                    npos = pos + 1
+                    if slots[npos] is not None:
+                        continue  # backed up behind an interlocked packet
+                    if windows:
+                        # Entry check: shifting lo-1 → lo enters a window;
+                        # movement within [lo, hi] is free. Deepest-first
+                        # iteration means a same-cycle hi → hi+1 exit has
+                        # already vacated the window by the time the
+                        # packet at lo-1 is evaluated.
+                        blocked = False
+                        for lo, hi in windows:
+                            if npos == lo:
+                                for p in range(lo, hi + 1):
+                                    if slots[p] is not None:
+                                        blocked = True
+                                        break
+                                if blocked:
+                                    break
+                        if blocked:
+                            continue
                     slots[pos] = None
-                    slots[pos + 1] = pkt
-                    pkt.position = pos + 1
+                    slots[npos] = pkt
+                    pkt.position = npos
                     if fast:
                         if pkt.pending_writes:
-                            self._commit_pending(pkt, pos + 1)
+                            self._commit_pending(pkt, npos)
                         kernel = kernels[pos]
                         flushed = kernel is not None and kernel(
                             self, pkt, slots, barrier_queues, input_queue, report
@@ -580,7 +621,8 @@ class PipelineSimulator:
                 reload_stall -= 1
             elif stall_below >= 0:
                 queue = barrier_queues[stall_below]
-                if queue and slots[stall_below + 1] is None:
+                if (queue and slots[stall_below + 1] is None
+                        and not (windows and window_blocked(stall_below + 1))):
                     pkt = queue.popleft()
                     slots[stall_below + 1] = pkt
                     pkt.position = stall_below + 1
@@ -599,6 +641,7 @@ class PipelineSimulator:
                 and stall_below < 1
                 and input_queue
                 and slots[1] is None
+                and not (windows and window_blocked(1))
             ):
                 pkt = input_queue.popleft()
                 # Queued packets are always in reset state: fresh arrivals

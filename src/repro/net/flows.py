@@ -72,17 +72,10 @@ def make_flows(
     ]
 
 
-def zipf_weights(n: int, exponent: float = 1.0) -> List[float]:
-    """Normalised Zipf frequencies f_i ∝ 1/i^exponent for i = 1..n.
-
-    With ``exponent == 1`` this is the distribution of Appendix A.1, where
-    P_i = 1/(i·ln(N)) (the paper approximates the harmonic sum with ln N).
-    """
-    if n <= 0:
-        raise ValueError("need at least one flow")
-    raw = [1.0 / (i ** exponent) for i in range(1, n + 1)]
-    total = sum(raw)
-    return [w / total for w in raw]
+# Canonical Zipf implementation lives in repro.workloads.zipf (shared
+# by the feeder, the workload generators and this module); re-exported
+# here for the many historical importers.
+from ..workloads.zipf import ZipfSampler, zipf_weights  # noqa: E402
 
 
 @dataclass
@@ -110,26 +103,21 @@ class TrafficGenerator:
         self.flows = make_flows(spec.n_flows, proto=spec.proto)
         self._rng = random.Random(spec.seed)
         if spec.distribution == "uniform":
-            self._cum_weights: Optional[List[float]] = None
+            self._sampler: Optional[ZipfSampler] = None
         elif spec.distribution == "zipf":
-            # Cumulative weights once, binary search per pick: O(log n)
-            # per packet instead of random.choices' O(n) re-accumulation,
-            # which is what makes million-flow Zipfian streams feasible.
-            from itertools import accumulate
-
-            self._cum_weights = list(
-                accumulate(zipf_weights(spec.n_flows, spec.zipf_exponent))
-            )
+            # Shared inverse-CDF sampler (repro.workloads.zipf): table
+            # once, binary search per pick — same draws random.choices
+            # would make, at O(log n) per packet, which is what makes
+            # million-flow Zipfian streams feasible.
+            self._sampler = ZipfSampler(spec.n_flows, spec.zipf_exponent)
         else:
             raise ValueError(f"unknown distribution {spec.distribution!r}")
         self._cache: dict = {}
 
     def pick_flow(self) -> FiveTuple:
-        if self._cum_weights is None:
+        if self._sampler is None:
             return self.flows[self._rng.randrange(len(self.flows))]
-        return self._rng.choices(
-            self.flows, cum_weights=self._cum_weights, k=1
-        )[0]
+        return self.flows[self._sampler.sample(self._rng)]
 
     def frame_for(self, flow: FiveTuple, size: Optional[int] = None) -> bytes:
         size = size or self.spec.packet_size

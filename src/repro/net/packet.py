@@ -293,6 +293,7 @@ def tcp_packet(
     payload: bytes = b"",
     size: Optional[int] = None,
     seq: int = 0,
+    ack: int = 0,
     ttl: int = 64,
 ) -> bytes:
     """Build a complete Ethernet/IPv4/TCP frame (see :func:`udp_packet`)."""
@@ -303,7 +304,7 @@ def tcp_packet(
         if want < len(payload):
             raise PacketError(f"size {size} too small for payload")
         payload = payload + bytes(want - len(payload))
-    tcp = Tcp(sport, dport, seq=seq, flags=flags).pack(payload, src, dst)
+    tcp = Tcp(sport, dport, seq=seq, ack=ack, flags=flags).pack(payload, src, dst)
     ip = IPv4(src=src, dst=dst, proto=IPPROTO_TCP, ttl=ttl).pack(TCP_HLEN + len(payload))
     eth = Ethernet(ethertype=ETH_P_IP).pack()
     frame = eth + ip + tcp + payload

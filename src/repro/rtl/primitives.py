@@ -103,6 +103,20 @@ class MapBlock:
         self.value_bytes = int(generics["g_value_bytes"])
         self.ports = ports
         self.context = context
+        # Elaboration-time kind check: the netlist's idea of the map's
+        # type (G_MAP_TYPE, from the emitted entity) must match the map
+        # object actually bound in the MapSet — an LRU block driving a
+        # plain hash (or vice versa) would silently drop the recency
+        # semantics the serialization window exists to protect. Absent
+        # generic (pre-G_MAP_TYPE netlists) skips the check.
+        self.map_type = generics.get("g_map_type")
+        if self.map_type is not None and self.fd in context.maps:
+            actual = context.maps[self.fd].spec.map_type
+            if actual != self.map_type:
+                raise RtlElabError(
+                    f"{entity_name}: G_MAP_TYPE {self.map_type!r} does not "
+                    f"match bound map kind {actual!r} (fd {self.fd})"
+                )
         self.n_channels = 0
         while f"ch{self.n_channels}_req" in ports:
             self.n_channels += 1

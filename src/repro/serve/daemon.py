@@ -149,16 +149,22 @@ def carry_maps(old: MapSet, program: Program) -> MapSet:
     """A fresh :class:`MapSet` for ``program`` seeded from ``old``.
 
     Entries are copied map-by-map wherever the new program declares a
-    map with the same name, key size and value size (the pinned-maps
-    hot-swap: flow tables survive a program upgrade). Shape mismatches
-    and capacity overflows silently keep the fresh (empty) map — the
-    swap must not fail halfway.
+    map with the same name, kind (map type) and key/value sizes (the
+    pinned-maps hot-swap: flow tables survive a program upgrade). Kind
+    and shape mismatches and capacity overflows silently keep the fresh
+    (empty) map — the swap must not fail halfway, and carrying, say, a
+    hash map's entries into a same-named LRU map would fabricate a
+    recency order that never existed. For LRU maps the copy replays
+    entries oldest-first (``LruHashMap.items``), so the carried map
+    reproduces the exact eviction order of the old one.
     """
     fresh = MapSet(program.maps)
     old_by_name = {m.name: m for m in old.maps.values()}
     for new_map in fresh.maps.values():
         src = old_by_name.get(new_map.name)
-        if (src is None or src.key_size != new_map.key_size
+        if (src is None
+                or src.spec.map_type != new_map.spec.map_type
+                or src.key_size != new_map.key_size
                 or src.value_size != new_map.value_size):
             continue
         try:

@@ -19,18 +19,28 @@ sampling, so no per-flow object or frame cache is ever materialised.
 
 ``pcap:<path>`` (or a bare ``*.pcap`` path) — replay a capture file via
 :func:`repro.net.pcap.read_pcap`.
+
+``workload:<kind>,...`` — any registered :mod:`repro.workloads`
+generator (``workload:tcp-handshake,packets=50000,flows=1000000``),
+giving the daemon the same stateful traffic vocabulary as run/bench.
 """
 
 from __future__ import annotations
 
 import random
-from bisect import bisect_left
 from dataclasses import dataclass, replace
-from itertools import accumulate, islice
-from typing import Iterator, List, Optional
+from itertools import islice
+from typing import Iterator, Optional
 
-from ..net.flows import flow_at, zipf_weights, TrafficGenerator, TrafficSpec
+from ..net.flows import flow_at, TrafficGenerator, TrafficSpec
 from ..net.packet import ETH_HLEN, FrameBuffer, udp_packet
+from ..workloads import (
+    WorkloadSpec,
+    ZipfSampler,
+    make_workload,
+    parse_workload_spec,
+    workload_names,
+)
 
 _IP_OFF = ETH_HLEN        # IPv4 header offset
 _L4_OFF = ETH_HLEN + 20   # UDP header offset (no IP options in templates)
@@ -40,7 +50,7 @@ _L4_OFF = ETH_HLEN + 20   # UDP header offset (no IP options in templates)
 class FeedSpec:
     """Parsed description of a traffic feed (see :func:`parse_feed_spec`)."""
 
-    source: str = "gen"            # "gen" | "synth" | "pcap"
+    source: str = "gen"            # "gen" | "synth" | "pcap" | "workload"
     path: Optional[str] = None     # pcap only
     packets: int = 10_000          # 0 with pcap = the whole capture
     flows: int = 1_000
@@ -48,12 +58,15 @@ class FeedSpec:
     zipf_exponent: float = 1.0
     packet_size: int = 64
     seed: int = 1
+    workload: Optional[str] = None  # workload kind (+ extra params)
 
     def describe(self) -> str:
         if self.source == "pcap":
             return f"pcap:{self.path}" + (
                 f",packets={self.packets}" if self.packets else ""
             )
+        if self.source == "workload":
+            return "workload:" + self._workload_spec().describe()
         return (
             f"{self.source}:packets={self.packets},flows={self.flows},"
             f"dist={self.distribution},size={self.packet_size},"
@@ -64,6 +77,13 @@ class FeedSpec:
                 else ""
             )
         )
+
+    def _workload_spec(self) -> WorkloadSpec:
+        """The parsed :class:`WorkloadSpec` of a ``workload:`` feed."""
+        if self.workload is None:
+            raise ValueError("not a workload feed")
+        kind, sep, params = self.workload.partition(",")
+        return parse_workload_spec(kind + (":" + params if sep else ""))
 
 
 _INT_FIELDS = {"packets", "flows", "size", "seed"}
@@ -86,11 +106,30 @@ def parse_feed_spec(text: str) -> FeedSpec:
         return FeedSpec(source="pcap", path=text[len("pcap:"):], packets=0)
     if text.endswith(".pcap"):
         return FeedSpec(source="pcap", path=text, packets=0)
+    if text.startswith("workload:"):
+        body = text[len("workload:"):]
+        kind = body.partition(",")[0]
+        if kind not in workload_names():
+            raise ValueError(
+                f"unknown workload kind {kind!r} "
+                f"(expected one of: {', '.join(workload_names())})"
+            )
+        spec = FeedSpec(source="workload", workload=body)
+        wspec = spec._workload_spec()  # validates the options eagerly
+        return replace(
+            spec,
+            packets=wspec.packets,
+            flows=wspec.flows,
+            distribution=wspec.distribution,
+            zipf_exponent=wspec.zipf_exponent,
+            packet_size=wspec.packet_size,
+            seed=wspec.seed,
+        )
     head, _, rest = text.partition(":")
     if head not in ("gen", "synth"):
         raise ValueError(
             f"unknown feed source {head!r} (expected gen:, synth:, "
-            f"pcap:<path> or a *.pcap path)"
+            f"workload:<kind>, pcap:<path> or a *.pcap path)"
         )
     spec = FeedSpec(source=head)
     if not rest:
@@ -127,13 +166,14 @@ class Feeder:
     def __init__(self, spec: FeedSpec) -> None:
         self.spec = spec
         if spec.source == "synth" and spec.distribution == "zipf":
-            # Inverse-CDF table, built once: one uniform draw + one
-            # binary search per packet, no per-flow objects.
-            self._cum: Optional[List[float]] = list(
-                accumulate(zipf_weights(spec.flows, spec.zipf_exponent))
+            # Shared inverse-CDF sampler (repro.workloads.zipf): table
+            # built once, one uniform draw + one binary search per
+            # packet, no per-flow objects.
+            self._sampler: Optional[ZipfSampler] = ZipfSampler(
+                spec.flows, spec.zipf_exponent
             )
         else:
-            self._cum = None
+            self._sampler = None
 
     # -- frame synthesis ---------------------------------------------------------
 
@@ -144,38 +184,25 @@ class Feeder:
         """Patch the template into flow ``index``'s frame.
 
         Field formulas are :func:`repro.net.flows.flow_at`'s — a synth
-        feed over N flows covers the same 5-tuples as ``make_flows(N)``.
+        feed over N flows covers the same 5-tuples as ``make_flows(N)``;
+        the patching itself is the shared
+        :func:`repro.workloads.patch_ipv4_flow`.
         """
-        flow = flow_at(index)
-        template[_IP_OFF + 12:_IP_OFF + 16] = flow.src_ip.to_bytes(4, "big")
-        template[_IP_OFF + 16:_IP_OFF + 20] = flow.dst_ip.to_bytes(4, "big")
-        template[_L4_OFF:_L4_OFF + 2] = flow.sport.to_bytes(2, "big")
-        template[_L4_OFF + 2:_L4_OFF + 4] = flow.dport.to_bytes(2, "big")
-        # Re-checksum the IPv4 header; UDP checksum 0 = "not computed".
-        template[_IP_OFF + 10:_IP_OFF + 12] = b"\x00\x00"
-        total = 0
-        for off in range(_IP_OFF, _IP_OFF + 20, 2):
-            total += int.from_bytes(template[off:off + 2], "big")
-        while total >> 16:
-            total = (total & 0xFFFF) + (total >> 16)
-        template[_IP_OFF + 10:_IP_OFF + 12] = (~total & 0xFFFF).to_bytes(2, "big")
-        template[_L4_OFF + 6:_L4_OFF + 8] = b"\x00\x00"
-        return bytes(template)
+        from ..workloads import patch_ipv4_flow
+
+        return patch_ipv4_flow(template, flow_at(index))
 
     def _synth_frames(self) -> Iterator[bytes]:
         spec = self.spec
         template = self._synth_template()
         rng = random.Random(spec.seed)
-        cum = self._cum
-        if cum is None:
+        sampler = self._sampler
+        if sampler is None:
             for _ in range(spec.packets):
                 yield self._synth_frame(template, rng.randrange(spec.flows))
         else:
-            top = cum[-1]
-            last = spec.flows - 1
             for _ in range(spec.packets):
-                index = bisect_left(cum, rng.random() * top)
-                yield self._synth_frame(template, min(index, last))
+                yield self._synth_frame(template, sampler.sample(rng))
 
     # -- public source interface -------------------------------------------------
 
@@ -193,6 +220,8 @@ class Feeder:
             return packets
         if spec.source == "synth":
             return self._synth_frames()
+        if spec.source == "workload":
+            return make_workload(spec._workload_spec()).frames()
         if spec.source == "gen":
             gen = TrafficGenerator(TrafficSpec(
                 n_flows=spec.flows,

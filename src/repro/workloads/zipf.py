@@ -1,0 +1,74 @@
+"""Inverse-CDF Zipf sampling — the one shared implementation.
+
+Every Zipfian consumer in the tree (the serving feeder's synth path,
+:class:`repro.net.flows.TrafficGenerator`, the workload generators here)
+draws flow ranks through :class:`ZipfSampler`, so million-flow
+populations cost one cumulative-weight table built once plus a binary
+search per packet, and the draw formula is identical everywhere.
+
+This module is deliberately import-free of the rest of the package so
+``repro.net.flows`` can depend on it without a cycle.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect
+from itertools import accumulate
+from typing import List
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> List[float]:
+    """Normalised Zipf frequencies f_i ∝ 1/i^exponent for i = 1..n.
+
+    With ``exponent == 1`` this is the distribution of Appendix A.1,
+    where P_i = 1/(i·ln(N)) (the paper approximates the harmonic sum
+    with ln N).
+    """
+    if n <= 0:
+        raise ValueError("need at least one flow")
+    raw = [1.0 / (i ** exponent) for i in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+class ZipfSampler:
+    """Zipfian rank sampler over ``0 .. n-1``, heaviest rank first.
+
+    One uniform draw plus one binary search per sample; the draw matches
+    ``random.choices(cum_weights=...)`` bit-for-bit (same ``random() *
+    total`` then right-bisect with ``hi = n - 1``), so call sites that
+    migrated here kept their exact packet sequences.
+    """
+
+    def __init__(self, n: int, exponent: float = 1.0) -> None:
+        self.n = n
+        self.exponent = exponent
+        self._cum = list(accumulate(zipf_weights(n, exponent)))
+        self._total = self._cum[-1]
+        self._hi = n - 1
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one rank using ``rng``'s next uniform variate."""
+        return bisect(self._cum, rng.random() * self._total, 0, self._hi)
+
+
+class UniformSampler:
+    """Uniform rank sampler with the :class:`ZipfSampler` interface."""
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError("need at least one flow")
+        self.n = n
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randrange(self.n)
+
+
+def make_sampler(n: int, distribution: str = "zipf", exponent: float = 1.0):
+    """A sampler for a named distribution (``uniform`` | ``zipf``)."""
+    if distribution == "uniform":
+        return UniformSampler(n)
+    if distribution == "zipf":
+        return ZipfSampler(n, exponent)
+    raise ValueError(f"unknown distribution {distribution!r}")

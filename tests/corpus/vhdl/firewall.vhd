@@ -53,7 +53,7 @@ use work.ehdl_pkg.all;
 -- eHDL map block for fd 1 (flows, hash)
 --   channels: 1  WAR buffer depth: 0  flush blocks: 0  atomic port: yes
 entity firewall_map_1 is
-  generic (G_FD : integer := 1; G_DEPTH : integer := 8192; G_KEY_BYTES : integer := 16; G_VALUE_BYTES : integer := 8);
+  generic (G_FD : integer := 1; G_DEPTH : integer := 8192; G_KEY_BYTES : integer := 16; G_VALUE_BYTES : integer := 8; G_MAP_TYPE : string := "hash");
   port (
     clk : in  std_logic;
     rst : in  std_logic;

@@ -53,7 +53,7 @@ use work.ehdl_pkg.all;
 -- eHDL map block for fd 1 (stats, array)
 --   channels: 1  WAR buffer depth: 0  flush blocks: 0  atomic port: yes
 entity toy_counter_map_1 is
-  generic (G_FD : integer := 1; G_DEPTH : integer := 4; G_KEY_BYTES : integer := 4; G_VALUE_BYTES : integer := 8);
+  generic (G_FD : integer := 1; G_DEPTH : integer := 4; G_KEY_BYTES : integer := 4; G_VALUE_BYTES : integer := 8; G_MAP_TYPE : string := "array");
   port (
     clk : in  std_logic;
     rst : in  std_logic;

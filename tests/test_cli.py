@@ -265,3 +265,67 @@ class TestCacheCommand:
         capsys.readouterr()
         assert main(["cache", "--clear"]) == 0
         assert "removed 1" in capsys.readouterr().out
+
+
+class TestAppsAndWorkloads:
+    def test_apps_lists_both_suites(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for name in ("firewall", "router", "tunnel", "dnat", "suricata"):
+            assert name in out
+        for name in ("ct_firewall", "maglev", "syn_cookie", "nat64",
+                     "vxlan_term"):
+            assert name in out
+            assert "2nd-gen" in out
+        assert "conntrack(lru_hash)" in out
+        assert "flow-churn:" in out
+
+    def test_apps_verbose_shows_docstrings(self, capsys):
+        assert main(["apps", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "Maglev" in out
+
+    def test_unknown_app_error_enumerates_names(self):
+        with pytest.raises(SystemExit) as err:
+            main(["stats", "app:nosuch"])
+        message = str(err.value)
+        for name in ("ct_firewall", "maglev", "nat64", "syn_cookie",
+                     "vxlan_term", "firewall", "toy_counter"):
+            assert name in message
+
+    def test_run_with_workload(self, capsys):
+        assert main(["run", "app:ct_firewall", "--workload",
+                     "flow-churn:packets=40,flows=50,churn=0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "40 packets" in out or "packets: 40" in out or "40" in out
+
+    def test_simulate_with_workload(self, capsys, prog_file):
+        assert main(["simulate", prog_file, "--workload",
+                     "udp-zipf:packets=30,flows=10"]) == 0
+        capsys.readouterr()
+
+    def test_bad_workload_kind_enumerates(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["run", "app:maglev", "--workload", "bogus:packets=5"])
+        assert "tcp-handshake" in str(err.value)
+
+    def test_bad_workload_option_rejected(self, prog_file):
+        with pytest.raises(SystemExit) as err:
+            main(["run", prog_file, "--workload", "udp-zipf:dist=pareto"])
+        assert "distribution" in str(err.value)
+
+    def test_verify_app_with_workload(self, capsys):
+        assert main(["verify", "app:vxlan_term", "--workload",
+                     "tunnel-encap:packets=25,flows=40,vnis=4"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+
+    def test_workload_auto_uses_registered_spec(self, capsys):
+        assert main(["verify", "app:nat64", "--workload", "auto",
+                     "--packets", "12"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_workload_auto_needs_registered_app(self, prog_file):
+        with pytest.raises(SystemExit) as err:
+            main(["run", prog_file, "--workload", "auto"])
+        assert "registered workload" in str(err.value)

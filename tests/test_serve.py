@@ -171,6 +171,53 @@ class TestCarryMaps:
         assert all(m.entry_count() == 0 or m.name != "flows"
                    for m in fresh.maps.values())
 
+    @staticmethod
+    def _prog_with(map_type, key_size=4, value_size=8, max_entries=4):
+        from repro.ebpf.asm import assemble_program
+        from repro.ebpf.isa import MapSpec
+
+        spec = MapSpec("conns", map_type, key_size=key_size,
+                       value_size=value_size, max_entries=max_entries)
+        return assemble_program("r0 = 2\nexit", maps={"conns": spec})
+
+    def test_lru_carry_preserves_eviction_order(self):
+        from repro.ebpf.maps import MapSet
+
+        old = MapSet(self._prog_with("lru_hash").maps)
+        conns = old.by_name("conns")
+        keys = [i.to_bytes(4, "little") for i in range(1, 5)]
+        for key in keys:
+            conns.update(key, bytes(8))
+        conns.lookup(keys[0])  # touch: recency now k2, k3, k4, k1
+        fresh = carry_maps(old, self._prog_with("lru_hash"))
+        carried = fresh.by_name("conns")
+        assert carried.lru_keys() == conns.lru_keys()
+        # the carried recency order governs eviction: a fifth insert
+        # must evict k2, not k1
+        carried.update((9).to_bytes(4, "little"), bytes(8))
+        assert carried.lookup(keys[1]) is None
+        assert carried.lookup(keys[0]) is not None
+
+    def test_kind_mismatch_refuses_carry(self):
+        from repro.ebpf.maps import MapSet
+
+        # same name, same geometry, different map kind — carrying hash
+        # entries into an LRU map would fabricate a recency order
+        for old_kind, new_kind in (("hash", "lru_hash"),
+                                   ("lru_hash", "hash")):
+            old = MapSet(self._prog_with(old_kind).maps)
+            old.by_name("conns").update(bytes(4), bytes(8))
+            fresh = carry_maps(old, self._prog_with(new_kind))
+            assert fresh.by_name("conns").entry_count() == 0
+
+    def test_geometry_mismatch_refuses_carry(self):
+        from repro.ebpf.maps import MapSet
+
+        old = MapSet(self._prog_with("lru_hash").maps)
+        old.by_name("conns").update(bytes(4), bytes(8))
+        fresh = carry_maps(old, self._prog_with("lru_hash", value_size=16))
+        assert fresh.by_name("conns").entry_count() == 0
+
 
 class TestBoundarySemantics:
     def test_map_write_at_boundary_zero_seen_by_first_batch(self):

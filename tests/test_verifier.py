@@ -292,3 +292,30 @@ class TestTypeTracking:
             verify(mod.build())
         verify(toy_counter.build())
         verify(leaky_bucket.build())
+
+
+class TestMapKindRules:
+    DELETE = """
+        r2 = 0
+        *(u32 *)(r10 - 4) = r2
+        r1 = map[{name}]
+        r2 = r10
+        r2 += -4
+        call 3
+        r0 = 2
+        exit
+    """
+
+    def test_delete_on_array_rejected(self):
+        with pytest.raises(VerifierError, match="cannot be deleted"):
+            verify_src(self.DELETE.format(name="m"), maps=MAPS)
+
+    def test_delete_on_percpu_array_rejected(self):
+        maps = {"p": MapSpec("p", "percpu_array", 4, 8, 4)}
+        with pytest.raises(VerifierError, match="cannot be deleted"):
+            verify_src(self.DELETE.format(name="p"), maps=maps)
+
+    def test_delete_on_hash_kinds_allowed(self):
+        for kind in ("hash", "lru_hash"):
+            maps = {"h": MapSpec("h", kind, 4, 8, 4)}
+            verify_src(self.DELETE.format(name="h"), maps=maps)

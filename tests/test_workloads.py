@@ -1,0 +1,225 @@
+"""Tests of the repro.workloads subsystem (spec, sampler, generators)."""
+
+import random
+
+import pytest
+
+from repro.net.flows import TrafficGenerator, TrafficSpec, zipf_weights
+from repro.net.packet import parse_five_tuple
+from repro.serve.feeder import Feeder, parse_feed_spec
+from repro.workloads import (
+    WORKLOADS,
+    WorkloadSpec,
+    ZipfSampler,
+    make_sampler,
+    make_workload,
+    parse_workload_spec,
+    workload_names,
+)
+
+
+class TestSpecParsing:
+    def test_defaults(self):
+        spec = parse_workload_spec("udp-zipf")
+        assert spec.kind == "udp-zipf"
+        assert spec.packets == 10_000
+        assert spec.distribution == "zipf"
+
+    def test_fields_and_aliases(self):
+        spec = parse_workload_spec(
+            "tcp-handshake:packets=500,flows=1000000,dist=uniform,"
+            "size=128,seed=7"
+        )
+        assert spec.packets == 500
+        assert spec.flows == 1_000_000
+        assert spec.distribution == "uniform"
+        assert spec.packet_size == 128
+        assert spec.seed == 7
+
+    def test_generator_params_ride_in_params(self):
+        spec = parse_workload_spec("flow-churn:churn=0.25,packets=10")
+        assert spec.param_float("churn", 0.0) == 0.25
+        assert spec.packets == 10
+
+    def test_describe_roundtrips(self):
+        spec = parse_workload_spec("tunnel-encap:packets=50,vnis=4")
+        again = parse_workload_spec(spec.describe())
+        assert again == spec
+
+    def test_bad_option_rejected(self):
+        with pytest.raises(ValueError, match="not key=value"):
+            parse_workload_spec("udp-zipf:packets")
+
+    def test_bad_distribution_rejected(self):
+        with pytest.raises(ValueError, match="distribution"):
+            parse_workload_spec("udp-zipf:dist=pareto")
+
+    def test_unknown_kind_error_enumerates_names(self):
+        with pytest.raises(ValueError) as err:
+            make_workload(WorkloadSpec(kind="nope"))
+        for name in workload_names():
+            assert name in str(err.value)
+
+
+class TestZipfSampler:
+    def test_matches_random_choices(self):
+        # The inverse-CDF sampler must make the exact draws
+        # random.choices would: that is what keeps the feeder's and
+        # generator's streams identical to the pre-refactor ones.
+        n, s = 1000, 1.1
+        weights = zipf_weights(n, s)
+        cum = []
+        total = 0.0
+        for w in weights:
+            total += w
+            cum.append(total)
+        rng1 = random.Random(42)
+        rng2 = random.Random(42)
+        sampler = ZipfSampler(n, s)
+        expected = []
+        got = []
+        for _ in range(500):
+            expected.append(rng1.choices(range(n), cum_weights=cum, k=1)[0])
+            got.append(sampler.sample(rng2))
+        assert got == expected
+
+    def test_million_flow_table_is_cheap(self):
+        sampler = ZipfSampler(1_000_000, 1.0)
+        rng = random.Random(1)
+        ranks = [sampler.sample(rng) for _ in range(100)]
+        assert all(0 <= r < 1_000_000 for r in ranks)
+        # Zipf: rank 0 must dominate a uniform draw's hit rate
+        assert ranks.count(0) >= 1
+
+    def test_uniform_sampler(self):
+        sampler = make_sampler(100, "uniform", 1.0)
+        a = [sampler.sample(random.Random(5)) for _ in range(3)]
+        b = [sampler.sample(random.Random(5)) for _ in range(3)]
+        assert a == b
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("kind", sorted(WORKLOADS))
+    def test_restartable_and_deterministic(self, kind):
+        spec = WorkloadSpec(kind=kind, packets=50, flows=1000)
+        wl = make_workload(spec)
+        first = wl.materialize()
+        second = wl.materialize()
+        assert first == second
+        assert len(first) == 50
+        # a distinct instance from the same spec agrees too
+        assert make_workload(spec).materialize() == first
+
+    @pytest.mark.parametrize("kind", sorted(WORKLOADS))
+    def test_seed_changes_stream(self, kind):
+        a = make_workload(WorkloadSpec(kind=kind, packets=50)).materialize()
+        b = make_workload(
+            WorkloadSpec(kind=kind, packets=50, seed=2)
+        ).materialize()
+        assert a != b
+
+    def test_udp_zipf_matches_synth_feed(self):
+        # udp-zipf over N flows is the serving feeder's synth: source —
+        # one arithmetic, shared by construction.
+        wl = make_workload(WorkloadSpec(kind="udp-zipf", packets=40,
+                                        flows=500, seed=3))
+        feed = Feeder(parse_feed_spec(
+            "synth:packets=40,flows=500,dist=zipf,seed=3"))
+        assert wl.materialize() == list(feed.frames())
+
+    def test_tcp_handshake_lifecycle(self):
+        wl = make_workload(WorkloadSpec(
+            kind="tcp-handshake", packets=200, flows=1,
+            params=(("data_packets", "2"),),
+        ))
+        frames = wl.materialize()
+        flags = [f[47] for f in frames]
+        # one flow: SYN, ACK, 2x PSH/ACK, FIN/ACK, then repeat
+        assert flags[:5] == [0x02, 0x10, 0x18, 0x18, 0x11]
+        assert flags[5:10] == flags[:5]
+        # new connection, new ISN
+        isn0 = int.from_bytes(frames[0][38:42], "big")
+        isn1 = int.from_bytes(frames[5][38:42], "big")
+        assert isn0 != isn1
+
+    def test_tunnel_encap_shape(self):
+        wl = make_workload(WorkloadSpec(kind="tunnel-encap", packets=30,
+                                        flows=100,
+                                        params=(("vnis", "4"),)))
+        for frame in wl.materialize():
+            tup = parse_five_tuple(frame)
+            assert tup.dport == 4789
+            assert frame[42] == 0x08  # VXLAN I flag
+            vni = int.from_bytes(frame[46:49], "big")
+            assert 0 <= vni < 4
+            # inner frame is a full Ethernet/IPv4/UDP packet
+            inner = frame[50:]
+            assert parse_five_tuple(inner).proto == 17
+
+    def test_flow_churn_slides_population(self):
+        wl = make_workload(WorkloadSpec(
+            kind="flow-churn", packets=400, flows=10, seed=1,
+            params=(("churn", "1.0"),),
+        ))
+        frames = wl.materialize()
+        first_srcs = {bytes(f[26:30]) for f in frames[:50]}
+        last_srcs = {bytes(f[26:30]) for f in frames[-50:]}
+        # with churn=1.0 over 400 packets and 10 ranks, the early and
+        # late populations must be disjoint
+        assert not (first_srcs & last_srcs)
+
+    def test_syn_flood_spoofs_sources(self):
+        wl = make_workload(WorkloadSpec(kind="syn-flood", packets=100))
+        frames = wl.materialize()
+        assert all(f[47] == 0x02 for f in frames)
+        dsts = {bytes(f[30:34]) for f in frames}
+        assert len(dsts) == 1  # one victim
+        srcs = {bytes(f[26:30]) for f in frames}
+        assert len(srcs) > 90  # spoofed sources do not revisit
+
+    def test_udp6_nat64_targets_well_known_prefix(self):
+        wl = make_workload(WorkloadSpec(kind="udp6-nat64", packets=30,
+                                        flows=100))
+        for frame in wl.materialize():
+            assert frame[12:14] == b"\x86\xdd"
+            assert frame[38:42] == bytes.fromhex("0064ff9b")
+            assert frame[42:50] == bytes(8)
+
+
+class TestFeederWorkloadSource:
+    def test_workload_feed_parses_and_runs(self):
+        feed = parse_feed_spec("workload:tcp-handshake,packets=20,flows=50")
+        assert feed.source == "workload"
+        assert feed.packets == 20
+        assert feed.flows == 50
+        frames = list(Feeder(feed).frames())
+        assert len(frames) == 20
+        assert frames == list(Feeder(feed).frames())  # restartable
+
+    def test_workload_feed_matches_generator(self):
+        feed = parse_feed_spec("workload:flow-churn,packets=25,churn=0.2")
+        wl = make_workload(parse_workload_spec("flow-churn:packets=25,churn=0.2"))
+        assert list(Feeder(feed).frames()) == wl.materialize()
+
+    def test_unknown_workload_kind_rejected(self):
+        with pytest.raises(ValueError) as err:
+            parse_feed_spec("workload:bogus,packets=5")
+        assert "tcp-handshake" in str(err.value)
+
+    def test_describe_preserves_workload(self):
+        feed = parse_feed_spec("workload:syn-flood,packets=9,dport=443")
+        assert feed.describe().startswith("workload:syn-flood:")
+        assert "dport=443" in feed.describe()
+
+
+class TestTrafficGeneratorDedup:
+    def test_generator_zipf_uses_shared_sampler(self):
+        # TrafficGenerator must draw identical Zipf picks to the shared
+        # sampler (dedup satellite: one Zipf implementation).
+        gen = TrafficGenerator(TrafficSpec(
+            n_flows=200, distribution="zipf", seed=9))
+        sampler = ZipfSampler(200, 1.0)
+        rng = random.Random(9)
+        expected = [sampler.sample(rng) for _ in range(50)]
+        got = [gen.flows.index(gen.pick_flow()) for _ in range(50)]
+        assert got == expected
